@@ -1,0 +1,18 @@
+# HSLB allocation model for four coupled components on 2048 nodes,
+# written in the toolkit's AMPL-like language (compare Table I of the
+# follow-up application). Solve with:
+#   dune exec bin/hslb_cli.exe -- minlp examples/models/allocation.mod
+var T >= 0;
+var T_icelnd >= 0;
+var n_ice integer >= 1 <= 2048;
+var n_lnd integer >= 1 <= 2048;
+var n_atm integer >= 1 <= 2048;
+var n_ocn integer >= 1 <= 2048;
+minimize T;
+# hybrid layout: max(max(ice,lnd) + atm, ocn)
+s.t. icelnd_ice: 4520 / n_ice^0.85 + 3 - T_icelnd <= 0;
+s.t. icelnd_lnd: 1308 / n_lnd^0.95 + 1.5 - T_icelnd <= 0;
+s.t. atm_after:  T_icelnd + 10360 / n_atm^0.78 + 30 - T <= 0;
+s.t. ocn_conc:   3804 / n_ocn^0.757 + 20 - T <= 0;
+s.t. pool:       n_ice + n_lnd - n_atm <= 0;
+s.t. budget:     n_atm + n_ocn <= 2048;
