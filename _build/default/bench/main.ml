@@ -1,0 +1,202 @@
+(* Benchmark harness.
+
+   Two parts, both driven by this one executable:
+
+   1. Regenerate every table and figure of the evaluation (experiments
+      E1–E9 from DESIGN.md) by running the full pipelines and printing
+      the paper-style tables. Pass [--quick] for reduced sizes.
+   2. Bechamel micro-benchmarks: one [Test.make] per experiment,
+      timing that experiment's computational kernel (the fit, the MINLP
+      solve, the discrete-event phase, ...). Pass [--no-bechamel] to
+      skip, [--only E4] to regenerate a single experiment. *)
+
+open Bechamel
+open Toolkit
+
+(* ---------- representative kernels, one per experiment ---------- *)
+
+let fit_kernel () =
+  (* E1: one performance-model fit on 10 observations *)
+  let law = Scaling_law.make ~a:200. ~b:1e-5 ~c:0.9 ~d:2. in
+  let obs =
+    Array.of_list
+      (List.map
+         (fun n -> (float_of_int n, Scaling_law.eval_int law n))
+         [ 1; 2; 4; 8; 12; 16; 32; 64; 128; 256 ])
+  in
+  let rng = Numerics.Rng.create 3 in
+  ignore (Hslb.Fitting.fit_observations ~starts:4 ~rng obs)
+
+let fitted_specs =
+  lazy
+    (let rng = Numerics.Rng.create 5 in
+     List.init 4 (fun i ->
+         let law =
+           Scaling_law.make ~a:(100. +. (50. *. float_of_int i)) ~b:1e-6 ~c:0.9 ~d:1.
+         in
+         let cls =
+           Hslb.Classes.make ~name:(Printf.sprintf "k%d" i) ~count:1 (fun ~nodes ->
+               Scaling_law.eval_int law nodes)
+         in
+         Hslb.Alloc_model.spec_of
+           (List.hd (Hslb.Classes.gather_and_fit ~rng ~sizes:[ 1; 4; 16; 64 ] ~reps:1 [ cls ]))))
+
+let allocation_kernel objective () =
+  (* E2: one allocation MINLP solve *)
+  ignore (Hslb.Alloc_model.solve ~objective ~n_total:64 (Lazy.force fitted_specs))
+
+let pipeline_setup =
+  lazy
+    (let machine = Machine.make ~name:"bench" ~num_nodes:64 () in
+     let molecule = Fmo.Molecule.water_cluster ~rng:(Numerics.Rng.create 1) 8 in
+     let plan = Fmo.Task.fmo2_plan (Fmo.Fragment.fragment molecule Fmo.Basis.B6_31gd) in
+     (machine, plan))
+
+let pipeline_kernel () =
+  (* E3: the full gather-fit-solve planning pass on a small cluster *)
+  let machine, plan = Lazy.force pipeline_setup in
+  ignore
+    (Hslb.Fmo_app.plan_hslb ~rng:(Numerics.Rng.create 2) machine plan ~n_total:32
+       Hslb.Fmo_app.default_config)
+
+let sim_kernel schedule () =
+  (* E4: one discrete-event monomer sweep, 64 tasks on 16 groups *)
+  let partition = Gddi.Group.even_partition ~total_nodes:64 ~groups:16 in
+  let duration ~task ~group =
+    2. /. float_of_int group.Gddi.Group.nodes *. (1. +. (0.01 *. float_of_int task))
+  in
+  ignore (Gddi.Sim.run_phase partition ~num_tasks:64 ~duration schedule)
+
+let peptide_kernel () =
+  (* E5: heterogeneous workload construction + LPT schedule *)
+  let plan =
+    Fmo.Task.fmo2_plan
+      (Fmo.Fragment.fragment
+         (Fmo.Molecule.random_peptide ~rng:(Numerics.Rng.create 4) 12)
+         Fmo.Basis.B6_31gd)
+  in
+  let partition = Gddi.Group.even_partition ~total_nodes:48 ~groups:12 in
+  let dimers = Fmo.Task.dimer_tasks plan in
+  let predicted ~task ~group =
+    Fmo.Task.scf_work_gflops dimers.(task).Fmo.Task.nbf /. float_of_int group.Gddi.Group.nodes
+  in
+  ignore (Gddi.Schedulers.lpt partition ~predicted ~num_tasks:(Array.length dimers))
+
+let minlp_kernel sos () =
+  (* E6: OA solve of a sweet-spotted allocation model *)
+  let specs =
+    List.map
+      (fun s -> { s with Hslb.Alloc_model.allowed = Some [ 1; 2; 4; 8; 16; 32 ] })
+      (Lazy.force fitted_specs)
+  in
+  let problem, _ =
+    Hslb.Alloc_model.build_minlp ~objective:Hslb.Objective.Min_max ~n_total:64 specs
+  in
+  ignore
+    (Minlp.Oa.solve ~options:{ Minlp.Oa.default_options with branch_sos_first = sos } problem)
+
+let gather_kernel () =
+  (* E7: the gather step at 6 node counts *)
+  let law = Scaling_law.make ~a:300. ~b:0. ~c:0.92 ~d:1. in
+  let rng = Numerics.Rng.create 8 in
+  let cls =
+    Hslb.Classes.make ~name:"g" ~count:1 (fun ~nodes ->
+        Scaling_law.eval_int law nodes *. Numerics.Rng.lognormal rng ~mu:0. ~sigma:0.02)
+  in
+  ignore (Hslb.Classes.gather cls ~sizes:[ 1; 2; 8; 32; 128; 512 ] ~reps:2)
+
+let layout_inputs =
+  lazy
+    (let rng = Numerics.Rng.create 9 in
+     let classes = Layouts.Cesm_data.benchmark_classes ~rng Layouts.Cesm_data.Deg1 in
+     let fits =
+       Hslb.Classes.gather_and_fit ~rng
+         ~sizes:(Hslb.Fitting.recommended_sizes ~n_min:8 ~n_max:1024 ~points:5)
+         ~reps:1 classes
+     in
+     let comp name =
+       Layouts.Component.of_fit ~name
+         (List.find
+            (fun (fc : Hslb.Classes.fitted) -> fc.Hslb.Classes.cls.Hslb.Classes.name = name)
+            fits)
+           .Hslb.Classes.fit
+     in
+     {
+       Layouts.Layout_model.ice = comp "ice";
+       lnd = comp "lnd";
+       atm = comp "atm";
+       ocn = comp "ocn";
+     })
+
+let layout_kernel layout () =
+  (* E8/E9: one component-layout MINLP solve *)
+  let config = Layouts.Layout_model.default_config ~n_total:128 in
+  ignore (Layouts.Layout_model.solve layout config (Lazy.force layout_inputs))
+
+let micro_tests =
+  [
+    ("E1/fit_observations", fit_kernel);
+    ("E2/alloc_min_max", allocation_kernel Hslb.Objective.Min_max);
+    ("E2/alloc_min_sum", allocation_kernel Hslb.Objective.Min_sum);
+    ("E3/plan_hslb_small", pipeline_kernel);
+    ("E4/sim_phase_dynamic", sim_kernel Gddi.Sim.Dynamic);
+    ("E5/peptide_lpt", peptide_kernel);
+    ("E6/oa_sos_branching", minlp_kernel true);
+    ("E6/oa_binary_branching", minlp_kernel false);
+    ("E7/gather", gather_kernel);
+    ("E8/layout_hybrid", layout_kernel Layouts.Layout_model.Hybrid);
+    ("E9/layout_sequential", layout_kernel Layouts.Layout_model.Fully_sequential);
+  ]
+
+let pretty_time ns =
+  if ns < 1e3 then Printf.sprintf "%.1f ns" ns
+  else if ns < 1e6 then Printf.sprintf "%.2f us" (ns /. 1e3)
+  else if ns < 1e9 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+  else Printf.sprintf "%.2f s" (ns /. 1e9)
+
+let run_microbenches fmt =
+  Format.fprintf fmt
+    "@.########## Bechamel micro-benchmarks (per-call cost of each kernel) ##########@.";
+  let cfg = Benchmark.cfg ~limit:100 ~quota:(Time.second 0.5) () in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in
+  List.iter
+    (fun (name, fn) ->
+      let test = Test.make ~name (Staged.stage fn) in
+      List.iter
+        (fun elt ->
+          let raw = Benchmark.run cfg Instance.[ monotonic_clock ] elt in
+          let est = Analyze.one ols Instance.monotonic_clock raw in
+          match Analyze.OLS.estimates est with
+          | Some [ t ] -> Format.fprintf fmt "%-28s %s/call@." name (pretty_time t)
+          | Some _ | None -> Format.fprintf fmt "%-28s (no estimate)@." name)
+        (Test.elements test);
+      Format.pp_print_flush fmt ())
+    micro_tests
+
+let () =
+  let args = Array.to_list Sys.argv in
+  let quick = List.mem "--quick" args in
+  let no_bechamel = List.mem "--no-bechamel" args in
+  let only =
+    let rec find = function
+      | "--only" :: id :: _ -> Some id
+      | _ :: rest -> find rest
+      | [] -> None
+    in
+    find args
+  in
+  let fmt = Format.std_formatter in
+  (match only with
+  | Some id -> (
+    match Experiments.Registry.find id with
+    | e -> e.Experiments.Registry.run ~quick fmt
+    | exception Not_found ->
+      Format.fprintf fmt "unknown experiment %s; available:@." id;
+      List.iter
+        (fun e ->
+          Format.fprintf fmt "  %s — %s@." e.Experiments.Registry.id
+            e.Experiments.Registry.describes)
+        Experiments.Registry.all;
+      exit 1)
+  | None -> Experiments.Registry.run_all ~quick fmt);
+  if not no_bechamel then run_microbenches fmt

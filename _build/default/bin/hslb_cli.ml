@@ -1,0 +1,368 @@
+(* hslb — command-line front end.
+
+   Subcommands:
+     fit        fit the performance model T(n) = a/n^c + b·n + d to
+                (nodes, seconds) observations from a CSV file
+     solve      solve the allocation MINLP for fitted classes read from
+                a CSV file (name,count,a,b,c,d)
+     fmo        run the simulated FMO comparison (dynamic / even / HSLB)
+     layouts    solve a component-layout model (CESM-style extension)
+     experiment regenerate one or all of the paper's tables/figures
+     list       list available experiments *)
+
+open Cmdliner
+
+(* ---------- shared helpers ---------- *)
+
+let read_csv_lines path =
+  let ic = open_in path in
+  let rec go acc =
+    match input_line ic with
+    | line ->
+      let line = String.trim line in
+      if line = "" || line.[0] = '#' then go acc else go (line :: acc)
+    | exception End_of_file ->
+      close_in ic;
+      List.rev acc
+  in
+  go []
+
+let split_csv line = List.map String.trim (String.split_on_char ',' line)
+
+(* ---------- fit ---------- *)
+
+let fit_cmd =
+  let file =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"CSV" ~doc:"Observations file: one \"nodes,seconds\" pair per line.")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed for multi-start.") in
+  let starts =
+    Arg.(value & opt int 12 & info [ "starts" ] ~doc:"Number of multi-start attempts.")
+  in
+  let save_class =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "save-class" ] ~docv:"FILE:NAME:COUNT"
+          ~doc:
+            "Append the fitted model as a class line (name,count,a,b,c,d) to FILE, creating \
+             it if needed — the input format of the solve subcommand.")
+  in
+  let run file seed starts save_class =
+    let obs =
+      List.map
+        (fun line ->
+          match split_csv line with
+          | [ n; t ] -> (float_of_string n, float_of_string t)
+          | _ -> failwith ("bad observation line: " ^ line))
+        (read_csv_lines file)
+    in
+    let rng = Numerics.Rng.create seed in
+    let fit = Hslb.Fitting.fit_observations ~starts ~rng (Array.of_list obs) in
+    Format.printf "T(n) = %a@." Scaling_law.pp fit.Hslb.Fitting.law;
+    Format.printf "R2 = %.6f, RMSE = %.6g over %d observations@." fit.Hslb.Fitting.r2
+      fit.Hslb.Fitting.rmse (List.length obs);
+    match save_class with
+    | None -> ()
+    | Some spec -> (
+      match String.split_on_char ':' spec with
+      | [ path; name; count ] ->
+        let law = fit.Hslb.Fitting.law in
+        let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+        Printf.fprintf oc "%s,%s,%.17g,%.17g,%.17g,%.17g\n" name count law.Scaling_law.a
+          law.Scaling_law.b law.Scaling_law.c law.Scaling_law.d;
+        close_out oc;
+        Format.printf "appended class %s (count %s) to %s@." name count path
+      | _ -> failwith "--save-class expects FILE:NAME:COUNT")
+  in
+  Cmd.v
+    (Cmd.info "fit" ~doc:"Fit the HSLB performance model to benchmark observations.")
+    Term.(const run $ file $ seed $ starts $ save_class)
+
+(* ---------- solve ---------- *)
+
+let objective_conv =
+  let parse = function
+    | "min-max" -> Ok Hslb.Objective.Min_max
+    | "max-min" -> Ok Hslb.Objective.Max_min
+    | "min-sum" -> Ok Hslb.Objective.Min_sum
+    | s -> Error (`Msg ("unknown objective: " ^ s))
+  in
+  Arg.conv (parse, fun fmt o -> Format.pp_print_string fmt (Hslb.Objective.to_string o))
+
+let solve_cmd =
+  let file =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"CSV" ~doc:"Classes file: \"name,count,a,b,c,d\" per line.")
+  in
+  let nodes =
+    Arg.(required & opt (some int) None & info [ "nodes"; "n" ] ~doc:"Total node budget.")
+  in
+  let objective =
+    Arg.(
+      value
+      & opt objective_conv Hslb.Objective.Min_max
+      & info [ "objective" ] ~doc:"min-max | max-min | min-sum.")
+  in
+  let run file nodes objective =
+    let specs =
+      Hslb.Model_store.specs_of_csv
+        (String.concat "\n" (read_csv_lines file))
+    in
+    let alloc = Hslb.Alloc_model.solve ~objective ~n_total:nodes specs in
+    Format.printf "predicted makespan: %.4f s@." alloc.Hslb.Alloc_model.predicted_makespan;
+    List.iteri
+      (fun i spec ->
+        Format.printf "  %-20s count=%-4d nodes/task=%-6d predicted=%.4f s@."
+          spec.Hslb.Alloc_model.fc.Hslb.Classes.cls.Hslb.Classes.name
+          spec.Hslb.Alloc_model.fc.Hslb.Classes.cls.Hslb.Classes.count
+          alloc.Hslb.Alloc_model.nodes_per_task.(i)
+          alloc.Hslb.Alloc_model.predicted_times.(i))
+      specs
+  in
+  Cmd.v
+    (Cmd.info "solve" ~doc:"Solve the allocation MINLP for fitted task classes.")
+    Term.(const run $ file $ nodes $ objective)
+
+(* ---------- fmo ---------- *)
+
+let fmo_cmd =
+  let molecules =
+    Arg.(value & opt int 32 & info [ "molecules"; "m" ] ~doc:"Water molecules in the cluster.")
+  in
+  let residues =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "peptide" ] ~doc:"Use a random peptide with this many residues instead.")
+  in
+  let nodes = Arg.(value & opt int 512 & info [ "nodes"; "n" ] ~doc:"Total node budget.") in
+  let seed = Arg.(value & opt int 7 & info [ "seed" ] ~doc:"Simulation seed.") in
+  let trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"PREFIX"
+          ~doc:"Write Gantt CSVs of the HSLB run: PREFIX-sweep0.csv and PREFIX-dimer.csv.")
+  in
+  let gantt = Arg.(value & flag & info [ "gantt" ] ~doc:"Print ASCII Gantt charts.") in
+  let run molecules residues nodes seed trace gantt =
+    let machine = Machine.make ~name:"intrepid-slice" ~num_nodes:nodes () in
+    let plan =
+      match residues with
+      | Some r ->
+        Fmo.Task.fmo2_plan
+          (Fmo.Fragment.fragment
+             (Fmo.Molecule.random_peptide ~rng:(Numerics.Rng.create 2) r)
+             Fmo.Basis.B6_31gd)
+      | None ->
+        Fmo.Task.fmo2_plan
+          (Fmo.Fragment.fragment
+             (Fmo.Molecule.water_cluster ~rng:(Numerics.Rng.create 1) molecules)
+             Fmo.Basis.B6_31gd)
+    in
+    Format.printf "%d fragments, %d SCF dimers, %d ES dimers@."
+      (Array.length plan.Fmo.Task.fragments)
+      (Array.length plan.Fmo.Task.scf_dimers)
+      (Array.length plan.Fmo.Task.es_dimers);
+    let dyn = Hslb.Fmo_app.run_dynamic ~rng:(Numerics.Rng.create seed) machine plan ~n_total:nodes () in
+    let even =
+      Hslb.Fmo_app.run_static_even ~rng:(Numerics.Rng.create seed) machine plan ~n_total:nodes ()
+    in
+    let hp, hslb =
+      Hslb.Fmo_app.run_hslb ~rng:(Numerics.Rng.create seed) machine plan ~n_total:nodes
+        Hslb.Fmo_app.default_config
+    in
+    let report label (r : Fmo.Fmo_run.result) =
+      Format.printf "%-14s total %8.2f s (monomer %8.2f, dimer %8.2f, utilization %5.1f%%)@."
+        label r.Fmo.Fmo_run.total_time r.Fmo.Fmo_run.monomer_time r.Fmo.Fmo_run.dimer_time
+        (100. *. r.Fmo.Fmo_run.utilization)
+    in
+    report "dynamic" dyn;
+    report "even-static" even;
+    report "HSLB" hslb;
+    Format.printf "HSLB predicted %.2f s; speedup over dynamic %.2fx@."
+      hp.Hslb.Fmo_app.predicted_total
+      (dyn.Fmo.Fmo_run.total_time /. hslb.Fmo.Fmo_run.total_time);
+    (match trace with
+    | None -> ()
+    | Some prefix ->
+      Gddi.Trace.write_csv (prefix ^ "-sweep0.csv") (List.hd hslb.Fmo.Fmo_run.sweeps);
+      Gddi.Trace.write_csv (prefix ^ "-dimer.csv") hslb.Fmo.Fmo_run.dimer;
+      Format.printf "traces written to %s-sweep0.csv and %s-dimer.csv@." prefix prefix);
+    if gantt then begin
+      Format.printf "@.HSLB monomer sweep 0:@.";
+      Gddi.Trace.pp_gantt Format.std_formatter ~width:72 hp.Hslb.Fmo_app.partition
+        (List.hd hslb.Fmo.Fmo_run.sweeps);
+      Format.printf "@.HSLB dimer phase:@.";
+      Gddi.Trace.pp_gantt Format.std_formatter ~width:72 hp.Hslb.Fmo_app.dimer_partition
+        hslb.Fmo.Fmo_run.dimer
+    end
+  in
+  Cmd.v
+    (Cmd.info "fmo" ~doc:"Run the simulated FMO scheduler comparison.")
+    Term.(const run $ molecules $ residues $ nodes $ seed $ trace $ gantt)
+
+(* ---------- layouts ---------- *)
+
+let layouts_cmd =
+  let nodes = Arg.(value & opt int 128 & info [ "nodes"; "n" ] ~doc:"Total node budget.") in
+  let resolution =
+    let res_conv =
+      Arg.conv
+        ( (function
+          | "1" -> Ok Layouts.Cesm_data.Deg1
+          | "1/8" -> Ok Layouts.Cesm_data.Deg1_8
+          | s -> Error (`Msg ("unknown resolution: " ^ s))),
+          fun fmt r ->
+            Format.pp_print_string fmt
+              (match r with Layouts.Cesm_data.Deg1 -> "1" | Layouts.Cesm_data.Deg1_8 -> "1/8")
+        )
+    in
+    Arg.(value & opt res_conv Layouts.Cesm_data.Deg1 & info [ "resolution" ] ~doc:"1 or 1/8.")
+  in
+  let layout =
+    let layout_conv =
+      Arg.conv
+        ( (function
+          | "1" -> Ok Layouts.Layout_model.Hybrid
+          | "2" -> Ok Layouts.Layout_model.Sequential_group
+          | "3" -> Ok Layouts.Layout_model.Fully_sequential
+          | s -> Error (`Msg ("unknown layout: " ^ s))),
+          fun fmt l -> Format.pp_print_string fmt (Layouts.Layout_model.layout_name l) )
+    in
+    Arg.(value & opt layout_conv Layouts.Layout_model.Hybrid & info [ "layout" ] ~doc:"1, 2 or 3.")
+  in
+  let free_ocean =
+    Arg.(value & flag & info [ "free-ocean" ] ~doc:"Lift the ocean sweet-spot restriction.")
+  in
+  let run nodes resolution layout free_ocean =
+    let rng = Numerics.Rng.create 77 in
+    let classes = Layouts.Cesm_data.benchmark_classes ~rng resolution in
+    let n_max = Stdlib.max 512 nodes in
+    let fits =
+      Hslb.Classes.gather_and_fit ~rng
+        ~sizes:(Hslb.Fitting.recommended_sizes ~n_min:8 ~n_max ~points:6)
+        ~reps:2 classes
+    in
+    let comp name =
+      Layouts.Component.of_fit ~name
+        (List.find
+           (fun (fc : Hslb.Classes.fitted) -> fc.Hslb.Classes.cls.Hslb.Classes.name = name)
+           fits)
+          .Hslb.Classes.fit
+    in
+    let inputs =
+      { Layouts.Layout_model.ice = comp "ice"; lnd = comp "lnd"; atm = comp "atm"; ocn = comp "ocn" }
+    in
+    let config =
+      {
+        (Layouts.Layout_model.default_config ~n_total:nodes) with
+        Layouts.Layout_model.ocn_allowed =
+          (if free_ocean then None else Some (Layouts.Cesm_data.ocean_sweet_spots resolution));
+      }
+    in
+    let a = Layouts.Layout_model.solve layout config inputs in
+    Format.printf "layout %s on %d nodes: predicted total %.2f s@."
+      (Layouts.Layout_model.layout_name layout) nodes a.Layouts.Layout_model.total;
+    List.iter
+      (fun (name, n) ->
+        Format.printf "  %-4s %6d nodes  %10.2f s@." name n
+          (List.assoc name a.Layouts.Layout_model.times))
+      a.Layouts.Layout_model.nodes
+  in
+  Cmd.v
+    (Cmd.info "layouts" ~doc:"Solve a coupled-component layout model (extension).")
+    Term.(const run $ nodes $ resolution $ layout $ free_ocean)
+
+(* ---------- minlp: solve a model file ---------- *)
+
+let minlp_cmd =
+  let file =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"MODEL" ~doc:"Model file in the AMPL-like language (see Minlp.Model_text).")
+  in
+  let solver =
+    let solver_conv =
+      Arg.conv
+        ( (function
+          | "oa" -> Ok `Oa
+          | "multi" -> Ok `Multi
+          | "bnb" -> Ok `Bnb
+          | s -> Error (`Msg ("unknown solver: " ^ s))),
+          fun fmt s ->
+            Format.pp_print_string fmt
+              (match s with `Oa -> "oa" | `Multi -> "multi" | `Bnb -> "bnb") )
+    in
+    Arg.(value & opt solver_conv `Oa & info [ "solver" ] ~doc:"oa (default) | multi | bnb.")
+  in
+  let run file solver =
+    let p = Minlp.Model_text.parse_file file in
+    let sol =
+      match solver with
+      | `Oa -> Minlp.Oa.solve p
+      | `Multi -> (Minlp.Oa_multi.solve p).Minlp.Oa_multi.solution
+      | `Bnb -> Minlp.Bnb.solve p
+    in
+    Format.printf "status: %s@." (Minlp.Solution.status_to_string sol.Minlp.Solution.status);
+    (match sol.Minlp.Solution.status with
+    | Minlp.Solution.Optimal | Minlp.Solution.Limit ->
+      Format.printf "objective: %.6g (bound %.6g)@." sol.Minlp.Solution.obj
+        sol.Minlp.Solution.bound;
+      Array.iteri
+        (fun j v -> Format.printf "  %-16s = %.6g@." p.Minlp.Problem.names.(j) v)
+        sol.Minlp.Solution.x
+    | Minlp.Solution.Infeasible | Minlp.Solution.Unbounded -> ());
+    Format.printf "stats: %d nodes, %d LPs, %d NLPs, %d cuts@."
+      sol.Minlp.Solution.stats.Minlp.Solution.nodes sol.Minlp.Solution.stats.Minlp.Solution.lp_solves
+      sol.Minlp.Solution.stats.Minlp.Solution.nlp_solves sol.Minlp.Solution.stats.Minlp.Solution.cuts
+  in
+  Cmd.v
+    (Cmd.info "minlp" ~doc:"Solve a convex MINLP written in the AMPL-like model language.")
+    Term.(const run $ file $ solver)
+
+(* ---------- experiments ---------- *)
+
+let experiment_cmd =
+  let id =
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"ID" ~doc:"Experiment id (e.g. E4).")
+  in
+  let quick = Arg.(value & flag & info [ "quick" ] ~doc:"Reduced problem sizes.") in
+  let run id quick =
+    let fmt = Format.std_formatter in
+    match id with
+    | None -> Experiments.Registry.run_all ~quick fmt
+    | Some id -> (
+      match Experiments.Registry.find id with
+      | e -> e.Experiments.Registry.run ~quick fmt
+      | exception Not_found ->
+        Format.eprintf "unknown experiment %s@." id;
+        exit 1)
+  in
+  Cmd.v
+    (Cmd.info "experiment" ~doc:"Regenerate one or all of the paper's tables/figures.")
+    Term.(const run $ id $ quick)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun e ->
+        Format.printf "%-20s %s@." e.Experiments.Registry.id e.Experiments.Registry.describes)
+      Experiments.Registry.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List available experiments.") Term.(const run $ const ())
+
+let () =
+  let doc = "heuristic static load balancing (HSLB) toolkit" in
+  let info = Cmd.info "hslb_cli" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ fit_cmd; solve_cmd; minlp_cmd; fmo_cmd; layouts_cmd; experiment_cmd; list_cmd ]))

@@ -1,0 +1,1 @@
+examples/cesm_layouts.ml: Format Hslb Layouts List Numerics Scaling_law

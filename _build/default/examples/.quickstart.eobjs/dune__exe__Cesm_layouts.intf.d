@@ -1,0 +1,1 @@
+examples/cesm_layouts.mli:

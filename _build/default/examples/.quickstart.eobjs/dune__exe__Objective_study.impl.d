@@ -1,0 +1,1 @@
+examples/objective_study.ml: Array Format Hslb List Numerics Scaling_law

@@ -1,0 +1,1 @@
+examples/objective_study.mli:

@@ -1,0 +1,1 @@
+examples/protein.ml: Array Fmo Format Hslb List Machine Numerics Scaling_law

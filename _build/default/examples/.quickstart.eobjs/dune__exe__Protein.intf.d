@@ -1,0 +1,1 @@
+examples/protein.mli:

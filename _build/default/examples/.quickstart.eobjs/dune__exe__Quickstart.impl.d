@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Fmo Format Hslb List Machine Numerics Scaling_law

@@ -1,0 +1,1 @@
+examples/water_cluster.ml: Array Fmo Format Hslb List Machine Numerics

@@ -1,0 +1,51 @@
+(* Quickstart: HSLB on a small water cluster.
+
+   Builds (H2O)16 fragmented at one molecule per fragment, plans an FMO2
+   run on a 64-node simulated Blue Gene/P slice, then compares the stock
+   dynamic load balancer against the full HSLB pipeline
+   (gather -> fit -> solve MINLP -> execute). *)
+
+let () =
+  let machine = Machine.make ~name:"bgp-slice" ~num_nodes:64 () in
+  let rng = Numerics.Rng.create 42 in
+  let molecule = Fmo.Molecule.water_cluster ~rng:(Numerics.Rng.split rng) 16 in
+  let fragments = Fmo.Fragment.fragment molecule Fmo.Basis.B6_31gd in
+  let plan = Fmo.Task.fmo2_plan fragments in
+  Format.printf "workload: %a@." Fmo.Molecule.pp molecule;
+  Format.printf "  %d fragments, %d SCF dimers, %d ES dimers, %.0f GFLOP total@."
+    (Array.length plan.Fmo.Task.fragments)
+    (Array.length plan.Fmo.Task.scf_dimers)
+    (Array.length plan.Fmo.Task.es_dimers)
+    (Fmo.Task.total_work plan);
+
+  let n_total = 64 in
+
+  (* baseline: stock GDDI dynamic load balancing on even groups *)
+  let dyn =
+    Hslb.Fmo_app.run_dynamic ~rng:(Numerics.Rng.create 7) machine plan ~n_total ()
+  in
+  Format.printf "@.dynamic (stock DLB):   %8.2f s  (utilization %.1f%%)@."
+    dyn.Fmo.Fmo_run.total_time
+    (100. *. dyn.Fmo.Fmo_run.utilization);
+
+  (* HSLB: gather, fit, solve, execute *)
+  let hp, run =
+    Hslb.Fmo_app.run_hslb ~rng:(Numerics.Rng.create 7) machine plan ~n_total
+      Hslb.Fmo_app.default_config
+  in
+  Format.printf "HSLB (static, MINLP):  %8.2f s  (utilization %.1f%%)@."
+    run.Fmo.Fmo_run.total_time
+    (100. *. run.Fmo.Fmo_run.utilization);
+  Format.printf "@.HSLB internals:@.";
+  List.iter
+    (fun (fc : Hslb.Classes.fitted) ->
+      Format.printf "  class %-24s count=%3d  fit R²=%.4f  %a@."
+        fc.Hslb.Classes.cls.Hslb.Classes.name fc.Hslb.Classes.cls.Hslb.Classes.count
+        fc.Hslb.Classes.fit.Hslb.Fitting.r2 Scaling_law.pp fc.Hslb.Classes.fit.Hslb.Fitting.law)
+    hp.Hslb.Fmo_app.monomer_fits;
+  Format.printf "  allocation (nodes per fragment class): ";
+  Array.iter (Format.printf "%d ") hp.Hslb.Fmo_app.allocation.Hslb.Alloc_model.nodes_per_task;
+  Format.printf "@.  predicted total %.2f s, actual %.2f s@."
+    hp.Hslb.Fmo_app.predicted_total run.Fmo.Fmo_run.total_time;
+  let speedup = dyn.Fmo.Fmo_run.total_time /. run.Fmo.Fmo_run.total_time in
+  Format.printf "@.HSLB speedup over dynamic: %.2fx@." speedup

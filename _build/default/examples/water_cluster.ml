@@ -1,0 +1,35 @@
+(* Strong-scaling study on a water cluster.
+
+   The paper's headline scenario: an (H2O)48 cluster, FMO2, compared
+   across schedulers at several machine sizes. Demonstrates the public
+   API for workload construction, baselines and the HSLB pipeline, and
+   prints a scaling table like experiment E4. *)
+
+let () =
+  let molecules = 48 in
+  let node_counts = [ 192; 768; 3072 ] in
+  let machine = Machine.make ~name:"intrepid-slice" ~num_nodes:(List.fold_left max 1 node_counts) () in
+  let molecule = Fmo.Molecule.water_cluster ~rng:(Numerics.Rng.create 1) molecules in
+  let fragments = Fmo.Fragment.fragment molecule Fmo.Basis.B6_31gd in
+  let plan = Fmo.Task.fmo2_plan fragments in
+  Format.printf "%a — %d fragments, %d SCF dimers, %d ES dimers, %.0f GFLOP@."
+    Fmo.Molecule.pp molecule
+    (Array.length plan.Fmo.Task.fragments)
+    (Array.length plan.Fmo.Task.scf_dimers)
+    (Array.length plan.Fmo.Task.es_dimers)
+    (Fmo.Task.total_work plan);
+  Format.printf "@.%8s  %10s  %10s  %10s  %8s@." "nodes" "dynamic" "even" "HSLB" "speedup";
+  List.iter
+    (fun n_total ->
+      let dyn = Hslb.Fmo_app.run_dynamic ~rng:(Numerics.Rng.create 7) machine plan ~n_total () in
+      let even =
+        Hslb.Fmo_app.run_static_even ~rng:(Numerics.Rng.create 7) machine plan ~n_total ()
+      in
+      let _, hslb =
+        Hslb.Fmo_app.run_hslb ~rng:(Numerics.Rng.create 7) machine plan ~n_total
+          Hslb.Fmo_app.default_config
+      in
+      Format.printf "%8d  %9.2fs  %9.2fs  %9.2fs  %7.2fx@." n_total
+        dyn.Fmo.Fmo_run.total_time even.Fmo.Fmo_run.total_time hslb.Fmo.Fmo_run.total_time
+        (dyn.Fmo.Fmo_run.total_time /. hslb.Fmo.Fmo_run.total_time))
+    node_counts

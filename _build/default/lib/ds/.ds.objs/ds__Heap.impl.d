@@ -1,0 +1,1 @@
+lib/ds/heap.ml: Array Stdlib

@@ -1,0 +1,1 @@
+lib/ds/heap.mli:

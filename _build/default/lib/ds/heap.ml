@@ -1,0 +1,76 @@
+type 'a t = { mutable data : 'a array; mutable size : int; leq : 'a -> 'a -> bool }
+
+let create ~leq = { data = [||]; size = 0; leq }
+let is_empty h = h.size = 0
+let size h = h.size
+
+let grow h x =
+  let cap = Array.length h.data in
+  if h.size = cap then begin
+    let ncap = Stdlib.max 16 (2 * cap) in
+    let nd = Array.make ncap x in
+    Array.blit h.data 0 nd 0 h.size;
+    h.data <- nd
+  end
+
+let rec sift_up h i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if h.leq h.data.(i) h.data.(parent) && not (h.leq h.data.(parent) h.data.(i)) then begin
+      let t = h.data.(i) in
+      h.data.(i) <- h.data.(parent);
+      h.data.(parent) <- t;
+      sift_up h parent
+    end
+  end
+
+let rec sift_down h i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < h.size && h.leq h.data.(l) h.data.(!smallest) && not (h.leq h.data.(!smallest) h.data.(l))
+  then smallest := l;
+  if r < h.size && h.leq h.data.(r) h.data.(!smallest) && not (h.leq h.data.(!smallest) h.data.(r))
+  then smallest := r;
+  if !smallest <> i then begin
+    let t = h.data.(i) in
+    h.data.(i) <- h.data.(!smallest);
+    h.data.(!smallest) <- t;
+    sift_down h !smallest
+  end
+
+let push h x =
+  grow h x;
+  h.data.(h.size) <- x;
+  h.size <- h.size + 1;
+  sift_up h (h.size - 1)
+
+let peek h = if h.size = 0 then raise Not_found else h.data.(0)
+let peek_opt h = if h.size = 0 then None else Some h.data.(0)
+
+let pop h =
+  if h.size = 0 then raise Not_found;
+  let top = h.data.(0) in
+  h.size <- h.size - 1;
+  if h.size > 0 then begin
+    h.data.(0) <- h.data.(h.size);
+    sift_down h 0
+  end;
+  top
+
+let pop_opt h = if h.size = 0 then None else Some (pop h)
+
+let to_list h =
+  let acc = ref [] in
+  for i = h.size - 1 downto 0 do
+    acc := h.data.(i) :: !acc
+  done;
+  !acc
+
+let fold f init h =
+  let acc = ref init in
+  for i = 0 to h.size - 1 do
+    acc := f !acc h.data.(i)
+  done;
+  !acc
+
+let clear h = h.size <- 0

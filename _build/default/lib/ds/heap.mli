@@ -1,0 +1,33 @@
+(** Mutable binary min-heap.
+
+    Shared by the discrete-event simulator (event queue ordered by time)
+    and the branch-and-bound solvers (open-node list ordered by bound). *)
+
+type 'a t
+
+(** [create ~leq] — empty heap ordered by [leq] ([leq a b] = "a has
+    priority over or equal to b"). *)
+val create : leq:('a -> 'a -> bool) -> 'a t
+
+val is_empty : 'a t -> bool
+val size : 'a t -> int
+val push : 'a t -> 'a -> unit
+
+(** [pop h] — remove and return the minimum. @raise Not_found if empty. *)
+val pop : 'a t -> 'a
+
+(** [peek h] — the minimum without removing it. @raise Not_found if empty. *)
+val peek : 'a t -> 'a
+
+(** [pop_opt h] / [peek_opt h] — option-returning variants. *)
+val pop_opt : 'a t -> 'a option
+
+val peek_opt : 'a t -> 'a option
+
+(** [to_list h] — all elements in unspecified order (heap unchanged). *)
+val to_list : 'a t -> 'a list
+
+(** [fold f init h] — fold over elements in unspecified order. *)
+val fold : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+
+val clear : 'a t -> unit

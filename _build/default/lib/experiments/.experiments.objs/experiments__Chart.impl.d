@@ -1,0 +1,1 @@
+lib/experiments/chart.ml: Array Bytes Float Format List Stdlib String

@@ -1,0 +1,1 @@
+lib/experiments/e10_scheduler_ablation.ml: Fmo Format Hslb Printf Table Workloads

@@ -1,0 +1,1 @@
+lib/experiments/e11_placement.ml: Float Fmo Format List Printf Scaling_law Stdlib Table Topology Workloads

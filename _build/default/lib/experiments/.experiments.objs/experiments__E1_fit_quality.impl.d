@@ -1,0 +1,1 @@
+lib/experiments/e1_fit_quality.ml: Float Format Hslb List Printf Scaling_law Table Workloads

@@ -1,0 +1,1 @@
+lib/experiments/e2_objectives.ml: Fmo Format Hslb List Printf Table Workloads

@@ -1,0 +1,1 @@
+lib/experiments/e3_pred_vs_actual.ml: Array Fmo Gddi Hashtbl Hslb List Printf Table Workloads

@@ -1,0 +1,1 @@
+lib/experiments/e4_scaling.ml: Chart Fmo Format Hslb List Printf Stdlib Table Workloads

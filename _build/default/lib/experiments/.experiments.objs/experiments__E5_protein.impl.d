@@ -1,0 +1,1 @@
+lib/experiments/e5_protein.ml: Array Float Fmo Format Hslb List Printf Table Workloads

@@ -1,0 +1,1 @@
+lib/experiments/e6_solver.ml: Format Hslb List Minlp Numerics Printf Scaling_law Sys Table Workloads

@@ -1,0 +1,1 @@
+lib/experiments/e7_samples.ml: Array Float Format Hslb List Numerics Printf Scaling_law Table Workloads

@@ -1,0 +1,1 @@
+lib/experiments/e8_cesm_table3.ml: Format Hslb Layouts List Printf Table Workloads

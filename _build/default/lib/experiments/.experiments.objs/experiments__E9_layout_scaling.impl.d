@@ -1,0 +1,1 @@
+lib/experiments/e9_layout_scaling.ml: Array Chart E8_cesm_table3 Format Layouts List Numerics Table Workloads

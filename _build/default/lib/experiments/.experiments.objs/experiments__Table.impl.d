@@ -1,0 +1,1 @@
+lib/experiments/table.ml: Array Float Format List Printf Stdlib String

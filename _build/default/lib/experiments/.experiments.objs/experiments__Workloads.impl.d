@@ -1,0 +1,1 @@
+lib/experiments/workloads.ml: Fmo Machine Numerics

@@ -1,0 +1,1 @@
+lib/experiments/workloads.mli: Fmo Machine Numerics

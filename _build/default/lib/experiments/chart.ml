@@ -1,0 +1,60 @@
+type series = { label : string; marker : char; points : (float * float) list }
+
+let plot fmt ~title ?(width = 64) ?(height = 16) ?(log_x = true) series =
+  let all_points = List.concat_map (fun s -> s.points) series in
+  if all_points = [] then invalid_arg "Chart.plot: no points";
+  List.iter
+    (fun (x, _) -> if log_x && x <= 0. then invalid_arg "Chart.plot: x must be > 0 on a log axis")
+    all_points;
+  let xs = List.map fst all_points and ys = List.map snd all_points in
+  let fmin l = List.fold_left Float.min infinity l in
+  let fmax l = List.fold_left Float.max neg_infinity l in
+  let x_lo = fmin xs and x_hi = fmax xs in
+  let y_lo = Float.min 0. (fmin ys) and y_hi = fmax ys in
+  let y_hi = if y_hi <= y_lo then y_lo +. 1. else y_hi in
+  let tx x =
+    if x_hi <= x_lo then 0
+    else begin
+      let t =
+        if log_x then (log x -. log x_lo) /. (log x_hi -. log x_lo)
+        else (x -. x_lo) /. (x_hi -. x_lo)
+      in
+      Stdlib.min (width - 1) (Stdlib.max 0 (int_of_float (Float.round (t *. float_of_int (width - 1)))))
+    end
+  in
+  let ty y =
+    let t = (y -. y_lo) /. (y_hi -. y_lo) in
+    (height - 1)
+    - Stdlib.min (height - 1) (Stdlib.max 0 (int_of_float (Float.round (t *. float_of_int (height - 1)))))
+  in
+  let grid = Array.init height (fun _ -> Bytes.make width ' ') in
+  List.iter
+    (fun s ->
+      (* connect consecutive points with interpolated marks *)
+      let rec draw = function
+        | (x1, y1) :: ((x2, y2) :: _ as rest) ->
+          let c1 = tx x1 and c2 = tx x2 in
+          let steps = Stdlib.max 1 (abs (c2 - c1)) in
+          for k = 0 to steps do
+            let t = float_of_int k /. float_of_int steps in
+            let x = if log_x then exp (log x1 +. (t *. (log x2 -. log x1))) else x1 +. (t *. (x2 -. x1)) in
+            let y = y1 +. (t *. (y2 -. y1)) in
+            Bytes.set grid.(ty y) (tx x) s.marker
+          done;
+          draw rest
+        | [ (x, y) ] -> Bytes.set grid.(ty y) (tx x) s.marker
+        | [] -> ()
+      in
+      draw (List.sort compare s.points))
+    series;
+  Format.fprintf fmt "@.-- %s --@." title;
+  Array.iteri
+    (fun r row ->
+      let y = y_hi -. (float_of_int r /. float_of_int (height - 1) *. (y_hi -. y_lo)) in
+      Format.fprintf fmt "%10.2f |%s|@." y (Bytes.to_string row))
+    grid;
+  Format.fprintf fmt "%10s +%s+@." "" (String.make width '-');
+  Format.fprintf fmt "%10s  %-*.4g%*.4g (%s x)@." "" (width / 2) x_lo (width - (width / 2)) x_hi
+    (if log_x then "log" else "linear");
+  List.iter (fun s -> Format.fprintf fmt "%10s  %c = %s@." "" s.marker s.label) series;
+  Format.pp_print_flush fmt ()

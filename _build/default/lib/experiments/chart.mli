@@ -1,0 +1,24 @@
+(** ASCII line charts for the figure experiments.
+
+    Renders series of (x, y) points on a log-x/linear-y character grid —
+    enough to see crossovers and scaling shapes directly in the
+    benchmark output, the way the paper's figures do. *)
+
+type series = {
+  label : string;
+  marker : char;
+  points : (float * float) list;  (** (x, y); x > 0 for the log axis *)
+}
+
+(** [plot fmt ~title ~width ~height ~log_x series] — draw. Y axis is
+    linear from 0 (or the min if negative) to the max; X axis is log
+    when [log_x] (default true). Overlapping markers: the later series
+    wins. *)
+val plot :
+  Format.formatter ->
+  title:string ->
+  ?width:int ->
+  ?height:int ->
+  ?log_x:bool ->
+  series list ->
+  unit

@@ -1,0 +1,63 @@
+(* E1 — per-class scaling curves and fit quality.
+
+   Reproduces the paper's "scaling curves for each component" figure as
+   a table: each task class of a water-cluster FMO2 plan is benchmarked
+   at a handful of group sizes, the performance model is fitted, and we
+   report the fitted coefficients, R² (the paper: "very close to 1 for
+   each component") and the relative prediction error at held-out group
+   sizes. *)
+
+let name = "E1_fit_quality"
+let describes = "Fig: per-class scaling curves; fitted a,b,c,d and R² per task class"
+
+let run ?(quick = false) fmt =
+  let molecules = if quick then 16 else 64 in
+  let num_nodes = 4096 in
+  let machine = Workloads.machine ~num_nodes () in
+  let plan = Workloads.water_plan ~molecules () in
+  let rng = Workloads.rng 42 in
+  let config = Hslb.Fmo_app.default_config in
+  let hp = Hslb.Fmo_app.plan_hslb ~rng machine plan ~n_total:num_nodes config in
+  let rows fits =
+    List.map
+      (fun (fc : Hslb.Classes.fitted) ->
+        let fit = fc.Hslb.Classes.fit in
+        let law = fit.Hslb.Fitting.law in
+        (* held-out check: compare fit to fresh benchmark samples *)
+        let check_sizes = [ 3; 24; 96 ] in
+        let errs =
+          List.map
+            (fun n ->
+              let fresh = fc.Hslb.Classes.cls.Hslb.Classes.sample ~nodes:n in
+              Float.abs (Hslb.Classes.predicted_time fc n -. fresh) /. fresh)
+            check_sizes
+        in
+        let max_err = 100. *. List.fold_left Float.max 0. errs in
+        [
+          fc.Hslb.Classes.cls.Hslb.Classes.name;
+          string_of_int fc.Hslb.Classes.cls.Hslb.Classes.count;
+          Table.fs law.Scaling_law.a;
+          Printf.sprintf "%.2e" law.Scaling_law.b;
+          Table.fs law.Scaling_law.c;
+          Table.fs law.Scaling_law.d;
+          Printf.sprintf "%.4f" fit.Hslb.Fitting.r2;
+          Printf.sprintf "%.1f%%" max_err;
+        ])
+      fits
+  in
+  Table.print fmt
+    ~title:(Printf.sprintf "E1: fitted performance models, (H2O)%d monomer classes" molecules)
+    ~header:[ "class"; "count"; "a"; "b"; "c"; "d"; "R2"; "holdout err" ]
+    (rows hp.Hslb.Fmo_app.monomer_fits);
+  Table.print fmt
+    ~title:"E1: fitted performance models, dimer classes (first 10)"
+    ~header:[ "class"; "count"; "a"; "b"; "c"; "d"; "R2"; "holdout err" ]
+    (List.filteri (fun i _ -> i < 10) (rows hp.Hslb.Fmo_app.dimer_fits));
+  let r2s =
+    List.map
+      (fun (fc : Hslb.Classes.fitted) -> fc.Hslb.Classes.fit.Hslb.Fitting.r2)
+      (hp.Hslb.Fmo_app.monomer_fits @ hp.Hslb.Fmo_app.dimer_fits)
+  in
+  Format.fprintf fmt "min R2 over all %d classes: %.4f (paper: R2 close to 1 everywhere)@."
+    (List.length r2s)
+    (List.fold_left Float.min 1. r2s)

@@ -1,0 +1,102 @@
+(* E3 — predicted vs actual times per class (Table-III-style detail).
+
+   For each fragment class: the node allocation HSLB chose, the time the
+   fitted model predicts, and the realized mean task time in the first
+   SCC sweep of the executed simulation; plus phase and grand totals.
+   The paper's validation: "HSLB predicted time and actual total times
+   are very close to each other". *)
+
+let name = "E3_pred_vs_actual"
+let describes = "Table: HSLB predicted vs simulated-actual per class and total"
+
+let run_one fmt ~molecules ~n_total =
+  let machine = Workloads.machine ~num_nodes:n_total () in
+  let plan = Workloads.water_plan ~molecules () in
+  let hp, run =
+    Hslb.Fmo_app.run_hslb ~rng:(Workloads.rng 13) machine plan ~n_total
+      Hslb.Fmo_app.default_config
+  in
+  (* realized duration of each monomer task in sweep 0 *)
+  let sweep0 = List.hd run.Fmo.Fmo_run.sweeps in
+  let durations = Hashtbl.create 64 in
+  List.iter
+    (fun e ->
+      Hashtbl.replace durations e.Gddi.Sim.task (e.Gddi.Sim.finish -. e.Gddi.Sim.start))
+    sweep0.Gddi.Sim.events;
+  (* class membership of every fragment, aligned with monomer_fits *)
+  let class_of = Hslb.Fmo_app.monomer_class_indices plan in
+  let fits = Array.of_list hp.Hslb.Fmo_app.monomer_fits in
+  let alloc = hp.Hslb.Fmo_app.allocation in
+  let rows =
+    Array.to_list
+      (Array.mapi
+         (fun ci (fc : Hslb.Classes.fitted) ->
+           let nodes = alloc.Hslb.Alloc_model.nodes_per_task.(ci) in
+           let predicted = Hslb.Classes.predicted_time fc nodes in
+           (* actual: mean realized sweep-0 duration over the class *)
+           let times = ref [] in
+           Array.iteri
+             (fun f cf ->
+               if cf = ci && Hashtbl.mem durations f then
+                 times := Hashtbl.find durations f :: !times)
+             class_of;
+           let mean =
+             match !times with
+             | [] -> nan
+             | ts -> List.fold_left ( +. ) 0. ts /. float_of_int (List.length ts)
+           in
+           [
+             fc.Hslb.Classes.cls.Hslb.Classes.name;
+             string_of_int fc.Hslb.Classes.cls.Hslb.Classes.count;
+             string_of_int nodes;
+             Table.fs predicted;
+             Table.fs mean;
+             Table.pct (100. *. (mean -. predicted) /. predicted);
+           ])
+         fits)
+  in
+  Table.print fmt
+    ~title:
+      (Printf.sprintf "E3: (H2O)%d on %d nodes — per-class predicted vs actual (sweep 0)"
+         molecules n_total)
+    ~header:[ "class"; "count"; "nodes"; "predicted s"; "actual s"; "error" ]
+    rows;
+  Table.print fmt
+    ~title:(Printf.sprintf "E3: totals at %d nodes" n_total)
+    ~header:[ "quantity"; "predicted s"; "actual s"; "error" ]
+    [
+      [
+        "monomer phase";
+        Table.fs hp.Hslb.Fmo_app.predicted_monomer_time;
+        Table.fs run.Fmo.Fmo_run.monomer_time;
+        Table.pct
+          (100.
+          *. (run.Fmo.Fmo_run.monomer_time -. hp.Hslb.Fmo_app.predicted_monomer_time)
+          /. run.Fmo.Fmo_run.monomer_time);
+      ];
+      [
+        "dimer phase";
+        Table.fs hp.Hslb.Fmo_app.predicted_dimer_time;
+        Table.fs run.Fmo.Fmo_run.dimer_time;
+        Table.pct
+          (100.
+          *. (run.Fmo.Fmo_run.dimer_time -. hp.Hslb.Fmo_app.predicted_dimer_time)
+          /. run.Fmo.Fmo_run.dimer_time);
+      ];
+      [
+        "total";
+        Table.fs hp.Hslb.Fmo_app.predicted_total;
+        Table.fs run.Fmo.Fmo_run.total_time;
+        Table.pct
+          (100.
+          *. (run.Fmo.Fmo_run.total_time -. hp.Hslb.Fmo_app.predicted_total)
+          /. run.Fmo.Fmo_run.total_time);
+      ];
+    ]
+
+let run ?(quick = false) fmt =
+  if quick then run_one fmt ~molecules:16 ~n_total:128
+  else begin
+    run_one fmt ~molecules:32 ~n_total:128;
+    run_one fmt ~molecules:32 ~n_total:2048
+  end

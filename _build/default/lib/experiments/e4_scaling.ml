@@ -1,0 +1,64 @@
+(* E4 — strong-scaling comparison: HSLB vs dynamic vs even-static.
+
+   The paper's headline figure: total FMO2 time vs node count for the
+   stock dynamic load balancer and the HSLB static plan, up to very
+   large node counts. Expected shape: HSLB at least matches DLB at
+   small scale and pulls away as the machine grows (the paper reports
+   ~25% at its largest configuration). We also report parallel
+   efficiency relative to the smallest configuration. *)
+
+let name = "E4_scaling"
+let describes = "Fig: strong scaling of HSLB vs dynamic vs even-static"
+
+let run ?(quick = false) fmt =
+  let molecules = if quick then 16 else 64 in
+  let node_counts = if quick then [ 64; 256 ] else [ 256; 1024; 4096; 16384 ] in
+  let machine = Workloads.machine ~num_nodes:(List.fold_left Stdlib.max 1 node_counts) () in
+  let plan = Workloads.water_plan ~molecules () in
+  let results =
+    List.map
+      (fun n_total ->
+        let dyn =
+          Hslb.Fmo_app.run_dynamic ~rng:(Workloads.rng 7) machine plan ~n_total ()
+        in
+        let even =
+          Hslb.Fmo_app.run_static_even ~rng:(Workloads.rng 7) machine plan ~n_total ()
+        in
+        let _, hslb =
+          Hslb.Fmo_app.run_hslb ~rng:(Workloads.rng 7) machine plan ~n_total
+            Hslb.Fmo_app.default_config
+        in
+        (n_total, dyn, even, hslb))
+      node_counts
+  in
+  let n0, _, _, h0 = List.hd results in
+  let base = h0.Fmo.Fmo_run.total_time *. float_of_int n0 in
+  let rows =
+    List.map
+      (fun (n_total, dyn, even, hslb) ->
+        let t r = r.Fmo.Fmo_run.total_time in
+        let eff = 100. *. base /. (t hslb *. float_of_int n_total) in
+        [
+          string_of_int n_total;
+          Table.fs (t dyn);
+          Table.fs (t even);
+          Table.fs (t hslb);
+          Printf.sprintf "%.2fx" (t dyn /. t hslb);
+          Printf.sprintf "%.1f%%" (100. *. (t dyn -. t hslb) /. t dyn);
+          Printf.sprintf "%.0f%%" eff;
+        ])
+      results
+  in
+  Table.print fmt
+    ~title:(Printf.sprintf "E4: strong scaling, (H2O)%d" molecules)
+    ~header:
+      [ "nodes"; "dynamic s"; "even-static s"; "HSLB s"; "speedup"; "gain"; "HSLB eff" ]
+    rows;
+  let pts f = List.map (fun (n, dyn, even, hslb) -> ignore even; (float_of_int n, f dyn hslb)) results in
+  Chart.plot fmt ~title:"E4 figure: total time vs nodes (log-log shape via log-x)"
+    [
+      { Chart.label = "dynamic"; marker = 'd'; points = pts (fun d _ -> d.Fmo.Fmo_run.total_time) };
+      { Chart.label = "HSLB"; marker = '*'; points = pts (fun _ h -> h.Fmo.Fmo_run.total_time) };
+    ];
+  Format.fprintf fmt
+    "expected shape: HSLB >= DLB everywhere, gain grows with node count (paper: ~25%% at top)@."

@@ -1,0 +1,156 @@
+(* E6 — MINLP solver cost and the SOS1-branching ablation.
+
+   The paper: the full MINLP "for 40960 nodes took less than 60 seconds
+   to solve on one core", and implementing the discrete atmosphere
+   choices as a special-ordered set "improved the runtime of the MINLP
+   solver by two orders of magnitude".
+
+   Two parts:
+   (a) LP/NLP-based single-tree (OA) vs the classical multi-tree OA
+       alternation (Duran-Grossmann) vs NLP-based branch-and-bound on
+       plain integer allocation models of growing size;
+   (b) the SOS1 ablation on sweet-spotted models: branch on the special
+       ordered set vs on individual binaries. The NLP-based tree is
+       excluded from (b): its augmented-Lagrangian relaxations stall on
+       the binary-heavy equality structure (a documented limitation —
+       MINOTAUR's filterSQP does not share it). *)
+
+let name = "E6_solver"
+let describes = "Fig/Table: B&B nodes and time vs model size; SOS1 branching ablation"
+
+let synthetic_specs ?allowed_count ~classes () =
+  let rng = Workloads.rng 31 in
+  List.init classes (fun i ->
+      let law =
+        Scaling_law.make
+          ~a:(Numerics.Rng.uniform rng ~lo:50. ~hi:2000.)
+          ~b:1e-6
+          ~c:(Numerics.Rng.uniform rng ~lo:0.75 ~hi:0.98)
+          ~d:(Numerics.Rng.uniform rng ~lo:0.1 ~hi:5.)
+      in
+      let cls =
+        Hslb.Classes.make
+          ~name:(Printf.sprintf "class%d" i)
+          ~count:1
+          (fun ~nodes -> Scaling_law.eval_int law nodes)
+      in
+      let fit_rng = Workloads.rng (100 + i) in
+      let fc =
+        List.hd
+          (Hslb.Classes.gather_and_fit ~rng:fit_rng ~sizes:[ 1; 2; 4; 16; 64; 256 ] ~reps:1
+             [ cls ])
+      in
+      match allowed_count with
+      | None -> Hslb.Alloc_model.spec_of fc
+      | Some k -> Hslb.Alloc_model.spec_of ~allowed:(List.init k (fun j -> 1 lsl j)) fc)
+
+let row ~classes ~label (sol : Minlp.Solution.t) elapsed =
+  [
+    string_of_int classes;
+    label;
+    Minlp.Solution.status_to_string sol.Minlp.Solution.status;
+    Table.fs sol.Minlp.Solution.obj;
+    string_of_int sol.Minlp.Solution.stats.Minlp.Solution.nodes;
+    string_of_int sol.Minlp.Solution.stats.Minlp.Solution.lp_solves;
+    string_of_int sol.Minlp.Solution.stats.Minlp.Solution.nlp_solves;
+    string_of_int sol.Minlp.Solution.stats.Minlp.Solution.cuts;
+    Printf.sprintf "%.2f" elapsed;
+  ]
+
+let timed f =
+  let t0 = Sys.time () in
+  let sol = f () in
+  (sol, Sys.time () -. t0)
+
+let header =
+  [ "classes"; "solver"; "status"; "objective"; "nodes"; "LPs"; "NLPs"; "cuts"; "sec" ]
+
+let run ?(quick = false) fmt =
+  (* part (a): OA vs NLP-based B&B, plain integer models *)
+  let sizes_a = if quick then [ 2; 4 ] else [ 2; 4; 8; 16 ] in
+  let rows_a =
+    List.concat_map
+      (fun classes ->
+        let specs = synthetic_specs ~classes () in
+        let n_total = 128 * classes in
+        let problem, _ =
+          Hslb.Alloc_model.build_minlp ~objective:Hslb.Objective.Min_max ~n_total specs
+        in
+        let oa, t_oa = timed (fun () -> Minlp.Oa.solve problem) in
+        let multi, t_multi = timed (fun () -> Minlp.Oa_multi.solve problem) in
+        let bnb, t_bnb =
+          timed (fun () ->
+              Minlp.Bnb.solve
+                ~options:{ Minlp.Bnb.default_options with max_nodes = 2_000 }
+                problem)
+        in
+        [
+          row ~classes ~label:"LP/NLP single-tree (OA)" oa t_oa;
+          row ~classes
+            ~label:
+              (Printf.sprintf "multi-tree OA (%d alternations)"
+                 multi.Minlp.Oa_multi.iterations)
+            multi.Minlp.Oa_multi.solution t_multi;
+          row ~classes ~label:"NLP-based B&B" bnb t_bnb;
+        ])
+      sizes_a
+  in
+  Table.print fmt ~title:"E6a: OA vs NLP-based B&B, plain integer allocation models" ~header
+    rows_a;
+  Format.fprintf fmt
+    "note: the NLP-based tree bounds with a first-order local solver; on the larger models \
+     its result can sit a few percent above the OA optimum (OA is exact for this convex \
+     class)@.";
+  (* part (b): SOS1 branching ablation on sweet-spotted models *)
+  let sizes_b = if quick then [ 2; 4 ] else [ 2; 4; 8; 16 ] in
+  let rows_b =
+    List.concat_map
+      (fun classes ->
+        let specs = synthetic_specs ~allowed_count:10 ~classes () in
+        let n_total = 128 * classes in
+        let problem, _ =
+          Hslb.Alloc_model.build_minlp ~objective:Hslb.Objective.Min_max ~n_total specs
+        in
+        let solve sos =
+          timed (fun () ->
+              Minlp.Oa.solve
+                ~options:
+                  { Minlp.Oa.default_options with branch_sos_first = sos; max_nodes = 60_000 }
+                problem)
+        in
+        let with_sos, t1 = solve true in
+        let without, t2 = solve false in
+        [
+          row ~classes ~label:"OA, SOS1 branching" with_sos t1;
+          row ~classes ~label:"OA, binary branching" without t2;
+        ])
+      sizes_b
+  in
+  Table.print fmt
+    ~title:"E6b: SOS1 ablation, 10 discrete sweet spots per class" ~header rows_b;
+  (* part (c): variable-branching rule ablation inside the OA master *)
+  let sizes_c = if quick then [ 4 ] else [ 8; 16 ] in
+  let rows_c =
+    List.concat_map
+      (fun classes ->
+        let specs = synthetic_specs ~classes () in
+        let n_total = 128 * classes in
+        let problem, _ =
+          Hslb.Alloc_model.build_minlp ~objective:Hslb.Objective.Min_max ~n_total specs
+        in
+        let solve rule =
+          timed (fun () ->
+              Minlp.Oa.solve ~options:{ Minlp.Oa.default_options with branching = rule } problem)
+        in
+        let pc, t1 = solve Minlp.Milp.Pseudocost in
+        let mf, t2 = solve Minlp.Milp.Most_fractional in
+        [
+          row ~classes ~label:"OA, pseudocost branching" pc t1;
+          row ~classes ~label:"OA, most-fractional" mf t2;
+        ])
+      sizes_c
+  in
+  Table.print fmt ~title:"E6c: variable-branching rule ablation (plain models)" ~header rows_c;
+  Format.fprintf fmt
+    "expected shape: identical objectives per row pair; SOS1 branching visits far fewer \
+     nodes (paper: ~2 orders of magnitude on the full atmosphere set)@."

@@ -1,0 +1,52 @@
+type t = {
+  id : string;
+  describes : string;
+  run : ?quick:bool -> Format.formatter -> unit;
+}
+
+let all =
+  [
+    { id = E1_fit_quality.name; describes = E1_fit_quality.describes; run = E1_fit_quality.run };
+    { id = E2_objectives.name; describes = E2_objectives.describes; run = E2_objectives.run };
+    {
+      id = E3_pred_vs_actual.name;
+      describes = E3_pred_vs_actual.describes;
+      run = E3_pred_vs_actual.run;
+    };
+    { id = E4_scaling.name; describes = E4_scaling.describes; run = E4_scaling.run };
+    { id = E5_protein.name; describes = E5_protein.describes; run = E5_protein.run };
+    { id = E6_solver.name; describes = E6_solver.describes; run = E6_solver.run };
+    { id = E7_samples.name; describes = E7_samples.describes; run = E7_samples.run };
+    { id = E8_cesm_table3.name; describes = E8_cesm_table3.describes; run = E8_cesm_table3.run };
+    {
+      id = E9_layout_scaling.name;
+      describes = E9_layout_scaling.describes;
+      run = E9_layout_scaling.run;
+    };
+    {
+      id = E10_scheduler_ablation.name;
+      describes = E10_scheduler_ablation.describes;
+      run = E10_scheduler_ablation.run;
+    };
+    { id = E11_placement.name; describes = E11_placement.describes; run = E11_placement.run };
+  ]
+
+let find id =
+  let prefix_matches e =
+    String.length id <= String.length e.id && String.sub e.id 0 (String.length id) = id
+  in
+  match List.find_opt (fun e -> e.id = id) all with
+  | Some e -> e
+  | None -> (
+    match List.filter prefix_matches all with
+    | [ e ] -> e
+    | [] | _ :: _ -> raise Not_found)
+
+let run_all ?quick fmt =
+  List.iter
+    (fun e ->
+      Format.fprintf fmt "@.########## %s — %s ##########@." e.id e.describes;
+      let t0 = Sys.time () in
+      e.run ?quick fmt;
+      Format.fprintf fmt "[%s finished in %.1f s]@." e.id (Sys.time () -. t0))
+    all

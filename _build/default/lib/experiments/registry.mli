@@ -1,0 +1,17 @@
+(** Experiment registry: every table and figure the benchmark harness
+    regenerates, indexed by the IDs used in DESIGN.md / EXPERIMENTS.md. *)
+
+type t = {
+  id : string;  (** e.g. "E4_scaling" *)
+  describes : string;  (** which table/figure of the paper it regenerates *)
+  run : ?quick:bool -> Format.formatter -> unit;
+}
+
+val all : t list
+
+(** [find id] — lookup by id (exact) or by its numeric prefix
+    ("E4"). @raise Not_found. *)
+val find : string -> t
+
+(** [run_all ?quick fmt] — regenerate everything in order. *)
+val run_all : ?quick:bool -> Format.formatter -> unit

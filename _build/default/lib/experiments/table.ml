@@ -1,0 +1,23 @@
+let print fmt ~title ~header rows =
+  let all = header :: rows in
+  let ncols = List.fold_left (fun acc r -> Stdlib.max acc (List.length r)) 0 all in
+  let widths = Array.make ncols 0 in
+  List.iter
+    (List.iteri (fun i cell -> widths.(i) <- Stdlib.max widths.(i) (String.length cell)))
+    all;
+  let pad i cell = Printf.sprintf "%-*s" widths.(i) cell in
+  let render row = String.concat "  " (List.mapi pad row) in
+  Format.fprintf fmt "@.== %s ==@." title;
+  Format.fprintf fmt "%s@." (render header);
+  let rule = String.concat "  " (Array.to_list (Array.map (fun w -> String.make w '-') widths)) in
+  Format.fprintf fmt "%s@." rule;
+  List.iter (fun row -> Format.fprintf fmt "%s@." (render row)) rows;
+  Format.pp_print_flush fmt ()
+
+let fs f =
+  if f = 0. then "0"
+  else if Float.abs f < 0.01 || Float.abs f >= 1e7 then Printf.sprintf "%.3g" f
+  else Printf.sprintf "%.3f" f
+
+let fs1 f = Printf.sprintf "%.1f" f
+let pct f = Printf.sprintf "%+.1f%%" f

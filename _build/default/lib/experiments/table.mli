@@ -1,0 +1,14 @@
+(** Plain-text table rendering for the experiment reports. *)
+
+(** [print fmt ~title ~header rows] — fixed-width table with a rule
+    under the header; column widths fit the widest cell. *)
+val print : Format.formatter -> title:string -> header:string list -> string list list -> unit
+
+(** [fs f] — compact float cell ("12.34", "1.2e-05" for tiny). *)
+val fs : float -> string
+
+(** [fs1 f] — one-decimal float cell. *)
+val fs1 : float -> string
+
+(** [pct f] — percentage cell with sign ("+12.3%"). *)
+val pct : float -> string

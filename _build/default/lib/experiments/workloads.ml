@@ -1,0 +1,12 @@
+let machine ?(noise = 0.02) ~num_nodes () =
+  Machine.make ~name:"intrepid-slice" ~num_nodes ~noise_sigma:noise ()
+
+let rng seed = Numerics.Rng.create seed
+
+let water_plan ?(seed = 1) ?(per_fragment = 1) ~molecules () =
+  let molecule = Fmo.Molecule.water_cluster ~rng:(rng seed) molecules in
+  Fmo.Task.fmo2_plan (Fmo.Fragment.fragment ~per_fragment molecule Fmo.Basis.B6_31gd)
+
+let peptide_plan ?(seed = 2) ~residues () =
+  let molecule = Fmo.Molecule.random_peptide ~rng:(rng seed) residues in
+  Fmo.Task.fmo2_plan (Fmo.Fragment.fragment molecule Fmo.Basis.B6_31gd)

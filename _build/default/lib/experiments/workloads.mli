@@ -1,0 +1,14 @@
+(** Shared deterministic workload construction for the experiments. *)
+
+(** [machine ?noise ~num_nodes ()] — Intrepid-like Blue Gene/P slice. *)
+val machine : ?noise:float -> num_nodes:int -> unit -> Machine.t
+
+(** [water_plan ?seed ?per_fragment ~molecules ()] — (H₂O)ₙ FMO2 plan. *)
+val water_plan : ?seed:int -> ?per_fragment:int -> molecules:int -> unit -> Fmo.Task.plan
+
+(** [peptide_plan ?seed ~residues ()] — heterogeneous random-peptide
+    FMO2 plan (experiment E5's workload). *)
+val peptide_plan : ?seed:int -> residues:int -> unit -> Fmo.Task.plan
+
+(** [rng seed] — fresh deterministic generator. *)
+val rng : int -> Numerics.Rng.t

@@ -1,0 +1,1 @@
+lib/fmo/basis.ml: Element List

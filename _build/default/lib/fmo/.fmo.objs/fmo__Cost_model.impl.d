@@ -1,0 +1,1 @@
+lib/fmo/cost_model.ml: Machine Numerics Scaling_law Task

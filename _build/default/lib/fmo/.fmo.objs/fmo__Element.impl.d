@@ -1,0 +1,1 @@
+lib/fmo/element.ml:

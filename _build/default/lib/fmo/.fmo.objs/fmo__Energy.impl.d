@@ -1,0 +1,1 @@
+lib/fmo/energy.ml: Array Element Float Fmo_run Fragment Gddi List Task

@@ -1,0 +1,1 @@
+lib/fmo/energy.mli: Fmo_run Fragment Task

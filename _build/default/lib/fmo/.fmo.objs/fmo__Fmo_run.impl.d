@@ -1,0 +1,1 @@
+lib/fmo/fmo_run.ml: Array Cost_model Gddi List Task

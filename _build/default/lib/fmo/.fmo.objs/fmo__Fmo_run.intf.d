@@ -1,0 +1,1 @@
+lib/fmo/fmo_run.mli: Gddi Machine Numerics Task

@@ -1,0 +1,1 @@
+lib/fmo/fragment.ml: Array Basis Element Format Geometry List Molecule Stdlib

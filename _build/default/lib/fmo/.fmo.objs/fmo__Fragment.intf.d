@@ -1,0 +1,1 @@
+lib/fmo/fragment.mli: Basis Element Format Geometry Molecule

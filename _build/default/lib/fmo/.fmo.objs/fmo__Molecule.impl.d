@@ -1,0 +1,1 @@
+lib/fmo/molecule.ml: Array Element Float Format Geometry List Numerics Printf Seq String

@@ -1,0 +1,1 @@
+lib/fmo/molecule.mli: Element Format Geometry Numerics

@@ -1,0 +1,1 @@
+lib/fmo/task.ml: Array Format Fragment List Printf

@@ -1,0 +1,1 @@
+lib/fmo/task.mli: Format Fragment

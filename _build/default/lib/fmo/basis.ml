@@ -1,0 +1,19 @@
+type t = Sto3g | B6_31g | B6_31gd
+
+let name = function Sto3g -> "STO-3G" | B6_31g -> "6-31G" | B6_31gd -> "6-31G*"
+
+(* standard counts: H: 1s / 2s / 2s; first row: 5 / 9 / 15 (with 6 cartesian d);
+   S (third row): 9 / 13 / 19 *)
+let nbf_element basis (e : Element.t) =
+  match (basis, e) with
+  | Sto3g, Element.H -> 1
+  | Sto3g, (Element.C | Element.N | Element.O) -> 5
+  | Sto3g, Element.S -> 9
+  | B6_31g, Element.H -> 2
+  | B6_31g, (Element.C | Element.N | Element.O) -> 9
+  | B6_31g, Element.S -> 13
+  | B6_31gd, Element.H -> 2
+  | B6_31gd, (Element.C | Element.N | Element.O) -> 15
+  | B6_31gd, Element.S -> 19
+
+let nbf basis elements = List.fold_left (fun acc e -> acc + nbf_element basis e) 0 elements

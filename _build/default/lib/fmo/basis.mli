@@ -1,0 +1,18 @@
+(** Gaussian basis sets: per-element basis-function counts.
+
+    Only the counts matter here — they drive the synthetic SCF cost
+    model (work scales superlinearly in the number of basis
+    functions). Counts follow the standard contraction schemes. *)
+
+type t =
+  | Sto3g  (** minimal basis *)
+  | B6_31g  (** split valence *)
+  | B6_31gd  (** split valence + polarization d on heavy atoms *)
+
+val name : t -> string
+
+(** [nbf_element basis e] — basis functions contributed by one atom. *)
+val nbf_element : t -> Element.t -> int
+
+(** [nbf basis elements] — total count for an atom list. *)
+val nbf : t -> Element.t list -> int

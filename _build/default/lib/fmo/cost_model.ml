@@ -1,0 +1,23 @@
+let law (m : Machine.t) ~work_gflops ~nbf =
+  if work_gflops < 0. then invalid_arg "Cost_model.law: negative work";
+  let scalable = work_gflops *. (1. -. m.Machine.serial_fraction) /. m.Machine.node_gflops in
+  let serial = work_gflops *. m.Machine.serial_fraction /. m.Machine.node_gflops in
+  (* per-node synchronization/communication overhead grows with group
+     size; tiny on Intrepid (the paper observed b, c "almost zero") *)
+  let comm = m.Machine.comm_ns_per_word *. 1e-8 *. float_of_int nbf in
+  Scaling_law.make ~a:scalable ~b:comm ~c:m.Machine.efficiency_exponent ~d:serial
+
+let task_law m (t : Task.t) = law m ~work_gflops:t.Task.work_gflops ~nbf:t.Task.nbf
+
+let expected l ~nodes = Scaling_law.eval_int l nodes
+
+let sample rng (m : Machine.t) l ~nodes =
+  let base = expected l ~nodes in
+  if m.Machine.noise_sigma <= 0. then base
+  else begin
+    (* mean-one log-normal noise *)
+    let sigma = m.Machine.noise_sigma in
+    base *. Numerics.Rng.lognormal rng ~mu:(-0.5 *. sigma *. sigma) ~sigma
+  end
+
+let sample_task rng m t ~nodes = sample rng m (task_law m t) ~nodes

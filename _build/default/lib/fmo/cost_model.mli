@@ -1,0 +1,23 @@
+(** Ground-truth task runtimes on the simulated machine.
+
+    Every task follows a hidden scaling law
+    [T(n) = a/n^c + b·n + d] derived from its work and the machine's
+    characteristics; simulated executions draw log-normal multiplicative
+    noise around it. This substitutes for running GAMESS on Blue Gene/P:
+    the decision layer observes only sampled times, never the law. *)
+
+(** [law machine ~work_gflops ~nbf] — the hidden law for a task of the
+    given size. *)
+val law : Machine.t -> work_gflops:float -> nbf:int -> Scaling_law.t
+
+(** [task_law machine task]. *)
+val task_law : Machine.t -> Task.t -> Scaling_law.t
+
+(** [expected law ~nodes] — noise-free time. *)
+val expected : Scaling_law.t -> nodes:int -> float
+
+(** [sample rng machine law ~nodes] — one noisy simulated execution. *)
+val sample : Numerics.Rng.t -> Machine.t -> Scaling_law.t -> nodes:int -> float
+
+(** [sample_task rng machine task ~nodes] — convenience composition. *)
+val sample_task : Numerics.Rng.t -> Machine.t -> Task.t -> nodes:int -> float

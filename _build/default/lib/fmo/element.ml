@@ -1,0 +1,5 @@
+type t = H | C | N | O | S
+
+let symbol = function H -> "H" | C -> "C" | N -> "N" | O -> "O" | S -> "S"
+let atomic_number = function H -> 1 | C -> 6 | N -> 7 | O -> 8 | S -> 16
+let electrons = atomic_number

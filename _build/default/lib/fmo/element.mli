@@ -1,0 +1,9 @@
+(** Chemical elements used by the workload generators. *)
+
+type t = H | C | N | O | S
+
+val symbol : t -> string
+val atomic_number : t -> int
+
+(** [electrons t] — same as atomic number (neutral atoms). *)
+val electrons : t -> int

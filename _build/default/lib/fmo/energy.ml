@@ -1,0 +1,70 @@
+(* Deterministic synthetic energies: plausible magnitudes and decay
+   behaviour, purely a function of composition and geometry so any
+   correct execution reproduces them exactly. *)
+
+let electrons (f : Fragment.t) =
+  List.fold_left (fun acc e -> acc + Element.electrons e) 0 f.Fragment.elements
+
+(* roughly -(electron count): water (10 e-) ~ -76 Ha scale factor *)
+let monomer_energy f =
+  let ne = float_of_int (electrons f) in
+  -.(7.6 *. ne) -. (0.01 *. float_of_int f.Fragment.nbf)
+
+let dimer_correction f g ~scf =
+  let r = Float.max 0.5 (Fragment.distance f g) in
+  let nef = float_of_int (electrons f) and neg = float_of_int (electrons g) in
+  if scf then
+    (* short-range: exchange-repulsion + induction-like attraction *)
+    -.(0.002 *. nef *. neg /. (r *. r)) +. (0.05 *. exp (-.r))
+  else
+    (* far pairs: classical electrostatics, 1/r^3 dipole-dipole tail *)
+    -.(0.0005 *. nef *. neg /. (r *. r *. r))
+
+(* three-body term: small, decays with the triangle perimeter *)
+let trimer_correction f g h =
+  let perimeter =
+    Fragment.distance f g +. Fragment.distance g h +. Fragment.distance f h
+  in
+  -.(0.003 *. exp (-0.4 *. perimeter))
+
+let task_energy (plan : Task.plan) (t : Task.t) =
+  let frag i = plan.Task.fragments.(i) in
+  match t.Task.kind with
+  | Task.Monomer -> monomer_energy (frag t.Task.frag1)
+  | Task.Scf_dimer -> (
+    match t.Task.frag2 with
+    | Some j -> dimer_correction (frag t.Task.frag1) (frag j) ~scf:true
+    | None -> invalid_arg "Energy.task_energy: dimer without second fragment")
+  | Task.Es_dimer -> (
+    match t.Task.frag2 with
+    | Some j -> dimer_correction (frag t.Task.frag1) (frag j) ~scf:false
+    | None -> invalid_arg "Energy.task_energy: dimer without second fragment")
+  | Task.Scf_trimer -> (
+    match (t.Task.frag2, t.Task.frag3) with
+    | Some j, Some k -> trimer_correction (frag t.Task.frag1) (frag j) (frag k)
+    | (Some _ | None), _ -> invalid_arg "Energy.task_energy: trimer without three fragments")
+
+let total_energy plan =
+  let acc = ref 0. in
+  Array.iter (fun t -> acc := !acc +. task_energy plan t) plan.Task.monomers;
+  Array.iter (fun t -> acc := !acc +. task_energy plan t) (Task.correction_tasks plan);
+  !acc
+
+let energy_of_run plan (r : Fmo_run.result) =
+  (* monomer contributions from the last SCC sweep's events; dimer
+     contributions from the dimer phase events *)
+  let monomer_events =
+    match List.rev r.Fmo_run.sweeps with
+    | last :: _ -> last.Gddi.Sim.events
+    | [] -> invalid_arg "Energy.energy_of_run: no monomer sweeps"
+  in
+  let acc = ref 0. in
+  List.iter
+    (fun (e : Gddi.Sim.event) ->
+      acc := !acc +. task_energy plan plan.Task.monomers.(e.Gddi.Sim.task))
+    monomer_events;
+  let corrections = Task.correction_tasks plan in
+  List.iter
+    (fun (e : Gddi.Sim.event) -> acc := !acc +. task_energy plan corrections.(e.Gddi.Sim.task))
+    r.Fmo_run.dimer.Gddi.Sim.events;
+  !acc

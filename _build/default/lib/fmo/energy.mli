@@ -1,0 +1,33 @@
+(** Synthetic FMO2 energy bookkeeping.
+
+    The FMO2 total energy is
+    [E = Σ_I E_I + Σ_{I<J} (E_IJ − E_I − E_J)] with far pairs
+    approximated electrostatically. The simulator does not solve
+    quantum chemistry, but it assigns every task a deterministic
+    synthetic energy contribution (a function of composition and
+    geometry only), so a run produces a total energy that must be
+    {e bit-identical across schedulers and partitions} — the
+    metamorphic invariant the test suite checks: load balancing may
+    change the wall clock, never the science. Units: hartree-like. *)
+
+(** [monomer_energy frag] — synthetic monomer SCF energy (negative,
+    roughly proportional to electron count). *)
+val monomer_energy : Fragment.t -> float
+
+(** [dimer_correction f g ~scf] — pair interaction energy
+    [E_IJ − E_I − E_J]: a distance-damped attraction for SCF dimers, a
+    weaker electrostatic tail for far (ES) pairs. *)
+val dimer_correction : Fragment.t -> Fragment.t -> scf:bool -> float
+
+(** [task_energy plan task] — the contribution of one task. Monomer
+    tasks return the monomer energy; dimer tasks the pair correction. *)
+val task_energy : Task.plan -> Task.t -> float
+
+(** [total_energy plan] — the FMO2 total. *)
+val total_energy : Task.plan -> float
+
+(** [energy_of_run plan result] — total energy recomputed from the
+    tasks that the executed {!Fmo_run.result} actually ran (every task
+    exactly once, regardless of schedule). Equal to [total_energy] for
+    any valid run. *)
+val energy_of_run : Task.plan -> Fmo_run.result -> float

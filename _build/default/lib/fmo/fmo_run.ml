@@ -1,0 +1,85 @@
+type schedule = Dynamic | Static of { monomer : int array; dimer : int array }
+
+type phase_plan = { partition : Gddi.Group.partition; schedule : Gddi.Sim.schedule }
+
+type result = {
+  total_time : float;
+  monomer_time : float;
+  dimer_time : float;
+  sweeps : Gddi.Sim.result list;
+  dimer : Gddi.Sim.result;
+  utilization : float;
+}
+
+let sweep_work_factor (plan : Task.plan) ~sweep =
+  if sweep < 0 || sweep >= plan.Task.scc_iterations then
+    invalid_arg "Fmo_run.sweep_work_factor: sweep out of range";
+  if sweep = 0 then 1. else plan.Task.scc_later_sweep_factor
+
+let benchmark ~rng machine task ~nodes = Cost_model.sample_task rng machine task ~nodes
+
+let run_plan ?(dispatch_latency = 0.) ~rng machine (plan : Task.plan) ~monomer ~dimer =
+  let duration_of tasks factor ~task ~group =
+    let t = tasks.(task) in
+    let law =
+      Cost_model.law machine ~work_gflops:(t.Task.work_gflops *. factor) ~nbf:t.Task.nbf
+    in
+    Cost_model.sample rng machine law ~nodes:group.Gddi.Group.nodes
+  in
+  let sweeps = ref [] in
+  let monomer_time = ref 0. in
+  for sweep = 0 to plan.Task.scc_iterations - 1 do
+    let factor = sweep_work_factor plan ~sweep in
+    let r =
+      Gddi.Sim.run_phase ~dispatch_latency monomer.partition
+        ~num_tasks:(Array.length plan.Task.monomers)
+        ~duration:(duration_of plan.Task.monomers factor)
+        monomer.schedule
+    in
+    monomer_time := !monomer_time +. r.Gddi.Sim.makespan;
+    sweeps := r :: !sweeps
+  done;
+  let dimers = Task.correction_tasks plan in
+  let dimer_result =
+    Gddi.Sim.run_phase ~dispatch_latency dimer.partition ~num_tasks:(Array.length dimers)
+      ~duration:(duration_of dimers 1.) dimer.schedule
+  in
+  let dimer_time = dimer_result.Gddi.Sim.makespan in
+  let total_time = !monomer_time +. dimer_time in
+  (* node-weighted busy fraction across all phases; each phase is
+     weighted by its own partition *)
+  let busy_of partition (r : Gddi.Sim.result) =
+    let acc = ref 0. in
+    Array.iteri
+      (fun g b -> acc := !acc +. (b *. float_of_int partition.(g).Gddi.Group.nodes))
+      r.Gddi.Sim.group_busy;
+    !acc
+  in
+  let monomer_nodes = float_of_int (Gddi.Group.total_nodes monomer.partition) in
+  let dimer_nodes = float_of_int (Gddi.Group.total_nodes dimer.partition) in
+  let total_capacity = (monomer_nodes *. !monomer_time) +. (dimer_nodes *. dimer_time) in
+  let total_busy =
+    List.fold_left
+      (fun acc r -> acc +. busy_of monomer.partition r)
+      (busy_of dimer.partition dimer_result)
+      !sweeps
+  in
+  let utilization = if total_capacity <= 0. then 1. else total_busy /. total_capacity in
+  {
+    total_time;
+    monomer_time = !monomer_time;
+    dimer_time;
+    sweeps = List.rev !sweeps;
+    dimer = dimer_result;
+    utilization;
+  }
+
+let run ?(dispatch_latency = 0.) ~rng machine plan partition schedule =
+  let monomer_schedule, dimer_schedule =
+    match schedule with
+    | Dynamic -> (Gddi.Sim.Dynamic, Gddi.Sim.Dynamic)
+    | Static { monomer; dimer } -> (Gddi.Sim.Static monomer, Gddi.Sim.Static dimer)
+  in
+  run_plan ~dispatch_latency ~rng machine plan
+    ~monomer:{ partition; schedule = monomer_schedule }
+    ~dimer:{ partition; schedule = dimer_schedule }

@@ -1,0 +1,60 @@
+(** End-to-end simulated FMO2 execution on a group partition.
+
+    Drives the {!Gddi} simulator through the FMO2 phase structure:
+    [scc_iterations] barrier-separated monomer sweeps (the SCC loop),
+    then one dimer phase (SCF dimers then ES dimers). This is the
+    "Execute" step of HSLB and the testbed for every scheduler
+    comparison. *)
+
+type schedule =
+  | Dynamic  (** stock GAMESS/GDDI dynamic load balancing *)
+  | Static of { monomer : int array; dimer : int array }
+      (** precomputed task→group maps for each phase *)
+
+(** One phase's execution plan: GDDI can reconfigure groups at the FMO
+    step boundary, so the monomer and dimer phases may use different
+    partitions. *)
+type phase_plan = { partition : Gddi.Group.partition; schedule : Gddi.Sim.schedule }
+
+type result = {
+  total_time : float;
+  monomer_time : float;  (** sum over SCC sweeps *)
+  dimer_time : float;
+  sweeps : Gddi.Sim.result list;  (** per-sweep traces *)
+  dimer : Gddi.Sim.result;
+  utilization : float;  (** node-weighted busy fraction over the run *)
+}
+
+(** [run ~rng machine plan partition schedule] — simulate one FMO2
+    energy evaluation with a single partition for both phases. Noise is
+    drawn from [rng]; pass a fresh generator for an independent
+    replica. *)
+val run :
+  ?dispatch_latency:float ->
+  rng:Numerics.Rng.t ->
+  Machine.t ->
+  Task.plan ->
+  Gddi.Group.partition ->
+  schedule ->
+  result
+
+(** [run_plan ~rng machine plan ~monomer ~dimer] — simulate with
+    phase-specific partitions (GDDI group reconfiguration between the
+    monomer and dimer steps). *)
+val run_plan :
+  ?dispatch_latency:float ->
+  rng:Numerics.Rng.t ->
+  Machine.t ->
+  Task.plan ->
+  monomer:phase_plan ->
+  dimer:phase_plan ->
+  result
+
+(** [benchmark ~rng machine task ~nodes] — one benchmark measurement of
+    a task class on a group of [nodes] nodes (HSLB's "Gather" step). *)
+val benchmark : rng:Numerics.Rng.t -> Machine.t -> Task.t -> nodes:int -> float
+
+(** [predicted_sweep_duration machine plan task ~sweep] — noise-free
+    duration helper exposing the SCC sweep-work scaling (sweep 0 is a
+    full SCF; later sweeps are cheaper). *)
+val sweep_work_factor : Task.plan -> sweep:int -> float

@@ -1,0 +1,27 @@
+type t = {
+  id : int;
+  monomers : int list;
+  elements : Element.t list;
+  nbf : int;
+  centroid : Geometry.point;
+}
+
+let fragment ?(per_fragment = 1) (m : Molecule.t) basis =
+  if per_fragment <= 0 then invalid_arg "Fragment.fragment: per_fragment must be positive";
+  let nfrags = (m.Molecule.num_monomers + per_fragment - 1) / per_fragment in
+  Array.init nfrags (fun id ->
+      let first = id * per_fragment in
+      let last = Stdlib.min (first + per_fragment - 1) (m.Molecule.num_monomers - 1) in
+      let monomers = List.init (last - first + 1) (fun k -> first + k) in
+      let atoms = List.concat_map (Molecule.monomer_atoms m) monomers in
+      let elements = List.map (fun a -> a.Molecule.element) atoms in
+      let nbf = Basis.nbf basis elements in
+      let centroid = Geometry.centroid (List.map (fun a -> a.Molecule.pos) atoms) in
+      { id; monomers; elements; nbf; centroid })
+
+let distance f g = Geometry.dist f.centroid g.centroid
+let total_nbf frags = Array.fold_left (fun acc f -> acc + f.nbf) 0 frags
+
+let pp fmt f =
+  Format.fprintf fmt "frag%d: %d monomers, %d bf at %a" f.id (List.length f.monomers) f.nbf
+    Geometry.pp f.centroid

@@ -1,0 +1,27 @@
+(** FMO fragments: groups of natural monomers.
+
+    The standard practice the paper follows: water clusters are
+    fragmented at one or two molecules per fragment; proteins at one or
+    two residues per fragment. A fragment's basis-function count (under
+    the chosen basis set) is the size measure driving SCF cost. *)
+
+type t = {
+  id : int;
+  monomers : int list;  (** natural monomer indices composing this fragment *)
+  elements : Element.t list;
+  nbf : int;  (** basis functions under the chosen basis *)
+  centroid : Geometry.point;
+}
+
+(** [fragment ?per_fragment molecule basis] — split consecutive natural
+    monomers into fragments of [per_fragment] (default 1) monomers; a
+    smaller last fragment absorbs the remainder. *)
+val fragment : ?per_fragment:int -> Molecule.t -> Basis.t -> t array
+
+(** [distance f g] — centroid separation in Å (dimer classification). *)
+val distance : t -> t -> float
+
+(** [total_nbf frags]. *)
+val total_nbf : t array -> int
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,18 @@
+type point = { x : float; y : float; z : float }
+
+let origin = { x = 0.; y = 0.; z = 0. }
+let make x y z = { x; y; z }
+let add p q = { x = p.x +. q.x; y = p.y +. q.y; z = p.z +. q.z }
+let sub p q = { x = p.x -. q.x; y = p.y -. q.y; z = p.z -. q.z }
+let scale s p = { x = s *. p.x; y = s *. p.y; z = s *. p.z }
+let norm p = sqrt ((p.x *. p.x) +. (p.y *. p.y) +. (p.z *. p.z))
+let dist p q = norm (sub p q)
+
+let centroid pts =
+  match pts with
+  | [] -> invalid_arg "Geometry.centroid: empty"
+  | _ ->
+    let n = float_of_int (List.length pts) in
+    scale (1. /. n) (List.fold_left add origin pts)
+
+let pp fmt p = Format.fprintf fmt "(%.3f, %.3f, %.3f)" p.x p.y p.z

@@ -1,0 +1,16 @@
+(** 3-D points for molecular geometry (Ångström units). *)
+
+type point = { x : float; y : float; z : float }
+
+val origin : point
+val make : float -> float -> float -> point
+val add : point -> point -> point
+val sub : point -> point -> point
+val scale : float -> point -> point
+val dist : point -> point -> float
+val norm : point -> float
+
+(** [centroid pts] — arithmetic mean. Raises on empty. *)
+val centroid : point list -> point
+
+val pp : Format.formatter -> point -> unit

@@ -1,0 +1,157 @@
+type kind = Monomer | Scf_dimer | Es_dimer | Scf_trimer
+
+type t = {
+  id : int;
+  kind : kind;
+  frag1 : int;
+  frag2 : int option;
+  frag3 : int option;
+  nbf : int;
+  work_gflops : float;
+}
+
+type plan = {
+  fragments : Fragment.t array;
+  monomers : t array;
+  scf_dimers : t array;
+  es_dimers : t array;
+  trimers : t array;  (* empty for FMO2 plans *)
+  scc_iterations : int;
+  scc_later_sweep_factor : float;
+}
+
+(* ~12 SCF cycles of O(nbf^2.7) Fock build + diagonalization work *)
+let scf_cycles = 12.
+let scf_work_gflops nbf = 0.002 *. scf_cycles *. (float_of_int nbf ** 2.7)
+let es_work_gflops nbf = 1e-5 *. (float_of_int nbf ** 2.)
+
+(* embedded monomers converge slower the more neighbours polarize them:
+   interior fragments of a cluster carry more SCC work than surface
+   ones. This is the physical source of load imbalance in FMO. *)
+let embedding_factor ~neighbors = 1. +. (0.08 *. float_of_int neighbors)
+
+let fmo2_plan ?(scf_cutoff = 7.0) ?(scc_iterations = 8) ?(scc_later_sweep_factor = 0.35) frags =
+  if Array.length frags = 0 then invalid_arg "Task.fmo2_plan: no fragments";
+  if scc_iterations < 1 then invalid_arg "Task.fmo2_plan: scc_iterations must be >= 1";
+  let nf = Array.length frags in
+  (* classify pairs first: SCF-dimer neighbours drive monomer embedding work *)
+  let near_pairs = ref [] and far_pairs = ref [] in
+  let neighbors = Array.make nf 0 in
+  for i = 0 to nf - 1 do
+    for j = i + 1 to nf - 1 do
+      if Fragment.distance frags.(i) frags.(j) <= scf_cutoff then begin
+        near_pairs := (i, j) :: !near_pairs;
+        neighbors.(i) <- neighbors.(i) + 1;
+        neighbors.(j) <- neighbors.(j) + 1
+      end
+      else far_pairs := (i, j) :: !far_pairs
+    done
+  done;
+  let next_id = ref 0 in
+  let fresh () =
+    let id = !next_id in
+    incr next_id;
+    id
+  in
+  let monomers =
+    Array.mapi
+      (fun i (f : Fragment.t) ->
+        {
+          id = fresh ();
+          kind = Monomer;
+          frag1 = f.Fragment.id;
+          frag2 = None;
+          frag3 = None;
+          nbf = f.Fragment.nbf;
+          work_gflops =
+            scf_work_gflops f.Fragment.nbf *. embedding_factor ~neighbors:neighbors.(i);
+        })
+      frags
+  in
+  let dimer kind work (i, j) =
+    let nbf = frags.(i).Fragment.nbf + frags.(j).Fragment.nbf in
+    { id = fresh (); kind; frag1 = i; frag2 = Some j; frag3 = None; nbf; work_gflops = work nbf }
+  in
+  let scf_dimers =
+    Array.of_list (List.rev_map (dimer Scf_dimer scf_work_gflops) !near_pairs)
+  in
+  let es_dimers = Array.of_list (List.rev_map (dimer Es_dimer es_work_gflops) !far_pairs) in
+  {
+    fragments = frags;
+    monomers;
+    scf_dimers;
+    es_dimers;
+    trimers = [||];
+    scc_iterations;
+    scc_later_sweep_factor;
+  }
+
+(* FMO3: three-body corrections for fragment triples whose members are
+   all pairwise within the (tighter) trimer cutoff. Each trimer is a
+   full SCF over the union basis — the expensive tail of the method. *)
+let fmo3_plan ?(scf_cutoff = 7.0) ?(trimer_cutoff = 4.5) ?scc_iterations
+    ?scc_later_sweep_factor frags =
+  if trimer_cutoff > scf_cutoff then
+    invalid_arg "Task.fmo3_plan: trimer cutoff must not exceed the dimer cutoff";
+  let base = fmo2_plan ~scf_cutoff ?scc_iterations ?scc_later_sweep_factor frags in
+  let nf = Array.length frags in
+  let next_id =
+    ref
+      (Array.length base.monomers + Array.length base.scf_dimers + Array.length base.es_dimers)
+  in
+  let close i j = Fragment.distance frags.(i) frags.(j) <= trimer_cutoff in
+  let trimers = ref [] in
+  for i = 0 to nf - 1 do
+    for j = i + 1 to nf - 1 do
+      if close i j then
+        for k = j + 1 to nf - 1 do
+          if close i k && close j k then begin
+            let nbf =
+              frags.(i).Fragment.nbf + frags.(j).Fragment.nbf + frags.(k).Fragment.nbf
+            in
+            trimers :=
+              {
+                id = !next_id;
+                kind = Scf_trimer;
+                frag1 = i;
+                frag2 = Some j;
+                frag3 = Some k;
+                nbf;
+                work_gflops = scf_work_gflops nbf;
+              }
+              :: !trimers;
+            incr next_id
+          end
+        done
+    done
+  done;
+  { base with trimers = Array.of_list (List.rev !trimers) }
+
+let dimer_tasks plan = Array.append plan.scf_dimers plan.es_dimers
+
+(* the post-SCC corrections phase: dimers, then trimers (FMO3) *)
+let correction_tasks plan = Array.append (dimer_tasks plan) plan.trimers
+
+let total_work plan =
+  let sweeps =
+    1. +. (float_of_int (plan.scc_iterations - 1) *. plan.scc_later_sweep_factor)
+  in
+  let monomer_work =
+    Array.fold_left (fun acc t -> acc +. t.work_gflops) 0. plan.monomers *. sweeps
+  in
+  let dimer_work =
+    Array.fold_left (fun acc t -> acc +. t.work_gflops) 0. (correction_tasks plan)
+  in
+  monomer_work +. dimer_work
+
+let kind_to_string = function
+  | Monomer -> "monomer"
+  | Scf_dimer -> "scf-dimer"
+  | Es_dimer -> "es-dimer"
+  | Scf_trimer -> "scf-trimer"
+
+let pp fmt t =
+  Format.fprintf fmt "%s#%d frag%d%s%s nbf=%d %.2f GF" (kind_to_string t.kind) t.id t.frag1
+    (match t.frag2 with Some j -> Printf.sprintf "-%d" j | None -> "")
+    (match t.frag3 with Some k -> Printf.sprintf "-%d" k | None -> "")
+    t.nbf t.work_gflops

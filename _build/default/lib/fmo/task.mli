@@ -1,0 +1,78 @@
+(** FMO2 task graph.
+
+    FMO2 energy = monomer SCFs iterated to self-consistent charge (SCC)
+    convergence, then dimer corrections: full SCF dimers for fragment
+    pairs within a distance cutoff, cheap electrostatic (ES)
+    approximations for far pairs. Each task is coarse — one fragment (or
+    pair) SCF run inside one processor group — which is exactly the
+    "few large tasks of diverse size" regime where the paper argues
+    static balancing beats dynamic. *)
+
+type kind = Monomer | Scf_dimer | Es_dimer | Scf_trimer
+
+type t = {
+  id : int;
+  kind : kind;
+  frag1 : int;
+  frag2 : int option;  (** second fragment for dimer/trimer tasks *)
+  frag3 : int option;  (** third fragment for trimer tasks *)
+  nbf : int;
+  work_gflops : float;  (** ground-truth work (hidden from the decision layer) *)
+}
+
+type plan = {
+  fragments : Fragment.t array;
+  monomers : t array;  (** one per fragment; ids 0..F-1 *)
+  scf_dimers : t array;
+  es_dimers : t array;
+  trimers : t array;  (** FMO3 three-body corrections; empty for FMO2 *)
+  scc_iterations : int;  (** monomer-loop sweeps until SCC convergence *)
+  scc_later_sweep_factor : float;  (** work factor for sweeps after the first *)
+}
+
+(** [scf_work_gflops nbf] — synthetic SCF cost, O(nbf^2.7). *)
+val scf_work_gflops : int -> float
+
+(** [es_work_gflops nbf] — electrostatic-dimer cost, O(nbf²). *)
+val es_work_gflops : int -> float
+
+(** [embedding_factor ~neighbors] — monomer SCC work multiplier from the
+    embedding field: interior fragments (many SCF-dimer neighbours)
+    converge slower than surface ones. The physical source of load
+    imbalance in otherwise homogeneous clusters. *)
+val embedding_factor : neighbors:int -> float
+
+(** [fmo2_plan ?scf_cutoff ?scc_iterations frags] — build the task
+    graph. [scf_cutoff] (Å, default 7.0) separates SCF from ES dimers by
+    centroid distance. *)
+val fmo2_plan :
+  ?scf_cutoff:float ->
+  ?scc_iterations:int ->
+  ?scc_later_sweep_factor:float ->
+  Fragment.t array ->
+  plan
+
+(** [fmo3_plan ?scf_cutoff ?trimer_cutoff frags] — FMO2 plan plus
+    three-body SCF corrections for fragment triples pairwise within
+    [trimer_cutoff] (Å, default 4.5; must not exceed [scf_cutoff]). *)
+val fmo3_plan :
+  ?scf_cutoff:float ->
+  ?trimer_cutoff:float ->
+  ?scc_iterations:int ->
+  ?scc_later_sweep_factor:float ->
+  Fragment.t array ->
+  plan
+
+(** [dimer_tasks plan] — SCF dimers followed by ES dimers (the dimer
+    phase submission order). *)
+val dimer_tasks : plan -> t array
+
+(** [correction_tasks plan] — the full post-SCC corrections phase:
+    dimers then trimers. What the runner's second phase executes. *)
+val correction_tasks : plan -> t array
+
+(** [total_work plan] — total GFLOP including all SCC sweeps. *)
+val total_work : plan -> float
+
+val kind_to_string : kind -> string
+val pp : Format.formatter -> t -> unit

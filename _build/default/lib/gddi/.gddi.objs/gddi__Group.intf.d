@@ -1,0 +1,1 @@
+lib/gddi/group.mli: Format

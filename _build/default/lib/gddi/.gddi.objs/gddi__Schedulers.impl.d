@@ -1,0 +1,1 @@
+lib/gddi/schedulers.ml: Array Float Fun

@@ -1,0 +1,1 @@
+lib/gddi/schedulers.mli: Group

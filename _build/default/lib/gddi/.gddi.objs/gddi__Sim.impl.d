@@ -1,0 +1,1 @@
+lib/gddi/sim.ml: Array Ds Float Group List

@@ -1,0 +1,1 @@
+lib/gddi/sim.mli: Group

@@ -1,0 +1,1 @@
+lib/gddi/trace.ml: Array Buffer Bytes Float Format Group List Printf Sim Stdlib

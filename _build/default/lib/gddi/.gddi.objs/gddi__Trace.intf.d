@@ -1,0 +1,1 @@
+lib/gddi/trace.mli: Format Group Sim

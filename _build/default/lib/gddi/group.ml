@@ -1,0 +1,21 @@
+type t = { id : int; nodes : int }
+type partition = t array
+
+let even_partition ~total_nodes ~groups =
+  if groups <= 0 then invalid_arg "Group.even_partition: groups must be positive";
+  if groups > total_nodes then invalid_arg "Group.even_partition: more groups than nodes";
+  let base = total_nodes / groups and extra = total_nodes mod groups in
+  Array.init groups (fun id -> { id; nodes = (base + if id < extra then 1 else 0) })
+
+let of_sizes sizes =
+  if sizes = [] then invalid_arg "Group.of_sizes: empty";
+  List.iteri (fun _ n -> if n <= 0 then invalid_arg "Group.of_sizes: non-positive size") sizes;
+  Array.of_list (List.mapi (fun id nodes -> { id; nodes }) sizes)
+
+let total_nodes p = Array.fold_left (fun acc g -> acc + g.nodes) 0 p
+let num_groups = Array.length
+
+let pp fmt p =
+  Format.fprintf fmt "[%d groups:" (Array.length p);
+  Array.iter (fun g -> Format.fprintf fmt " %d" g.nodes) p;
+  Format.fprintf fmt "]"

@@ -1,0 +1,22 @@
+(** Processor groups — the GDDI abstraction.
+
+    GAMESS's generalized distributed data interface splits the machine's
+    nodes into groups; each coarse task (a fragment SCF) runs inside one
+    group. A partition is the sizing of those groups; finding the best
+    partition is what HSLB optimizes. *)
+
+type t = { id : int; nodes : int }
+
+type partition = t array
+
+(** [even_partition ~total_nodes ~groups] — split as evenly as possible
+    (first [total_nodes mod groups] groups get one extra node).
+    Requires [groups <= total_nodes]. *)
+val even_partition : total_nodes:int -> groups:int -> partition
+
+(** [of_sizes sizes] — partition with the given group sizes (all > 0). *)
+val of_sizes : int list -> partition
+
+val total_nodes : partition -> int
+val num_groups : partition -> int
+val pp : Format.formatter -> partition -> unit

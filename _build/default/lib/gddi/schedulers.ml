@@ -1,0 +1,41 @@
+let round_robin ~num_tasks ~num_groups =
+  if num_groups <= 0 then invalid_arg "Schedulers.round_robin: no groups";
+  Array.init num_tasks (fun i -> i mod num_groups)
+
+let assign_greedy partition ~predicted order =
+  let ngroups = Array.length partition in
+  if ngroups = 0 then invalid_arg "Schedulers: empty partition";
+  let load = Array.make ngroups 0. in
+  let assignment = Array.make (Array.length order) (-1) in
+  Array.iter
+    (fun task ->
+      (* group whose finish time after adding this task is smallest *)
+      let best = ref 0 and best_finish = ref infinity in
+      for g = 0 to ngroups - 1 do
+        let f = load.(g) +. predicted ~task ~group:partition.(g) in
+        if f < !best_finish then begin
+          best_finish := f;
+          best := g
+        end
+      done;
+      load.(!best) <- !best_finish;
+      assignment.(task) <- !best)
+    order;
+  assignment
+
+let lpt partition ~predicted ~num_tasks =
+  let order = Array.init num_tasks Fun.id in
+  (* rank tasks by duration on the (representative) first group *)
+  let key task = predicted ~task ~group:partition.(0) in
+  Array.sort (fun t1 t2 -> compare (key t2) (key t1)) order;
+  assign_greedy partition ~predicted order
+
+let greedy_min_finish partition ~predicted ~num_tasks =
+  assign_greedy partition ~predicted (Array.init num_tasks Fun.id)
+
+let predicted_makespan partition ~predicted assignment =
+  let load = Array.make (Array.length partition) 0. in
+  Array.iteri
+    (fun task g -> load.(g) <- load.(g) +. predicted ~task ~group:partition.(g))
+    assignment;
+  Array.fold_left Float.max 0. load

@@ -1,0 +1,28 @@
+(** Static assignment heuristics (baselines and building blocks).
+
+    These produce the [Sim.Static] maps that the simulator consumes.
+    [lpt] is the classic longest-processing-time greedy list scheduler —
+    the strongest "cheap" static baseline HSLB is compared against;
+    [round_robin] is the naive even spread. *)
+
+(** [round_robin ~num_tasks ~num_groups] — task [i] to group
+    [i mod num_groups]. *)
+val round_robin : num_tasks:int -> num_groups:int -> int array
+
+(** [lpt partition ~predicted ~num_tasks] — sort tasks by predicted
+    duration (on their would-be group) descending, repeatedly assign to
+    the group with the earliest predicted finish. [predicted ~task
+    ~group] must be deterministic (it is the planner's estimate, not a
+    noisy sample). *)
+val lpt :
+  Group.partition -> predicted:(task:int -> group:Group.t -> float) -> num_tasks:int -> int array
+
+(** [greedy_min_finish] — like [lpt] but keeps the submission order
+    (what a naive static port of the dynamic scheduler would do). *)
+val greedy_min_finish :
+  Group.partition -> predicted:(task:int -> group:Group.t -> float) -> num_tasks:int -> int array
+
+(** [predicted_makespan partition ~predicted assignment] — planner's
+    view of an assignment's makespan. *)
+val predicted_makespan :
+  Group.partition -> predicted:(task:int -> group:Group.t -> float) -> int array -> float

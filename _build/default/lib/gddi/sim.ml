@@ -1,0 +1,127 @@
+type event = { task : int; group : int; start : float; finish : float }
+
+type result = {
+  makespan : float;
+  group_busy : float array;
+  group_finish : float array;
+  assignment : int array;
+  events : event list;
+}
+
+type schedule = Dynamic | Static of int array | Stealing of int array
+
+let run_phase ?(dispatch_latency = 0.) partition ~num_tasks ~duration schedule =
+  let ngroups = Array.length partition in
+  if ngroups = 0 then invalid_arg "Sim.run_phase: empty partition";
+  if num_tasks < 0 then invalid_arg "Sim.run_phase: negative task count";
+  let busy = Array.make ngroups 0. in
+  let finish = Array.make ngroups 0. in
+  let assignment = Array.make num_tasks (-1) in
+  let events = ref [] in
+  let execute ?(overhead = 0.) task g_id =
+    let g = partition.(g_id) in
+    let d = overhead +. duration ~task ~group:g in
+    if d < 0. || Float.is_nan d then invalid_arg "Sim.run_phase: negative or NaN duration";
+    let start = finish.(g_id) in
+    finish.(g_id) <- start +. d;
+    busy.(g_id) <- busy.(g_id) +. d;
+    assignment.(task) <- g_id;
+    events := { task; group = g_id; start; finish = finish.(g_id) } :: !events
+  in
+  (match schedule with
+  | Static a ->
+    if Array.length a <> num_tasks then invalid_arg "Sim.run_phase: assignment length mismatch";
+    Array.iteri
+      (fun task g_id ->
+        if g_id < 0 || g_id >= ngroups then invalid_arg "Sim.run_phase: group id out of range";
+        execute task g_id)
+      a
+  | Dynamic ->
+    (* first-free-group pull; ties go to the lowest group id so runs
+       are deterministic *)
+    let leq (t1, g1) (t2, g2) = t1 < t2 || (t1 = t2 && g1 <= g2) in
+    let heap = Ds.Heap.create ~leq in
+    Array.iteri (fun g_id _ -> Ds.Heap.push heap (0., g_id)) partition;
+    for task = 0 to num_tasks - 1 do
+      let _, g_id = Ds.Heap.pop heap in
+      execute ~overhead:dispatch_latency task g_id;
+      Ds.Heap.push heap (finish.(g_id), g_id)
+    done
+  | Stealing a ->
+    if Array.length a <> num_tasks then invalid_arg "Sim.run_phase: assignment length mismatch";
+    (* per-group deques seeded by the static map, submission order *)
+    let queues = Array.make ngroups [] in
+    for task = num_tasks - 1 downto 0 do
+      let g_id = a.(task) in
+      if g_id < 0 || g_id >= ngroups then invalid_arg "Sim.run_phase: group id out of range";
+      queues.(g_id) <- task :: queues.(g_id)
+    done;
+    let remaining = Array.map List.length queues in
+    let leq (t1, g1) (t2, g2) = t1 < t2 || (t1 = t2 && g1 <= g2) in
+    let heap = Ds.Heap.create ~leq in
+    Array.iteri (fun g_id _ -> Ds.Heap.push heap (0., g_id)) partition;
+    let total_left = ref num_tasks in
+    while !total_left > 0 do
+      let _, g_id = Ds.Heap.pop heap in
+      (match queues.(g_id) with
+      | task :: rest ->
+        queues.(g_id) <- rest;
+        remaining.(g_id) <- remaining.(g_id) - 1;
+        decr total_left;
+        execute task g_id;
+        Ds.Heap.push heap (finish.(g_id), g_id)
+      | [] ->
+        (* steal from the tail of the longest remaining queue *)
+        let victim = ref (-1) in
+        for v = 0 to ngroups - 1 do
+          if remaining.(v) > 0 && (!victim < 0 || remaining.(v) > remaining.(!victim)) then
+            victim := v
+        done;
+        if !victim >= 0 then begin
+          let v = !victim in
+          let rec split_last = function
+            | [] -> assert false
+            | [ x ] -> ([], x)
+            | x :: rest ->
+              let front, last = split_last rest in
+              (x :: front, last)
+          in
+          let front, stolen = split_last queues.(v) in
+          queues.(v) <- front;
+          remaining.(v) <- remaining.(v) - 1;
+          decr total_left;
+          (* stealing costs a dispatch round-trip *)
+          execute ~overhead:dispatch_latency stolen g_id;
+          Ds.Heap.push heap (finish.(g_id), g_id)
+        end
+        (* no work anywhere: the group retires (not re-pushed) *))
+    done);
+  let makespan = Array.fold_left Float.max 0. finish in
+  {
+    makespan;
+    group_busy = busy;
+    group_finish = finish;
+    assignment;
+    events = List.rev !events;
+  }
+
+let weighted_nodes partition = Array.fold_left (fun acc g -> acc +. float_of_int g.Group.nodes) 0. partition
+
+let utilization partition r =
+  if r.makespan <= 0. then 1.
+  else begin
+    let total = weighted_nodes partition *. r.makespan in
+    let busy = ref 0. in
+    Array.iteri
+      (fun g_id b -> busy := !busy +. (b *. float_of_int partition.(g_id).Group.nodes))
+      r.group_busy;
+    !busy /. total
+  end
+
+let idle_time partition r =
+  let idle = ref 0. in
+  Array.iteri
+    (fun g_id b ->
+      idle := !idle +. ((r.makespan -. b) *. float_of_int partition.(g_id).Group.nodes))
+    r.group_busy;
+  !idle

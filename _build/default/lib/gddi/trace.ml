@@ -1,0 +1,56 @@
+let to_csv (r : Sim.result) =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "task,group,start,finish,duration\n";
+  List.iter
+    (fun (e : Sim.event) ->
+      Buffer.add_string b
+        (Printf.sprintf "%d,%d,%.6f,%.6f,%.6f\n" e.Sim.task e.Sim.group e.Sim.start e.Sim.finish
+           (e.Sim.finish -. e.Sim.start)))
+    r.Sim.events;
+  Buffer.contents b
+
+let summary_csv partition (r : Sim.result) =
+  let b = Buffer.create 256 in
+  Buffer.add_string b "group,nodes,busy,finish,utilization\n";
+  Array.iteri
+    (fun g busy ->
+      let util = if r.Sim.makespan <= 0. then 1. else busy /. r.Sim.makespan in
+      Buffer.add_string b
+        (Printf.sprintf "%d,%d,%.6f,%.6f,%.4f\n" g partition.(g).Group.nodes busy
+           r.Sim.group_finish.(g) util))
+    r.Sim.group_busy;
+  Buffer.contents b
+
+let write_csv path r =
+  let oc = open_out path in
+  (try output_string oc (to_csv r)
+   with e ->
+     close_out_noerr oc;
+     raise e);
+  close_out oc
+
+let pp_gantt fmt ~width partition (r : Sim.result) =
+  if width < 10 then invalid_arg "Trace.pp_gantt: width too small";
+  let span = Float.max r.Sim.makespan 1e-12 in
+  let ngroups = Array.length partition in
+  let rows = Array.init ngroups (fun _ -> Bytes.make width '.') in
+  List.iter
+    (fun (e : Sim.event) ->
+      let first = int_of_float (Float.floor (e.Sim.start /. span *. float_of_int width)) in
+      let last =
+        Stdlib.min (width - 1)
+          (int_of_float (Float.ceil (e.Sim.finish /. span *. float_of_int width)) - 1)
+      in
+      (* alternate fill characters so adjacent tasks are visible *)
+      let ch = if e.Sim.task mod 2 = 0 then '#' else '=' in
+      for i = Stdlib.max 0 first to last do
+        Bytes.set rows.(e.Sim.group) i ch
+      done)
+    r.Sim.events;
+  Format.fprintf fmt "@[<v>makespan %.4f s over %d groups@," r.Sim.makespan ngroups;
+  Array.iteri
+    (fun g row ->
+      Format.fprintf fmt "g%-3d(%4d nodes) |%s|@," g partition.(g).Group.nodes
+        (Bytes.to_string row))
+    rows;
+  Format.fprintf fmt "@]"

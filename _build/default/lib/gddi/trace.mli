@@ -1,0 +1,21 @@
+(** Execution-trace export.
+
+    Turns a phase result into Gantt-style records for offline analysis
+    (CSV for spreadsheets/plotting). Group utilization summaries are
+    included because idle-tail inspection is how load imbalance is
+    usually diagnosed. *)
+
+(** [to_csv result] — header + one line per task event:
+    [task,group,start,finish,duration]. *)
+val to_csv : Sim.result -> string
+
+(** [summary_csv partition result] — per-group lines:
+    [group,nodes,busy,finish,utilization]. *)
+val summary_csv : Group.partition -> Sim.result -> string
+
+(** [write_csv path result] — write [to_csv] to a file. *)
+val write_csv : string -> Sim.result -> unit
+
+(** [pp_gantt fmt ~width partition result] — coarse ASCII Gantt chart,
+    one row per group, [width] characters across the makespan. *)
+val pp_gantt : Format.formatter -> width:int -> Group.partition -> Sim.result -> unit

@@ -1,0 +1,1 @@
+lib/hslb/alloc_model.ml: Array Classes Fitting Float Fun List Lp Minlp Objective Option Printf Scaling_law Stdlib

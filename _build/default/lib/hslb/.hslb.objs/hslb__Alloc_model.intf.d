@@ -1,0 +1,1 @@
+lib/hslb/alloc_model.mli: Classes Minlp Objective

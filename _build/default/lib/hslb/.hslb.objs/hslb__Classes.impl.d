@@ -1,0 +1,1 @@
+lib/hslb/classes.ml: Array Fitting List

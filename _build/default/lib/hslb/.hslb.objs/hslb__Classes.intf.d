@@ -1,0 +1,1 @@
+lib/hslb/classes.mli: Fitting Numerics

@@ -1,0 +1,1 @@
+lib/hslb/fitting.ml: Array Float List Numerics Scaling_law

@@ -1,0 +1,1 @@
+lib/hslb/fitting.mli: Numerics Scaling_law

@@ -1,0 +1,1 @@
+lib/hslb/fmo_app.ml: Alloc_model Array Classes Fitting Float Fmo Fun Gddi Hashtbl List Numerics Objective Option Printf Stdlib

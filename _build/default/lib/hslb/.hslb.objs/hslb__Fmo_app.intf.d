@@ -1,0 +1,1 @@
+lib/hslb/fmo_app.mli: Alloc_model Classes Fmo Gddi Machine Numerics Objective

@@ -1,0 +1,1 @@
+lib/hslb/model_store.ml: Alloc_model Buffer Classes Fitting List Printf Scaling_law String

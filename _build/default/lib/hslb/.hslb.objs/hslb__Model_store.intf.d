@@ -1,0 +1,1 @@
+lib/hslb/model_store.mli: Alloc_model Classes

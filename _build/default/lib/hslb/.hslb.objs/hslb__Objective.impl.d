@@ -1,0 +1,1 @@
+lib/hslb/objective.ml:

@@ -1,0 +1,1 @@
+lib/hslb/report.ml: Alloc_model Array Classes Fitting Fmo Fmo_app Format Gddi List Printf Scaling_law Stdlib

@@ -1,0 +1,1 @@
+lib/hslb/report.mli: Classes Fmo Fmo_app Format

@@ -1,0 +1,73 @@
+(** HSLB step 3: the allocation MINLP and its solution.
+
+    Decision variables are the nodes-per-task [n_c] for every task
+    class; the model minimizes the makespan of one round in which each
+    task runs in its own group (the paper's "few large tasks of diverse
+    size" regime), subject to the node budget
+    [Σ count_c · n_c <= N], optional "sweet-spot" restrictions of
+    [n_c] to an allowed list (encoded with binaries + an SOS1 set, as
+    the paper does for the ocean and atmosphere components), and the
+    chosen objective.
+
+    [Min_max] is a convex MINLP solved by {!Minlp.Oa} (or {!Minlp.Bnb}).
+    [Max_min] is nonconvex in epigraph form, so it is solved by the
+    customized bisection its structure admits (the time curves are
+    decreasing in [n] up to their minimum). [Min_sum] is a separable
+    convex resource-allocation problem and is solved exactly by greedy
+    marginal allocation — the customized polynomial-time route the paper
+    cites (Ibaraki & Katoh); its MINLP form remains available through
+    {!build_minlp} for the solver benchmarks. *)
+
+type spec = {
+  fc : Classes.fitted;
+  n_min : int;  (** smallest group size allowed for this class *)
+  n_max : int;  (** largest group size allowed *)
+  allowed : int list option;  (** sweet spots: restrict [n_c] to this list *)
+}
+
+(** [spec_of ?n_min ?n_max ?allowed fc] — defaults: [n_min = 1],
+    [n_max] = node budget at solve time. *)
+val spec_of : ?n_min:int -> ?n_max:int -> ?allowed:int list -> Classes.fitted -> spec
+
+type allocation = {
+  nodes_per_task : int array;  (** indexed like the spec list *)
+  predicted_makespan : float;  (** max over classes of fitted time *)
+  predicted_times : float array;  (** fitted per-class times *)
+  stats : Minlp.Solution.stats;  (** zero for the bisection path *)
+}
+
+(** [restrict_to_values b ~var values] — restrict an integer variable
+    of a model under construction to a discrete value list using
+    binaries linked by equality rows plus an SOS1 set (the paper's
+    sweet-spot encoding). Shared with the layout models. *)
+val restrict_to_values : Minlp.Problem.Builder.b -> var:int -> int list -> unit
+
+(** [build_minlp ~objective ~n_total specs] — the MINLP (for
+    [Min_max]/[Min_sum]; raises on [Max_min]). Returned ints are the
+    indices of the [n_c] variables; for [Min_max] the first variable is
+    the makespan [T]. Exposed for the solver-benchmark experiment E6. *)
+val build_minlp :
+  objective:Objective.t -> n_total:int -> spec list -> Minlp.Problem.t * int array
+
+(** [solve ?solver ?objective ~n_total specs] — full solve + decode.
+    @raise Failure when the model is infeasible (budget below one node
+    per task). *)
+val solve :
+  ?solver:[ `Oa | `Bnb ] ->
+  ?objective:Objective.t ->
+  n_total:int ->
+  spec list ->
+  allocation
+
+(** [assignment_milp ~group_sizes ~duration ~num_tasks] — the second
+    model family: groups fixed, assign tasks to groups minimizing
+    predicted makespan (a pure MILP). Falls back to LPT when the node
+    budget of the branch-and-bound is exhausted. Returns (task→group,
+    predicted makespan). *)
+val assignment_milp :
+  ?max_nodes:int ->
+  group_sizes:int array ->
+  duration:(task:int -> group:int -> float) ->
+  num_tasks:int ->
+  unit ->
+  int array * float

@@ -1,0 +1,56 @@
+type fit = {
+  law : Scaling_law.t;
+  r2 : float;
+  rmse : float;
+  observations : (float * float) array;
+}
+
+let fit_observations ?(starts = 12) ~rng obs =
+  let distinct = List.sort_uniq compare (Array.to_list (Array.map fst obs)) in
+  if List.length distinct < 2 then
+    invalid_arg "Fitting.fit_observations: need observations at at least 2 node counts";
+  Array.iter
+    (fun (n, y) ->
+      if n < 1. || y < 0. then invalid_arg "Fitting.fit_observations: invalid observation")
+    obs;
+  let eval p n = (p.(0) /. (n ** p.(2))) +. (p.(1) *. n) +. p.(3) in
+  (* relative residuals: scaling curves span orders of magnitude between
+     n=1 and the machine, and the allocation lands in the fast tail —
+     absolute least squares would let the huge small-n times dominate
+     and leave the tail poorly fitted *)
+  let residual p = Array.map (fun (n, y) -> (eval p n -. y) /. Float.max y 1e-12) obs in
+  let y_max = Array.fold_left (fun acc (_, y) -> Float.max acc y) 0. obs in
+  let n_max = Array.fold_left (fun acc (n, _) -> Float.max acc n) 1. obs in
+  (* box: c in [0, 2] — scaling exponents beyond 2 are not physical for
+     this model and, with very few sample points, runaway c produces
+     pathologically flat curves downstream; a, d bounded by observable
+     magnitudes *)
+  let lo = [| 0.; 0.; 0.; 0. |] in
+  let hi = [| 1e3 *. y_max *. n_max; y_max; 2.; y_max *. 2. |] in
+  let x0 = [| y_max; 1e-6; 1.; 0.01 *. y_max |] in
+  let r = Numerics.Least_squares.fit_multi_start ~rng ~starts ~residual ~lo ~hi x0 in
+  let law = Scaling_law.of_array r.Numerics.Least_squares.params in
+  let observed = Array.map snd obs in
+  let predicted = Array.map (fun (n, _) -> Scaling_law.eval law n) obs in
+  {
+    law;
+    r2 = Numerics.Stats.r_squared ~observed ~predicted;
+    rmse = Numerics.Stats.rmse ~observed ~predicted;
+    observations = Array.copy obs;
+  }
+
+let predict fit n = Scaling_law.eval_int fit.law n
+
+let recommended_sizes ~n_min ~n_max ~points =
+  if n_min < 1 || n_max < n_min then invalid_arg "Fitting.recommended_sizes: bad range";
+  if points < 2 then invalid_arg "Fitting.recommended_sizes: need at least 2 points";
+  if n_min = n_max then [ n_min ]
+  else begin
+    let ratio = float_of_int n_max /. float_of_int n_min in
+    let raw =
+      List.init points (fun i ->
+          let t = float_of_int i /. float_of_int (points - 1) in
+          int_of_float (Float.round (float_of_int n_min *. (ratio ** t))))
+    in
+    List.sort_uniq compare raw
+  end

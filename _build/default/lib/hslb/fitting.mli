@@ -1,0 +1,31 @@
+(** HSLB step 2: fit the performance model to benchmark observations.
+
+    Solves the constrained least-squares problem of Table II (line 10):
+    minimize [Σ ((y_i − a/n_i^c − b·n_i − d)/y_i)²] with [a,b,c,d >= 0],
+    by projected Levenberg–Marquardt with multi-start (the objective is
+    non-convex; the paper notes different starts give different
+    parameters but similar-quality allocations). Residuals are relative
+    so the fast large-[n] tail — where allocations land — carries the
+    same weight as the slow small-[n] region. *)
+
+type fit = {
+  law : Scaling_law.t;
+  r2 : float;  (** coefficient of determination on the observations *)
+  rmse : float;
+  observations : (float * float) array;  (** (nodes, seconds) pairs used *)
+}
+
+(** [fit_observations ~rng obs] — fit one task class.
+    [obs] must contain at least 2 distinct node counts; the paper
+    recommends >= 4 ("at least greater than four for each component").
+    @raise Invalid_argument otherwise (fewer than 2). *)
+val fit_observations : ?starts:int -> rng:Numerics.Rng.t -> (float * float) array -> fit
+
+(** [predict fit n] — fitted time on [n] nodes. *)
+val predict : fit -> int -> float
+
+(** [recommended_sizes ~n_min ~n_max ~points] — geometric spacing of
+    benchmark node counts between the extremes, as section III-C
+    recommends (smallest allowed, largest possible, a few in between to
+    capture curvature). *)
+val recommended_sizes : n_min:int -> n_max:int -> points:int -> int list

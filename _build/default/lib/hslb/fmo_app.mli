@@ -1,0 +1,106 @@
+(** HSLB applied to the FMO workload — the paper's headline system.
+
+    Ties the four steps together for an FMO2 plan on a simulated
+    machine: derive task classes (fragments grouped by basis size),
+    gather benchmarks, fit, solve the allocation MINLP for the monomer
+    phase, derive the group partition and static assignments (dimer
+    phase via LPT on the fitted dimer curves), and execute. Also
+    provides the baselines HSLB is compared against: stock dynamic load
+    balancing and even-static. *)
+
+type config = {
+  benchmark_points : int;  (** node counts sampled per class (paper: >= 4) *)
+  benchmark_reps : int;  (** repetitions per node count *)
+  objective : Objective.t;
+  solver : [ `Oa | `Bnb ];
+  sweet_spots : int list option;  (** restrict group sizes to this list *)
+}
+
+val default_config : config
+
+type hslb_plan = {
+  monomer_fits : Classes.fitted list;  (** one per fragment class *)
+  dimer_fits : Classes.fitted list;
+  allocation : Alloc_model.allocation;
+  partition : Gddi.Group.partition;  (** monomer-phase partition *)
+  dimer_partition : Gddi.Group.partition;
+      (** dimer-phase partition — GDDI regroups at the FMO step boundary *)
+  monomer_assignment : int array;
+  dimer_assignment : int array;
+  predicted_monomer_time : float;  (** all SCC sweeps *)
+  predicted_dimer_time : float;
+  predicted_total : float;
+}
+
+(** [monomer_class_indices plan] — for each fragment, the index of its
+    task class (ordered like [monomer_fits] / the allocation's
+    [nodes_per_task]). *)
+val monomer_class_indices : Fmo.Task.plan -> int array
+
+(** [dispatch_latency ~groups] — per-task dynamic-dispatch cost model
+    (centralized counter contention grows with group count). *)
+val dispatch_latency : groups:int -> float
+
+(** [plan_hslb ~rng machine plan ~n_total config] — HSLB steps 1–3.
+    The benchmark [rng] stream is independent of execution noise.
+    Requires [n_total >= number of fragments] (one group per fragment). *)
+val plan_hslb :
+  rng:Numerics.Rng.t -> Machine.t -> Fmo.Task.plan -> n_total:int -> config -> hslb_plan
+
+(** [run_hslb ~rng machine plan ~n_total config] — steps 1–4; returns
+    the planning record and the executed run. *)
+val run_hslb :
+  rng:Numerics.Rng.t ->
+  Machine.t ->
+  Fmo.Task.plan ->
+  n_total:int ->
+  config ->
+  hslb_plan * Fmo.Fmo_run.result
+
+(** [run_dynamic ~rng machine plan ~n_total ?groups ()] — stock
+    GDDI dynamic balancing on an even partition ([groups] defaults to
+    the fragment count, the common GAMESS choice). *)
+val run_dynamic :
+  rng:Numerics.Rng.t ->
+  Machine.t ->
+  Fmo.Task.plan ->
+  n_total:int ->
+  ?groups:int ->
+  unit ->
+  Fmo.Fmo_run.result
+
+(** [run_semi_static ~rng machine plan ~n_total config] — ablation:
+    HSLB's group sizing but dynamic task assignment inside each phase.
+    Isolates the value of sizing from the value of the static map. *)
+val run_semi_static :
+  rng:Numerics.Rng.t ->
+  Machine.t ->
+  Fmo.Task.plan ->
+  n_total:int ->
+  config ->
+  hslb_plan * Fmo.Fmo_run.result
+
+(** [run_stealing ~rng machine plan ~n_total ?groups ()] — work-stealing
+    baseline: even partition, round-robin seed map, idle groups steal
+    from the longest queue (the DLB family the paper's introduction
+    surveys). *)
+val run_stealing :
+  rng:Numerics.Rng.t ->
+  Machine.t ->
+  Fmo.Task.plan ->
+  n_total:int ->
+  ?groups:int ->
+  unit ->
+  Fmo.Fmo_run.result
+
+(** [run_static_even ~rng machine plan ~n_total ?groups ()] — even
+    partition with round-robin monomers and LPT dimers ranked by the
+    practitioner's a-priori size estimate (nbf^2.7 work heuristic). *)
+val run_static_even :
+  rng:Numerics.Rng.t ->
+  Machine.t ->
+  Fmo.Task.plan ->
+  n_total:int ->
+  ?groups:int ->
+  unit ->
+  Fmo.Fmo_run.result

@@ -1,0 +1,66 @@
+let to_csv fits =
+  let b = Buffer.create 256 in
+  Buffer.add_string b "# name,count,a,b,c,d\n";
+  List.iter
+    (fun (fc : Classes.fitted) ->
+      let law = fc.Classes.fit.Fitting.law in
+      Buffer.add_string b
+        (Printf.sprintf "%s,%d,%.17g,%.17g,%.17g,%.17g\n" fc.Classes.cls.Classes.name
+           fc.Classes.cls.Classes.count law.Scaling_law.a law.Scaling_law.b law.Scaling_law.c
+           law.Scaling_law.d))
+    fits;
+  Buffer.contents b
+
+let of_csv text =
+  let lines =
+    List.filter
+      (fun l -> String.trim l <> "" && (String.trim l).[0] <> '#')
+      (String.split_on_char '\n' text)
+  in
+  List.map
+    (fun line ->
+      match List.map String.trim (String.split_on_char ',' line) with
+      | [ name; count; a; b; c; d ] ->
+        let law =
+          Scaling_law.make ~a:(float_of_string a) ~b:(float_of_string b)
+            ~c:(float_of_string c) ~d:(float_of_string d)
+        in
+        let cls =
+          Classes.make ~name ~count:(int_of_string count) (fun ~nodes ->
+              Scaling_law.eval_int law nodes)
+        in
+        {
+          Classes.cls;
+          fit =
+            {
+              Fitting.law;
+              r2 = 1.;
+              rmse = 0.;
+              observations = [| (1., Scaling_law.eval_int law 1) |];
+            };
+        }
+      | _ -> failwith ("Model_store.of_csv: malformed line: " ^ line))
+    lines
+
+let save path fits =
+  let oc = open_out path in
+  (try output_string oc (to_csv fits)
+   with e ->
+     close_out_noerr oc;
+     raise e);
+  close_out oc
+
+let load path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let text = really_input_string ic n in
+  close_in ic;
+  of_csv text
+
+let specs_of_csv ?allowed text =
+  List.map
+    (fun fc ->
+      match allowed with
+      | Some values -> Alloc_model.spec_of ~allowed:values fc
+      | None -> Alloc_model.spec_of fc)
+    (of_csv text)

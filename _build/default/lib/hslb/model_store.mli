@@ -1,0 +1,25 @@
+(** Persistence of fitted performance models.
+
+    The paper notes the gather step "can be avoided altogether if
+    reliable benchmarks are already available, for example, from
+    previous experiments" — this module is that path: fitted classes
+    round-trip through a small CSV format
+    ([name,count,a,b,c,d] per line, [#] comments allowed) shared with
+    the command-line tools. *)
+
+(** [to_csv fits] — serialize fitted classes. *)
+val to_csv : Classes.fitted list -> string
+
+(** [of_csv text] — parse back. The reconstructed classes sample from
+    their own law (they carry no benchmark source); R² is reported as 1.
+    @raise Failure on malformed lines. *)
+val of_csv : string -> Classes.fitted list
+
+(** [save path fits] / [load path] — file variants. *)
+val save : string -> Classes.fitted list -> unit
+
+val load : string -> Classes.fitted list
+
+(** [specs_of_csv ?allowed text] — convenience: parse and wrap as
+    allocation specs. *)
+val specs_of_csv : ?allowed:int list -> string -> Alloc_model.spec list

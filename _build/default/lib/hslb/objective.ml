@@ -1,0 +1,8 @@
+type t = Min_max | Max_min | Min_sum
+
+let to_string = function
+  | Min_max -> "min-max"
+  | Max_min -> "max-min"
+  | Min_sum -> "min-sum"
+
+let all = [ Min_max; Max_min; Min_sum ]

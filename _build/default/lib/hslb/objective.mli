@@ -1,0 +1,14 @@
+(** Allocation objectives considered by the paper (section III-D).
+
+    [Min_max] minimizes the slowest component/fragment time (the
+    makespan) — the objective used throughout the paper. [Max_min]
+    maximizes the fastest time under a use-all-nodes constraint; the
+    paper reports it slightly worse. [Min_sum] minimizes the sum of
+    times and is reported to perform much worse (it starves cheap tasks
+    to shave the expensive ones). Experiment E2 reproduces that
+    ranking. *)
+
+type t = Min_max | Max_min | Min_sum
+
+val to_string : t -> string
+val all : t list

@@ -1,0 +1,39 @@
+let pp_fits fmt fits =
+  List.iter
+    (fun (fc : Classes.fitted) ->
+      Format.fprintf fmt "  %-28s count=%3d  R2=%.4f  T(n) = %a@."
+        fc.Classes.cls.Classes.name fc.Classes.cls.Classes.count fc.Classes.fit.Fitting.r2
+        Scaling_law.pp fc.Classes.fit.Fitting.law)
+    fits
+
+let partition_shape partition =
+  let sizes = Array.map (fun g -> g.Gddi.Group.nodes) partition in
+  let mn = Array.fold_left Stdlib.min max_int sizes in
+  let mx = Array.fold_left Stdlib.max 0 sizes in
+  Printf.sprintf "%d groups, %d..%d nodes (total %d)" (Array.length partition) mn mx
+    (Gddi.Group.total_nodes partition)
+
+let pp_plan fmt (hp : Fmo_app.hslb_plan) =
+  Format.fprintf fmt "monomer classes:@.";
+  pp_fits fmt hp.Fmo_app.monomer_fits;
+  Format.fprintf fmt "allocation (nodes per task of each class):";
+  Array.iter (Format.fprintf fmt " %d") hp.Fmo_app.allocation.Alloc_model.nodes_per_task;
+  Format.fprintf fmt "@.monomer partition: %s@." (partition_shape hp.Fmo_app.partition);
+  Format.fprintf fmt "dimer partition:   %s@." (partition_shape hp.Fmo_app.dimer_partition);
+  Format.fprintf fmt "predicted: monomer %.3f s + corrections %.3f s = %.3f s@."
+    hp.Fmo_app.predicted_monomer_time hp.Fmo_app.predicted_dimer_time hp.Fmo_app.predicted_total
+
+let pp_comparison fmt rows =
+  match rows with
+  | [] -> ()
+  | (_, baseline) :: _ ->
+    let tb = baseline.Fmo.Fmo_run.total_time in
+    Format.fprintf fmt "%-24s %10s %10s %10s %12s %10s@." "scheduler" "total s" "monomer s"
+      "corr s" "utilization" "vs first";
+    List.iter
+      (fun (label, (r : Fmo.Fmo_run.result)) ->
+        Format.fprintf fmt "%-24s %10.3f %10.3f %10.3f %11.1f%% %+9.1f%%@." label
+          r.Fmo.Fmo_run.total_time r.Fmo.Fmo_run.monomer_time r.Fmo.Fmo_run.dimer_time
+          (100. *. r.Fmo.Fmo_run.utilization)
+          (100. *. (tb -. r.Fmo.Fmo_run.total_time) /. tb))
+      rows

@@ -1,0 +1,16 @@
+(** Human-readable reports of HSLB plans and runs.
+
+    Shared by the CLI and the examples so the "what did HSLB decide and
+    how did it go" rendering lives in one place. *)
+
+(** [pp_fits fmt fits] — one line per class: name, count, R², law. *)
+val pp_fits : Format.formatter -> Classes.fitted list -> unit
+
+(** [pp_plan fmt plan] — fits, the allocation, partition shapes and the
+    predicted phase times. *)
+val pp_plan : Format.formatter -> Fmo_app.hslb_plan -> unit
+
+(** [pp_comparison fmt rows] — scheduler comparison table;
+    each row is (label, result). The first row is the baseline for the
+    "vs first" column. *)
+val pp_comparison : Format.formatter -> (string * Fmo.Fmo_run.result) list -> unit

@@ -1,0 +1,1 @@
+lib/layouts/cesm_data.ml: Hslb List Numerics Scaling_law Stdlib

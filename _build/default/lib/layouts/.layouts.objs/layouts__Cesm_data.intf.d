@@ -1,0 +1,1 @@
+lib/layouts/cesm_data.mli: Hslb Numerics Scaling_law

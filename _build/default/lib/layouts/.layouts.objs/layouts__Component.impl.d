@@ -1,0 +1,1 @@
+lib/layouts/component.ml: Hslb Scaling_law

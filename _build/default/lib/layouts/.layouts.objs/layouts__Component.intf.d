@@ -1,0 +1,1 @@
+lib/layouts/component.mli: Hslb Scaling_law

@@ -1,0 +1,1 @@
+lib/layouts/layout_model.ml: Array Component Float Hslb List Lp Minlp Printf Scaling_law

@@ -1,0 +1,1 @@
+lib/layouts/layout_model.mli: Component Minlp

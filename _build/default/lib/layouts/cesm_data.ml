@@ -1,0 +1,88 @@
+type resolution = Deg1 | Deg1_8
+
+(* Ground-truth curves calibrated so the published reference points are
+   reproduced, e.g. 1°: atm(104) ≈ 307 s, ocn(24) ≈ 363 s, and 1/8°:
+   ocn(2356) ≈ 3785 s, ocn(9812) ≈ 1128 s (the "unconstrained ocean"
+   prediction). *)
+let truth resolution ~ice:() =
+  match resolution with
+  | Deg1 ->
+    let ice = Scaling_law.make ~a:4520. ~b:1e-5 ~c:0.85 ~d:3. in
+    let lnd = Scaling_law.make ~a:1308. ~b:1e-5 ~c:0.95 ~d:1.5 in
+    let atm = Scaling_law.make ~a:10360. ~b:1e-5 ~c:0.78 ~d:30. in
+    let ocn = Scaling_law.make ~a:3804. ~b:2e-5 ~c:0.757 ~d:20. in
+    (ice, lnd, atm, ocn)
+  | Deg1_8 ->
+    let ice = Scaling_law.make ~a:320_700. ~b:1e-5 ~c:0.786 ~d:100. in
+    let lnd = Scaling_law.make ~a:39_800. ~b:1e-5 ~c:0.917 ~d:10. in
+    let atm = Scaling_law.make ~a:4.425e6 ~b:1e-5 ~c:0.868 ~d:150. in
+    let ocn = Scaling_law.make ~a:5.74e6 ~b:1e-5 ~c:0.95 ~d:200. in
+    (ice, lnd, atm, ocn)
+
+let component_law resolution which =
+  let ice, lnd, atm, ocn = truth resolution ~ice:() in
+  match which with
+  | "ice" -> ice
+  | "lnd" -> lnd
+  | "atm" -> atm
+  | "ocn" -> ocn
+  | other -> invalid_arg ("Cesm_data.component_law: unknown component " ^ other)
+
+(* the ice model's decomposition-dependent block sizes made its timings
+   the noisiest in the published data *)
+let noise_factor = function "ice" -> 3. | _ -> 1.
+
+let sample_law ~rng ~noise law which ~nodes =
+  let base = Scaling_law.eval_int law nodes in
+  let sigma = noise *. noise_factor which in
+  if sigma <= 0. then base
+  else base *. Numerics.Rng.lognormal rng ~mu:(-0.5 *. sigma *. sigma) ~sigma
+
+let simulate_component ~rng ?(noise = 0.03) resolution which ~nodes =
+  sample_law ~rng ~noise (component_law resolution which) which ~nodes
+
+let benchmark_classes ~rng ?(noise = 0.03) resolution =
+  List.map
+    (fun which ->
+      let law = component_law resolution which in
+      let class_rng = Numerics.Rng.split rng in
+      Hslb.Classes.make ~name:which ~count:1 (fun ~nodes ->
+          sample_law ~rng:class_rng ~noise law which ~nodes))
+    [ "ice"; "lnd"; "atm"; "ocn" ]
+
+let ocean_sweet_spots = function
+  | Deg1 ->
+    (* representative subset of {2, 4, ..., 480} ∪ {768} *)
+    List.init 60 (fun i -> 8 * (i + 1)) @ [ 768 ]
+  | Deg1_8 -> [ 480; 512; 2356; 3136; 4564; 6124; 19460 ]
+
+let atm_allowed resolution ~n_total =
+  let step =
+    match resolution with
+    | Deg1 -> Stdlib.max 8 (n_total / 128)
+    | Deg1_8 -> Stdlib.max 4 (n_total / 128)
+  in
+  List.filter (fun v -> v <= n_total) (List.init (n_total / step) (fun i -> step * (i + 1)))
+
+let manual_allocation resolution ~n_total =
+  match resolution with
+  | Deg1 ->
+    (* expert rule of thumb from the published allocations: ~19% ocean,
+       the rest to the atmosphere pool, ice:lnd ≈ 77:23 inside it *)
+    let ocn = Stdlib.max 2 (2 * (int_of_float (0.19 *. float_of_int n_total) / 2)) in
+    let atm = n_total - ocn in
+    let ice = int_of_float (0.77 *. float_of_int atm) in
+    let lnd = atm - ice in
+    (ice, lnd, atm, ocn)
+  | Deg1_8 ->
+    (* largest hard-coded ocean count below ~29% of the budget *)
+    let limit = 0.29 *. float_of_int n_total in
+    let ocn =
+      List.fold_left
+        (fun acc v -> if float_of_int v <= limit then Stdlib.max acc v else acc)
+        480 (ocean_sweet_spots Deg1_8)
+    in
+    let atm = n_total - ocn in
+    let ice = int_of_float (0.917 *. float_of_int atm) in
+    let lnd = atm - ice in
+    (ice, lnd, atm, ocn)

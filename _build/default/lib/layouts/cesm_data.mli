@@ -1,0 +1,43 @@
+(** Synthetic coupled-climate-model component data.
+
+    The follow-up application of HSLB ran on CESM timing data that is
+    not redistributable; this module provides a synthetic equivalent
+    whose ground-truth scaling curves echo the published magnitudes
+    (1° resolution: atmosphere ≈ 307 s on 104 nodes, ocean ≈ 365 s on
+    24 nodes, etc.; 1/8°: roughly 10× the work with ocean sweet spots).
+    The decision layer never sees the curves — only noisy benchmark
+    samples — so the full HSLB pipeline (gather, fit, solve, execute)
+    is exercised end to end. *)
+
+type resolution = Deg1  (** 1° grids *) | Deg1_8  (** 1/8° atmosphere, 1/10° ocean *)
+
+(** Ground-truth scaling law of each component. *)
+val truth : resolution -> ice:unit -> Scaling_law.t * Scaling_law.t * Scaling_law.t * Scaling_law.t
+(** returns (ice, lnd, atm, ocn) *)
+
+(** [benchmark_classes ~rng ~noise resolution] — one {!Hslb.Classes.t}
+    per component, sampling the ground truth with log-normal noise
+    (ice gets extra noise: the text reports its decomposition-dependent
+    timings fit worst). Order: ice, lnd, atm, ocn. *)
+val benchmark_classes :
+  rng:Numerics.Rng.t -> ?noise:float -> resolution -> Hslb.Classes.t list
+
+(** [simulate_component ~rng ~noise resolution which ~nodes] — one noisy
+    "actual run" time. [which] ∈ ["ice"; "lnd"; "atm"; "ocn"]. *)
+val simulate_component :
+  rng:Numerics.Rng.t -> ?noise:float -> resolution -> string -> nodes:int -> float
+
+(** [ocean_sweet_spots resolution] — the discrete ocean node counts the
+    text reports as hard-coded ([2, 4, ..., 480, 768] at 1°;
+    [480, 512, 2356, 3136, 4564, 6124, 19460] at 1/8°). *)
+val ocean_sweet_spots : resolution -> int list
+
+(** [atm_allowed resolution ~n_total] — atmosphere decomposition counts
+    (grid-divisor-friendly values up to the budget). *)
+val atm_allowed : resolution -> n_total:int -> int list
+
+(** [manual_allocation resolution ~n_total] — the "human expert"
+    baseline allocation [(ice, lnd, atm, ocn)], mimicking the manual
+    column of the published comparison (proportions interpolated
+    between the published node counts). *)
+val manual_allocation : resolution -> n_total:int -> int * int * int * int

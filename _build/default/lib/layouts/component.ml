@@ -1,0 +1,5 @@
+type t = { cname : string; law : Scaling_law.t }
+
+let make ~name law = { cname = name; law }
+let time c n = Scaling_law.eval_int c.law n
+let of_fit ~name (fit : Hslb.Fitting.fit) = { cname = name; law = fit.Hslb.Fitting.law }

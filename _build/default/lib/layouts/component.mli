@@ -1,0 +1,20 @@
+(** Coupled-model components for the layout extension.
+
+    HSLB's conclusion section claims the method applies to "any
+    coarse-grained application with large tasks of diverse size"; the
+    follow-up work applied it to CESM's coupled components. A component
+    here is a named task with a fitted scaling curve, to be placed by a
+    layout model. *)
+
+type t = {
+  cname : string;
+  law : Scaling_law.t;  (** fitted performance function *)
+}
+
+val make : name:string -> Scaling_law.t -> t
+
+(** [time c n] — fitted time of [c] on [n] nodes. *)
+val time : t -> int -> float
+
+(** [of_fit ~name fit] — adapt a {!Hslb.Fitting.fit}. *)
+val of_fit : name:string -> Hslb.Fitting.fit -> t

@@ -1,0 +1,1 @@
+lib/lp/lp_problem.ml: Array Float Format List Printf

@@ -1,0 +1,1 @@
+lib/lp/lp_problem.mli: Format

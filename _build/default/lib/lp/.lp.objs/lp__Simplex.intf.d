@@ -1,0 +1,1 @@
+lib/lp/simplex.mli: Lp_problem

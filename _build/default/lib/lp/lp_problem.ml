@@ -1,0 +1,109 @@
+type sense = Le | Ge | Eq
+type constr = { coeffs : (int * float) list; sense : sense; rhs : float }
+
+type t = {
+  num_vars : int;
+  minimize : bool;
+  objective : float array;
+  constraints : constr array;
+  lower : float array;
+  upper : float array;
+  names : string array;
+}
+
+let make ?(minimize = true) ?names ~num_vars () =
+  if num_vars <= 0 then invalid_arg "Lp_problem.make: num_vars must be positive";
+  let names =
+    match names with
+    | Some ns ->
+      if Array.length ns <> num_vars then invalid_arg "Lp_problem.make: names length mismatch";
+      ns
+    | None -> Array.init num_vars (fun j -> Printf.sprintf "x%d" j)
+  in
+  {
+    num_vars;
+    minimize;
+    objective = Array.make num_vars 0.;
+    constraints = [||];
+    lower = Array.make num_vars 0.;
+    upper = Array.make num_vars infinity;
+    names;
+  }
+
+let set_objective p c =
+  if Array.length c <> p.num_vars then invalid_arg "Lp_problem.set_objective: length mismatch";
+  { p with objective = Array.copy c }
+
+let set_bounds p j ~lo ~hi =
+  if j < 0 || j >= p.num_vars then invalid_arg "Lp_problem.set_bounds: index out of range";
+  if lo > hi then invalid_arg "Lp_problem.set_bounds: lo > hi";
+  let lower = Array.copy p.lower and upper = Array.copy p.upper in
+  lower.(j) <- lo;
+  upper.(j) <- hi;
+  { p with lower; upper }
+
+let check_row p row =
+  List.iter
+    (fun (j, _) ->
+      if j < 0 || j >= p.num_vars then invalid_arg "Lp_problem.add_constraint: index out of range")
+    row.coeffs
+
+let add_constraint p row =
+  check_row p row;
+  { p with constraints = Array.append p.constraints [| row |] }
+
+let add_constraints p rows =
+  List.iter (check_row p) rows;
+  { p with constraints = Array.append p.constraints (Array.of_list rows) }
+
+let eval_constraint row x =
+  List.fold_left (fun acc (j, a) -> acc +. (a *. x.(j))) 0. row.coeffs
+
+let constraint_satisfied ?(tol = 1e-7) row x =
+  let v = eval_constraint row x in
+  match row.sense with
+  | Le -> v <= row.rhs +. tol
+  | Ge -> v >= row.rhs -. tol
+  | Eq -> Float.abs (v -. row.rhs) <= tol
+
+let feasible ?(tol = 1e-7) p x =
+  Array.length x = p.num_vars
+  && Array.for_all (fun row -> constraint_satisfied ~tol row x) p.constraints
+  &&
+  let ok = ref true in
+  for j = 0 to p.num_vars - 1 do
+    if x.(j) < p.lower.(j) -. tol || x.(j) > p.upper.(j) +. tol then ok := false
+  done;
+  !ok
+
+let objective_value p x =
+  let acc = ref 0. in
+  for j = 0 to p.num_vars - 1 do
+    acc := !acc +. (p.objective.(j) *. x.(j))
+  done;
+  !acc
+
+let pp_sense fmt = function
+  | Le -> Format.pp_print_string fmt "<="
+  | Ge -> Format.pp_print_string fmt ">="
+  | Eq -> Format.pp_print_string fmt "="
+
+let pp fmt p =
+  Format.fprintf fmt "@[<v>%s %d vars, %d rows@,"
+    (if p.minimize then "minimize" else "maximize")
+    p.num_vars (Array.length p.constraints);
+  Format.fprintf fmt "obj:";
+  Array.iteri
+    (fun j c -> if c <> 0. then Format.fprintf fmt " %+g %s" c p.names.(j))
+    p.objective;
+  Format.fprintf fmt "@,";
+  Array.iter
+    (fun row ->
+      List.iter (fun (j, a) -> Format.fprintf fmt " %+g %s" a p.names.(j)) row.coeffs;
+      Format.fprintf fmt " %a %g@," pp_sense row.sense row.rhs)
+    p.constraints;
+  for j = 0 to p.num_vars - 1 do
+    if p.lower.(j) <> 0. || p.upper.(j) <> infinity then
+      Format.fprintf fmt "%g <= %s <= %g@," p.lower.(j) p.names.(j) p.upper.(j)
+  done;
+  Format.fprintf fmt "@]"

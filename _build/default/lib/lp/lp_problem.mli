@@ -1,0 +1,60 @@
+(** Linear-program description consumed by {!Simplex}.
+
+    A problem is: minimize (or maximize) [c·x] subject to row constraints
+    [a·x {<=,=,>=} b] and per-variable bounds [lower <= x <= upper]
+    ([neg_infinity]/[infinity] allowed). This is the form the MILP and
+    outer-approximation layers of the MINLP toolkit emit. *)
+
+type sense = Le | Ge | Eq
+
+type constr = {
+  coeffs : (int * float) list;  (** sparse row: (variable index, coefficient) *)
+  sense : sense;
+  rhs : float;
+}
+
+type t = private {
+  num_vars : int;
+  minimize : bool;
+  objective : float array;  (** dense cost vector, length [num_vars] *)
+  constraints : constr array;
+  lower : float array;
+  upper : float array;
+  names : string array;  (** variable names, for diagnostics *)
+}
+
+(** [make ~num_vars ()] — fresh problem with zero objective, no
+    constraints, bounds [0, +inf), minimization sense. *)
+val make :
+  ?minimize:bool ->
+  ?names:string array ->
+  num_vars:int ->
+  unit ->
+  t
+
+(** [set_objective p c] — replace the cost vector (length-checked). *)
+val set_objective : t -> float array -> t
+
+(** [set_bounds p j ~lo ~hi] — bound variable [j]. Raises if [lo > hi]. *)
+val set_bounds : t -> int -> lo:float -> hi:float -> t
+
+(** [add_constraint p row] — append a row; indices are range-checked. *)
+val add_constraint : t -> constr -> t
+
+(** [add_constraints p rows] — append several rows. *)
+val add_constraints : t -> constr list -> t
+
+(** [eval_constraint row x] — the left-hand value [a·x]. *)
+val eval_constraint : constr -> float array -> float
+
+(** [constraint_satisfied ?tol row x] — feasibility of one row. *)
+val constraint_satisfied : ?tol:float -> constr -> float array -> bool
+
+(** [feasible ?tol p x] — all rows and bounds hold at [x]. *)
+val feasible : ?tol:float -> t -> float array -> bool
+
+(** [objective_value p x] — [c·x] (sign as stored, i.e. the value of the
+    user's objective regardless of sense). *)
+val objective_value : t -> float array -> float
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,24 @@
+(** Two-phase dense primal simplex.
+
+    Plays the role of CLP in the paper's stack: it solves the LP
+    relaxations inside the MILP branch-and-bound and the master problems
+    of the LP/NLP-based MINLP algorithm. General bounds and free
+    variables are handled by substitution; degeneracy is handled by
+    switching from Dantzig to Bland's rule, which guarantees
+    termination. *)
+
+type status =
+  | Optimal
+  | Infeasible
+  | Unbounded
+  | Iteration_limit  (** gave up; [x]/[obj] hold the last iterate *)
+
+type solution = {
+  status : status;
+  x : float array;  (** length [num_vars]; meaningful when [Optimal] *)
+  obj : float;  (** objective value in the problem's own sense *)
+}
+
+(** [solve ?max_iter p] — solve [p]. The result's [x] is in the original
+    variable space (bound offsets undone). *)
+val solve : ?max_iter:int -> Lp_problem.t -> solution

@@ -1,0 +1,1 @@
+lib/machine/scaling_law.ml: Array Format Numerics

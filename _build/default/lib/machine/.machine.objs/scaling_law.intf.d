@@ -1,0 +1,1 @@
+lib/machine/scaling_law.mli: Format

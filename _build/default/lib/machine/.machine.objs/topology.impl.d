@@ -1,0 +1,1 @@
+lib/machine/topology.ml: Array Float Fun List Numerics Stdlib

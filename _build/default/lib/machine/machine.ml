@@ -1,0 +1,37 @@
+type t = {
+  name : string;
+  num_nodes : int;
+  cores_per_node : int;
+  node_gflops : float;
+  efficiency_exponent : float;
+  comm_ns_per_word : float;
+  serial_fraction : float;
+  noise_sigma : float;
+}
+
+let make ?(cores_per_node = 4) ?(node_gflops = 13.6) ?(efficiency_exponent = 0.92)
+    ?(comm_ns_per_word = 4.) ?(serial_fraction = 0.002) ?(noise_sigma = 0.02) ~name ~num_nodes ()
+    =
+  if num_nodes <= 0 then invalid_arg "Machine.make: num_nodes must be positive";
+  if efficiency_exponent <= 0. || efficiency_exponent > 1.2 then
+    invalid_arg "Machine.make: efficiency_exponent out of range";
+  {
+    name;
+    num_nodes;
+    cores_per_node;
+    node_gflops;
+    efficiency_exponent;
+    comm_ns_per_word;
+    serial_fraction;
+    noise_sigma;
+  }
+
+(* Blue Gene/P: 4 cores/node at 850 MHz, 13.6 GF/node peak *)
+let intrepid = make ~name:"intrepid" ~num_nodes:40_960 ()
+
+let cores m = m.num_nodes * m.cores_per_node
+let with_noise m sigma = { m with noise_sigma = sigma }
+
+let pp fmt m =
+  Format.fprintf fmt "%s: %d nodes x %d cores, %.1f GF/node, c=%.2f, noise=%.3f" m.name
+    m.num_nodes m.cores_per_node m.node_gflops m.efficiency_exponent m.noise_sigma

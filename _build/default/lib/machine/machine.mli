@@ -1,0 +1,48 @@
+(** Simulated parallel machine.
+
+    Stands in for the paper's IBM Blue Gene/P ("Intrepid", 40,960
+    quad-core nodes). The machine fixes the parameters of the hidden
+    ground-truth scaling law every task follows — compute rate, the
+    efficiency exponent of near-linear scaling, communication overhead
+    growing with group size, and a serial floor — plus a multiplicative
+    log-normal noise level for simulated executions. The decision layer
+    (fitting + MINLP) never sees these parameters, only observed times,
+    exactly as HSLB only sees benchmark timings on real hardware. *)
+
+type t = {
+  name : string;
+  num_nodes : int;
+  cores_per_node : int;
+  node_gflops : float;  (** sustained per-node compute rate *)
+  efficiency_exponent : float;
+      (** [c] in the ground-truth [a/n^c]: 1 = perfect scaling *)
+  comm_ns_per_word : float;  (** drives the [b·n] overhead term *)
+  serial_fraction : float;  (** fraction of a task's work that never parallelizes *)
+  noise_sigma : float;  (** log-normal sigma of run-to-run variation *)
+}
+
+(** The default machine: Intrepid-like Blue Gene/P. *)
+val intrepid : t
+
+(** [make ~name ~num_nodes ()] — custom machine with Intrepid-like
+    defaults for unspecified parameters. *)
+val make :
+  ?cores_per_node:int ->
+  ?node_gflops:float ->
+  ?efficiency_exponent:float ->
+  ?comm_ns_per_word:float ->
+  ?serial_fraction:float ->
+  ?noise_sigma:float ->
+  name:string ->
+  num_nodes:int ->
+  unit ->
+  t
+
+(** [cores m] — total core count. *)
+val cores : t -> int
+
+(** [with_noise m sigma] — same machine, different noise level (used by
+    the fit-sensitivity experiment E7). *)
+val with_noise : t -> float -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,122 @@
+type t = { dim_x : int; dim_y : int; dim_z : int }
+
+let make ~x ~y ~z =
+  if x < 1 || y < 1 || z < 1 then invalid_arg "Topology.make: dimensions must be >= 1";
+  { dim_x = x; dim_y = y; dim_z = z }
+
+let for_nodes n =
+  if n < 1 then invalid_arg "Topology.for_nodes: n must be >= 1";
+  let side = int_of_float (Float.ceil (float_of_int n ** (1. /. 3.))) in
+  (* shrink axes greedily while capacity still holds *)
+  let x = ref side and y = ref side and z = ref side in
+  if (!x - 1) * !y * !z >= n then decr x;
+  if !x * (!y - 1) * !z >= n then decr y;
+  if !x * !y * (!z - 1) >= n then decr z;
+  make ~x:(Stdlib.max 1 !x) ~y:(Stdlib.max 1 !y) ~z:(Stdlib.max 1 !z)
+
+let num_nodes t = t.dim_x * t.dim_y * t.dim_z
+
+let coords t id =
+  if id < 0 || id >= num_nodes t then invalid_arg "Topology.coords: id out of range";
+  let z = id mod t.dim_z in
+  let y = id / t.dim_z mod t.dim_y in
+  let x = id / (t.dim_z * t.dim_y) in
+  (x, y, z)
+
+let axis_distance dim a b =
+  let d = abs (a - b) in
+  Stdlib.min d (dim - d)
+
+let distance t a b =
+  let xa, ya, za = coords t a and xb, yb, zb = coords t b in
+  axis_distance t.dim_x xa xb + axis_distance t.dim_y ya yb + axis_distance t.dim_z za zb
+
+let diameter t = (t.dim_x / 2) + (t.dim_y / 2) + (t.dim_z / 2)
+
+type placement = Compact | Scattered
+
+let placement_to_string = function Compact -> "compact" | Scattered -> "scattered"
+
+let place t ~placement ~sizes =
+  let total = List.fold_left ( + ) 0 sizes in
+  if total > num_nodes t then invalid_arg "Topology.place: more nodes requested than available";
+  List.iter (fun s -> if s <= 0 then invalid_arg "Topology.place: non-positive group size") sizes;
+  let id_of t (x, y, z) = (((x * t.dim_y) + y) * t.dim_z) + z in
+  match placement with
+  | Compact ->
+    (* real allocators hand out near-cubic sub-blocks; tile the torus
+       with cuboids when the sizes are uniform and divide the axes
+       evenly, otherwise fall back to consecutive ids *)
+    let uniform = match sizes with [] -> None | s :: rest -> if List.for_all (( = ) s) rest then Some s else None in
+    let cuboid_dims s =
+      let a = int_of_float (Float.ceil (float_of_int s ** (1. /. 3.))) in
+      let rec fit a = if a > 1 && t.dim_z mod a <> 0 then fit (a - 1) else a in
+      let gz = fit (Stdlib.min a t.dim_z) in
+      let rest = (s + gz - 1) / gz in
+      let b = int_of_float (Float.ceil (sqrt (float_of_int rest))) in
+      let rec fity b = if b > 1 && t.dim_y mod b <> 0 then fity (b - 1) else b in
+      let gy = fity (Stdlib.min b t.dim_y) in
+      let gx = (rest + gy - 1) / gy in
+      (gx, gy, gz)
+    in
+    let consecutive () =
+      let next = ref 0 in
+      List.map
+        (fun size ->
+          let ids = Array.init size (fun k -> !next + k) in
+          next := !next + size;
+          ids)
+        sizes
+    in
+    (match uniform with
+    | Some s ->
+      let gx, gy, gz = cuboid_dims s in
+      if
+        gx * gy * gz = s
+        && t.dim_x mod gx = 0
+        && t.dim_y mod gy = 0
+        && t.dim_z mod gz = 0
+        && List.length sizes <= t.dim_x / gx * (t.dim_y / gy) * (t.dim_z / gz)
+      then begin
+        let blocks_y = t.dim_y / gy and blocks_z = t.dim_z / gz in
+        List.mapi
+          (fun g _ ->
+            let bz = g mod blocks_z in
+            let by = g / blocks_z mod blocks_y in
+            let bx = g / (blocks_z * blocks_y) in
+            Array.init s (fun k ->
+                let kz = k mod gz in
+                let ky = k / gz mod gy in
+                let kx = k / (gz * gy) in
+                id_of t ((bx * gx) + kx, (by * gy) + ky, (bz * gz) + kz)))
+          sizes
+      end
+      else consecutive ()
+    | None -> consecutive ())
+  | Scattered ->
+    (* deal node ids from a fixed pseudo-random permutation — the "bad"
+       fragmented placement a busy batch scheduler can hand out *)
+    let ids = Array.init (num_nodes t) Fun.id in
+    Numerics.Rng.shuffle (Numerics.Rng.create 0xC0FFEE) ids;
+    let next = ref 0 in
+    List.map
+      (fun size ->
+        let g = Array.sub ids !next size in
+        next := !next + size;
+        g)
+      sizes
+
+let group_diameter t ids =
+  let d = ref 0 in
+  Array.iteri
+    (fun i a ->
+      for j = i + 1 to Array.length ids - 1 do
+        d := Stdlib.max !d (distance t a ids.(j))
+      done)
+    ids;
+  !d
+
+let comm_factor t ids ~alpha =
+  let dia = diameter t in
+  if dia = 0 then 1.
+  else 1. +. (alpha *. float_of_int (group_diameter t ids) /. float_of_int dia)

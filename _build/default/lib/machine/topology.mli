@@ -1,0 +1,52 @@
+(** 3-D torus topology and group placement.
+
+    Blue Gene/P is a 3-D torus; where a processor group's nodes sit on
+    it determines the group's internal communication distance. This
+    module models node coordinates, torus distances, and the two
+    placement policies that matter in practice: {e compact} (consecutive
+    nodes fill sub-blocks, small diameters) and {e scattered}
+    (round-robin striding across the machine, large diameters). The
+    placement-sensitivity experiment uses the resulting per-group
+    communication factors to scale the [b·n] overhead term of the
+    performance model. *)
+
+type t = private { dim_x : int; dim_y : int; dim_z : int }
+
+(** [make ~x ~y ~z] — torus with the given dimensions (all >= 1). *)
+val make : x:int -> y:int -> z:int -> t
+
+(** [for_nodes n] — a near-cubic torus with at least [n] nodes. *)
+val for_nodes : int -> t
+
+val num_nodes : t -> int
+
+(** [coords t id] — (x, y, z) of node [id] (z-major order).
+    @raise Invalid_argument when [id] is out of range. *)
+val coords : t -> int -> int * int * int
+
+(** [distance t a b] — hop distance between nodes [a] and [b] with
+    wraparound on every axis. *)
+val distance : t -> int -> int -> int
+
+(** [diameter t] — the maximum hop distance on the torus. *)
+val diameter : t -> int
+
+type placement = Compact | Scattered
+
+(** [place t ~placement ~sizes] — assign node ids to groups of the given
+    sizes: [Compact] hands out consecutive ids; [Scattered] stripes ids
+    round-robin across groups. Total size must not exceed
+    [num_nodes t]. Returns one id array per group. *)
+val place : t -> placement:placement -> sizes:int list -> int array list
+
+(** [group_diameter t ids] — max pairwise hop distance within a group
+    ([0] for singleton groups). *)
+val group_diameter : t -> int array -> int
+
+(** [comm_factor t ids ~alpha] — multiplicative communication penalty
+    for a group: [1 + alpha * group_diameter/diameter]. [alpha]
+    expresses how strongly the application's collectives feel wire
+    distance. *)
+val comm_factor : t -> int array -> alpha:float -> float
+
+val placement_to_string : placement -> string

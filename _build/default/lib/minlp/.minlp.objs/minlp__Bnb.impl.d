@@ -1,0 +1,1 @@
+lib/minlp/bnb.ml: Array Ds Float List Milp Numerics Presolve Problem Relax Solution

@@ -1,0 +1,1 @@
+lib/minlp/bnb.mli: Problem Solution

@@ -1,0 +1,1 @@
+lib/minlp/expr.ml: Array Format Hashtbl List Option

@@ -1,0 +1,1 @@
+lib/minlp/expr.mli: Format

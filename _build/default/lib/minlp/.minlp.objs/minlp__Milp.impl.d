@@ -1,0 +1,1 @@
+lib/minlp/milp.ml: Array Ds Float List Lp Problem Solution Stdlib

@@ -1,0 +1,1 @@
+lib/minlp/milp.mli: Lp Problem Solution

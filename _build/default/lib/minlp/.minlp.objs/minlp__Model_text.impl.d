@@ -1,0 +1,1 @@
+lib/minlp/model_text.ml: Array Expr Float Format Hashtbl List Lp Printf Problem String

@@ -1,0 +1,1 @@
+lib/minlp/model_text.mli: Format Problem

@@ -1,0 +1,1 @@
+lib/minlp/oa.ml: Array Buffer Float Hashtbl List Lp Milp Option Presolve Problem Relax Solution

@@ -1,0 +1,1 @@
+lib/minlp/oa.mli: Milp Problem Solution

@@ -1,0 +1,1 @@
+lib/minlp/oa_multi.ml: Array Float List Lp Milp Presolve Problem Relax Solution

@@ -1,0 +1,1 @@
+lib/minlp/oa_multi.mli: Problem Solution

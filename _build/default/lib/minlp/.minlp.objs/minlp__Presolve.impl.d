@@ -1,0 +1,1 @@
+lib/minlp/presolve.ml: Array Float List Lp Problem

@@ -1,0 +1,1 @@
+lib/minlp/presolve.mli: Problem

@@ -1,0 +1,1 @@
+lib/minlp/problem.ml: Array Expr Float Format List Lp Option Printf

@@ -1,0 +1,1 @@
+lib/minlp/problem.mli: Expr Format Lp

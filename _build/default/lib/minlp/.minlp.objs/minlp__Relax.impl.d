@@ -1,0 +1,1 @@
+lib/minlp/relax.ml: Array Expr Float List Lp Nlp Numerics Problem

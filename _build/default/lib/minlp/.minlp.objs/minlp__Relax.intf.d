@@ -1,0 +1,1 @@
+lib/minlp/relax.mli: Lp Problem

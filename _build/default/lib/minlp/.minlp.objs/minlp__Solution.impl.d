@@ -1,0 +1,1 @@
+lib/minlp/solution.ml: Format

@@ -1,0 +1,1 @@
+lib/minlp/solution.mli: Format

@@ -1,0 +1,140 @@
+type options = { max_nodes : int; tol_int : float; rel_gap : float; branch_sos_first : bool }
+
+let default_options = { max_nodes = 20_000; tol_int = 1e-6; rel_gap = 1e-6; branch_sos_first = true }
+
+type node = { nlo : float array; nhi : float array; depth : int; bound : float; start : float array }
+
+let solve ?(options = default_options) (p0 : Problem.t) =
+  let p, orig_dim = Problem.normalize p0 in
+  let pre = Presolve.tighten p in
+  if pre.Presolve.infeasible then
+    {
+      Solution.status = Solution.Infeasible;
+      x = [||];
+      obj = nan;
+      bound = nan;
+      stats = Solution.empty_stats;
+    }
+  else begin
+  let p = pre.Presolve.problem in
+  let key v = if p.minimize then v else -.v in
+  let nlp_solves = ref 0 in
+  let nodes_processed = ref 0 in
+  let incumbent = ref None in
+  let incumbent_key = ref infinity in
+  let leq a b = a.bound <= b.bound in
+  let open_nodes = Ds.Heap.create ~leq in
+  let root_start = Relax.midpoint p.lo p.hi in
+  Ds.Heap.push open_nodes
+    { nlo = Array.copy p.lo; nhi = Array.copy p.hi; depth = 0; bound = neg_infinity; start = root_start };
+  let limit_hit = ref false in
+  let prune_tol () = options.rel_gap *. Float.max 1. (Float.abs !incumbent_key) in
+  let push_child node j ~lo ~hi start =
+    let nlo = Array.copy node.nlo and nhi = Array.copy node.nhi in
+    nlo.(j) <- Float.max nlo.(j) lo;
+    nhi.(j) <- Float.min nhi.(j) hi;
+    if nlo.(j) <= nhi.(j) then
+      Ds.Heap.push open_nodes { nlo; nhi; depth = node.depth + 1; bound = node.bound; start }
+  in
+  let push_sos_child node subset start =
+    let nlo = Array.copy node.nlo and nhi = Array.copy node.nhi in
+    let ok = ref true in
+    List.iter
+      (fun (j, _) ->
+        if nlo.(j) > 0. || nhi.(j) < 0. then ok := false
+        else begin
+          nlo.(j) <- 0.;
+          nhi.(j) <- 0.
+        end)
+      subset;
+    if !ok then Ds.Heap.push open_nodes { nlo; nhi; depth = node.depth + 1; bound = node.bound; start }
+  in
+  let continue_loop = ref true in
+  while !continue_loop && not (Ds.Heap.is_empty open_nodes) do
+    if !nodes_processed >= options.max_nodes then begin
+      limit_hit := true;
+      continue_loop := false
+    end
+    else begin
+      let node = Ds.Heap.pop open_nodes in
+      if node.bound >= !incumbent_key -. prune_tol () then ()
+      else begin
+        incr nodes_processed;
+        incr nlp_solves;
+        let start = Numerics.Vec.clamp ~lo:node.nlo ~hi:node.nhi node.start in
+        let r = Relax.solve_nlp p ~lo:node.nlo ~hi:node.nhi ~start in
+        if not r.Relax.feasible then () (* relaxation infeasible: prune *)
+        else begin
+          let k = key r.Relax.obj in
+          if k >= !incumbent_key -. prune_tol () then ()
+          else begin
+            let x = r.Relax.x in
+            let sos_viol =
+              if options.branch_sos_first then Problem.violated_sos1 ~tol:options.tol_int p x
+              else None
+            in
+            match sos_viol with
+            | Some members ->
+              let s1, s2 = Milp.sos_split members x in
+              let node = { node with bound = k } in
+              push_sos_child node s1 x;
+              push_sos_child node s2 x
+            | None -> (
+              match Problem.most_fractional ~tol:options.tol_int p x with
+              | Some j ->
+                let node = { node with bound = k } in
+                push_child node j ~lo:neg_infinity ~hi:(Float.floor x.(j)) x;
+                push_child node j ~lo:(Float.ceil x.(j)) ~hi:infinity x
+              | None -> (
+                match Problem.violated_sos1 ~tol:options.tol_int p x with
+                | Some members ->
+                  let s1, s2 = Milp.sos_split members x in
+                  let node = { node with bound = k } in
+                  push_sos_child node s1 x;
+                  push_sos_child node s2 x
+                | None ->
+                  (* polish: re-solve with the integer assignment fixed
+                     so the continuous completion is as good as the
+                     subproblem allows (rounding the relaxation point
+                     alone can be measurably suboptimal) *)
+                  let xr = Problem.round_integral p x in
+                  let plo = Array.copy node.nlo and phi = Array.copy node.nhi in
+                  Array.iteri
+                    (fun j kind ->
+                      match kind with
+                      | Problem.Integer | Problem.Binary ->
+                        plo.(j) <- xr.(j);
+                        phi.(j) <- xr.(j)
+                      | Problem.Continuous -> ())
+                    p.kinds;
+                  incr nlp_solves;
+                  let polished = Relax.solve_nlp p ~lo:plo ~hi:phi ~start:xr in
+                  let cand_x, cand_obj =
+                    if polished.Relax.feasible && key polished.Relax.obj < k then
+                      (Problem.round_integral p polished.Relax.x, polished.Relax.obj)
+                    else (xr, r.Relax.obj)
+                  in
+                  if key cand_obj < !incumbent_key then begin
+                    incumbent_key := key cand_obj;
+                    incumbent := Some (cand_x, cand_obj)
+                  end))
+          end
+        end
+      end
+    end
+  done;
+  let best_open_bound = Ds.Heap.fold (fun acc n -> Float.min acc n.bound) infinity open_nodes in
+  let bound = Float.min !incumbent_key best_open_bound in
+  let stats =
+    { Solution.nodes = !nodes_processed; lp_solves = 0; nlp_solves = !nlp_solves; cuts = 0 }
+  in
+  match !incumbent with
+  | Some (x, obj) ->
+    let status =
+      if !limit_hit && not (Ds.Heap.is_empty open_nodes) then Solution.Limit else Solution.Optimal
+    in
+    { Solution.status; x = Array.sub x 0 orig_dim; obj; bound; stats }
+  | None ->
+    let status = if !limit_hit then Solution.Limit else Solution.Infeasible in
+    { Solution.status; x = [||]; obj = nan; bound; stats }
+  end

@@ -1,0 +1,22 @@
+(** NLP-based branch-and-bound for convex MINLPs.
+
+    The classical algorithm (Dakin's tree search with nonlinear
+    relaxations): each node solves the continuous NLP relaxation under
+    the node's bounds; convexity of the model class makes the relaxation
+    value a valid lower bound, so pruning is exact. Serves as the
+    reference solver and as the baseline against which the LP/NLP-based
+    {!Oa} solver is benchmarked (experiment E6). *)
+
+type options = {
+  max_nodes : int;
+  tol_int : float;
+  rel_gap : float;
+  branch_sos_first : bool;
+}
+
+val default_options : options
+
+(** [solve ?options p] — solve the MINLP. Nonlinear objectives are
+    handled by epigraph normalization internally; the returned [x] is in
+    the original variable space. *)
+val solve : ?options:options -> Problem.t -> Solution.t

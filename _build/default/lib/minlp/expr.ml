@@ -1,0 +1,168 @@
+type t =
+  | Const of float
+  | Var of int
+  | Add of t list
+  | Mul of t * t
+  | Neg of t
+  | Div of t * t
+  | Pow of t * float
+  | Exp of t
+  | Log of t
+
+let const c = Const c
+
+let var j =
+  if j < 0 then invalid_arg "Expr.var: negative index";
+  Var j
+
+(* --- light smart constructors --- *)
+
+let add es =
+  let flat =
+    List.concat_map (function Add inner -> inner | e -> [ e ]) es
+  in
+  let consts, rest = List.partition (function Const _ -> true | _ -> false) flat in
+  let csum = List.fold_left (fun acc e -> match e with Const c -> acc +. c | _ -> acc) 0. consts in
+  match (rest, csum) with
+  | [], c -> Const c
+  | [ e ], 0. -> e
+  | es, 0. -> Add es
+  | es, c -> Add (es @ [ Const c ])
+
+let neg = function Const c -> Const (-.c) | Neg e -> e | e -> Neg e
+
+let mul a b =
+  match (a, b) with
+  | Const 0., _ | _, Const 0. -> Const 0.
+  | Const 1., e | e, Const 1. -> e
+  | Const x, Const y -> Const (x *. y)
+  | a, b -> Mul (a, b)
+
+let div a b =
+  match (a, b) with
+  | _, Const 0. -> invalid_arg "Expr.div: division by constant zero"
+  | Const 0., _ -> Const 0.
+  | e, Const 1. -> e
+  | Const x, Const y -> Const (x /. y)
+  | a, b -> Div (a, b)
+
+let pow e p =
+  match (e, p) with
+  | _, 0. -> Const 1.
+  | e, 1. -> e
+  | Const c, p -> Const (c ** p)
+  | e, p -> Pow (e, p)
+
+let exp_ = function Const c -> Const (exp c) | e -> Exp e
+let log_ = function Const c when c > 0. -> Const (log c) | e -> Log e
+let scale c e = mul (Const c) e
+let linear coeffs = add (List.map (fun (j, c) -> mul (Const c) (Var j)) coeffs)
+let ( + ) a b = add [ a; b ]
+let ( - ) a b = add [ a; neg b ]
+let ( * ) = mul
+let ( / ) = div
+
+let rec eval e x =
+  match e with
+  | Const c -> c
+  | Var j ->
+    if j >= Array.length x then invalid_arg "Expr.eval: variable index out of range";
+    x.(j)
+  | Add es -> List.fold_left (fun acc e -> acc +. eval e x) 0. es
+  | Mul (a, b) -> eval a x *. eval b x
+  | Neg a -> -.eval a x
+  | Div (a, b) -> eval a x /. eval b x
+  | Pow (a, p) -> eval a x ** p
+  | Exp a -> exp (eval a x)
+  | Log a -> log (eval a x)
+
+let rec diff e j =
+  match e with
+  | Const _ -> Const 0.
+  | Var k -> if k = j then Const 1. else Const 0.
+  | Add es -> add (List.map (fun e -> diff e j) es)
+  | Mul (a, b) -> add [ mul (diff a j) b; mul a (diff b j) ]
+  | Neg a -> neg (diff a j)
+  | Div (a, b) ->
+    (* (a'b - ab') / b² *)
+    div (add [ mul (diff a j) b; neg (mul a (diff b j)) ]) (pow b 2.)
+  | Pow (a, p) -> mul (Const p) (mul (pow a (p -. 1.)) (diff a j))
+  | Exp a -> mul (Exp a) (diff a j)
+  | Log a -> div (diff a j) a
+
+let rec vars_aux acc = function
+  | Const _ -> acc
+  | Var j -> j :: acc
+  | Add es -> List.fold_left vars_aux acc es
+  | Mul (a, b) | Div (a, b) -> vars_aux (vars_aux acc a) b
+  | Neg a | Pow (a, _) | Exp a | Log a -> vars_aux acc a
+
+let vars e = List.sort_uniq compare (vars_aux [] e)
+let max_var e = match List.rev (vars e) with [] -> -1 | j :: _ -> j
+
+let gradient e x =
+  let g = Array.make (Array.length x) 0. in
+  List.iter (fun j -> g.(j) <- eval (diff e j) x) (vars e);
+  g
+
+let compile_gradient e =
+  let partials = List.map (fun j -> (j, diff e j)) (vars e) in
+  fun x ->
+    let g = Array.make (Array.length x) 0. in
+    List.iter (fun (j, d) -> g.(j) <- eval d x) partials;
+    g
+
+let rec simplify e =
+  match e with
+  | Const _ | Var _ -> e
+  | Add es -> add (List.map simplify es)
+  | Mul (a, b) -> mul (simplify a) (simplify b)
+  | Neg a -> neg (simplify a)
+  | Div (a, b) -> div (simplify a) (simplify b)
+  | Pow (a, p) -> pow (simplify a) p
+  | Exp a -> exp_ (simplify a)
+  | Log a -> log_ (simplify a)
+
+let rec is_linear = function
+  | Const _ | Var _ -> true
+  | Add es -> List.for_all is_linear es
+  | Neg a -> is_linear a
+  | Mul (Const _, e) | Mul (e, Const _) -> is_linear e
+  | Div (e, Const _) -> is_linear e
+  | Mul _ | Div _ | Pow _ | Exp _ | Log _ -> false
+
+let linear_parts e =
+  if not (is_linear e) then invalid_arg "Expr.linear_parts: not linear";
+  let tbl = Hashtbl.create 8 in
+  let constant = ref 0. in
+  let bump j c = Hashtbl.replace tbl j (c +. Option.value ~default:0. (Hashtbl.find_opt tbl j)) in
+  let rec go mult = function
+    | Const c -> constant := !constant +. (mult *. c)
+    | Var j -> bump j mult
+    | Add es -> List.iter (go mult) es
+    | Neg a -> go (-.mult) a
+    | Mul (Const c, e) | Mul (e, Const c) -> go (mult *. c) e
+    | Div (e, Const c) -> go (mult /. c) e
+    | Mul _ | Div _ | Pow _ | Exp _ | Log _ -> assert false
+  in
+  go 1. e;
+  let coeffs = Hashtbl.fold (fun j c acc -> (j, c) :: acc) tbl [] in
+  (List.sort compare coeffs, !constant)
+
+let linearize e x = (eval e x, gradient e x)
+
+let rec pp fmt = function
+  | Const c -> Format.fprintf fmt "%g" c
+  | Var j -> Format.fprintf fmt "x%d" j
+  | Add es ->
+    Format.fprintf fmt "(";
+    List.iteri (fun i e -> Format.fprintf fmt (if i = 0 then "%a" else " + %a") pp e) es;
+    Format.fprintf fmt ")"
+  | Mul (a, b) -> Format.fprintf fmt "(%a * %a)" pp a pp b
+  | Neg a -> Format.fprintf fmt "-%a" pp a
+  | Div (a, b) -> Format.fprintf fmt "(%a / %a)" pp a pp b
+  | Pow (a, p) -> Format.fprintf fmt "%a^%g" pp a p
+  | Exp a -> Format.fprintf fmt "exp(%a)" pp a
+  | Log a -> Format.fprintf fmt "log(%a)" pp a
+
+let to_string e = Format.asprintf "%a" pp e

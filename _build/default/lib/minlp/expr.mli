@@ -1,0 +1,84 @@
+(** Algebraic expression AST with exact symbolic derivatives.
+
+    Plays AMPL's role in the paper's toolchain: models are written as
+    expressions over decision variables, and the solvers obtain exact
+    gradients for NLP subproblems and for outer-approximation cuts
+    [g(xk) + ∇g(xk)·(x − xk) <= 0] without finite differencing.
+
+    Variables are identified by index into the evaluation point. *)
+
+type t =
+  | Const of float
+  | Var of int
+  | Add of t list
+  | Mul of t * t
+  | Neg of t
+  | Div of t * t
+  | Pow of t * float  (** [Pow (e, p)] = e^p with constant exponent *)
+  | Exp of t
+  | Log of t
+
+(* Constructors (with light simplification). *)
+
+val const : float -> t
+val var : int -> t
+val add : t list -> t
+val ( + ) : t -> t -> t
+val ( - ) : t -> t -> t
+val ( * ) : t -> t -> t
+val ( / ) : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+val neg : t -> t
+val pow : t -> float -> t
+val exp_ : t -> t
+val log_ : t -> t
+
+(** [scale c e] = [c * e]. *)
+val scale : float -> t -> t
+
+(** [linear coeffs] = [Σ c_j x_j] from sparse (index, coefficient) pairs. *)
+val linear : (int * float) list -> t
+
+(** [eval e x] — value at point [x].
+    @raise Invalid_argument when a variable index exceeds [x]. *)
+val eval : t -> float array -> float
+
+(** [diff e j] — symbolic partial derivative ∂e/∂x_j (simplified). *)
+val diff : t -> int -> t
+
+(** [gradient e x] — exact gradient at [x], one [diff]+[eval] per
+    variable occurring in [e]; absent variables get 0. The result has
+    the length of [x]. *)
+val gradient : t -> float array -> float array
+
+(** [compile_gradient e] — precompute the symbolic partials of [e] once
+    and return a fast evaluator. Equivalent to [gradient e] but without
+    re-deriving on every call; the NLP solvers evaluate gradients tens
+    of thousands of times per relaxation. *)
+val compile_gradient : t -> float array -> float array
+
+(** [vars e] — sorted list of distinct variable indices in [e]. *)
+val vars : t -> int list
+
+(** [max_var e] — largest variable index, or [-1] for constants. *)
+val max_var : t -> int
+
+(** [simplify e] — constant folding and algebraic identities
+    (idempotent). *)
+val simplify : t -> t
+
+(** [is_linear e] — true when [e] is affine in its variables. *)
+val is_linear : t -> bool
+
+(** [linear_parts e] — [(coeffs, constant)] when [is_linear e];
+    @raise Invalid_argument otherwise. *)
+val linear_parts : t -> (int * float) list * float
+
+(** [linearize e x] — first-order Taylor data at [x]:
+    [(value, gradient)]. The OA cut for [e <= ub] is
+    [value + grad·(x' − x) <= ub]. *)
+val linearize : t -> float array -> float * float array
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

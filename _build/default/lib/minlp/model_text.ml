@@ -1,0 +1,365 @@
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+(* ---------- tokenizer ---------- *)
+
+type token =
+  | Num of float
+  | Ident of string
+  | Plus
+  | Minus
+  | Star
+  | Slash
+  | Caret
+  | Lparen
+  | Rparen
+  | Colon
+  | Le
+  | Ge
+  | Eq
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '_'
+
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize s =
+  let n = String.length s in
+  let toks = ref [] in
+  let i = ref 0 in
+  while !i < n do
+    let c = s.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if is_digit c || (c = '.' && !i + 1 < n && is_digit s.[!i + 1]) then begin
+      let j = ref !i in
+      let seen_e = ref false in
+      while
+        !j < n
+        && (is_digit s.[!j] || s.[!j] = '.'
+           || s.[!j] = 'e' || s.[!j] = 'E'
+           || ((s.[!j] = '+' || s.[!j] = '-') && !seen_e && (s.[!j - 1] = 'e' || s.[!j - 1] = 'E')))
+      do
+        if s.[!j] = 'e' || s.[!j] = 'E' then seen_e := true;
+        incr j
+      done;
+      let text = String.sub s !i (!j - !i) in
+      (match float_of_string_opt text with
+      | Some v -> toks := Num v :: !toks
+      | None -> fail "bad number %S" text);
+      i := !j
+    end
+    else if is_ident_char c && not (is_digit c) then begin
+      let j = ref !i in
+      while !j < n && is_ident_char s.[!j] do
+        incr j
+      done;
+      toks := Ident (String.sub s !i (!j - !i)) :: !toks;
+      i := !j
+    end
+    else begin
+      let two = if !i + 1 < n then String.sub s !i 2 else "" in
+      (match two with
+      | "<=" ->
+        toks := Le :: !toks;
+        i := !i + 2
+      | ">=" ->
+        toks := Ge :: !toks;
+        i := !i + 2
+      | _ ->
+        (match c with
+        | '+' -> toks := Plus :: !toks
+        | '-' -> toks := Minus :: !toks
+        | '*' -> toks := Star :: !toks
+        | '/' -> toks := Slash :: !toks
+        | '^' -> toks := Caret :: !toks
+        | '(' -> toks := Lparen :: !toks
+        | ')' -> toks := Rparen :: !toks
+        | ':' -> toks := Colon :: !toks
+        | '=' -> toks := Eq :: !toks
+        | _ -> fail "unexpected character %C" c);
+        incr i)
+    end
+  done;
+  List.rev !toks
+
+(* ---------- expression parser (recursive descent) ---------- *)
+
+(* grammar: expr := term (('+'|'-') term)*
+            term := factor (('*'|'/') factor)*
+            factor := atom ('^' factor)?          (right assoc)
+            atom := NUM | IDENT | IDENT '(' expr ')' | '(' expr ')' | '-' factor *)
+let parse_expr ~var_index toks =
+  let rest = ref toks in
+  let peek () = match !rest with [] -> None | t :: _ -> Some t in
+  let advance () = match !rest with [] -> fail "unexpected end of expression" | _ :: tl -> rest := tl in
+  let expect t what =
+    match peek () with
+    | Some t' when t' = t -> advance ()
+    | _ -> fail "expected %s" what
+  in
+  let rec expr () =
+    let lhs = ref (term ()) in
+    let continue_loop = ref true in
+    while !continue_loop do
+      match peek () with
+      | Some Plus ->
+        advance ();
+        lhs := Expr.add [ !lhs; term () ]
+      | Some Minus ->
+        advance ();
+        lhs := Expr.add [ !lhs; Expr.neg (term ()) ]
+      | _ -> continue_loop := false
+    done;
+    !lhs
+  and term () =
+    let lhs = ref (factor ()) in
+    let continue_loop = ref true in
+    while !continue_loop do
+      match peek () with
+      | Some Star ->
+        advance ();
+        lhs := Expr.mul !lhs (factor ())
+      | Some Slash ->
+        advance ();
+        lhs := Expr.div !lhs (factor ())
+      | _ -> continue_loop := false
+    done;
+    !lhs
+  and factor () =
+    let base = atom () in
+    match peek () with
+    | Some Caret -> (
+      advance ();
+      (* exponent must reduce to a constant *)
+      let e = factor () in
+      match Expr.simplify e with
+      | Expr.Const p -> Expr.pow base p
+      | _ -> fail "exponent must be a constant")
+    | _ -> base
+  and atom () =
+    match peek () with
+    | Some (Num v) ->
+      advance ();
+      Expr.const v
+    | Some Minus ->
+      advance ();
+      Expr.neg (factor ())
+    | Some Lparen ->
+      advance ();
+      let e = expr () in
+      expect Rparen "')'";
+      e
+    | Some (Ident name) -> (
+      advance ();
+      match peek () with
+      | Some Lparen ->
+        advance ();
+        let arg = expr () in
+        expect Rparen "')'";
+        (match name with
+        | "exp" -> Expr.exp_ arg
+        | "log" -> Expr.log_ arg
+        | other -> fail "unknown function %S" other)
+      | _ -> (
+        match var_index name with
+        | Some j -> Expr.var j
+        | None -> fail "unknown variable %S" name))
+    | Some _ -> fail "unexpected token in expression"
+    | None -> fail "unexpected end of expression"
+  in
+  let e = expr () in
+  (e, !rest)
+
+(* ---------- statements ---------- *)
+
+let strip_comments text =
+  String.concat "\n"
+    (List.map
+       (fun line -> match String.index_opt line '#' with Some i -> String.sub line 0 i | None -> line)
+       (String.split_on_char '\n' text))
+
+let statements text =
+  String.split_on_char ';' (strip_comments text)
+  |> List.map String.trim
+  |> List.filter (fun s -> s <> "")
+
+let starts_with ~prefix s =
+  String.length s >= String.length prefix && String.sub s 0 (String.length prefix) = prefix
+
+let after ~prefix s = String.trim (String.sub s (String.length prefix) (String.length s - String.length prefix))
+
+type var_decl = { vd_name : string; vd_kind : Problem.var_kind; vd_lo : float option; vd_hi : float option }
+
+let parse_var_decl body =
+  match tokenize body with
+  | Ident name :: rest ->
+    let kind, rest =
+      match rest with
+      | Ident "integer" :: tl -> (Problem.Integer, tl)
+      | Ident "binary" :: tl -> (Problem.Binary, tl)
+      | tl -> (Problem.Continuous, tl)
+    in
+    let lo = ref None and hi = ref None in
+    let rec bounds = function
+      | [] -> ()
+      | Ge :: Num v :: tl ->
+        lo := Some v;
+        bounds tl
+      | Ge :: Minus :: Num v :: tl ->
+        lo := Some (-.v);
+        bounds tl
+      | Le :: Num v :: tl ->
+        hi := Some v;
+        bounds tl
+      | Le :: Minus :: Num v :: tl ->
+        hi := Some (-.v);
+        bounds tl
+      | _ -> fail "bad bound syntax in var %s" name
+    in
+    bounds rest;
+    { vd_name = name; vd_kind = kind; vd_lo = !lo; vd_hi = !hi }
+  | _ -> fail "bad var declaration: %S" body
+
+(* a constraint body: NAME ':' EXPR (<=|>=|=) EXPR *)
+let parse_constraint ~var_index b body =
+  match tokenize body with
+  | Ident name :: Colon :: rest ->
+    let lhs, rest = parse_expr ~var_index rest in
+    let sense, rest =
+      match rest with
+      | Le :: tl -> (Lp.Lp_problem.Le, tl)
+      | Ge :: tl -> (Lp.Lp_problem.Ge, tl)
+      | Eq :: tl -> (Lp.Lp_problem.Eq, tl)
+      | _ -> fail "constraint %s: missing <=, >= or =" name
+    in
+    let rhs, rest = parse_expr ~var_index rest in
+    if rest <> [] then fail "constraint %s: trailing tokens" name;
+    (* move everything left: lhs - rhs SENSE 0 *)
+    Problem.Builder.add_constr b ~name Expr.(lhs - rhs) sense 0.
+  | _ -> fail "bad constraint: %S" body
+
+let parse_sos1 ~var_index b body =
+  match tokenize body with
+  | Ident _name :: Colon :: rest ->
+    let rec members acc = function
+      | [] -> List.rev acc
+      | Ident v :: Colon :: Num w :: tl -> (
+        match var_index v with
+        | Some j -> members ((j, w) :: acc) tl
+        | None -> fail "sos1 member %S is not a variable" v)
+      | _ -> fail "bad sos1 member syntax"
+    in
+    let ms = members [] rest in
+    if ms = [] then fail "empty sos1 set";
+    Problem.Builder.add_sos1 b ms
+  | _ -> fail "bad sos1 statement: %S" body
+
+let parse text =
+  let stmts = statements text in
+  (* pass 1: variable declarations and objective sense *)
+  let decls =
+    List.filter_map
+      (fun s -> if starts_with ~prefix:"var " s then Some (parse_var_decl (after ~prefix:"var " s)) else None)
+      stmts
+  in
+  if decls = [] then fail "no variables declared";
+  let minimize =
+    match
+      List.filter_map
+        (fun s ->
+          if starts_with ~prefix:"minimize " s then Some true
+          else if starts_with ~prefix:"maximize " s then Some false
+          else None)
+        stmts
+    with
+    | [ m ] -> m
+    | [] -> fail "no objective (minimize/maximize) statement"
+    | _ -> fail "multiple objective statements"
+  in
+  let b = Problem.Builder.create ~minimize () in
+  let index = Hashtbl.create 16 in
+  List.iter
+    (fun d ->
+      if Hashtbl.mem index d.vd_name then fail "variable %S declared twice" d.vd_name;
+      let j = Problem.Builder.add_var b ~name:d.vd_name ?lo:d.vd_lo ?hi:d.vd_hi d.vd_kind in
+      Hashtbl.add index d.vd_name j)
+    decls;
+  let var_index name = Hashtbl.find_opt index name in
+  (* pass 2: objective and constraints in order *)
+  List.iter
+    (fun s ->
+      if starts_with ~prefix:"var " s then ()
+      else if starts_with ~prefix:"minimize " s || starts_with ~prefix:"maximize " s then begin
+        let body = after ~prefix:(if minimize then "minimize " else "maximize ") s in
+        let e, rest = parse_expr ~var_index (tokenize body) in
+        if rest <> [] then fail "objective: trailing tokens";
+        Problem.Builder.set_objective b e
+      end
+      else if starts_with ~prefix:"s.t." s then
+        parse_constraint ~var_index b (after ~prefix:"s.t." s)
+      else if starts_with ~prefix:"subject to " s then
+        parse_constraint ~var_index b (after ~prefix:"subject to " s)
+      else if starts_with ~prefix:"sos1 " s then parse_sos1 ~var_index b (after ~prefix:"sos1 " s)
+      else fail "unrecognized statement: %S" s)
+    stmts;
+  Problem.Builder.build b
+
+let parse_file path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let text = really_input_string ic n in
+  close_in ic;
+  parse text
+
+(* ---------- printer ---------- *)
+
+let rec pp_expr names fmt (e : Expr.t) =
+  match e with
+  | Expr.Const c -> if c < 0. then Format.fprintf fmt "(%g)" c else Format.fprintf fmt "%g" c
+  | Expr.Var j -> Format.pp_print_string fmt names.(j)
+  | Expr.Add es ->
+    Format.fprintf fmt "(";
+    List.iteri
+      (fun i sub -> Format.fprintf fmt (if i = 0 then "%a" else " + %a") (pp_expr names) sub)
+      es;
+    Format.fprintf fmt ")"
+  | Expr.Mul (a, b) -> Format.fprintf fmt "(%a * %a)" (pp_expr names) a (pp_expr names) b
+  | Expr.Neg a -> Format.fprintf fmt "(0 - %a)" (pp_expr names) a
+  | Expr.Div (a, b) -> Format.fprintf fmt "(%a / %a)" (pp_expr names) a (pp_expr names) b
+  | Expr.Pow (a, p) ->
+    if p < 0. then Format.fprintf fmt "(1 / %a^%g)" (pp_expr names) a (-.p)
+    else Format.fprintf fmt "%a^%g" (pp_expr names) a p
+  | Expr.Exp a -> Format.fprintf fmt "exp(%a)" (pp_expr names) a
+  | Expr.Log a -> Format.fprintf fmt "log(%a)" (pp_expr names) a
+
+let print fmt (p : Problem.t) =
+  for j = 0 to p.Problem.num_vars - 1 do
+    let kind =
+      match p.Problem.kinds.(j) with
+      | Problem.Continuous -> ""
+      | Problem.Integer -> " integer"
+      | Problem.Binary -> " binary"
+    in
+    Format.fprintf fmt "var %s%s" p.Problem.names.(j) kind;
+    if Float.is_finite p.Problem.lo.(j) then Format.fprintf fmt " >= %.17g" p.Problem.lo.(j);
+    if Float.is_finite p.Problem.hi.(j) then Format.fprintf fmt " <= %.17g" p.Problem.hi.(j);
+    Format.fprintf fmt ";@."
+  done;
+  Format.fprintf fmt "%s %a;@."
+    (if p.Problem.minimize then "minimize" else "maximize")
+    (pp_expr p.Problem.names) p.Problem.objective;
+  List.iter
+    (fun (c : Problem.constr) ->
+      let sense =
+        match c.Problem.sense with Lp.Lp_problem.Le -> "<=" | Lp.Lp_problem.Ge -> ">=" | Lp.Lp_problem.Eq -> "="
+      in
+      Format.fprintf fmt "s.t. %s: %a %s %.17g;@." c.Problem.cname (pp_expr p.Problem.names)
+        c.Problem.expr sense c.Problem.rhs)
+    p.Problem.constraints;
+  List.iteri
+    (fun i members ->
+      Format.fprintf fmt "sos1 set%d:" i;
+      List.iter (fun (j, w) -> Format.fprintf fmt " %s:%.17g" p.Problem.names.(j) w) members;
+      Format.fprintf fmt ";@.")
+    p.Problem.sos1

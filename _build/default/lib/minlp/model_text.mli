@@ -1,0 +1,39 @@
+(** A small AMPL-like modeling language.
+
+    The paper writes its MINLP "in AMPL, a modeling language that allows
+    users to write optimization models using simple mathematical
+    notation". This module provides the equivalent text front end for
+    the toolkit, so models can live in files next to the data:
+
+    {v
+    # allocation model, one line per statement
+    var T >= 0;
+    var n_atm integer >= 1 <= 1664;
+    var n_ocn integer >= 1 <= 768;
+    minimize T;
+    s.t. time_atm: 23000 / n_atm^0.78 + 30 - T <= 0;
+    s.t. time_ocn: 3800 / n_ocn^0.76 + 20 - T <= 0;
+    s.t. budget: n_atm + n_ocn <= 2048;
+    v}
+
+    Statements end with [;]. [#] starts a comment. Expressions support
+    [+ - * / ^] (with standard precedence, [^] binding tightest and
+    right-associative), unary minus, parentheses, [exp(e)] and [log(e)].
+    Variables: [var NAME [integer|binary] [>= lo] [<= hi];]. Objective:
+    [minimize EXPR;] or [maximize EXPR;]. Constraints:
+    [s.t. NAME: EXPR (<=|>=|=) EXPR;]. SOS1 sets:
+    [sos1 NAME: member:weight member:weight ...;]. *)
+
+(** [parse text] — build the problem.
+    @raise Parse_error with a line-annotated message on bad input. *)
+exception Parse_error of string
+
+val parse : string -> Problem.t
+
+(** [parse_file path] — read and [parse]. *)
+val parse_file : string -> Problem.t
+
+(** [print fmt p] — render a problem back to the language (modulo
+    normalization of expressions). [parse (print p)] accepts the
+    output. *)
+val print : Format.formatter -> Problem.t -> unit

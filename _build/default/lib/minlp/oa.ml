@@ -1,0 +1,136 @@
+type options = {
+  max_nodes : int;
+  tol_int : float;
+  tol_nl : float;
+  rel_gap : float;
+  branch_sos_first : bool;
+  max_oa_rounds : int;
+  branching : Milp.branching;
+}
+
+let default_options =
+  {
+    max_nodes = 100_000;
+    tol_int = 1e-6;
+    tol_nl = 1e-6;
+    rel_gap = 1e-6;
+    branch_sos_first = true;
+    max_oa_rounds = 60;
+    branching = Milp.Pseudocost;
+  }
+
+(* key integer assignments for the cycling guard *)
+let assignment_key (p : Problem.t) x =
+  let b = Buffer.create 64 in
+  Array.iteri
+    (fun j k ->
+      match k with
+      | Problem.Integer | Problem.Binary ->
+        Buffer.add_string b (string_of_int (int_of_float (Float.round x.(j))));
+        Buffer.add_char b ','
+      | Problem.Continuous -> ())
+    p.kinds;
+  Buffer.contents b
+
+let solve ?(options = default_options) (p0 : Problem.t) =
+  let p, orig_dim = Problem.normalize p0 in
+  (* feasibility-based bound tightening shrinks the tree and the
+     relaxation boxes; its infeasibility verdict is sound (pure
+     interval arithmetic over the linear rows) *)
+  let pre = Presolve.tighten p in
+  if pre.Presolve.infeasible then
+    {
+      Solution.status = Solution.Infeasible;
+      x = [||];
+      obj = nan;
+      bound = nan;
+      stats = Solution.empty_stats;
+    }
+  else begin
+  let p = pre.Presolve.problem in
+  let _, nl = Problem.split_constraints p in
+  let truncate (s : Solution.t) =
+    if Array.length s.x > orig_dim then { s with x = Array.sub s.x 0 orig_dim } else s
+  in
+  let milp_options =
+    {
+      Milp.max_nodes = options.max_nodes;
+      tol_int = options.tol_int;
+      rel_gap = options.rel_gap;
+      branch_sos_first = options.branch_sos_first;
+      depth_first = false;
+      branching = options.branching;
+    }
+  in
+  if nl = [] then truncate (Milp.solve ~options:milp_options p)
+  else begin
+    let nlp_solves = ref 0 in
+    (* root relaxation seeds the initial linearization *)
+    incr nlp_solves;
+    let root =
+      Relax.solve_nlp p ~lo:p.lo ~hi:p.hi ~start:(Relax.midpoint p.lo p.hi)
+    in
+    (* a failed root NLP is not proof of infeasibility (the augmented
+       Lagrangian is a local method): linearize at the best point it
+       reached — OA cuts are globally valid for convex constraints at
+       any point — and let the master tree decide feasibility *)
+    begin
+      let cut_point = root.Relax.x in
+      let initial_cuts =
+        List.filter_map
+          (fun c ->
+            let row = Relax.oa_cut c cut_point in
+            let finite =
+              Float.is_finite row.Lp.Lp_problem.rhs
+              && List.for_all (fun (_, a) -> Float.is_finite a) row.Lp.Lp_problem.coeffs
+            in
+            if finite then Some row else None)
+          nl
+      in
+      let rounds : (string, int) Hashtbl.t = Hashtbl.create 64 in
+      let fix_integers x =
+        let lo = Array.copy p.lo and hi = Array.copy p.hi in
+        Array.iteri
+          (fun j k ->
+            match k with
+            | Problem.Integer | Problem.Binary ->
+              let v = Float.round x.(j) in
+              lo.(j) <- v;
+              hi.(j) <- v
+            | Problem.Continuous -> ())
+          p.kinds;
+        (lo, hi)
+      in
+      let on_integral x _obj =
+        let violated = Relax.violated_nl ~tol:options.tol_nl p x in
+        if violated = [] then `Accept
+        else begin
+          let akey = assignment_key p x in
+          let seen = Option.value ~default:0 (Hashtbl.find_opt rounds akey) in
+          Hashtbl.replace rounds akey (seen + 1);
+          if seen >= options.max_oa_rounds then
+            (* cycling guard: keep cutting at the LP point, which moves
+               every round as earlier cuts tighten the relaxation *)
+            `Reject (List.map (fun c -> Relax.oa_cut c x) violated)
+          else begin
+            (* fixed-integer NLP: best continuous completion of x *)
+            incr nlp_solves;
+            let lo, hi = fix_integers x in
+            let r = Relax.solve_nlp p ~lo ~hi ~start:x in
+            if r.Relax.feasible then
+              let cuts = List.map (fun c -> Relax.oa_cut c r.Relax.x) nl in
+              `Reject_with_incumbent (cuts, r.Relax.x, r.Relax.obj)
+            else
+              (* integer assignment has no feasible completion:
+                 feasibility cuts at the LP point *)
+              `Reject (List.map (fun c -> Relax.oa_cut c x) violated)
+          end
+        end
+      in
+      let master = Problem.linear_restriction p in
+      let s = Milp.solve ~options:milp_options ~extra_rows:initial_cuts ~on_integral master in
+      let stats = { s.Solution.stats with nlp_solves = !nlp_solves } in
+      truncate { s with Solution.stats }
+    end
+  end
+  end

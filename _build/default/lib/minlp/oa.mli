@@ -1,0 +1,31 @@
+(** LP/NLP-based branch-and-bound (single-tree outer approximation).
+
+    The algorithm the paper uses from MINOTAUR (Quesada–Grossmann /
+    Fletcher–Leyffer [13]): a {e single} MILP tree is searched; whenever
+    a node's LP optimum is integer feasible, the nonlinear constraints
+    are checked. If violated, an NLP with the integer assignment fixed
+    is solved, outer-approximation cuts are generated at its solution
+    (or feasibility cuts at the LP point when the fixed NLP is
+    infeasible), and the node is re-solved against the tightened
+    relaxation. Convexity of the fitted performance functions
+    (coefficients [a, b, d >= 0]) guarantees the cuts are globally valid,
+    so the returned solution is a global optimum — the property the
+    paper highlights ("guarantees to provide an optimal solution or show
+    that none exists"). *)
+
+type options = {
+  max_nodes : int;
+  tol_int : float;
+  tol_nl : float;  (** nonlinear feasibility tolerance for accepting points *)
+  rel_gap : float;
+  branch_sos_first : bool;
+  max_oa_rounds : int;  (** cut rounds per integer assignment (cycling guard) *)
+  branching : Milp.branching;  (** master-tree variable branching rule *)
+}
+
+val default_options : options
+
+(** [solve ?options p] — solve a convex MINLP. Nonlinear objectives are
+    epigraph-normalized internally; [x] is returned in the original
+    variable space. *)
+val solve : ?options:options -> Problem.t -> Solution.t

@@ -1,0 +1,81 @@
+type result = { problem : Problem.t; rounds : int; tightened : int; infeasible : bool }
+
+let is_int_kind = function Problem.Integer | Problem.Binary -> true | Problem.Continuous -> false
+
+let tighten ?(max_rounds = 10) (p : Problem.t) =
+  let lin_rows, _ = Problem.split_constraints p in
+  (* expand each row into one or two <= forms: coeffs·x <= rhs *)
+  let le_rows =
+    List.concat_map
+      (fun (row : Lp.Lp_problem.constr) ->
+        match row.sense with
+        | Lp.Lp_problem.Le -> [ (row.coeffs, row.rhs) ]
+        | Lp.Lp_problem.Ge -> [ (List.map (fun (j, a) -> (j, -.a)) row.coeffs, -.row.rhs) ]
+        | Lp.Lp_problem.Eq ->
+          [
+            (row.coeffs, row.rhs);
+            (List.map (fun (j, a) -> (j, -.a)) row.coeffs, -.row.rhs);
+          ])
+      lin_rows
+  in
+  let lo = Array.copy p.lo and hi = Array.copy p.hi in
+  let tightened = ref 0 in
+  let infeasible = ref false in
+  let rounds = ref 0 in
+  let changed = ref true in
+  let eps = 1e-9 in
+  while !changed && (not !infeasible) && !rounds < max_rounds do
+    incr rounds;
+    changed := false;
+    List.iter
+      (fun (coeffs, rhs) ->
+        if not !infeasible then begin
+          (* min activity of the whole row; +inf contributions poison it *)
+          let min_term j a = if a > 0. then a *. lo.(j) else a *. hi.(j) in
+          let min_activity =
+            List.fold_left (fun acc (j, a) -> acc +. min_term j a) 0. coeffs
+          in
+          List.iter
+            (fun (k, a) ->
+              if Float.abs a > eps then begin
+                let rest = min_activity -. min_term k a in
+                if Float.is_finite rest then begin
+                  if a > 0. then begin
+                    (* x_k <= (rhs - rest) / a *)
+                    let bound = (rhs -. rest) /. a in
+                    let bound =
+                      if is_int_kind p.kinds.(k) then Float.floor (bound +. 1e-7) else bound
+                    in
+                    if bound < hi.(k) -. eps then begin
+                      hi.(k) <- bound;
+                      incr tightened;
+                      changed := true
+                    end
+                  end
+                  else begin
+                    (* x_k >= (rhs - rest) / a (a < 0) *)
+                    let bound = (rhs -. rest) /. a in
+                    let bound =
+                      if is_int_kind p.kinds.(k) then Float.ceil (bound -. 1e-7) else bound
+                    in
+                    if bound > lo.(k) +. eps then begin
+                      lo.(k) <- bound;
+                      incr tightened;
+                      changed := true
+                    end
+                  end;
+                  if lo.(k) > hi.(k) +. 1e-7 then infeasible := true
+                end
+              end)
+            coeffs
+        end)
+      le_rows
+  done;
+  if !infeasible then { problem = p; rounds = !rounds; tightened = !tightened; infeasible = true }
+  else
+    {
+      problem = Problem.with_bounds p ~lo ~hi;
+      rounds = !rounds;
+      tightened = !tightened;
+      infeasible = false;
+    }

@@ -1,0 +1,19 @@
+(** Presolve: bound tightening by interval propagation.
+
+    Classic feasibility-based tightening over the linear rows: for
+    [Σ a_j x_j <= b] and a variable with [a_k > 0],
+    [x_k <= (b − min-activity of the rest) / a_k] (and symmetrically),
+    iterated to a fixpoint. Integer variables get floored/ceiled
+    bounds. Tight boxes shrink the branch-and-bound trees and give the
+    NLP relaxations better starting boxes — MINOTAUR ships the same
+    kind of reformulation/presolve layer. *)
+
+type result = {
+  problem : Problem.t;  (** with tightened bounds *)
+  rounds : int;  (** propagation rounds until fixpoint (or cap) *)
+  tightened : int;  (** number of bound changes applied *)
+  infeasible : bool;  (** a variable's box emptied: the problem is infeasible *)
+}
+
+(** [tighten ?max_rounds p] — propagate (default 10 rounds max). *)
+val tighten : ?max_rounds:int -> Problem.t -> result

@@ -1,0 +1,231 @@
+type var_kind = Continuous | Integer | Binary
+
+type constr = { expr : Expr.t; sense : Lp.Lp_problem.sense; rhs : float; cname : string }
+
+type t = {
+  num_vars : int;
+  kinds : var_kind array;
+  lo : float array;
+  hi : float array;
+  names : string array;
+  minimize : bool;
+  objective : Expr.t;
+  constraints : constr list;
+  sos1 : (int * float) list list;
+}
+
+module Builder = struct
+  type var = { vname : string; vlo : float; vhi : float; vkind : var_kind }
+
+  type b = {
+    mutable vars : var list;  (* reversed *)
+    mutable nvars : int;
+    mutable constrs : constr list;  (* reversed *)
+    mutable sos : (int * float) list list;  (* reversed *)
+    mutable obj : Expr.t;
+    minimize : bool;
+  }
+
+  let create ?(minimize = true) () =
+    { vars = []; nvars = 0; constrs = []; sos = []; obj = Expr.const 0.; minimize }
+
+  let add_var b ?name ?lo ?hi kind =
+    let idx = b.nvars in
+    let default_lo, default_hi =
+      match kind with
+      | Continuous -> (neg_infinity, infinity)
+      | Integer -> (0., infinity)
+      | Binary -> (0., 1.)
+    in
+    let vlo = Option.value ~default:default_lo lo in
+    let vhi = Option.value ~default:default_hi hi in
+    if vlo > vhi then invalid_arg "Problem.Builder.add_var: lo > hi";
+    let vname = Option.value ~default:(Printf.sprintf "x%d" idx) name in
+    b.vars <- { vname; vlo; vhi; vkind = kind } :: b.vars;
+    b.nvars <- idx + 1;
+    idx
+
+  let add_constr b ?name expr sense rhs =
+    let cname = Option.value ~default:(Printf.sprintf "c%d" (List.length b.constrs)) name in
+    b.constrs <- { expr = Expr.simplify expr; sense; rhs; cname } :: b.constrs
+
+  let add_sos1 b members =
+    if members = [] then invalid_arg "Problem.Builder.add_sos1: empty set";
+    b.sos <- members :: b.sos
+
+  let set_objective b e = b.obj <- Expr.simplify e
+
+  let build b =
+    if b.nvars = 0 then invalid_arg "Problem.Builder.build: no variables";
+    let vars = Array.of_list (List.rev b.vars) in
+    let check_expr what e =
+      if Expr.max_var e >= b.nvars then
+        invalid_arg (Printf.sprintf "Problem.Builder.build: %s references unknown variable" what)
+    in
+    check_expr "objective" b.obj;
+    List.iter
+      (fun c ->
+        check_expr c.cname c.expr;
+        if not (Expr.is_linear c.expr) then
+          match c.sense with
+          | Lp.Lp_problem.Le -> ()
+          | Lp.Lp_problem.Ge | Lp.Lp_problem.Eq ->
+            invalid_arg
+              (Printf.sprintf
+                 "Problem.Builder.build: nonlinear constraint %s must have sense <= (convex form)"
+                 c.cname))
+      b.constrs;
+    List.iter
+      (List.iter (fun (j, _) ->
+           if j < 0 || j >= b.nvars then
+             invalid_arg "Problem.Builder.build: SOS1 member out of range"))
+      b.sos;
+    {
+      num_vars = b.nvars;
+      kinds = Array.map (fun v -> v.vkind) vars;
+      lo = Array.map (fun v -> v.vlo) vars;
+      hi = Array.map (fun v -> v.vhi) vars;
+      names = Array.map (fun v -> v.vname) vars;
+      minimize = b.minimize;
+      objective = b.obj;
+      constraints = List.rev b.constrs;
+      sos1 = List.rev b.sos;
+    }
+end
+
+let normalize p =
+  if Expr.is_linear p.objective then (p, p.num_vars)
+  else begin
+    (* epigraph: min t s.t. obj - t <= 0 (max: obj sense flips) *)
+    let t_idx = p.num_vars in
+    let epi_sense, epi_expr =
+      if p.minimize then (Lp.Lp_problem.Le, Expr.(p.objective - var t_idx))
+      else (Lp.Lp_problem.Le, Expr.(var t_idx - p.objective))
+    in
+    let p' =
+      {
+        p with
+        num_vars = p.num_vars + 1;
+        kinds = Array.append p.kinds [| Continuous |];
+        lo = Array.append p.lo [| neg_infinity |];
+        hi = Array.append p.hi [| infinity |];
+        names = Array.append p.names [| "_epigraph" |];
+        objective = Expr.var t_idx;
+        constraints =
+          { expr = epi_expr; sense = epi_sense; rhs = 0.; cname = "_epigraph" } :: p.constraints;
+      }
+    in
+    (p', p.num_vars)
+  end
+
+let linear_objective p =
+  if not (Expr.is_linear p.objective) then
+    invalid_arg "Problem.linear_objective: objective is nonlinear";
+  let coeffs, _ = Expr.linear_parts p.objective in
+  let c = Array.make p.num_vars 0. in
+  List.iter (fun (j, v) -> c.(j) <- v) coeffs;
+  c
+
+let split_constraints p =
+  let lin, nl =
+    List.partition (fun c -> Expr.is_linear c.expr) p.constraints
+  in
+  let lin_rows =
+    List.map
+      (fun c ->
+        let coeffs, k = Expr.linear_parts c.expr in
+        { Lp.Lp_problem.coeffs; sense = c.sense; rhs = c.rhs -. k })
+      lin
+  in
+  (lin_rows, nl)
+
+let with_bounds p ~lo ~hi =
+  if Array.length lo <> p.num_vars || Array.length hi <> p.num_vars then
+    invalid_arg "Problem.with_bounds: length mismatch";
+  Array.iteri (fun j l -> if l > hi.(j) then invalid_arg "Problem.with_bounds: lo > hi") lo;
+  { p with lo = Array.copy lo; hi = Array.copy hi }
+
+let linear_restriction p =
+  { p with constraints = List.filter (fun c -> Expr.is_linear c.expr) p.constraints }
+
+let default_tol = 1e-6
+
+let is_int_kind = function Integer | Binary -> true | Continuous -> false
+
+let frac x = Float.abs (x -. Float.round x)
+
+let is_integral ?(tol = default_tol) p x =
+  let ok = ref true in
+  Array.iteri (fun j k -> if is_int_kind k && frac x.(j) > tol then ok := false) p.kinds;
+  !ok
+
+let most_fractional ?(tol = default_tol) p x =
+  let best = ref None and best_frac = ref tol in
+  Array.iteri
+    (fun j k ->
+      if is_int_kind k then begin
+        let f = frac x.(j) in
+        if f > !best_frac then begin
+          best_frac := f;
+          best := Some j
+        end
+      end)
+    p.kinds;
+  !best
+
+let violated_sos1 ?(tol = default_tol) p x =
+  List.find_opt
+    (fun members ->
+      let nonzero = List.filter (fun (j, _) -> Float.abs x.(j) > tol) members in
+      List.length nonzero >= 2)
+    p.sos1
+
+let round_integral p x =
+  Array.mapi (fun j v -> if is_int_kind p.kinds.(j) then Float.round v else v) x
+
+let feasible ?(tol = default_tol) p x =
+  Array.length x = p.num_vars
+  && is_integral ~tol p x
+  && violated_sos1 ~tol p x = None
+  && (let ok = ref true in
+      for j = 0 to p.num_vars - 1 do
+        if x.(j) < p.lo.(j) -. tol || x.(j) > p.hi.(j) +. tol then ok := false
+      done;
+      !ok)
+  && List.for_all
+       (fun c ->
+         let v = Expr.eval c.expr x in
+         let scale = 1. +. Float.abs c.rhs in
+         match c.sense with
+         | Lp.Lp_problem.Le -> v <= c.rhs +. (tol *. scale)
+         | Lp.Lp_problem.Ge -> v >= c.rhs -. (tol *. scale)
+         | Lp.Lp_problem.Eq -> Float.abs (v -. c.rhs) <= tol *. scale)
+       p.constraints
+
+let objective_value p x = Expr.eval p.objective x
+
+let pp_kind fmt = function
+  | Continuous -> Format.pp_print_string fmt "cont"
+  | Integer -> Format.pp_print_string fmt "int"
+  | Binary -> Format.pp_print_string fmt "bin"
+
+let pp fmt p =
+  Format.fprintf fmt "@[<v>%s %a@," (if p.minimize then "minimize" else "maximize") Expr.pp
+    p.objective;
+  List.iter
+    (fun c ->
+      let s =
+        match c.sense with Lp.Lp_problem.Le -> "<=" | Lp.Lp_problem.Ge -> ">=" | Lp.Lp_problem.Eq -> "="
+      in
+      Format.fprintf fmt "%s: %a %s %g@," c.cname Expr.pp c.expr s c.rhs)
+    p.constraints;
+  for j = 0 to p.num_vars - 1 do
+    Format.fprintf fmt "%s (%a) in [%g, %g]@," p.names.(j) pp_kind p.kinds.(j) p.lo.(j) p.hi.(j)
+  done;
+  List.iteri
+    (fun i members ->
+      Format.fprintf fmt "sos1 #%d: {" i;
+      List.iter (fun (j, w) -> Format.fprintf fmt " %s:%g" p.names.(j) w) members;
+      Format.fprintf fmt " }@,")
+    p.sos1;
+  Format.fprintf fmt "@]"

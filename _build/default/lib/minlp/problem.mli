@@ -1,0 +1,103 @@
+(** Mixed-integer nonlinear program representation and builder.
+
+    The modelled class matches the paper's: linear or convex-nonlinear
+    objective, linear constraints of any sense, convex nonlinear
+    inequality constraints ([expr <= rhs]), integrality restrictions and
+    SOS1 sets ("special ordered sets" used to encode the discrete
+    allocation choices for the ocean/atmosphere components — branching
+    on the set rather than on individual binaries is the paper's
+    two-orders-of-magnitude speedup). *)
+
+type var_kind = Continuous | Integer | Binary
+
+type constr = {
+  expr : Expr.t;
+  sense : Lp.Lp_problem.sense;
+  rhs : float;
+  cname : string;
+}
+
+type t = private {
+  num_vars : int;
+  kinds : var_kind array;
+  lo : float array;
+  hi : float array;
+  names : string array;
+  minimize : bool;
+  objective : Expr.t;
+  constraints : constr list;
+  sos1 : (int * float) list list;  (** each set: (variable, weight) pairs *)
+}
+
+(** Imperative model builder (AMPL-script replacement). *)
+module Builder : sig
+  type b
+
+  val create : ?minimize:bool -> unit -> b
+
+  (** [add_var b kind] — returns the new variable's index. Defaults:
+      continuous bounds [(-inf, +inf)], integer [(0, +inf)], binary
+      [(0, 1)]. *)
+  val add_var : b -> ?name:string -> ?lo:float -> ?hi:float -> var_kind -> int
+
+  (** [add_constr b expr sense rhs] — add [expr sense rhs]. *)
+  val add_constr : b -> ?name:string -> Expr.t -> Lp.Lp_problem.sense -> float -> unit
+
+  (** [add_sos1 b members] — at most one member variable may be nonzero.
+      Weights order the set for branching. *)
+  val add_sos1 : b -> (int * float) list -> unit
+
+  val set_objective : b -> Expr.t -> unit
+
+  (** [build b] — freeze. @raise Invalid_argument on malformed models
+      (no variables, constraint indices out of range, nonlinear
+      equality/[>=] constraints). *)
+  val build : b -> t
+end
+
+(** [normalize p] — ensure a linear objective by epigraph reformulation
+    when needed: returns [(p', k)] where the first [k] variables of [p']
+    are those of [p]. When the objective is already linear, [p' == p]. *)
+val normalize : t -> t * int
+
+(** [linear_objective p] — dense cost vector.
+    @raise Invalid_argument when the objective is nonlinear (normalize
+    first). *)
+val linear_objective : t -> float array
+
+(** [split_constraints p] — partition into (linear rows in LP form,
+    nonlinear inequality constraints). *)
+val split_constraints : t -> Lp.Lp_problem.constr list * constr list
+
+(** [with_bounds p ~lo ~hi] — replace the variable boxes (lengths and
+    [lo <= hi] validated). Used by the presolve layer. *)
+val with_bounds : t -> lo:float array -> hi:float array -> t
+
+(** [linear_restriction p] — [p] with its nonlinear constraints removed
+    (the OA master problem: nonlinearities enter as cut rows instead). *)
+val linear_restriction : t -> t
+
+(** [is_integral p ?tol x] — all integer/binary variables within [tol]
+    of an integer. *)
+val is_integral : ?tol:float -> t -> float array -> bool
+
+(** [most_fractional p ?tol x] — index of the integer variable farthest
+    from integrality, or [None] when integral. *)
+val most_fractional : ?tol:float -> t -> float array -> int option
+
+(** [violated_sos1 p ?tol x] — the first SOS1 set with two or more
+    members of absolute value above [tol], or [None]. *)
+val violated_sos1 : ?tol:float -> t -> float array -> (int * float) list option
+
+(** [round_integral p x] — copy of [x] with integer variables rounded to
+    the nearest integer. *)
+val round_integral : t -> float array -> float array
+
+(** [feasible ?tol p x] — all constraints, bounds, integrality and SOS1
+    conditions hold. *)
+val feasible : ?tol:float -> t -> float array -> bool
+
+(** [objective_value p x]. *)
+val objective_value : t -> float array -> float
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,127 @@
+type nlp_result = {
+  x : float array;
+  obj : float;
+  violation : float;
+  feasible : bool;
+  converged : bool;
+}
+
+let midpoint lo hi =
+  Array.init (Array.length lo) (fun j ->
+      let l = lo.(j) and h = hi.(j) in
+      if Float.is_finite l && Float.is_finite h then 0.5 *. (l +. h)
+      else if Float.is_finite l then l +. 1.
+      else if Float.is_finite h then h -. 1.
+      else 0.)
+
+let to_nlp_constr (c : Problem.constr) =
+  let g, label =
+    match c.sense with
+    | Lp.Lp_problem.Le -> (Expr.(c.expr - const c.rhs), c.cname)
+    | Lp.Lp_problem.Ge -> (Expr.(const c.rhs - c.expr), c.cname)
+    | Lp.Lp_problem.Eq -> (Expr.(c.expr - const c.rhs), c.cname)
+  in
+  let grad = Expr.compile_gradient g in
+  match c.sense with
+  | Lp.Lp_problem.Eq -> Nlp.Nlp_problem.eq ~grad ~label (fun x -> Expr.eval g x)
+  | Lp.Lp_problem.Le | Lp.Lp_problem.Ge ->
+    Nlp.Nlp_problem.ineq ~grad ~label (fun x -> Expr.eval g x)
+
+(* Feasibility of the linear part is decidable exactly with the LP
+   solver; use it both to detect infeasible nodes soundly and to seed
+   the augmented-Lagrangian solver with a linearly-feasible start
+   (midpoints of boxes with many coupled equalities stall it). *)
+let linear_start (p : Problem.t) ~lo ~hi ~start =
+  let lin_rows, _ = Problem.split_constraints p in
+  let violated =
+    List.exists (fun row -> not (Lp.Lp_problem.constraint_satisfied ~tol:1e-7 row start)) lin_rows
+  in
+  if not violated then `Start start
+  else begin
+    let lp = Lp.Lp_problem.make ~num_vars:p.num_vars () in
+    let lp = ref (Lp.Lp_problem.add_constraints lp lin_rows) in
+    for j = 0 to p.num_vars - 1 do
+      lp := Lp.Lp_problem.set_bounds !lp j ~lo:lo.(j) ~hi:hi.(j)
+    done;
+    match Lp.Simplex.solve !lp with
+    | { Lp.Simplex.status = Lp.Simplex.Optimal; x; _ } -> `Start x
+    | { Lp.Simplex.status = Lp.Simplex.Infeasible; _ } -> `Infeasible
+    | { Lp.Simplex.status = Lp.Simplex.Unbounded | Lp.Simplex.Iteration_limit; _ } -> `Start start
+  end
+
+let solve_nlp ?(tol_feas = 1e-6) (p : Problem.t) ~lo ~hi ~start =
+  let sign = if p.minimize then 1. else -1. in
+  let f x = sign *. Expr.eval p.objective x in
+  let obj_grad = Expr.compile_gradient p.objective in
+  let f_grad x =
+    let g = obj_grad x in
+    if sign = 1. then g else Array.map (fun v -> -.v) g
+  in
+  match linear_start p ~lo ~hi ~start with
+  | `Infeasible ->
+    {
+      x = Array.copy start;
+      obj = nan;
+      violation = infinity;
+      feasible = false;
+      converged = true;
+    }
+  | `Start lp_start ->
+    let nlp =
+      Nlp.Nlp_problem.make ~dim:p.num_vars ~f ~f_grad ~lo ~hi
+        ~constraints:(List.map to_nlp_constr p.constraints)
+        ()
+    in
+    let attempt s = Nlp.Auglag.solve ~tol_feas nlp s in
+    let result_of (r : Nlp.Auglag.result) =
+      {
+        x = r.Nlp.Auglag.x;
+        obj = Expr.eval p.objective r.Nlp.Auglag.x;
+        violation = r.Nlp.Auglag.violation;
+        feasible = r.Nlp.Auglag.violation <= tol_feas *. 100.;
+        converged = r.Nlp.Auglag.converged;
+      }
+    in
+    let first = result_of (attempt lp_start) in
+    if first.feasible then first
+    else begin
+      (* a local stall is not proof of infeasibility: retry from the
+         caller's start and the box midpoint, keep the best *)
+      let candidates =
+        [ Numerics.Vec.clamp ~lo ~hi start; Numerics.Vec.clamp ~lo ~hi (midpoint lo hi) ]
+      in
+      List.fold_left
+        (fun best s ->
+          if best.feasible then best
+          else begin
+            let r = result_of (attempt s) in
+            if r.violation < best.violation || (r.feasible && not best.feasible) then r else best
+          end)
+        first candidates
+    end
+
+let oa_cut (c : Problem.constr) x =
+  (match c.sense with
+  | Lp.Lp_problem.Le -> ()
+  | Lp.Lp_problem.Ge | Lp.Lp_problem.Eq ->
+    invalid_arg "Relax.oa_cut: only <= nonlinear constraints are supported");
+  let value, grad = Expr.linearize c.expr x in
+  (* g(x0) + grad·(x - x0) <= rhs  ⇔  grad·x <= rhs - g(x0) + grad·x0 *)
+  let coeffs = ref [] in
+  let shift = ref 0. in
+  Array.iteri
+    (fun j gj ->
+      if gj <> 0. then begin
+        coeffs := (j, gj) :: !coeffs;
+        shift := !shift +. (gj *. x.(j))
+      end)
+    grad;
+  { Lp.Lp_problem.coeffs = List.rev !coeffs; sense = Lp.Lp_problem.Le; rhs = c.rhs -. value +. !shift }
+
+let violated_nl ?(tol = 1e-6) (p : Problem.t) x =
+  let _, nl = Problem.split_constraints p in
+  List.filter
+    (fun (c : Problem.constr) ->
+      let v = Expr.eval c.expr x in
+      v > c.rhs +. (tol *. (1. +. Float.abs c.rhs)))
+    nl

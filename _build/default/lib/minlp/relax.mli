@@ -1,0 +1,33 @@
+(** Continuous relaxations of a MINLP and their solution.
+
+    Internal plumbing for {!Bnb} and {!Oa}: drops integrality, applies
+    node bounds and hands the resulting NLP to {!Nlp.Auglag} with exact
+    expression gradients. *)
+
+type nlp_result = {
+  x : float array;
+  obj : float;  (** objective of the original problem at [x] (problem sense) *)
+  violation : float;  (** max constraint violation *)
+  feasible : bool;  (** [violation] below tolerance *)
+  converged : bool;
+}
+
+(** [solve_nlp p ~lo ~hi ~start] — solve the continuous relaxation of
+    [p] restricted to the box [lo, hi]. [start] (clamped) seeds the
+    solver; pass the parent node's solution for warm starts. *)
+val solve_nlp :
+  ?tol_feas:float -> Problem.t -> lo:float array -> hi:float array -> start:float array -> nlp_result
+
+(** [midpoint lo hi] — a finite starting point inside the box
+    (0 / clamped 0 when a side is infinite). *)
+val midpoint : float array -> float array -> float array
+
+(** [oa_cut c x] — outer-approximation row for the nonlinear constraint
+    [c] (sense [<=]) at point [x]:
+    [g(x) + ∇g(x)·(x' − x) <= rhs] as an LP row over the variables of
+    [c.expr]. Valid globally when [c.expr] is convex. *)
+val oa_cut : Problem.constr -> float array -> Lp.Lp_problem.constr
+
+(** [violated_nl p ?tol x] — nonlinear constraints of [p] violated at
+    [x]. *)
+val violated_nl : ?tol:float -> Problem.t -> float array -> Problem.constr list

@@ -1,0 +1,16 @@
+type status = Optimal | Infeasible | Unbounded | Limit
+type stats = { nodes : int; lp_solves : int; nlp_solves : int; cuts : int }
+type t = { status : status; x : float array; obj : float; bound : float; stats : stats }
+
+let empty_stats = { nodes = 0; lp_solves = 0; nlp_solves = 0; cuts = 0 }
+
+let status_to_string = function
+  | Optimal -> "optimal"
+  | Infeasible -> "infeasible"
+  | Unbounded -> "unbounded"
+  | Limit -> "limit"
+
+let pp fmt s =
+  Format.fprintf fmt "@[<h>%s obj=%g bound=%g nodes=%d lp=%d nlp=%d cuts=%d@]"
+    (status_to_string s.status) s.obj s.bound s.stats.nodes s.stats.lp_solves s.stats.nlp_solves
+    s.stats.cuts

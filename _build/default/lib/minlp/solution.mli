@@ -1,0 +1,27 @@
+(** Solver result types shared by the MILP, NLP-based and LP/NLP-based
+    branch-and-bound algorithms. *)
+
+type status =
+  | Optimal  (** proven optimal within the gap tolerance *)
+  | Infeasible
+  | Unbounded
+  | Limit  (** node or iteration budget exhausted; best incumbent in [x] *)
+
+type stats = {
+  nodes : int;  (** branch-and-bound nodes processed *)
+  lp_solves : int;
+  nlp_solves : int;
+  cuts : int;  (** outer-approximation cuts added *)
+}
+
+type t = {
+  status : status;
+  x : float array;
+  obj : float;
+  bound : float;  (** best proven bound on the optimum (min-sense value) *)
+  stats : stats;
+}
+
+val empty_stats : stats
+val status_to_string : status -> string
+val pp : Format.formatter -> t -> unit

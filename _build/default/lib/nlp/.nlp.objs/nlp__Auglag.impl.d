@@ -1,0 +1,1 @@
+lib/nlp/auglag.ml: Array Bounded Float Nlp_problem Num_diff Numerics Vec

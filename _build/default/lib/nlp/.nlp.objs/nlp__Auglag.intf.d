@@ -1,0 +1,1 @@
+lib/nlp/auglag.mli: Nlp_problem Numerics

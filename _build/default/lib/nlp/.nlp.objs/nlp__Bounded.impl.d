@@ -1,0 +1,1 @@
+lib/nlp/bounded.ml: Array Float Num_diff Numerics Vec

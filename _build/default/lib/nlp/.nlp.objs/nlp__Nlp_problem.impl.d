@@ -1,0 +1,1 @@
+lib/nlp/nlp_problem.ml: Array Float List Num_diff Numerics Vec

@@ -1,0 +1,1 @@
+lib/nlp/nlp_problem.mli: Numerics

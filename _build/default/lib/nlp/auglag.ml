@@ -1,0 +1,85 @@
+open Numerics
+
+type result = {
+  x : Vec.t;
+  f : float;
+  violation : float;
+  outer_iterations : int;
+  converged : bool;
+}
+
+let solve ?(max_outer = 50) ?(tol_feas = 1e-7) ?(tol_opt = 1e-7) (p : Nlp_problem.t) x0 =
+  let constraints = Array.of_list p.constraints in
+  let m = Array.length constraints in
+  let lambda = Array.make m 0. in
+  let mu = ref 10. in
+  let x = ref (Vec.clamp ~lo:p.lo ~hi:p.hi (Vec.copy x0)) in
+  let last_violation = ref infinity in
+  let outer = ref 0 in
+  let converged = ref false in
+  (* augmented Lagrangian value: PHR form *)
+  let al_value v =
+    let acc = ref (p.f v) in
+    for i = 0 to m - 1 do
+      let c = constraints.(i) in
+      let gx = c.Nlp_problem.g v in
+      match c.Nlp_problem.kind with
+      | Nlp_problem.Eq -> acc := !acc +. (lambda.(i) *. gx) +. (0.5 *. !mu *. gx *. gx)
+      | Nlp_problem.Ineq ->
+        let t = Float.max 0. (lambda.(i) +. (!mu *. gx)) in
+        acc := !acc +. (((t *. t) -. (lambda.(i) *. lambda.(i))) /. (2. *. !mu))
+    done;
+    !acc
+  in
+  let al_grad v =
+    let acc = ref (Nlp_problem.gradient_of p v) in
+    for i = 0 to m - 1 do
+      let c = constraints.(i) in
+      let gx = c.Nlp_problem.g v in
+      let ggrad =
+        match c.Nlp_problem.g_grad with
+        | Some g -> g v
+        | None -> Num_diff.gradient c.Nlp_problem.g v
+      in
+      let w =
+        match c.Nlp_problem.kind with
+        | Nlp_problem.Eq -> lambda.(i) +. (!mu *. gx)
+        | Nlp_problem.Ineq -> Float.max 0. (lambda.(i) +. (!mu *. gx))
+      in
+      if w <> 0. then acc := Vec.axpy w ggrad !acc
+    done;
+    !acc
+  in
+  while (not !converged) && !outer < max_outer do
+    incr outer;
+    let inner =
+      Bounded.minimize ~max_iter:3000 ~tol:(tol_opt /. 10.) ~grad:al_grad ~f:al_value ~lo:p.lo
+        ~hi:p.hi !x
+    in
+    x := inner.Bounded.x;
+    (* multiplier update *)
+    let viol = ref 0. in
+    for i = 0 to m - 1 do
+      let c = constraints.(i) in
+      let gx = c.Nlp_problem.g !x in
+      (match c.Nlp_problem.kind with
+      | Nlp_problem.Eq ->
+        lambda.(i) <- lambda.(i) +. (!mu *. gx);
+        viol := Float.max !viol (Float.abs gx)
+      | Nlp_problem.Ineq ->
+        lambda.(i) <- Float.max 0. (lambda.(i) +. (!mu *. gx));
+        viol := Float.max !viol (Float.max 0. gx))
+    done;
+    if !viol <= tol_feas then begin
+      if inner.Bounded.converged then converged := true
+    end
+    else if !viol > 0.5 *. !last_violation then mu := Float.min 1e10 (!mu *. 10.);
+    last_violation := !viol
+  done;
+  {
+    x = !x;
+    f = p.f !x;
+    violation = Nlp_problem.violation p !x;
+    outer_iterations = !outer;
+    converged = !converged && Nlp_problem.violation p !x <= tol_feas *. 10.;
+  }

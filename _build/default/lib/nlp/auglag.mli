@@ -1,0 +1,25 @@
+(** Augmented-Lagrangian solver for generally-constrained NLPs.
+
+    Standard first-order multiplier method: the inner bound-constrained
+    subproblems go to {!Bounded}; multipliers are updated per outer
+    iteration and the penalty grows when the constraint violation fails
+    to shrink. Fills filterSQP's role from the paper: solving the
+    continuous relaxations inside the MINLP branch-and-bound. *)
+
+type result = {
+  x : Numerics.Vec.t;
+  f : float;  (** objective value at [x] *)
+  violation : float;  (** max constraint violation at [x] *)
+  outer_iterations : int;
+  converged : bool;  (** violation and stationarity tolerances met *)
+}
+
+(** [solve ?max_outer ?tol_feas ?tol_opt p x0] — solve [p] starting from
+    [x0] (clamped into the box). *)
+val solve :
+  ?max_outer:int ->
+  ?tol_feas:float ->
+  ?tol_opt:float ->
+  Nlp_problem.t ->
+  Numerics.Vec.t ->
+  result

@@ -1,0 +1,71 @@
+open Numerics
+
+type result = { x : Vec.t; f : float; iterations : int; converged : bool }
+
+let history_len = 10 (* non-monotone window (GLL) *)
+
+let minimize ?(max_iter = 1000) ?(tol = 1e-8) ?grad ~f ~lo ~hi x0 =
+  let n = Vec.dim x0 in
+  if Vec.dim lo <> n || Vec.dim hi <> n then invalid_arg "Bounded.minimize: dimension mismatch";
+  let gradient = match grad with Some g -> g | None -> Num_diff.gradient f in
+  let project v = Vec.clamp ~lo ~hi v in
+  let x = ref (project (Vec.copy x0)) in
+  let fx = ref (f !x) in
+  let g = ref (gradient !x) in
+  let history = Array.make history_len !fx in
+  let hist_idx = ref 0 in
+  let alpha = ref 1. in
+  let iterations = ref 0 in
+  let converged = ref false in
+  (* stationarity measure: || P(x - g) - x ||_inf *)
+  let pg_norm () = Vec.norm_inf (Vec.sub (project (Vec.sub !x !g)) !x) in
+  if pg_norm () <= tol then converged := true;
+  while (not !converged) && !iterations < max_iter do
+    incr iterations;
+    let d = Vec.sub (project (Vec.axpy (-. !alpha) !g !x)) !x in
+    let gd = Vec.dot !g d in
+    if Float.abs gd < 1e-300 || Vec.norm_inf d <= tol *. 1e-3 then converged := true
+    else begin
+      (* non-monotone Armijo on the reference value f_max *)
+      let f_max = Array.fold_left Float.max neg_infinity history in
+      let lambda = ref 1. in
+      let accepted = ref false in
+      let x_new = ref !x and f_new = ref !fx in
+      let tries = ref 0 in
+      while (not !accepted) && !tries < 40 do
+        incr tries;
+        let cand = Vec.axpy !lambda d !x in
+        let fc = f cand in
+        if (not (Float.is_nan fc)) && fc <= f_max +. (1e-4 *. !lambda *. gd) then begin
+          accepted := true;
+          x_new := cand;
+          f_new := fc
+        end
+        else lambda := !lambda /. 2.
+      done;
+      if not !accepted then converged := true (* line search failed: accept stall *)
+      else begin
+        let g_new = gradient !x_new in
+        (* Barzilai–Borwein step: alpha = s·s / s·y *)
+        let s = Vec.sub !x_new !x in
+        let y = Vec.sub g_new !g in
+        let sy = Vec.dot s y in
+        (* degenerate curvature (linear stretches): grow the step
+           multiplicatively with the iterate scale so huge boxes
+           (epigraph variables) are traversed in a few iterations
+           without overshooting unbounded directions *)
+        alpha :=
+          (if sy <= 1e-300 then
+             Float.min 1e12
+               (100. *. Float.max 1. (Vec.norm_inf !x_new) /. Float.max 1e-12 (Vec.norm_inf g_new))
+           else Float.min 1e12 (Float.max 1e-12 (Vec.dot s s /. sy)));
+        x := !x_new;
+        fx := !f_new;
+        g := g_new;
+        history.(!hist_idx mod history_len) <- !fx;
+        incr hist_idx;
+        if pg_norm () <= tol then converged := true
+      end
+    end
+  done;
+  { x = !x; f = !fx; iterations = !iterations; converged = !converged }

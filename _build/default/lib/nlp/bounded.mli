@@ -1,0 +1,27 @@
+(** Bound-constrained minimization by spectral projected gradient.
+
+    Projected gradient with Barzilai–Borwein step lengths and a
+    non-monotone Armijo line search (the SPG method of Birgin, Martínez
+    and Raydan). Robust on the smooth convex objectives that arise as
+    augmented Lagrangians of the allocation relaxations, and requires
+    only gradients. *)
+
+type result = {
+  x : Numerics.Vec.t;
+  f : float;
+  iterations : int;
+  converged : bool;  (** projected-gradient norm below tolerance *)
+}
+
+(** [minimize ?max_iter ?tol ?grad ~f ~lo ~hi x0] minimizes [f] over the
+    box. [x0] is clamped into the box first. [tol] bounds the infinity
+    norm of the projected gradient step [P(x - g) - x]. *)
+val minimize :
+  ?max_iter:int ->
+  ?tol:float ->
+  ?grad:(Numerics.Vec.t -> Numerics.Vec.t) ->
+  f:(Numerics.Vec.t -> float) ->
+  lo:Numerics.Vec.t ->
+  hi:Numerics.Vec.t ->
+  Numerics.Vec.t ->
+  result

@@ -1,0 +1,47 @@
+open Numerics
+
+type kind = Ineq | Eq
+
+type constr = {
+  g : Vec.t -> float;
+  g_grad : (Vec.t -> Vec.t) option;
+  kind : kind;
+  label : string;
+}
+
+type t = {
+  dim : int;
+  f : Vec.t -> float;
+  f_grad : (Vec.t -> Vec.t) option;
+  lo : Vec.t;
+  hi : Vec.t;
+  constraints : constr list;
+}
+
+let make ?f_grad ?lo ?hi ?(constraints = []) ~dim ~f () =
+  if dim <= 0 then invalid_arg "Nlp_problem.make: dim must be positive";
+  let lo = match lo with Some v -> v | None -> Vec.create dim neg_infinity in
+  let hi = match hi with Some v -> v | None -> Vec.create dim infinity in
+  if Vec.dim lo <> dim || Vec.dim hi <> dim then
+    invalid_arg "Nlp_problem.make: bound dimension mismatch";
+  Array.iteri (fun i l -> if l > hi.(i) then invalid_arg "Nlp_problem.make: lo > hi") lo;
+  { dim; f; f_grad; lo; hi; constraints }
+
+let ineq ?grad ?(label = "ineq") g = { g; g_grad = grad; kind = Ineq; label }
+let eq ?grad ?(label = "eq") g = { g; g_grad = grad; kind = Eq; label }
+
+let violation p x =
+  let v = ref 0. in
+  List.iter
+    (fun c ->
+      let gx = c.g x in
+      let viol = match c.kind with Ineq -> Float.max 0. gx | Eq -> Float.abs gx in
+      v := Float.max !v viol)
+    p.constraints;
+  for i = 0 to p.dim - 1 do
+    v := Float.max !v (Float.max (p.lo.(i) -. x.(i)) (x.(i) -. p.hi.(i)))
+  done;
+  !v
+
+let gradient_of p x =
+  match p.f_grad with Some g -> g x | None -> Num_diff.gradient p.f x

@@ -1,0 +1,53 @@
+(** Nonlinear-program description.
+
+    minimize [f x] subject to [g_i x <= 0], [h_j x = 0] and box bounds.
+    Gradients are optional; central differences are used when absent.
+    The MINLP layer only ever emits convex [g_i] (the fitted performance
+    functions have non-negative coefficients), which is what makes the
+    branch-and-bound bounds valid. *)
+
+type kind = Ineq  (** [g x <= 0] *) | Eq  (** [g x = 0] *)
+
+type constr = {
+  g : Numerics.Vec.t -> float;
+  g_grad : (Numerics.Vec.t -> Numerics.Vec.t) option;
+  kind : kind;
+  label : string;  (** for diagnostics *)
+}
+
+type t = {
+  dim : int;
+  f : Numerics.Vec.t -> float;
+  f_grad : (Numerics.Vec.t -> Numerics.Vec.t) option;
+  lo : Numerics.Vec.t;
+  hi : Numerics.Vec.t;
+  constraints : constr list;
+}
+
+(** [make ~dim ~f ()] — unconstrained problem over [(-inf, inf)^dim]. *)
+val make :
+  ?f_grad:(Numerics.Vec.t -> Numerics.Vec.t) ->
+  ?lo:Numerics.Vec.t ->
+  ?hi:Numerics.Vec.t ->
+  ?constraints:constr list ->
+  dim:int ->
+  f:(Numerics.Vec.t -> float) ->
+  unit ->
+  t
+
+(** [ineq ?grad ?label g] — an inequality constraint [g x <= 0]. *)
+val ineq :
+  ?grad:(Numerics.Vec.t -> Numerics.Vec.t) -> ?label:string -> (Numerics.Vec.t -> float) -> constr
+
+(** [eq ?grad ?label g] — an equality constraint [g x = 0]. *)
+val eq :
+  ?grad:(Numerics.Vec.t -> Numerics.Vec.t) -> ?label:string -> (Numerics.Vec.t -> float) -> constr
+
+(** [violation p x] — max over constraints of their violation
+    ([max 0 (g x)] for inequalities, [|h x|] for equalities);
+    box violations included. [0.] when feasible. *)
+val violation : t -> Numerics.Vec.t -> float
+
+(** [gradient_of p x] — analytic gradient when present, else central
+    differences. *)
+val gradient_of : t -> Numerics.Vec.t -> Numerics.Vec.t

@@ -1,0 +1,1 @@
+lib/numerics/least_squares.ml: Array Float Mat Num_diff Rng Vec

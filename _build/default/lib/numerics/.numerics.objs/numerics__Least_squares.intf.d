@@ -1,0 +1,1 @@
+lib/numerics/least_squares.mli: Rng Vec

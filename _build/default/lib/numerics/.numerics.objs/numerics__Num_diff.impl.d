@@ -1,0 +1,1 @@
+lib/numerics/num_diff.ml: Array Float Mat

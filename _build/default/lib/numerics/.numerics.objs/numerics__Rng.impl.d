@@ -1,0 +1,1 @@
+lib/numerics/rng.ml: Array Float Int64

@@ -1,0 +1,1 @@
+lib/numerics/scalar_opt.ml: Float

@@ -1,0 +1,1 @@
+lib/numerics/stats.ml: Array Float Vec

@@ -1,0 +1,1 @@
+lib/numerics/vec.ml: Array Float Format Printf

@@ -1,0 +1,75 @@
+type result = { params : Vec.t; residual_norm : float; iterations : int; converged : bool }
+
+let half_sq_norm r = 0.5 *. Vec.dot r r
+
+let fit ?(max_iter = 200) ?(xtol = 1e-10) ?(gtol = 1e-10) ~residual ~lo ~hi x0 =
+  let n = Array.length x0 in
+  if Array.length lo <> n || Array.length hi <> n then
+    invalid_arg "Least_squares.fit: bound dimension mismatch";
+  Array.iteri
+    (fun i l -> if l > hi.(i) then invalid_arg "Least_squares.fit: lo > hi")
+    lo;
+  let x = ref (Vec.clamp ~lo ~hi (Vec.copy x0)) in
+  let r = ref (residual !x) in
+  let cost = ref (half_sq_norm !r) in
+  let lambda = ref 1e-3 in
+  let iters = ref 0 in
+  let converged = ref false in
+  while (not !converged) && !iters < max_iter do
+    incr iters;
+    let jac = Num_diff.jacobian residual !x in
+    let g = Mat.tmul_vec jac !r in
+    if Vec.norm_inf g < gtol then converged := true
+    else begin
+      (* J'J with Levenberg damping on the diagonal *)
+      let jtj = Mat.mul (Mat.transpose jac) jac in
+      let accepted = ref false in
+      let tries = ref 0 in
+      while (not !accepted) && !tries < 30 do
+        incr tries;
+        let a = Mat.copy jtj in
+        for i = 0 to n - 1 do
+          (* Marquardt scaling: damp proportionally to the diagonal *)
+          Mat.set a i i (Mat.get a i i +. (!lambda *. Float.max 1e-12 (Mat.get jtj i i)))
+        done;
+        match Mat.solve a (Vec.scale (-1.) g) with
+        | exception Mat.Singular -> lambda := !lambda *. 10.
+        | step ->
+          let x_new = Vec.clamp ~lo ~hi (Vec.add !x step) in
+          let r_new = residual x_new in
+          let cost_new = half_sq_norm r_new in
+          if Float.is_nan cost_new || cost_new >= !cost then lambda := !lambda *. 10.
+          else begin
+            if Vec.dist2 x_new !x < xtol *. (1. +. Vec.norm2 !x) then converged := true;
+            x := x_new;
+            r := r_new;
+            cost := cost_new;
+            lambda := Float.max 1e-12 (!lambda /. 10.);
+            accepted := true
+          end
+      done;
+      if not !accepted then converged := true (* stalled: accept current point *)
+    end
+  done;
+  { params = !x; residual_norm = Vec.norm2 !r; iterations = !iters; converged = !converged }
+
+let log_uniform rng ~lo ~hi =
+  (* sample multiplicatively when the box spans orders of magnitude *)
+  let lo' = Float.max lo 1e-8 in
+  let hi' = Float.max hi (lo' *. (1. +. 1e-9)) in
+  if hi <= 0. then lo
+  else exp (Rng.uniform rng ~lo:(log lo') ~hi:(log hi'))
+
+let fit_multi_start ?(max_iter = 200) ~rng ~starts ~residual ~lo ~hi x0 =
+  let n = Array.length x0 in
+  let best = ref (fit ~max_iter ~residual ~lo ~hi x0) in
+  for _ = 1 to starts do
+    let cap = 1e6 in
+    let start =
+      Array.init n (fun i ->
+          log_uniform rng ~lo:lo.(i) ~hi:(Float.min hi.(i) cap))
+    in
+    let candidate = fit ~max_iter ~residual ~lo ~hi start in
+    if candidate.residual_norm < !best.residual_norm then best := candidate
+  done;
+  !best

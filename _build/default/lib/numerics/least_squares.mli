@@ -1,0 +1,46 @@
+(** Box-constrained nonlinear least squares (Levenberg–Marquardt).
+
+    This is HSLB's "Fit" step engine: it estimates the performance-model
+    parameters [a, b, c, d >= 0] of [T(n) = a/n^c + b n + d] from
+    benchmark observations (Table II, line 10 of the HSLB formulation).
+    The objective is non-convex, so [fit_multi_start] retries from
+    several starting points and keeps the best local solution — mirroring
+    the paper's observation that different starts give different
+    parameters but allocations of similar quality. *)
+
+type result = {
+  params : Vec.t;  (** best parameters found, inside the box *)
+  residual_norm : float;  (** Euclidean norm of the residual at [params] *)
+  iterations : int;
+  converged : bool;  (** step- or gradient-tolerance reached *)
+}
+
+(** [fit ?max_iter ?xtol ?gtol ~residual ~lo ~hi x0] minimizes
+    [0.5 * ||residual p||²] over the box [lo <= p <= hi].
+
+    [residual] maps parameters to the residual vector (must have
+    constant length). The Jacobian is computed by central differences;
+    steps are projected back into the box (projected Levenberg–
+    Marquardt). [x0] is clamped into the box first. *)
+val fit :
+  ?max_iter:int ->
+  ?xtol:float ->
+  ?gtol:float ->
+  residual:(Vec.t -> Vec.t) ->
+  lo:Vec.t ->
+  hi:Vec.t ->
+  Vec.t ->
+  result
+
+(** [fit_multi_start ~rng ~starts ...] runs [fit] from [starts] random
+    points sampled log-uniformly inside the box (plus [x0] itself) and
+    returns the result with the smallest residual norm. *)
+val fit_multi_start :
+  ?max_iter:int ->
+  rng:Rng.t ->
+  starts:int ->
+  residual:(Vec.t -> Vec.t) ->
+  lo:Vec.t ->
+  hi:Vec.t ->
+  Vec.t ->
+  result

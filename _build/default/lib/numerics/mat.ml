@@ -1,0 +1,281 @@
+type t = { nr : int; nc : int; data : float array }
+
+exception Singular
+
+let create nr nc x =
+  if nr < 0 || nc < 0 then invalid_arg "Mat.create: negative dimension";
+  { nr; nc; data = Array.make (nr * nc) x }
+
+let init nr nc f =
+  if nr < 0 || nc < 0 then invalid_arg "Mat.init: negative dimension";
+  { nr; nc; data = Array.init (nr * nc) (fun k -> f (k / nc) (k mod nc)) }
+
+let of_arrays a =
+  let nr = Array.length a in
+  if nr = 0 then invalid_arg "Mat.of_arrays: empty";
+  let nc = Array.length a.(0) in
+  Array.iter (fun r -> if Array.length r <> nc then invalid_arg "Mat.of_arrays: ragged rows") a;
+  init nr nc (fun i j -> a.(i).(j))
+
+let rows m = m.nr
+let cols m = m.nc
+let get m i j = m.data.((i * m.nc) + j)
+let set m i j x = m.data.((i * m.nc) + j) <- x
+let to_arrays m = Array.init m.nr (fun i -> Array.init m.nc (fun j -> get m i j))
+let identity n = init n n (fun i j -> if i = j then 1. else 0.)
+let copy m = { m with data = Array.copy m.data }
+let row m i = Array.init m.nc (fun j -> get m i j)
+let col m j = Array.init m.nr (fun i -> get m i j)
+let transpose m = init m.nc m.nr (fun i j -> get m j i)
+
+let check_same name a b =
+  if a.nr <> b.nr || a.nc <> b.nc then
+    invalid_arg (Printf.sprintf "Mat.%s: shape mismatch (%dx%d vs %dx%d)" name a.nr a.nc b.nr b.nc)
+
+let add a b =
+  check_same "add" a b;
+  { a with data = Array.init (Array.length a.data) (fun k -> a.data.(k) +. b.data.(k)) }
+
+let sub a b =
+  check_same "sub" a b;
+  { a with data = Array.init (Array.length a.data) (fun k -> a.data.(k) -. b.data.(k)) }
+
+let scale s m = { m with data = Array.map (fun x -> s *. x) m.data }
+
+let mul a b =
+  if a.nc <> b.nr then invalid_arg "Mat.mul: inner dimension mismatch";
+  let c = create a.nr b.nc 0. in
+  for i = 0 to a.nr - 1 do
+    for k = 0 to a.nc - 1 do
+      let aik = get a i k in
+      if aik <> 0. then
+        for j = 0 to b.nc - 1 do
+          set c i j (get c i j +. (aik *. get b k j))
+        done
+    done
+  done;
+  c
+
+let mul_vec m v =
+  if m.nc <> Array.length v then invalid_arg "Mat.mul_vec: dimension mismatch";
+  Array.init m.nr (fun i ->
+      let acc = ref 0. in
+      for j = 0 to m.nc - 1 do
+        acc := !acc +. (get m i j *. v.(j))
+      done;
+      !acc)
+
+let tmul_vec m v =
+  if m.nr <> Array.length v then invalid_arg "Mat.tmul_vec: dimension mismatch";
+  Array.init m.nc (fun j ->
+      let acc = ref 0. in
+      for i = 0 to m.nr - 1 do
+        acc := !acc +. (get m i j *. v.(i))
+      done;
+      !acc)
+
+type lu = { lu_mat : t; perm : int array; sign : float }
+
+let pivot_eps = 1e-13
+
+let lu_decompose a =
+  if a.nr <> a.nc then invalid_arg "Mat.lu_decompose: not square";
+  let n = a.nr in
+  let m = copy a in
+  let perm = Array.init n (fun i -> i) in
+  let sign = ref 1. in
+  for k = 0 to n - 1 do
+    (* partial pivoting: pick the largest magnitude in column k *)
+    let piv = ref k in
+    for i = k + 1 to n - 1 do
+      if Float.abs (get m i k) > Float.abs (get m !piv k) then piv := i
+    done;
+    if !piv <> k then begin
+      for j = 0 to n - 1 do
+        let t = get m k j in
+        set m k j (get m !piv j);
+        set m !piv j t
+      done;
+      let t = perm.(k) in
+      perm.(k) <- perm.(!piv);
+      perm.(!piv) <- t;
+      sign := -. !sign
+    end;
+    let pivot = get m k k in
+    if Float.abs pivot < pivot_eps then raise Singular;
+    for i = k + 1 to n - 1 do
+      let f = get m i k /. pivot in
+      set m i k f;
+      for j = k + 1 to n - 1 do
+        set m i j (get m i j -. (f *. get m k j))
+      done
+    done
+  done;
+  { lu_mat = m; perm; sign = !sign }
+
+let lu_solve { lu_mat = m; perm; _ } b =
+  let n = m.nr in
+  if Array.length b <> n then invalid_arg "Mat.lu_solve: dimension mismatch";
+  let x = Array.init n (fun i -> b.(perm.(i))) in
+  for i = 1 to n - 1 do
+    for j = 0 to i - 1 do
+      x.(i) <- x.(i) -. (get m i j *. x.(j))
+    done
+  done;
+  for i = n - 1 downto 0 do
+    for j = i + 1 to n - 1 do
+      x.(i) <- x.(i) -. (get m i j *. x.(j))
+    done;
+    x.(i) <- x.(i) /. get m i i
+  done;
+  x
+
+let solve a b = lu_solve (lu_decompose a) b
+
+let det a =
+  match lu_decompose a with
+  | exception Singular -> 0.
+  | { lu_mat; sign; _ } ->
+    let d = ref sign in
+    for i = 0 to lu_mat.nr - 1 do
+      d := !d *. get lu_mat i i
+    done;
+    !d
+
+let inverse a =
+  let f = lu_decompose a in
+  let n = a.nr in
+  let inv = create n n 0. in
+  for j = 0 to n - 1 do
+    let e = Array.init n (fun i -> if i = j then 1. else 0.) in
+    let x = lu_solve f e in
+    for i = 0 to n - 1 do
+      set inv i j x.(i)
+    done
+  done;
+  inv
+
+let cholesky a =
+  if a.nr <> a.nc then invalid_arg "Mat.cholesky: not square";
+  let n = a.nr in
+  let l = create n n 0. in
+  for i = 0 to n - 1 do
+    for j = 0 to i do
+      let s = ref (get a i j) in
+      for k = 0 to j - 1 do
+        s := !s -. (get l i k *. get l j k)
+      done;
+      if i = j then begin
+        if !s <= 0. then raise Singular;
+        set l i j (sqrt !s)
+      end
+      else set l i j (!s /. get l j j)
+    done
+  done;
+  l
+
+let cholesky_solve l b =
+  let n = rows l in
+  if Array.length b <> n then invalid_arg "Mat.cholesky_solve: dimension mismatch";
+  let y = Array.copy b in
+  for i = 0 to n - 1 do
+    for j = 0 to i - 1 do
+      y.(i) <- y.(i) -. (get l i j *. y.(j))
+    done;
+    y.(i) <- y.(i) /. get l i i
+  done;
+  for i = n - 1 downto 0 do
+    for j = i + 1 to n - 1 do
+      y.(i) <- y.(i) -. (get l j i *. y.(j))
+    done;
+    y.(i) <- y.(i) /. get l i i
+  done;
+  y
+
+(* Householder QR: accumulate reflectors into an explicit Q since the
+   matrices here are small. *)
+let qr a =
+  if a.nr < a.nc then invalid_arg "Mat.qr: requires rows >= cols";
+  let m = a.nr and n = a.nc in
+  let r = copy a in
+  let q = identity m in
+  let v = Array.make m 0. in
+  for k = 0 to n - 1 do
+    let norm = ref 0. in
+    for i = k to m - 1 do
+      norm := !norm +. (get r i k *. get r i k)
+    done;
+    let norm = sqrt !norm in
+    if norm > 1e-300 then begin
+      let alpha = if get r k k >= 0. then -.norm else norm in
+      let vnorm2 = ref 0. in
+      for i = k to m - 1 do
+        v.(i) <- (if i = k then get r k k -. alpha else get r i k);
+        vnorm2 := !vnorm2 +. (v.(i) *. v.(i))
+      done;
+      if !vnorm2 > 1e-300 then begin
+        (* apply H = I - 2 v vᵀ / (vᵀv) to R (left) and Q (right) *)
+        for j = 0 to n - 1 do
+          let s = ref 0. in
+          for i = k to m - 1 do
+            s := !s +. (v.(i) *. get r i j)
+          done;
+          let f = 2. *. !s /. !vnorm2 in
+          for i = k to m - 1 do
+            set r i j (get r i j -. (f *. v.(i)))
+          done
+        done;
+        for i = 0 to m - 1 do
+          let s = ref 0. in
+          for j = k to m - 1 do
+            s := !s +. (get q i j *. v.(j))
+          done;
+          let f = 2. *. !s /. !vnorm2 in
+          for j = k to m - 1 do
+            set q i j (get q i j -. (f *. v.(j)))
+          done
+        done
+      end
+    end
+  done;
+  (* zero out numerical noise below the diagonal *)
+  for i = 0 to m - 1 do
+    for j = 0 to Stdlib.min (i - 1) (n - 1) do
+      set r i j 0.
+    done
+  done;
+  (q, r)
+
+let solve_least_squares a b =
+  if a.nr <> Array.length b then invalid_arg "Mat.solve_least_squares: dimension mismatch";
+  let q, r = qr a in
+  let qtb = tmul_vec q b in
+  let n = a.nc in
+  let x = Array.sub qtb 0 n in
+  for i = n - 1 downto 0 do
+    for j = i + 1 to n - 1 do
+      x.(i) <- x.(i) -. (get r i j *. x.(j))
+    done;
+    if Float.abs (get r i i) < pivot_eps then raise Singular;
+    x.(i) <- x.(i) /. get r i i
+  done;
+  x
+
+let equal ~eps a b =
+  a.nr = b.nr && a.nc = b.nc
+  &&
+  let ok = ref true in
+  Array.iteri (fun k x -> if Float.abs (x -. b.data.(k)) > eps then ok := false) a.data;
+  !ok
+
+let pp fmt m =
+  Format.fprintf fmt "@[<v>";
+  for i = 0 to m.nr - 1 do
+    Format.fprintf fmt "[";
+    for j = 0 to m.nc - 1 do
+      Format.fprintf fmt (if j = 0 then "%10.4g" else " %10.4g") (get m i j)
+    done;
+    Format.fprintf fmt "]";
+    if i < m.nr - 1 then Format.fprintf fmt "@,"
+  done;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,125 @@
+let bisect ?(tol = 1e-12) ?(max_iter = 200) f ~lo ~hi =
+  let flo = f lo and fhi = f hi in
+  if flo = 0. then lo
+  else if fhi = 0. then hi
+  else if flo *. fhi > 0. then invalid_arg "Scalar_opt.bisect: no sign change on interval"
+  else begin
+    let a = ref lo and b = ref hi and fa = ref flo in
+    let iters = ref 0 in
+    while !b -. !a > tol && !iters < max_iter do
+      incr iters;
+      let m = 0.5 *. (!a +. !b) in
+      let fm = f m in
+      if fm = 0. then begin
+        a := m;
+        b := m
+      end
+      else if !fa *. fm < 0. then b := m
+      else begin
+        a := m;
+        fa := fm
+      end
+    done;
+    0.5 *. (!a +. !b)
+  end
+
+let golden = (3. -. sqrt 5.) /. 2.
+
+let golden_min ?(tol = 1e-10) f ~lo ~hi =
+  let a = ref lo and b = ref hi in
+  let x1 = ref (!a +. (golden *. (!b -. !a))) in
+  let x2 = ref (!b -. (golden *. (!b -. !a))) in
+  let f1 = ref (f !x1) and f2 = ref (f !x2) in
+  while !b -. !a > tol *. (1. +. Float.abs !a +. Float.abs !b) do
+    if !f1 < !f2 then begin
+      b := !x2;
+      x2 := !x1;
+      f2 := !f1;
+      x1 := !a +. (golden *. (!b -. !a));
+      f1 := f !x1
+    end
+    else begin
+      a := !x1;
+      x1 := !x2;
+      f1 := !f2;
+      x2 := !b -. (golden *. (!b -. !a));
+      f2 := f !x2
+    end
+  done;
+  let x = 0.5 *. (!a +. !b) in
+  (x, f x)
+
+(* Brent's method: golden-section with a parabolic-interpolation shortcut. *)
+let brent_min ?(tol = 1e-10) ?(max_iter = 200) f ~lo ~hi =
+  let a = ref lo and b = ref hi in
+  let x = ref (!a +. (golden *. (!b -. !a))) in
+  let w = ref !x and v = ref !x in
+  let fx = ref (f !x) in
+  let fw = ref !fx and fv = ref !fx in
+  let d = ref 0. and e = ref 0. in
+  let iter = ref 0 in
+  let continue = ref true in
+  while !continue && !iter < max_iter do
+    incr iter;
+    let m = 0.5 *. (!a +. !b) in
+    let tol1 = (tol *. Float.abs !x) +. 1e-12 in
+    let tol2 = 2. *. tol1 in
+    if Float.abs (!x -. m) <= tol2 -. (0.5 *. (!b -. !a)) then continue := false
+    else begin
+      let use_golden = ref true in
+      if Float.abs !e > tol1 then begin
+        (* try parabolic fit through x, w, v *)
+        let r = (!x -. !w) *. (!fx -. !fv) in
+        let q = (!x -. !v) *. (!fx -. !fw) in
+        let p = ((!x -. !v) *. q) -. ((!x -. !w) *. r) in
+        let q2 = 2. *. (q -. r) in
+        let p = if q2 > 0. then -.p else p in
+        let q2 = Float.abs q2 in
+        let etemp = !e in
+        e := !d;
+        if
+          Float.abs p < Float.abs (0.5 *. q2 *. etemp)
+          && p > q2 *. (!a -. !x)
+          && p < q2 *. (!b -. !x)
+        then begin
+          d := p /. q2;
+          let u = !x +. !d in
+          if u -. !a < tol2 || !b -. u < tol2 then
+            d := if m -. !x >= 0. then tol1 else -.tol1;
+          use_golden := false
+        end
+      end;
+      if !use_golden then begin
+        e := (if !x >= m then !a -. !x else !b -. !x);
+        d := golden *. 2. *. !e
+      end;
+      let u =
+        if Float.abs !d >= tol1 then !x +. !d
+        else !x +. (if !d >= 0. then tol1 else -.tol1)
+      in
+      let fu = f u in
+      if fu <= !fx then begin
+        if u >= !x then a := !x else b := !x;
+        v := !w;
+        fv := !fw;
+        w := !x;
+        fw := !fx;
+        x := u;
+        fx := fu
+      end
+      else begin
+        if u < !x then a := u else b := u;
+        if fu <= !fw || !w = !x then begin
+          v := !w;
+          fv := !fw;
+          w := u;
+          fw := fu
+        end
+        else if fu <= !fv || !v = !x || !v = !w then begin
+          v := u;
+          fv := fu
+        end
+      end
+    end
+  done;
+  (!x, !fx)

@@ -1,0 +1,15 @@
+(** One-dimensional root finding and minimization. *)
+
+(** [bisect ?tol ?max_iter f ~lo ~hi] — root of a continuous [f] with a
+    sign change on [lo, hi]. @raise Invalid_argument when
+    [f lo] and [f hi] have the same strict sign. *)
+val bisect : ?tol:float -> ?max_iter:int -> (float -> float) -> lo:float -> hi:float -> float
+
+(** [brent_min ?tol ?max_iter f ~lo ~hi] — minimizer of a unimodal [f]
+    on [lo, hi] via golden-section with parabolic interpolation.
+    Returns the pair (minimizer, minimum value). *)
+val brent_min :
+  ?tol:float -> ?max_iter:int -> (float -> float) -> lo:float -> hi:float -> float * float
+
+(** [golden_min ?tol f ~lo ~hi] — pure golden-section search. *)
+val golden_min : ?tol:float -> (float -> float) -> lo:float -> hi:float -> float * float

@@ -1,0 +1,1 @@
+test/test_extra.ml: Alcotest Array Experiments Float Fmo Format Gddi Hashtbl Hslb Layouts List Lp Machine Minlp Numerics Printf QCheck QCheck_alcotest Scaling_law String

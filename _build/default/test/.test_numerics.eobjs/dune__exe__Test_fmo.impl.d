@@ -1,0 +1,1 @@
+test/test_fmo.ml: Alcotest Array Basis Cost_model Element Float Fmo Fmo_run Fragment Fun Gddi Geometry List Machine Molecule Numerics Printf QCheck QCheck_alcotest Task

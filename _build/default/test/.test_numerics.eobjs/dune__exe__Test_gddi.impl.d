@@ -1,0 +1,1 @@
+test/test_gddi.ml: Alcotest Array Ds Float Gddi Group List Numerics QCheck QCheck_alcotest Schedulers Sim

@@ -1,0 +1,1 @@
+test/test_hslb.ml: Alcotest Array Filename Float Fmo Format Gddi Hslb List Machine Numerics Printf QCheck QCheck_alcotest Scaling_law String Sys

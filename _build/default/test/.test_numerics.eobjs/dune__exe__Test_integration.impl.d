@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Experiments Float Fmo Format Gddi Hslb Layouts List Machine Numerics

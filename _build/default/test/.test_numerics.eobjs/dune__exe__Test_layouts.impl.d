@@ -1,0 +1,1 @@
+test/test_layouts.ml: Alcotest Array Cesm_data Component Float Hslb Layout_model Layouts List Numerics QCheck QCheck_alcotest Scaling_law Stdlib

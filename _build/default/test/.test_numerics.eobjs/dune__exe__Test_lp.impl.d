@@ -1,0 +1,1 @@
+test/test_lp.ml: Alcotest Array Float Fun List Lp Lp_problem Numerics QCheck QCheck_alcotest Simplex

@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Array Float List Machine Numerics QCheck QCheck_alcotest Scaling_law Stdlib Topology

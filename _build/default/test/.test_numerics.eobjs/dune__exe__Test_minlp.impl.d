@@ -1,0 +1,1 @@
+test/test_minlp.ml: Alcotest Array Bnb Expr Float Format List Lp Milp Minlp Model_text Numerics Oa Oa_multi Presolve Printf Problem QCheck QCheck_alcotest Solution

@@ -1,0 +1,1 @@
+test/test_nlp.ml: Alcotest Array Auglag Bounded Float List Nlp Nlp_problem Numerics QCheck QCheck_alcotest Rng

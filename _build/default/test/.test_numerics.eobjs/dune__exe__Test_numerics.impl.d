@@ -1,0 +1,1 @@
+test/test_numerics.ml: Alcotest Array Float Least_squares List Mat Num_diff Numerics QCheck QCheck_alcotest Rng Scalar_opt Stats Vec

@@ -1,0 +1,256 @@
+(* Tests for the FMO substrate: geometry, molecules, fragmentation,
+   the FMO2 task graph, the ground-truth cost model and the runner. *)
+
+open Fmo
+
+let check_float ?(eps = 1e-9) msg expected actual =
+  if Float.abs (expected -. actual) > eps *. (1. +. Float.abs expected) then
+    Alcotest.failf "%s: expected %.10g, got %.10g" msg expected actual
+
+(* ---------- geometry ---------- *)
+
+let test_geometry () =
+  let p = Geometry.make 1. 2. 2. in
+  check_float "norm" 3. (Geometry.norm p);
+  check_float "dist" 3. (Geometry.dist Geometry.origin p);
+  let c = Geometry.centroid [ Geometry.make 0. 0. 0.; Geometry.make 2. 0. 0. ] in
+  check_float "centroid x" 1. c.Geometry.x
+
+(* ---------- basis ---------- *)
+
+let test_basis_counts () =
+  Alcotest.(check int) "water sto-3g" 7 (Basis.nbf Basis.Sto3g Element.[ O; H; H ]);
+  Alcotest.(check int) "water 6-31G" 13 (Basis.nbf Basis.B6_31g Element.[ O; H; H ]);
+  Alcotest.(check int) "water 6-31G*" 19 (Basis.nbf Basis.B6_31gd Element.[ O; H; H ])
+
+(* ---------- molecule ---------- *)
+
+let test_water_cluster () =
+  let rng = Numerics.Rng.create 3 in
+  let m = Molecule.water_cluster ~rng 27 in
+  Alcotest.(check int) "monomers" 27 m.Molecule.num_monomers;
+  Alcotest.(check int) "atoms" 81 (Molecule.num_atoms m);
+  (* every monomer is one O and two H *)
+  for i = 0 to 26 do
+    let atoms = Molecule.monomer_atoms m i in
+    Alcotest.(check int) (Printf.sprintf "monomer %d size" i) 3 (List.length atoms)
+  done
+
+let test_water_cluster_deterministic () =
+  let m1 = Molecule.water_cluster ~rng:(Numerics.Rng.create 5) 8 in
+  let m2 = Molecule.water_cluster ~rng:(Numerics.Rng.create 5) 8 in
+  Alcotest.(check bool) "same geometry" true (m1.Molecule.atoms = m2.Molecule.atoms)
+
+let test_peptides () =
+  let m = Molecule.polyalanine 5 in
+  Alcotest.(check int) "residues" 5 m.Molecule.num_monomers;
+  let rng = Numerics.Rng.create 1 in
+  let p = Molecule.random_peptide ~rng 10 in
+  Alcotest.(check int) "random residues" 10 p.Molecule.num_monomers;
+  Alcotest.check_raises "empty" (Invalid_argument "Molecule.polyalanine: n must be positive")
+    (fun () -> ignore (Molecule.polyalanine 0))
+
+(* ---------- fragment ---------- *)
+
+let test_fragment_one_per_monomer () =
+  let rng = Numerics.Rng.create 3 in
+  let m = Molecule.water_cluster ~rng 8 in
+  let frags = Fragment.fragment m Basis.B6_31gd in
+  Alcotest.(check int) "count" 8 (Array.length frags);
+  Array.iter (fun f -> Alcotest.(check int) "nbf" 19 f.Fragment.nbf) frags;
+  Alcotest.(check int) "total nbf" (8 * 19) (Fragment.total_nbf frags)
+
+let test_fragment_two_per () =
+  let rng = Numerics.Rng.create 3 in
+  let m = Molecule.water_cluster ~rng 9 in
+  let frags = Fragment.fragment ~per_fragment:2 m Basis.B6_31gd in
+  (* 9 monomers -> 4 fragments of 2 + 1 of 1 *)
+  Alcotest.(check int) "count" 5 (Array.length frags);
+  Alcotest.(check int) "first nbf" 38 frags.(0).Fragment.nbf;
+  Alcotest.(check int) "last nbf" 19 frags.(4).Fragment.nbf
+
+(* ---------- task graph ---------- *)
+
+let plan_of ?(n = 16) () =
+  let rng = Numerics.Rng.create 3 in
+  let m = Molecule.water_cluster ~rng n in
+  Task.fmo2_plan (Fragment.fragment m Basis.B6_31gd)
+
+let test_plan_structure () =
+  let plan = plan_of () in
+  let nf = Array.length plan.Task.fragments in
+  Alcotest.(check int) "monomer per fragment" nf (Array.length plan.Task.monomers);
+  let pairs = nf * (nf - 1) / 2 in
+  Alcotest.(check int) "all pairs covered" pairs
+    (Array.length plan.Task.scf_dimers + Array.length plan.Task.es_dimers);
+  Alcotest.(check bool) "has near pairs" true (Array.length plan.Task.scf_dimers > 0);
+  Alcotest.(check bool) "has far pairs" true (Array.length plan.Task.es_dimers > 0)
+
+let test_dimer_classification_by_cutoff () =
+  let rng = Numerics.Rng.create 3 in
+  let m = Molecule.water_cluster ~rng 8 in
+  let frags = Fragment.fragment m Basis.B6_31gd in
+  let all_scf = Task.fmo2_plan ~scf_cutoff:1e6 frags in
+  Alcotest.(check int) "everything near" 0 (Array.length all_scf.Task.es_dimers);
+  let all_es = Task.fmo2_plan ~scf_cutoff:0.01 frags in
+  Alcotest.(check int) "everything far" 0 (Array.length all_es.Task.scf_dimers)
+
+let test_embedding_heterogeneity () =
+  (* interior fragments must carry more monomer work than surface ones *)
+  let plan = plan_of ~n:27 () in
+  let works = Array.map (fun t -> t.Task.work_gflops) plan.Task.monomers in
+  let mn = Array.fold_left Float.min infinity works in
+  let mx = Array.fold_left Float.max 0. works in
+  Alcotest.(check bool) "spread" true (mx > mn *. 1.2)
+
+let test_work_functions () =
+  Alcotest.(check bool) "scf superlinear" true
+    (Task.scf_work_gflops 38 > 4. *. Task.scf_work_gflops 19);
+  Alcotest.(check bool) "es cheap" true (Task.es_work_gflops 38 < Task.scf_work_gflops 38 /. 100.);
+  check_float "embedding base" 1. (Task.embedding_factor ~neighbors:0);
+  Alcotest.(check bool) "embedding grows" true (Task.embedding_factor ~neighbors:10 > 1.5)
+
+let test_total_work () =
+  let plan = plan_of () in
+  let w = Task.total_work plan in
+  Alcotest.(check bool) "positive" true (w > 0.);
+  (* more SCC iterations -> more work *)
+  let rng = Numerics.Rng.create 3 in
+  let m = Molecule.water_cluster ~rng 16 in
+  let plan2 = Task.fmo2_plan ~scc_iterations:16 (Fragment.fragment m Basis.B6_31gd) in
+  Alcotest.(check bool) "scc increases work" true (Task.total_work plan2 > w)
+
+(* ---------- cost model ---------- *)
+
+let machine = Machine.make ~name:"test" ~num_nodes:1024 ()
+
+let test_law_shape () =
+  let law = Cost_model.law machine ~work_gflops:100. ~nbf:19 in
+  let t1 = Cost_model.expected law ~nodes:1 in
+  let t16 = Cost_model.expected law ~nodes:16 in
+  Alcotest.(check bool) "scales down" true (t16 < t1 /. 8.);
+  Alcotest.(check bool) "serial floor" true (t16 > 0.)
+
+let test_noise_free_machine () =
+  let quiet = Machine.with_noise machine 0. in
+  let t = plan_of () in
+  let task = t.Task.monomers.(0) in
+  let rng = Numerics.Rng.create 1 in
+  let a = Cost_model.sample_task rng quiet task ~nodes:4 in
+  let b = Cost_model.sample_task rng quiet task ~nodes:4 in
+  check_float "deterministic" a b
+
+let test_noise_mean_one () =
+  let noisy = Machine.with_noise machine 0.1 in
+  let law = Cost_model.law noisy ~work_gflops:100. ~nbf:19 in
+  let rng = Numerics.Rng.create 9 in
+  let base = Cost_model.expected law ~nodes:4 in
+  let n = 20_000 in
+  let acc = ref 0. in
+  for _ = 1 to n do
+    acc := !acc +. Cost_model.sample rng noisy law ~nodes:4
+  done;
+  check_float ~eps:0.01 "mean preserved" base (!acc /. float_of_int n)
+
+(* ---------- runner ---------- *)
+
+let test_run_static_vs_dynamic_consistency () =
+  let plan = plan_of ~n:8 () in
+  let partition = Gddi.Group.even_partition ~total_nodes:16 ~groups:8 in
+  let rng = Numerics.Rng.create 5 in
+  let r = Fmo_run.run ~rng machine plan partition Fmo_run.Dynamic in
+  Alcotest.(check bool) "positive time" true (r.Fmo_run.total_time > 0.);
+  Alcotest.(check int) "sweeps" plan.Task.scc_iterations (List.length r.Fmo_run.sweeps);
+  check_float "total = monomer + dimer"
+    (r.Fmo_run.monomer_time +. r.Fmo_run.dimer_time)
+    r.Fmo_run.total_time;
+  Alcotest.(check bool) "utilization in (0,1]" true
+    (r.Fmo_run.utilization > 0. && r.Fmo_run.utilization <= 1. +. 1e-9)
+
+let test_run_static_assignment () =
+  let plan = plan_of ~n:4 () in
+  let partition = Gddi.Group.even_partition ~total_nodes:8 ~groups:4 in
+  let monomer = Array.init (Array.length plan.Task.monomers) Fun.id in
+  let ndimers = Array.length (Task.dimer_tasks plan) in
+  let dimer = Array.init ndimers (fun i -> i mod 4) in
+  let rng = Numerics.Rng.create 5 in
+  let r = Fmo_run.run ~rng machine plan partition (Fmo_run.Static { monomer; dimer }) in
+  Alcotest.(check bool) "positive" true (r.Fmo_run.total_time > 0.)
+
+let test_run_plan_phase_partitions () =
+  (* monomer and dimer phases may use different partitions *)
+  let plan = plan_of ~n:4 () in
+  let p1 = Gddi.Group.even_partition ~total_nodes:8 ~groups:4 in
+  let p2 = Gddi.Group.even_partition ~total_nodes:8 ~groups:2 in
+  let rng = Numerics.Rng.create 5 in
+  let r =
+    Fmo_run.run_plan ~rng machine plan
+      ~monomer:{ Fmo_run.partition = p1; schedule = Gddi.Sim.Dynamic }
+      ~dimer:{ Fmo_run.partition = p2; schedule = Gddi.Sim.Dynamic }
+  in
+  Alcotest.(check int) "dimer groups" 2 (Array.length r.Fmo_run.dimer.Gddi.Sim.group_busy)
+
+let test_sweep_factor () =
+  let plan = plan_of ~n:4 () in
+  check_float "first full" 1. (Fmo_run.sweep_work_factor plan ~sweep:0);
+  check_float "later cheaper" plan.Task.scc_later_sweep_factor
+    (Fmo_run.sweep_work_factor plan ~sweep:1)
+
+let prop_more_nodes_never_slower_expected =
+  QCheck.Test.make ~name:"expected task time decreases with nodes (b tiny)" ~count:50
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let rng = Numerics.Rng.create seed in
+      let work = Numerics.Rng.uniform rng ~lo:1. ~hi:1000. in
+      let nbf = 10 + Numerics.Rng.int rng 60 in
+      let law = Cost_model.law machine ~work_gflops:work ~nbf in
+      let ok = ref true in
+      for e = 0 to 8 do
+        let n1 = 1 lsl e and n2 = 1 lsl (e + 1) in
+        if
+          Cost_model.expected law ~nodes:n2
+          > Cost_model.expected law ~nodes:n1 +. 1e-9
+        then ok := false
+      done;
+      !ok)
+
+let () =
+  let qsuite = List.map QCheck_alcotest.to_alcotest [ prop_more_nodes_never_slower_expected ] in
+  Alcotest.run "fmo"
+    [
+      ("geometry", [ Alcotest.test_case "basics" `Quick test_geometry ]);
+      ("basis", [ Alcotest.test_case "counts" `Quick test_basis_counts ]);
+      ( "molecule",
+        [
+          Alcotest.test_case "water cluster" `Quick test_water_cluster;
+          Alcotest.test_case "deterministic" `Quick test_water_cluster_deterministic;
+          Alcotest.test_case "peptides" `Quick test_peptides;
+        ] );
+      ( "fragment",
+        [
+          Alcotest.test_case "one per monomer" `Quick test_fragment_one_per_monomer;
+          Alcotest.test_case "two per fragment" `Quick test_fragment_two_per;
+        ] );
+      ( "task",
+        [
+          Alcotest.test_case "plan structure" `Quick test_plan_structure;
+          Alcotest.test_case "cutoff classification" `Quick test_dimer_classification_by_cutoff;
+          Alcotest.test_case "embedding heterogeneity" `Quick test_embedding_heterogeneity;
+          Alcotest.test_case "work functions" `Quick test_work_functions;
+          Alcotest.test_case "total work" `Quick test_total_work;
+        ] );
+      ( "cost_model",
+        [
+          Alcotest.test_case "law shape" `Quick test_law_shape;
+          Alcotest.test_case "noise-free determinism" `Quick test_noise_free_machine;
+          Alcotest.test_case "noise mean one" `Quick test_noise_mean_one;
+        ] );
+      ( "fmo_run",
+        [
+          Alcotest.test_case "dynamic run" `Quick test_run_static_vs_dynamic_consistency;
+          Alcotest.test_case "static run" `Quick test_run_static_assignment;
+          Alcotest.test_case "phase partitions" `Quick test_run_plan_phase_partitions;
+          Alcotest.test_case "sweep factor" `Quick test_sweep_factor;
+        ] );
+      ("properties", qsuite);
+    ]

@@ -1,0 +1,207 @@
+(* Tests for the GDDI group runtime: partitions, the discrete-event
+   phase simulator (dynamic + static), heap, and scheduler heuristics. *)
+
+open Gddi
+
+let check_float ?(eps = 1e-9) msg expected actual =
+  if Float.abs (expected -. actual) > eps *. (1. +. Float.abs expected) then
+    Alcotest.failf "%s: expected %.10g, got %.10g" msg expected actual
+
+(* ---------- Heap ---------- *)
+
+let test_heap_ordering () =
+  let h = Ds.Heap.create ~leq:(fun a b -> a <= b) in
+  List.iter (Ds.Heap.push h) [ 5; 1; 4; 1; 3; 9; 2 ];
+  let drained = List.init (Ds.Heap.size h) (fun _ -> Ds.Heap.pop h) in
+  Alcotest.(check (list int)) "sorted drain" [ 1; 1; 2; 3; 4; 5; 9 ] drained;
+  Alcotest.(check bool) "empty" true (Ds.Heap.is_empty h)
+
+let test_heap_empty () =
+  let h = Ds.Heap.create ~leq:(fun (a : int) b -> a <= b) in
+  Alcotest.check_raises "pop empty" Not_found (fun () -> ignore (Ds.Heap.pop h));
+  Alcotest.(check (option int)) "pop_opt" None (Ds.Heap.pop_opt h);
+  Alcotest.(check (option int)) "peek_opt" None (Ds.Heap.peek_opt h)
+
+let prop_heap_sorts =
+  QCheck.Test.make ~name:"heap drains sorted" ~count:100
+    QCheck.(small_list int)
+    (fun xs ->
+      let h = Ds.Heap.create ~leq:(fun a b -> a <= b) in
+      List.iter (Ds.Heap.push h) xs;
+      let drained = List.init (List.length xs) (fun _ -> Ds.Heap.pop h) in
+      drained = List.sort compare xs)
+
+(* ---------- Group ---------- *)
+
+let test_even_partition () =
+  let p = Group.even_partition ~total_nodes:10 ~groups:3 in
+  Alcotest.(check int) "groups" 3 (Group.num_groups p);
+  Alcotest.(check int) "total" 10 (Group.total_nodes p);
+  Alcotest.(check (list int)) "sizes" [ 4; 3; 3 ]
+    (Array.to_list (Array.map (fun g -> g.Group.nodes) p))
+
+let test_partition_errors () =
+  Alcotest.check_raises "too many groups"
+    (Invalid_argument "Group.even_partition: more groups than nodes") (fun () ->
+      ignore (Group.even_partition ~total_nodes:2 ~groups:3));
+  Alcotest.check_raises "bad size" (Invalid_argument "Group.of_sizes: non-positive size")
+    (fun () -> ignore (Group.of_sizes [ 2; 0 ]))
+
+(* ---------- Sim ---------- *)
+
+let const_duration d ~task:_ ~group:_ = d
+
+let test_static_sums_per_group () =
+  let p = Group.of_sizes [ 2; 2 ] in
+  (* tasks 0,1 -> group 0; task 2 -> group 1; durations 1,2,3 *)
+  let duration ~task ~group:_ = float_of_int (task + 1) in
+  let r = Sim.run_phase p ~num_tasks:3 ~duration (Sim.Static [| 0; 0; 1 |]) in
+  check_float "makespan" 3. r.Sim.makespan;
+  check_float "g0 busy" 3. r.Sim.group_busy.(0);
+  check_float "g1 busy" 3. r.Sim.group_busy.(1);
+  Alcotest.(check (array int)) "assignment" [| 0; 0; 1 |] r.Sim.assignment
+
+let test_dynamic_pulls_earliest_free () =
+  let p = Group.of_sizes [ 1; 1 ] in
+  (* durations: 4, 1, 1, 1 -> dynamic: g0 takes t0 (4); g1 takes t1..t3 (3) *)
+  let durations = [| 4.; 1.; 1.; 1. |] in
+  let duration ~task ~group:_ = durations.(task) in
+  let r = Sim.run_phase p ~num_tasks:4 ~duration Sim.Dynamic in
+  check_float "makespan" 4. r.Sim.makespan;
+  Alcotest.(check (array int)) "assignment" [| 0; 1; 1; 1 |] r.Sim.assignment
+
+let test_dynamic_dispatch_latency () =
+  let p = Group.of_sizes [ 1 ] in
+  let r =
+    Sim.run_phase ~dispatch_latency:0.5 p ~num_tasks:2 ~duration:(const_duration 1.) Sim.Dynamic
+  in
+  check_float "latency added" 3. r.Sim.makespan
+
+let test_static_no_dispatch_latency () =
+  let p = Group.of_sizes [ 1 ] in
+  let r =
+    Sim.run_phase ~dispatch_latency:0.5 p ~num_tasks:2 ~duration:(const_duration 1.)
+      (Sim.Static [| 0; 0 |])
+  in
+  check_float "no latency for static" 2. r.Sim.makespan
+
+let test_sim_validation () =
+  let p = Group.of_sizes [ 1 ] in
+  Alcotest.check_raises "length" (Invalid_argument "Sim.run_phase: assignment length mismatch")
+    (fun () ->
+      ignore (Sim.run_phase p ~num_tasks:2 ~duration:(const_duration 1.) (Sim.Static [| 0 |])));
+  Alcotest.check_raises "group range" (Invalid_argument "Sim.run_phase: group id out of range")
+    (fun () ->
+      ignore (Sim.run_phase p ~num_tasks:1 ~duration:(const_duration 1.) (Sim.Static [| 3 |])));
+  Alcotest.check_raises "negative duration"
+    (Invalid_argument "Sim.run_phase: negative or NaN duration") (fun () ->
+      ignore (Sim.run_phase p ~num_tasks:1 ~duration:(const_duration (-1.)) (Sim.Static [| 0 |])))
+
+let test_empty_phase () =
+  let p = Group.of_sizes [ 1; 1 ] in
+  let r = Sim.run_phase p ~num_tasks:0 ~duration:(const_duration 1.) Sim.Dynamic in
+  check_float "empty makespan" 0. r.Sim.makespan;
+  check_float "utilization 1" 1. (Sim.utilization p r)
+
+let test_utilization () =
+  let p = Group.of_sizes [ 1; 3 ] in
+  (* one task of 2s on each group: busy = 2*1 + 2*3 = 8 node-s of 2*4 = 8 -> 100% *)
+  let r = Sim.run_phase p ~num_tasks:2 ~duration:(const_duration 2.) (Sim.Static [| 0; 1 |]) in
+  check_float "utilization" 1. (Sim.utilization p r);
+  check_float "idle" 0. (Sim.idle_time p r);
+  (* both tasks on group 0: group 1 idles 4s -> idle = 4*3 = 12 node-s *)
+  let r2 = Sim.run_phase p ~num_tasks:2 ~duration:(const_duration 2.) (Sim.Static [| 0; 0 |]) in
+  check_float "utilization 2" (4. /. 16.) (Sim.utilization p r2);
+  check_float "idle 2" 12. (Sim.idle_time p r2)
+
+let test_events_chronology () =
+  let p = Group.of_sizes [ 1 ] in
+  let r = Sim.run_phase p ~num_tasks:3 ~duration:(const_duration 1.) (Sim.Static [| 0; 0; 0 |]) in
+  let starts = List.map (fun e -> e.Sim.start) r.Sim.events in
+  Alcotest.(check (list (float 1e-9))) "starts" [ 0.; 1.; 2. ] starts
+
+(* ---------- Schedulers ---------- *)
+
+let test_round_robin () =
+  Alcotest.(check (array int)) "rr" [| 0; 1; 2; 0; 1 |]
+    (Schedulers.round_robin ~num_tasks:5 ~num_groups:3)
+
+let test_lpt_beats_greedy_order () =
+  let p = Group.of_sizes [ 1; 1 ] in
+  (* durations 1,1,1,3: submission-order greedy -> {1,1} {1,3}=4; LPT -> {3}{1,1,1}=3 *)
+  let durations = [| 1.; 1.; 1.; 3. |] in
+  let predicted ~task ~group:_ = durations.(task) in
+  let lpt = Schedulers.lpt p ~predicted ~num_tasks:4 in
+  let greedy = Schedulers.greedy_min_finish p ~predicted ~num_tasks:4 in
+  let mk a = Schedulers.predicted_makespan p ~predicted a in
+  check_float "lpt optimal" 3. (mk lpt);
+  check_float "greedy worse" 4. (mk greedy)
+
+let prop_dynamic_within_2x_of_lpt =
+  (* list scheduling is a 2-approximation: dynamic (FCFS order) and LPT
+     should agree within that factor on uniform groups *)
+  QCheck.Test.make ~name:"dynamic within 2x of LPT" ~count:50
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let rng = Numerics.Rng.create seed in
+      let num_tasks = 3 + Numerics.Rng.int rng 20 in
+      let groups = 1 + Numerics.Rng.int rng 4 in
+      let durations =
+        Array.init num_tasks (fun _ -> Numerics.Rng.uniform rng ~lo:0.1 ~hi:10.)
+      in
+      let duration ~task ~group:_ = durations.(task) in
+      let p = Group.even_partition ~total_nodes:(4 * groups) ~groups in
+      let dyn = Sim.run_phase p ~num_tasks ~duration Sim.Dynamic in
+      let lpt = Schedulers.lpt p ~predicted:duration ~num_tasks in
+      let lpt_ms = Schedulers.predicted_makespan p ~predicted:duration lpt in
+      (* both are list schedules: dyn <= 2·OPT and OPT <= lpt_ms *)
+      dyn.Sim.makespan <= (2. *. lpt_ms) +. 1e-9)
+
+let prop_static_assignment_respected =
+  QCheck.Test.make ~name:"static assignment is executed as given" ~count:50
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let rng = Numerics.Rng.create seed in
+      let num_tasks = 1 + Numerics.Rng.int rng 15 in
+      let groups = 1 + Numerics.Rng.int rng 5 in
+      let p = Group.even_partition ~total_nodes:(2 * groups) ~groups in
+      let a = Array.init num_tasks (fun _ -> Numerics.Rng.int rng groups) in
+      let duration ~task:_ ~group:_ = 1. in
+      let r = Sim.run_phase p ~num_tasks ~duration (Sim.Static a) in
+      r.Sim.assignment = a)
+
+let () =
+  let qsuite =
+    List.map QCheck_alcotest.to_alcotest
+      [ prop_heap_sorts; prop_dynamic_within_2x_of_lpt; prop_static_assignment_respected ]
+  in
+  Alcotest.run "gddi"
+    [
+      ( "heap",
+        [
+          Alcotest.test_case "ordering" `Quick test_heap_ordering;
+          Alcotest.test_case "empty" `Quick test_heap_empty;
+        ] );
+      ( "group",
+        [
+          Alcotest.test_case "even partition" `Quick test_even_partition;
+          Alcotest.test_case "errors" `Quick test_partition_errors;
+        ] );
+      ( "sim",
+        [
+          Alcotest.test_case "static sums" `Quick test_static_sums_per_group;
+          Alcotest.test_case "dynamic pull" `Quick test_dynamic_pulls_earliest_free;
+          Alcotest.test_case "dispatch latency" `Quick test_dynamic_dispatch_latency;
+          Alcotest.test_case "static has no latency" `Quick test_static_no_dispatch_latency;
+          Alcotest.test_case "validation" `Quick test_sim_validation;
+          Alcotest.test_case "empty phase" `Quick test_empty_phase;
+          Alcotest.test_case "utilization" `Quick test_utilization;
+          Alcotest.test_case "event chronology" `Quick test_events_chronology;
+        ] );
+      ( "schedulers",
+        [
+          Alcotest.test_case "round robin" `Quick test_round_robin;
+          Alcotest.test_case "lpt vs greedy" `Quick test_lpt_beats_greedy_order;
+        ] );
+      ("properties", qsuite);
+    ]

@@ -1,0 +1,413 @@
+(* Tests for the HSLB core: fitting, task classes, allocation models,
+   objectives, and the FMO application pipeline. *)
+
+let check_float ?(eps = 1e-6) msg expected actual =
+  if Float.abs (expected -. actual) > eps *. (1. +. Float.abs expected) then
+    Alcotest.failf "%s: expected %.10g, got %.10g" msg expected actual
+
+(* ---------- Fitting ---------- *)
+
+let observations_of law ns =
+  Array.of_list (List.map (fun n -> (float_of_int n, Scaling_law.eval_int law n)) ns)
+
+let test_fit_recovers_noiseless () =
+  let truth = Scaling_law.make ~a:120. ~b:0.001 ~c:0.9 ~d:2. in
+  let obs = observations_of truth [ 1; 2; 4; 8; 16; 32; 64 ] in
+  let rng = Numerics.Rng.create 17 in
+  let fit = Hslb.Fitting.fit_observations ~rng obs in
+  Alcotest.(check bool) "r2 near 1" true (fit.Hslb.Fitting.r2 > 0.9999);
+  List.iter
+    (fun n ->
+      check_float ~eps:0.02
+        (Printf.sprintf "prediction at %d" n)
+        (Scaling_law.eval_int truth n)
+        (Hslb.Fitting.predict fit n))
+    [ 3; 12; 48; 100 ]
+
+let test_fit_rejects_insufficient_data () =
+  Alcotest.check_raises "one node count"
+    (Invalid_argument "Fitting.fit_observations: need observations at at least 2 node counts")
+    (fun () ->
+      let rng = Numerics.Rng.create 1 in
+      ignore (Hslb.Fitting.fit_observations ~rng [| (4., 10.); (4., 10.1) |]))
+
+let test_fit_nonneg_params () =
+  (* even with noise pulling toward negative coefficients the fit stays
+     in the box (the paper constrains a,b,c,d >= 0) *)
+  let rng = Numerics.Rng.create 5 in
+  let obs = [| (1., 10.); (2., 5.5); (4., 2.4); (8., 1.6); (16., 0.6) |] in
+  let fit = Hslb.Fitting.fit_observations ~rng obs in
+  let p = Scaling_law.to_array fit.Hslb.Fitting.law in
+  Array.iter (fun v -> Alcotest.(check bool) "nonneg" true (v >= 0.)) p
+
+let test_recommended_sizes () =
+  let sizes = Hslb.Fitting.recommended_sizes ~n_min:1 ~n_max:1024 ~points:5 in
+  Alcotest.(check bool) "starts at min" true (List.hd sizes = 1);
+  Alcotest.(check bool) "ends at max" true (List.nth sizes (List.length sizes - 1) = 1024);
+  Alcotest.(check bool) "sorted" true (List.sort compare sizes = sizes);
+  Alcotest.(check (list int)) "single point range" [ 7 ]
+    (Hslb.Fitting.recommended_sizes ~n_min:7 ~n_max:7 ~points:4)
+
+(* ---------- Classes ---------- *)
+
+let test_gather_shape () =
+  let cls = Hslb.Classes.make ~name:"c" ~count:3 (fun ~nodes -> 10. /. float_of_int nodes) in
+  let obs = Hslb.Classes.gather cls ~sizes:[ 1; 2; 4 ] ~reps:2 in
+  Alcotest.(check int) "observations" 6 (Array.length obs);
+  check_float "first" 10. (snd obs.(0))
+
+let test_gather_and_fit () =
+  let truth = Scaling_law.make ~a:50. ~b:0. ~c:1. ~d:1. in
+  let cls =
+    Hslb.Classes.make ~name:"c" ~count:2 (fun ~nodes -> Scaling_law.eval_int truth nodes)
+  in
+  let rng = Numerics.Rng.create 3 in
+  let fitted = Hslb.Classes.gather_and_fit ~rng ~sizes:[ 1; 2; 4; 8; 32 ] ~reps:1 [ cls ] in
+  match fitted with
+  | [ fc ] ->
+    check_float ~eps:0.01 "prediction" (Scaling_law.eval_int truth 16)
+      (Hslb.Classes.predicted_time fc 16)
+  | _ -> Alcotest.fail "expected one fitted class"
+
+let test_class_validation () =
+  Alcotest.check_raises "count" (Invalid_argument "Classes.make: count must be >= 1") (fun () ->
+      ignore (Hslb.Classes.make ~name:"x" ~count:0 (fun ~nodes:_ -> 1.)))
+
+(* ---------- Alloc_model ---------- *)
+
+let fitted_of_law ~name ~count law =
+  let cls = Hslb.Classes.make ~name ~count (fun ~nodes -> Scaling_law.eval_int law nodes) in
+  let rng = Numerics.Rng.create 11 in
+  List.hd (Hslb.Classes.gather_and_fit ~rng ~sizes:[ 1; 2; 4; 8; 16; 64 ] ~reps:1 [ cls ])
+
+let two_class_specs () =
+  (* class A three times the work of class B *)
+  let a = fitted_of_law ~name:"heavy" ~count:1 (Scaling_law.make ~a:300. ~b:0. ~c:1. ~d:0.5) in
+  let b = fitted_of_law ~name:"light" ~count:1 (Scaling_law.make ~a:100. ~b:0. ~c:1. ~d:0.5) in
+  [ Hslb.Alloc_model.spec_of a; Hslb.Alloc_model.spec_of b ]
+
+let test_minmax_allocation_proportional () =
+  let specs = two_class_specs () in
+  let alloc = Hslb.Alloc_model.solve ~n_total:40 specs in
+  (* heavy class should get roughly 3x the nodes of light *)
+  let nh = alloc.Hslb.Alloc_model.nodes_per_task.(0)
+  and nl = alloc.Hslb.Alloc_model.nodes_per_task.(1) in
+  Alcotest.(check bool) "heavy gets more" true (nh > 2 * nl);
+  Alcotest.(check bool) "budget respected" true (nh + nl <= 40);
+  Alcotest.(check bool) "makespan sane" true
+    (alloc.Hslb.Alloc_model.predicted_makespan < 300. /. 10.)
+
+let test_minmax_vs_brute_force () =
+  let specs = two_class_specs () in
+  let alloc = Hslb.Alloc_model.solve ~n_total:20 specs in
+  (* brute force over all splits with the same fitted laws *)
+  let specs_arr = Array.of_list specs in
+  let time i n =
+    Scaling_law.eval_int specs_arr.(i).Hslb.Alloc_model.fc.Hslb.Classes.fit.Hslb.Fitting.law n
+  in
+  let best = ref infinity in
+  for n1 = 1 to 19 do
+    let t = Float.max (time 0 n1) (time 1 (20 - n1)) in
+    if t < !best then best := t
+  done;
+  check_float ~eps:1e-6 "optimal" !best alloc.Hslb.Alloc_model.predicted_makespan
+
+let test_counts_scale_budget () =
+  (* a class with count=5 consumes 5x its per-task nodes *)
+  let fc = fitted_of_law ~name:"c" ~count:5 (Scaling_law.make ~a:100. ~b:0. ~c:1. ~d:0.) in
+  let alloc = Hslb.Alloc_model.solve ~n_total:50 [ Hslb.Alloc_model.spec_of fc ] in
+  Alcotest.(check int) "10 nodes each" 10 alloc.Hslb.Alloc_model.nodes_per_task.(0)
+
+let test_sweet_spots_respected () =
+  let specs =
+    List.map
+      (fun s -> { s with Hslb.Alloc_model.allowed = Some [ 2; 4; 8; 16 ] })
+      (two_class_specs ())
+  in
+  let alloc = Hslb.Alloc_model.solve ~n_total:20 specs in
+  Array.iter
+    (fun n -> Alcotest.(check bool) "allowed value" true (List.mem n [ 2; 4; 8; 16 ]))
+    alloc.Hslb.Alloc_model.nodes_per_task
+
+let test_objectives_ranking () =
+  (* min-max <= max-min <= min-sum in realized makespan (paper: min-sum
+     is much worse, max-min slightly worse) *)
+  let specs = two_class_specs () in
+  let makespan objective =
+    let alloc = Hslb.Alloc_model.solve ~objective ~n_total:24 specs in
+    alloc.Hslb.Alloc_model.predicted_makespan
+  in
+  let mm = makespan Hslb.Objective.Min_max in
+  let xm = makespan Hslb.Objective.Max_min in
+  let ms = makespan Hslb.Objective.Min_sum in
+  Alcotest.(check bool) "min-max best" true (mm <= xm +. 1e-6 && mm <= ms +. 1e-6)
+
+let test_max_min_uses_all_nodes () =
+  let specs = two_class_specs () in
+  let alloc = Hslb.Alloc_model.solve ~objective:Hslb.Objective.Max_min ~n_total:24 specs in
+  let used =
+    alloc.Hslb.Alloc_model.nodes_per_task.(0) + alloc.Hslb.Alloc_model.nodes_per_task.(1)
+  in
+  Alcotest.(check bool) "uses (almost) all nodes" true (used >= 23)
+
+let test_solver_choice_agrees () =
+  let specs = two_class_specs () in
+  let a = Hslb.Alloc_model.solve ~solver:`Oa ~n_total:30 specs in
+  let b = Hslb.Alloc_model.solve ~solver:`Bnb ~n_total:30 specs in
+  check_float ~eps:1e-3 "same makespan" a.Hslb.Alloc_model.predicted_makespan
+    b.Hslb.Alloc_model.predicted_makespan
+
+let test_assignment_milp_small () =
+  (* 4 tasks (3,3,2,2) on 2 identical groups -> makespan 5 *)
+  let durations = [| 3.; 3.; 2.; 2. |] in
+  let assignment, predicted =
+    Hslb.Alloc_model.assignment_milp ~group_sizes:[| 4; 4 |]
+      ~duration:(fun ~task ~group:_ -> durations.(task))
+      ~num_tasks:4 ()
+  in
+  check_float "makespan" 5. predicted;
+  Alcotest.(check int) "assigned all" 4 (Array.length assignment)
+
+let test_assignment_milp_fallback_lpt () =
+  (* node budget 0 forces the LPT fallback; still a valid assignment *)
+  let durations = [| 5.; 4.; 3.; 3.; 3. |] in
+  let assignment, predicted =
+    Hslb.Alloc_model.assignment_milp ~max_nodes:0 ~group_sizes:[| 1; 1 |]
+      ~duration:(fun ~task ~group:_ -> durations.(task))
+      ~num_tasks:5 ()
+  in
+  Alcotest.(check int) "assigned all" 5 (Array.length assignment);
+  Alcotest.(check bool) "reasonable" true (predicted <= 11.)
+
+(* ---------- Fmo_app pipeline ---------- *)
+
+let small_setup () =
+  let machine = Machine.make ~name:"t" ~num_nodes:64 ~noise_sigma:0.01 () in
+  let rng = Numerics.Rng.create 21 in
+  let molecule = Fmo.Molecule.water_cluster ~rng 8 in
+  let plan = Fmo.Task.fmo2_plan (Fmo.Fragment.fragment molecule Fmo.Basis.B6_31gd) in
+  (machine, plan)
+
+let test_pipeline_runs_and_predicts () =
+  let machine, plan = small_setup () in
+  let hp, run =
+    Hslb.Fmo_app.run_hslb ~rng:(Numerics.Rng.create 2) machine plan ~n_total:32
+      Hslb.Fmo_app.default_config
+  in
+  Alcotest.(check bool) "positive time" true (run.Fmo.Fmo_run.total_time > 0.);
+  (* prediction within 25% of simulated actual *)
+  let rel =
+    Float.abs (hp.Hslb.Fmo_app.predicted_total -. run.Fmo.Fmo_run.total_time)
+    /. run.Fmo.Fmo_run.total_time
+  in
+  Alcotest.(check bool) "prediction close" true (rel < 0.25);
+  (* partition uses at most the budget *)
+  Alcotest.(check bool) "monomer budget" true
+    (Gddi.Group.total_nodes hp.Hslb.Fmo_app.partition <= 32);
+  Alcotest.(check bool) "dimer budget" true
+    (Gddi.Group.total_nodes hp.Hslb.Fmo_app.dimer_partition <= 32);
+  (* every fit is good, as the paper reports *)
+  List.iter
+    (fun (fc : Hslb.Classes.fitted) ->
+      Alcotest.(check bool) "r2" true (fc.Hslb.Classes.fit.Hslb.Fitting.r2 > 0.95))
+    hp.Hslb.Fmo_app.monomer_fits
+
+let test_hslb_not_worse_than_dynamic () =
+  let machine, plan = small_setup () in
+  let dyn = Hslb.Fmo_app.run_dynamic ~rng:(Numerics.Rng.create 3) machine plan ~n_total:32 () in
+  let _, h =
+    Hslb.Fmo_app.run_hslb ~rng:(Numerics.Rng.create 3) machine plan ~n_total:32
+      Hslb.Fmo_app.default_config
+  in
+  Alcotest.(check bool) "within 10% or better" true
+    (h.Fmo.Fmo_run.total_time <= dyn.Fmo.Fmo_run.total_time *. 1.1)
+
+let test_baselines_run () =
+  let machine, plan = small_setup () in
+  let se =
+    Hslb.Fmo_app.run_static_even ~rng:(Numerics.Rng.create 4) machine plan ~n_total:32 ()
+  in
+  Alcotest.(check bool) "static even positive" true (se.Fmo.Fmo_run.total_time > 0.);
+  let dyn =
+    Hslb.Fmo_app.run_dynamic ~rng:(Numerics.Rng.create 4) machine plan ~n_total:32 ~groups:4 ()
+  in
+  Alcotest.(check bool) "dynamic custom groups" true (dyn.Fmo.Fmo_run.total_time > 0.)
+
+let test_budget_validation () =
+  let machine, plan = small_setup () in
+  Alcotest.(check bool) "raises below one node per fragment" true
+    (try
+       ignore
+         (Hslb.Fmo_app.plan_hslb ~rng:(Numerics.Rng.create 1) machine plan ~n_total:4
+            Hslb.Fmo_app.default_config);
+       false
+     with Invalid_argument _ -> true)
+
+(* ---------- Model_store ---------- *)
+
+let test_model_store_roundtrip () =
+  let fits =
+    [
+      fitted_of_law ~name:"alpha" ~count:3 (Scaling_law.make ~a:200. ~b:1e-5 ~c:0.9 ~d:2.);
+      fitted_of_law ~name:"beta" ~count:1 (Scaling_law.make ~a:55. ~b:0. ~c:1. ~d:0.1);
+    ]
+  in
+  let csv = Hslb.Model_store.to_csv fits in
+  let back = Hslb.Model_store.of_csv csv in
+  Alcotest.(check int) "two classes" 2 (List.length back);
+  List.iter2
+    (fun (a : Hslb.Classes.fitted) (b : Hslb.Classes.fitted) ->
+      Alcotest.(check string) "name" a.Hslb.Classes.cls.Hslb.Classes.name
+        b.Hslb.Classes.cls.Hslb.Classes.name;
+      Alcotest.(check int) "count" a.Hslb.Classes.cls.Hslb.Classes.count
+        b.Hslb.Classes.cls.Hslb.Classes.count;
+      (* law round-trips exactly through %.17g *)
+      List.iter
+        (fun n ->
+          check_float ~eps:1e-12
+            (Printf.sprintf "prediction at %d" n)
+            (Hslb.Classes.predicted_time a n) (Hslb.Classes.predicted_time b n))
+        [ 1; 7; 64 ])
+    fits back
+
+let test_model_store_rejects_garbage () =
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Hslb.Model_store.of_csv "not,a,valid,line");
+       false
+     with Failure _ -> true)
+
+let test_model_store_file_roundtrip () =
+  let fits = [ fitted_of_law ~name:"x" ~count:2 (Scaling_law.make ~a:10. ~b:0. ~c:1. ~d:0.) ] in
+  let path = Filename.temp_file "hslb_store" ".csv" in
+  Hslb.Model_store.save path fits;
+  let back = Hslb.Model_store.load path in
+  Sys.remove path;
+  Alcotest.(check int) "one class" 1 (List.length back);
+  (* solve from the restored specs *)
+  let alloc =
+    Hslb.Alloc_model.solve ~n_total:10 (Hslb.Model_store.specs_of_csv (Hslb.Model_store.to_csv back))
+  in
+  Alcotest.(check int) "5 nodes each" 5 alloc.Hslb.Alloc_model.nodes_per_task.(0)
+
+(* ---------- Report ---------- *)
+
+let test_report_renders () =
+  let machine, plan = small_setup () in
+  let hp, run =
+    Hslb.Fmo_app.run_hslb ~rng:(Numerics.Rng.create 2) machine plan ~n_total:32
+      Hslb.Fmo_app.default_config
+  in
+  let s = Format.asprintf "%a" Hslb.Report.pp_plan hp in
+  Alcotest.(check bool) "mentions allocation" true
+    (String.length s > 100
+    &&
+    let re_found = ref false in
+    String.iteri (fun _ c -> if c = 'T' then re_found := true) s;
+    !re_found);
+  let cmp = Format.asprintf "%a" Hslb.Report.pp_comparison [ ("hslb", run) ] in
+  Alcotest.(check bool) "comparison renders" true (String.length cmp > 50)
+
+(* ---------- solvated peptide workload ---------- *)
+
+let test_solvated_peptide_pipeline () =
+  let rng = Numerics.Rng.create 12 in
+  let m = Fmo.Molecule.solvated_peptide ~rng ~residues:4 ~waters:12 in
+  Alcotest.(check int) "monomers" 16 m.Fmo.Molecule.num_monomers;
+  let plan = Fmo.Task.fmo2_plan (Fmo.Fragment.fragment m Fmo.Basis.B6_31gd) in
+  (* two very different populations -> at least two distinct nbf *)
+  let nbfs =
+    List.sort_uniq compare
+      (Array.to_list (Array.map (fun (t : Fmo.Task.t) -> t.Fmo.Task.nbf) plan.Fmo.Task.monomers))
+  in
+  Alcotest.(check bool) "heterogeneous" true (List.length nbfs >= 2);
+  let machine = Machine.make ~name:"solv" ~num_nodes:64 () in
+  let _, run =
+    Hslb.Fmo_app.run_hslb ~rng:(Numerics.Rng.create 3) machine plan ~n_total:64
+      Hslb.Fmo_app.default_config
+  in
+  Alcotest.(check bool) "runs" true (run.Fmo.Fmo_run.total_time > 0.)
+
+let prop_allocation_within_budget =
+  QCheck.Test.make ~name:"allocation always within node budget" ~count:25
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let rng = Numerics.Rng.create seed in
+      let k = 2 + Numerics.Rng.int rng 3 in
+      let specs =
+        List.init k (fun i ->
+            let law =
+              Scaling_law.make
+                ~a:(Numerics.Rng.uniform rng ~lo:20. ~hi:500.)
+                ~b:0.
+                ~c:(Numerics.Rng.uniform rng ~lo:0.7 ~hi:1.)
+                ~d:(Numerics.Rng.uniform rng ~lo:0. ~hi:2.)
+            in
+            let count = 1 + Numerics.Rng.int rng 3 in
+            Hslb.Alloc_model.spec_of
+              (fitted_of_law ~name:(Printf.sprintf "c%d" i) ~count law))
+      in
+      let n_total =
+        List.fold_left (fun acc s -> acc + s.Hslb.Alloc_model.fc.Hslb.Classes.cls.Hslb.Classes.count) 0 specs
+        * (2 + Numerics.Rng.int rng 8)
+      in
+      let alloc = Hslb.Alloc_model.solve ~n_total specs in
+      let used =
+        List.fold_left
+          (fun (acc, i) s ->
+            ( acc
+              + (s.Hslb.Alloc_model.fc.Hslb.Classes.cls.Hslb.Classes.count
+                * alloc.Hslb.Alloc_model.nodes_per_task.(i)),
+              i + 1 ))
+          (0, 0) specs
+        |> fst
+      in
+      used <= n_total
+      && Array.for_all (fun n -> n >= 1) alloc.Hslb.Alloc_model.nodes_per_task)
+
+let () =
+  let qsuite = List.map QCheck_alcotest.to_alcotest [ prop_allocation_within_budget ] in
+  Alcotest.run "hslb"
+    [
+      ( "fitting",
+        [
+          Alcotest.test_case "recovers noiseless" `Quick test_fit_recovers_noiseless;
+          Alcotest.test_case "insufficient data" `Quick test_fit_rejects_insufficient_data;
+          Alcotest.test_case "nonneg params" `Quick test_fit_nonneg_params;
+          Alcotest.test_case "recommended sizes" `Quick test_recommended_sizes;
+        ] );
+      ( "classes",
+        [
+          Alcotest.test_case "gather shape" `Quick test_gather_shape;
+          Alcotest.test_case "gather and fit" `Quick test_gather_and_fit;
+          Alcotest.test_case "validation" `Quick test_class_validation;
+        ] );
+      ( "alloc_model",
+        [
+          Alcotest.test_case "proportional split" `Quick test_minmax_allocation_proportional;
+          Alcotest.test_case "matches brute force" `Quick test_minmax_vs_brute_force;
+          Alcotest.test_case "counts scale budget" `Quick test_counts_scale_budget;
+          Alcotest.test_case "sweet spots" `Quick test_sweet_spots_respected;
+          Alcotest.test_case "objective ranking" `Quick test_objectives_ranking;
+          Alcotest.test_case "max-min uses nodes" `Quick test_max_min_uses_all_nodes;
+          Alcotest.test_case "oa = bnb" `Quick test_solver_choice_agrees;
+          Alcotest.test_case "assignment milp" `Quick test_assignment_milp_small;
+          Alcotest.test_case "assignment fallback" `Quick test_assignment_milp_fallback_lpt;
+        ] );
+      ( "fmo_app",
+        [
+          Alcotest.test_case "pipeline predicts" `Quick test_pipeline_runs_and_predicts;
+          Alcotest.test_case "not worse than dynamic" `Quick test_hslb_not_worse_than_dynamic;
+          Alcotest.test_case "baselines" `Quick test_baselines_run;
+          Alcotest.test_case "budget validation" `Quick test_budget_validation;
+          Alcotest.test_case "solvated peptide" `Quick test_solvated_peptide_pipeline;
+        ] );
+      ( "model_store",
+        [
+          Alcotest.test_case "csv roundtrip" `Quick test_model_store_roundtrip;
+          Alcotest.test_case "rejects garbage" `Quick test_model_store_rejects_garbage;
+          Alcotest.test_case "file roundtrip" `Quick test_model_store_file_roundtrip;
+        ] );
+      ("report", [ Alcotest.test_case "renders" `Quick test_report_renders ]);
+      ("properties", qsuite);
+    ]

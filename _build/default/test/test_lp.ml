@@ -1,0 +1,195 @@
+(* Unit and property tests for the LP library (two-phase simplex). *)
+
+open Lp
+
+let feq ?(eps = 1e-7) a b = Float.abs (a -. b) <= eps *. (1. +. Float.abs a +. Float.abs b)
+
+let check_float ?(eps = 1e-7) msg expected actual =
+  if not (feq ~eps expected actual) then
+    Alcotest.failf "%s: expected %.10g, got %.10g" msg expected actual
+
+let status_name = function
+  | Simplex.Optimal -> "optimal"
+  | Simplex.Infeasible -> "infeasible"
+  | Simplex.Unbounded -> "unbounded"
+  | Simplex.Iteration_limit -> "iteration_limit"
+
+let check_status msg expected actual =
+  if expected <> actual then
+    Alcotest.failf "%s: expected %s, got %s" msg (status_name expected) (status_name actual)
+
+let le coeffs rhs = { Lp_problem.coeffs; sense = Lp_problem.Le; rhs }
+let ge coeffs rhs = { Lp_problem.coeffs; sense = Lp_problem.Ge; rhs }
+let eq coeffs rhs = { Lp_problem.coeffs; sense = Lp_problem.Eq; rhs }
+
+(* max 3x + 2y s.t. x + y <= 4, x + 3y <= 6 -> (4, 0), obj 12 *)
+let test_max_basic () =
+  let p = Lp_problem.make ~minimize:false ~num_vars:2 () in
+  let p = Lp_problem.set_objective p [| 3.; 2. |] in
+  let p = Lp_problem.add_constraints p [ le [ (0, 1.); (1, 1.) ] 4.; le [ (0, 1.); (1, 3.) ] 6. ] in
+  let s = Simplex.solve p in
+  check_status "status" Simplex.Optimal s.status;
+  check_float "obj" 12. s.obj;
+  check_float "x" 4. s.x.(0);
+  check_float "y" 0. s.x.(1)
+
+(* min x + y s.t. x + 2y >= 4, 3x + y >= 6 -> intersection (8/5, 6/5), obj 14/5 *)
+let test_min_ge () =
+  let p = Lp_problem.make ~num_vars:2 () in
+  let p = Lp_problem.set_objective p [| 1.; 1. |] in
+  let p = Lp_problem.add_constraints p [ ge [ (0, 1.); (1, 2.) ] 4.; ge [ (0, 3.); (1, 1.) ] 6. ] in
+  let s = Simplex.solve p in
+  check_status "status" Simplex.Optimal s.status;
+  check_float "obj" 2.8 s.obj
+
+let test_equality () =
+  (* min 2x + 3y s.t. x + y = 10, x <= 6 -> x=6, y=4, obj 24 *)
+  let p = Lp_problem.make ~num_vars:2 () in
+  let p = Lp_problem.set_objective p [| 2.; 3. |] in
+  let p = Lp_problem.set_bounds p 0 ~lo:0. ~hi:6. in
+  let p = Lp_problem.add_constraint p (eq [ (0, 1.); (1, 1.) ] 10.) in
+  let s = Simplex.solve p in
+  check_status "status" Simplex.Optimal s.status;
+  check_float "obj" 24. s.obj;
+  check_float "x" 6. s.x.(0);
+  check_float "y" 4. s.x.(1)
+
+let test_infeasible () =
+  let p = Lp_problem.make ~num_vars:1 () in
+  let p = Lp_problem.add_constraints p [ ge [ (0, 1.) ] 5.; le [ (0, 1.) ] 3. ] in
+  let s = Simplex.solve p in
+  check_status "status" Simplex.Infeasible s.status
+
+let test_infeasible_bounds () =
+  (* bounds force x in [2,3] but constraint demands x >= 10 *)
+  let p = Lp_problem.make ~num_vars:1 () in
+  let p = Lp_problem.set_bounds p 0 ~lo:2. ~hi:3. in
+  let p = Lp_problem.add_constraint p (ge [ (0, 1.) ] 10.) in
+  let s = Simplex.solve p in
+  check_status "status" Simplex.Infeasible s.status
+
+let test_unbounded () =
+  let p = Lp_problem.make ~minimize:false ~num_vars:1 () in
+  let p = Lp_problem.set_objective p [| 1. |] in
+  let s = Simplex.solve p in
+  check_status "status" Simplex.Unbounded s.status
+
+let test_free_variable () =
+  (* min x with x free and x >= -7 via constraint -> x = -7 *)
+  let p = Lp_problem.make ~num_vars:1 () in
+  let p = Lp_problem.set_bounds p 0 ~lo:neg_infinity ~hi:infinity in
+  let p = Lp_problem.set_objective p [| 1. |] in
+  let p = Lp_problem.add_constraint p (ge [ (0, 1.) ] (-7.)) in
+  let s = Simplex.solve p in
+  check_status "status" Simplex.Optimal s.status;
+  check_float "x" (-7.) s.x.(0)
+
+let test_negative_lower_bound () =
+  (* min x + y, x in [-5, 5], y in [-2, 2], x + y >= -4 -> obj -4 *)
+  let p = Lp_problem.make ~num_vars:2 () in
+  let p = Lp_problem.set_bounds p 0 ~lo:(-5.) ~hi:5. in
+  let p = Lp_problem.set_bounds p 1 ~lo:(-2.) ~hi:2. in
+  let p = Lp_problem.set_objective p [| 1.; 1. |] in
+  let p = Lp_problem.add_constraint p (ge [ (0, 1.); (1, 1.) ] (-4.)) in
+  let s = Simplex.solve p in
+  check_status "status" Simplex.Optimal s.status;
+  check_float "obj" (-4.) s.obj
+
+let test_upper_bounded_only () =
+  (* max x, x <= 3 via variable bound only, lo = -inf *)
+  let p = Lp_problem.make ~minimize:false ~num_vars:1 () in
+  let p = Lp_problem.set_bounds p 0 ~lo:neg_infinity ~hi:3. in
+  let p = Lp_problem.set_objective p [| 1. |] in
+  let s = Simplex.solve p in
+  check_status "status" Simplex.Optimal s.status;
+  check_float "x" 3. s.x.(0)
+
+let test_degenerate () =
+  (* classic degenerate LP still terminates and finds the optimum:
+     max 10x1 - 57x2 - 9x3 - 24x4 (Beale-like); bounded by x1 <= 1 row *)
+  let p = Lp_problem.make ~minimize:false ~num_vars:4 () in
+  let p = Lp_problem.set_objective p [| 10.; -57.; -9.; -24. |] in
+  let p =
+    Lp_problem.add_constraints p
+      [
+        le [ (0, 0.5); (1, -5.5); (2, -2.5); (3, 9.) ] 0.;
+        le [ (0, 0.5); (1, -1.5); (2, -0.5); (3, 1.) ] 0.;
+        le [ (0, 1.) ] 1.;
+      ]
+  in
+  let s = Simplex.solve p in
+  check_status "status" Simplex.Optimal s.status;
+  check_float "obj" 1. s.obj
+
+let test_solution_feasibility () =
+  let p = Lp_problem.make ~num_vars:3 () in
+  let p = Lp_problem.set_objective p [| 1.; 2.; 3. |] in
+  let p =
+    Lp_problem.add_constraints p
+      [ ge [ (0, 1.); (1, 1.); (2, 1.) ] 10.; le [ (0, 1.); (1, -1.) ] 4.; eq [ (2, 1.) ] 2. ]
+  in
+  let s = Simplex.solve p in
+  check_status "status" Simplex.Optimal s.status;
+  Alcotest.(check bool) "feasible" true (Lp_problem.feasible p s.x)
+
+let test_bad_inputs () =
+  Alcotest.check_raises "bounds crossed" (Invalid_argument "Lp_problem.set_bounds: lo > hi")
+    (fun () -> ignore (Lp_problem.set_bounds (Lp_problem.make ~num_vars:1 ()) 0 ~lo:2. ~hi:1.));
+  Alcotest.check_raises "bad index"
+    (Invalid_argument "Lp_problem.add_constraint: index out of range") (fun () ->
+      ignore (Lp_problem.add_constraint (Lp_problem.make ~num_vars:1 ()) (le [ (3, 1.) ] 0.)))
+
+(* property: for random LPs constructed around a known feasible point x0,
+   the solver returns a feasible solution at least as good as x0 *)
+let prop_solver_dominates_witness =
+  QCheck.Test.make ~name:"simplex dominates known feasible point" ~count:100
+    QCheck.(pair (pair (int_range 1 6) (int_range 1 8)) (int_range 0 100_000))
+    (fun ((nv, nc), seed) ->
+      let rng = Numerics.Rng.create seed in
+      let x0 = Array.init nv (fun _ -> Numerics.Rng.uniform rng ~lo:0. ~hi:10.) in
+      let p = Lp_problem.make ~num_vars:nv () in
+      let c = Array.init nv (fun _ -> Numerics.Rng.uniform rng ~lo:(-5.) ~hi:5.) in
+      let p = Lp_problem.set_objective p c in
+      let rows =
+        List.init nc (fun _ ->
+            let coeffs =
+              List.init nv (fun j -> (j, Numerics.Rng.uniform rng ~lo:(-3.) ~hi:3.))
+            in
+            let lhs = List.fold_left (fun acc (j, a) -> acc +. (a *. x0.(j))) 0. coeffs in
+            (* randomly Le with slack or Ge with slack, always satisfied by x0 *)
+            if Numerics.Rng.bool rng then le coeffs (lhs +. Numerics.Rng.float rng 5.)
+            else ge coeffs (lhs -. Numerics.Rng.float rng 5.))
+      in
+      (* keep it bounded: x_j <= 100 *)
+      let p = Lp_problem.add_constraints p rows in
+      let p =
+        List.fold_left (fun p j -> Lp_problem.set_bounds p j ~lo:0. ~hi:100.) p
+          (List.init nv Fun.id)
+      in
+      let s = Simplex.solve p in
+      match s.status with
+      | Simplex.Optimal ->
+        Lp_problem.feasible ~tol:1e-5 p s.x && s.obj <= Lp_problem.objective_value p x0 +. 1e-6
+      | Simplex.Infeasible | Simplex.Unbounded | Simplex.Iteration_limit -> false)
+
+let () =
+  let qsuite = List.map QCheck_alcotest.to_alcotest [ prop_solver_dominates_witness ] in
+  Alcotest.run "lp"
+    [
+      ( "simplex",
+        [
+          Alcotest.test_case "max basic" `Quick test_max_basic;
+          Alcotest.test_case "min with >=" `Quick test_min_ge;
+          Alcotest.test_case "equality" `Quick test_equality;
+          Alcotest.test_case "infeasible rows" `Quick test_infeasible;
+          Alcotest.test_case "infeasible bounds" `Quick test_infeasible_bounds;
+          Alcotest.test_case "unbounded" `Quick test_unbounded;
+          Alcotest.test_case "free variable" `Quick test_free_variable;
+          Alcotest.test_case "negative lower bound" `Quick test_negative_lower_bound;
+          Alcotest.test_case "upper bound, free below" `Quick test_upper_bounded_only;
+          Alcotest.test_case "degenerate" `Quick test_degenerate;
+          Alcotest.test_case "solution feasibility" `Quick test_solution_feasibility;
+          Alcotest.test_case "bad inputs" `Quick test_bad_inputs;
+        ] );
+      ("properties", qsuite);
+    ]

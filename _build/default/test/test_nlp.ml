@@ -1,0 +1,183 @@
+(* Tests for the NLP library: projected-gradient and augmented Lagrangian. *)
+
+open Nlp
+open Numerics
+
+let check_float ?(eps = 1e-4) msg expected actual =
+  if Float.abs (expected -. actual) > eps *. (1. +. Float.abs expected) then
+    Alcotest.failf "%s: expected %.10g, got %.10g" msg expected actual
+
+(* ---------- Bounded ---------- *)
+
+let test_quadratic_interior () =
+  let f x = ((x.(0) -. 1.) ** 2.) +. ((x.(1) -. 2.) ** 2.) in
+  let r = Bounded.minimize ~f ~lo:[| -10.; -10. |] ~hi:[| 10.; 10. |] [| 5.; 5. |] in
+  Alcotest.(check bool) "converged" true r.converged;
+  check_float "x0" 1. r.x.(0);
+  check_float "x1" 2. r.x.(1)
+
+let test_quadratic_active_bound () =
+  (* optimum (1,2) cut off by hi = (0.5, 0.5) *)
+  let f x = ((x.(0) -. 1.) ** 2.) +. ((x.(1) -. 2.) ** 2.) in
+  let r = Bounded.minimize ~f ~lo:[| 0.; 0. |] ~hi:[| 0.5; 0.5 |] [| 0.1; 0.1 |] in
+  check_float "x0 at bound" 0.5 r.x.(0);
+  check_float "x1 at bound" 0.5 r.x.(1)
+
+let test_rosenbrock () =
+  let f x =
+    let a = 1. -. x.(0) and b = x.(1) -. (x.(0) *. x.(0)) in
+    (a *. a) +. (100. *. b *. b)
+  in
+  let r =
+    Bounded.minimize ~max_iter:20_000 ~f ~lo:[| -5.; -5. |] ~hi:[| 5.; 5. |] [| -1.2; 1. |]
+  in
+  check_float ~eps:1e-3 "rosenbrock x0" 1. r.x.(0);
+  check_float ~eps:1e-3 "rosenbrock x1" 1. r.x.(1)
+
+let test_convex_scaling_objective () =
+  (* minimize the fitted performance shape a/n^c + b n + d over a box *)
+  let f x = (100. /. (x.(0) ** 0.8)) +. (0.05 *. x.(0)) in
+  let r = Bounded.minimize ~f ~lo:[| 1. |] ~hi:[| 10_000. |] [| 1. |] in
+  (* stationary point: 80/n^1.8 = 0.05 -> n = (1600)^(1/1.8) *)
+  let expected = 1600. ** (1. /. 1.8) in
+  check_float ~eps:1e-3 "optimal n" expected r.x.(0)
+
+let test_start_outside_box () =
+  let f x = x.(0) *. x.(0) in
+  let r = Bounded.minimize ~f ~lo:[| 2. |] ~hi:[| 7. |] [| -50. |] in
+  check_float "clamped start, optimum at lower bound" 2. r.x.(0)
+
+(* ---------- Auglag ---------- *)
+
+let test_auglag_equality () =
+  (* min x² + y² s.t. x + y = 2 -> (1,1) *)
+  let p =
+    Nlp_problem.make ~dim:2
+      ~f:(fun x -> (x.(0) *. x.(0)) +. (x.(1) *. x.(1)))
+      ~constraints:[ Nlp_problem.eq (fun x -> x.(0) +. x.(1) -. 2.) ]
+      ()
+  in
+  let r = Auglag.solve p [| 0.; 0. |] in
+  Alcotest.(check bool) "feasible" true (r.violation < 1e-5);
+  check_float ~eps:1e-3 "x" 1. r.x.(0);
+  check_float ~eps:1e-3 "y" 1. r.x.(1)
+
+let test_auglag_inequality_active () =
+  (* min (x-3)² s.t. x <= 1 -> x = 1 *)
+  let p =
+    Nlp_problem.make ~dim:1
+      ~f:(fun x -> (x.(0) -. 3.) ** 2.)
+      ~constraints:[ Nlp_problem.ineq (fun x -> x.(0) -. 1.) ]
+      ()
+  in
+  let r = Auglag.solve p [| 0. |] in
+  check_float ~eps:1e-3 "x at constraint" 1. r.x.(0)
+
+let test_auglag_inequality_inactive () =
+  (* min (x-0.5)² s.t. x <= 10 -> constraint slack, x = 0.5 *)
+  let p =
+    Nlp_problem.make ~dim:1
+      ~f:(fun x -> (x.(0) -. 0.5) ** 2.)
+      ~constraints:[ Nlp_problem.ineq (fun x -> x.(0) -. 10.) ]
+      ()
+  in
+  let r = Auglag.solve p [| 5. |] in
+  check_float ~eps:1e-4 "interior optimum" 0.5 r.x.(0)
+
+(* min-max epigraph: the exact structure of the HSLB relaxation.
+   min T s.t. T >= f1(n1), T >= f2(n2), n1 + n2 <= N *)
+let test_auglag_minmax_relaxation () =
+  let t1 n = 100. /. n and t2 n = 300. /. n in
+  (* vars: T, n1, n2 *)
+  let p =
+    Nlp_problem.make ~dim:3
+      ~f:(fun x -> x.(0))
+      ~lo:[| 0.; 1.; 1. |] ~hi:[| 1e6; 100.; 100. |]
+      ~constraints:
+        [
+          Nlp_problem.ineq ~label:"T>=t1" (fun x -> t1 x.(1) -. x.(0));
+          Nlp_problem.ineq ~label:"T>=t2" (fun x -> t2 x.(2) -. x.(0));
+          Nlp_problem.ineq ~label:"budget" (fun x -> x.(1) +. x.(2) -. 100.);
+        ]
+      ()
+  in
+  let r = Auglag.solve p [| 50.; 50.; 50. |] in
+  (* optimum: n1/n2 = 100/300 -> n1 = 25, n2 = 75, T = 4 *)
+  Alcotest.(check bool) "feasible" true (r.violation < 1e-4);
+  check_float ~eps:1e-2 "T" 4. r.f;
+  check_float ~eps:0.05 "n1" 25. r.x.(1);
+  check_float ~eps:0.05 "n2" 75. r.x.(2)
+
+let test_auglag_with_bounds_and_constraints () =
+  (* min -x - y s.t. x² + y² <= 1, 0 <= x,y <= 1 -> (√½, √½) *)
+  let p =
+    Nlp_problem.make ~dim:2
+      ~f:(fun x -> -.x.(0) -. x.(1))
+      ~lo:[| 0.; 0. |] ~hi:[| 1.; 1. |]
+      ~constraints:[ Nlp_problem.ineq (fun x -> (x.(0) *. x.(0)) +. (x.(1) *. x.(1)) -. 1.) ]
+      ()
+  in
+  let r = Auglag.solve p [| 0.1; 0.1 |] in
+  let s = sqrt 0.5 in
+  check_float ~eps:1e-2 "x" s r.x.(0);
+  check_float ~eps:1e-2 "y" s r.x.(1)
+
+let test_violation_measure () =
+  let p =
+    Nlp_problem.make ~dim:1
+      ~f:(fun _ -> 0.)
+      ~lo:[| 0. |] ~hi:[| 1. |]
+      ~constraints:[ Nlp_problem.ineq (fun x -> x.(0) -. 0.25) ]
+      ()
+  in
+  check_float "violated by 0.75" 0.75 (Nlp_problem.violation p [| 1. |]);
+  check_float "feasible" 0. (Nlp_problem.violation p [| 0.2 |])
+
+let prop_bounded_stays_in_box =
+  QCheck.Test.make ~name:"bounded solution in box" ~count:60
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let center = Array.init 3 (fun _ -> Rng.uniform rng ~lo:(-5.) ~hi:5.) in
+      let lo = Array.init 3 (fun _ -> Rng.uniform rng ~lo:(-2.) ~hi:0.) in
+      let hi = Array.init 3 (fun _ -> Rng.uniform rng ~lo:0.5 ~hi:3.) in
+      let f x =
+        let acc = ref 0. in
+        for i = 0 to 2 do
+          acc := !acc +. ((x.(i) -. center.(i)) ** 2.)
+        done;
+        !acc
+      in
+      let r = Bounded.minimize ~f ~lo ~hi (Array.make 3 0.) in
+      let ok = ref true in
+      for i = 0 to 2 do
+        if r.x.(i) < lo.(i) -. 1e-9 || r.x.(i) > hi.(i) +. 1e-9 then ok := false;
+        (* the optimum of a separable quadratic over a box is the clamped center *)
+        let expect = Float.min hi.(i) (Float.max lo.(i) center.(i)) in
+        if Float.abs (r.x.(i) -. expect) > 1e-3 then ok := false
+      done;
+      !ok)
+
+let () =
+  let qsuite = List.map QCheck_alcotest.to_alcotest [ prop_bounded_stays_in_box ] in
+  Alcotest.run "nlp"
+    [
+      ( "bounded",
+        [
+          Alcotest.test_case "quadratic interior" `Quick test_quadratic_interior;
+          Alcotest.test_case "active bound" `Quick test_quadratic_active_bound;
+          Alcotest.test_case "rosenbrock" `Quick test_rosenbrock;
+          Alcotest.test_case "scaling objective" `Quick test_convex_scaling_objective;
+          Alcotest.test_case "start outside box" `Quick test_start_outside_box;
+        ] );
+      ( "auglag",
+        [
+          Alcotest.test_case "equality" `Quick test_auglag_equality;
+          Alcotest.test_case "active inequality" `Quick test_auglag_inequality_active;
+          Alcotest.test_case "inactive inequality" `Quick test_auglag_inequality_inactive;
+          Alcotest.test_case "min-max relaxation" `Quick test_auglag_minmax_relaxation;
+          Alcotest.test_case "bounds + constraint" `Quick test_auglag_with_bounds_and_constraints;
+          Alcotest.test_case "violation measure" `Quick test_violation_measure;
+        ] );
+      ("properties", qsuite);
+    ]
