@@ -8,7 +8,12 @@
    2. Bechamel micro-benchmarks: one [Test.make] per experiment,
       timing that experiment's computational kernel (the fit, the MINLP
       solve, the discrete-event phase, ...). Pass [--no-bechamel] to
-      skip, [--only E4] to regenerate a single experiment. *)
+      skip, [--only E4] to regenerate a single experiment.
+
+   Pass [--report FILE] to additionally run each MINLP solver once on
+   the E6-style sweet-spotted allocation model with full engine
+   telemetry attached and write the structured run reports (JSON array
+   of Engine.Run_report) to FILE. *)
 
 open Bechamel
 open Toolkit
@@ -89,7 +94,7 @@ let minlp_kernel sos () =
       (fun s -> { s with Hslb.Alloc_model.allowed = Some [ 1; 2; 4; 8; 16; 32 ] })
       (Lazy.force fitted_specs)
   in
-  let problem, _ =
+  let problem, _, _ =
     Hslb.Alloc_model.build_minlp ~objective:Hslb.Objective.Min_max ~n_total:64 specs
   in
   ignore
@@ -148,6 +153,35 @@ let micro_tests =
     ("E9/layout_sequential", layout_kernel Layouts.Layout_model.Fully_sequential);
   ]
 
+let write_solver_reports path =
+  let specs =
+    List.map
+      (fun s -> { s with Hslb.Alloc_model.allowed = Some [ 1; 2; 4; 8; 16; 32 ] })
+      (Lazy.force fitted_specs)
+  in
+  let problem, _, _ =
+    Hslb.Alloc_model.build_minlp ~objective:Hslb.Objective.Min_max ~n_total:64 specs
+  in
+  let one choice =
+    let tally = Engine.Telemetry.create () in
+    let budget = Engine.Budget.arm Engine.Budget.unlimited in
+    let sol =
+      match choice with
+      | Engine.Solver_choice.Oa -> Minlp.Oa.solve ~budget ~tally problem
+      | Engine.Solver_choice.Bnb -> Minlp.Bnb.solve ~budget ~tally problem
+      | Engine.Solver_choice.Oa_multi ->
+        (Minlp.Oa_multi.solve ~budget ~tally problem).Minlp.Oa_multi.solution
+    in
+    Engine.Run_report.make
+      ~solver:(Engine.Solver_choice.to_string choice)
+      ~status:(Minlp.Solution.status_to_string sol.Minlp.Solution.status)
+      ~objective:sol.Minlp.Solution.obj ~bound:sol.Minlp.Solution.bound
+      ~wall_s:(Engine.Budget.elapsed_s budget) tally
+  in
+  Engine.Run_report.write_json_list path
+    (List.map one Engine.Solver_choice.all);
+  Format.printf "solver run reports written to %s@." path
+
 let pretty_time ns =
   if ns < 1e3 then Printf.sprintf "%.1f ns" ns
   else if ns < 1e6 then Printf.sprintf "%.2f us" (ns /. 1e3)
@@ -177,15 +211,18 @@ let () =
   let args = Array.to_list Sys.argv in
   let quick = List.mem "--quick" args in
   let no_bechamel = List.mem "--no-bechamel" args in
-  let only =
+  let find_opt key =
     let rec find = function
-      | "--only" :: id :: _ -> Some id
+      | k :: v :: _ when k = key -> Some v
       | _ :: rest -> find rest
       | [] -> None
     in
     find args
   in
+  let only = find_opt "--only" in
+  let report = find_opt "--report" in
   let fmt = Format.std_formatter in
+  (match report with None -> () | Some path -> write_solver_reports path);
   (match only with
   | Some id -> (
     match Experiments.Registry.find id with

@@ -93,6 +93,41 @@ let objective_conv =
   in
   Arg.conv (parse, fun fmt o -> Format.pp_print_string fmt (Hslb.Objective.to_string o))
 
+let solver_conv =
+  let parse s =
+    match Engine.Solver_choice.of_string s with
+    | Ok v -> Ok v
+    | Error msg -> Error (`Msg msg)
+  in
+  Arg.conv (parse, Engine.Solver_choice.pp)
+
+(* budget/report flags shared by the solve and minlp subcommands *)
+let deadline_ms_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "deadline-ms" ] ~docv:"MS"
+        ~doc:
+          "Wall-clock budget in milliseconds; on exhaustion the best incumbent found so far \
+           is reported with a budget-exhausted status.")
+
+let max_nodes_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-nodes" ] ~docv:"N" ~doc:"Budget on branch-and-bound nodes across the run.")
+
+let report_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "report" ] ~docv:"FILE"
+        ~doc:"Write a structured JSON run report (status, counters, phase timers) to FILE.")
+
+let arm_budget deadline_ms max_nodes =
+  let deadline_s = Option.map (fun ms -> ms /. 1000.) deadline_ms in
+  Engine.Budget.arm (Engine.Budget.make ?deadline_s ?max_nodes ())
+
 let solve_cmd =
   let file =
     Arg.(
@@ -109,25 +144,65 @@ let solve_cmd =
       & opt objective_conv Hslb.Objective.Min_max
       & info [ "objective" ] ~doc:"min-max | max-min | min-sum.")
   in
-  let run file nodes objective =
+  let solver =
+    Arg.(
+      value
+      & opt solver_conv Engine.Solver_choice.Oa
+      & info [ "solver" ] ~doc:"oa (default) | bnb | oa-multi.")
+  in
+  let run file nodes objective solver deadline_ms max_nodes report =
     let specs =
       Hslb.Model_store.specs_of_csv
         (String.concat "\n" (read_csv_lines file))
     in
-    let alloc = Hslb.Alloc_model.solve ~objective ~n_total:nodes specs in
-    Format.printf "predicted makespan: %.4f s@." alloc.Hslb.Alloc_model.predicted_makespan;
-    List.iteri
-      (fun i spec ->
-        Format.printf "  %-20s count=%-4d nodes/task=%-6d predicted=%.4f s@."
-          spec.Hslb.Alloc_model.fc.Hslb.Classes.cls.Hslb.Classes.name
-          spec.Hslb.Alloc_model.fc.Hslb.Classes.cls.Hslb.Classes.count
-          alloc.Hslb.Alloc_model.nodes_per_task.(i)
-          alloc.Hslb.Alloc_model.predicted_times.(i))
-      specs
+    let budget = arm_budget deadline_ms max_nodes in
+    let tally = Engine.Telemetry.create () in
+    let result = Hslb.Alloc_model.solve ~solver ~objective ~budget ~tally ~n_total:nodes specs in
+    let wall_s = Engine.Budget.elapsed_s budget in
+    let status =
+      match result with
+      | Ok alloc -> alloc.Hslb.Alloc_model.status
+      | Error st -> st
+    in
+    (match report with
+    | None -> ()
+    | Some path ->
+      let objective_value =
+        match result with
+        | Ok alloc -> Some alloc.Hslb.Alloc_model.predicted_makespan
+        | Error _ -> None
+      in
+      Engine.Run_report.write_json path
+        (Engine.Run_report.make
+           ~solver:(Engine.Solver_choice.to_string solver)
+           ~status:(Minlp.Solution.status_to_string status)
+           ?objective:objective_value ~wall_s tally);
+      Format.printf "run report written to %s@." path);
+    match result with
+    | Ok alloc ->
+      (match status with
+      | Minlp.Solution.Optimal -> ()
+      | st ->
+        Format.printf "status: %s — best incumbent shown@."
+          (Minlp.Solution.status_to_string st));
+      Format.printf "predicted makespan: %.4f s@." alloc.Hslb.Alloc_model.predicted_makespan;
+      List.iteri
+        (fun i spec ->
+          Format.printf "  %-20s count=%-4d nodes/task=%-6d predicted=%.4f s@."
+            spec.Hslb.Alloc_model.fc.Hslb.Classes.cls.Hslb.Classes.name
+            spec.Hslb.Alloc_model.fc.Hslb.Classes.cls.Hslb.Classes.count
+            alloc.Hslb.Alloc_model.nodes_per_task.(i)
+            alloc.Hslb.Alloc_model.predicted_times.(i))
+        specs
+    | Error st ->
+      Format.printf "no allocation: %s@." (Minlp.Solution.status_to_string st);
+      exit 1
   in
   Cmd.v
     (Cmd.info "solve" ~doc:"Solve the allocation MINLP for fitted task classes.")
-    Term.(const run $ file $ nodes $ objective)
+    Term.(
+      const run $ file $ nodes $ objective $ solver $ deadline_ms_arg $ max_nodes_arg
+      $ report_arg)
 
 (* ---------- fmo ---------- *)
 
@@ -290,43 +365,47 @@ let minlp_cmd =
       & info [] ~docv:"MODEL" ~doc:"Model file in the AMPL-like language (see Minlp.Model_text).")
   in
   let solver =
-    let solver_conv =
-      Arg.conv
-        ( (function
-          | "oa" -> Ok `Oa
-          | "multi" -> Ok `Multi
-          | "bnb" -> Ok `Bnb
-          | s -> Error (`Msg ("unknown solver: " ^ s))),
-          fun fmt s ->
-            Format.pp_print_string fmt
-              (match s with `Oa -> "oa" | `Multi -> "multi" | `Bnb -> "bnb") )
-    in
-    Arg.(value & opt solver_conv `Oa & info [ "solver" ] ~doc:"oa (default) | multi | bnb.")
+    Arg.(
+      value
+      & opt solver_conv Engine.Solver_choice.Oa
+      & info [ "solver" ] ~doc:"oa (default) | bnb | oa-multi (alias: multi).")
   in
-  let run file solver =
+  let run file solver deadline_ms max_nodes report =
     let p = Minlp.Model_text.parse_file file in
+    let budget = arm_budget deadline_ms max_nodes in
+    let tally = Engine.Telemetry.create () in
     let sol =
       match solver with
-      | `Oa -> Minlp.Oa.solve p
-      | `Multi -> (Minlp.Oa_multi.solve p).Minlp.Oa_multi.solution
-      | `Bnb -> Minlp.Bnb.solve p
+      | Engine.Solver_choice.Oa -> Minlp.Oa.solve ~budget ~tally p
+      | Engine.Solver_choice.Oa_multi ->
+        (Minlp.Oa_multi.solve ~budget ~tally p).Minlp.Oa_multi.solution
+      | Engine.Solver_choice.Bnb -> Minlp.Bnb.solve ~budget ~tally p
     in
+    let wall_s = Engine.Budget.elapsed_s budget in
+    (match report with
+    | None -> ()
+    | Some path ->
+      Engine.Run_report.write_json path
+        (Engine.Run_report.make
+           ~solver:(Engine.Solver_choice.to_string solver)
+           ~status:(Minlp.Solution.status_to_string sol.Minlp.Solution.status)
+           ~objective:sol.Minlp.Solution.obj ~bound:sol.Minlp.Solution.bound ~wall_s tally);
+      Format.printf "run report written to %s@." path);
     Format.printf "status: %s@." (Minlp.Solution.status_to_string sol.Minlp.Solution.status);
-    (match sol.Minlp.Solution.status with
-    | Minlp.Solution.Optimal | Minlp.Solution.Limit ->
+    if Minlp.Solution.has_incumbent sol then begin
       Format.printf "objective: %.6g (bound %.6g)@." sol.Minlp.Solution.obj
         sol.Minlp.Solution.bound;
       Array.iteri
         (fun j v -> Format.printf "  %-16s = %.6g@." p.Minlp.Problem.names.(j) v)
         sol.Minlp.Solution.x
-    | Minlp.Solution.Infeasible | Minlp.Solution.Unbounded -> ());
+    end;
     Format.printf "stats: %d nodes, %d LPs, %d NLPs, %d cuts@."
       sol.Minlp.Solution.stats.Minlp.Solution.nodes sol.Minlp.Solution.stats.Minlp.Solution.lp_solves
       sol.Minlp.Solution.stats.Minlp.Solution.nlp_solves sol.Minlp.Solution.stats.Minlp.Solution.cuts
   in
   Cmd.v
     (Cmd.info "minlp" ~doc:"Solve a convex MINLP written in the AMPL-like model language.")
-    Term.(const run $ file $ solver)
+    Term.(const run $ file $ solver $ deadline_ms_arg $ max_nodes_arg $ report_arg)
 
 (* ---------- experiments ---------- *)
 

@@ -1,0 +1,21 @@
+#!/bin/sh
+# CI entry point: format check (when ocamlformat is available), then
+# build and run the full test suite.
+set -eu
+
+cd "$(dirname "$0")"
+
+if command -v ocamlformat >/dev/null 2>&1 && [ -f .ocamlformat ]; then
+  echo "== dune fmt (check) =="
+  dune build @fmt
+else
+  echo "== skipping format check (ocamlformat or .ocamlformat missing) =="
+fi
+
+echo "== dune build =="
+dune build
+
+echo "== dune runtest =="
+dune runtest
+
+echo "== ci OK =="

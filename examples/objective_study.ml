@@ -26,7 +26,12 @@ let () =
     "makespan";
   List.iter
     (fun objective ->
-      let alloc = Hslb.Alloc_model.solve ~objective ~n_total specs in
+      let alloc =
+        match Hslb.Alloc_model.solve ~objective ~n_total specs with
+        | Ok a -> a
+        | Error st ->
+          failwith ("objective_study: " ^ Minlp.Solution.status_to_string st)
+      in
       Format.printf "%-10s  %-18d  %-18d  %9.2fs@."
         (Hslb.Objective.to_string objective)
         alloc.Hslb.Alloc_model.nodes_per_task.(0)

@@ -1,0 +1,51 @@
+type reason = Deadline | Node_limit | Iter_limit | Cancelled
+
+let reason_to_string = function
+  | Deadline -> "deadline"
+  | Node_limit -> "node-limit"
+  | Iter_limit -> "iter-limit"
+  | Cancelled -> "cancelled"
+
+type t = {
+  deadline_s : float option;
+  max_nodes : int option;
+  max_iters : int option;
+  cancel : Cancel.t option;
+}
+
+let make ?deadline_s ?max_nodes ?max_iters ?cancel () =
+  { deadline_s; max_nodes; max_iters; cancel }
+
+let unlimited = make ()
+
+type armed = {
+  spec : t;
+  start : float;
+  mutable nodes : int;
+  mutable iters : int;
+}
+
+let arm spec = { spec; start = Unix.gettimeofday (); nodes = 0; iters = 0 }
+let add_nodes a n = a.nodes <- a.nodes + n
+let add_iters a n = a.iters <- a.iters + n
+let nodes a = a.nodes
+let iters a = a.iters
+let elapsed_s a = Unix.gettimeofday () -. a.start
+
+let check a =
+  let cancelled =
+    match a.spec.cancel with Some c -> Cancel.cancelled c | None -> false
+  in
+  if cancelled then Some Cancelled
+  else
+    match a.spec.deadline_s with
+    | Some d when Unix.gettimeofday () -. a.start >= d -> Some Deadline
+    | _ -> (
+      match a.spec.max_nodes with
+      | Some n when a.nodes >= n -> Some Node_limit
+      | _ -> (
+        match a.spec.max_iters with
+        | Some n when a.iters >= n -> Some Iter_limit
+        | _ -> None))
+
+let stopped = function None -> None | Some a -> check a

@@ -1,0 +1,52 @@
+(** Solver run budgets: wall-clock deadlines, node / iteration limits
+    and cooperative cancellation.
+
+    A {!t} is an immutable specification. Arming it ({!arm}) starts the
+    wall clock and creates the mutable counters that every solver layer
+    shares: the MINLP branch-and-bound bumps the node counter, the LP
+    simplex and the NLP line searches bump the iteration counter, and
+    all inner loops poll {!check}. Because one armed budget is threaded
+    through the whole solver stack (OA master -> MILP -> simplex;
+    B&B -> augmented Lagrangian -> SPG), a deadline covers the entire
+    run, not each sub-solve separately. *)
+
+type reason =
+  | Deadline  (** wall-clock limit elapsed *)
+  | Node_limit  (** branch-and-bound node limit reached *)
+  | Iter_limit  (** pivot / NLP-iteration limit reached *)
+  | Cancelled  (** the {!Cancel.t} token was triggered *)
+
+val reason_to_string : reason -> string
+
+type t
+
+(** [make ()] with no arguments is an unlimited budget. [deadline_s] is
+    in seconds, measured from the moment the budget is armed. *)
+val make :
+  ?deadline_s:float -> ?max_nodes:int -> ?max_iters:int -> ?cancel:Cancel.t -> unit -> t
+
+val unlimited : t
+
+(** A running budget: wall clock started, counters at zero. *)
+type armed
+
+(** Start the clock. Each [arm] is independent; arming the same spec
+    twice gives two independent runs. *)
+val arm : t -> armed
+
+val add_nodes : armed -> int -> unit
+val add_iters : armed -> int -> unit
+val nodes : armed -> int
+val iters : armed -> int
+
+(** Seconds since [arm]. *)
+val elapsed_s : armed -> float
+
+(** [None] while the run may continue; [Some reason] once any limit has
+    been hit. Cheap enough to call in inner loops (one [gettimeofday]
+    when a deadline is set). *)
+val check : armed -> reason option
+
+(** [None]-tolerant variant for optional budgets threaded through
+    solver APIs: [stopped None = None]. *)
+val stopped : armed option -> reason option

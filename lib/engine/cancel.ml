@@ -1,0 +1,5 @@
+type t = { mutable flag : bool }
+
+let create () = { flag = false }
+let cancel t = t.flag <- true
+let cancelled t = t.flag

@@ -1,0 +1,16 @@
+(** Cooperative cancellation token.
+
+    A token is shared between the caller (who may [cancel] it from a
+    signal handler, another domain, or a timeout watchdog) and the
+    solver inner loops (which poll [cancelled] between pivots /
+    iterations / nodes and unwind gracefully, returning the best
+    incumbent found so far). *)
+
+type t
+
+val create : unit -> t
+
+(** Request cancellation. Idempotent; never raises. *)
+val cancel : t -> unit
+
+val cancelled : t -> bool

@@ -1,0 +1,18 @@
+(** The single source of truth for "which MINLP solver?".
+
+    Replaces the polymorphic-variant copies that used to live in
+    [Hslb.Alloc_model], [Layouts.Layout_model] and the CLI. *)
+
+type t =
+  | Oa  (** LP/NLP-based single-tree outer approximation *)
+  | Bnb  (** NLP-based branch and bound *)
+  | Oa_multi  (** multi-tree outer approximation *)
+
+val all : t list
+val to_string : t -> string
+
+(** Accepts the [to_string] names plus the historical CLI alias
+    ["multi"] for [Oa_multi]. *)
+val of_string : string -> (t, string) result
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,102 @@
+type t = {
+  mutable nodes_expanded : int;
+  mutable nodes_pruned : int;
+  mutable lp_solves : int;
+  mutable simplex_pivots : int;
+  mutable nlp_solves : int;
+  mutable nlp_iterations : int;
+  mutable line_search_steps : int;
+  mutable oa_cuts : int;
+  mutable incumbent_updates : int;
+  mutable warm_start_used : bool;
+  phase_s : (string, float) Hashtbl.t;
+}
+
+let create () =
+  {
+    nodes_expanded = 0;
+    nodes_pruned = 0;
+    lp_solves = 0;
+    simplex_pivots = 0;
+    nlp_solves = 0;
+    nlp_iterations = 0;
+    line_search_steps = 0;
+    oa_cuts = 0;
+    incumbent_updates = 0;
+    warm_start_used = false;
+    phase_s = Hashtbl.create 8;
+  }
+
+let reset t =
+  t.nodes_expanded <- 0;
+  t.nodes_pruned <- 0;
+  t.lp_solves <- 0;
+  t.simplex_pivots <- 0;
+  t.nlp_solves <- 0;
+  t.nlp_iterations <- 0;
+  t.line_search_steps <- 0;
+  t.oa_cuts <- 0;
+  t.incumbent_updates <- 0;
+  t.warm_start_used <- false;
+  Hashtbl.reset t.phase_s
+
+let merge_into dst src =
+  dst.nodes_expanded <- dst.nodes_expanded + src.nodes_expanded;
+  dst.nodes_pruned <- dst.nodes_pruned + src.nodes_pruned;
+  dst.lp_solves <- dst.lp_solves + src.lp_solves;
+  dst.simplex_pivots <- dst.simplex_pivots + src.simplex_pivots;
+  dst.nlp_solves <- dst.nlp_solves + src.nlp_solves;
+  dst.nlp_iterations <- dst.nlp_iterations + src.nlp_iterations;
+  dst.line_search_steps <- dst.line_search_steps + src.line_search_steps;
+  dst.oa_cuts <- dst.oa_cuts + src.oa_cuts;
+  dst.incumbent_updates <- dst.incumbent_updates + src.incumbent_updates;
+  dst.warm_start_used <- dst.warm_start_used || src.warm_start_used;
+  Hashtbl.iter
+    (fun label s ->
+      let prior = try Hashtbl.find dst.phase_s label with Not_found -> 0. in
+      Hashtbl.replace dst.phase_s label (prior +. s))
+    src.phase_s
+
+let bump tally f n = match tally with Some t -> f t n | None -> ()
+let add_nodes_expanded t n = t.nodes_expanded <- t.nodes_expanded + n
+let add_nodes_pruned t n = t.nodes_pruned <- t.nodes_pruned + n
+let add_lp_solves t n = t.lp_solves <- t.lp_solves + n
+let add_simplex_pivots t n = t.simplex_pivots <- t.simplex_pivots + n
+let add_nlp_solves t n = t.nlp_solves <- t.nlp_solves + n
+let add_nlp_iterations t n = t.nlp_iterations <- t.nlp_iterations + n
+let add_line_search_steps t n = t.line_search_steps <- t.line_search_steps + n
+let add_oa_cuts t n = t.oa_cuts <- t.oa_cuts + n
+let add_incumbent_updates t n = t.incumbent_updates <- t.incumbent_updates + n
+
+let set_warm_start_used = function
+  | Some t -> t.warm_start_used <- true
+  | None -> ()
+
+let time tally label f =
+  match tally with
+  | None -> f ()
+  | Some t ->
+    let t0 = Unix.gettimeofday () in
+    let finish () =
+      let dt = Unix.gettimeofday () -. t0 in
+      let prior = try Hashtbl.find t.phase_s label with Not_found -> 0. in
+      Hashtbl.replace t.phase_s label (prior +. dt)
+    in
+    (match f () with
+    | v ->
+      finish ();
+      v
+    | exception e ->
+      finish ();
+      raise e)
+
+let phases t =
+  Hashtbl.fold (fun label s acc -> (label, s) :: acc) t.phase_s []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let pp fmt t =
+  Format.fprintf fmt
+    "@[<h>nodes=%d/%d lp=%d pivots=%d nlp=%d nlp_iters=%d ls=%d cuts=%d incumbents=%d warm=%b@]"
+    t.nodes_expanded t.nodes_pruned t.lp_solves t.simplex_pivots t.nlp_solves
+    t.nlp_iterations t.line_search_steps t.oa_cuts t.incumbent_updates
+    t.warm_start_used

@@ -44,7 +44,7 @@ let synthetic_specs ?allowed_count ~classes () =
       | None -> Hslb.Alloc_model.spec_of fc
       | Some k -> Hslb.Alloc_model.spec_of ~allowed:(List.init k (fun j -> 1 lsl j)) fc)
 
-let row ~classes ~label (sol : Minlp.Solution.t) elapsed =
+let row ~classes ~label ?(pivots = 0) (sol : Minlp.Solution.t) elapsed =
   [
     string_of_int classes;
     label;
@@ -54,16 +54,22 @@ let row ~classes ~label (sol : Minlp.Solution.t) elapsed =
     string_of_int sol.Minlp.Solution.stats.Minlp.Solution.lp_solves;
     string_of_int sol.Minlp.Solution.stats.Minlp.Solution.nlp_solves;
     string_of_int sol.Minlp.Solution.stats.Minlp.Solution.cuts;
+    string_of_int pivots;
     Printf.sprintf "%.2f" elapsed;
   ]
 
+(* each solve gets a fresh telemetry tally so the simplex-pivot column
+   is attributable per row *)
 let timed f =
+  let tally = Engine.Telemetry.create () in
   let t0 = Sys.time () in
-  let sol = f () in
-  (sol, Sys.time () -. t0)
+  let sol = f tally in
+  (sol, tally.Engine.Telemetry.simplex_pivots, Sys.time () -. t0)
 
 let header =
-  [ "classes"; "solver"; "status"; "objective"; "nodes"; "LPs"; "NLPs"; "cuts"; "sec" ]
+  [
+    "classes"; "solver"; "status"; "objective"; "nodes"; "LPs"; "NLPs"; "cuts"; "pivots"; "sec";
+  ]
 
 let run ?(quick = false) fmt =
   (* part (a): OA vs NLP-based B&B, plain integer models *)
@@ -73,25 +79,27 @@ let run ?(quick = false) fmt =
       (fun classes ->
         let specs = synthetic_specs ~classes () in
         let n_total = 128 * classes in
-        let problem, _ =
+        let problem, _, _ =
           Hslb.Alloc_model.build_minlp ~objective:Hslb.Objective.Min_max ~n_total specs
         in
-        let oa, t_oa = timed (fun () -> Minlp.Oa.solve problem) in
-        let multi, t_multi = timed (fun () -> Minlp.Oa_multi.solve problem) in
-        let bnb, t_bnb =
-          timed (fun () ->
+        let oa, pv_oa, t_oa = timed (fun tally -> Minlp.Oa.solve ~tally problem) in
+        let multi, pv_multi, t_multi =
+          timed (fun tally -> Minlp.Oa_multi.solve ~tally problem)
+        in
+        let bnb, pv_bnb, t_bnb =
+          timed (fun tally ->
               Minlp.Bnb.solve
                 ~options:{ Minlp.Bnb.default_options with max_nodes = 2_000 }
-                problem)
+                ~tally problem)
         in
         [
-          row ~classes ~label:"LP/NLP single-tree (OA)" oa t_oa;
+          row ~classes ~label:"LP/NLP single-tree (OA)" ~pivots:pv_oa oa t_oa;
           row ~classes
             ~label:
               (Printf.sprintf "multi-tree OA (%d alternations)"
                  multi.Minlp.Oa_multi.iterations)
-            multi.Minlp.Oa_multi.solution t_multi;
-          row ~classes ~label:"NLP-based B&B" bnb t_bnb;
+            ~pivots:pv_multi multi.Minlp.Oa_multi.solution t_multi;
+          row ~classes ~label:"NLP-based B&B" ~pivots:pv_bnb bnb t_bnb;
         ])
       sizes_a
   in
@@ -108,21 +116,21 @@ let run ?(quick = false) fmt =
       (fun classes ->
         let specs = synthetic_specs ~allowed_count:10 ~classes () in
         let n_total = 128 * classes in
-        let problem, _ =
+        let problem, _, _ =
           Hslb.Alloc_model.build_minlp ~objective:Hslb.Objective.Min_max ~n_total specs
         in
         let solve sos =
-          timed (fun () ->
+          timed (fun tally ->
               Minlp.Oa.solve
                 ~options:
                   { Minlp.Oa.default_options with branch_sos_first = sos; max_nodes = 60_000 }
-                problem)
+                ~tally problem)
         in
-        let with_sos, t1 = solve true in
-        let without, t2 = solve false in
+        let with_sos, pv1, t1 = solve true in
+        let without, pv2, t2 = solve false in
         [
-          row ~classes ~label:"OA, SOS1 branching" with_sos t1;
-          row ~classes ~label:"OA, binary branching" without t2;
+          row ~classes ~label:"OA, SOS1 branching" ~pivots:pv1 with_sos t1;
+          row ~classes ~label:"OA, binary branching" ~pivots:pv2 without t2;
         ])
       sizes_b
   in
@@ -135,18 +143,20 @@ let run ?(quick = false) fmt =
       (fun classes ->
         let specs = synthetic_specs ~classes () in
         let n_total = 128 * classes in
-        let problem, _ =
+        let problem, _, _ =
           Hslb.Alloc_model.build_minlp ~objective:Hslb.Objective.Min_max ~n_total specs
         in
         let solve rule =
-          timed (fun () ->
-              Minlp.Oa.solve ~options:{ Minlp.Oa.default_options with branching = rule } problem)
+          timed (fun tally ->
+              Minlp.Oa.solve
+                ~options:{ Minlp.Oa.default_options with branching = rule }
+                ~tally problem)
         in
-        let pc, t1 = solve Minlp.Milp.Pseudocost in
-        let mf, t2 = solve Minlp.Milp.Most_fractional in
+        let pc, pv1, t1 = solve Minlp.Milp.Pseudocost in
+        let mf, pv2, t2 = solve Minlp.Milp.Most_fractional in
         [
-          row ~classes ~label:"OA, pseudocost branching" pc t1;
-          row ~classes ~label:"OA, most-fractional" mf t2;
+          row ~classes ~label:"OA, pseudocost branching" ~pivots:pv1 pc t1;
+          row ~classes ~label:"OA, most-fractional" ~pivots:pv2 mf t2;
         ])
       sizes_c
   in

@@ -52,7 +52,9 @@ let run ?(quick = false) fmt =
             (fun (fc : Hslb.Classes.fitted) -> r2s := fc.Hslb.Classes.fit.Hslb.Fitting.r2 :: !r2s)
             fits;
           let alloc =
-            Hslb.Alloc_model.solve ~n_total (List.map Hslb.Alloc_model.spec_of fits)
+            match Hslb.Alloc_model.solve ~n_total (List.map Hslb.Alloc_model.spec_of fits) with
+            | Ok a -> a
+            | Error st -> failwith ("E7: allocation " ^ Minlp.Solution.status_to_string st)
           in
           (* evaluate the chosen allocation under the TRUE curves *)
           let n1 = alloc.Hslb.Alloc_model.nodes_per_task.(0)

@@ -17,6 +17,7 @@ type allocation = {
   nodes_per_task : int array;
   predicted_makespan : float;
   predicted_times : float array;
+  status : Minlp.Solution.status;
   stats : Minlp.Solution.stats;
 }
 
@@ -36,6 +37,10 @@ let effective_range ~n_total spec =
 (* restrict an integer variable to a discrete value list: binaries +
    SOS1, with linking rows n = Σ z_k·v_k, Σ z_k = 1 *)
 let restrict_to_values b ~var:n_var values =
+  (* duplicates would put two SOS1 members at the same weight and make
+     the set-branching split degenerate; unsorted input only hurts
+     debuggability — normalize both *)
+  let values = List.sort_uniq compare values in
   let zs = List.map (fun _ -> Minlp.Problem.Builder.add_var b Minlp.Problem.Binary) values in
   Minlp.Problem.Builder.add_constr b
     (Minlp.Expr.linear (List.map (fun z -> (z, 1.)) zs))
@@ -45,7 +50,8 @@ let restrict_to_values b ~var:n_var values =
        (Minlp.Expr.var n_var
        :: List.map2 (fun z v -> Minlp.Expr.scale (-.float_of_int v) (Minlp.Expr.var z)) zs values))
     Lp.Lp_problem.Eq 0.;
-  Minlp.Problem.Builder.add_sos1 b (List.map2 (fun z v -> (z, float_of_int v)) zs values)
+  Minlp.Problem.Builder.add_sos1 b (List.map2 (fun z v -> (z, float_of_int v)) zs values);
+  List.combine zs values
 
 let build_minlp ~objective ~n_total specs =
   if specs = [] then invalid_arg "Alloc_model.build_minlp: no classes";
@@ -72,8 +78,10 @@ let build_minlp ~objective ~n_total specs =
           v)
         specs
     in
-    (* per-class time constraints / objective terms *)
-    (match t_var with
+    (* per-class time constraints / objective terms; for [Min_sum] the
+       per-class epigraph variables are kept for the warm-start lift *)
+    let t_sum_vars =
+      match t_var with
     | Some t ->
       Minlp.Problem.Builder.set_objective b (Minlp.Expr.var t);
       List.iteri
@@ -83,7 +91,8 @@ let build_minlp ~objective ~n_total specs =
             ~name:(Printf.sprintf "time_%s" spec.fc.Classes.cls.Classes.name)
             Minlp.Expr.(law_expr spec.fc.Classes.fit.Fitting.law n_var - var t)
             Lp.Lp_problem.Le 0.)
-        specs
+        specs;
+      []
     | None ->
       (* separable epigraph: one t_c per class keeps every nonlinear
          constraint two-dimensional, which makes the outer-approximation
@@ -109,7 +118,9 @@ let build_minlp ~objective ~n_total specs =
           specs
       in
       Minlp.Problem.Builder.set_objective b
-        (Minlp.Expr.linear (List.map (fun t -> (t, 1.)) t_vars)));
+        (Minlp.Expr.linear (List.map (fun t -> (t, 1.)) t_vars));
+      t_vars
+    in
     (* node budget *)
     Minlp.Problem.Builder.add_constr b ~name:"budget"
       (Minlp.Expr.linear
@@ -119,18 +130,51 @@ let build_minlp ~objective ~n_total specs =
             specs))
       Lp.Lp_problem.Le (float_of_int n_total);
     (* sweet spots *)
-    List.iteri
-      (fun i spec ->
-        match spec.allowed with
-        | None -> ()
-        | Some values ->
-          let lo, hi = effective_range ~n_total spec in
-          let feasible_values = List.filter (fun v -> v >= lo && v <= hi) values in
-          if feasible_values = [] then
-            invalid_arg "Alloc_model.build_minlp: no allowed value inside node range";
-          restrict_to_values b ~var:(List.nth n_vars i) feasible_values)
-      specs;
-    (Minlp.Problem.Builder.build b, Array.of_list n_vars)
+    let z_maps =
+      List.concat
+        (List.mapi
+           (fun i spec ->
+             match spec.allowed with
+             | None -> []
+             | Some values ->
+               let lo, hi = effective_range ~n_total spec in
+               let feasible_values = List.filter (fun v -> v >= lo && v <= hi) values in
+               if feasible_values = [] then
+                 invalid_arg "Alloc_model.build_minlp: no allowed value inside node range";
+               [ (i, restrict_to_values b ~var:(List.nth n_vars i) feasible_values) ])
+           specs)
+    in
+    let problem = Minlp.Problem.Builder.build b in
+    let n_vars_arr = Array.of_list n_vars in
+    let specs_arr = Array.of_list specs in
+    (* lift a nodes-per-class vector into the full variable space:
+       epigraph value(s) from the fitted laws, sweet-spot binaries set
+       to the matching value *)
+    let lift nodes =
+      if Array.length nodes <> Array.length n_vars_arr then
+        invalid_arg "Alloc_model.build_minlp: lift: wrong vector length";
+      let x = Array.make problem.Minlp.Problem.num_vars 0. in
+      Array.iteri (fun i nv -> x.(nv) <- float_of_int nodes.(i)) n_vars_arr;
+      let time i =
+        Scaling_law.eval_int specs_arr.(i).fc.Classes.fit.Fitting.law nodes.(i)
+      in
+      (match t_var with
+      | Some t ->
+        let m = ref 0. in
+        Array.iteri (fun i _ -> m := Float.max !m (time i)) n_vars_arr;
+        x.(t) <- !m
+      | None ->
+        List.iteri
+          (fun i t_c ->
+            x.(t_c) <-
+              float_of_int specs_arr.(i).fc.Classes.cls.Classes.count *. time i)
+          t_sum_vars);
+      List.iter
+        (fun (i, zs) -> List.iter (fun (z, v) -> if v = nodes.(i) then x.(z) <- 1.) zs)
+        z_maps;
+      x
+    in
+    (problem, n_vars_arr, lift)
 
 let predicted_of specs nodes =
   let times =
@@ -236,7 +280,13 @@ let max_min_solve ~n_total specs =
       order
   done;
   let predicted_makespan, predicted_times = predicted_of specs nodes in
-  { nodes_per_task = nodes; predicted_makespan; predicted_times; stats = Minlp.Solution.empty_stats }
+  {
+    nodes_per_task = nodes;
+    predicted_makespan;
+    predicted_times;
+    status = Minlp.Solution.Optimal;
+    stats = Minlp.Solution.empty_stats;
+  }
 
 (* Min_sum is a separable convex resource-allocation problem, solvable
    exactly by greedy marginal allocation (Ibaraki & Katoh — the paper's
@@ -276,8 +326,8 @@ let min_sum_greedy ~n_total specs =
   let nodes = Array.init k start in
   let used = ref 0 in
   Array.iteri (fun i n -> used := !used + (counts.(i) * n)) nodes;
-  if !used > n_total then
-    failwith "Alloc_model.solve: min-sum budget below one group per task";
+  if !used > n_total then Error Minlp.Solution.Infeasible
+  else begin
   let progress = ref true in
   while !progress do
     progress := false;
@@ -305,34 +355,79 @@ let min_sum_greedy ~n_total specs =
     end
   done;
   let predicted_makespan, predicted_times = predicted_of specs nodes in
-  { nodes_per_task = nodes; predicted_makespan; predicted_times; stats = Minlp.Solution.empty_stats }
+  Ok
+    {
+      nodes_per_task = nodes;
+      predicted_makespan;
+      predicted_times;
+      status = Minlp.Solution.Optimal;
+      stats = Minlp.Solution.empty_stats;
+    }
+  end
 
-let solve ?(solver = `Oa) ?(objective = Objective.Min_max) ~n_total specs =
+let solve ?(solver = Engine.Solver_choice.Oa) ?(objective = Objective.Min_max) ?budget
+    ?tally ?warm_start ~n_total specs =
   if specs = [] then invalid_arg "Alloc_model.solve: no classes";
   match objective with
-  | Objective.Max_min -> max_min_solve ~n_total specs
+  | Objective.Max_min -> Ok (max_min_solve ~n_total specs)
   | Objective.Min_sum -> min_sum_greedy ~n_total specs
   | Objective.Min_max ->
-    let problem, n_vars = build_minlp ~objective ~n_total specs in
+    let problem, n_vars, lift = build_minlp ~objective ~n_total specs in
+    (* Warm start: the caller's nodes-per-class vector, or the greedy
+       min-sum allocation (it respects the budget row, the boxes and the
+       sweet-spot lists, so it lifts to a feasible point). Priming the
+       incumbent both prunes the tree and guarantees a usable answer
+       when the budget runs out. *)
+    let warm =
+      match warm_start with
+      | Some nodes -> Some (lift nodes)
+      | None -> (
+        match min_sum_greedy ~n_total specs with
+        | Ok a -> Some (lift a.nodes_per_task)
+        | Error _ | (exception Invalid_argument _) -> None)
+    in
     (* a 1e-4 relative gap is far below benchmark noise; demanding more
        makes the tree crawl on near-flat fitted curves *)
     let sol =
       match solver with
-      | `Oa -> Minlp.Oa.solve ~options:{ Minlp.Oa.default_options with rel_gap = 1e-4 } problem
-      | `Bnb -> Minlp.Bnb.solve ~options:{ Minlp.Bnb.default_options with rel_gap = 1e-4 } problem
+      | Engine.Solver_choice.Oa ->
+        Minlp.Oa.solve
+          ~options:{ Minlp.Oa.default_options with rel_gap = 1e-4 }
+          ?budget ?tally ?warm_start:warm problem
+      | Engine.Solver_choice.Bnb ->
+        Minlp.Bnb.solve
+          ~options:{ Minlp.Bnb.default_options with rel_gap = 1e-4 }
+          ?budget ?tally ?warm_start:warm problem
+      | Engine.Solver_choice.Oa_multi ->
+        (Minlp.Oa_multi.solve
+           ~options:{ Minlp.Oa_multi.default_options with rel_gap = 1e-4 }
+           ?budget ?tally problem)
+          .Minlp.Oa_multi.solution
     in
     (match sol.Minlp.Solution.status with
-    | Minlp.Solution.Optimal | Minlp.Solution.Limit when Array.length sol.Minlp.Solution.x > 0 ->
+    | (Minlp.Solution.Optimal | Minlp.Solution.Feasible _ | Minlp.Solution.Budget_exhausted _)
+      when Array.length sol.Minlp.Solution.x > 0 ->
       let nodes =
         Array.map (fun v -> int_of_float (Float.round sol.Minlp.Solution.x.(v))) n_vars
       in
       let predicted_makespan, predicted_times = predicted_of specs nodes in
-      { nodes_per_task = nodes; predicted_makespan; predicted_times; stats = sol.Minlp.Solution.stats }
-    | _ ->
-      failwith
-        (Printf.sprintf "Alloc_model.solve: %s (budget %d nodes for %d classes)"
-           (Minlp.Solution.status_to_string sol.Minlp.Solution.status)
-           n_total (List.length specs)))
+      Ok
+        {
+          nodes_per_task = nodes;
+          predicted_makespan;
+          predicted_times;
+          status = sol.Minlp.Solution.status;
+          stats = sol.Minlp.Solution.stats;
+        }
+    | st -> Error st)
+
+let solve_exn ?solver ?objective ~n_total specs =
+  match solve ?solver ?objective ~n_total specs with
+  | Ok a -> a
+  | Error st ->
+    failwith
+      (Printf.sprintf "Alloc_model.solve: %s (budget %d nodes for %d classes)"
+         (Minlp.Solution.status_to_string st) n_total (List.length specs))
 
 let assignment_milp ?(max_nodes = 20_000) ~group_sizes ~duration ~num_tasks () =
   let ngroups = Array.length group_sizes in
@@ -396,5 +491,7 @@ let assignment_milp ?(max_nodes = 20_000) ~group_sizes ~duration ~num_tasks () =
         assign.(t) <- !best
       done;
       (assign, sol.Minlp.Solution.obj)
-    | Minlp.Solution.Limit | Minlp.Solution.Infeasible | Minlp.Solution.Unbounded -> lpt ()
+    | Minlp.Solution.Feasible _ | Minlp.Solution.Budget_exhausted _ | Minlp.Solution.Infeasible
+    | Minlp.Solution.Unbounded ->
+      lpt ()
   end

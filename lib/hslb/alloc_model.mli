@@ -33,31 +33,61 @@ type allocation = {
   nodes_per_task : int array;  (** indexed like the spec list *)
   predicted_makespan : float;  (** max over classes of fitted time *)
   predicted_times : float array;  (** fitted per-class times *)
+  status : Minlp.Solution.status;
+      (** how the solve ended; [Optimal] for the exact
+          bisection/greedy paths *)
   stats : Minlp.Solution.stats;  (** zero for the bisection path *)
 }
 
 (** [restrict_to_values b ~var values] — restrict an integer variable
     of a model under construction to a discrete value list using
     binaries linked by equality rows plus an SOS1 set (the paper's
-    sweet-spot encoding). Shared with the layout models. *)
-val restrict_to_values : Minlp.Problem.Builder.b -> var:int -> int list -> unit
+    sweet-spot encoding). The list is deduplicated and sorted first.
+    Returns the (binary variable, value) pairs in increasing value
+    order. Shared with the layout models. *)
+val restrict_to_values :
+  Minlp.Problem.Builder.b -> var:int -> int list -> (int * int) list
 
 (** [build_minlp ~objective ~n_total specs] — the MINLP (for
-    [Min_max]/[Min_sum]; raises on [Max_min]). Returned ints are the
-    indices of the [n_c] variables; for [Min_max] the first variable is
-    the makespan [T]. Exposed for the solver-benchmark experiment E6. *)
+    [Min_max]/[Min_sum]; raises on [Max_min]). Returns the problem, the
+    indices of the [n_c] variables, and a lifting function mapping a
+    nodes-per-class vector to a full variable-space point (epigraph and
+    sweet-spot binaries filled in) — the warm-start format the solvers
+    take. Exposed for the solver-benchmark experiment E6. *)
 val build_minlp :
-  objective:Objective.t -> n_total:int -> spec list -> Minlp.Problem.t * int array
+  objective:Objective.t ->
+  n_total:int ->
+  spec list ->
+  Minlp.Problem.t * int array * (int array -> float array)
 
-(** [solve ?solver ?objective ~n_total specs] — full solve + decode.
-    @raise Failure when the model is infeasible (budget below one node
-    per task). *)
+(** [solve ?solver ?objective ?budget ?tally ?warm_start ~n_total specs]
+    — full solve + decode. Infeasibility (e.g. a node budget below one
+    group per task) is returned as [Error], not raised.
+
+    For [Min_max], a greedy min-sum allocation is computed automatically
+    and used to warm-start the solver unless [warm_start] (a
+    nodes-per-class vector) is given. The armed [budget] makes the solve
+    interruptible: on exhaustion with an incumbent the allocation is
+    returned with status [Budget_exhausted _]; without one, [Error
+    (Budget_exhausted _)]. *)
 val solve :
-  ?solver:[ `Oa | `Bnb ] ->
+  ?solver:Engine.Solver_choice.t ->
+  ?objective:Objective.t ->
+  ?budget:Engine.Budget.armed ->
+  ?tally:Engine.Telemetry.t ->
+  ?warm_start:int array ->
+  n_total:int ->
+  spec list ->
+  (allocation, Minlp.Solution.status) result
+
+(** Raising wrapper kept for one release; migrate to {!solve}. *)
+val solve_exn :
+  ?solver:Engine.Solver_choice.t ->
   ?objective:Objective.t ->
   n_total:int ->
   spec list ->
   allocation
+[@@ocaml.deprecated "use Alloc_model.solve (returns a result)"]
 
 (** [assignment_milp ~group_sizes ~duration ~num_tasks] — the second
     model family: groups fixed, assign tasks to groups minimizing

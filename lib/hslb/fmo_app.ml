@@ -2,7 +2,7 @@ type config = {
   benchmark_points : int;
   benchmark_reps : int;
   objective : Objective.t;
-  solver : [ `Oa | `Bnb ];
+  solver : Engine.Solver_choice.t;
   sweet_spots : int list option;
 }
 
@@ -11,7 +11,7 @@ let default_config =
     benchmark_points = 5;
     benchmark_reps = 2;
     objective = Objective.Min_max;
-    solver = `Oa;
+    solver = Engine.Solver_choice.Oa;
     sweet_spots = None;
   }
 
@@ -105,7 +105,14 @@ let plan_hslb ~rng machine (plan : Fmo.Task.plan) ~n_total config =
       monomer_fits
   in
   let allocation =
-    Alloc_model.solve ~solver:config.solver ~objective:config.objective ~n_total specs
+    match
+      Alloc_model.solve ~solver:config.solver ~objective:config.objective ~n_total specs
+    with
+    | Ok a -> a
+    | Error st ->
+      failwith
+        (Printf.sprintf "Fmo_app.plan_hslb: monomer allocation %s"
+           (Minlp.Solution.status_to_string st))
   in
   (* derive the partition: one group per fragment, sized by its class *)
   let fits_arr = Array.of_list monomer_fits in
@@ -183,13 +190,13 @@ let plan_hslb ~rng machine (plan : Fmo.Task.plan) ~n_total config =
         Alloc_model.solve ~solver:config.solver ~objective:config.objective ~n_total
           (List.map (fun fc -> Alloc_model.spec_of fc) dimer_fits)
       with
-      | alloc ->
+      | Ok alloc ->
         (* one group per dimer task, sized by its class *)
         let sizes = Array.init ndimers (fun t -> alloc.Alloc_model.nodes_per_task.(dimer_class t)) in
         let part = Gddi.Group.of_sizes (Array.to_list sizes) in
         let assignment = Array.init ndimers Fun.id in
         Some (alloc.Alloc_model.predicted_makespan, part, assignment)
-      | exception Failure _ -> None
+      | Error _ -> None
     end
     else None
   in

@@ -12,7 +12,7 @@ type config = {
   benchmark_points : int;  (** node counts sampled per class (paper: >= 4) *)
   benchmark_reps : int;  (** repetitions per node count *)
   objective : Objective.t;
-  solver : [ `Oa | `Bnb ];
+  solver : Engine.Solver_choice.t;
   sweet_spots : int list option;  (** restrict group sizes to this list *)
 }
 

@@ -5,11 +5,17 @@ type config = {
   ocn_allowed : int list option;
   atm_allowed : int list option;
   tsync : float option;
-  solver : [ `Oa | `Bnb ];
+  solver : Engine.Solver_choice.t;
 }
 
 let default_config ~n_total =
-  { n_total; ocn_allowed = None; atm_allowed = None; tsync = None; solver = `Oa }
+  {
+    n_total;
+    ocn_allowed = None;
+    atm_allowed = None;
+    tsync = None;
+    solver = Engine.Solver_choice.Oa;
+  }
 
 type inputs = {
   ice : Component.t;
@@ -95,31 +101,43 @@ let build layout config inputs =
   | Some values ->
     let vals = List.filter (fun v -> v >= 1 && v <= config.n_total) values in
     if vals = [] then invalid_arg "Layout_model.build: no feasible ocean sweet spot";
-    Hslb.Alloc_model.restrict_to_values b ~var:n_o vals);
+    ignore (Hslb.Alloc_model.restrict_to_values b ~var:n_o vals));
   (match config.atm_allowed with
   | None -> ()
   | Some values ->
     let vals = List.filter (fun v -> v >= 1 && v <= config.n_total) values in
     if vals = [] then invalid_arg "Layout_model.build: no feasible atmosphere sweet spot";
-    Hslb.Alloc_model.restrict_to_values b ~var:n_a vals);
+    ignore (Hslb.Alloc_model.restrict_to_values b ~var:n_a vals));
   (Minlp.Problem.Builder.build b, (n_i, n_l, n_a, n_o))
 
-let solve layout config inputs =
+let solve ?budget ?tally layout config inputs =
   let problem, (vi, vl, va, vo) = build layout config inputs in
   let solver =
     (* the nonconvex tsync constraint invalidates OA cuts; fall back to
        the NLP-based tree (local relaxations) in that case *)
     match (config.tsync, config.solver) with
-    | Some _, _ -> `Bnb
+    | Some _, _ -> Engine.Solver_choice.Bnb
     | None, s -> s
   in
   let sol =
     match solver with
-    | `Oa -> Minlp.Oa.solve ~options:{ Minlp.Oa.default_options with rel_gap = 1e-4 } problem
-    | `Bnb -> Minlp.Bnb.solve ~options:{ Minlp.Bnb.default_options with rel_gap = 1e-4 } problem
+    | Engine.Solver_choice.Oa ->
+      Minlp.Oa.solve
+        ~options:{ Minlp.Oa.default_options with rel_gap = 1e-4 }
+        ?budget ?tally problem
+    | Engine.Solver_choice.Bnb ->
+      Minlp.Bnb.solve
+        ~options:{ Minlp.Bnb.default_options with rel_gap = 1e-4 }
+        ?budget ?tally problem
+    | Engine.Solver_choice.Oa_multi ->
+      (Minlp.Oa_multi.solve
+         ~options:{ Minlp.Oa_multi.default_options with rel_gap = 1e-4 }
+         ?budget ?tally problem)
+        .Minlp.Oa_multi.solution
   in
   match sol.Minlp.Solution.status with
-  | (Minlp.Solution.Optimal | Minlp.Solution.Limit) when Array.length sol.Minlp.Solution.x > 0 ->
+  | (Minlp.Solution.Optimal | Minlp.Solution.Feasible _ | Minlp.Solution.Budget_exhausted _)
+    when Array.length sol.Minlp.Solution.x > 0 ->
     let node v = int_of_float (Float.round sol.Minlp.Solution.x.(v)) in
     let n_ice = node vi and n_lnd = node vl and n_atm = node va and n_ocn = node vo in
     let t_of c nn = Component.time c nn in

@@ -30,7 +30,7 @@ type config = {
   ocn_allowed : int list option;  (** ocean sweet spots (Table I line 5) *)
   atm_allowed : int list option;  (** atmosphere sweet spots (line 6) *)
   tsync : float option;  (** synchronization tolerance (line 9) *)
-  solver : [ `Oa | `Bnb ];
+  solver : Engine.Solver_choice.t;
 }
 
 val default_config : n_total:int -> config
@@ -57,9 +57,18 @@ val layout_total : layout -> ice:float -> lnd:float -> atm:float -> ocn:float ->
     the variable indices of [(n_ice, n_lnd, n_atm, n_ocn)]. *)
 val build : layout -> config -> inputs -> Minlp.Problem.t * (int * int * int * int)
 
-(** [solve layout config inputs] — build, solve and decode.
-    @raise Failure when infeasible. *)
-val solve : layout -> config -> inputs -> alloc
+(** [solve ?budget ?tally layout config inputs] — build, solve and
+    decode. The armed [budget] and [tally] are threaded into the MINLP
+    solver.
+    @raise Failure when infeasible or the budget ran out with no
+    incumbent. *)
+val solve :
+  ?budget:Engine.Budget.armed ->
+  ?tally:Engine.Telemetry.t ->
+  layout ->
+  config ->
+  inputs ->
+  alloc
 
 (** [predict_scaling layout config inputs ~node_counts] — predicted
     total time at each node budget (the layout-comparison figure). *)

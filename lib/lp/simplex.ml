@@ -11,7 +11,8 @@ type var_map =
 
 type std_row = { coeffs : float array; rhs : float; sense : Lp_problem.sense }
 
-let solve ?(max_iter = 200_000) (p : Lp_problem.t) =
+let solve ?(max_iter = 200_000) ?budget ?tally (p : Lp_problem.t) =
+  Engine.Telemetry.bump tally Engine.Telemetry.add_lp_solves 1;
   let n = p.num_vars in
   (* --- 1. map variables to non-negative standard columns --- *)
   let next_col = ref 0 in
@@ -149,11 +150,20 @@ let solve ?(max_iter = 200_000) (p : Lp_problem.t) =
   in
   (* returns `Optimal | `Unbounded | `Limit *)
   let bland_threshold = 1_000 + (5 * (m + ncols)) in
+  (* Poll the shared budget only every 64 pivots: the deadline check
+     costs a gettimeofday, which would otherwise dominate small LPs. *)
+  let budget_stop () =
+    match budget with
+    | None -> false
+    | Some b ->
+      Engine.Budget.add_iters b 1;
+      !iterations land 63 = 0 && Engine.Budget.check b <> None
+  in
   let run_phase allow_col =
     let result = ref None in
     let phase_start = !iterations in
     while !result = None do
-      if !iterations > max_iter then result := Some `Limit
+      if !iterations > max_iter || budget_stop () then result := Some `Limit
       else begin
         incr iterations;
         (* entering column: Dantzig; Bland past a threshold to kill
@@ -201,7 +211,11 @@ let solve ?(max_iter = 200_000) (p : Lp_problem.t) =
     done;
     match !result with Some r -> r | None -> assert false
   in
-  let infeasible_result () = { status = Infeasible; x = Array.make n 0.; obj = nan } in
+  let finish (s : solution) =
+    Engine.Telemetry.bump tally Engine.Telemetry.add_simplex_pivots !iterations;
+    s
+  in
+  let infeasible_result () = finish { status = Infeasible; x = Array.make n 0.; obj = nan } in
   (* --- 4. phase 1 --- *)
   let need_phase1 = n_art > 0 in
   let phase1_ok =
@@ -220,7 +234,7 @@ let solve ?(max_iter = 200_000) (p : Lp_problem.t) =
     end
   in
   match phase1_ok with
-  | `Limit -> { status = Iteration_limit; x = Array.make n 0.; obj = nan }
+  | `Limit -> finish { status = Iteration_limit; x = Array.make n 0.; obj = nan }
   | `Unbounded -> infeasible_result () (* phase 1 cannot be unbounded; defensive *)
   | `Optimal ->
     let phase1_obj = if need_phase1 then -.z.(ncols) else 0. in
@@ -266,8 +280,8 @@ let solve ?(max_iter = 200_000) (p : Lp_problem.t) =
       done;
       let allow c = not (is_artificial c) in
       match run_phase allow with
-      | `Limit -> { status = Iteration_limit; x = Array.make n 0.; obj = nan }
-      | `Unbounded -> { status = Unbounded; x = Array.make n 0.; obj = nan }
+      | `Limit -> finish { status = Iteration_limit; x = Array.make n 0.; obj = nan }
+      | `Unbounded -> finish { status = Unbounded; x = Array.make n 0.; obj = nan }
       | `Optimal ->
         (* recover structural values *)
         let xs = Array.make n_struct 0. in
@@ -281,5 +295,5 @@ let solve ?(max_iter = 200_000) (p : Lp_problem.t) =
               | Flipped (c, off) -> off -. xs.(c)
               | Split (cp, cm) -> xs.(cp) -. xs.(cm))
         in
-        { status = Optimal; x; obj = Lp_problem.objective_value p x }
+        finish { status = Optimal; x; obj = Lp_problem.objective_value p x }
     end

@@ -19,6 +19,17 @@ type solution = {
   obj : float;  (** objective value in the problem's own sense *)
 }
 
-(** [solve ?max_iter p] — solve [p]. The result's [x] is in the original
-    variable space (bound offsets undone). *)
-val solve : ?max_iter:int -> Lp_problem.t -> solution
+(** [solve ?max_iter ?budget ?tally p] — solve [p]. The result's [x] is
+    in the original variable space (bound offsets undone).
+
+    [budget] is an armed {!Engine.Budget}: each pivot bumps its
+    iteration counter and the deadline/cancel token is polled every 64
+    pivots; on exhaustion the status is [Iteration_limit] (interpret the
+    cause via [Engine.Budget.check]). [tally] accumulates [lp_solves]
+    and [simplex_pivots]. *)
+val solve :
+  ?max_iter:int ->
+  ?budget:Engine.Budget.armed ->
+  ?tally:Engine.Telemetry.t ->
+  Lp_problem.t ->
+  solution

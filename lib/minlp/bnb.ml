@@ -4,7 +4,7 @@ let default_options = { max_nodes = 20_000; tol_int = 1e-6; rel_gap = 1e-6; bran
 
 type node = { nlo : float array; nhi : float array; depth : int; bound : float; start : float array }
 
-let solve ?(options = default_options) (p0 : Problem.t) =
+let solve ?(options = default_options) ?budget ?tally ?warm_start (p0 : Problem.t) =
   let p, orig_dim = Problem.normalize p0 in
   let pre = Presolve.tighten p in
   if pre.Presolve.infeasible then
@@ -22,12 +22,37 @@ let solve ?(options = default_options) (p0 : Problem.t) =
   let nodes_processed = ref 0 in
   let incumbent = ref None in
   let incumbent_key = ref infinity in
+  (* Warm start: lift a feasible point of [p0] through the epigraph
+     normalization and prime the incumbent. Presolve only tightens
+     bounds around the feasible set, so a feasible point survives it.
+     Infeasible or mis-sized points are silently ignored. The lifted
+     point also seeds the root relaxation: the node relaxations are
+     solved by a local method, so pruning against the primed incumbent
+     is only safe when the root solve starts from a point at least as
+     good as that incumbent. *)
+  let warm_lifted = ref None in
+  (match warm_start with
+  | Some x0 -> (
+    match Problem.lift_point ~orig:p0 p x0 with
+    | Some x0' when Problem.feasible ~tol:options.tol_int p x0' ->
+      let x0' = Problem.round_integral p x0' in
+      let obj0 = Problem.objective_value p x0' in
+      incumbent := Some (x0', obj0);
+      incumbent_key := key obj0;
+      warm_lifted := Some x0';
+      Engine.Telemetry.set_warm_start_used tally
+    | Some _ | None -> ())
+  | None -> ());
   let leq a b = a.bound <= b.bound in
   let open_nodes = Ds.Heap.create ~leq in
-  let root_start = Relax.midpoint p.lo p.hi in
+  let root_start =
+    match !warm_lifted with Some w -> w | None -> Relax.midpoint p.lo p.hi
+  in
   Ds.Heap.push open_nodes
     { nlo = Array.copy p.lo; nhi = Array.copy p.hi; depth = 0; bound = neg_infinity; start = root_start };
-  let limit_hit = ref false in
+  let stopped : [ `Internal of Solution.reason | `Budget of Solution.reason ] option ref =
+    ref None
+  in
   let prune_tol () = options.rel_gap *. Float.max 1. (Float.abs !incumbent_key) in
   let push_child node j ~lo ~hi start =
     let nlo = Array.copy node.nlo and nhi = Array.copy node.nhi in
@@ -51,19 +76,28 @@ let solve ?(options = default_options) (p0 : Problem.t) =
   in
   let continue_loop = ref true in
   while !continue_loop && not (Ds.Heap.is_empty open_nodes) do
+    match Engine.Budget.stopped budget with
+    | Some r ->
+      stopped := Some (`Budget (Solution.reason_of_budget r));
+      continue_loop := false
+    | None ->
     if !nodes_processed >= options.max_nodes then begin
-      limit_hit := true;
+      stopped := Some (`Internal Solution.Node_limit);
       continue_loop := false
     end
     else begin
       let node = Ds.Heap.pop open_nodes in
-      if node.bound >= !incumbent_key -. prune_tol () then ()
+      if node.bound >= !incumbent_key -. prune_tol () then
+        Engine.Telemetry.bump tally Engine.Telemetry.add_nodes_pruned 1
       else begin
         incr nodes_processed;
         incr nlp_solves;
+        (match budget with Some b -> Engine.Budget.add_nodes b 1 | None -> ());
+        Engine.Telemetry.bump tally Engine.Telemetry.add_nodes_expanded 1;
         let start = Numerics.Vec.clamp ~lo:node.nlo ~hi:node.nhi node.start in
-        let r = Relax.solve_nlp p ~lo:node.nlo ~hi:node.nhi ~start in
-        if not r.Relax.feasible then () (* relaxation infeasible: prune *)
+        let r = Relax.solve_nlp ?budget ?tally p ~lo:node.nlo ~hi:node.nhi ~start in
+        if not r.Relax.feasible then
+          Engine.Telemetry.bump tally Engine.Telemetry.add_nodes_pruned 1
         else begin
           let k = key r.Relax.obj in
           if k >= !incumbent_key -. prune_tol () then ()
@@ -108,7 +142,7 @@ let solve ?(options = default_options) (p0 : Problem.t) =
                       | Problem.Continuous -> ())
                     p.kinds;
                   incr nlp_solves;
-                  let polished = Relax.solve_nlp p ~lo:plo ~hi:phi ~start:xr in
+                  let polished = Relax.solve_nlp ?budget ?tally p ~lo:plo ~hi:phi ~start:xr in
                   let cand_x, cand_obj =
                     if polished.Relax.feasible && key polished.Relax.obj < k then
                       (Problem.round_integral p polished.Relax.x, polished.Relax.obj)
@@ -116,7 +150,8 @@ let solve ?(options = default_options) (p0 : Problem.t) =
                   in
                   if key cand_obj < !incumbent_key then begin
                     incumbent_key := key cand_obj;
-                    incumbent := Some (cand_x, cand_obj)
+                    incumbent := Some (cand_x, cand_obj);
+                    Engine.Telemetry.bump tally Engine.Telemetry.add_incumbent_updates 1
                   end))
           end
         end
@@ -131,10 +166,18 @@ let solve ?(options = default_options) (p0 : Problem.t) =
   match !incumbent with
   | Some (x, obj) ->
     let status =
-      if !limit_hit && not (Ds.Heap.is_empty open_nodes) then Solution.Limit else Solution.Optimal
+      match !stopped with
+      | Some _ when Ds.Heap.is_empty open_nodes -> Solution.Optimal
+      | Some (`Internal r) -> Solution.Feasible r
+      | Some (`Budget r) -> Solution.Budget_exhausted r
+      | None -> Solution.Optimal
     in
     { Solution.status; x = Array.sub x 0 orig_dim; obj; bound; stats }
   | None ->
-    let status = if !limit_hit then Solution.Limit else Solution.Infeasible in
+    let status =
+      match !stopped with
+      | Some (`Internal r | `Budget r) -> Solution.Budget_exhausted r
+      | None -> Solution.Infeasible
+    in
     { Solution.status; x = [||]; obj = nan; bound; stats }
   end

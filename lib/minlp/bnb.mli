@@ -16,7 +16,22 @@ type options = {
 
 val default_options : options
 
-(** [solve ?options p] — solve the MINLP. Nonlinear objectives are
-    handled by epigraph normalization internally; the returned [x] is in
-    the original variable space. *)
-val solve : ?options:options -> Problem.t -> Solution.t
+(** [solve ?options ?budget ?tally ?warm_start p] — solve the MINLP.
+    Nonlinear objectives are handled by epigraph normalization
+    internally; the returned [x] is in the original variable space.
+
+    The armed [budget] is polled at the top of the node loop and inside
+    every NLP relaxation solve; on exhaustion the best incumbent found
+    so far is returned with status [Budget_exhausted] (empty [x] when
+    none was found). [warm_start] is a feasible point of [p] in the
+    original variable space: it primes the incumbent (and hence the
+    pruning bound), measurably cutting node counts; infeasible points
+    are silently ignored. [tally] accumulates node / NLP / incumbent
+    counters. *)
+val solve :
+  ?options:options ->
+  ?budget:Engine.Budget.armed ->
+  ?tally:Engine.Telemetry.t ->
+  ?warm_start:float array ->
+  Problem.t ->
+  Solution.t

@@ -56,7 +56,8 @@ let sos_split members x =
   end
   else (s1, s2)
 
-let solve ?(options = default_options) ?(extra_rows = []) ?on_integral (p : Problem.t) =
+let solve ?(options = default_options) ?(extra_rows = []) ?on_integral ?budget ?tally
+    ?warm_start (p : Problem.t) =
   let lin_rows, nl = Problem.split_constraints p in
   if nl <> [] then invalid_arg "Milp.solve: problem has nonlinear constraints";
   let obj = Problem.linear_objective p in
@@ -69,6 +70,18 @@ let solve ?(options = default_options) ?(extra_rows = []) ?on_integral (p : Prob
   let key v = if p.minimize then v else -.v in
   let incumbent = ref None in
   let incumbent_key = ref infinity in
+  (* Warm start: a feasible point primes the incumbent, so pruning cuts
+     off everything above its value from the first node on. An
+     infeasible point is silently ignored. *)
+  (match warm_start with
+  | Some x0
+    when Array.length x0 = p.num_vars && Problem.feasible ~tol:options.tol_int p x0 ->
+    let x0 = Problem.round_integral p x0 in
+    let obj0 = Problem.objective_value p x0 in
+    incumbent := Some (x0, obj0);
+    incumbent_key := key obj0;
+    Engine.Telemetry.set_warm_start_used tally
+  | Some _ | None -> ());
   let solve_lp node =
     incr lp_solves;
     let lp = Lp.Lp_problem.make ~minimize:p.minimize ~names:p.names ~num_vars:p.num_vars () in
@@ -77,7 +90,7 @@ let solve ?(options = default_options) ?(extra_rows = []) ?on_integral (p : Prob
     for j = 0 to p.num_vars - 1 do
       lp := Lp.Lp_problem.set_bounds !lp j ~lo:node.nlo.(j) ~hi:node.nhi.(j)
     done;
-    Lp.Simplex.solve !lp
+    Lp.Simplex.solve ?budget ?tally !lp
   in
   let leq =
     if options.depth_first then fun a b -> a.depth >= b.depth
@@ -87,7 +100,11 @@ let solve ?(options = default_options) ?(extra_rows = []) ?on_integral (p : Prob
   Ds.Heap.push open_nodes
     { nlo = Array.copy p.lo; nhi = Array.copy p.hi; depth = 0; bound = neg_infinity; origin = None };
   let unbounded = ref false in
-  let limit_hit = ref false in
+  (* why the search stopped early, if it did: a solver-internal cap or
+     the engine budget *)
+  let stopped : [ `Internal of Solution.reason | `Budget of Solution.reason ] option ref =
+    ref None
+  in
   (* pseudocost tables: learned objective degradation per unit
      fractionality, per variable and direction *)
   let pc_sum_up = Array.make p.num_vars 0. and pc_n_up = Array.make p.num_vars 0 in
@@ -186,20 +203,32 @@ let solve ?(options = default_options) ?(extra_rows = []) ?on_integral (p : Prob
   let continue_loop = ref true in
   while !continue_loop && (not !unbounded) && not (Ds.Heap.is_empty open_nodes) do
     if gap_closed () && !incumbent_key < infinity then continue_loop := false
-    else if !nodes_processed >= options.max_nodes then begin
-      limit_hit := true;
+    else
+      match Engine.Budget.stopped budget with
+      | Some r ->
+        stopped := Some (`Budget (Solution.reason_of_budget r));
+        continue_loop := false
+      | None ->
+    if !nodes_processed >= options.max_nodes then begin
+      stopped := Some (`Internal Solution.Node_limit);
       continue_loop := false
     end
     else begin
       let node = Ds.Heap.pop open_nodes in
       if node.bound >= !incumbent_key -. (options.rel_gap *. Float.max 1. (Float.abs !incumbent_key))
-      then () (* pruned by bound *)
+      then Engine.Telemetry.bump tally Engine.Telemetry.add_nodes_pruned 1
       else begin
         incr nodes_processed;
+        (match budget with Some b -> Engine.Budget.add_nodes b 1 | None -> ());
+        Engine.Telemetry.bump tally Engine.Telemetry.add_nodes_expanded 1;
         let s = solve_lp node in
         match s.Lp.Simplex.status with
-        | Lp.Simplex.Infeasible -> ()
-        | Lp.Simplex.Iteration_limit -> limit_hit := true
+        | Lp.Simplex.Infeasible -> Engine.Telemetry.bump tally Engine.Telemetry.add_nodes_pruned 1
+        | Lp.Simplex.Iteration_limit ->
+          (* keep draining the heap: other nodes may still solve within
+             their own pivot budget (the engine budget is checked at the
+             top of the loop and stops the whole search) *)
+          if !stopped = None then stopped := Some (`Internal Solution.Iter_limit)
         | Lp.Simplex.Unbounded -> if node.depth = 0 then unbounded := true
         | Lp.Simplex.Optimal ->
           learn node s.Lp.Simplex.obj;
@@ -247,20 +276,24 @@ let solve ?(options = default_options) ?(extra_rows = []) ?on_integral (p : Prob
                   | `Accept ->
                     if k < !incumbent_key then begin
                       incumbent_key := k;
-                      incumbent := Some (x, s.Lp.Simplex.obj)
+                      incumbent := Some (x, s.Lp.Simplex.obj);
+                      Engine.Telemetry.bump tally Engine.Telemetry.add_incumbent_updates 1
                     end
                   | `Reject cuts ->
                     cut_pool := cuts @ !cut_pool;
                     num_cuts := !num_cuts + List.length cuts;
+                    Engine.Telemetry.bump tally Engine.Telemetry.add_oa_cuts (List.length cuts);
                     (* re-open this node: its LP must now respect the cuts *)
                     Ds.Heap.push open_nodes { node with bound = k }
                   | `Reject_with_incumbent (cuts, x', obj') ->
                     cut_pool := cuts @ !cut_pool;
                     num_cuts := !num_cuts + List.length cuts;
+                    Engine.Telemetry.bump tally Engine.Telemetry.add_oa_cuts (List.length cuts);
                     let k' = key obj' in
                     if k' < !incumbent_key then begin
                       incumbent_key := k';
-                      incumbent := Some (Problem.round_integral p x', obj')
+                      incumbent := Some (Problem.round_integral p x', obj');
+                      Engine.Telemetry.bump tally Engine.Telemetry.add_incumbent_updates 1
                     end;
                     Ds.Heap.push open_nodes { node with bound = k })))
           end
@@ -279,8 +312,20 @@ let solve ?(options = default_options) ?(extra_rows = []) ?on_integral (p : Prob
   else
     match !incumbent with
     | Some (x, obj) ->
-      let status = if !limit_hit && not (Ds.Heap.is_empty open_nodes) then Solution.Limit else Solution.Optimal in
+      (* an early stop with an empty heap means the search in fact
+         finished: the incumbent is optimal *)
+      let status =
+        match !stopped with
+        | Some _ when Ds.Heap.is_empty open_nodes -> Solution.Optimal
+        | Some (`Internal r) -> Solution.Feasible r
+        | Some (`Budget r) -> Solution.Budget_exhausted r
+        | None -> Solution.Optimal
+      in
       { Solution.status; x; obj; bound; stats }
     | None ->
-      let status = if !limit_hit then Solution.Limit else Solution.Infeasible in
+      let status =
+        match !stopped with
+        | Some (`Internal r | `Budget r) -> Solution.Budget_exhausted r
+        | None -> Solution.Infeasible
+      in
       { Solution.status; x = [||]; obj = nan; bound; stats }

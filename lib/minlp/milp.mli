@@ -49,12 +49,23 @@ type callback =
 val sos_split :
   (int * float) list -> float array -> (int * float) list * (int * float) list
 
-(** [solve ?options ?extra_rows ?on_integral p] — [p] must have a linear
-    objective and only linear constraints (raise otherwise). [extra_rows]
-    are appended to the LP relaxation (the OA solver's initial cut set). *)
+(** [solve ?options ?extra_rows ?on_integral ?budget ?tally ?warm_start p]
+    — [p] must have a linear objective and only linear constraints
+    (raise otherwise). [extra_rows] are appended to the LP relaxation
+    (the OA solver's initial cut set).
+
+    The armed [budget] is polled at the top of the node loop and inside
+    every LP solve; on exhaustion the best incumbent found so far is
+    returned with status [Budget_exhausted] (empty [x] when none).
+    [warm_start] primes the incumbent with a feasible point of [p] —
+    infeasible points are ignored. [tally] accumulates node, LP, cut and
+    incumbent counters. *)
 val solve :
   ?options:options ->
   ?extra_rows:Lp.Lp_problem.constr list ->
   ?on_integral:callback ->
+  ?budget:Engine.Budget.armed ->
+  ?tally:Engine.Telemetry.t ->
+  ?warm_start:float array ->
   Problem.t ->
   Solution.t

@@ -32,12 +32,12 @@ let assignment_key (p : Problem.t) x =
     p.kinds;
   Buffer.contents b
 
-let solve ?(options = default_options) (p0 : Problem.t) =
+let solve ?(options = default_options) ?budget ?tally ?warm_start (p0 : Problem.t) =
   let p, orig_dim = Problem.normalize p0 in
   (* feasibility-based bound tightening shrinks the tree and the
      relaxation boxes; its infeasibility verdict is sound (pure
      interval arithmetic over the linear rows) *)
-  let pre = Presolve.tighten p in
+  let pre = Engine.Telemetry.time tally "presolve" (fun () -> Presolve.tighten p) in
   if pre.Presolve.infeasible then
     {
       Solution.status = Solution.Infeasible;
@@ -48,6 +48,19 @@ let solve ?(options = default_options) (p0 : Problem.t) =
     }
   else begin
   let p = pre.Presolve.problem in
+  (* warm start lifted through the epigraph normalization; it is passed
+     to the master MILP, which validates it against its own rows (the
+     master relaxes the nonlinear constraints, so any point feasible for
+     [p] is feasible for it, and its objective value is a true upper
+     bound for pruning) *)
+  let warm =
+    match warm_start with
+    | None -> None
+    | Some x0 -> (
+      match Problem.lift_point ~orig:p0 p x0 with
+      | Some w when Problem.feasible ~tol:options.tol_int p w -> Some w
+      | Some _ | None -> None)
+  in
   let _, nl = Problem.split_constraints p in
   let truncate (s : Solution.t) =
     if Array.length s.x > orig_dim then { s with x = Array.sub s.x 0 orig_dim } else s
@@ -62,13 +75,15 @@ let solve ?(options = default_options) (p0 : Problem.t) =
       branching = options.branching;
     }
   in
-  if nl = [] then truncate (Milp.solve ~options:milp_options p)
+  if nl = [] then
+    truncate (Milp.solve ~options:milp_options ?budget ?tally ?warm_start:warm p)
   else begin
     let nlp_solves = ref 0 in
     (* root relaxation seeds the initial linearization *)
     incr nlp_solves;
     let root =
-      Relax.solve_nlp p ~lo:p.lo ~hi:p.hi ~start:(Relax.midpoint p.lo p.hi)
+      Engine.Telemetry.time tally "root-nlp" (fun () ->
+          Relax.solve_nlp ?budget ?tally p ~lo:p.lo ~hi:p.hi ~start:(Relax.midpoint p.lo p.hi))
     in
     (* a failed root NLP is not proof of infeasibility (the augmented
        Lagrangian is a local method): linearize at the best point it
@@ -116,7 +131,7 @@ let solve ?(options = default_options) (p0 : Problem.t) =
             (* fixed-integer NLP: best continuous completion of x *)
             incr nlp_solves;
             let lo, hi = fix_integers x in
-            let r = Relax.solve_nlp p ~lo ~hi ~start:x in
+            let r = Relax.solve_nlp ?budget ?tally p ~lo ~hi ~start:x in
             if r.Relax.feasible then
               let cuts = List.map (fun c -> Relax.oa_cut c r.Relax.x) nl in
               `Reject_with_incumbent (cuts, r.Relax.x, r.Relax.obj)
@@ -128,7 +143,11 @@ let solve ?(options = default_options) (p0 : Problem.t) =
         end
       in
       let master = Problem.linear_restriction p in
-      let s = Milp.solve ~options:milp_options ~extra_rows:initial_cuts ~on_integral master in
+      let s =
+        Engine.Telemetry.time tally "master" (fun () ->
+            Milp.solve ~options:milp_options ~extra_rows:initial_cuts ~on_integral ?budget
+              ?tally ?warm_start:warm master)
+      in
       let stats = { s.Solution.stats with nlp_solves = !nlp_solves } in
       truncate { s with Solution.stats }
     end

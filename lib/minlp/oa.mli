@@ -25,7 +25,22 @@ type options = {
 
 val default_options : options
 
-(** [solve ?options p] — solve a convex MINLP. Nonlinear objectives are
-    epigraph-normalized internally; [x] is returned in the original
-    variable space. *)
-val solve : ?options:options -> Problem.t -> Solution.t
+(** [solve ?options ?budget ?tally ?warm_start p] — solve a convex
+    MINLP. Nonlinear objectives are epigraph-normalized internally; [x]
+    is returned in the original variable space.
+
+    The armed [budget] covers the whole run (root NLP, master tree,
+    fixed-integer NLPs); on exhaustion the best incumbent is returned
+    with status [Budget_exhausted]. [warm_start] is a feasible point of
+    [p] in the original variable space: it primes the master tree's
+    incumbent so pruning is sharp from the first node (points that fail
+    the feasibility check are silently ignored). [tally] accumulates the
+    full counter set, plus "presolve" / "root-nlp" / "master" phase
+    timers. *)
+val solve :
+  ?options:options ->
+  ?budget:Engine.Budget.armed ->
+  ?tally:Engine.Telemetry.t ->
+  ?warm_start:float array ->
+  Problem.t ->
+  Solution.t

@@ -27,9 +27,9 @@ let add_stats (a : Solution.stats) (b : Solution.stats) =
     cuts = a.Solution.cuts + b.Solution.cuts;
   }
 
-let solve ?(options = default_options) (p0 : Problem.t) =
+let solve ?(options = default_options) ?budget ?tally (p0 : Problem.t) =
   let p, orig_dim = Problem.normalize p0 in
-  let pre = Presolve.tighten p in
+  let pre = Engine.Telemetry.time tally "presolve" (fun () -> Presolve.tighten p) in
   let infeasible_solution stats =
     { Solution.status = Solution.Infeasible; x = [||]; obj = nan; bound = nan; stats }
   in
@@ -52,14 +52,17 @@ let solve ?(options = default_options) (p0 : Problem.t) =
       }
     in
     if nl = [] then
-      { solution = truncate (Milp.solve ~options:milp_options p); iterations = 1 }
+      { solution = truncate (Milp.solve ~options:milp_options ?budget ?tally p); iterations = 1 }
     else begin
       let stats = ref Solution.empty_stats in
       let master = Problem.linear_restriction p in
       let key v = if p.minimize then v else -.v in
       (* seed cuts from the continuous relaxation *)
       stats := { !stats with Solution.nlp_solves = !stats.Solution.nlp_solves + 1 };
-      let root = Relax.solve_nlp p ~lo:p.lo ~hi:p.hi ~start:(Relax.midpoint p.lo p.hi) in
+      let root =
+        Engine.Telemetry.time tally "root-nlp" (fun () ->
+            Relax.solve_nlp ?budget ?tally p ~lo:p.lo ~hi:p.hi ~start:(Relax.midpoint p.lo p.hi))
+      in
       let cuts = ref (List.map (fun c -> Relax.oa_cut c root.Relax.x) nl) in
       let keep_finite rows =
         List.filter
@@ -74,9 +77,21 @@ let solve ?(options = default_options) (p0 : Problem.t) =
       let lower_bound = ref neg_infinity in
       let iterations = ref 0 in
       let finished = ref false in
+      let stop_reason :
+          [ `Internal of Solution.reason | `Budget of Solution.reason ] option ref =
+        ref None
+      in
       while (not !finished) && !iterations < options.max_iterations do
+        match Engine.Budget.stopped budget with
+        | Some r ->
+          stop_reason := Some (`Budget (Solution.reason_of_budget r));
+          finished := true
+        | None ->
         incr iterations;
-        let ms = Milp.solve ~options:milp_options ~extra_rows:!cuts master in
+        let ms =
+          Engine.Telemetry.time tally "master" (fun () ->
+              Milp.solve ~options:milp_options ~extra_rows:!cuts ?budget ?tally master)
+        in
         stats :=
           add_stats !stats
             { ms.Solution.stats with Solution.cuts = List.length !cuts };
@@ -84,7 +99,13 @@ let solve ?(options = default_options) (p0 : Problem.t) =
         | Solution.Infeasible ->
           (* master infeasible: the cuts prove there is no better point *)
           finished := true
-        | Solution.Unbounded | Solution.Limit -> finished := true
+        | Solution.Unbounded -> finished := true
+        | Solution.Feasible r ->
+          stop_reason := Some (`Internal r);
+          finished := true
+        | Solution.Budget_exhausted r ->
+          stop_reason := Some (`Budget r);
+          finished := true
         | Solution.Optimal ->
           lower_bound := Float.max !lower_bound (key ms.Solution.obj);
           if
@@ -105,7 +126,7 @@ let solve ?(options = default_options) (p0 : Problem.t) =
                 | Problem.Continuous -> ())
               p.kinds;
             stats := { !stats with Solution.nlp_solves = !stats.Solution.nlp_solves + 1 };
-            let r = Relax.solve_nlp p ~lo ~hi ~start:ms.Solution.x in
+            let r = Relax.solve_nlp ?budget ?tally p ~lo ~hi ~start:ms.Solution.x in
             if r.Relax.feasible then begin
               if key r.Relax.obj < !incumbent_key then begin
                 incumbent_key := key r.Relax.obj;
@@ -136,10 +157,24 @@ let solve ?(options = default_options) (p0 : Problem.t) =
               !incumbent_key -. !lower_bound
               <= options.rel_gap *. Float.max 1. (Float.abs !incumbent_key)
             then Solution.Optimal
-            else Solution.Limit
+            else
+              match !stop_reason with
+              | Some (`Budget r) -> Solution.Budget_exhausted r
+              | Some (`Internal r) -> Solution.Feasible r
+              | None -> Solution.Feasible Solution.Round_limit
           in
           truncate { Solution.status; x; obj; bound = !lower_bound; stats = !stats }
-        | None -> infeasible_solution !stats
+        | None -> (
+          match !stop_reason with
+          | Some (`Budget r | `Internal r) ->
+            {
+              Solution.status = Solution.Budget_exhausted r;
+              x = [||];
+              obj = nan;
+              bound = !lower_bound;
+              stats = !stats;
+            }
+          | None -> infeasible_solution !stats)
       in
       { solution; iterations = !iterations }
     end

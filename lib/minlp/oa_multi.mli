@@ -26,6 +26,14 @@ type info = {
   iterations : int;  (** alternations used *)
 }
 
-(** [solve ?options p] — returns the solution plus the iteration count.
-    [solution.stats] accumulates over all master solves. *)
-val solve : ?options:options -> Problem.t -> info
+(** [solve ?options ?budget ?tally p] — returns the solution plus the
+    iteration count. [solution.stats] accumulates over all master
+    solves. The armed [budget] is checked between alternations and
+    threaded into every master / NLP solve; on exhaustion the best
+    incumbent is returned with status [Budget_exhausted]. *)
+val solve :
+  ?options:options ->
+  ?budget:Engine.Budget.armed ->
+  ?tally:Engine.Telemetry.t ->
+  Problem.t ->
+  info

@@ -118,6 +118,13 @@ let normalize p =
     (p', p.num_vars)
   end
 
+let lift_point ~orig p' x0 =
+  let n = Array.length x0 in
+  if n = p'.num_vars then Some (Array.copy x0)
+  else if n = orig.num_vars && p'.num_vars = n + 1 then
+    Some (Array.append x0 [| Expr.eval orig.objective x0 |])
+  else None
+
 let linear_objective p =
   if not (Expr.is_linear p.objective) then
     invalid_arg "Problem.linear_objective: objective is nonlinear";

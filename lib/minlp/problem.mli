@@ -60,6 +60,13 @@ end
     are those of [p]. When the objective is already linear, [p' == p]. *)
 val normalize : t -> t * int
 
+(** [lift_point ~orig p' x0] — lift a point of [orig] into the variable
+    space of [p' = fst (normalize orig)]: appends the epigraph variable
+    (set to the objective value at [x0]) when one was added. [None] when
+    the dimensions match neither the original nor the normalized
+    problem. Used to carry warm-start points across [normalize]. *)
+val lift_point : orig:t -> t -> float array -> float array option
+
 (** [linear_objective p] — dense cost vector.
     @raise Invalid_argument when the objective is nonlinear (normalize
     first). *)

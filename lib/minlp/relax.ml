@@ -31,7 +31,7 @@ let to_nlp_constr (c : Problem.constr) =
    solver; use it both to detect infeasible nodes soundly and to seed
    the augmented-Lagrangian solver with a linearly-feasible start
    (midpoints of boxes with many coupled equalities stall it). *)
-let linear_start (p : Problem.t) ~lo ~hi ~start =
+let linear_start ?budget ?tally (p : Problem.t) ~lo ~hi ~start =
   let lin_rows, _ = Problem.split_constraints p in
   let violated =
     List.exists (fun row -> not (Lp.Lp_problem.constraint_satisfied ~tol:1e-7 row start)) lin_rows
@@ -43,13 +43,13 @@ let linear_start (p : Problem.t) ~lo ~hi ~start =
     for j = 0 to p.num_vars - 1 do
       lp := Lp.Lp_problem.set_bounds !lp j ~lo:lo.(j) ~hi:hi.(j)
     done;
-    match Lp.Simplex.solve !lp with
+    match Lp.Simplex.solve ?budget ?tally !lp with
     | { Lp.Simplex.status = Lp.Simplex.Optimal; x; _ } -> `Start x
     | { Lp.Simplex.status = Lp.Simplex.Infeasible; _ } -> `Infeasible
     | { Lp.Simplex.status = Lp.Simplex.Unbounded | Lp.Simplex.Iteration_limit; _ } -> `Start start
   end
 
-let solve_nlp ?(tol_feas = 1e-6) (p : Problem.t) ~lo ~hi ~start =
+let solve_nlp ?(tol_feas = 1e-6) ?budget ?tally (p : Problem.t) ~lo ~hi ~start =
   let sign = if p.minimize then 1. else -1. in
   let f x = sign *. Expr.eval p.objective x in
   let obj_grad = Expr.compile_gradient p.objective in
@@ -57,7 +57,7 @@ let solve_nlp ?(tol_feas = 1e-6) (p : Problem.t) ~lo ~hi ~start =
     let g = obj_grad x in
     if sign = 1. then g else Array.map (fun v -> -.v) g
   in
-  match linear_start p ~lo ~hi ~start with
+  match linear_start ?budget ?tally p ~lo ~hi ~start with
   | `Infeasible ->
     {
       x = Array.copy start;
@@ -72,7 +72,10 @@ let solve_nlp ?(tol_feas = 1e-6) (p : Problem.t) ~lo ~hi ~start =
         ~constraints:(List.map to_nlp_constr p.constraints)
         ()
     in
-    let attempt s = Nlp.Auglag.solve ~tol_feas nlp s in
+    let attempt s =
+      Engine.Telemetry.bump tally Engine.Telemetry.add_nlp_solves 1;
+      Nlp.Auglag.solve ~tol_feas ?budget ?tally nlp s
+    in
     let result_of (r : Nlp.Auglag.result) =
       {
         x = r.Nlp.Auglag.x;
@@ -92,7 +95,7 @@ let solve_nlp ?(tol_feas = 1e-6) (p : Problem.t) ~lo ~hi ~start =
       in
       List.fold_left
         (fun best s ->
-          if best.feasible then best
+          if best.feasible || Engine.Budget.stopped budget <> None then best
           else begin
             let r = result_of (attempt s) in
             if r.violation < best.violation || (r.feasible && not best.feasible) then r else best

@@ -14,9 +14,19 @@ type nlp_result = {
 
 (** [solve_nlp p ~lo ~hi ~start] — solve the continuous relaxation of
     [p] restricted to the box [lo, hi]. [start] (clamped) seeds the
-    solver; pass the parent node's solution for warm starts. *)
+    solver; pass the parent node's solution for warm starts. [budget]
+    and [tally] are threaded into the LP seeding and the
+    augmented-Lagrangian inner loops; each AugLag attempt counts one
+    [nlp_solves]. *)
 val solve_nlp :
-  ?tol_feas:float -> Problem.t -> lo:float array -> hi:float array -> start:float array -> nlp_result
+  ?tol_feas:float ->
+  ?budget:Engine.Budget.armed ->
+  ?tally:Engine.Telemetry.t ->
+  Problem.t ->
+  lo:float array ->
+  hi:float array ->
+  start:float array ->
+  nlp_result
 
 (** [midpoint lo hi] — a finite starting point inside the box
     (0 / clamped 0 when a side is infinite). *)

@@ -1,14 +1,42 @@
-type status = Optimal | Infeasible | Unbounded | Limit
+type reason = Node_limit | Iter_limit | Round_limit | Deadline | Cancelled
+
+type status =
+  | Optimal
+  | Feasible of reason
+  | Infeasible
+  | Unbounded
+  | Budget_exhausted of reason
+
 type stats = { nodes : int; lp_solves : int; nlp_solves : int; cuts : int }
 type t = { status : status; x : float array; obj : float; bound : float; stats : stats }
 
 let empty_stats = { nodes = 0; lp_solves = 0; nlp_solves = 0; cuts = 0 }
 
+let reason_to_string = function
+  | Node_limit -> "node-limit"
+  | Iter_limit -> "iter-limit"
+  | Round_limit -> "round-limit"
+  | Deadline -> "deadline"
+  | Cancelled -> "cancelled"
+
 let status_to_string = function
   | Optimal -> "optimal"
+  | Feasible r -> Printf.sprintf "feasible(%s)" (reason_to_string r)
   | Infeasible -> "infeasible"
   | Unbounded -> "unbounded"
-  | Limit -> "limit"
+  | Budget_exhausted r -> Printf.sprintf "budget-exhausted(%s)" (reason_to_string r)
+
+let has_incumbent s =
+  match s.status with
+  | Optimal | Feasible _ -> Array.length s.x > 0
+  | Budget_exhausted _ -> Array.length s.x > 0
+  | Infeasible | Unbounded -> false
+
+let reason_of_budget = function
+  | Engine.Budget.Deadline -> Deadline
+  | Engine.Budget.Node_limit -> Node_limit
+  | Engine.Budget.Iter_limit -> Iter_limit
+  | Engine.Budget.Cancelled -> Cancelled
 
 let pp fmt s =
   Format.fprintf fmt "@[<h>%s obj=%g bound=%g nodes=%d lp=%d nlp=%d cuts=%d@]"

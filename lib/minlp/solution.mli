@@ -1,11 +1,26 @@
 (** Solver result types shared by the MILP, NLP-based and LP/NLP-based
     branch-and-bound algorithms. *)
 
+(** Why a solver stopped before proving optimality. *)
+type reason =
+  | Node_limit  (** the solver's own node / outer-iteration cap *)
+  | Iter_limit  (** an LP pivot / NLP iteration cap *)
+  | Round_limit  (** OA alternation round cap *)
+  | Deadline  (** engine budget: wall-clock deadline elapsed *)
+  | Cancelled  (** engine budget: cancel token triggered *)
+
 type status =
   | Optimal  (** proven optimal within the gap tolerance *)
+  | Feasible of reason
+      (** a feasible incumbent is in [x], but the search stopped early
+          on a solver-internal limit, so optimality is unproven *)
   | Infeasible
   | Unbounded
-  | Limit  (** node or iteration budget exhausted; best incumbent in [x] *)
+  | Budget_exhausted of reason
+      (** the {!Engine.Budget} stopped the run — or it stopped early for
+          [reason] before any incumbent was found. [x] holds the best
+          incumbent found so far when there is one (check
+          {!has_incumbent}), and is empty otherwise *)
 
 type stats = {
   nodes : int;  (** branch-and-bound nodes processed *)
@@ -23,5 +38,15 @@ type t = {
 }
 
 val empty_stats : stats
+val reason_to_string : reason -> string
 val status_to_string : status -> string
+
+(** The solution carries a usable (feasible) point in [x]: status is
+    [Optimal], [Feasible _], or [Budget_exhausted _] with a non-empty
+    [x]. *)
+val has_incumbent : t -> bool
+
+(** Map an engine budget-stop reason into a status reason. *)
+val reason_of_budget : Engine.Budget.reason -> reason
+
 val pp : Format.formatter -> t -> unit

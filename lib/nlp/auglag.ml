@@ -8,7 +8,8 @@ type result = {
   converged : bool;
 }
 
-let solve ?(max_outer = 50) ?(tol_feas = 1e-7) ?(tol_opt = 1e-7) (p : Nlp_problem.t) x0 =
+let solve ?(max_outer = 50) ?(tol_feas = 1e-7) ?(tol_opt = 1e-7) ?budget ?tally
+    (p : Nlp_problem.t) x0 =
   let constraints = Array.of_list p.constraints in
   let m = Array.length constraints in
   let lambda = Array.make m 0. in
@@ -50,11 +51,13 @@ let solve ?(max_outer = 50) ?(tol_feas = 1e-7) ?(tol_opt = 1e-7) (p : Nlp_proble
     done;
     !acc
   in
-  while (not !converged) && !outer < max_outer do
+  while
+    (not !converged) && !outer < max_outer && Engine.Budget.stopped budget = None
+  do
     incr outer;
     let inner =
-      Bounded.minimize ~max_iter:3000 ~tol:(tol_opt /. 10.) ~grad:al_grad ~f:al_value ~lo:p.lo
-        ~hi:p.hi !x
+      Bounded.minimize ~max_iter:3000 ~tol:(tol_opt /. 10.) ?budget ?tally ~grad:al_grad
+        ~f:al_value ~lo:p.lo ~hi:p.hi !x
     in
     x := inner.Bounded.x;
     (* multiplier update *)

@@ -14,12 +14,17 @@ type result = {
   converged : bool;  (** violation and stationarity tolerances met *)
 }
 
-(** [solve ?max_outer ?tol_feas ?tol_opt p x0] — solve [p] starting from
-    [x0] (clamped into the box). *)
+(** [solve ?max_outer ?tol_feas ?tol_opt ?budget ?tally p x0] — solve
+    [p] starting from [x0] (clamped into the box). The armed [budget]
+    is checked between outer iterations and threaded into the inner
+    {!Bounded} solves; on exhaustion the current iterate is returned
+    with [converged = false]. *)
 val solve :
   ?max_outer:int ->
   ?tol_feas:float ->
   ?tol_opt:float ->
+  ?budget:Engine.Budget.armed ->
+  ?tally:Engine.Telemetry.t ->
   Nlp_problem.t ->
   Numerics.Vec.t ->
   result

@@ -4,7 +4,7 @@ type result = { x : Vec.t; f : float; iterations : int; converged : bool }
 
 let history_len = 10 (* non-monotone window (GLL) *)
 
-let minimize ?(max_iter = 1000) ?(tol = 1e-8) ?grad ~f ~lo ~hi x0 =
+let minimize ?(max_iter = 1000) ?(tol = 1e-8) ?budget ?tally ?grad ~f ~lo ~hi x0 =
   let n = Vec.dim x0 in
   if Vec.dim lo <> n || Vec.dim hi <> n then invalid_arg "Bounded.minimize: dimension mismatch";
   let gradient = match grad with Some g -> g | None -> Num_diff.gradient f in
@@ -20,8 +20,18 @@ let minimize ?(max_iter = 1000) ?(tol = 1e-8) ?grad ~f ~lo ~hi x0 =
   (* stationarity measure: || P(x - g) - x ||_inf *)
   let pg_norm () = Vec.norm_inf (Vec.sub (project (Vec.sub !x !g)) !x) in
   if pg_norm () <= tol then converged := true;
-  while (not !converged) && !iterations < max_iter do
+  (* Each SPG iteration runs a line search with up to 40 function
+     evaluations, so polling the budget once per iteration is cheap. *)
+  let out_of_budget () =
+    match budget with
+    | None -> false
+    | Some b ->
+      Engine.Budget.add_iters b 1;
+      Engine.Budget.check b <> None
+  in
+  while (not !converged) && !iterations < max_iter && not (out_of_budget ()) do
     incr iterations;
+    Engine.Telemetry.bump tally Engine.Telemetry.add_nlp_iterations 1;
     let d = Vec.sub (project (Vec.axpy (-. !alpha) !g !x)) !x in
     let gd = Vec.dot !g d in
     if Float.abs gd < 1e-300 || Vec.norm_inf d <= tol *. 1e-3 then converged := true
@@ -43,6 +53,7 @@ let minimize ?(max_iter = 1000) ?(tol = 1e-8) ?grad ~f ~lo ~hi x0 =
         end
         else lambda := !lambda /. 2.
       done;
+      Engine.Telemetry.bump tally Engine.Telemetry.add_line_search_steps !tries;
       if not !accepted then converged := true (* line search failed: accept stall *)
       else begin
         let g_new = gradient !x_new in

@@ -13,12 +13,19 @@ type result = {
   converged : bool;  (** projected-gradient norm below tolerance *)
 }
 
-(** [minimize ?max_iter ?tol ?grad ~f ~lo ~hi x0] minimizes [f] over the
-    box. [x0] is clamped into the box first. [tol] bounds the infinity
-    norm of the projected gradient step [P(x - g) - x]. *)
+(** [minimize ?max_iter ?tol ?budget ?tally ?grad ~f ~lo ~hi x0]
+    minimizes [f] over the box. [x0] is clamped into the box first.
+    [tol] bounds the infinity norm of the projected gradient step
+    [P(x - g) - x].
+
+    The armed [budget] is polled once per SPG iteration; on exhaustion
+    the best iterate so far is returned with [converged = false].
+    [tally] accumulates [nlp_iterations] and [line_search_steps]. *)
 val minimize :
   ?max_iter:int ->
   ?tol:float ->
+  ?budget:Engine.Budget.armed ->
+  ?tally:Engine.Telemetry.t ->
   ?grad:(Numerics.Vec.t -> Numerics.Vec.t) ->
   f:(Numerics.Vec.t -> float) ->
   lo:Numerics.Vec.t ->

@@ -120,6 +120,36 @@ let test_events_chronology () =
   let starts = List.map (fun e -> e.Sim.start) r.Sim.events in
   Alcotest.(check (list (float 1e-9))) "starts" [ 0.; 1.; 2. ] starts
 
+let test_duration_called_once_per_task () =
+  (* the documented contract: [duration] is called exactly once per
+     task, under every scheduling policy — stochastic costs must be
+     sampled once, like a real execution *)
+  let num_tasks = 13 in
+  let policies =
+    [
+      ("dynamic", Sim.Dynamic);
+      ("static", Sim.Static (Array.init num_tasks (fun t -> t mod 3)));
+      ("stealing", Sim.Stealing (Array.make num_tasks 0));
+    ]
+  in
+  List.iter
+    (fun (label, policy) ->
+      let calls = Array.make num_tasks 0 in
+      let duration ~task ~group:_ =
+        calls.(task) <- calls.(task) + 1;
+        1. +. (0.1 *. float_of_int task)
+      in
+      let p = Group.of_sizes [ 2; 1; 1 ] in
+      let r = Sim.run_phase p ~num_tasks ~duration policy in
+      Array.iteri
+        (fun t n ->
+          if n <> 1 then Alcotest.failf "%s: duration for task %d called %d times" label t n)
+        calls;
+      Alcotest.(check int)
+        (label ^ " executes every task") num_tasks
+        (List.length r.Sim.events))
+    policies
+
 (* ---------- Schedulers ---------- *)
 
 let test_round_robin () =
@@ -197,6 +227,7 @@ let () =
           Alcotest.test_case "empty phase" `Quick test_empty_phase;
           Alcotest.test_case "utilization" `Quick test_utilization;
           Alcotest.test_case "event chronology" `Quick test_events_chronology;
+          Alcotest.test_case "duration called once" `Quick test_duration_called_once_per_task;
         ] );
       ( "schedulers",
         [

@@ -80,6 +80,11 @@ let fitted_of_law ~name ~count law =
   let rng = Numerics.Rng.create 11 in
   List.hd (Hslb.Classes.gather_and_fit ~rng ~sizes:[ 1; 2; 4; 8; 16; 64 ] ~reps:1 [ cls ])
 
+let solve_ok ?solver ?objective ~n_total specs =
+  match Hslb.Alloc_model.solve ?solver ?objective ~n_total specs with
+  | Ok a -> a
+  | Error st -> Alcotest.failf "allocation failed: %s" (Minlp.Solution.status_to_string st)
+
 let two_class_specs () =
   (* class A three times the work of class B *)
   let a = fitted_of_law ~name:"heavy" ~count:1 (Scaling_law.make ~a:300. ~b:0. ~c:1. ~d:0.5) in
@@ -88,7 +93,7 @@ let two_class_specs () =
 
 let test_minmax_allocation_proportional () =
   let specs = two_class_specs () in
-  let alloc = Hslb.Alloc_model.solve ~n_total:40 specs in
+  let alloc = solve_ok ~n_total:40 specs in
   (* heavy class should get roughly 3x the nodes of light *)
   let nh = alloc.Hslb.Alloc_model.nodes_per_task.(0)
   and nl = alloc.Hslb.Alloc_model.nodes_per_task.(1) in
@@ -99,7 +104,7 @@ let test_minmax_allocation_proportional () =
 
 let test_minmax_vs_brute_force () =
   let specs = two_class_specs () in
-  let alloc = Hslb.Alloc_model.solve ~n_total:20 specs in
+  let alloc = solve_ok ~n_total:20 specs in
   (* brute force over all splits with the same fitted laws *)
   let specs_arr = Array.of_list specs in
   let time i n =
@@ -115,7 +120,7 @@ let test_minmax_vs_brute_force () =
 let test_counts_scale_budget () =
   (* a class with count=5 consumes 5x its per-task nodes *)
   let fc = fitted_of_law ~name:"c" ~count:5 (Scaling_law.make ~a:100. ~b:0. ~c:1. ~d:0.) in
-  let alloc = Hslb.Alloc_model.solve ~n_total:50 [ Hslb.Alloc_model.spec_of fc ] in
+  let alloc = solve_ok ~n_total:50 [ Hslb.Alloc_model.spec_of fc ] in
   Alcotest.(check int) "10 nodes each" 10 alloc.Hslb.Alloc_model.nodes_per_task.(0)
 
 let test_sweet_spots_respected () =
@@ -124,7 +129,7 @@ let test_sweet_spots_respected () =
       (fun s -> { s with Hslb.Alloc_model.allowed = Some [ 2; 4; 8; 16 ] })
       (two_class_specs ())
   in
-  let alloc = Hslb.Alloc_model.solve ~n_total:20 specs in
+  let alloc = solve_ok ~n_total:20 specs in
   Array.iter
     (fun n -> Alcotest.(check bool) "allowed value" true (List.mem n [ 2; 4; 8; 16 ]))
     alloc.Hslb.Alloc_model.nodes_per_task
@@ -134,7 +139,7 @@ let test_objectives_ranking () =
      is much worse, max-min slightly worse) *)
   let specs = two_class_specs () in
   let makespan objective =
-    let alloc = Hslb.Alloc_model.solve ~objective ~n_total:24 specs in
+    let alloc = solve_ok ~objective ~n_total:24 specs in
     alloc.Hslb.Alloc_model.predicted_makespan
   in
   let mm = makespan Hslb.Objective.Min_max in
@@ -144,7 +149,7 @@ let test_objectives_ranking () =
 
 let test_max_min_uses_all_nodes () =
   let specs = two_class_specs () in
-  let alloc = Hslb.Alloc_model.solve ~objective:Hslb.Objective.Max_min ~n_total:24 specs in
+  let alloc = solve_ok ~objective:Hslb.Objective.Max_min ~n_total:24 specs in
   let used =
     alloc.Hslb.Alloc_model.nodes_per_task.(0) + alloc.Hslb.Alloc_model.nodes_per_task.(1)
   in
@@ -152,10 +157,48 @@ let test_max_min_uses_all_nodes () =
 
 let test_solver_choice_agrees () =
   let specs = two_class_specs () in
-  let a = Hslb.Alloc_model.solve ~solver:`Oa ~n_total:30 specs in
-  let b = Hslb.Alloc_model.solve ~solver:`Bnb ~n_total:30 specs in
+  let a = solve_ok ~solver:Engine.Solver_choice.Oa ~n_total:30 specs in
+  let b = solve_ok ~solver:Engine.Solver_choice.Bnb ~n_total:30 specs in
   check_float ~eps:1e-3 "same makespan" a.Hslb.Alloc_model.predicted_makespan
     b.Hslb.Alloc_model.predicted_makespan
+
+(* restrict_to_values: builder-level edge cases for the sweet-spot
+   encoding *)
+let restrict_and_solve ?(minimize = true) ~lo ~hi values =
+  let b = Minlp.Problem.Builder.create ~minimize () in
+  let v = Minlp.Problem.Builder.add_var b ~name:"n" ~lo ~hi Minlp.Problem.Integer in
+  Minlp.Problem.Builder.set_objective b (Minlp.Expr.var v);
+  let pairs = Hslb.Alloc_model.restrict_to_values b ~var:v values in
+  let sol = Minlp.Oa.solve (Minlp.Problem.Builder.build b) in
+  (pairs, sol, v)
+
+let test_restrict_singleton () =
+  let pairs, sol, v = restrict_and_solve ~lo:1. ~hi:10. [ 5 ] in
+  Alcotest.(check (list int)) "one binary" [ 5 ] (List.map snd pairs);
+  Alcotest.(check bool) "optimal" true (sol.Minlp.Solution.status = Minlp.Solution.Optimal);
+  check_float "pinned to 5" 5. sol.Minlp.Solution.x.(v)
+
+let test_restrict_unsorted_duplicates () =
+  (* the value list is normalized: sorted increasing, duplicates fused *)
+  let pairs, sol, v = restrict_and_solve ~lo:1. ~hi:20. [ 8; 2; 8; 4; 2 ] in
+  Alcotest.(check (list int)) "sorted unique" [ 2; 4; 8 ] (List.map snd pairs);
+  check_float "min allowed" 2. sol.Minlp.Solution.x.(v)
+
+let test_restrict_out_of_range_value () =
+  (* 50 exceeds the variable's upper bound, so its binary can never be
+     selected; the solver must land on the in-range value *)
+  let pairs, sol, v = restrict_and_solve ~minimize:false ~lo:1. ~hi:10. [ 3; 50 ] in
+  Alcotest.(check (list int)) "both encoded" [ 3; 50 ] (List.map snd pairs);
+  Alcotest.(check bool) "optimal" true (sol.Minlp.Solution.status = Minlp.Solution.Optimal);
+  check_float "picks feasible 3" 3. sol.Minlp.Solution.x.(v)
+
+let test_restrict_spec_allowed_singleton () =
+  (* end-to-end: a singleton sweet-spot list forces the allocation *)
+  let fc = fitted_of_law ~name:"c" ~count:1 (Scaling_law.make ~a:100. ~b:0. ~c:1. ~d:0.) in
+  let alloc =
+    solve_ok ~n_total:32 [ { (Hslb.Alloc_model.spec_of fc) with allowed = Some [ 6 ] } ]
+  in
+  Alcotest.(check int) "forced to 6" 6 alloc.Hslb.Alloc_model.nodes_per_task.(0)
 
 let test_assignment_milp_small () =
   (* 4 tasks (3,3,2,2) on 2 identical groups -> makespan 5 *)
@@ -286,7 +329,7 @@ let test_model_store_file_roundtrip () =
   Alcotest.(check int) "one class" 1 (List.length back);
   (* solve from the restored specs *)
   let alloc =
-    Hslb.Alloc_model.solve ~n_total:10 (Hslb.Model_store.specs_of_csv (Hslb.Model_store.to_csv back))
+    solve_ok ~n_total:10 (Hslb.Model_store.specs_of_csv (Hslb.Model_store.to_csv back))
   in
   Alcotest.(check int) "5 nodes each" 5 alloc.Hslb.Alloc_model.nodes_per_task.(0)
 
@@ -351,7 +394,9 @@ let prop_allocation_within_budget =
         List.fold_left (fun acc s -> acc + s.Hslb.Alloc_model.fc.Hslb.Classes.cls.Hslb.Classes.count) 0 specs
         * (2 + Numerics.Rng.int rng 8)
       in
-      let alloc = Hslb.Alloc_model.solve ~n_total specs in
+      match Hslb.Alloc_model.solve ~n_total specs with
+      | Error _ -> false
+      | Ok alloc ->
       let used =
         List.fold_left
           (fun (acc, i) s ->
@@ -391,6 +436,11 @@ let () =
           Alcotest.test_case "objective ranking" `Quick test_objectives_ranking;
           Alcotest.test_case "max-min uses nodes" `Quick test_max_min_uses_all_nodes;
           Alcotest.test_case "oa = bnb" `Quick test_solver_choice_agrees;
+          Alcotest.test_case "restrict singleton" `Quick test_restrict_singleton;
+          Alcotest.test_case "restrict unsorted+dups" `Quick test_restrict_unsorted_duplicates;
+          Alcotest.test_case "restrict out-of-range" `Quick test_restrict_out_of_range_value;
+          Alcotest.test_case "allowed singleton end-to-end" `Quick
+            test_restrict_spec_allowed_singleton;
           Alcotest.test_case "assignment milp" `Quick test_assignment_milp_small;
           Alcotest.test_case "assignment fallback" `Quick test_assignment_milp_fallback_lpt;
         ] );
