@@ -182,6 +182,136 @@ let write_solver_reports path =
     (List.map one Engine.Solver_choice.all);
   Format.printf "solver run reports written to %s@." path
 
+(* ---------- portfolio / runtime benchmark (BENCH_portfolio.json) ---------- *)
+
+let wall f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let result_objective = function
+  | Ok a -> a.Hslb.Alloc_model.predicted_makespan
+  | Error _ -> nan
+
+let result_status = function
+  | Ok a -> Minlp.Solution.status_to_string a.Hslb.Alloc_model.status
+  | Error st -> Minlp.Solution.status_to_string st
+
+let json_num x = if Float.is_nan x then "null" else Printf.sprintf "%.6f" x
+
+(* Per-instance wall clock of every single-solver run vs the racing
+   portfolio, a cold-vs-hit cache measurement, and the quick registry at
+   jobs=1 vs parallel — the machine-readable evidence behind
+   docs/RUNTIME.md. *)
+let write_portfolio_bench path =
+  let base = Lazy.force fitted_specs in
+  let sweet allowed =
+    List.map (fun s -> { s with Hslb.Alloc_model.allowed = Some allowed }) base
+  in
+  let instances =
+    [
+      ("alloc4_plain_n64", base, 64);
+      ("alloc4_sweet_n64", sweet [ 1; 2; 4; 8; 16; 32 ], 64);
+      ("alloc4_plain_n256", base, 256);
+      ("alloc4_sweet_n256", sweet [ 1; 2; 4; 8; 16; 32; 64; 128 ], 256);
+    ]
+  in
+  let b = Buffer.create 8192 in
+  Buffer.add_string b "{\n  \"schema\": \"hslb-bench-portfolio-v1\",\n  \"instances\": [\n";
+  List.iteri
+    (fun i (name, specs, n_total) ->
+      if i > 0 then Buffer.add_string b ",\n";
+      let singles =
+        List.map
+          (fun choice ->
+            let r, w =
+              wall (fun () ->
+                  Hslb.Alloc_model.solve ~strategy:(`Single choice) ~n_total specs)
+            in
+            (Engine.Solver_choice.to_string choice, r, w))
+          Engine.Solver_choice.all
+      in
+      let race_report = ref None in
+      let pr, pw =
+        wall (fun () ->
+            Hslb.Alloc_model.solve ~strategy:`Portfolio ~race_report ~n_total specs)
+      in
+      let winner =
+        match !race_report with Some r -> r.Engine.Run_report.winner | None -> ""
+      in
+      let best_single_wall =
+        List.fold_left (fun acc (_, _, w) -> Float.min acc w) infinity singles
+      in
+      let best_single_obj =
+        List.fold_left
+          (fun acc (_, r, _) ->
+            let o = result_objective r in
+            if Float.is_nan o then acc else Float.min acc o)
+          infinity singles
+      in
+      let p_obj = result_objective pr in
+      let objective_match =
+        (not (Float.is_nan p_obj))
+        && Float.abs (p_obj -. best_single_obj) <= 1e-6 *. Float.max 1. best_single_obj
+      in
+      Buffer.add_string b
+        (Printf.sprintf "    {\"name\": %S, \"n_total\": %d,\n     \"singles\": [" name
+           n_total);
+      List.iteri
+        (fun j (solver, r, w) ->
+          if j > 0 then Buffer.add_string b ", ";
+          Buffer.add_string b
+            (Printf.sprintf "{\"solver\": %S, \"status\": %S, \"objective\": %s, \"wall_s\": %s}"
+               solver (result_status r) (json_num (result_objective r)) (json_num w)))
+        singles;
+      Buffer.add_string b
+        (Printf.sprintf
+           "],\n\
+           \     \"portfolio\": {\"winner\": %S, \"status\": %S, \"objective\": %s, \
+            \"wall_s\": %s},\n\
+           \     \"best_single_wall_s\": %s, \"objective_match\": %b}" winner
+           (result_status pr) (json_num p_obj) (json_num pw) (json_num best_single_wall)
+           objective_match))
+    instances;
+  Buffer.add_string b "\n  ],\n";
+  (* cache: same instance solved cold then memoized *)
+  let cache = Runtime.Cache.create () in
+  let cache_specs = sweet [ 1; 2; 4; 8; 16; 32 ] in
+  let _, cold = wall (fun () -> Hslb.Alloc_model.solve ~cache ~n_total:64 cache_specs) in
+  let _, hit = wall (fun () -> Hslb.Alloc_model.solve ~cache ~n_total:64 cache_specs) in
+  Buffer.add_string b
+    (Printf.sprintf
+       "  \"cache\": {\"instance\": \"alloc4_sweet_n64\", \"cold_wall_s\": %s, \
+        \"hit_wall_s\": %s, \"hits\": %d, \"misses\": %d},\n"
+       (json_num cold) (json_num hit) (Runtime.Cache.hits cache)
+       (Runtime.Cache.misses cache));
+  (* sharded experiment runner: quick registry, sequential vs pool.
+     The registry is CPU-bound, so the parallel leg can only win when
+     the host grants more than one core; record the core count so a
+     single-core "slowdown" is readable as core starvation, not as a
+     runner defect. *)
+  let null_fmt = Format.make_formatter (fun _ _ _ -> ()) (fun () -> ()) in
+  let cores = Domain.recommended_domain_count () in
+  let (), seq_w =
+    wall (fun () -> Experiments.Registry.run_all ~quick:true ~jobs:1 null_fmt)
+  in
+  let par_jobs = Stdlib.max 2 (Stdlib.min 4 (Runtime.Config.recommended ())) in
+  let (), par_w =
+    wall (fun () -> Experiments.Registry.run_all ~quick:true ~jobs:par_jobs null_fmt)
+  in
+  Buffer.add_string b
+    (Printf.sprintf
+       "  \"registry_quick\": {\"cores\": %d, \"sequential_wall_s\": %s, \
+        \"parallel_jobs\": %d, \"parallel_wall_s\": %s, \"speedup\": %s, \
+        \"core_starved\": %b}\n}\n"
+       cores (json_num seq_w) par_jobs (json_num par_w)
+       (json_num (seq_w /. par_w))
+       (cores < par_jobs));
+  let oc = open_out path in
+  output_string oc (Buffer.contents b);
+  close_out oc;
+  Format.printf "portfolio benchmark written to %s@." path
+
 let pretty_time ns =
   if ns < 1e3 then Printf.sprintf "%.1f ns" ns
   else if ns < 1e6 then Printf.sprintf "%.2f us" (ns /. 1e3)
@@ -221,7 +351,15 @@ let () =
   in
   let only = find_opt "--only" in
   let report = find_opt "--report" in
+  (match find_opt "--jobs" with
+  | Some n -> Runtime.Config.set_jobs (int_of_string n)
+  | None -> ());
   let fmt = Format.std_formatter in
+  (match find_opt "--portfolio" with
+  | Some path ->
+    write_portfolio_bench path;
+    exit 0
+  | None -> ());
   (match report with None -> () | Some path -> write_solver_reports path);
   (match only with
   | Some id -> (

@@ -101,6 +101,15 @@ let solver_conv =
   in
   Arg.conv (parse, Engine.Solver_choice.pp)
 
+let strategy_conv =
+  let parse s =
+    match Runtime.Portfolio.strategy_of_string s with
+    | Ok v -> Ok v
+    | Error msg -> Error (`Msg msg)
+  in
+  Arg.conv
+    (parse, fun fmt s -> Format.pp_print_string fmt (Runtime.Portfolio.strategy_to_string s))
+
 (* budget/report flags shared by the solve and minlp subcommands *)
 let deadline_ms_arg =
   Arg.(
@@ -150,20 +159,74 @@ let solve_cmd =
       & opt solver_conv Engine.Solver_choice.Oa
       & info [ "solver" ] ~doc:"oa (default) | bnb | oa-multi.")
   in
-  let run file nodes objective solver deadline_ms max_nodes report =
+  let strategy =
+    Arg.(
+      value
+      & opt strategy_conv `Auto
+      & info [ "strategy" ]
+          ~doc:
+            "auto (default: honour --solver) | portfolio (race all solvers on parallel \
+             domains) | a solver name to force it.")
+  in
+  let repeat =
+    Arg.(
+      value
+      & opt int 1
+      & info [ "repeat" ] ~docv:"N"
+          ~doc:
+            "Solve the same instance N times through a shared solve cache (a \
+             service-traffic demo: the first solve is computed, later ones are memoized \
+             when the result is proven optimal).")
+  in
+  let run file nodes objective solver strategy repeat deadline_ms max_nodes report =
     let specs =
       Hslb.Model_store.specs_of_csv
         (String.concat "\n" (read_csv_lines file))
     in
-    let budget = arm_budget deadline_ms max_nodes in
+    let repeat = Stdlib.max 1 repeat in
+    let cache = Runtime.Cache.create () in
+    let race_report = ref None in
     let tally = Engine.Telemetry.create () in
-    let result = Hslb.Alloc_model.solve ~solver ~objective ~budget ~tally ~n_total:nodes specs in
-    let wall_s = Engine.Budget.elapsed_s budget in
+    let last = ref None in
+    for i = 1 to repeat do
+      let budget = arm_budget deadline_ms max_nodes in
+      let hits0 = Runtime.Cache.hits cache in
+      let result =
+        Hslb.Alloc_model.solve ~strategy ~solver ~objective ~budget ~tally ~cache
+          ~race_report ~n_total:nodes specs
+      in
+      let wall_s = Engine.Budget.elapsed_s budget in
+      let cache_hit = Runtime.Cache.hits cache > hits0 in
+      if repeat > 1 then
+        Format.printf "solve %d/%d: %.2f ms%s@." i repeat (wall_s *. 1000.)
+          (if cache_hit then " (cache hit)" else "");
+      last := Some (result, wall_s, cache_hit)
+    done;
+    let result, wall_s, cache_hit =
+      match !last with Some v -> v | None -> assert false
+    in
     let status =
       match result with
       | Ok alloc -> alloc.Hslb.Alloc_model.status
       | Error st -> st
     in
+    let solver_label =
+      match strategy with
+      | `Auto -> Engine.Solver_choice.to_string solver
+      | (`Portfolio | `Single _) as s -> Runtime.Portfolio.strategy_to_string s
+    in
+    (match !race_report with
+    | None -> ()
+    | Some race ->
+      Format.printf "portfolio race won by %s in %.2f ms@." race.Engine.Run_report.winner
+        (race.Engine.Run_report.race_wall_s *. 1000.);
+      List.iter
+        (fun (l : Engine.Run_report.lane) ->
+          Format.printf "  lane %-10s %-22s %8.2f ms  %d nodes, %d LPs@."
+            l.Engine.Run_report.lane_solver l.Engine.Run_report.lane_status
+            (l.Engine.Run_report.lane_wall_s *. 1000.)
+            l.Engine.Run_report.lane_nodes_expanded l.Engine.Run_report.lane_lp_solves)
+        race.Engine.Run_report.lanes);
     (match report with
     | None -> ()
     | Some path ->
@@ -173,10 +236,9 @@ let solve_cmd =
         | Error _ -> None
       in
       Engine.Run_report.write_json path
-        (Engine.Run_report.make
-           ~solver:(Engine.Solver_choice.to_string solver)
+        (Engine.Run_report.make ~solver:solver_label
            ~status:(Minlp.Solution.status_to_string status)
-           ?objective:objective_value ~wall_s tally);
+           ?objective:objective_value ~cache_hit ?race:!race_report ~wall_s tally);
       Format.printf "run report written to %s@." path);
     match result with
     | Ok alloc ->
@@ -201,8 +263,8 @@ let solve_cmd =
   Cmd.v
     (Cmd.info "solve" ~doc:"Solve the allocation MINLP for fitted task classes.")
     Term.(
-      const run $ file $ nodes $ objective $ solver $ deadline_ms_arg $ max_nodes_arg
-      $ report_arg)
+      const run $ file $ nodes $ objective $ solver $ strategy $ repeat $ deadline_ms_arg
+      $ max_nodes_arg $ report_arg)
 
 (* ---------- fmo ---------- *)
 
@@ -414,7 +476,18 @@ let experiment_cmd =
     Arg.(value & pos 0 (some string) None & info [] ~docv:"ID" ~doc:"Experiment id (e.g. E4).")
   in
   let quick = Arg.(value & flag & info [ "quick" ] ~doc:"Reduced problem sizes.") in
-  let run id quick =
+  let jobs =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:
+            "Worker domains for the experiment runner and for parallel cells inside \
+             experiments (default: $(b,HSLB_JOBS) from the environment, else 1 — \
+             sequential, byte-identical to the historical runner).")
+  in
+  let run id quick jobs =
+    (match jobs with Some j -> Runtime.Config.set_jobs j | None -> ());
     let fmt = Format.std_formatter in
     match id with
     | None -> Experiments.Registry.run_all ~quick fmt
@@ -427,7 +500,7 @@ let experiment_cmd =
   in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Regenerate one or all of the paper's tables/figures.")
-    Term.(const run $ id $ quick)
+    Term.(const run $ id $ quick $ jobs)
 
 let list_cmd =
   let run () =

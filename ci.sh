@@ -1,6 +1,11 @@
 #!/bin/sh
 # CI entry point: format check (when ocamlformat is available), then
-# build and run the full test suite.
+# build and run the full test suite twice — once fully sequential and
+# once with 4-way parallelism in the runtime layer — so the pool,
+# portfolio and cache code is exercised under both widths.
+#
+# lib/runtime/ compiles with -warn-error +a (see lib/runtime/dune), so
+# any new compiler warning there fails this build.
 set -eu
 
 cd "$(dirname "$0")"
@@ -15,7 +20,10 @@ fi
 echo "== dune build =="
 dune build
 
-echo "== dune runtest =="
-dune runtest
+echo "== dune runtest (HSLB_JOBS=1) =="
+HSLB_JOBS=1 dune runtest --force
+
+echo "== dune runtest (HSLB_JOBS=4) =="
+HSLB_JOBS=4 dune runtest --force
 
 echo "== ci OK =="

@@ -18,34 +18,50 @@ let make ?deadline_s ?max_nodes ?max_iters ?cancel () =
 
 let unlimited = make ()
 
+(* counters are atomic so one armed budget can be shared by portfolio
+   lanes running in separate domains: every lane charges the same node
+   and iteration pools, and a deadline covers the whole race *)
 type armed = {
   spec : t;
   start : float;
-  mutable nodes : int;
-  mutable iters : int;
+  counted_nodes : int Atomic.t;
+  counted_iters : int Atomic.t;
+  cancel : Cancel.t option;  (** effective token; see [with_extra_cancel] *)
 }
 
-let arm spec = { spec; start = Unix.gettimeofday (); nodes = 0; iters = 0 }
-let add_nodes a n = a.nodes <- a.nodes + n
-let add_iters a n = a.iters <- a.iters + n
-let nodes a = a.nodes
-let iters a = a.iters
+let arm spec =
+  {
+    spec;
+    start = Unix.gettimeofday ();
+    counted_nodes = Atomic.make 0;
+    counted_iters = Atomic.make 0;
+    cancel = spec.cancel;
+  }
+
+let with_extra_cancel a tok =
+  {
+    a with
+    cancel = Some (match a.cancel with None -> tok | Some c -> Cancel.link [ tok; c ]);
+  }
+
+let add_nodes a n = ignore (Atomic.fetch_and_add a.counted_nodes n)
+let add_iters a n = ignore (Atomic.fetch_and_add a.counted_iters n)
+let nodes a = Atomic.get a.counted_nodes
+let iters a = Atomic.get a.counted_iters
 let elapsed_s a = Unix.gettimeofday () -. a.start
 
 let check a =
-  let cancelled =
-    match a.spec.cancel with Some c -> Cancel.cancelled c | None -> false
-  in
+  let cancelled = match a.cancel with Some c -> Cancel.cancelled c | None -> false in
   if cancelled then Some Cancelled
   else
     match a.spec.deadline_s with
     | Some d when Unix.gettimeofday () -. a.start >= d -> Some Deadline
     | _ -> (
       match a.spec.max_nodes with
-      | Some n when a.nodes >= n -> Some Node_limit
+      | Some n when Atomic.get a.counted_nodes >= n -> Some Node_limit
       | _ -> (
         match a.spec.max_iters with
-        | Some n when a.iters >= n -> Some Iter_limit
+        | Some n when Atomic.get a.counted_iters >= n -> Some Iter_limit
         | _ -> None))
 
 let stopped = function None -> None | Some a -> check a

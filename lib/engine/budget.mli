@@ -31,8 +31,18 @@ val unlimited : t
 type armed
 
 (** Start the clock. Each [arm] is independent; arming the same spec
-    twice gives two independent runs. *)
+    twice gives two independent runs. Counters are atomic, so one armed
+    budget may be polled and charged from several domains at once. *)
 val arm : t -> armed
+
+(** [with_extra_cancel a tok] — a view of the same run: shared clock and
+    shared (atomic) counters, but additionally stopped once [tok] is
+    cancelled. Cancelling [tok] does not affect [a] itself or the
+    caller's own token. This is the portfolio-racing primitive: every
+    lane polls such a view, and the first final answer cancels the
+    rest through [tok] while deadlines and node/iteration pools stay
+    race-wide. *)
+val with_extra_cancel : armed -> Cancel.t -> armed
 
 val add_nodes : armed -> int -> unit
 val add_iters : armed -> int -> unit

@@ -1,5 +1,13 @@
-type t = { mutable flag : bool }
+(* The flag is atomic so a token can be triggered from one domain and
+   observed from another (the portfolio racer cancels losing lanes from
+   whichever domain finishes first). A linked token also reports
+   cancelled when any of its parents is, letting a race combine its own
+   first-winner token with a caller-supplied one without mutating
+   either. *)
 
-let create () = { flag = false }
-let cancel t = t.flag <- true
-let cancelled t = t.flag
+type t = { flag : bool Atomic.t; parents : t list }
+
+let create () = { flag = Atomic.make false; parents = [] }
+let cancel t = Atomic.set t.flag true
+let rec cancelled t = Atomic.get t.flag || List.exists cancelled t.parents
+let link parents = { flag = Atomic.make false; parents }

@@ -4,13 +4,23 @@
     signal handler, another domain, or a timeout watchdog) and the
     solver inner loops (which poll [cancelled] between pivots /
     iterations / nodes and unwind gracefully, returning the best
-    incumbent found so far). *)
+    incumbent found so far).
+
+    The flag is an atomic, so triggering from one domain is reliably
+    observed by solver loops polling in another. *)
 
 type t
 
 val create : unit -> t
 
-(** Request cancellation. Idempotent; never raises. *)
+(** Request cancellation. Idempotent; never raises. May be called from
+    any domain. *)
 val cancel : t -> unit
 
 val cancelled : t -> bool
+
+(** [link parents] — a fresh token that reports cancelled when it
+    itself or any of [parents] is cancelled. Cancelling the linked
+    token does not propagate to the parents. Used by the portfolio
+    racer to combine its first-winner token with the caller's. *)
+val link : t list -> t

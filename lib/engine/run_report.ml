@@ -1,3 +1,14 @@
+type lane = {
+  lane_solver : string;
+  lane_status : string;
+  lane_objective : float;
+  lane_wall_s : float;
+  lane_nodes_expanded : int;
+  lane_lp_solves : int;
+}
+
+type race = { winner : string; race_wall_s : float; lanes : lane list }
+
 type t = {
   solver : string;
   status : string;
@@ -14,17 +25,21 @@ type t = {
   oa_cuts : int;
   incumbent_updates : int;
   warm_start_used : bool;
+  cache_hit : bool;
+  race : race option;
   phases : (string * float) list;
 }
 
-let make ~solver ~status ?(objective = nan) ?(bound = nan) ~wall_s
-    (tally : Telemetry.t) =
+let make ~solver ~status ?(objective = nan) ?(bound = nan) ?(cache_hit = false)
+    ?race ~wall_s (tally : Telemetry.t) =
   {
     solver;
     status;
     objective;
     bound;
     wall_s;
+    cache_hit;
+    race;
     nodes_expanded = tally.Telemetry.nodes_expanded;
     nodes_pruned = tally.Telemetry.nodes_pruned;
     lp_solves = tally.Telemetry.lp_solves;
@@ -94,6 +109,27 @@ let to_json r =
   Buffer.add_string b
     (Printf.sprintf "\"warm_start_used\":%b" r.warm_start_used);
   sep ();
+  Buffer.add_string b (Printf.sprintf "\"cache_hit\":%b" r.cache_hit);
+  sep ();
+  (match r.race with
+  | None -> Buffer.add_string b "\"race\":null"
+  | Some race ->
+    Buffer.add_string b
+      (Printf.sprintf "\"race\":{\"winner\":\"%s\",\"race_wall_s\":%s,\"lanes\":["
+         (json_escape race.winner) (json_float race.race_wall_s));
+    List.iteri
+      (fun i l ->
+        if i > 0 then sep ();
+        Buffer.add_string b
+          (Printf.sprintf
+             "{\"solver\":\"%s\",\"status\":\"%s\",\"objective\":%s,\"wall_s\":%s,\
+              \"nodes_expanded\":%d,\"lp_solves\":%d}"
+             (json_escape l.lane_solver) (json_escape l.lane_status)
+             (json_float l.lane_objective) (json_float l.lane_wall_s)
+             l.lane_nodes_expanded l.lane_lp_solves))
+      race.lanes;
+    Buffer.add_string b "]}");
+  sep ();
   Buffer.add_string b "\"phases\":{";
   List.iteri
     (fun i (label, s) ->
@@ -109,14 +145,14 @@ let to_json_list rs = "[" ^ String.concat "," (List.map to_json rs) ^ "]"
 let csv_header =
   "solver,status,objective,bound,wall_s,nodes_expanded,nodes_pruned,lp_solves,\
    simplex_pivots,nlp_solves,nlp_iterations,line_search_steps,oa_cuts,\
-   incumbent_updates,warm_start_used"
+   incumbent_updates,warm_start_used,cache_hit"
 
 let to_csv_row r =
-  Printf.sprintf "%s,%s,%s,%s,%s,%d,%d,%d,%d,%d,%d,%d,%d,%d,%b" r.solver
+  Printf.sprintf "%s,%s,%s,%s,%s,%d,%d,%d,%d,%d,%d,%d,%d,%d,%b,%b" r.solver
     r.status (json_float r.objective) (json_float r.bound)
     (json_float r.wall_s) r.nodes_expanded r.nodes_pruned r.lp_solves
     r.simplex_pivots r.nlp_solves r.nlp_iterations r.line_search_steps
-    r.oa_cuts r.incumbent_updates r.warm_start_used
+    r.oa_cuts r.incumbent_updates r.warm_start_used r.cache_hit
 
 let pp fmt r =
   Format.fprintf fmt
@@ -126,7 +162,14 @@ let pp fmt r =
     r.solver r.status r.objective r.bound r.wall_s r.nodes_expanded
     r.nodes_pruned r.lp_solves r.simplex_pivots r.nlp_solves r.nlp_iterations
     r.line_search_steps r.oa_cuts r.incumbent_updates
-    (if r.warm_start_used then ", warm-started" else "")
+    (String.concat ""
+       [
+         (if r.warm_start_used then ", warm-started" else "");
+         (if r.cache_hit then ", cache hit" else "");
+         (match r.race with
+         | Some race -> Printf.sprintf ", race won by %s" race.winner
+         | None -> "");
+       ])
 
 let write_string path s =
   let oc = open_out path in

@@ -6,6 +6,22 @@
     bench harness emit so solver comparisons (E6 in docs/ALGORITHM.md)
     can be made from data rather than printf archaeology. *)
 
+(** One lane of a portfolio race: a solver strategy that ran in its own
+    domain against the shared budget. For losing lanes the counters show
+    the progress they had made when the winner cancelled them. *)
+type lane = {
+  lane_solver : string;
+  lane_status : string;
+  lane_objective : float;  (** lane incumbent; [nan] when none *)
+  lane_wall_s : float;  (** lane wall time from race start to unwind *)
+  lane_nodes_expanded : int;
+  lane_lp_solves : int;
+}
+
+(** Portfolio-race telemetry: who won, how long the race took, and each
+    lane's progress at the moment it stopped. *)
+type race = { winner : string; race_wall_s : float; lanes : lane list }
+
 type t = {
   solver : string;
   status : string;
@@ -22,6 +38,8 @@ type t = {
   oa_cuts : int;
   incumbent_updates : int;
   warm_start_used : bool;
+  cache_hit : bool;  (** the result came from the memoized solve cache *)
+  race : race option;  (** present when a portfolio race produced it *)
   phases : (string * float) list;  (** label, seconds *)
 }
 
@@ -30,6 +48,8 @@ val make :
   status:string ->
   ?objective:float ->
   ?bound:float ->
+  ?cache_hit:bool ->
+  ?race:race ->
   wall_s:float ->
   Telemetry.t ->
   t

@@ -13,14 +13,23 @@ let run ?(quick = false) fmt =
   let node_counts = if quick then [ 64; 256 ] else [ 64; 128; 256; 512; 1024; 2048 ] in
   let inputs = E8_cesm_table3.fit_components ~resolution:Layouts.Cesm_data.Deg1 ~n_max:2048 in
   let sim_rng = Workloads.rng 55 in
-  let rows =
-    List.map
+  (* two passes: the three deterministic layout solves per node budget
+     run on the worker pool, then the RNG-backed "actual" simulations
+     replay sequentially over the shared stream — the draw order (and so
+     the output) is identical at any HSLB_JOBS *)
+  let solved =
+    Runtime.Pool.map
       (fun n_total ->
         let config = Layouts.Layout_model.default_config ~n_total in
         let solve l = Layouts.Layout_model.solve l config inputs in
-        let a1 = solve Layouts.Layout_model.Hybrid in
-        let a2 = solve Layouts.Layout_model.Sequential_group in
-        let a3 = solve Layouts.Layout_model.Fully_sequential in
+        ( solve Layouts.Layout_model.Hybrid,
+          solve Layouts.Layout_model.Sequential_group,
+          solve Layouts.Layout_model.Fully_sequential ))
+      node_counts
+  in
+  let rows =
+    List.map2
+      (fun n_total (a1, a2, a3) ->
         (* layout-1 actual: simulate each component at its allocation *)
         let actual w =
           Layouts.Cesm_data.simulate_component ~rng:sim_rng Layouts.Cesm_data.Deg1 w
@@ -38,7 +47,7 @@ let run ?(quick = false) fmt =
             Table.fs a3.Layouts.Layout_model.total;
           ],
           (a1.Layouts.Layout_model.total, actual1) ))
-      node_counts
+      node_counts solved
   in
   Table.print fmt ~title:"E9: layout scaling (1 deg components)"
     ~header:[ "nodes"; "layout1 pred"; "layout1 actual"; "layout2 pred"; "layout3 pred" ]

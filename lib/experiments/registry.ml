@@ -42,11 +42,36 @@ let find id =
     | [ e ] -> e
     | [] | _ :: _ -> raise Not_found)
 
-let run_all ?quick fmt =
-  List.iter
-    (fun e ->
-      Format.fprintf fmt "@.########## %s — %s ##########@." e.id e.describes;
-      let t0 = Sys.time () in
-      e.run ?quick fmt;
-      Format.fprintf fmt "[%s finished in %.1f s]@." e.id (Sys.time () -. t0))
-    all
+let run_all ?quick ?jobs fmt =
+  let jobs = match jobs with Some j -> j | None -> Runtime.Config.jobs () in
+  if jobs <= 1 then
+    (* the sequential path is kept verbatim (Sys.time and all) so that
+       [--jobs 1] output stays byte-identical to the historical runner *)
+    List.iter
+      (fun e ->
+        Format.fprintf fmt "@.########## %s — %s ##########@." e.id e.describes;
+        let t0 = Sys.time () in
+        e.run ?quick fmt;
+        Format.fprintf fmt "[%s finished in %.1f s]@." e.id (Sys.time () -. t0))
+      all
+  else
+    (* shard experiments over a bounded pool; each renders into its own
+       buffer and the chunks are emitted in registry order, so output
+       stays deterministic while the work overlaps. Parallel runs report
+       per-experiment wall clock ([Sys.time] is process-wide CPU and
+       would be meaningless across domains). *)
+    let chunks =
+      Runtime.Pool.map ~jobs
+        (fun e ->
+          let buf = Buffer.create 4096 in
+          let bfmt = Format.formatter_of_buffer buf in
+          Format.fprintf bfmt "@.########## %s — %s ##########@." e.id e.describes;
+          let t0 = Unix.gettimeofday () in
+          e.run ?quick bfmt;
+          Format.fprintf bfmt "[%s finished in %.1f s]@." e.id (Unix.gettimeofday () -. t0);
+          Format.pp_print_flush bfmt ();
+          Buffer.contents buf)
+        all
+    in
+    List.iter (fun chunk -> Format.pp_print_string fmt chunk) chunks;
+    Format.pp_print_flush fmt ()

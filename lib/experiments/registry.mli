@@ -13,5 +13,11 @@ val all : t list
     ("E4"). @raise Not_found. *)
 val find : string -> t
 
-(** [run_all ?quick fmt] — regenerate everything in order. *)
-val run_all : ?quick:bool -> Format.formatter -> unit
+(** [run_all ?quick ?jobs fmt] — regenerate everything. [jobs]
+    (default {!Runtime.Config.jobs}, i.e. the [HSLB_JOBS] environment)
+    bounds the worker pool: at [1] the experiments run sequentially with
+    byte-identical output to the historical runner; above [1] they run
+    concurrently on domains, each rendering into a private buffer, and
+    the chunks are emitted in registry order (same experiments, same
+    order, wall-clock timings instead of CPU). *)
+val run_all : ?quick:bool -> ?jobs:int -> Format.formatter -> unit

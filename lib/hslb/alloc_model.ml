@@ -365,61 +365,181 @@ let min_sum_greedy ~n_total specs =
     }
   end
 
-let solve ?(solver = Engine.Solver_choice.Oa) ?(objective = Objective.Min_max) ?budget
-    ?tally ?warm_start ~n_total specs =
-  if specs = [] then invalid_arg "Alloc_model.solve: no classes";
-  match objective with
-  | Objective.Max_min -> Ok (max_min_solve ~n_total specs)
-  | Objective.Min_sum -> min_sum_greedy ~n_total specs
-  | Objective.Min_max ->
-    let problem, n_vars, lift = build_minlp ~objective ~n_total specs in
-    (* Warm start: the caller's nodes-per-class vector, or the greedy
-       min-sum allocation (it respects the budget row, the boxes and the
-       sweet-spot lists, so it lifts to a feasible point). Priming the
-       incumbent both prunes the tree and guarantees a usable answer
-       when the budget runs out. *)
-    let warm =
-      match warm_start with
-      | Some nodes -> Some (lift nodes)
-      | None -> (
-        match min_sum_greedy ~n_total specs with
-        | Ok a -> Some (lift a.nodes_per_task)
-        | Error _ | (exception Invalid_argument _) -> None)
+(* canonical, injective instance fingerprint: length-prefixed names,
+   round-tripping float formats, sorted-deduplicated allowed lists (the
+   model dedups them too). Equal fingerprints imply equal instances. *)
+let fingerprint ~objective ~n_total specs =
+  let b = Buffer.create 256 in
+  Buffer.add_string b
+    (Printf.sprintf "alloc-v1|%s|%d|%d" (Objective.to_string objective) n_total
+       (List.length specs));
+  List.iter
+    (fun spec ->
+      let law = spec.fc.Classes.fit.Fitting.law in
+      let name = spec.fc.Classes.cls.Classes.name in
+      Buffer.add_string b
+        (Printf.sprintf "|%d:%s,%d,%d,%d,%.17g,%.17g,%.17g,%.17g," (String.length name)
+           name spec.fc.Classes.cls.Classes.count spec.n_min spec.n_max law.Scaling_law.a
+           law.Scaling_law.b law.Scaling_law.c law.Scaling_law.d);
+      match spec.allowed with
+      | None -> Buffer.add_char b '*'
+      | Some values ->
+        List.iter
+          (fun v -> Buffer.add_string b (Printf.sprintf "a%d" v))
+          (List.sort_uniq compare values))
+    specs;
+  Buffer.contents b
+
+let decode_solution specs n_vars (sol : Minlp.Solution.t) =
+  match sol.Minlp.Solution.status with
+  | (Minlp.Solution.Optimal | Minlp.Solution.Feasible _ | Minlp.Solution.Budget_exhausted _)
+    when Array.length sol.Minlp.Solution.x > 0 ->
+    let nodes =
+      Array.map (fun v -> int_of_float (Float.round sol.Minlp.Solution.x.(v))) n_vars
     in
-    (* a 1e-4 relative gap is far below benchmark noise; demanding more
-       makes the tree crawl on near-flat fitted curves *)
-    let sol =
-      match solver with
-      | Engine.Solver_choice.Oa ->
-        Minlp.Oa.solve
-          ~options:{ Minlp.Oa.default_options with rel_gap = 1e-4 }
-          ?budget ?tally ?warm_start:warm problem
-      | Engine.Solver_choice.Bnb ->
-        Minlp.Bnb.solve
-          ~options:{ Minlp.Bnb.default_options with rel_gap = 1e-4 }
-          ?budget ?tally ?warm_start:warm problem
-      | Engine.Solver_choice.Oa_multi ->
-        (Minlp.Oa_multi.solve
-           ~options:{ Minlp.Oa_multi.default_options with rel_gap = 1e-4 }
-           ?budget ?tally problem)
-          .Minlp.Oa_multi.solution
+    let predicted_makespan, predicted_times = predicted_of specs nodes in
+    Ok
+      {
+        nodes_per_task = nodes;
+        predicted_makespan;
+        predicted_times;
+        status = sol.Minlp.Solution.status;
+        stats = sol.Minlp.Solution.stats;
+      }
+  | st -> Error st
+
+(* a 1e-4 relative gap is far below benchmark noise; demanding more
+   makes the tree crawl on near-flat fitted curves *)
+let run_minlp_solver solver ?budget ?tally ?warm problem =
+  match solver with
+  | Engine.Solver_choice.Oa ->
+    Minlp.Oa.solve
+      ~options:{ Minlp.Oa.default_options with rel_gap = 1e-4 }
+      ?budget ?tally ?warm_start:warm problem
+  | Engine.Solver_choice.Bnb ->
+    Minlp.Bnb.solve
+      ~options:{ Minlp.Bnb.default_options with rel_gap = 1e-4 }
+      ?budget ?tally ?warm_start:warm problem
+  | Engine.Solver_choice.Oa_multi ->
+    (Minlp.Oa_multi.solve
+       ~options:{ Minlp.Oa_multi.default_options with rel_gap = 1e-4 }
+       ?budget ?tally problem)
+      .Minlp.Oa_multi.solution
+
+(* race all three MINLP strategies on one shared budget; the first
+   Optimal cancels the rest, and on exhaustion the best incumbent across
+   lanes wins. Per-lane telemetry is folded into the caller's tally and
+   exposed through [race_report]. *)
+let portfolio_minlp ?budget ?tally ?race_report problem n_vars specs warm =
+  let lane choice =
+    ( Engine.Solver_choice.to_string choice,
+      fun shared_budget ->
+        let lane_tally = Engine.Telemetry.create () in
+        let warm = Option.map Array.copy warm in
+        let sol = run_minlp_solver choice ~budget:shared_budget ~tally:lane_tally ?warm problem in
+        (sol, lane_tally) )
+  in
+  let outcome =
+    Runtime.Portfolio.race ?budget
+      ~final:(fun ((sol : Minlp.Solution.t), _) ->
+        sol.Minlp.Solution.status = Minlp.Solution.Optimal)
+      ~better:(fun ((a : Minlp.Solution.t), _) ((b : Minlp.Solution.t), _) ->
+        match (Minlp.Solution.has_incumbent a, Minlp.Solution.has_incumbent b) with
+        | true, false -> true
+        | false, (true | false) -> false
+        | true, true -> a.Minlp.Solution.obj < b.Minlp.Solution.obj)
+      (List.map lane Engine.Solver_choice.all)
+  in
+  (* fold the whole race's work into the caller's tally: the shared
+     budget charged all lanes, so the counters should agree with it *)
+  (match tally with
+  | None -> ()
+  | Some t ->
+    List.iter
+      (fun (l : _ Runtime.Portfolio.lane) ->
+        match l.Runtime.Portfolio.outcome with
+        | Ok (_, lane_tally) -> Engine.Telemetry.merge_into t lane_tally
+        | Error _ -> ())
+      outcome.Runtime.Portfolio.lanes);
+  (match race_report with
+  | None -> ()
+  | Some r ->
+    let lanes =
+      List.map
+        (fun (l : _ Runtime.Portfolio.lane) ->
+          let status, objective, nodes, lps =
+            match l.Runtime.Portfolio.outcome with
+            | Ok ((sol : Minlp.Solution.t), (lt : Engine.Telemetry.t)) ->
+              ( Minlp.Solution.status_to_string sol.Minlp.Solution.status,
+                (if Minlp.Solution.has_incumbent sol then sol.Minlp.Solution.obj else nan),
+                lt.Engine.Telemetry.nodes_expanded,
+                lt.Engine.Telemetry.lp_solves )
+            | Error e -> (Printf.sprintf "raised: %s" (Printexc.to_string e), nan, 0, 0)
+          in
+          {
+            Engine.Run_report.lane_solver = l.Runtime.Portfolio.lane_name;
+            lane_status = status;
+            lane_objective = objective;
+            lane_wall_s = l.Runtime.Portfolio.lane_wall_s;
+            lane_nodes_expanded = nodes;
+            lane_lp_solves = lps;
+          })
+        outcome.Runtime.Portfolio.lanes
     in
-    (match sol.Minlp.Solution.status with
-    | (Minlp.Solution.Optimal | Minlp.Solution.Feasible _ | Minlp.Solution.Budget_exhausted _)
-      when Array.length sol.Minlp.Solution.x > 0 ->
-      let nodes =
-        Array.map (fun v -> int_of_float (Float.round sol.Minlp.Solution.x.(v))) n_vars
-      in
-      let predicted_makespan, predicted_times = predicted_of specs nodes in
-      Ok
+    r :=
+      Some
         {
-          nodes_per_task = nodes;
-          predicted_makespan;
-          predicted_times;
-          status = sol.Minlp.Solution.status;
-          stats = sol.Minlp.Solution.stats;
-        }
-    | st -> Error st)
+          Engine.Run_report.winner = outcome.Runtime.Portfolio.winner;
+          race_wall_s = outcome.Runtime.Portfolio.race_wall_s;
+          lanes;
+        });
+  decode_solution specs n_vars (fst outcome.Runtime.Portfolio.value)
+
+let solve ?(strategy = `Auto) ?(solver = Engine.Solver_choice.Oa)
+    ?(objective = Objective.Min_max) ?budget ?tally ?warm_start ?cache ?race_report
+    ~n_total specs =
+  if specs = [] then invalid_arg "Alloc_model.solve: no classes";
+  (match race_report with Some r -> r := None | None -> ());
+  let key = lazy (fingerprint ~objective ~n_total specs) in
+  let cached =
+    match cache with Some c -> Runtime.Cache.find c (Lazy.force key) | None -> None
+  in
+  match cached with
+  | Some alloc -> Ok alloc
+  | None ->
+    let result =
+      match objective with
+      | Objective.Max_min -> Ok (max_min_solve ~n_total specs)
+      | Objective.Min_sum -> min_sum_greedy ~n_total specs
+      | Objective.Min_max ->
+        let problem, n_vars, lift = build_minlp ~objective ~n_total specs in
+        (* Warm start: the caller's nodes-per-class vector, or the greedy
+           min-sum allocation (it respects the budget row, the boxes and the
+           sweet-spot lists, so it lifts to a feasible point). Priming the
+           incumbent both prunes the tree and guarantees a usable answer
+           when the budget runs out. *)
+        let warm =
+          match warm_start with
+          | Some nodes -> Some (lift nodes)
+          | None -> (
+            match min_sum_greedy ~n_total specs with
+            | Ok a -> Some (lift a.nodes_per_task)
+            | Error _ | (exception Invalid_argument _) -> None)
+        in
+        (match strategy with
+        | `Portfolio -> portfolio_minlp ?budget ?tally ?race_report problem n_vars specs warm
+        | `Auto | `Single _ ->
+          let solver = match strategy with `Single s -> s | `Auto | `Portfolio -> solver in
+          decode_solution specs n_vars
+            (run_minlp_solver solver ?budget ?tally ?warm problem))
+    in
+    (* memoize only proven optima: budget-exhausted incumbents depend on
+       wall-clock luck and must not be replayed as answers *)
+    (match (result, cache) with
+    | Ok alloc, Some c when alloc.status = Minlp.Solution.Optimal ->
+      Runtime.Cache.put c (Lazy.force key) alloc
+    | (Ok _ | Error _), _ -> ());
+    result
 
 let solve_exn ?solver ?objective ~n_total specs =
   match solve ?solver ?objective ~n_total specs with

@@ -60,22 +60,53 @@ val build_minlp :
   spec list ->
   Minlp.Problem.t * int array * (int array -> float array)
 
-(** [solve ?solver ?objective ?budget ?tally ?warm_start ~n_total specs]
-    — full solve + decode. Infeasibility (e.g. a node budget below one
-    group per task) is returned as [Error], not raised.
+(** [fingerprint ~objective ~n_total specs] — a canonical, injective
+    serialization of the allocation instance, suitable as a
+    {!Runtime.Cache} key. Class names are length-prefixed, law
+    coefficients are printed round-trippably ([%.17g]), and [allowed]
+    lists are sorted and deduplicated first (matching what the model
+    does), so equal fingerprints imply instances the solver cannot tell
+    apart. *)
+val fingerprint : objective:Objective.t -> n_total:int -> spec list -> string
+
+(** [solve ?strategy ?solver ?objective ?budget ?tally ?warm_start
+    ?cache ?race_report ~n_total specs] — full solve + decode.
+    Infeasibility (e.g. a node budget below one group per task) is
+    returned as [Error], not raised.
 
     For [Min_max], a greedy min-sum allocation is computed automatically
     and used to warm-start the solver unless [warm_start] (a
     nodes-per-class vector) is given. The armed [budget] makes the solve
     interruptible: on exhaustion with an incumbent the allocation is
     returned with status [Budget_exhausted _]; without one, [Error
-    (Budget_exhausted _)]. *)
+    (Budget_exhausted _)].
+
+    [strategy] (default [`Auto]) selects how the [Min_max] MINLP is
+    attacked. [`Auto] and [`Single s] run one solver ([`Auto] keeps the
+    deterministic [?solver] default). [`Portfolio] races all of
+    {!Engine.Solver_choice.all} in parallel domains over one shared
+    budget: the first proven-optimal lane cancels the rest, and on
+    budget exhaustion the best incumbent across lanes is returned. The
+    portfolio's objective value matches the best single-solver run, but
+    the winning {e point} may differ between timings — see
+    docs/RUNTIME.md. [Max_min]/[Min_sum] always use their exact
+    customized paths, whatever the strategy. When [race_report] is
+    supplied, [`Portfolio] stores per-lane telemetry in it (it is reset
+    to [None] by the non-racing paths).
+
+    [cache] memoizes solves across calls, keyed by {!fingerprint}. Only
+    proven-[Optimal] results are stored (budget-exhausted incumbents are
+    timing-dependent); a hit bypasses the solver entirely and returns
+    the allocation bit-for-bit. *)
 val solve :
+  ?strategy:Runtime.Portfolio.strategy ->
   ?solver:Engine.Solver_choice.t ->
   ?objective:Objective.t ->
   ?budget:Engine.Budget.armed ->
   ?tally:Engine.Telemetry.t ->
   ?warm_start:int array ->
+  ?cache:allocation Runtime.Cache.t ->
+  ?race_report:Engine.Run_report.race option ref ->
   n_total:int ->
   spec list ->
   (allocation, Minlp.Solution.status) result

@@ -11,24 +11,38 @@ let to_csv fits =
     fits;
   Buffer.contents b
 
-let of_csv text =
-  let lines =
-    List.filter
-      (fun l -> String.trim l <> "" && (String.trim l).[0] <> '#')
-      (String.split_on_char '\n' text)
+let parse_line ~lineno line =
+  let fail what =
+    Error (Printf.sprintf "Model_store.of_csv: line %d: %s: %s" lineno what line)
   in
-  List.map
-    (fun line ->
-      match List.map String.trim (String.split_on_char ',' line) with
-      | [ name; count; a; b; c; d ] ->
-        let law =
-          Scaling_law.make ~a:(float_of_string a) ~b:(float_of_string b)
-            ~c:(float_of_string c) ~d:(float_of_string d)
-        in
-        let cls =
-          Classes.make ~name ~count:(int_of_string count) (fun ~nodes ->
-              Scaling_law.eval_int law nodes)
-        in
+  let number what conv s =
+    match conv (String.trim s) with
+    | v -> Ok v
+    | exception Failure _ -> fail (Printf.sprintf "%s is not a number: %S" what s)
+  in
+  let ( let* ) = Result.bind in
+  match List.map String.trim (String.split_on_char ',' line) with
+  | [ name; count; a; b; c; d ] ->
+    let* count =
+      match int_of_string_opt count with
+      | Some n -> Ok n
+      | None -> fail (Printf.sprintf "count is not an integer: %S" count)
+    in
+    let* a = number "a" float_of_string a in
+    let* b = number "b" float_of_string b in
+    let* c = number "c" float_of_string c in
+    let* d = number "d" float_of_string d in
+    (match Scaling_law.make ~a ~b ~c ~d with
+    | law ->
+      let cls =
+        match
+          Classes.make ~name ~count (fun ~nodes -> Scaling_law.eval_int law nodes)
+        with
+        | cls -> Ok cls
+        | exception Invalid_argument m -> fail m
+      in
+      let* cls = cls in
+      Ok
         {
           Classes.cls;
           fit =
@@ -39,8 +53,27 @@ let of_csv text =
               observations = [| (1., Scaling_law.eval_int law 1) |];
             };
         }
-      | _ -> failwith ("Model_store.of_csv: malformed line: " ^ line))
-    lines
+    | exception Invalid_argument m -> fail m)
+  | fields ->
+    fail (Printf.sprintf "expected 6 comma-separated fields, got %d" (List.length fields))
+
+let of_csv_result text =
+  (* line numbers are 1-based over the raw text, comments and blanks
+     included, so they match what an editor shows *)
+  let rec go lineno acc = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest ->
+      let t = String.trim line in
+      if t = "" || t.[0] = '#' then go (lineno + 1) acc rest
+      else (
+        match parse_line ~lineno line with
+        | Ok fc -> go (lineno + 1) (fc :: acc) rest
+        | Error _ as e -> e)
+  in
+  go 1 [] (String.split_on_char '\n' text)
+
+let of_csv text =
+  match of_csv_result text with Ok fits -> fits | Error msg -> failwith msg
 
 let save path fits =
   let oc = open_out path in

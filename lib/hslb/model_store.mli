@@ -10,9 +10,16 @@
 (** [to_csv fits] — serialize fitted classes. *)
 val to_csv : Classes.fitted list -> string
 
-(** [of_csv text] — parse back. The reconstructed classes sample from
-    their own law (they carry no benchmark source); R² is reported as 1.
-    @raise Failure on malformed lines. *)
+(** [of_csv_result text] — parse back. The reconstructed classes sample
+    from their own law (they carry no benchmark source); R² is reported
+    as 1. A malformed line is reported as
+    ["Model_store.of_csv: line N: <what>: <line>"] with a 1-based line
+    number over the raw text (comments and blanks counted), so it
+    matches editor positions. *)
+val of_csv_result : string -> (Classes.fitted list, string) result
+
+(** Raising variant of {!of_csv_result}.
+    @raise Failure with the same message on malformed lines. *)
 val of_csv : string -> Classes.fitted list
 
 (** [save path fits] / [load path] — file variants. *)

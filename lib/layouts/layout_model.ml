@@ -110,30 +110,60 @@ let build layout config inputs =
     ignore (Hslb.Alloc_model.restrict_to_values b ~var:n_a vals));
   (Minlp.Problem.Builder.build b, (n_i, n_l, n_a, n_o))
 
-let solve ?budget ?tally layout config inputs =
+let run_solver choice ?budget ?tally problem =
+  match choice with
+  | Engine.Solver_choice.Oa ->
+    Minlp.Oa.solve
+      ~options:{ Minlp.Oa.default_options with rel_gap = 1e-4 }
+      ?budget ?tally problem
+  | Engine.Solver_choice.Bnb ->
+    Minlp.Bnb.solve
+      ~options:{ Minlp.Bnb.default_options with rel_gap = 1e-4 }
+      ?budget ?tally problem
+  | Engine.Solver_choice.Oa_multi ->
+    (Minlp.Oa_multi.solve
+       ~options:{ Minlp.Oa_multi.default_options with rel_gap = 1e-4 }
+       ?budget ?tally problem)
+      .Minlp.Oa_multi.solution
+
+let solve ?(strategy = `Auto) ?budget ?tally layout config inputs =
   let problem, (vi, vl, va, vo) = build layout config inputs in
-  let solver =
-    (* the nonconvex tsync constraint invalidates OA cuts; fall back to
-       the NLP-based tree (local relaxations) in that case *)
-    match (config.tsync, config.solver) with
-    | Some _, _ -> Engine.Solver_choice.Bnb
-    | None, s -> s
-  in
+  (* the nonconvex tsync constraint invalidates OA cuts; only the
+     NLP-based tree (local relaxations) is sound there, so tsync models
+     never race — there is exactly one applicable solver *)
   let sol =
-    match solver with
-    | Engine.Solver_choice.Oa ->
-      Minlp.Oa.solve
-        ~options:{ Minlp.Oa.default_options with rel_gap = 1e-4 }
-        ?budget ?tally problem
-    | Engine.Solver_choice.Bnb ->
-      Minlp.Bnb.solve
-        ~options:{ Minlp.Bnb.default_options with rel_gap = 1e-4 }
-        ?budget ?tally problem
-    | Engine.Solver_choice.Oa_multi ->
-      (Minlp.Oa_multi.solve
-         ~options:{ Minlp.Oa_multi.default_options with rel_gap = 1e-4 }
-         ?budget ?tally problem)
-        .Minlp.Oa_multi.solution
+    match (config.tsync, strategy) with
+    | Some _, _ -> run_solver Engine.Solver_choice.Bnb ?budget ?tally problem
+    | None, `Single s -> run_solver s ?budget ?tally problem
+    | None, `Auto -> run_solver config.solver ?budget ?tally problem
+    | None, `Portfolio ->
+      let lane choice =
+        ( Engine.Solver_choice.to_string choice,
+          fun shared ->
+            let lane_tally = Engine.Telemetry.create () in
+            (run_solver choice ~budget:shared ~tally:lane_tally problem, lane_tally) )
+      in
+      let outcome =
+        Runtime.Portfolio.race ?budget
+          ~final:(fun ((s : Minlp.Solution.t), _) ->
+            s.Minlp.Solution.status = Minlp.Solution.Optimal)
+          ~better:(fun ((a : Minlp.Solution.t), _) ((b : Minlp.Solution.t), _) ->
+            match (Minlp.Solution.has_incumbent a, Minlp.Solution.has_incumbent b) with
+            | true, false -> true
+            | false, (true | false) -> false
+            | true, true -> a.Minlp.Solution.obj < b.Minlp.Solution.obj)
+          (List.map lane Engine.Solver_choice.all)
+      in
+      (match tally with
+      | None -> ()
+      | Some t ->
+        List.iter
+          (fun (l : _ Runtime.Portfolio.lane) ->
+            match l.Runtime.Portfolio.outcome with
+            | Ok (_, lane_tally) -> Engine.Telemetry.merge_into t lane_tally
+            | Error _ -> ())
+          outcome.Runtime.Portfolio.lanes);
+      fst outcome.Runtime.Portfolio.value
   in
   match sol.Minlp.Solution.status with
   | (Minlp.Solution.Optimal | Minlp.Solution.Feasible _ | Minlp.Solution.Budget_exhausted _)

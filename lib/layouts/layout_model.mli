@@ -57,12 +57,19 @@ val layout_total : layout -> ice:float -> lnd:float -> atm:float -> ocn:float ->
     the variable indices of [(n_ice, n_lnd, n_atm, n_ocn)]. *)
 val build : layout -> config -> inputs -> Minlp.Problem.t * (int * int * int * int)
 
-(** [solve ?budget ?tally layout config inputs] — build, solve and
-    decode. The armed [budget] and [tally] are threaded into the MINLP
-    solver.
+(** [solve ?strategy ?budget ?tally layout config inputs] — build,
+    solve and decode. The armed [budget] and [tally] are threaded into
+    the MINLP solver.
+
+    [strategy] (default [`Auto], which honours [config.solver]) selects
+    the solver as in {!Hslb.Alloc_model.solve}: [`Portfolio] races all
+    of {!Engine.Solver_choice.all} in parallel domains on one shared
+    budget. Models with a [tsync] tolerance are nonconvex and always use
+    the NLP-based branch and bound alone, whatever the strategy.
     @raise Failure when infeasible or the budget ran out with no
     incumbent. *)
 val solve :
+  ?strategy:Runtime.Portfolio.strategy ->
   ?budget:Engine.Budget.armed ->
   ?tally:Engine.Telemetry.t ->
   layout ->

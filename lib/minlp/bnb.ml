@@ -163,14 +163,22 @@ let solve ?(options = default_options) ?budget ?tally ?warm_start (p0 : Problem.
   let stats =
     { Solution.nodes = !nodes_processed; lp_solves = 0; nlp_solves = !nlp_solves; cuts = 0 }
   in
+  (* a budget stop can land inside a node's NLP relaxation: the aborted
+     subproblem reads as infeasible, the node is dropped childless, and
+     the heap can drain to empty without the top-of-loop check ever
+     firing. An emptied heap therefore proves nothing once the budget
+     has stopped — re-check it before classifying the result. *)
+  (if !stopped = None then
+     match Engine.Budget.stopped budget with
+     | Some r -> stopped := Some (`Budget (Solution.reason_of_budget r))
+     | None -> ());
   match !incumbent with
   | Some (x, obj) ->
     let status =
       match !stopped with
-      | Some _ when Ds.Heap.is_empty open_nodes -> Solution.Optimal
-      | Some (`Internal r) -> Solution.Feasible r
       | Some (`Budget r) -> Solution.Budget_exhausted r
-      | None -> Solution.Optimal
+      | Some (`Internal r) when not (Ds.Heap.is_empty open_nodes) -> Solution.Feasible r
+      | Some (`Internal _) | None -> Solution.Optimal
     in
     { Solution.status; x = Array.sub x 0 orig_dim; obj; bound; stats }
   | None ->

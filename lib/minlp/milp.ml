@@ -309,17 +309,26 @@ let solve ?(options = default_options) ?(extra_rows = []) ?on_integral ?budget ?
   in
   if !unbounded then
     { Solution.status = Solution.Unbounded; x = [||]; obj = nan; bound = neg_infinity; stats }
-  else
+  else begin
+    (* a budget stop can land inside a node's LP: the aborted simplex
+       reads as an iteration limit, the node's subtree is abandoned, and
+       the heap can drain to empty without the top-of-loop check ever
+       firing. An emptied heap therefore proves nothing once the budget
+       has stopped — re-check it before classifying the result. *)
+    (if !stopped = None then
+       match Engine.Budget.stopped budget with
+       | Some r -> stopped := Some (`Budget (Solution.reason_of_budget r))
+       | None -> ());
     match !incumbent with
     | Some (x, obj) ->
-      (* an early stop with an empty heap means the search in fact
-         finished: the incumbent is optimal *)
+      (* an early internal stop with an empty heap means the search in
+         fact finished: the incumbent is optimal (internal caps only
+         fire between whole nodes, so nothing was abandoned silently) *)
       let status =
         match !stopped with
-        | Some _ when Ds.Heap.is_empty open_nodes -> Solution.Optimal
-        | Some (`Internal r) -> Solution.Feasible r
         | Some (`Budget r) -> Solution.Budget_exhausted r
-        | None -> Solution.Optimal
+        | Some (`Internal r) when not (Ds.Heap.is_empty open_nodes) -> Solution.Feasible r
+        | Some (`Internal _) | None -> Solution.Optimal
       in
       { Solution.status; x; obj; bound; stats }
     | None ->
@@ -329,3 +338,4 @@ let solve ?(options = default_options) ?(extra_rows = []) ?on_integral ?budget ?
         | None -> Solution.Infeasible
       in
       { Solution.status; x = [||]; obj = nan; bound; stats }
+  end

@@ -1,0 +1,18 @@
+let env_var = "HSLB_JOBS"
+
+let parse s =
+  match int_of_string_opt (String.trim s) with
+  | Some n when n >= 1 -> Some n
+  | Some _ | None -> None
+
+let from_env () =
+  match Sys.getenv_opt env_var with
+  | Some s -> ( match parse s with Some n -> n | None -> 1)
+  | None -> 1
+
+(* atomic: the CLI sets it once at startup, but pool workers in other
+   domains read it when sizing nested fan-outs *)
+let current = Atomic.make (from_env ())
+let jobs () = Atomic.get current
+let set_jobs n = Atomic.set current (Stdlib.max 1 n)
+let recommended () = Stdlib.max 1 (Domain.recommended_domain_count () - 1)

@@ -1,0 +1,21 @@
+(** Global parallelism setting for the runtime subsystem.
+
+    Every pool and racer defaults its width to [jobs ()]. The value is
+    initialised from the [HSLB_JOBS] environment variable (so CI can run
+    the whole suite under different widths without touching flags) and
+    may be overridden by the [--jobs] command-line flags. [1] — the
+    default — means fully sequential, deterministic execution on the
+    calling domain. *)
+
+(** ["HSLB_JOBS"]. Invalid or missing values mean 1. *)
+val env_var : string
+
+(** Current width, [>= 1]. *)
+val jobs : unit -> int
+
+(** Override the width; values below 1 clamp to 1. *)
+val set_jobs : int -> unit
+
+(** A sensible width for this machine: the domain count the OCaml
+    runtime recommends, minus one for the caller's domain. *)
+val recommended : unit -> int

@@ -1,0 +1,41 @@
+(* Bounded domain pool with deterministic result ordering.
+
+   Tasks are indexed; workers (the calling domain plus up to [jobs - 1]
+   spawned ones) claim the next index from a shared atomic counter and
+   write the outcome into that index's slot. Per-slot writes are each
+   done by exactly one domain and published to the caller by
+   [Domain.join], so no further synchronization is needed. Results come
+   back in task order regardless of completion order — the determinism
+   guarantee the experiment runner builds on. *)
+
+type 'a outcome = Value of 'a | Raised of exn
+
+let run_parallel ~jobs tasks =
+  let n = Array.length tasks in
+  let slots = Array.make n None in
+  let next = Atomic.make 0 in
+  let rec worker () =
+    let i = Atomic.fetch_and_add next 1 in
+    if i < n then begin
+      (slots.(i) <- (match tasks.(i) () with v -> Some (Value v) | exception e -> Some (Raised e)));
+      worker ()
+    end
+  in
+  let spawned = List.init (Stdlib.min jobs n - 1) (fun _ -> Domain.spawn worker) in
+  worker ();
+  List.iter Domain.join spawned;
+  (* fail deterministically: the lowest-index exception wins, whatever
+     order the domains actually hit theirs in *)
+  Array.iter (function Some (Raised e) -> raise e | Some (Value _) | None -> ()) slots;
+  Array.to_list
+    (Array.map (function Some (Value v) -> v | Some (Raised _) | None -> assert false) slots)
+
+let run ?jobs thunks =
+  let jobs = match jobs with Some j -> Stdlib.max 1 j | None -> Config.jobs () in
+  match thunks with
+  | [] -> []
+  | [ f ] -> [ f () ]
+  | thunks when jobs <= 1 -> List.map (fun f -> f ()) thunks
+  | thunks -> run_parallel ~jobs (Array.of_list thunks)
+
+let map ?jobs f xs = run ?jobs (List.map (fun x () -> f x) xs)

@@ -1,0 +1,23 @@
+(** Bounded work pool on OCaml 5 domains.
+
+    [run tasks] executes every thunk and returns their results {e in
+    task order}, whatever order they finished in. At [jobs = 1] (the
+    default unless [HSLB_JOBS] / [--jobs] say otherwise) everything runs
+    sequentially on the calling domain — byte-identical behavior to a
+    plain [List.map]. At [jobs > 1] the calling domain plus [jobs - 1]
+    spawned domains drain the task list through a shared counter.
+
+    Exceptions: in sequential mode the first raise propagates
+    immediately (remaining tasks do not run). In parallel mode every
+    task is attempted and the exception of the {e lowest-indexed}
+    failing task is re-raised after the pool drains, so failure is
+    deterministic too.
+
+    Nested use is permitted (an experiment running in the pool may
+    itself map over a pool); each call spawns its own bounded set of
+    domains. Keep [jobs] near the core count. *)
+
+val run : ?jobs:int -> (unit -> 'a) list -> 'a list
+
+(** [map ?jobs f xs] = [run ?jobs (List.map (fun x () -> f x) xs)]. *)
+val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list

@@ -1,0 +1,88 @@
+type strategy = [ `Auto | `Portfolio | `Single of Engine.Solver_choice.t ]
+
+let strategy_to_string = function
+  | `Auto -> "auto"
+  | `Portfolio -> "portfolio"
+  | `Single s -> Engine.Solver_choice.to_string s
+
+let strategy_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "auto" -> Ok `Auto
+  | "portfolio" | "race" -> Ok `Portfolio
+  | other -> (
+    match Engine.Solver_choice.of_string other with
+    | Ok c -> Ok (`Single c)
+    | Error _ ->
+      Error
+        (Printf.sprintf
+           "unknown strategy %S (expected auto, portfolio, or a solver name)" s))
+
+type 'a lane = {
+  lane_name : string;
+  outcome : ('a, exn) result;
+  is_final : bool;
+  lane_wall_s : float;
+}
+
+type 'a outcome = {
+  value : 'a;
+  winner : string;
+  winner_index : int;
+  race_wall_s : float;
+  lanes : 'a lane list;
+}
+
+let race ?budget ~final ~better entrants =
+  if entrants = [] then invalid_arg "Portfolio.race: no entrants";
+  let base =
+    match budget with Some b -> b | None -> Engine.Budget.arm Engine.Budget.unlimited
+  in
+  (* every lane polls the same budget view: shared clock and counter
+     pools, plus a race token the first final answer trips *)
+  let tok = Engine.Cancel.create () in
+  let shared = Engine.Budget.with_extra_cancel base tok in
+  let t0 = Unix.gettimeofday () in
+  let run_lane (lane_name, f) =
+    let outcome = try Ok (f shared) with e -> Error e in
+    let is_final = match outcome with Ok v -> final v | Error _ -> false in
+    if is_final then Engine.Cancel.cancel tok;
+    { lane_name; outcome; is_final; lane_wall_s = Unix.gettimeofday () -. t0 }
+  in
+  let lanes =
+    match entrants with
+    | [ only ] -> [ run_lane only ]
+    | first :: rest ->
+      (* the calling domain takes the first lane; losers unwind through
+         their budget polls once the token fires, so joins are prompt *)
+      let spawned = List.map (fun e -> Domain.spawn (fun () -> run_lane e)) rest in
+      let l0 = run_lane first in
+      l0 :: List.map Domain.join spawned
+    | [] -> assert false
+  in
+  let race_wall_s = Unix.gettimeofday () -. t0 in
+  (* winner: a final (proven) answer beats any incumbent; among finals
+     the lowest lane index wins (stable reporting); among incumbents
+     [better] decides, ties keeping the earlier lane *)
+  let best =
+    List.fold_left
+      (fun acc (i, l) ->
+        match l.outcome with
+        | Error _ -> acc
+        | Ok v -> (
+          match acc with
+          | None -> Some (i, l, v)
+          | Some (_, bl, bv) ->
+            if l.is_final && not bl.is_final then Some (i, l, v)
+            else if bl.is_final || not (better v bv) then acc
+            else Some (i, l, v)))
+      None
+      (List.mapi (fun i l -> (i, l)) lanes)
+  in
+  match best with
+  | Some (winner_index, l, value) ->
+    { value; winner = l.lane_name; winner_index; race_wall_s; lanes }
+  | None -> (
+    (* every lane raised: fail with the first lane's exception *)
+    match lanes with
+    | { outcome = Error e; _ } :: _ -> raise e
+    | _ -> assert false)

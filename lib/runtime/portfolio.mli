@@ -1,0 +1,62 @@
+(** Solver-portfolio racing on OCaml 5 domains.
+
+    Complementary strategies for the same instance run in parallel
+    lanes, all polling {e one} shared {!Engine.Budget} view: the wall
+    clock and the node/iteration pools are race-wide, and a private race
+    token lets the first lane that produces a {e final} (proven) answer
+    cancel the others through their normal budget polls. Losing lanes
+    unwind cooperatively and still report the incumbent they held, so a
+    race never does worse than its best lane.
+
+    Determinism: the race's {e objective value} is deterministic for
+    exact lanes (every final answer proves the same optimum), but which
+    lane wins — and therefore which optimal {e point} is returned — can
+    depend on timing. Callers that need bit-stable solution vectors
+    should use a single-solver strategy; see docs/RUNTIME.md. *)
+
+(** How a model-layer [solve] should pick its solver(s). [`Auto]
+    currently defers to the caller's single-solver default (it may grow
+    smarter); [`Portfolio] races the applicable strategies; [`Single s]
+    forces one. *)
+type strategy = [ `Auto | `Portfolio | `Single of Engine.Solver_choice.t ]
+
+val strategy_to_string : strategy -> string
+
+(** Accepts ["auto"], ["portfolio"] (alias ["race"]), or any
+    {!Engine.Solver_choice.of_string} name for [`Single]. *)
+val strategy_of_string : string -> (strategy, string) result
+
+type 'a lane = {
+  lane_name : string;
+  outcome : ('a, exn) result;
+  is_final : bool;  (** this lane produced a proven/final answer *)
+  lane_wall_s : float;  (** seconds from race start to lane unwind *)
+}
+
+type 'a outcome = {
+  value : 'a;  (** the winning lane's result *)
+  winner : string;
+  winner_index : int;  (** index into the entrant list *)
+  race_wall_s : float;
+  lanes : 'a lane list;  (** in entrant order, losers included *)
+}
+
+(** [race ?budget ~final ~better entrants] — run every [(name, run)]
+    entrant in its own domain (the caller's domain takes the first
+    lane). Each [run] receives the shared budget view and must treat it
+    as its only stopping authority. [final v] marks a proven answer —
+    the first one cancels the race. [better a b] means "[a] is a
+    strictly better incumbent than [b]" and picks the winner when no
+    lane finished final (budget exhaustion): best incumbent wins, ties
+    keep the earlier lane.
+
+    When [budget] is omitted an unlimited budget is armed, so the race
+    ends when the first lane proves its answer. If every lane raises,
+    the first lane's exception is re-raised.
+    @raise Invalid_argument on an empty entrant list. *)
+val race :
+  ?budget:Engine.Budget.armed ->
+  final:('a -> bool) ->
+  better:('a -> 'a -> bool) ->
+  (string * (Engine.Budget.armed -> 'a)) list ->
+  'a outcome

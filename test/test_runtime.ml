@@ -1,0 +1,543 @@
+(* Runtime subsystem tests: worker pool, solve cache + fingerprints,
+   portfolio racing, cross-domain cancellation, and the model-store
+   error-reporting satellite. *)
+
+let check_float ?(eps = 1e-6) msg expected actual =
+  if Float.abs (expected -. actual) > eps *. (1. +. Float.abs expected) then
+    Alcotest.failf "%s: expected %.10g, got %.10g" msg expected actual
+
+let contains_substring s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+(* ---------- Config ---------- *)
+
+let test_config_clamps () =
+  let before = Runtime.Config.jobs () in
+  Runtime.Config.set_jobs 0;
+  Alcotest.(check int) "clamped to 1" 1 (Runtime.Config.jobs ());
+  Runtime.Config.set_jobs 3;
+  Alcotest.(check int) "set" 3 (Runtime.Config.jobs ());
+  Runtime.Config.set_jobs before;
+  Alcotest.(check bool) "recommended positive" true (Runtime.Config.recommended () >= 1)
+
+(* ---------- Pool ---------- *)
+
+let test_pool_preserves_order () =
+  let items = List.init 20 Fun.id in
+  (* later items finish first, so completion order is the reverse of
+     submission order — results must still come back in input order *)
+  let f i =
+    Unix.sleepf (0.002 *. float_of_int (19 - i));
+    i * i
+  in
+  let seq = List.map f items in
+  Alcotest.(check (list int)) "jobs=1" seq (Runtime.Pool.map ~jobs:1 f items);
+  Alcotest.(check (list int)) "jobs=4" seq (Runtime.Pool.map ~jobs:4 f items);
+  Alcotest.(check (list int)) "more jobs than items" seq (Runtime.Pool.map ~jobs:64 f items);
+  Alcotest.(check (list int)) "empty" [] (Runtime.Pool.map ~jobs:4 f [])
+
+let test_pool_reraises_first_exception () =
+  let thunks =
+    [
+      (fun () -> 1);
+      (fun () -> failwith "boom-second");
+      (fun () -> failwith "boom-third");
+      (fun () -> 4);
+    ]
+  in
+  (match Runtime.Pool.run ~jobs:4 thunks with
+  | _ -> Alcotest.fail "expected an exception"
+  | exception Failure msg -> Alcotest.(check string) "lowest index wins" "boom-second" msg);
+  match Runtime.Pool.run ~jobs:1 thunks with
+  | _ -> Alcotest.fail "expected an exception (sequential)"
+  | exception Failure msg -> Alcotest.(check string) "sequential too" "boom-second" msg
+
+(* ---------- Cache ---------- *)
+
+let test_cache_lru_eviction () =
+  let c = Runtime.Cache.create ~capacity:3 () in
+  Runtime.Cache.put c "a" 1;
+  Runtime.Cache.put c "b" 2;
+  Runtime.Cache.put c "c" 3;
+  (* touch "a" so "b" is now least recently used *)
+  Alcotest.(check (option int)) "a cached" (Some 1) (Runtime.Cache.find c "a");
+  Runtime.Cache.put c "d" 4;
+  Alcotest.(check (option int)) "b evicted" None (Runtime.Cache.find c "b");
+  Alcotest.(check (option int)) "a survives" (Some 1) (Runtime.Cache.find c "a");
+  Alcotest.(check (option int)) "d present" (Some 4) (Runtime.Cache.find c "d");
+  Alcotest.(check int) "length at capacity" 3 (Runtime.Cache.length c);
+  Alcotest.(check (list string)) "recency order" [ "d"; "a"; "c" ]
+    (Runtime.Cache.keys_by_recency c);
+  Alcotest.(check int) "hits" 3 (Runtime.Cache.hits c);
+  Alcotest.(check int) "misses" 1 (Runtime.Cache.misses c);
+  Runtime.Cache.clear c;
+  Alcotest.(check int) "cleared" 0 (Runtime.Cache.length c);
+  Alcotest.(check int) "counters kept" 3 (Runtime.Cache.hits c);
+  match Runtime.Cache.create ~capacity:0 () with
+  | _ -> Alcotest.fail "capacity 0 accepted"
+  | exception Invalid_argument _ -> ()
+
+let test_cache_refresh_on_put () =
+  let c = Runtime.Cache.create ~capacity:2 () in
+  Runtime.Cache.put c "a" 1;
+  Runtime.Cache.put c "b" 2;
+  Runtime.Cache.put c "a" 10;
+  (* refreshing "a" made "b" the LRU entry *)
+  Runtime.Cache.put c "c" 3;
+  Alcotest.(check (option int)) "refreshed value" (Some 10) (Runtime.Cache.find c "a");
+  Alcotest.(check (option int)) "b evicted" None (Runtime.Cache.find c "b")
+
+(* ---------- shared fitted-class helpers ---------- *)
+
+let fitted_of_law ~name ~count law =
+  let cls =
+    Hslb.Classes.make ~name ~count (fun ~nodes -> Scaling_law.eval_int law nodes)
+  in
+  List.hd
+    (Hslb.Classes.gather_and_fit ~rng:(Numerics.Rng.create 11)
+       ~sizes:[ 1; 2; 4; 8; 16; 64; 256 ] ~reps:1 [ cls ])
+
+let e6_specs ?allowed ?(classes = 6) () =
+  List.init classes (fun i ->
+      let law =
+        Scaling_law.make
+          ~a:(150. +. (170. *. float_of_int i))
+          ~b:1e-6
+          ~c:(0.78 +. (0.035 *. float_of_int (i mod 6)))
+          ~d:(0.3 +. (0.4 *. float_of_int i))
+      in
+      let fc = fitted_of_law ~name:(Printf.sprintf "k%d" i) ~count:(1 + (i mod 3)) law in
+      match allowed with
+      | None -> Hslb.Alloc_model.spec_of fc
+      | Some vals -> Hslb.Alloc_model.spec_of ~allowed:vals fc)
+
+(* ---------- fingerprints ---------- *)
+
+let test_fingerprint_injective () =
+  let fp = Hslb.Alloc_model.fingerprint in
+  let specs = e6_specs ~classes:2 () in
+  let with_allowed vals =
+    List.map (fun s -> { s with Hslb.Alloc_model.allowed = Some vals }) specs
+  in
+  let base = fp ~objective:Hslb.Objective.Min_max ~n_total:64 specs in
+  Alcotest.(check bool) "objective distinguishes" true
+    (base <> fp ~objective:Hslb.Objective.Min_sum ~n_total:64 specs);
+  Alcotest.(check bool) "n_total distinguishes" true
+    (base <> fp ~objective:Hslb.Objective.Min_max ~n_total:65 specs);
+  Alcotest.(check bool) "allowed None vs Some" true
+    (base <> fp ~objective:Hslb.Objective.Min_max ~n_total:64 (with_allowed [ 1; 2; 4 ]));
+  Alcotest.(check bool) "allowed lists distinguish" true
+    (fp ~objective:Hslb.Objective.Min_max ~n_total:64 (with_allowed [ 1; 2; 4 ])
+    <> fp ~objective:Hslb.Objective.Min_max ~n_total:64 (with_allowed [ 1; 2 ]));
+  (* the model dedups and sorts allowed lists, so the key must too *)
+  Alcotest.(check string) "allowed order canonicalized"
+    (fp ~objective:Hslb.Objective.Min_max ~n_total:64 (with_allowed [ 4; 2; 1 ]))
+    (fp ~objective:Hslb.Objective.Min_max ~n_total:64 (with_allowed [ 1; 2; 4; 2 ]));
+  (* length-prefixed names: "ab"+"c" must not collide with "a"+"bc" *)
+  let law = Scaling_law.make ~a:100. ~b:1e-6 ~c:0.9 ~d:1. in
+  let named n = Hslb.Alloc_model.spec_of (fitted_of_law ~name:n ~count:1 law) in
+  Alcotest.(check bool) "name boundaries" true
+    (fp ~objective:Hslb.Objective.Min_max ~n_total:64 [ named "ab"; named "c" ]
+    <> fp ~objective:Hslb.Objective.Min_max ~n_total:64 [ named "a"; named "bc" ])
+
+(* ---------- memoized solves ---------- *)
+
+let test_cached_solve_identical () =
+  let specs = e6_specs ~allowed:[ 1; 2; 4; 8; 16; 32 ] () in
+  let n_total = 256 in
+  let cache = Runtime.Cache.create () in
+  let fresh =
+    match Hslb.Alloc_model.solve ~n_total specs with
+    | Ok a -> a
+    | Error st -> Alcotest.failf "fresh failed: %s" (Minlp.Solution.status_to_string st)
+  in
+  let first =
+    match Hslb.Alloc_model.solve ~cache ~n_total specs with
+    | Ok a -> a
+    | Error st -> Alcotest.failf "first failed: %s" (Minlp.Solution.status_to_string st)
+  in
+  let second =
+    match Hslb.Alloc_model.solve ~cache ~n_total specs with
+    | Ok a -> a
+    | Error st -> Alcotest.failf "second failed: %s" (Minlp.Solution.status_to_string st)
+  in
+  Alcotest.(check int) "one miss" 1 (Runtime.Cache.misses cache);
+  Alcotest.(check int) "one hit" 1 (Runtime.Cache.hits cache);
+  (* the hit replays the stored allocation itself *)
+  Alcotest.(check bool) "hit returns the stored record" true (first == second);
+  (* and that record is bit-for-bit what an uncached solve produces *)
+  Alcotest.(check (array int)) "same nodes" fresh.Hslb.Alloc_model.nodes_per_task
+    second.Hslb.Alloc_model.nodes_per_task;
+  Alcotest.(check bool) "same makespan bits" true
+    (Int64.equal
+       (Int64.bits_of_float fresh.Hslb.Alloc_model.predicted_makespan)
+       (Int64.bits_of_float second.Hslb.Alloc_model.predicted_makespan));
+  Alcotest.(check bool) "optimal cached" true
+    (second.Hslb.Alloc_model.status = Minlp.Solution.Optimal)
+
+let test_cache_skips_unproven () =
+  (* budget-exhausted incumbents are timing luck; they must not be
+     memoized as answers *)
+  let specs = e6_specs ~allowed:[ 1; 2; 4; 8; 16; 32; 64; 128 ] () in
+  let cache = Runtime.Cache.create () in
+  let budget = Engine.Budget.arm (Engine.Budget.make ~deadline_s:0.001 ()) in
+  (match Hslb.Alloc_model.solve ~cache ~budget ~n_total:512 specs with
+  | Ok a ->
+    Alcotest.(check bool) "exhausted as expected" true
+      (match a.Hslb.Alloc_model.status with
+      | Minlp.Solution.Budget_exhausted _ -> true
+      | _ -> false)
+  | Error _ -> ());
+  Alcotest.(check int) "nothing stored" 0 (Runtime.Cache.length cache)
+
+(* ---------- shared-budget racing primitives ---------- *)
+
+let test_with_extra_cancel () =
+  let tok = Engine.Cancel.create () in
+  let base = Engine.Budget.arm (Engine.Budget.make ~max_nodes:5 ()) in
+  let view = Engine.Budget.with_extra_cancel base tok in
+  Alcotest.(check bool) "view starts clean" true (Engine.Budget.check view = None);
+  (* counters are shared: charging the view charges the base *)
+  Engine.Budget.add_nodes view 5;
+  Alcotest.(check int) "shared node pool" 5 (Engine.Budget.nodes base);
+  Alcotest.(check bool) "base sees the limit" true
+    (Engine.Budget.check base = Some Engine.Budget.Node_limit);
+  (* the extra token stops the view but not the base *)
+  let tok2 = Engine.Cancel.create () in
+  let base2 = Engine.Budget.arm (Engine.Budget.make ()) in
+  let view2 = Engine.Budget.with_extra_cancel base2 tok2 in
+  Engine.Cancel.cancel tok2;
+  Alcotest.(check bool) "view cancelled" true
+    (Engine.Budget.check view2 = Some Engine.Budget.Cancelled);
+  Alcotest.(check bool) "base isolated" true (Engine.Budget.check base2 = None)
+
+let test_cancel_link () =
+  let parent = Engine.Cancel.create () in
+  let child = Engine.Cancel.link [ parent ] in
+  Alcotest.(check bool) "clean" false (Engine.Cancel.cancelled child);
+  Engine.Cancel.cancel parent;
+  Alcotest.(check bool) "parent propagates" true (Engine.Cancel.cancelled child);
+  let parent2 = Engine.Cancel.create () in
+  let child2 = Engine.Cancel.link [ parent2 ] in
+  Engine.Cancel.cancel child2;
+  Alcotest.(check bool) "child cancelled" true (Engine.Cancel.cancelled child2);
+  Alcotest.(check bool) "no upward propagation" false (Engine.Cancel.cancelled parent2)
+
+(* ---------- cross-domain cancellation ---------- *)
+
+let test_cross_domain_cancel () =
+  (* park an NLP-based B&B in a long run: a sweet-spotted 10-class
+     model, exactly the binary-heavy structure the NLP tree is known to
+     stall on (E6b excludes it for that reason) — far beyond what the
+     pre-cancel window can finish. Cancel from this domain and require a
+     prompt Budget_exhausted return with the warm-start incumbent
+     intact. *)
+  let specs = e6_specs ~classes:10 ~allowed:[ 1; 2; 4; 8; 16; 32; 64; 128; 256 ] () in
+  let n_total = 1280 in
+  let token = Engine.Cancel.create () in
+  (* the deadline is a safety net so a broken cancel path cannot hang
+     the suite; a passing run never reaches it *)
+  let budget = Engine.Budget.arm (Engine.Budget.make ~deadline_s:30. ~cancel:token ()) in
+  let worker =
+    Domain.spawn (fun () ->
+        Hslb.Alloc_model.solve ~solver:Engine.Solver_choice.Bnb ~budget ~n_total specs)
+  in
+  Unix.sleepf 0.06;
+  Engine.Cancel.cancel token;
+  let t_cancel = Unix.gettimeofday () in
+  let result = Domain.join worker in
+  let react_s = Unix.gettimeofday () -. t_cancel in
+  Alcotest.(check bool) "unwound promptly" true (react_s < 10.);
+  match result with
+  | Ok alloc ->
+    (match alloc.Hslb.Alloc_model.status with
+    | Minlp.Solution.Budget_exhausted Minlp.Solution.Cancelled -> ()
+    | Minlp.Solution.Optimal -> Alcotest.fail "solve finished before the cancel landed"
+    | st -> Alcotest.failf "unexpected status %s" (Minlp.Solution.status_to_string st));
+    (* the incumbent survives: a real allocation within the node budget *)
+    let used = ref 0 in
+    List.iteri
+      (fun i (s : Hslb.Alloc_model.spec) ->
+        let n = alloc.Hslb.Alloc_model.nodes_per_task.(i) in
+        Alcotest.(check bool) "at least one node" true (n >= 1);
+        used := !used + (n * s.Hslb.Alloc_model.fc.Hslb.Classes.cls.Hslb.Classes.count))
+      specs;
+    Alcotest.(check bool) "within node budget" true (!used <= n_total);
+    Alcotest.(check bool) "finite makespan" true
+      (Float.is_finite alloc.Hslb.Alloc_model.predicted_makespan)
+  | Error st ->
+    Alcotest.failf "incumbent lost: %s" (Minlp.Solution.status_to_string st)
+
+(* ---------- portfolio racing ---------- *)
+
+let test_strategy_strings () =
+  Alcotest.(check bool) "auto" true (Runtime.Portfolio.strategy_of_string "auto" = Ok `Auto);
+  Alcotest.(check bool) "portfolio" true
+    (Runtime.Portfolio.strategy_of_string "portfolio" = Ok `Portfolio);
+  Alcotest.(check bool) "race alias" true
+    (Runtime.Portfolio.strategy_of_string "race" = Ok `Portfolio);
+  Alcotest.(check bool) "solver name" true
+    (Runtime.Portfolio.strategy_of_string "bnb" = Ok (`Single Engine.Solver_choice.Bnb));
+  Alcotest.(check bool) "garbage" true
+    (match Runtime.Portfolio.strategy_of_string "quantum" with
+    | Error _ -> true
+    | Ok _ -> false);
+  List.iter
+    (fun s ->
+      match Runtime.Portfolio.strategy_of_string (Runtime.Portfolio.strategy_to_string s) with
+      | Ok s' -> Alcotest.(check bool) "roundtrip" true (s = s')
+      | Error e -> Alcotest.fail e)
+    [ `Auto; `Portfolio; `Single Engine.Solver_choice.Oa_multi ]
+
+let test_race_first_final_wins () =
+  (* a slow lane polls the shared budget; the fast lane's final answer
+     must cancel it long before its 10 s of sleeping is up *)
+  let slow budget =
+    let i = ref 0 in
+    while Engine.Budget.check budget = None && !i < 1000 do
+      incr i;
+      Unix.sleepf 0.01
+    done;
+    if !i >= 1000 then "slow-finished" else "slow-cancelled"
+  in
+  let fast _budget = "fast" in
+  let t0 = Unix.gettimeofday () in
+  let outcome =
+    Runtime.Portfolio.race
+      ~final:(fun v -> v = "fast")
+      ~better:(fun _ _ -> false)
+      [ ("slow", slow); ("fast", fast) ]
+  in
+  Alcotest.(check string) "final lane wins" "fast" outcome.Runtime.Portfolio.winner;
+  Alcotest.(check int) "winner index" 1 outcome.Runtime.Portfolio.winner_index;
+  Alcotest.(check bool) "race returned promptly" true (Unix.gettimeofday () -. t0 < 5.);
+  Alcotest.(check int) "both lanes reported" 2
+    (List.length outcome.Runtime.Portfolio.lanes);
+  match outcome.Runtime.Portfolio.lanes with
+  | [ l_slow; l_fast ] ->
+    Alcotest.(check bool) "slow lane unwound via the race token" true
+      (l_slow.Runtime.Portfolio.outcome = Ok "slow-cancelled");
+    Alcotest.(check bool) "fast lane final" true l_fast.Runtime.Portfolio.is_final
+  | _ -> Alcotest.fail "lane list shape"
+
+let test_race_best_incumbent_on_exhaustion () =
+  (* nobody final: the better incumbent wins, ties keep the earlier lane *)
+  let outcome =
+    Runtime.Portfolio.race
+      ~final:(fun _ -> false)
+      ~better:(fun a b -> a > b)
+      [ ("one", fun _ -> 1); ("three", fun _ -> 3); ("two", fun _ -> 2) ]
+  in
+  Alcotest.(check string) "best incumbent" "three" outcome.Runtime.Portfolio.winner;
+  Alcotest.(check int) "value" 3 outcome.Runtime.Portfolio.value;
+  (* a raising lane loses but its exception is preserved in the lanes *)
+  let outcome2 =
+    Runtime.Portfolio.race
+      ~final:(fun _ -> false)
+      ~better:(fun a b -> a > b)
+      [ ("bad", fun _ -> failwith "lane-raised"); ("ok", fun _ -> 7) ]
+  in
+  Alcotest.(check string) "survivor wins" "ok" outcome2.Runtime.Portfolio.winner;
+  (match (List.hd outcome2.Runtime.Portfolio.lanes).Runtime.Portfolio.outcome with
+  | Error (Failure m) -> Alcotest.(check string) "exn kept" "lane-raised" m
+  | _ -> Alcotest.fail "expected the first lane to carry its exception");
+  (* every lane raising re-raises the first lane's exception *)
+  match
+    Runtime.Portfolio.race
+      ~final:(fun _ -> false)
+      ~better:(fun _ _ -> false)
+      [ ("a", fun _ -> failwith "first"); ("b", fun _ -> failwith "second") ]
+  with
+  | (_ : int Runtime.Portfolio.outcome) -> Alcotest.fail "expected a re-raise"
+  | exception Failure m -> Alcotest.(check string) "first lane's exception" "first" m
+
+let test_portfolio_matches_best_single () =
+  (* acceptance criterion: on an E6-style workload the racing portfolio
+     returns the same objective as the best single-solver run *)
+  let specs = e6_specs ~allowed:[ 1; 2; 4; 8; 16; 32 ] () in
+  let n_total = 256 in
+  let single =
+    match
+      Hslb.Alloc_model.solve ~strategy:(`Single Engine.Solver_choice.Oa) ~n_total specs
+    with
+    | Ok a -> a
+    | Error st -> Alcotest.failf "single failed: %s" (Minlp.Solution.status_to_string st)
+  in
+  Alcotest.(check bool) "single optimal" true
+    (single.Hslb.Alloc_model.status = Minlp.Solution.Optimal);
+  let race_report = ref None in
+  let tally = Engine.Telemetry.create () in
+  let portfolio =
+    match Hslb.Alloc_model.solve ~strategy:`Portfolio ~tally ~race_report ~n_total specs with
+    | Ok a -> a
+    | Error st ->
+      Alcotest.failf "portfolio failed: %s" (Minlp.Solution.status_to_string st)
+  in
+  Alcotest.(check bool) "portfolio optimal" true
+    (portfolio.Hslb.Alloc_model.status = Minlp.Solution.Optimal);
+  check_float ~eps:1e-4 "same objective" single.Hslb.Alloc_model.predicted_makespan
+    portfolio.Hslb.Alloc_model.predicted_makespan;
+  Alcotest.(check bool) "race work tallied" true (tally.Engine.Telemetry.lp_solves > 0);
+  match !race_report with
+  | None -> Alcotest.fail "race report missing"
+  | Some race ->
+    Alcotest.(check int) "three lanes" 3 (List.length race.Engine.Run_report.lanes);
+    Alcotest.(check bool) "winner is a lane" true
+      (List.exists
+         (fun (l : Engine.Run_report.lane) ->
+           l.Engine.Run_report.lane_solver = race.Engine.Run_report.winner)
+         race.Engine.Run_report.lanes);
+    List.iter
+      (fun (l : Engine.Run_report.lane) ->
+        Alcotest.(check bool) "lane wall clock sane" true
+          (l.Engine.Run_report.lane_wall_s >= 0.
+          && l.Engine.Run_report.lane_wall_s <= race.Engine.Run_report.race_wall_s +. 1.))
+      race.Engine.Run_report.lanes
+
+let test_run_report_race_json () =
+  let t = Engine.Telemetry.create () in
+  let race =
+    {
+      Engine.Run_report.winner = "oa";
+      race_wall_s = 0.5;
+      lanes =
+        [
+          {
+            Engine.Run_report.lane_solver = "oa";
+            lane_status = "optimal";
+            lane_objective = 1.25;
+            lane_wall_s = 0.5;
+            lane_nodes_expanded = 3;
+            lane_lp_solves = 9;
+          };
+        ];
+    }
+  in
+  let r =
+    Engine.Run_report.make ~solver:"portfolio" ~status:"optimal" ~objective:1.25
+      ~cache_hit:true ~race ~wall_s:0.5 t
+  in
+  let json = Engine.Run_report.to_json r in
+  List.iter
+    (fun key ->
+      if not (contains_substring json key) then
+        Alcotest.failf "JSON missing %s in %s" key json)
+    [ "\"cache_hit\":true"; "\"race\":{"; "\"winner\":\"oa\""; "\"lanes\":["; "\"nodes_expanded\":3" ];
+  (* no race -> explicit null, and the csv row stays aligned *)
+  let plain = Engine.Run_report.make ~solver:"oa" ~status:"optimal" ~wall_s:0.1 t in
+  Alcotest.(check bool) "race null" true
+    (contains_substring (Engine.Run_report.to_json plain) "\"race\":null");
+  let header_cols = List.length (String.split_on_char ',' Engine.Run_report.csv_header) in
+  let row_cols = List.length (String.split_on_char ',' (Engine.Run_report.to_csv_row r)) in
+  Alcotest.(check int) "csv arity" header_cols row_cols
+
+(* ---------- layout portfolio ---------- *)
+
+let layout_inputs =
+  lazy
+    (let rng = Numerics.Rng.create 9 in
+     let classes = Layouts.Cesm_data.benchmark_classes ~rng Layouts.Cesm_data.Deg1 in
+     let fits =
+       Hslb.Classes.gather_and_fit ~rng
+         ~sizes:(Hslb.Fitting.recommended_sizes ~n_min:8 ~n_max:1024 ~points:5)
+         ~reps:1 classes
+     in
+     let comp name =
+       Layouts.Component.of_fit ~name
+         (List.find
+            (fun (fc : Hslb.Classes.fitted) -> fc.Hslb.Classes.cls.Hslb.Classes.name = name)
+            fits)
+           .Hslb.Classes.fit
+     in
+     {
+       Layouts.Layout_model.ice = comp "ice";
+       lnd = comp "lnd";
+       atm = comp "atm";
+       ocn = comp "ocn";
+     })
+
+let test_layout_portfolio_matches_single () =
+  let inputs = Lazy.force layout_inputs in
+  let config = Layouts.Layout_model.default_config ~n_total:128 in
+  let single = Layouts.Layout_model.solve Layouts.Layout_model.Hybrid config inputs in
+  let raced =
+    Layouts.Layout_model.solve ~strategy:`Portfolio Layouts.Layout_model.Hybrid config
+      inputs
+  in
+  check_float ~eps:1e-4 "same predicted total" single.Layouts.Layout_model.total
+    raced.Layouts.Layout_model.total
+
+(* ---------- model store diagnostics ---------- *)
+
+let test_model_store_line_numbers () =
+  let text = "# name,count,a,b,c,d\n\ngood,2,10,0.001,0.9,1.5\nbad,line\n" in
+  (match Hslb.Model_store.of_csv_result text with
+  | Ok _ -> Alcotest.fail "malformed csv accepted"
+  | Error msg ->
+    Alcotest.(check bool) "names the line" true (contains_substring msg "line 4");
+    Alcotest.(check bool) "quotes the content" true (contains_substring msg "bad,line");
+    Alcotest.(check bool) "counts the fields" true (contains_substring msg "got 2"));
+  (match Hslb.Model_store.of_csv_result "good,2,ten,0.001,0.9,1.5" with
+  | Ok _ -> Alcotest.fail "non-numeric accepted"
+  | Error msg ->
+    Alcotest.(check bool) "line 1" true (contains_substring msg "line 1");
+    Alcotest.(check bool) "blames the field" true (contains_substring msg "not a number"));
+  (* the raising wrapper carries the same message *)
+  (match Hslb.Model_store.of_csv "x,1,1,2,3" with
+  | _ -> Alcotest.fail "of_csv accepted malformed input"
+  | exception Failure msg ->
+    Alcotest.(check bool) "wrapper message" true (contains_substring msg "line 1"));
+  (* a clean file round-trips *)
+  match Hslb.Model_store.of_csv_result "frag,3,200,1e-06,0.92,2.5\n" with
+  | Error msg -> Alcotest.fail msg
+  | Ok [ fc ] ->
+    Alcotest.(check string) "name" "frag" fc.Hslb.Classes.cls.Hslb.Classes.name;
+    Alcotest.(check int) "count" 3 fc.Hslb.Classes.cls.Hslb.Classes.count;
+    check_float "a" 200. fc.Hslb.Classes.fit.Hslb.Fitting.law.Scaling_law.a;
+    (match Hslb.Model_store.of_csv_result (Hslb.Model_store.to_csv [ fc ]) with
+    | Ok [ fc' ] ->
+      check_float "roundtrip c" fc.Hslb.Classes.fit.Hslb.Fitting.law.Scaling_law.c
+        fc'.Hslb.Classes.fit.Hslb.Fitting.law.Scaling_law.c
+    | Ok _ | Error _ -> Alcotest.fail "roundtrip failed")
+  | Ok l -> Alcotest.failf "expected one class, got %d" (List.length l)
+
+let () =
+  Alcotest.run "runtime"
+    [
+      ("config", [ Alcotest.test_case "jobs clamp" `Quick test_config_clamps ]);
+      ( "pool",
+        [
+          Alcotest.test_case "preserves order" `Quick test_pool_preserves_order;
+          Alcotest.test_case "re-raises first exception" `Quick
+            test_pool_reraises_first_exception;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "lru eviction" `Quick test_cache_lru_eviction;
+          Alcotest.test_case "refresh on put" `Quick test_cache_refresh_on_put;
+          Alcotest.test_case "fingerprint injective" `Quick test_fingerprint_injective;
+          Alcotest.test_case "cached solve identical" `Quick test_cached_solve_identical;
+          Alcotest.test_case "unproven not stored" `Quick test_cache_skips_unproven;
+        ] );
+      ( "cancellation",
+        [
+          Alcotest.test_case "extra cancel view" `Quick test_with_extra_cancel;
+          Alcotest.test_case "linked tokens" `Quick test_cancel_link;
+          Alcotest.test_case "cross-domain cancel" `Quick test_cross_domain_cancel;
+        ] );
+      ( "portfolio",
+        [
+          Alcotest.test_case "strategy strings" `Quick test_strategy_strings;
+          Alcotest.test_case "first final cancels" `Quick test_race_first_final_wins;
+          Alcotest.test_case "best incumbent on exhaustion" `Quick
+            test_race_best_incumbent_on_exhaustion;
+          Alcotest.test_case "matches best single solver" `Quick
+            test_portfolio_matches_best_single;
+          Alcotest.test_case "race in run report" `Quick test_run_report_race_json;
+          Alcotest.test_case "layout race parity" `Quick test_layout_portfolio_matches_single;
+        ] );
+      ( "model store",
+        [ Alcotest.test_case "line-numbered errors" `Quick test_model_store_line_numbers ] );
+    ]
