@@ -13,7 +13,15 @@
    Pass [--report FILE] to additionally run each MINLP solver once on
    the E6-style sweet-spotted allocation model with full engine
    telemetry attached and write the structured run reports (JSON array
-   of Engine.Run_report) to FILE. *)
+   of Engine.Run_report) to FILE. Each report carries the solver's
+   certificate and the independent auditor's verdict on it.
+
+   Pass [--audit] to audit every solver's certificate on the E6-style
+   model and run a short seeded fault-injection stress sweep
+   ([--seed N], [--trials N] to override); any certificate rejection
+   or soundness violation makes the executable exit non-zero. Flag
+   spellings and semantics are shared with the hslb CLI via
+   [Cli_common]. *)
 
 open Bechamel
 open Toolkit
@@ -98,7 +106,7 @@ let minlp_kernel sos () =
     Hslb.Alloc_model.build_minlp ~objective:Hslb.Objective.Min_max ~n_total:64 specs
   in
   ignore
-    (Minlp.Oa.solve ~options:{ Minlp.Oa.default_options with branch_sos_first = sos } problem)
+    (Minlp.Oa.run ~options:{ Minlp.Oa.default_options with branch_sos_first = sos } problem)
 
 let gather_kernel () =
   (* E7: the gather step at 6 node counts *)
@@ -136,7 +144,10 @@ let layout_inputs =
 let layout_kernel layout () =
   (* E8/E9: one component-layout MINLP solve *)
   let config = Layouts.Layout_model.default_config ~n_total:128 in
-  ignore (Layouts.Layout_model.solve layout config (Lazy.force layout_inputs))
+  match Layouts.Layout_model.solve layout config (Lazy.force layout_inputs) with
+  | Ok _ -> ()
+  | Error st ->
+    failwith ("layout bench solve failed: " ^ Minlp.Solution.status_to_string st)
 
 let micro_tests =
   [
@@ -153,7 +164,7 @@ let micro_tests =
     ("E9/layout_sequential", layout_kernel Layouts.Layout_model.Fully_sequential);
   ]
 
-let write_solver_reports path =
+let e6_problem () =
   let specs =
     List.map
       (fun s -> { s with Hslb.Alloc_model.allowed = Some [ 1; 2; 4; 8; 16; 32 ] })
@@ -162,25 +173,63 @@ let write_solver_reports path =
   let problem, _, _ =
     Hslb.Alloc_model.build_minlp ~objective:Hslb.Objective.Min_max ~n_total:64 specs
   in
-  let one choice =
-    let tally = Engine.Telemetry.create () in
-    let budget = Engine.Budget.arm Engine.Budget.unlimited in
-    let sol =
-      match choice with
-      | Engine.Solver_choice.Oa -> Minlp.Oa.solve ~budget ~tally problem
-      | Engine.Solver_choice.Bnb -> Minlp.Bnb.solve ~budget ~tally problem
-      | Engine.Solver_choice.Oa_multi ->
-        (Minlp.Oa_multi.solve ~budget ~tally problem).Minlp.Oa_multi.solution
-    in
+  problem
+
+(* one E6-style run per solver, certified and independently audited;
+   returns the report plus the audit verdict so callers can both
+   serialize and gate on it *)
+let solver_report problem choice =
+  let tally = Engine.Telemetry.create () in
+  let budget = Engine.Budget.arm Engine.Budget.unlimited in
+  let sol =
+    match choice with
+    | Engine.Solver_choice.Oa -> Minlp.Oa.run ~budget ~tally problem
+    | Engine.Solver_choice.Bnb -> Minlp.Bnb.run ~budget ~tally problem
+    | Engine.Solver_choice.Oa_multi ->
+      (Minlp.Oa_multi.run ~budget ~tally problem).Minlp.Oa_multi.solution
+  in
+  let certificate =
+    Minlp.Solution.certify
+      ~producer:(Engine.Solver_choice.to_string choice)
+      ~budget ~minimize:problem.Minlp.Problem.minimize
+      ~pruned:tally.Engine.Telemetry.nodes_pruned sol
+  in
+  let verdict = Cli_common.audit_minlp problem (Some certificate) in
+  let report =
     Engine.Run_report.make
       ~solver:(Engine.Solver_choice.to_string choice)
       ~status:(Minlp.Solution.status_to_string sol.Minlp.Solution.status)
-      ~objective:sol.Minlp.Solution.obj ~bound:sol.Minlp.Solution.bound
+      ~objective:sol.Minlp.Solution.obj ~bound:sol.Minlp.Solution.bound ~certificate
+      ~audit:(Cli_common.audit_outcome_string verdict)
       ~wall_s:(Engine.Budget.elapsed_s budget) tally
   in
-  Engine.Run_report.write_json_list path
-    (List.map one Engine.Solver_choice.all);
+  (report, verdict)
+
+let write_solver_reports path =
+  let problem = e6_problem () in
+  let reports = List.map (fun c -> fst (solver_report problem c)) Engine.Solver_choice.all in
+  Engine.Run_report.write_json_list path reports;
   Format.printf "solver run reports written to %s@." path
+
+(* [--audit]: certify-and-check every solver on the E6 model, then a
+   seeded fault-injection sweep; false on any rejection *)
+let run_bench_audit ~seed ~trials =
+  let problem = e6_problem () in
+  let solver_ok =
+    List.fold_left
+      (fun acc choice ->
+        let report, verdict = solver_report problem choice in
+        Format.printf "%s [%s]: %s@." report.Engine.Run_report.solver
+          report.Engine.Run_report.status
+          (Cli_common.audit_outcome_string verdict);
+        acc && Result.is_ok verdict)
+      true Engine.Solver_choice.all
+  in
+  let outcome =
+    Audit.Stress.run ~log:(fun line -> Format.printf "  %s@." line) ~seed ~trials ()
+  in
+  Format.printf "%a@." Audit.Stress.pp outcome;
+  solver_ok && Audit.Stress.clean outcome
 
 (* ---------- portfolio / runtime benchmark (BENCH_portfolio.json) ---------- *)
 
@@ -339,27 +388,33 @@ let run_microbenches fmt =
 
 let () =
   let args = Array.to_list Sys.argv in
-  let quick = List.mem "--quick" args in
-  let no_bechamel = List.mem "--no-bechamel" args in
-  let find_opt key =
-    let rec find = function
-      | k :: v :: _ when k = key -> Some v
-      | _ :: rest -> find rest
-      | [] -> None
-    in
-    find args
-  in
-  let only = find_opt "--only" in
-  let report = find_opt "--report" in
-  (match find_opt "--jobs" with
+  let quick = Cli_common.Argv.flag args "quick" in
+  let no_bechamel = Cli_common.Argv.flag args "no-bechamel" in
+  let find_opt = Cli_common.Argv.find_opt args in
+  let only = find_opt "only" in
+  let report = Cli_common.Argv.report args in
+  (match find_opt "jobs" with
   | Some n -> Runtime.Config.set_jobs (int_of_string n)
   | None -> ());
   let fmt = Format.std_formatter in
-  (match find_opt "--portfolio" with
+  (match find_opt "portfolio" with
   | Some path ->
     write_portfolio_bench path;
     exit 0
   | None -> ());
+  if Cli_common.Argv.audit args then begin
+    let seed = Option.value ~default:42 (Option.map int_of_string (find_opt "seed")) in
+    let trials = Option.value ~default:50 (Option.map int_of_string (find_opt "trials")) in
+    let ok = run_bench_audit ~seed ~trials in
+    if ok then begin
+      Format.printf "bench audit: clean@.";
+      exit 0
+    end
+    else begin
+      Format.eprintf "bench audit: FAILED@.";
+      exit 1
+    end
+  end;
   (match report with None -> () | Some path -> write_solver_reports path);
   (match only with
   | Some id -> (

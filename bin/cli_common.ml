@@ -1,0 +1,128 @@
+(* Shared command-line plumbing for the hslb CLI and the benchmark
+   harness, so `--report`, `--strategy` and `--audit` parse (and mean)
+   exactly the same thing in `hslb solve`, `hslb minlp` and
+   `bench/main.exe`. *)
+
+open Cmdliner
+
+(* ---------- cmdliner converters ---------- *)
+
+let objective_conv =
+  let parse = function
+    | "min-max" -> Ok Hslb.Objective.Min_max
+    | "max-min" -> Ok Hslb.Objective.Max_min
+    | "min-sum" -> Ok Hslb.Objective.Min_sum
+    | s -> Error (`Msg ("unknown objective: " ^ s))
+  in
+  Arg.conv (parse, fun fmt o -> Format.pp_print_string fmt (Hslb.Objective.to_string o))
+
+let solver_conv =
+  let parse s =
+    match Engine.Solver_choice.of_string s with
+    | Ok v -> Ok v
+    | Error msg -> Error (`Msg msg)
+  in
+  Arg.conv (parse, Engine.Solver_choice.pp)
+
+let strategy_conv =
+  let parse s =
+    match Runtime.Portfolio.strategy_of_string s with
+    | Ok v -> Ok v
+    | Error msg -> Error (`Msg msg)
+  in
+  Arg.conv
+    (parse, fun fmt s -> Format.pp_print_string fmt (Runtime.Portfolio.strategy_to_string s))
+
+(* ---------- shared argument definitions ---------- *)
+
+let strategy_arg =
+  Arg.(
+    value
+    & opt strategy_conv `Auto
+    & info [ "strategy" ]
+        ~doc:
+          "auto (default: honour --solver) | portfolio (race all solvers on parallel \
+           domains) | a solver name to force it.")
+
+let deadline_ms_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "deadline-ms" ] ~docv:"MS"
+        ~doc:
+          "Wall-clock budget in milliseconds; on exhaustion the best incumbent found so far \
+           is reported with a budget-exhausted status.")
+
+let max_nodes_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-nodes" ] ~docv:"N" ~doc:"Budget on branch-and-bound nodes across the run.")
+
+let report_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "report" ] ~docv:"FILE"
+        ~doc:"Write a structured JSON run report (status, counters, phase timers) to FILE.")
+
+let audit_arg =
+  Arg.(
+    value
+    & flag
+    & info [ "audit" ]
+        ~doc:
+          "Re-verify the solver's certificate with the independent auditor (witness \
+           feasibility, objective and bound consistency, gap evidence) and print the \
+           verdict. A rejected certificate makes the command exit non-zero.")
+
+let arm_budget deadline_ms max_nodes =
+  let deadline_s = Option.map (fun ms -> ms /. 1000.) deadline_ms in
+  Engine.Budget.arm (Engine.Budget.make ?deadline_s ?max_nodes ())
+
+(* ---------- auditing ---------- *)
+
+(* one verdict format everywhere: `Ok line` to print, `Error line` to
+   print before exiting non-zero *)
+let audit_minlp problem (cert : Engine.Certificate.t option) =
+  match cert with
+  | None -> Error "audit: no certificate emitted"
+  | Some cert -> (
+    match Audit.check_minlp problem cert with
+    | Ok () ->
+      Ok
+        (Printf.sprintf "audit: certificate verified (%s, %s)"
+           cert.Engine.Certificate.producer
+           (Engine.Certificate.evidence_to_string cert.Engine.Certificate.evidence))
+    | Error _ as verdict ->
+      Error (Printf.sprintf "audit: certificate REJECTED: %s" (Audit.summary verdict)))
+
+let audit_outcome_string = function Ok s -> s | Error s -> s
+
+(* ---------- string-level parsing for non-cmdliner harnesses ---------- *)
+
+(* the benchmark executable hand-rolls its argv scan; these helpers keep
+   its flag spellings and value syntax identical to the cmdliner ones *)
+module Argv = struct
+  let flag args name = List.mem ("--" ^ name) args
+
+  let find_opt args name =
+    let key = "--" ^ name in
+    let rec find = function
+      | k :: v :: _ when k = key -> Some v
+      | _ :: rest -> find rest
+      | [] -> None
+    in
+    find args
+
+  let audit args = flag args "audit"
+  let report args = find_opt args "report"
+
+  let strategy args =
+    match find_opt args "strategy" with
+    | None -> `Auto
+    | Some s -> (
+      match Runtime.Portfolio.strategy_of_string s with
+      | Ok v -> v
+      | Error msg -> failwith ("--strategy: " ^ msg))
+end

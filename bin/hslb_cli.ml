@@ -7,8 +7,13 @@
                 a CSV file (name,count,a,b,c,d)
      fmo        run the simulated FMO comparison (dynamic / even / HSLB)
      layouts    solve a component-layout model (CESM-style extension)
+     audit      fault-injection stress sweep over the MINLP solvers with
+                independent certificate checking (the CI soundness gate)
      experiment regenerate one or all of the paper's tables/figures
-     list       list available experiments *)
+     list       list available experiments
+
+   Shared flags (--report, --strategy, --audit, budget knobs) live in
+   Cli_common so they parse identically here and in bench/main.exe. *)
 
 open Cmdliner
 
@@ -84,58 +89,14 @@ let fit_cmd =
 
 (* ---------- solve ---------- *)
 
-let objective_conv =
-  let parse = function
-    | "min-max" -> Ok Hslb.Objective.Min_max
-    | "max-min" -> Ok Hslb.Objective.Max_min
-    | "min-sum" -> Ok Hslb.Objective.Min_sum
-    | s -> Error (`Msg ("unknown objective: " ^ s))
-  in
-  Arg.conv (parse, fun fmt o -> Format.pp_print_string fmt (Hslb.Objective.to_string o))
-
-let solver_conv =
-  let parse s =
-    match Engine.Solver_choice.of_string s with
-    | Ok v -> Ok v
-    | Error msg -> Error (`Msg msg)
-  in
-  Arg.conv (parse, Engine.Solver_choice.pp)
-
-let strategy_conv =
-  let parse s =
-    match Runtime.Portfolio.strategy_of_string s with
-    | Ok v -> Ok v
-    | Error msg -> Error (`Msg msg)
-  in
-  Arg.conv
-    (parse, fun fmt s -> Format.pp_print_string fmt (Runtime.Portfolio.strategy_to_string s))
-
-(* budget/report flags shared by the solve and minlp subcommands *)
-let deadline_ms_arg =
-  Arg.(
-    value
-    & opt (some float) None
-    & info [ "deadline-ms" ] ~docv:"MS"
-        ~doc:
-          "Wall-clock budget in milliseconds; on exhaustion the best incumbent found so far \
-           is reported with a budget-exhausted status.")
-
-let max_nodes_arg =
-  Arg.(
-    value
-    & opt (some int) None
-    & info [ "max-nodes" ] ~docv:"N" ~doc:"Budget on branch-and-bound nodes across the run.")
-
-let report_arg =
-  Arg.(
-    value
-    & opt (some string) None
-    & info [ "report" ] ~docv:"FILE"
-        ~doc:"Write a structured JSON run report (status, counters, phase timers) to FILE.")
-
-let arm_budget deadline_ms max_nodes =
-  let deadline_s = Option.map (fun ms -> ms /. 1000.) deadline_ms in
-  Engine.Budget.arm (Engine.Budget.make ?deadline_s ?max_nodes ())
+(* converters and budget/report/audit flags shared with bench/main.exe *)
+let objective_conv = Cli_common.objective_conv
+let solver_conv = Cli_common.solver_conv
+let deadline_ms_arg = Cli_common.deadline_ms_arg
+let max_nodes_arg = Cli_common.max_nodes_arg
+let report_arg = Cli_common.report_arg
+let audit_arg = Cli_common.audit_arg
+let arm_budget = Cli_common.arm_budget
 
 let solve_cmd =
   let file =
@@ -159,15 +120,7 @@ let solve_cmd =
       & opt solver_conv Engine.Solver_choice.Oa
       & info [ "solver" ] ~doc:"oa (default) | bnb | oa-multi.")
   in
-  let strategy =
-    Arg.(
-      value
-      & opt strategy_conv `Auto
-      & info [ "strategy" ]
-          ~doc:
-            "auto (default: honour --solver) | portfolio (race all solvers on parallel \
-             domains) | a solver name to force it.")
-  in
+  let strategy = Cli_common.strategy_arg in
   let repeat =
     Arg.(
       value
@@ -178,7 +131,7 @@ let solve_cmd =
              service-traffic demo: the first solve is computed, later ones are memoized \
              when the result is proven optimal).")
   in
-  let run file nodes objective solver strategy repeat deadline_ms max_nodes report =
+  let run file nodes objective solver strategy repeat deadline_ms max_nodes report audit =
     let specs =
       Hslb.Model_store.specs_of_csv
         (String.concat "\n" (read_csv_lines file))
@@ -192,7 +145,7 @@ let solve_cmd =
       let budget = arm_budget deadline_ms max_nodes in
       let hits0 = Runtime.Cache.hits cache in
       let result =
-        Hslb.Alloc_model.solve ~strategy ~solver ~objective ~budget ~tally ~cache
+        Hslb.Alloc_model.solve ~strategy ~solver ~objective ~budget ~trace:tally ~cache
           ~race_report ~n_total:nodes specs
       in
       let wall_s = Engine.Budget.elapsed_s budget in
@@ -227,6 +180,33 @@ let solve_cmd =
             (l.Engine.Run_report.lane_wall_s *. 1000.)
             l.Engine.Run_report.lane_nodes_expanded l.Engine.Run_report.lane_lp_solves)
         race.Engine.Run_report.lanes);
+    (* independent re-verification of the certificate the solve carried.
+       The exact customized paths (bisection, greedy) certify in the
+       nodes-per-class space, so only the Min_max MINLP path has a raw
+       model to re-check against. *)
+    let audit_verdict =
+      if not audit then None
+      else
+        Some
+          (match result with
+          | Error st ->
+            Error ("audit: nothing to audit: " ^ Minlp.Solution.status_to_string st)
+          | Ok alloc -> (
+            match objective with
+            | Hslb.Objective.Min_max ->
+              let problem, _, _ =
+                Hslb.Alloc_model.build_minlp ~objective ~n_total:nodes specs
+              in
+              Cli_common.audit_minlp problem alloc.Hslb.Alloc_model.certificate
+            | Hslb.Objective.Max_min | Hslb.Objective.Min_sum -> (
+              match alloc.Hslb.Alloc_model.certificate with
+              | Some c ->
+                Ok
+                  (Printf.sprintf
+                     "audit: exact-method certificate (%s) — no MINLP to re-check"
+                     c.Engine.Certificate.producer)
+              | None -> Error "audit: no certificate emitted")))
+    in
     (match report with
     | None -> ()
     | Some path ->
@@ -235,11 +215,28 @@ let solve_cmd =
         | Ok alloc -> Some alloc.Hslb.Alloc_model.predicted_makespan
         | Error _ -> None
       in
+      let certificate =
+        match result with
+        | Ok alloc -> alloc.Hslb.Alloc_model.certificate
+        | Error _ -> None
+      in
       Engine.Run_report.write_json path
         (Engine.Run_report.make ~solver:solver_label
            ~status:(Minlp.Solution.status_to_string status)
-           ?objective:objective_value ~cache_hit ?race:!race_report ~wall_s tally);
+           ?objective:objective_value ~cache_hit ?race:!race_report ?certificate
+           ?audit:(Option.map Cli_common.audit_outcome_string audit_verdict)
+           ~wall_s tally);
       Format.printf "run report written to %s@." path);
+    let finish () =
+      match audit_verdict with
+      | None | Some (Ok _) ->
+        (match audit_verdict with
+        | Some (Ok line) -> Format.printf "%s@." line
+        | None | Some (Error _) -> ())
+      | Some (Error line) ->
+        Format.eprintf "%s@." line;
+        exit 1
+    in
     match result with
     | Ok alloc ->
       (match status with
@@ -255,7 +252,8 @@ let solve_cmd =
             spec.Hslb.Alloc_model.fc.Hslb.Classes.cls.Hslb.Classes.count
             alloc.Hslb.Alloc_model.nodes_per_task.(i)
             alloc.Hslb.Alloc_model.predicted_times.(i))
-        specs
+        specs;
+      finish ()
     | Error st ->
       Format.printf "no allocation: %s@." (Minlp.Solution.status_to_string st);
       exit 1
@@ -264,7 +262,7 @@ let solve_cmd =
     (Cmd.info "solve" ~doc:"Solve the allocation MINLP for fitted task classes.")
     Term.(
       const run $ file $ nodes $ objective $ solver $ strategy $ repeat $ deadline_ms_arg
-      $ max_nodes_arg $ report_arg)
+      $ max_nodes_arg $ report_arg $ audit_arg)
 
 (* ---------- fmo ---------- *)
 
@@ -404,9 +402,16 @@ let layouts_cmd =
           (if free_ocean then None else Some (Layouts.Cesm_data.ocean_sweet_spots resolution));
       }
     in
-    let a = Layouts.Layout_model.solve layout config inputs in
-    Format.printf "layout %s on %d nodes: predicted total %.2f s@."
-      (Layouts.Layout_model.layout_name layout) nodes a.Layouts.Layout_model.total;
+    let a =
+      match Layouts.Layout_model.solve layout config inputs with
+      | Ok a -> a
+      | Error st ->
+        Format.eprintf "layout solve failed: %s@." (Minlp.Solution.status_to_string st);
+        exit 1
+    in
+    Format.printf "layout %s on %d nodes: predicted total %.2f s (status: %s)@."
+      (Layouts.Layout_model.layout_name layout) nodes a.Layouts.Layout_model.total
+      (Minlp.Solution.status_to_string a.Layouts.Layout_model.status);
     List.iter
       (fun (name, n) ->
         Format.printf "  %-4s %6d nodes  %10.2f s@." name n
@@ -432,18 +437,27 @@ let minlp_cmd =
       & opt solver_conv Engine.Solver_choice.Oa
       & info [ "solver" ] ~doc:"oa (default) | bnb | oa-multi (alias: multi).")
   in
-  let run file solver deadline_ms max_nodes report =
+  let run file solver deadline_ms max_nodes report audit =
     let p = Minlp.Model_text.parse_file file in
     let budget = arm_budget deadline_ms max_nodes in
     let tally = Engine.Telemetry.create () in
     let sol =
       match solver with
-      | Engine.Solver_choice.Oa -> Minlp.Oa.solve ~budget ~tally p
+      | Engine.Solver_choice.Oa -> Minlp.Oa.run ~budget ~tally p
       | Engine.Solver_choice.Oa_multi ->
-        (Minlp.Oa_multi.solve ~budget ~tally p).Minlp.Oa_multi.solution
-      | Engine.Solver_choice.Bnb -> Minlp.Bnb.solve ~budget ~tally p
+        (Minlp.Oa_multi.run ~budget ~tally p).Minlp.Oa_multi.solution
+      | Engine.Solver_choice.Bnb -> Minlp.Bnb.run ~budget ~tally p
     in
     let wall_s = Engine.Budget.elapsed_s budget in
+    let certificate =
+      Minlp.Solution.certify
+        ~producer:(Engine.Solver_choice.to_string solver)
+        ~budget ~minimize:p.Minlp.Problem.minimize
+        ~pruned:tally.Engine.Telemetry.nodes_pruned sol
+    in
+    let audit_verdict =
+      if audit then Some (Cli_common.audit_minlp p (Some certificate)) else None
+    in
     (match report with
     | None -> ()
     | Some path ->
@@ -451,7 +465,9 @@ let minlp_cmd =
         (Engine.Run_report.make
            ~solver:(Engine.Solver_choice.to_string solver)
            ~status:(Minlp.Solution.status_to_string sol.Minlp.Solution.status)
-           ~objective:sol.Minlp.Solution.obj ~bound:sol.Minlp.Solution.bound ~wall_s tally);
+           ~objective:sol.Minlp.Solution.obj ~bound:sol.Minlp.Solution.bound ~certificate
+           ?audit:(Option.map Cli_common.audit_outcome_string audit_verdict)
+           ~wall_s tally);
       Format.printf "run report written to %s@." path);
     Format.printf "status: %s@." (Minlp.Solution.status_to_string sol.Minlp.Solution.status);
     if Minlp.Solution.has_incumbent sol then begin
@@ -463,11 +479,60 @@ let minlp_cmd =
     end;
     Format.printf "stats: %d nodes, %d LPs, %d NLPs, %d cuts@."
       sol.Minlp.Solution.stats.Minlp.Solution.nodes sol.Minlp.Solution.stats.Minlp.Solution.lp_solves
-      sol.Minlp.Solution.stats.Minlp.Solution.nlp_solves sol.Minlp.Solution.stats.Minlp.Solution.cuts
+      sol.Minlp.Solution.stats.Minlp.Solution.nlp_solves sol.Minlp.Solution.stats.Minlp.Solution.cuts;
+    match audit_verdict with
+    | None | Some (Ok _) ->
+      (match audit_verdict with
+      | Some (Ok line) -> Format.printf "%s@." line
+      | None | Some (Error _) -> ())
+    | Some (Error line) ->
+      Format.eprintf "%s@." line;
+      exit 1
   in
   Cmd.v
     (Cmd.info "minlp" ~doc:"Solve a convex MINLP written in the AMPL-like model language.")
-    Term.(const run $ file $ solver $ deadline_ms_arg $ max_nodes_arg $ report_arg)
+    Term.(
+      const run $ file $ solver $ deadline_ms_arg $ max_nodes_arg $ report_arg $ audit_arg)
+
+(* ---------- audit: fault-injection stress sweep ---------- *)
+
+let audit_cmd =
+  let stress =
+    Arg.(
+      value
+      & flag
+      & info [ "stress" ]
+          ~doc:
+            "Run the fault-injected budget stress sweep with cross-solver differential \
+             checks. Currently the only audit mode, so this flag is implied.")
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Base seed for the deterministic sweep.")
+  in
+  let trials =
+    Arg.(value & opt int 200 & info [ "trials" ] ~doc:"Number of fault-injected trials.")
+  in
+  let quiet =
+    Arg.(
+      value & flag & info [ "quiet" ] ~doc:"Only print the final summary line and verdict.")
+  in
+  let run _stress seed trials quiet =
+    let log line = if not quiet then Format.printf "%s@." line in
+    let outcome = Audit.Stress.run ~log ~seed ~trials () in
+    Format.printf "%a@." Audit.Stress.pp outcome;
+    if Audit.Stress.clean outcome then Format.printf "audit: clean@."
+    else begin
+      Format.eprintf "audit: FAILED@.";
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "audit"
+       ~doc:
+         "Hunt unsound solver claims: seeded fault-injected budget exhaustion plus \
+          cross-solver differential checks, every certificate re-verified by the \
+          independent auditor. Exits non-zero on any violation.")
+    Term.(const run $ stress $ seed $ trials $ quiet)
 
 (* ---------- experiments ---------- *)
 
@@ -517,4 +582,13 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ fit_cmd; solve_cmd; minlp_cmd; fmo_cmd; layouts_cmd; experiment_cmd; list_cmd ]))
+          [
+            fit_cmd;
+            solve_cmd;
+            minlp_cmd;
+            fmo_cmd;
+            layouts_cmd;
+            audit_cmd;
+            experiment_cmd;
+            list_cmd;
+          ]))

@@ -1,11 +1,14 @@
 #!/bin/sh
 # CI entry point: format check (when ocamlformat is available), then
-# build and run the full test suite twice — once fully sequential and
-# once with 4-way parallelism in the runtime layer — so the pool,
-# portfolio and cache code is exercised under both widths.
+# build, run the full test suite twice — once fully sequential and
+# once with 4-way parallelism in the runtime layer, so the pool,
+# portfolio and cache code is exercised under both widths — and
+# finally the seeded fault-injection audit sweep, which fails the
+# build on any certificate rejection or soundness violation (see
+# docs/AUDIT.md).
 #
-# lib/runtime/ compiles with -warn-error +a (see lib/runtime/dune), so
-# any new compiler warning there fails this build.
+# lib/runtime/ and lib/audit/ compile with -warn-error +a (see their
+# dune files), so any new compiler warning there fails this build.
 set -eu
 
 cd "$(dirname "$0")"
@@ -25,5 +28,8 @@ HSLB_JOBS=1 dune runtest --force
 
 echo "== dune runtest (HSLB_JOBS=4) =="
 HSLB_JOBS=4 dune runtest --force
+
+echo "== audit stress sweep (seed 42, 200 trials) =="
+dune exec bin/hslb_cli.exe -- audit --stress --seed 42 --trials 200 --quiet
 
 echo "== ci OK =="

@@ -5,6 +5,12 @@
    layout MINLPs of the follow-up application and compare against the
    manual expert allocation. *)
 
+let solve_ok layout config inputs =
+  match Layouts.Layout_model.solve layout config inputs with
+  | Ok a -> a
+  | Error st ->
+    failwith ("layout solve failed: " ^ Minlp.Solution.status_to_string st)
+
 let () =
   let n_total = 512 in
   let resolution = Layouts.Cesm_data.Deg1 in
@@ -42,7 +48,7 @@ let () =
   Format.printf "@.layout optimization on %d nodes:@." n_total;
   List.iter
     (fun layout ->
-      let a = Layouts.Layout_model.solve layout config inputs in
+      let a = solve_ok layout config inputs in
       Format.printf "  %-22s total %8.2f s  [" (Layouts.Layout_model.layout_name layout)
         a.Layouts.Layout_model.total;
       List.iter (fun (n, v) -> Format.printf " %s:%d" n v) a.Layouts.Layout_model.nodes;
@@ -59,7 +65,7 @@ let () =
     Layouts.Layout_model.layout_total Layouts.Layout_model.Hybrid ~ice:(t "ice" mi)
       ~lnd:(t "lnd" ml) ~atm:(t "atm" ma) ~ocn:(t "ocn" mo)
   in
-  let hslb = Layouts.Layout_model.solve Layouts.Layout_model.Hybrid config inputs in
+  let hslb = solve_ok Layouts.Layout_model.Hybrid config inputs in
   Format.printf "@.manual expert allocation [ice:%d lnd:%d atm:%d ocn:%d]: %.2f s@." mi ml ma mo
     manual_total;
   Format.printf "HSLB improvement over manual: %.1f%%@."

@@ -1,0 +1,36 @@
+let generate ~seed =
+  let rng = Numerics.Rng.create seed in
+  let k = 2 + Numerics.Rng.int rng 3 in
+  let total = (3 * k) + Numerics.Rng.int rng (4 * k) in
+  let b = Minlp.Problem.Builder.create () in
+  let vars =
+    List.init k (fun i ->
+        Minlp.Problem.Builder.add_var b
+          ~name:(Printf.sprintf "n%d" i)
+          ~lo:1. ~hi:(float_of_int total) Minlp.Problem.Integer)
+  in
+  let terms =
+    List.map
+      (fun v ->
+        let a = Numerics.Rng.uniform rng ~lo:20. ~hi:120. in
+        let c = Numerics.Rng.uniform rng ~lo:0.6 ~hi:1.2 in
+        let lin = Numerics.Rng.uniform rng ~lo:0.02 ~hi:0.3 in
+        Minlp.Expr.add
+          [
+            Minlp.Expr.div (Minlp.Expr.const a) (Minlp.Expr.pow (Minlp.Expr.var v) c);
+            Minlp.Expr.mul (Minlp.Expr.const lin) (Minlp.Expr.var v);
+          ])
+      vars
+  in
+  Minlp.Problem.Builder.set_objective b (Minlp.Expr.add terms);
+  Minlp.Problem.Builder.add_constr b ~name:"pool"
+    (Minlp.Expr.add (List.map Minlp.Expr.var vars))
+    Lp.Lp_problem.Le (float_of_int total);
+  (if seed land 1 = 1 && k >= 2 then
+     match vars with
+     | v0 :: v1 :: _ ->
+       Minlp.Problem.Builder.add_constr b ~name:"pair-floor"
+         (Minlp.Expr.add [ Minlp.Expr.var v0; Minlp.Expr.var v1 ])
+         Lp.Lp_problem.Ge 3.
+     | _ -> ());
+  Minlp.Problem.Builder.build b

@@ -1,0 +1,12 @@
+(** Seeded generator of small convex MINLP instances for the stress
+    harness: allocation-shaped models (the paper's form) — [k] task
+    classes, an integer node count per class with per-class cost
+    [a/n^c + b·n], and a shared node pool. Small enough that all three
+    MINLP solvers prove optimality in milliseconds, which is what the
+    differential check needs. *)
+
+(** [generate ~seed] — deterministic in [seed]. Between 2 and 4 integer
+    variables, convex nonlinear objective, one linear pool constraint
+    (plus, for odd seeds, a lower bound on a pairwise sum so the pool
+    is not the only binding row). *)
+val generate : seed:int -> Minlp.Problem.t

@@ -1,0 +1,47 @@
+(** Fault-injected budget stress and cross-solver differential checks.
+
+    Each trial draws a seeded instance ({!Instances.generate}), a
+    solver, and a poll-fuse point [k], then solves under a budget whose
+    [k]-th poll deterministically reports exhaustion
+    ({!Engine.Budget.make}'s [poll_fuse]). Two properties are enforced:
+
+    - {b soundness}: a solver whose fuse tripped was, by construction,
+      told to stop at a poll it actually made — so it must not claim a
+      proven-[Optimal] status. Because the fuse is poll-count-based
+      (no wall clock), this check has no false positives.
+    - {b audited certificates}: every certificate the run emits must
+      pass the independent {!Checker}.
+
+    Every [differential_every]-th trial additionally solves the
+    instance with all three MINLP solvers under no budget: solvers that
+    claim [Optimal] must agree on the objective within
+    [differential_rtol] (the NLP-based B&B runs a first-order local
+    solver, so exact bound agreement is not guaranteed on equal
+    terms). *)
+
+type outcome = {
+  trials : int;
+  optimal_claims : int;  (** fused trials still finishing with a proof *)
+  cert_failures : int;
+  soundness_violations : int;
+  differential_runs : int;
+  differential_failures : int;
+  failures : string list;  (** one description per failure, in order *)
+}
+
+val clean : outcome -> bool
+
+val pp : Format.formatter -> outcome -> unit
+
+(** [run ~seed ~trials ()] — execute the sweep. [log] receives one
+    line per failure as it happens (default: silent).
+    [differential_every] (default 10) and [differential_rtol]
+    (default 0.01) control the cross-solver phase. *)
+val run :
+  ?log:(string -> unit) ->
+  ?differential_every:int ->
+  ?differential_rtol:float ->
+  seed:int ->
+  trials:int ->
+  unit ->
+  outcome

@@ -27,11 +27,13 @@ type t = {
   warm_start_used : bool;
   cache_hit : bool;
   race : race option;
+  certificate : Certificate.t option;
+  audit : string option;
   phases : (string * float) list;
 }
 
 let make ~solver ~status ?(objective = nan) ?(bound = nan) ?(cache_hit = false)
-    ?race ~wall_s (tally : Telemetry.t) =
+    ?race ?certificate ?audit ~wall_s (tally : Telemetry.t) =
   {
     solver;
     status;
@@ -40,6 +42,8 @@ let make ~solver ~status ?(objective = nan) ?(bound = nan) ?(cache_hit = false)
     wall_s;
     cache_hit;
     race;
+    certificate;
+    audit;
     nodes_expanded = tally.Telemetry.nodes_expanded;
     nodes_pruned = tally.Telemetry.nodes_pruned;
     lp_solves = tally.Telemetry.lp_solves;
@@ -130,6 +134,16 @@ let to_json r =
       race.lanes;
     Buffer.add_string b "]}");
   sep ();
+  (match r.certificate with
+  | None -> Buffer.add_string b "\"certificate\":null"
+  | Some c ->
+    Buffer.add_string b "\"certificate\":";
+    Buffer.add_string b (Certificate.to_json c));
+  sep ();
+  (match r.audit with
+  | None -> Buffer.add_string b "\"audit\":null"
+  | Some v -> str "audit" v);
+  sep ();
   Buffer.add_string b "\"phases\":{";
   List.iteri
     (fun i (label, s) ->
@@ -145,14 +159,25 @@ let to_json_list rs = "[" ^ String.concat "," (List.map to_json rs) ^ "]"
 let csv_header =
   "solver,status,objective,bound,wall_s,nodes_expanded,nodes_pruned,lp_solves,\
    simplex_pivots,nlp_solves,nlp_iterations,line_search_steps,oa_cuts,\
-   incumbent_updates,warm_start_used,cache_hit"
+   incumbent_updates,warm_start_used,cache_hit,evidence,audit"
 
 let to_csv_row r =
-  Printf.sprintf "%s,%s,%s,%s,%s,%d,%d,%d,%d,%d,%d,%d,%d,%d,%b,%b" r.solver
-    r.status (json_float r.objective) (json_float r.bound)
+  Printf.sprintf "%s,%s,%s,%s,%s,%d,%d,%d,%d,%d,%d,%d,%d,%d,%b,%b,%s,%s"
+    r.solver r.status (json_float r.objective) (json_float r.bound)
     (json_float r.wall_s) r.nodes_expanded r.nodes_pruned r.lp_solves
     r.simplex_pivots r.nlp_solves r.nlp_iterations r.line_search_steps
     r.oa_cuts r.incumbent_updates r.warm_start_used r.cache_hit
+    (match r.certificate with
+    | None -> ""
+    | Some c -> (
+      (* keep CSV fields comma-free *)
+      match c.Certificate.evidence with
+      | Certificate.Gap_closed -> "gap-closed"
+      | Certificate.Cover_exhausted _ -> "cover-exhausted"
+      | Certificate.Exact_method _ -> "exact"
+      | Certificate.Incumbent_only -> "incumbent-only"
+      | Certificate.No_witness -> "no-witness"))
+    (match r.audit with None -> "" | Some v -> v)
 
 let pp fmt r =
   Format.fprintf fmt

@@ -40,6 +40,11 @@ type t = {
   warm_start_used : bool;
   cache_hit : bool;  (** the result came from the memoized solve cache *)
   race : race option;  (** present when a portfolio race produced it *)
+  certificate : Certificate.t option;
+      (** machine-checkable claim backing [status]; see lib/audit *)
+  audit : string option;
+      (** independent checker's verdict on [certificate] ("ok" or a
+          violation summary), when an audit was requested *)
   phases : (string * float) list;  (** label, seconds *)
 }
 
@@ -50,6 +55,8 @@ val make :
   ?bound:float ->
   ?cache_hit:bool ->
   ?race:race ->
+  ?certificate:Certificate.t ->
+  ?audit:string ->
   wall_s:float ->
   Telemetry.t ->
   t

@@ -1,0 +1,52 @@
+(** The one [solve] signature convention shared by every solver layer.
+
+    Before this module the stack had seven divergent [val solve]
+    signatures (LP simplex, the two NLP solvers, the three MINLP
+    solvers, and the model-layer solves in lib/hslb and lib/layouts):
+    different label names for the same thing ([?tally] vs [?trace]),
+    different stopping authorities ([?budget] with or without a
+    separate cancel token), raising vs result-returning error paths,
+    and four per-module status variants. Every public [solve] now
+    follows the convention below; solver-specific knobs ([?options],
+    extra rows, callbacks) stay on each module's [run] workhorse.
+
+    Convention:
+    - labelled arguments, in order: [?budget ?cancel ?warm_start ?trace]
+      (then solver-specific labels, then the problem, positionally last)
+    - [?cancel] is merged into the budget view ({!join_budget}) so
+      solvers still poll exactly one stopping authority
+    - statuses are {!Status.t}
+    - returns [(certified result, Status.t) result]: [Ok] carries a
+      usable (feasible) point plus the {!Certificate.t} backing its
+      status claim; [Error] is the status explaining why no usable
+      point exists ([Infeasible], [Unbounded], or an empty-handed
+      [Budget_exhausted]). *)
+
+(** A solver result paired with the machine-checkable certificate
+    backing its status claim. *)
+type 'a certified = { value : 'a; cert : Certificate.t }
+
+module type S = sig
+  type problem
+  type value
+
+  val solve :
+    ?budget:Budget.armed ->
+    ?cancel:Cancel.t ->
+    ?warm_start:float array ->
+    ?trace:Telemetry.t ->
+    problem ->
+    (value certified, Status.t) result
+end
+
+(** [join_budget ?budget ?cancel ()] — the single stopping authority a
+    solver polls: the caller's armed budget, additionally stopped by
+    [cancel] when one is given. [None] only when neither is given.
+    Shared clock and counters with [budget] (see
+    {!Budget.with_extra_cancel}). *)
+let join_budget ?budget ?cancel () =
+  match (budget, cancel) with
+  | None, None -> None
+  | Some b, None -> Some b
+  | Some b, Some c -> Some (Budget.with_extra_cancel b c)
+  | None, Some c -> Some (Budget.arm (Budget.make ~cancel:c ()))

@@ -44,7 +44,17 @@ let synthetic_specs ?allowed_count ~classes () =
       | None -> Hslb.Alloc_model.spec_of fc
       | Some k -> Hslb.Alloc_model.spec_of ~allowed:(List.init k (fun j -> 1 lsl j)) fc)
 
-let row ~classes ~label ?(pivots = 0) (sol : Minlp.Solution.t) elapsed =
+(* independent auditor's verdict on each solve, printed as its own
+   column so the certified-status story is visible in the table itself:
+   the certificate is rebuilt from the solution and re-checked against
+   the raw model by lib/audit, never by the solver that produced it *)
+let audited problem (sol : Minlp.Solution.t) =
+  let cert =
+    Minlp.Solution.certify ~producer:"e6" ~minimize:problem.Minlp.Problem.minimize sol
+  in
+  match Audit.check_minlp problem cert with Ok () -> "yes" | Error _ -> "REJECTED"
+
+let row ~classes ~label ?(pivots = 0) ~problem (sol : Minlp.Solution.t) elapsed =
   [
     string_of_int classes;
     label;
@@ -55,6 +65,7 @@ let row ~classes ~label ?(pivots = 0) (sol : Minlp.Solution.t) elapsed =
     string_of_int sol.Minlp.Solution.stats.Minlp.Solution.nlp_solves;
     string_of_int sol.Minlp.Solution.stats.Minlp.Solution.cuts;
     string_of_int pivots;
+    audited problem sol;
     Printf.sprintf "%.2f" elapsed;
   ]
 
@@ -69,7 +80,8 @@ let timed f =
 
 let header =
   [
-    "classes"; "solver"; "status"; "objective"; "nodes"; "LPs"; "NLPs"; "cuts"; "pivots"; "sec";
+    "classes"; "solver"; "status"; "objective"; "nodes"; "LPs"; "NLPs"; "cuts"; "pivots";
+    "audited"; "sec";
   ]
 
 let run ?(quick = false) fmt =
@@ -87,24 +99,24 @@ let run ?(quick = false) fmt =
         let problem, _, _ =
           Hslb.Alloc_model.build_minlp ~objective:Hslb.Objective.Min_max ~n_total specs
         in
-        let oa, pv_oa, t_oa = timed (fun tally -> Minlp.Oa.solve ~tally problem) in
+        let oa, pv_oa, t_oa = timed (fun tally -> Minlp.Oa.run ~tally problem) in
         let multi, pv_multi, t_multi =
-          timed (fun tally -> Minlp.Oa_multi.solve ~tally problem)
+          timed (fun tally -> Minlp.Oa_multi.run ~tally problem)
         in
         let bnb, pv_bnb, t_bnb =
           timed (fun tally ->
-              Minlp.Bnb.solve
+              Minlp.Bnb.run
                 ~options:{ Minlp.Bnb.default_options with max_nodes = 2_000 }
                 ~tally problem)
         in
         [
-          row ~classes ~label:"LP/NLP single-tree (OA)" ~pivots:pv_oa oa t_oa;
+          row ~classes ~label:"LP/NLP single-tree (OA)" ~pivots:pv_oa ~problem oa t_oa;
           row ~classes
             ~label:
               (Printf.sprintf "multi-tree OA (%d alternations)"
                  multi.Minlp.Oa_multi.iterations)
-            ~pivots:pv_multi multi.Minlp.Oa_multi.solution t_multi;
-          row ~classes ~label:"NLP-based B&B" ~pivots:pv_bnb bnb t_bnb;
+            ~pivots:pv_multi ~problem multi.Minlp.Oa_multi.solution t_multi;
+          row ~classes ~label:"NLP-based B&B" ~pivots:pv_bnb ~problem bnb t_bnb;
         ])
       sizes_a
   in
@@ -126,7 +138,7 @@ let run ?(quick = false) fmt =
         in
         let solve sos =
           timed (fun tally ->
-              Minlp.Oa.solve
+              Minlp.Oa.run
                 ~options:
                   { Minlp.Oa.default_options with branch_sos_first = sos; max_nodes = 60_000 }
                 ~tally problem)
@@ -134,8 +146,8 @@ let run ?(quick = false) fmt =
         let with_sos, pv1, t1 = solve true in
         let without, pv2, t2 = solve false in
         [
-          row ~classes ~label:"OA, SOS1 branching" ~pivots:pv1 with_sos t1;
-          row ~classes ~label:"OA, binary branching" ~pivots:pv2 without t2;
+          row ~classes ~label:"OA, SOS1 branching" ~pivots:pv1 ~problem with_sos t1;
+          row ~classes ~label:"OA, binary branching" ~pivots:pv2 ~problem without t2;
         ])
       sizes_b
   in
@@ -153,15 +165,15 @@ let run ?(quick = false) fmt =
         in
         let solve rule =
           timed (fun tally ->
-              Minlp.Oa.solve
+              Minlp.Oa.run
                 ~options:{ Minlp.Oa.default_options with branching = rule }
                 ~tally problem)
         in
         let pc, pv1, t1 = solve Minlp.Milp.Pseudocost in
         let mf, pv2, t2 = solve Minlp.Milp.Most_fractional in
         [
-          row ~classes ~label:"OA, pseudocost branching" ~pivots:pv1 pc t1;
-          row ~classes ~label:"OA, most-fractional" ~pivots:pv2 mf t2;
+          row ~classes ~label:"OA, pseudocost branching" ~pivots:pv1 ~problem pc t1;
+          row ~classes ~label:"OA, most-fractional" ~pivots:pv2 ~problem mf t2;
         ])
       sizes_c
   in

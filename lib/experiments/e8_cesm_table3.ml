@@ -40,7 +40,14 @@ let scenario fmt ~resolution ~inputs ~n_total ~constrain_ocean =
          else None);
     }
   in
-  let hslb = Layouts.Layout_model.solve Layouts.Layout_model.Hybrid config inputs in
+  let hslb =
+    match Layouts.Layout_model.solve Layouts.Layout_model.Hybrid config inputs with
+    | Ok a -> a
+    | Error st ->
+      failwith
+        (Printf.sprintf "E8: layout solve failed: %s"
+           (Minlp.Solution.status_to_string st))
+  in
   let mi, ml, ma, mo = Layouts.Cesm_data.manual_allocation resolution ~n_total in
   let manual_nodes = [ ("lnd", ml); ("ice", mi); ("atm", ma); ("ocn", mo) ] in
   let sim_rng = Workloads.rng 123 in

@@ -21,7 +21,14 @@ let run ?(quick = false) fmt =
     Runtime.Pool.map
       (fun n_total ->
         let config = Layouts.Layout_model.default_config ~n_total in
-        let solve l = Layouts.Layout_model.solve l config inputs in
+        let solve l =
+          match Layouts.Layout_model.solve l config inputs with
+          | Ok a -> a
+          | Error st ->
+            failwith
+              (Printf.sprintf "E9: layout solve failed on %d nodes: %s" n_total
+                 (Minlp.Solution.status_to_string st))
+        in
         ( solve Layouts.Layout_model.Hybrid,
           solve Layouts.Layout_model.Sequential_group,
           solve Layouts.Layout_model.Fully_sequential ))

@@ -19,6 +19,7 @@ type allocation = {
   predicted_times : float array;
   status : Minlp.Solution.status;
   stats : Minlp.Solution.stats;
+  certificate : Engine.Certificate.t option;
 }
 
 let law_expr (law : Scaling_law.t) n_var =
@@ -286,6 +287,16 @@ let max_min_solve ~n_total specs =
     predicted_times;
     status = Minlp.Solution.Optimal;
     stats = Minlp.Solution.empty_stats;
+    certificate =
+      Some
+        (Engine.Certificate.make ~producer:"hslb.bisection"
+           ~claimed_status:Minlp.Solution.Optimal
+           ~witness:(Array.map float_of_int nodes)
+           ~claimed_obj:predicted_makespan ~minimize:false
+           ~evidence:
+             (Engine.Certificate.Exact_method
+                "bisection over monotone per-class time curves")
+           ());
   }
 
 (* Min_sum is a separable convex resource-allocation problem, solvable
@@ -355,6 +366,10 @@ let min_sum_greedy ~n_total specs =
     end
   done;
   let predicted_makespan, predicted_times = predicted_of specs nodes in
+  let total_time = ref 0. in
+  Array.iteri
+    (fun i n -> total_time := !total_time +. (float_of_int counts.(i) *. time i n))
+    nodes;
   Ok
     {
       nodes_per_task = nodes;
@@ -362,6 +377,17 @@ let min_sum_greedy ~n_total specs =
       predicted_times;
       status = Minlp.Solution.Optimal;
       stats = Minlp.Solution.empty_stats;
+      certificate =
+        Some
+          (Engine.Certificate.make ~producer:"hslb.greedy"
+             ~claimed_status:Minlp.Solution.Optimal
+             ~witness:(Array.map float_of_int nodes)
+             ~claimed_obj:!total_time ~claimed_bound:!total_time
+             ~evidence:
+               (Engine.Certificate.Exact_method
+                  "greedy marginal allocation on a separable convex objective \
+                   (Ibaraki-Katoh)")
+             ());
     }
   end
 
@@ -390,7 +416,7 @@ let fingerprint ~objective ~n_total specs =
     specs;
   Buffer.contents b
 
-let decode_solution specs n_vars (sol : Minlp.Solution.t) =
+let decode_solution ~producer ?budget ~problem specs n_vars (sol : Minlp.Solution.t) =
   match sol.Minlp.Solution.status with
   | (Minlp.Solution.Optimal | Minlp.Solution.Feasible _ | Minlp.Solution.Budget_exhausted _)
     when Array.length sol.Minlp.Solution.x > 0 ->
@@ -398,6 +424,10 @@ let decode_solution specs n_vars (sol : Minlp.Solution.t) =
       Array.map (fun v -> int_of_float (Float.round sol.Minlp.Solution.x.(v))) n_vars
     in
     let predicted_makespan, predicted_times = predicted_of specs nodes in
+    let cert =
+      Minlp.Solution.certify ~producer ?budget
+        ~minimize:problem.Minlp.Problem.minimize ~tol:1e-4 sol
+    in
     Ok
       {
         nodes_per_task = nodes;
@@ -405,6 +435,7 @@ let decode_solution specs n_vars (sol : Minlp.Solution.t) =
         predicted_times;
         status = sol.Minlp.Solution.status;
         stats = sol.Minlp.Solution.stats;
+        certificate = Some cert;
       }
   | st -> Error st
 
@@ -413,15 +444,15 @@ let decode_solution specs n_vars (sol : Minlp.Solution.t) =
 let run_minlp_solver solver ?budget ?tally ?warm problem =
   match solver with
   | Engine.Solver_choice.Oa ->
-    Minlp.Oa.solve
+    Minlp.Oa.run
       ~options:{ Minlp.Oa.default_options with rel_gap = 1e-4 }
       ?budget ?tally ?warm_start:warm problem
   | Engine.Solver_choice.Bnb ->
-    Minlp.Bnb.solve
+    Minlp.Bnb.run
       ~options:{ Minlp.Bnb.default_options with rel_gap = 1e-4 }
       ?budget ?tally ?warm_start:warm problem
   | Engine.Solver_choice.Oa_multi ->
-    (Minlp.Oa_multi.solve
+    (Minlp.Oa_multi.run
        ~options:{ Minlp.Oa_multi.default_options with rel_gap = 1e-4 }
        ?budget ?tally problem)
       .Minlp.Oa_multi.solution
@@ -493,12 +524,35 @@ let portfolio_minlp ?budget ?tally ?race_report problem n_vars specs warm =
           race_wall_s = outcome.Runtime.Portfolio.race_wall_s;
           lanes;
         });
-  decode_solution specs n_vars (fst outcome.Runtime.Portfolio.value)
+  (* the racing winner does not get the benefit of the doubt: its
+     certificate is re-verified against the raw model before the answer
+     leaves the portfolio, and a rejected optimality proof is demoted
+     to a (still feasibility-checked) incumbent *)
+  let producer = "portfolio:" ^ outcome.Runtime.Portfolio.winner in
+  match
+    decode_solution ~producer ?budget ~problem specs n_vars
+      (fst outcome.Runtime.Portfolio.value)
+  with
+  | Error _ as e -> e
+  | Ok alloc -> (
+    match alloc.certificate with
+    | None -> Ok alloc
+    | Some cert -> (
+      match Audit.check_minlp problem cert with
+      | Ok () -> Ok alloc
+      | Error _ -> (
+        match alloc.status with
+        | Minlp.Solution.Optimal ->
+          Ok { alloc with status = Minlp.Solution.Feasible Minlp.Solution.Audit_failed }
+        | Minlp.Solution.Feasible _ | Minlp.Solution.Budget_exhausted _
+        | Minlp.Solution.Infeasible | Minlp.Solution.Unbounded ->
+          Ok alloc)))
 
 let solve ?(strategy = `Auto) ?(solver = Engine.Solver_choice.Oa)
-    ?(objective = Objective.Min_max) ?budget ?tally ?warm_start ?cache ?race_report
-    ~n_total specs =
+    ?(objective = Objective.Min_max) ?budget ?cancel ?warm_start ?trace ?cache
+    ?race_report ~n_total specs =
   if specs = [] then invalid_arg "Alloc_model.solve: no classes";
+  let budget = Engine.Solver_intf.join_budget ?budget ?cancel () in
   (match race_report with Some r -> r := None | None -> ());
   let key = lazy (fingerprint ~objective ~n_total specs) in
   let cached =
@@ -527,11 +581,14 @@ let solve ?(strategy = `Auto) ?(solver = Engine.Solver_choice.Oa)
             | Error _ | (exception Invalid_argument _) -> None)
         in
         (match strategy with
-        | `Portfolio -> portfolio_minlp ?budget ?tally ?race_report problem n_vars specs warm
+        | `Portfolio ->
+          portfolio_minlp ?budget ?tally:trace ?race_report problem n_vars specs warm
         | `Auto | `Single _ ->
           let solver = match strategy with `Single s -> s | `Auto | `Portfolio -> solver in
-          decode_solution specs n_vars
-            (run_minlp_solver solver ?budget ?tally ?warm problem))
+          decode_solution
+            ~producer:(Engine.Solver_choice.to_string solver)
+            ?budget ~problem specs n_vars
+            (run_minlp_solver solver ?budget ?tally:trace ?warm problem))
     in
     (* memoize only proven optima: budget-exhausted incumbents depend on
        wall-clock luck and must not be replayed as answers *)
@@ -599,7 +656,7 @@ let assignment_milp ?(max_nodes = 20_000) ~group_sizes ~duration ~num_tasks () =
         Lp.Lp_problem.Le 0.
     done;
     let options = { Minlp.Milp.default_options with max_nodes } in
-    let sol = Minlp.Milp.solve ~options (Minlp.Problem.Builder.build b) in
+    let sol = Minlp.Milp.run ~options (Minlp.Problem.Builder.build b) in
     match sol.Minlp.Solution.status with
     | Minlp.Solution.Optimal ->
       let assign = Array.make num_tasks (-1) in

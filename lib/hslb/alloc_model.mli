@@ -35,8 +35,16 @@ type allocation = {
   predicted_times : float array;  (** fitted per-class times *)
   status : Minlp.Solution.status;
       (** how the solve ended; [Optimal] for the exact
-          bisection/greedy paths *)
+          bisection/greedy paths. [Feasible Audit_failed] marks a
+          solver answer whose optimality certificate the independent
+          auditor rejected (the point itself re-verified feasible) *)
   stats : Minlp.Solution.stats;  (** zero for the bisection path *)
+  certificate : Engine.Certificate.t option;
+      (** machine-checkable claim backing [status]: solver-emitted for
+          the [Min_max] MINLP path ([Audit.check_minlp]-verifiable
+          against {!build_minlp}'s problem), [Exact_method] for the
+          bisection/greedy paths, [None] only for cache hits stored by
+          older versions *)
 }
 
 (** [restrict_to_values b ~var values] — restrict an integer variable
@@ -69,10 +77,12 @@ val build_minlp :
     apart. *)
 val fingerprint : objective:Objective.t -> n_total:int -> spec list -> string
 
-(** [solve ?strategy ?solver ?objective ?budget ?tally ?warm_start
-    ?cache ?race_report ~n_total specs] — full solve + decode.
-    Infeasibility (e.g. a node budget below one group per task) is
-    returned as [Error], not raised.
+(** [solve ?strategy ?solver ?objective ?budget ?cancel ?warm_start
+    ?trace ?cache ?race_report ~n_total specs] — full solve + decode,
+    following the {!Engine.Solver_intf.S} labelled-argument convention
+    ([?budget ?cancel ?warm_start ?trace]) with the model-layer knobs
+    around it. Infeasibility (e.g. a node budget below one group per
+    task) is returned as [Error], not raised.
 
     For [Min_max], a greedy min-sum allocation is computed automatically
     and used to warm-start the solver unless [warm_start] (a
@@ -94,6 +104,11 @@ val fingerprint : objective:Objective.t -> n_total:int -> spec list -> string
     supplied, [`Portfolio] stores per-lane telemetry in it (it is reset
     to [None] by the non-racing paths).
 
+    Every solver-path allocation carries a certificate; the [`Portfolio]
+    path additionally runs the independent auditor on the winning lane's
+    certificate before returning and demotes a rejected [Optimal] claim
+    to [Feasible Audit_failed].
+
     [cache] memoizes solves across calls, keyed by {!fingerprint}. Only
     proven-[Optimal] results are stored (budget-exhausted incumbents are
     timing-dependent); a hit bypasses the solver entirely and returns
@@ -103,22 +118,25 @@ val solve :
   ?solver:Engine.Solver_choice.t ->
   ?objective:Objective.t ->
   ?budget:Engine.Budget.armed ->
-  ?tally:Engine.Telemetry.t ->
+  ?cancel:Engine.Cancel.t ->
   ?warm_start:int array ->
+  ?trace:Engine.Telemetry.t ->
   ?cache:allocation Runtime.Cache.t ->
   ?race_report:Engine.Run_report.race option ref ->
   n_total:int ->
   spec list ->
   (allocation, Minlp.Solution.status) result
 
-(** Raising wrapper kept for one release; migrate to {!solve}. *)
+(** Raising wrapper kept for compatibility; migrate to {!solve}. *)
 val solve_exn :
   ?solver:Engine.Solver_choice.t ->
   ?objective:Objective.t ->
   n_total:int ->
   spec list ->
   allocation
-[@@ocaml.deprecated "use Alloc_model.solve (returns a result)"]
+[@@ocaml.deprecated
+  "use Alloc_model.solve (returns a result); solve_exn has no remaining callers and will \
+   be removed in the next release"]
 
 (** [assignment_milp ~group_sizes ~duration ~num_tasks] — the second
     model family: groups fixed, assign tasks to groups minimizing

@@ -28,7 +28,9 @@ type alloc = {
   nodes : (string * int) list;
   times : (string * float) list;
   total : float;
+  status : Minlp.Solution.status;
   stats : Minlp.Solution.stats;
+  certificate : Engine.Certificate.t option;
 }
 
 let layout_name = function
@@ -113,58 +115,21 @@ let build layout config inputs =
 let run_solver choice ?budget ?tally problem =
   match choice with
   | Engine.Solver_choice.Oa ->
-    Minlp.Oa.solve
+    Minlp.Oa.run
       ~options:{ Minlp.Oa.default_options with rel_gap = 1e-4 }
       ?budget ?tally problem
   | Engine.Solver_choice.Bnb ->
-    Minlp.Bnb.solve
+    Minlp.Bnb.run
       ~options:{ Minlp.Bnb.default_options with rel_gap = 1e-4 }
       ?budget ?tally problem
   | Engine.Solver_choice.Oa_multi ->
-    (Minlp.Oa_multi.solve
+    (Minlp.Oa_multi.run
        ~options:{ Minlp.Oa_multi.default_options with rel_gap = 1e-4 }
        ?budget ?tally problem)
       .Minlp.Oa_multi.solution
 
-let solve ?(strategy = `Auto) ?budget ?tally layout config inputs =
-  let problem, (vi, vl, va, vo) = build layout config inputs in
-  (* the nonconvex tsync constraint invalidates OA cuts; only the
-     NLP-based tree (local relaxations) is sound there, so tsync models
-     never race — there is exactly one applicable solver *)
-  let sol =
-    match (config.tsync, strategy) with
-    | Some _, _ -> run_solver Engine.Solver_choice.Bnb ?budget ?tally problem
-    | None, `Single s -> run_solver s ?budget ?tally problem
-    | None, `Auto -> run_solver config.solver ?budget ?tally problem
-    | None, `Portfolio ->
-      let lane choice =
-        ( Engine.Solver_choice.to_string choice,
-          fun shared ->
-            let lane_tally = Engine.Telemetry.create () in
-            (run_solver choice ~budget:shared ~tally:lane_tally problem, lane_tally) )
-      in
-      let outcome =
-        Runtime.Portfolio.race ?budget
-          ~final:(fun ((s : Minlp.Solution.t), _) ->
-            s.Minlp.Solution.status = Minlp.Solution.Optimal)
-          ~better:(fun ((a : Minlp.Solution.t), _) ((b : Minlp.Solution.t), _) ->
-            match (Minlp.Solution.has_incumbent a, Minlp.Solution.has_incumbent b) with
-            | true, false -> true
-            | false, (true | false) -> false
-            | true, true -> a.Minlp.Solution.obj < b.Minlp.Solution.obj)
-          (List.map lane Engine.Solver_choice.all)
-      in
-      (match tally with
-      | None -> ()
-      | Some t ->
-        List.iter
-          (fun (l : _ Runtime.Portfolio.lane) ->
-            match l.Runtime.Portfolio.outcome with
-            | Ok (_, lane_tally) -> Engine.Telemetry.merge_into t lane_tally
-            | Error _ -> ())
-          outcome.Runtime.Portfolio.lanes);
-      fst outcome.Runtime.Portfolio.value
-  in
+let decode ~producer ?budget layout inputs problem (vi, vl, va, vo)
+    (sol : Minlp.Solution.t) =
   match sol.Minlp.Solution.status with
   | (Minlp.Solution.Optimal | Minlp.Solution.Feasible _ | Minlp.Solution.Budget_exhausted _)
     when Array.length sol.Minlp.Solution.x > 0 ->
@@ -175,33 +140,121 @@ let solve ?(strategy = `Auto) ?budget ?tally layout config inputs =
     and lnd = t_of inputs.lnd n_lnd
     and atm = t_of inputs.atm n_atm
     and ocn = t_of inputs.ocn n_ocn in
-    {
-      nodes =
-        [
-          (inputs.ice.Component.cname, n_ice);
-          (inputs.lnd.Component.cname, n_lnd);
-          (inputs.atm.Component.cname, n_atm);
-          (inputs.ocn.Component.cname, n_ocn);
-        ];
-      times =
-        [
-          (inputs.ice.Component.cname, ice);
-          (inputs.lnd.Component.cname, lnd);
-          (inputs.atm.Component.cname, atm);
-          (inputs.ocn.Component.cname, ocn);
-        ];
-      total = layout_total layout ~ice ~lnd ~atm ~ocn;
-      stats = sol.Minlp.Solution.stats;
-    }
-  | status ->
+    let cert =
+      Minlp.Solution.certify ~producer ?budget
+        ~minimize:problem.Minlp.Problem.minimize ~tol:1e-4 sol
+    in
+    Ok
+      {
+        nodes =
+          [
+            (inputs.ice.Component.cname, n_ice);
+            (inputs.lnd.Component.cname, n_lnd);
+            (inputs.atm.Component.cname, n_atm);
+            (inputs.ocn.Component.cname, n_ocn);
+          ];
+        times =
+          [
+            (inputs.ice.Component.cname, ice);
+            (inputs.lnd.Component.cname, lnd);
+            (inputs.atm.Component.cname, atm);
+            (inputs.ocn.Component.cname, ocn);
+          ];
+        total = layout_total layout ~ice ~lnd ~atm ~ocn;
+        status = sol.Minlp.Solution.status;
+        stats = sol.Minlp.Solution.stats;
+        certificate = Some cert;
+      }
+  | status -> Error status
+
+let solve ?(strategy = `Auto) ?budget ?cancel ?trace layout config inputs =
+  let budget = Engine.Solver_intf.join_budget ?budget ?cancel () in
+  let tally = trace in
+  let problem, vars = build layout config inputs in
+  (* the nonconvex tsync constraint invalidates OA cuts; only the
+     NLP-based tree (local relaxations) is sound there, so tsync models
+     never race — there is exactly one applicable solver *)
+  match (config.tsync, strategy) with
+  | Some _, _ ->
+    decode
+      ~producer:(Engine.Solver_choice.to_string Engine.Solver_choice.Bnb)
+      ?budget layout inputs problem vars
+      (run_solver Engine.Solver_choice.Bnb ?budget ?tally problem)
+  | None, `Single s ->
+    decode
+      ~producer:(Engine.Solver_choice.to_string s)
+      ?budget layout inputs problem vars
+      (run_solver s ?budget ?tally problem)
+  | None, `Auto ->
+    decode
+      ~producer:(Engine.Solver_choice.to_string config.solver)
+      ?budget layout inputs problem vars
+      (run_solver config.solver ?budget ?tally problem)
+  | None, `Portfolio -> (
+    let lane choice =
+      ( Engine.Solver_choice.to_string choice,
+        fun shared ->
+          let lane_tally = Engine.Telemetry.create () in
+          (run_solver choice ~budget:shared ~tally:lane_tally problem, lane_tally) )
+    in
+    let outcome =
+      Runtime.Portfolio.race ?budget
+        ~final:(fun ((s : Minlp.Solution.t), _) ->
+          s.Minlp.Solution.status = Minlp.Solution.Optimal)
+        ~better:(fun ((a : Minlp.Solution.t), _) ((b : Minlp.Solution.t), _) ->
+          match (Minlp.Solution.has_incumbent a, Minlp.Solution.has_incumbent b) with
+          | true, false -> true
+          | false, (true | false) -> false
+          | true, true -> a.Minlp.Solution.obj < b.Minlp.Solution.obj)
+        (List.map lane Engine.Solver_choice.all)
+    in
+    (match tally with
+    | None -> ()
+    | Some t ->
+      List.iter
+        (fun (l : _ Runtime.Portfolio.lane) ->
+          match l.Runtime.Portfolio.outcome with
+          | Ok (_, lane_tally) -> Engine.Telemetry.merge_into t lane_tally
+          | Error _ -> ())
+        outcome.Runtime.Portfolio.lanes);
+    (* same policy as Alloc_model: the winning lane's certificate is
+       re-verified against the raw model before the answer leaves the
+       race, and a rejected optimality proof is demoted *)
+    let producer = "portfolio:" ^ outcome.Runtime.Portfolio.winner in
+    match
+      decode ~producer ?budget layout inputs problem vars
+        (fst outcome.Runtime.Portfolio.value)
+    with
+    | Error _ as e -> e
+    | Ok alloc -> (
+      match alloc.certificate with
+      | None -> Ok alloc
+      | Some cert -> (
+        match Audit.check_minlp problem cert with
+        | Ok () -> Ok alloc
+        | Error _ -> (
+          match alloc.status with
+          | Minlp.Solution.Optimal ->
+            Ok { alloc with status = Minlp.Solution.Feasible Minlp.Solution.Audit_failed }
+          | Minlp.Solution.Feasible _ | Minlp.Solution.Budget_exhausted _
+          | Minlp.Solution.Infeasible | Minlp.Solution.Unbounded ->
+            Ok alloc))))
+
+let fail_on_error layout config = function
+  | Ok alloc -> alloc
+  | Error status ->
     failwith
       (Printf.sprintf "Layout_model.solve: %s for %s on %d nodes"
          (Minlp.Solution.status_to_string status)
          (layout_name layout) config.n_total)
 
+let solve_legacy ?strategy ?budget ?tally layout config inputs =
+  fail_on_error layout config (solve ?strategy ?budget ?trace:tally layout config inputs)
+
 let predict_scaling layout config inputs ~node_counts =
   List.map
     (fun n_total ->
-      let alloc = solve layout { config with n_total } inputs in
+      let config = { config with n_total } in
+      let alloc = fail_on_error layout config (solve layout config inputs) in
       (n_total, alloc.total))
     node_counts

@@ -46,7 +46,14 @@ type alloc = {
   nodes : (string * int) list;  (** component name → nodes *)
   times : (string * float) list;  (** predicted per-component times *)
   total : float;  (** predicted total time under the layout formula *)
+  status : Minlp.Solution.status;
+      (** how the solve ended; [Feasible Audit_failed] marks a
+          portfolio winner whose optimality certificate the independent
+          auditor rejected (the point itself re-verified feasible) *)
   stats : Minlp.Solution.stats;
+  certificate : Engine.Certificate.t option;
+      (** solver-emitted claim backing [status], verifiable with
+          [Audit.check_minlp] against {!build}'s problem *)
 }
 
 (** [layout_total layout ~ice ~lnd ~atm ~ocn] — the layout's total-time
@@ -57,18 +64,34 @@ val layout_total : layout -> ice:float -> lnd:float -> atm:float -> ocn:float ->
     the variable indices of [(n_ice, n_lnd, n_atm, n_ocn)]. *)
 val build : layout -> config -> inputs -> Minlp.Problem.t * (int * int * int * int)
 
-(** [solve ?strategy ?budget ?tally layout config inputs] — build,
-    solve and decode. The armed [budget] and [tally] are threaded into
-    the MINLP solver.
+(** [solve ?strategy ?budget ?cancel ?trace layout config inputs] —
+    build, solve and decode, following the {!Engine.Solver_intf.S}
+    labelled-argument convention. Infeasibility or an empty-handed
+    budget stop is returned as [Error], not raised.
 
     [strategy] (default [`Auto], which honours [config.solver]) selects
     the solver as in {!Hslb.Alloc_model.solve}: [`Portfolio] races all
     of {!Engine.Solver_choice.all} in parallel domains on one shared
-    budget. Models with a [tsync] tolerance are nonconvex and always use
-    the NLP-based branch and bound alone, whatever the strategy.
+    budget; the winning lane's certificate is re-verified by the
+    independent auditor before the answer is returned, and a rejected
+    [Optimal] claim is demoted to [Feasible Audit_failed]. Models with
+    a [tsync] tolerance are nonconvex and always use the NLP-based
+    branch and bound alone, whatever the strategy. *)
+val solve :
+  ?strategy:Runtime.Portfolio.strategy ->
+  ?budget:Engine.Budget.armed ->
+  ?cancel:Engine.Cancel.t ->
+  ?trace:Engine.Telemetry.t ->
+  layout ->
+  config ->
+  inputs ->
+  (alloc, Minlp.Solution.status) result
+
+(** Raising wrapper with the pre-certificate signature; migrate to
+    {!solve}.
     @raise Failure when infeasible or the budget ran out with no
     incumbent. *)
-val solve :
+val solve_legacy :
   ?strategy:Runtime.Portfolio.strategy ->
   ?budget:Engine.Budget.armed ->
   ?tally:Engine.Telemetry.t ->
@@ -76,6 +99,7 @@ val solve :
   config ->
   inputs ->
   alloc
+[@@ocaml.deprecated "use Layout_model.solve (returns a result)"]
 
 (** [predict_scaling layout config inputs ~node_counts] — predicted
     total time at each node budget (the layout-comparison figure). *)

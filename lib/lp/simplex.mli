@@ -19,17 +19,40 @@ type solution = {
   obj : float;  (** objective value in the problem's own sense *)
 }
 
-(** [solve ?max_iter ?budget ?tally p] — solve [p]. The result's [x] is
-    in the original variable space (bound offsets undone).
+(** [run ?max_iter ?budget ?tally p] — solve [p], returning the raw
+    solver record. The result's [x] is in the original variable space
+    (bound offsets undone).
 
     [budget] is an armed {!Engine.Budget}: each pivot bumps its
     iteration counter and the deadline/cancel token is polled every 64
     pivots; on exhaustion the status is [Iteration_limit] (interpret the
-    cause via [Engine.Budget.check]). [tally] accumulates [lp_solves]
+    cause via [Engine.Budget.inspect]). [tally] accumulates [lp_solves]
     and [simplex_pivots]. *)
-val solve :
+val run :
   ?max_iter:int ->
   ?budget:Engine.Budget.armed ->
   ?tally:Engine.Telemetry.t ->
   Lp_problem.t ->
   solution
+
+(** The unified entry point ({!Engine.Solver_intf.S} convention): [Ok]
+    carries the proven-optimal solution plus its certificate
+    ([Exact_method] evidence — the simplex terminates only at an optimal
+    basis), [Error] the {!Engine.Status.t} explaining why there is no
+    usable point. [warm_start] is accepted for signature uniformity and
+    ignored (the two-phase simplex builds its own starting basis). *)
+val solve :
+  ?budget:Engine.Budget.armed ->
+  ?cancel:Engine.Cancel.t ->
+  ?warm_start:float array ->
+  ?trace:Engine.Telemetry.t ->
+  Lp_problem.t ->
+  (solution Engine.Solver_intf.certified, Engine.Status.t) result
+
+val solve_legacy :
+  ?max_iter:int ->
+  ?budget:Engine.Budget.armed ->
+  ?tally:Engine.Telemetry.t ->
+  Lp_problem.t ->
+  solution
+[@@ocaml.deprecated "use Simplex.run (same behaviour) or the unified Simplex.solve"]

@@ -4,7 +4,7 @@ let default_options = { max_nodes = 20_000; tol_int = 1e-6; rel_gap = 1e-6; bran
 
 type node = { nlo : float array; nhi : float array; depth : int; bound : float; start : float array }
 
-let solve ?(options = default_options) ?budget ?tally ?warm_start (p0 : Problem.t) =
+let run ?(options = default_options) ?budget ?tally ?warm_start (p0 : Problem.t) =
   let p, orig_dim = Problem.normalize p0 in
   let pre = Presolve.tighten p in
   if pre.Presolve.infeasible then
@@ -166,21 +166,32 @@ let solve ?(options = default_options) ?budget ?tally ?warm_start (p0 : Problem.
   (* a budget stop can land inside a node's NLP relaxation: the aborted
      subproblem reads as infeasible, the node is dropped childless, and
      the heap can drain to empty without the top-of-loop check ever
-     firing. An emptied heap therefore proves nothing once the budget
-     has stopped — re-check it before classifying the result. *)
-  (if !stopped = None then
-     match Engine.Budget.stopped budget with
-     | Some r -> stopped := Some (`Budget (Solution.reason_of_budget r))
-     | None -> ());
+     firing. Re-inspect the budget before classifying the result —
+     without charging a poll, since this is bookkeeping, not solving. *)
+  (match !stopped with
+  | Some (`Budget _) -> ()
+  | None | Some (`Internal _) -> (
+    match Engine.Budget.inspected budget with
+    | Some r -> stopped := Some (`Budget (Solution.reason_of_budget r))
+    | None -> ()));
   match !incumbent with
-  | Some (x, obj) ->
+  | Some (x, _) ->
     let status =
       match !stopped with
       | Some (`Budget r) -> Solution.Budget_exhausted r
-      | Some (`Internal r) when not (Ds.Heap.is_empty open_nodes) -> Solution.Feasible r
-      | Some (`Internal _) | None -> Solution.Optimal
+      | Some (`Internal r) -> Solution.Feasible r
+      | None -> Solution.Optimal
     in
-    { Solution.status; x = Array.sub x 0 orig_dim; obj; bound; stats }
+    let x = Array.sub x 0 orig_dim in
+    (* report the objective of the point actually returned: an
+       early-aborted subproblem can leave the epigraph variable above
+       the true objective value, and the certificate claims must match
+       the witness exactly. The bound folds in the (possibly inflated)
+       incumbent key, so clamp it to the recomputed objective — a
+       feasible point's value is always a valid upper bound. *)
+    let obj = Problem.objective_value p0 x in
+    let bound = Float.min bound (key obj) in
+    { Solution.status; x; obj; bound; stats }
   | None ->
     let status =
       match !stopped with
@@ -189,3 +200,13 @@ let solve ?(options = default_options) ?budget ?tally ?warm_start (p0 : Problem.
     in
     { Solution.status; x = [||]; obj = nan; bound; stats }
   end
+
+let solve_legacy = run
+
+let solve ?budget ?cancel ?warm_start ?trace p =
+  let budget = Engine.Solver_intf.join_budget ?budget ?cancel () in
+  let sol = run ?budget ?tally:trace ?warm_start p in
+  Solution.to_result ~producer:"minlp.bnb" ?budget ~minimize:p.Problem.minimize
+    ~tol:default_options.rel_gap
+    ~pruned:(match trace with Some t -> t.Engine.Telemetry.nodes_pruned | None -> 0)
+    sol

@@ -16,9 +16,10 @@ type options = {
 
 val default_options : options
 
-(** [solve ?options ?budget ?tally ?warm_start p] — solve the MINLP.
-    Nonlinear objectives are handled by epigraph normalization
-    internally; the returned [x] is in the original variable space.
+(** [run ?options ?budget ?tally ?warm_start p] — solve the MINLP,
+    returning the raw {!Solution.t}. Nonlinear objectives are handled
+    by epigraph normalization internally; the returned [x] is in the
+    original variable space.
 
     The armed [budget] is polled at the top of the node loop and inside
     every NLP relaxation solve; on exhaustion the best incumbent found
@@ -28,10 +29,30 @@ val default_options : options
     pruning bound), measurably cutting node counts; infeasible points
     are silently ignored. [tally] accumulates node / NLP / incumbent
     counters. *)
-val solve :
+val run :
   ?options:options ->
   ?budget:Engine.Budget.armed ->
   ?tally:Engine.Telemetry.t ->
   ?warm_start:float array ->
   Problem.t ->
   Solution.t
+
+(** The unified entry point ({!Engine.Solver_intf.S} convention):
+    {!run} under default options, returning the incumbent plus its
+    certificate, or the failure status. Solver knobs stay on {!run}. *)
+val solve :
+  ?budget:Engine.Budget.armed ->
+  ?cancel:Engine.Cancel.t ->
+  ?warm_start:float array ->
+  ?trace:Engine.Telemetry.t ->
+  Problem.t ->
+  (Solution.t Engine.Solver_intf.certified, Engine.Status.t) result
+
+val solve_legacy :
+  ?options:options ->
+  ?budget:Engine.Budget.armed ->
+  ?tally:Engine.Telemetry.t ->
+  ?warm_start:float array ->
+  Problem.t ->
+  Solution.t
+[@@ocaml.deprecated "use Bnb.run (same behaviour) or the unified Bnb.solve"]

@@ -56,10 +56,10 @@ let sos_split members x =
   end
   else (s1, s2)
 
-let solve ?(options = default_options) ?(extra_rows = []) ?on_integral ?budget ?tally
+let run ?(options = default_options) ?(extra_rows = []) ?on_integral ?budget ?tally
     ?warm_start (p : Problem.t) =
   let lin_rows, nl = Problem.split_constraints p in
-  if nl <> [] then invalid_arg "Milp.solve: problem has nonlinear constraints";
+  if nl <> [] then invalid_arg "Milp.run: problem has nonlinear constraints";
   let obj = Problem.linear_objective p in
   let base_rows = lin_rows @ extra_rows in
   let cut_pool = ref [] in
@@ -90,7 +90,7 @@ let solve ?(options = default_options) ?(extra_rows = []) ?on_integral ?budget ?
     for j = 0 to p.num_vars - 1 do
       lp := Lp.Lp_problem.set_bounds !lp j ~lo:node.nlo.(j) ~hi:node.nhi.(j)
     done;
-    Lp.Simplex.solve ?budget ?tally !lp
+    Lp.Simplex.run ?budget ?tally !lp
   in
   let leq =
     if options.depth_first then fun a b -> a.depth >= b.depth
@@ -313,22 +313,28 @@ let solve ?(options = default_options) ?(extra_rows = []) ?on_integral ?budget ?
     (* a budget stop can land inside a node's LP: the aborted simplex
        reads as an iteration limit, the node's subtree is abandoned, and
        the heap can drain to empty without the top-of-loop check ever
-       firing. An emptied heap therefore proves nothing once the budget
-       has stopped — re-check it before classifying the result. *)
-    (if !stopped = None then
-       match Engine.Budget.stopped budget with
-       | Some r -> stopped := Some (`Budget (Solution.reason_of_budget r))
-       | None -> ());
+       firing. Re-inspect the budget before classifying the result —
+       without charging a poll, since this is bookkeeping, not solving —
+       and let a budget stop take precedence over an internal label that
+       the abort may have masqueraded under. *)
+    (match !stopped with
+    | Some (`Budget _) -> ()
+    | None | Some (`Internal _) -> (
+      match Engine.Budget.inspected budget with
+      | Some r -> stopped := Some (`Budget (Solution.reason_of_budget r))
+      | None -> ()));
     match !incumbent with
     | Some (x, obj) ->
-      (* an early internal stop with an empty heap means the search in
-         fact finished: the incumbent is optimal (internal caps only
-         fire between whole nodes, so nothing was abandoned silently) *)
+      (* an iteration-limited run abandoned the aborted node's subtree,
+         so an emptied heap proves nothing there: only an unstopped run
+         may claim optimality (the node cap fires between whole nodes
+         and always leaves the heap non-empty, so it lands in the
+         Feasible arm naturally) *)
       let status =
         match !stopped with
         | Some (`Budget r) -> Solution.Budget_exhausted r
-        | Some (`Internal r) when not (Ds.Heap.is_empty open_nodes) -> Solution.Feasible r
-        | Some (`Internal _) | None -> Solution.Optimal
+        | Some (`Internal r) -> Solution.Feasible r
+        | None -> Solution.Optimal
       in
       { Solution.status; x; obj; bound; stats }
     | None ->
@@ -339,3 +345,13 @@ let solve ?(options = default_options) ?(extra_rows = []) ?on_integral ?budget ?
       in
       { Solution.status; x = [||]; obj = nan; bound; stats }
   end
+
+let solve_legacy = run
+
+let solve ?budget ?cancel ?warm_start ?trace p =
+  let budget = Engine.Solver_intf.join_budget ?budget ?cancel () in
+  let sol = run ?budget ?tally:trace ?warm_start p in
+  Solution.to_result ~producer:"minlp.milp" ?budget ~minimize:p.Problem.minimize
+    ~tol:default_options.rel_gap
+    ~pruned:(match trace with Some t -> t.Engine.Telemetry.nodes_pruned | None -> 0)
+    sol

@@ -49,7 +49,7 @@ type callback =
 val sos_split :
   (int * float) list -> float array -> (int * float) list * (int * float) list
 
-(** [solve ?options ?extra_rows ?on_integral ?budget ?tally ?warm_start p]
+(** [run ?options ?extra_rows ?on_integral ?budget ?tally ?warm_start p]
     — [p] must have a linear objective and only linear constraints
     (raise otherwise). [extra_rows] are appended to the LP relaxation
     (the OA solver's initial cut set).
@@ -60,7 +60,7 @@ val sos_split :
     [warm_start] primes the incumbent with a feasible point of [p] —
     infeasible points are ignored. [tally] accumulates node, LP, cut and
     incumbent counters. *)
-val solve :
+val run :
   ?options:options ->
   ?extra_rows:Lp.Lp_problem.constr list ->
   ?on_integral:callback ->
@@ -69,3 +69,25 @@ val solve :
   ?warm_start:float array ->
   Problem.t ->
   Solution.t
+
+(** The unified entry point ({!Engine.Solver_intf.S} convention):
+    {!run} under default options with no extra rows or callback (those
+    stay on {!run}, which the OA solvers drive). *)
+val solve :
+  ?budget:Engine.Budget.armed ->
+  ?cancel:Engine.Cancel.t ->
+  ?warm_start:float array ->
+  ?trace:Engine.Telemetry.t ->
+  Problem.t ->
+  (Solution.t Engine.Solver_intf.certified, Engine.Status.t) result
+
+val solve_legacy :
+  ?options:options ->
+  ?extra_rows:Lp.Lp_problem.constr list ->
+  ?on_integral:callback ->
+  ?budget:Engine.Budget.armed ->
+  ?tally:Engine.Telemetry.t ->
+  ?warm_start:float array ->
+  Problem.t ->
+  Solution.t
+[@@ocaml.deprecated "use Milp.run (same behaviour) or the unified Milp.solve"]

@@ -32,7 +32,7 @@ let assignment_key (p : Problem.t) x =
     p.kinds;
   Buffer.contents b
 
-let solve ?(options = default_options) ?budget ?tally ?warm_start (p0 : Problem.t) =
+let run ?(options = default_options) ?budget ?tally ?warm_start (p0 : Problem.t) =
   let p, orig_dim = Problem.normalize p0 in
   (* feasibility-based bound tightening shrinks the tree and the
      relaxation boxes; its infeasibility verdict is sound (pure
@@ -62,8 +62,20 @@ let solve ?(options = default_options) ?budget ?tally ?warm_start (p0 : Problem.
       | Some _ | None -> None)
   in
   let _, nl = Problem.split_constraints p in
+  (* drop the epigraph variables and re-evaluate the objective at the
+     returned point: an early-aborted inner NLP can leave the epigraph
+     variable above the true objective value, and the certificate claims
+     must match the witness exactly *)
   let truncate (s : Solution.t) =
-    if Array.length s.x > orig_dim then { s with x = Array.sub s.x 0 orig_dim } else s
+    let s =
+      if Array.length s.x > orig_dim then { s with x = Array.sub s.x 0 orig_dim } else s
+    in
+    if Solution.has_incumbent s then begin
+      let obj = Problem.objective_value p0 s.Solution.x in
+      let keyed = if p0.Problem.minimize then obj else -.obj in
+      { s with Solution.obj; bound = Float.min s.Solution.bound keyed }
+    end
+    else s
   in
   let milp_options =
     {
@@ -76,7 +88,7 @@ let solve ?(options = default_options) ?budget ?tally ?warm_start (p0 : Problem.
     }
   in
   if nl = [] then
-    truncate (Milp.solve ~options:milp_options ?budget ?tally ?warm_start:warm p)
+    truncate (Milp.run ~options:milp_options ?budget ?tally ?warm_start:warm p)
   else begin
     let nlp_solves = ref 0 in
     (* root relaxation seeds the initial linearization *)
@@ -145,7 +157,7 @@ let solve ?(options = default_options) ?budget ?tally ?warm_start (p0 : Problem.
       let master = Problem.linear_restriction p in
       let s =
         Engine.Telemetry.time tally "master" (fun () ->
-            Milp.solve ~options:milp_options ~extra_rows:initial_cuts ~on_integral ?budget
+            Milp.run ~options:milp_options ~extra_rows:initial_cuts ~on_integral ?budget
               ?tally ?warm_start:warm master)
       in
       let stats = { s.Solution.stats with nlp_solves = !nlp_solves } in
@@ -153,3 +165,13 @@ let solve ?(options = default_options) ?budget ?tally ?warm_start (p0 : Problem.
     end
   end
   end
+
+let solve_legacy = run
+
+let solve ?budget ?cancel ?warm_start ?trace p =
+  let budget = Engine.Solver_intf.join_budget ?budget ?cancel () in
+  let sol = run ?budget ?tally:trace ?warm_start p in
+  Solution.to_result ~producer:"minlp.oa" ?budget ~minimize:p.Problem.minimize
+    ~tol:default_options.rel_gap
+    ~pruned:(match trace with Some t -> t.Engine.Telemetry.nodes_pruned | None -> 0)
+    sol

@@ -25,9 +25,10 @@ type options = {
 
 val default_options : options
 
-(** [solve ?options ?budget ?tally ?warm_start p] — solve a convex
-    MINLP. Nonlinear objectives are epigraph-normalized internally; [x]
-    is returned in the original variable space.
+(** [run ?options ?budget ?tally ?warm_start p] — solve a convex
+    MINLP, returning the raw {!Solution.t}. Nonlinear objectives are
+    epigraph-normalized internally; [x] is returned in the original
+    variable space.
 
     The armed [budget] covers the whole run (root NLP, master tree,
     fixed-integer NLPs); on exhaustion the best incumbent is returned
@@ -37,10 +38,30 @@ val default_options : options
     the feasibility check are silently ignored). [tally] accumulates the
     full counter set, plus "presolve" / "root-nlp" / "master" phase
     timers. *)
-val solve :
+val run :
   ?options:options ->
   ?budget:Engine.Budget.armed ->
   ?tally:Engine.Telemetry.t ->
   ?warm_start:float array ->
   Problem.t ->
   Solution.t
+
+(** The unified entry point ({!Engine.Solver_intf.S} convention):
+    {!run} under default options, returning the incumbent plus its
+    certificate, or the failure status. Solver knobs stay on {!run}. *)
+val solve :
+  ?budget:Engine.Budget.armed ->
+  ?cancel:Engine.Cancel.t ->
+  ?warm_start:float array ->
+  ?trace:Engine.Telemetry.t ->
+  Problem.t ->
+  (Solution.t Engine.Solver_intf.certified, Engine.Status.t) result
+
+val solve_legacy :
+  ?options:options ->
+  ?budget:Engine.Budget.armed ->
+  ?tally:Engine.Telemetry.t ->
+  ?warm_start:float array ->
+  Problem.t ->
+  Solution.t
+[@@ocaml.deprecated "use Oa.run (same behaviour) or the unified Oa.solve"]

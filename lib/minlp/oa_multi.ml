@@ -27,7 +27,7 @@ let add_stats (a : Solution.stats) (b : Solution.stats) =
     cuts = a.Solution.cuts + b.Solution.cuts;
   }
 
-let solve ?(options = default_options) ?budget ?tally (p0 : Problem.t) =
+let run ?(options = default_options) ?budget ?tally (p0 : Problem.t) =
   let p, orig_dim = Problem.normalize p0 in
   let pre = Engine.Telemetry.time tally "presolve" (fun () -> Presolve.tighten p) in
   let infeasible_solution stats =
@@ -38,8 +38,20 @@ let solve ?(options = default_options) ?budget ?tally (p0 : Problem.t) =
   else begin
     let p = pre.Presolve.problem in
     let _, nl = Problem.split_constraints p in
+    (* drop the epigraph variables and re-evaluate the objective at the
+       returned point: an early-aborted inner NLP can leave the epigraph
+       variable above the true objective value, and the certificate
+       claims must match the witness exactly *)
     let truncate (s : Solution.t) =
-      if Array.length s.x > orig_dim then { s with x = Array.sub s.x 0 orig_dim } else s
+      let s =
+        if Array.length s.x > orig_dim then { s with x = Array.sub s.x 0 orig_dim } else s
+      in
+      if Solution.has_incumbent s then begin
+        let obj = Problem.objective_value p0 s.Solution.x in
+        let keyed = if p0.Problem.minimize then obj else -.obj in
+        { s with Solution.obj; bound = Float.min s.Solution.bound keyed }
+      end
+      else s
     in
     let milp_options =
       {
@@ -52,7 +64,7 @@ let solve ?(options = default_options) ?budget ?tally (p0 : Problem.t) =
       }
     in
     if nl = [] then
-      { solution = truncate (Milp.solve ~options:milp_options ?budget ?tally p); iterations = 1 }
+      { solution = truncate (Milp.run ~options:milp_options ?budget ?tally p); iterations = 1 }
     else begin
       let stats = ref Solution.empty_stats in
       let master = Problem.linear_restriction p in
@@ -90,7 +102,7 @@ let solve ?(options = default_options) ?budget ?tally (p0 : Problem.t) =
         incr iterations;
         let ms =
           Engine.Telemetry.time tally "master" (fun () ->
-              Milp.solve ~options:milp_options ~extra_rows:!cuts ?budget ?tally master)
+              Milp.run ~options:milp_options ~extra_rows:!cuts ?budget ?tally master)
         in
         stats :=
           add_stats !stats
@@ -149,19 +161,32 @@ let solve ?(options = default_options) ?budget ?tally (p0 : Problem.t) =
             then finished := true
           end)
       done;
+      (* a budget stop can land inside an inner NLP without surfacing in
+         the master's status; re-inspect (non-charging) before
+         classifying, and give the stop order precedence: a solver that
+         observed "stop" reports budget exhaustion, even when its last
+         subproblem happened to close the gap *)
+      (match !stop_reason with
+      | Some (`Budget _) -> ()
+      | None | Some (`Internal _) -> (
+        match Engine.Budget.inspected budget with
+        | Some r -> stop_reason := Some (`Budget (Solution.reason_of_budget r))
+        | None -> ()));
       let solution =
         match !incumbent with
         | Some (x, obj) ->
           let status =
-            if
-              !incumbent_key -. !lower_bound
-              <= options.rel_gap *. Float.max 1. (Float.abs !incumbent_key)
-            then Solution.Optimal
-            else
-              match !stop_reason with
-              | Some (`Budget r) -> Solution.Budget_exhausted r
-              | Some (`Internal r) -> Solution.Feasible r
-              | None -> Solution.Feasible Solution.Round_limit
+            match !stop_reason with
+            | Some (`Budget r) -> Solution.Budget_exhausted r
+            | (Some (`Internal _) | None) as sr ->
+              if
+                !incumbent_key -. !lower_bound
+                <= options.rel_gap *. Float.max 1. (Float.abs !incumbent_key)
+              then Solution.Optimal
+              else (
+                match sr with
+                | Some (`Internal r) -> Solution.Feasible r
+                | Some (`Budget _) | None -> Solution.Feasible Solution.Round_limit)
           in
           truncate { Solution.status; x; obj; bound = !lower_bound; stats = !stats }
         | None -> (
@@ -179,3 +204,11 @@ let solve ?(options = default_options) ?budget ?tally (p0 : Problem.t) =
       { solution; iterations = !iterations }
     end
   end
+
+let solve_legacy = run
+
+let solve ?budget ?cancel ?warm_start:_ ?trace p =
+  let budget = Engine.Solver_intf.join_budget ?budget ?cancel () in
+  let info = run ?budget ?tally:trace p in
+  Solution.to_result ~producer:"minlp.oa-multi" ?budget ~minimize:p.Problem.minimize
+    ~tol:default_options.rel_gap info.solution

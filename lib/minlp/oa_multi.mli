@@ -26,14 +26,35 @@ type info = {
   iterations : int;  (** alternations used *)
 }
 
-(** [solve ?options ?budget ?tally p] — returns the solution plus the
+(** [run ?options ?budget ?tally p] — returns the solution plus the
     iteration count. [solution.stats] accumulates over all master
     solves. The armed [budget] is checked between alternations and
     threaded into every master / NLP solve; on exhaustion the best
     incumbent is returned with status [Budget_exhausted]. *)
-val solve :
+val run :
   ?options:options ->
   ?budget:Engine.Budget.armed ->
   ?tally:Engine.Telemetry.t ->
   Problem.t ->
   info
+
+(** The unified entry point ({!Engine.Solver_intf.S} convention):
+    {!run} under default options. The iteration count is dropped — use
+    {!run} when it matters. [warm_start] is accepted for signature
+    uniformity and ignored (the alternation always starts from its own
+    root relaxation). *)
+val solve :
+  ?budget:Engine.Budget.armed ->
+  ?cancel:Engine.Cancel.t ->
+  ?warm_start:float array ->
+  ?trace:Engine.Telemetry.t ->
+  Problem.t ->
+  (Solution.t Engine.Solver_intf.certified, Engine.Status.t) result
+
+val solve_legacy :
+  ?options:options ->
+  ?budget:Engine.Budget.armed ->
+  ?tally:Engine.Telemetry.t ->
+  Problem.t ->
+  info
+[@@ocaml.deprecated "use Oa_multi.run (same behaviour) or the unified Oa_multi.solve"]

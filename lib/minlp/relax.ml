@@ -43,7 +43,7 @@ let linear_start ?budget ?tally (p : Problem.t) ~lo ~hi ~start =
     for j = 0 to p.num_vars - 1 do
       lp := Lp.Lp_problem.set_bounds !lp j ~lo:lo.(j) ~hi:hi.(j)
     done;
-    match Lp.Simplex.solve ?budget ?tally !lp with
+    match Lp.Simplex.run ?budget ?tally !lp with
     | { Lp.Simplex.status = Lp.Simplex.Optimal; x; _ } -> `Start x
     | { Lp.Simplex.status = Lp.Simplex.Infeasible; _ } -> `Infeasible
     | { Lp.Simplex.status = Lp.Simplex.Unbounded | Lp.Simplex.Iteration_limit; _ } -> `Start start
@@ -74,7 +74,7 @@ let solve_nlp ?(tol_feas = 1e-6) ?budget ?tally (p : Problem.t) ~lo ~hi ~start =
     in
     let attempt s =
       Engine.Telemetry.bump tally Engine.Telemetry.add_nlp_solves 1;
-      Nlp.Auglag.solve ~tol_feas ?budget ?tally nlp s
+      Nlp.Auglag.run ~tol_feas ?budget ?tally nlp s
     in
     let result_of (r : Nlp.Auglag.result) =
       {

@@ -1,15 +1,23 @@
 (** Solver result types shared by the MILP, NLP-based and LP/NLP-based
-    branch-and-bound algorithms. *)
+    branch-and-bound algorithms.
+
+    [reason] and [status] are re-exports (type equations) of
+    {!Engine.Status.reason} and {!Engine.Status.t}: every solver layer
+    in the stack reports the same status type, and existing pattern
+    matches over [Solution.status] keep compiling unchanged. *)
 
 (** Why a solver stopped before proving optimality. *)
-type reason =
+type reason = Engine.Status.reason =
   | Node_limit  (** the solver's own node / outer-iteration cap *)
   | Iter_limit  (** an LP pivot / NLP iteration cap *)
   | Round_limit  (** OA alternation round cap *)
   | Deadline  (** engine budget: wall-clock deadline elapsed *)
   | Cancelled  (** engine budget: cancel token triggered *)
+  | Audit_failed
+      (** the independent auditor rejected the solver's certificate, so
+          a proven claim was demoted (see lib/audit) *)
 
-type status =
+type status = Engine.Status.t =
   | Optimal  (** proven optimal within the gap tolerance *)
   | Feasible of reason
       (** a feasible incumbent is in [x], but the search stopped early
@@ -48,5 +56,34 @@ val has_incumbent : t -> bool
 
 (** Map an engine budget-stop reason into a status reason. *)
 val reason_of_budget : Engine.Budget.reason -> reason
+
+(** [certify ~producer ?budget ?minimize ?tol ?pruned s] — the
+    machine-checkable certificate backing [s]'s status claim. An
+    [Optimal] claim gets [Cover_exhausted] evidence built from the
+    solution's node count (plus [pruned] when the caller tracked it);
+    incumbents without a proof get [Incumbent_only]; empty-handed
+    statuses get [No_witness]. When [budget] is given, its stop verdict
+    is recorded (via the non-charging {!Engine.Budget.inspect}, so
+    certifying never perturbs a fault-injection schedule). *)
+val certify :
+  producer:string ->
+  ?budget:Engine.Budget.armed ->
+  ?minimize:bool ->
+  ?tol:float ->
+  ?pruned:int ->
+  t ->
+  Engine.Certificate.t
+
+(** [to_result ~producer ... s] — the {!Engine.Solver_intf.S}-shaped
+    view of a solution: [Ok] with a {!certify}-built certificate when
+    [s] carries a usable incumbent, [Error s.status] otherwise. *)
+val to_result :
+  producer:string ->
+  ?budget:Engine.Budget.armed ->
+  ?minimize:bool ->
+  ?tol:float ->
+  ?pruned:int ->
+  t ->
+  (t Engine.Solver_intf.certified, status) result
 
 val pp : Format.formatter -> t -> unit

@@ -14,12 +14,13 @@ type result = {
   converged : bool;  (** violation and stationarity tolerances met *)
 }
 
-(** [solve ?max_outer ?tol_feas ?tol_opt ?budget ?tally p x0] — solve
-    [p] starting from [x0] (clamped into the box). The armed [budget]
-    is checked between outer iterations and threaded into the inner
-    {!Bounded} solves; on exhaustion the current iterate is returned
-    with [converged = false]. *)
-val solve :
+(** [run ?max_outer ?tol_feas ?tol_opt ?budget ?tally p x0] — solve
+    [p] starting from [x0] (clamped into the box), returning the raw
+    solver record. The armed [budget] is checked between outer
+    iterations and threaded into the inner {!Bounded} solves; on
+    exhaustion the current iterate is returned with
+    [converged = false]. *)
+val run :
   ?max_outer:int ->
   ?tol_feas:float ->
   ?tol_opt:float ->
@@ -28,3 +29,30 @@ val solve :
   Nlp_problem.t ->
   Numerics.Vec.t ->
   result
+
+(** The unified entry point ({!Engine.Solver_intf.S} convention).
+    [warm_start] is the starting iterate (box midpoint when absent).
+    A converged run claims [Optimal] with [Exact_method] evidence —
+    valid because the MINLP layer only feeds this solver convex models,
+    where a feasible first-order stationary point is globally optimal; a
+    run that stalled at a feasible iterate is [Ok] with a
+    [Feasible _]-status [Incumbent_only] certificate; an infeasible
+    stall is [Error]. *)
+val solve :
+  ?budget:Engine.Budget.armed ->
+  ?cancel:Engine.Cancel.t ->
+  ?warm_start:Numerics.Vec.t ->
+  ?trace:Engine.Telemetry.t ->
+  Nlp_problem.t ->
+  (result Engine.Solver_intf.certified, Engine.Status.t) Stdlib.result
+
+val solve_legacy :
+  ?max_outer:int ->
+  ?tol_feas:float ->
+  ?tol_opt:float ->
+  ?budget:Engine.Budget.armed ->
+  ?tally:Engine.Telemetry.t ->
+  Nlp_problem.t ->
+  Numerics.Vec.t ->
+  result
+[@@ocaml.deprecated "use Auglag.run (same behaviour) or the unified Auglag.solve"]

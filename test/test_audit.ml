@@ -1,0 +1,267 @@
+(* Tests for lib/audit: the independent checker must accept honest
+   certificates, reject every corrupted one with a typed violation, the
+   poll-fuse fault injection must be deterministic and sticky, and a
+   mini stress sweep must come back clean. *)
+
+let check_rejects msg pred verdict =
+  match verdict with
+  | Ok () -> Alcotest.failf "%s: checker accepted a corrupted certificate" msg
+  | Error vs ->
+    if not (List.exists pred vs) then
+      Alcotest.failf "%s: expected violation missing; got: %s" msg (Audit.summary verdict)
+
+(* one honest certified solve, reused by every mutation test *)
+let solved =
+  lazy
+    (let p = Audit.Instances.generate ~seed:11 in
+     match Minlp.Oa.solve p with
+     | Ok c -> (p, c.Engine.Solver_intf.cert)
+     | Error st -> Alcotest.failf "solve failed: %s" (Minlp.Solution.status_to_string st))
+
+let witness cert =
+  match cert.Engine.Certificate.witness with
+  | Some w -> Array.copy w
+  | None -> Alcotest.fail "certificate carries no witness"
+
+let test_pristine_passes () =
+  let p, cert = Lazy.force solved in
+  match Audit.check_minlp p cert with
+  | Ok () -> ()
+  | Error _ as v -> Alcotest.failf "pristine certificate rejected: %s" (Audit.summary v)
+
+let test_mutation_not_integral () =
+  let p, cert = Lazy.force solved in
+  let w = witness cert in
+  w.(0) <- w.(0) +. 0.37;
+  check_rejects "fractional witness"
+    (function Audit.Not_integral _ -> true | _ -> false)
+    (Audit.check_minlp p { cert with Engine.Certificate.witness = Some w })
+
+let test_mutation_bound_violated () =
+  let p, cert = Lazy.force solved in
+  let w = witness cert in
+  w.(0) <- p.Minlp.Problem.lo.(0) -. 5.;
+  check_rejects "witness outside its box"
+    (function Audit.Bound_violated _ -> true | _ -> false)
+    (Audit.check_minlp p { cert with Engine.Certificate.witness = Some w })
+
+let test_mutation_constraint_violated () =
+  let p, cert = Lazy.force solved in
+  (* every variable at its upper bound overruns the shared node pool *)
+  let w = Array.map (fun hi -> hi) p.Minlp.Problem.hi in
+  check_rejects "pool constraint violated"
+    (function Audit.Constraint_violated _ -> true | _ -> false)
+    (Audit.check_minlp p { cert with Engine.Certificate.witness = Some w })
+
+let test_mutation_objective_claim () =
+  let p, cert = Lazy.force solved in
+  check_rejects "inflated objective claim"
+    (function Audit.Objective_mismatch _ -> true | _ -> false)
+    (Audit.check_minlp p
+       { cert with Engine.Certificate.claimed_obj = cert.Engine.Certificate.claimed_obj +. 1. })
+
+let test_mutation_bound_above_incumbent () =
+  let p, cert = Lazy.force solved in
+  check_rejects "lower bound claimed above the incumbent"
+    (function Audit.Bound_above_incumbent _ -> true | _ -> false)
+    (Audit.check_minlp p
+       {
+         cert with
+         Engine.Certificate.claimed_bound = cert.Engine.Certificate.claimed_obj +. 10.;
+       })
+
+let test_mutation_gap_open () =
+  let p, cert = Lazy.force solved in
+  check_rejects "gap-closed evidence with a distant bound"
+    (function Audit.Gap_open _ -> true | _ -> false)
+    (Audit.check_minlp p
+       {
+         cert with
+         Engine.Certificate.evidence = Engine.Certificate.Gap_closed;
+         claimed_bound = cert.Engine.Certificate.claimed_obj -. 100.;
+       })
+
+let test_mutation_open_branches () =
+  let p, cert = Lazy.force solved in
+  check_rejects "cover with unexplored branches"
+    (function Audit.Open_branches _ -> true | _ -> false)
+    (Audit.check_minlp p
+       {
+         cert with
+         Engine.Certificate.evidence =
+           Engine.Certificate.Cover_exhausted
+             { Engine.Certificate.explored = 5; pruned = 2; open_branches = 3 };
+       })
+
+let test_mutation_evidence_mismatch () =
+  let p, cert = Lazy.force solved in
+  check_rejects "optimal claimed on incumbent-only evidence"
+    (function Audit.Evidence_mismatch _ -> true | _ -> false)
+    (Audit.check_minlp p
+       { cert with Engine.Certificate.evidence = Engine.Certificate.Incumbent_only })
+
+let test_mutation_missing_witness () =
+  let p, cert = Lazy.force solved in
+  check_rejects "optimal claimed without a witness"
+    (function Audit.Missing_witness -> true | _ -> false)
+    (Audit.check_minlp p { cert with Engine.Certificate.witness = None })
+
+let test_mutation_witness_dimension () =
+  let p, cert = Lazy.force solved in
+  let w = Array.append (witness cert) [| 0. |] in
+  check_rejects "witness of the wrong dimension"
+    (function Audit.Witness_dimension _ -> true | _ -> false)
+    (Audit.check_minlp p { cert with Engine.Certificate.witness = Some w })
+
+(* ---------- poll-fuse fault injection ---------- *)
+
+let test_poll_fuse_deterministic () =
+  let b =
+    Engine.Budget.arm (Engine.Budget.make ~poll_fuse:(3, Engine.Budget.Deadline) ())
+  in
+  Alcotest.(check bool) "poll 1 clean" true (Engine.Budget.check b = None);
+  Alcotest.(check bool) "poll 2 clean" true (Engine.Budget.check b = None);
+  Alcotest.(check bool) "poll 3 trips" true
+    (Engine.Budget.check b = Some Engine.Budget.Deadline);
+  Alcotest.(check bool) "sticky" true (Engine.Budget.check b = Some Engine.Budget.Deadline)
+
+let test_poll_fuse_inspect_does_not_charge () =
+  let b =
+    Engine.Budget.arm (Engine.Budget.make ~poll_fuse:(2, Engine.Budget.Cancelled) ())
+  in
+  Alcotest.(check bool) "inspect before any poll" true (Engine.Budget.inspect b = None);
+  Alcotest.(check bool) "poll 1 clean" true (Engine.Budget.check b = None);
+  (* inspecting repeatedly must not move the fuse *)
+  Alcotest.(check bool) "inspect still clean" true (Engine.Budget.inspect b = None);
+  Alcotest.(check bool) "inspect still clean (again)" true (Engine.Budget.inspect b = None);
+  Alcotest.(check bool) "poll 2 trips" true
+    (Engine.Budget.check b = Some Engine.Budget.Cancelled);
+  (* once tripped, inspect sees the sticky verdict *)
+  Alcotest.(check bool) "inspect sees tripped fuse" true
+    (Engine.Budget.inspect b = Some Engine.Budget.Cancelled)
+
+(* a solver driven into a tripped fuse must not claim a proven status,
+   and its certificate must carry the budget stop *)
+let test_fused_solve_not_optimal () =
+  let p = Audit.Instances.generate ~seed:11 in
+  let budget =
+    Engine.Budget.arm (Engine.Budget.make ~poll_fuse:(5, Engine.Budget.Deadline) ())
+  in
+  (match Minlp.Oa.solve ~budget p with
+  | Ok c -> (
+    (match c.Engine.Solver_intf.value.Minlp.Solution.status with
+    | Minlp.Solution.Optimal -> Alcotest.fail "optimal claimed although the fuse tripped"
+    | _ -> ());
+    match Audit.check_minlp p c.Engine.Solver_intf.cert with
+    | Ok () -> ()
+    | Error _ as v ->
+      Alcotest.failf "fused certificate rejected: %s" (Audit.summary v))
+  | Error _ -> ())
+
+(* ---------- mini stress sweep ---------- *)
+
+let test_stress_clean () =
+  let outcome = Audit.Stress.run ~seed:7 ~trials:12 () in
+  if not (Audit.Stress.clean outcome) then
+    Alcotest.failf "stress sweep not clean: %s"
+      (String.concat "; " outcome.Audit.Stress.failures)
+
+let test_stress_deterministic () =
+  let a = Audit.Stress.run ~seed:9 ~trials:6 () in
+  let b = Audit.Stress.run ~seed:9 ~trials:6 () in
+  Alcotest.(check int) "same optimal claims" a.Audit.Stress.optimal_claims
+    b.Audit.Stress.optimal_claims;
+  Alcotest.(check int) "same differential runs" a.Audit.Stress.differential_runs
+    b.Audit.Stress.differential_runs
+
+(* ---------- unified solver API smoke ---------- *)
+
+let test_unified_lp () =
+  let p = Lp.Lp_problem.make ~num_vars:2 () in
+  let p = Lp.Lp_problem.set_objective p [| 1.; 1. |] in
+  let p =
+    Lp.Lp_problem.add_constraints p
+      [
+        { Lp.Lp_problem.coeffs = [ (0, 1.); (1, 2.) ]; sense = Lp.Lp_problem.Ge; rhs = 4. };
+        { Lp.Lp_problem.coeffs = [ (0, 3.); (1, 1.) ]; sense = Lp.Lp_problem.Ge; rhs = 6. };
+      ]
+  in
+  match Lp.Simplex.solve p with
+  | Ok c -> (
+    match Audit.check_lp p c.Engine.Solver_intf.cert with
+    | Ok () -> ()
+    | Error _ as v -> Alcotest.failf "lp certificate rejected: %s" (Audit.summary v))
+  | Error st -> Alcotest.failf "lp solve failed: %s" (Engine.Status.to_string st)
+
+let test_unified_nlp () =
+  let p =
+    Nlp.Nlp_problem.make ~dim:2
+      ~f:(fun x -> (x.(0) *. x.(0)) +. (x.(1) *. x.(1)))
+      ~lo:[| -5.; -5. |] ~hi:[| 5.; 5. |]
+      ~constraints:[ Nlp.Nlp_problem.eq (fun x -> x.(0) +. x.(1) -. 2.) ]
+      ()
+  in
+  match Nlp.Auglag.solve p with
+  | Ok c -> (
+    match Audit.check_nlp p c.Engine.Solver_intf.cert with
+    | Ok () -> ()
+    | Error _ as v -> Alcotest.failf "nlp certificate rejected: %s" (Audit.summary v))
+  | Error st -> Alcotest.failf "nlp solve failed: %s" (Engine.Status.to_string st)
+
+let test_unified_minlp_agree () =
+  let p = Audit.Instances.generate ~seed:21 in
+  let solve name f =
+    match f () with
+    | Ok c ->
+      (match Audit.check_minlp p c.Engine.Solver_intf.cert with
+      | Ok () -> ()
+      | Error _ as v ->
+        Alcotest.failf "%s certificate rejected: %s" name (Audit.summary v));
+      c.Engine.Solver_intf.value.Minlp.Solution.obj
+    | Error st ->
+      Alcotest.failf "%s solve failed: %s" name (Minlp.Solution.status_to_string st)
+  in
+  let oa = solve "oa" (fun () -> Minlp.Oa.solve p) in
+  let bnb = solve "bnb" (fun () -> Minlp.Bnb.solve p) in
+  let multi = solve "oa-multi" (fun () -> Minlp.Oa_multi.solve p) in
+  let close a b = Float.abs (a -. b) <= 0.01 *. (1. +. Float.abs a) in
+  Alcotest.(check bool) "oa vs bnb agree" true (close oa bnb);
+  Alcotest.(check bool) "oa vs oa-multi agree" true (close oa multi)
+
+let () =
+  Alcotest.run "audit"
+    [
+      ( "checker",
+        [
+          Alcotest.test_case "pristine certificate passes" `Quick test_pristine_passes;
+          Alcotest.test_case "fractional witness" `Quick test_mutation_not_integral;
+          Alcotest.test_case "witness outside box" `Quick test_mutation_bound_violated;
+          Alcotest.test_case "constraint violated" `Quick test_mutation_constraint_violated;
+          Alcotest.test_case "objective claim" `Quick test_mutation_objective_claim;
+          Alcotest.test_case "bound above incumbent" `Quick
+            test_mutation_bound_above_incumbent;
+          Alcotest.test_case "gap left open" `Quick test_mutation_gap_open;
+          Alcotest.test_case "open branches" `Quick test_mutation_open_branches;
+          Alcotest.test_case "evidence mismatch" `Quick test_mutation_evidence_mismatch;
+          Alcotest.test_case "missing witness" `Quick test_mutation_missing_witness;
+          Alcotest.test_case "witness dimension" `Quick test_mutation_witness_dimension;
+        ] );
+      ( "fault injection",
+        [
+          Alcotest.test_case "poll fuse deterministic and sticky" `Quick
+            test_poll_fuse_deterministic;
+          Alcotest.test_case "inspect does not charge the fuse" `Quick
+            test_poll_fuse_inspect_does_not_charge;
+          Alcotest.test_case "fused solve never claims optimal" `Quick
+            test_fused_solve_not_optimal;
+          Alcotest.test_case "mini stress sweep clean" `Quick test_stress_clean;
+          Alcotest.test_case "stress sweep deterministic" `Quick test_stress_deterministic;
+        ] );
+      ( "unified api",
+        [
+          Alcotest.test_case "lp solve certified" `Quick test_unified_lp;
+          Alcotest.test_case "nlp solve certified" `Quick test_unified_nlp;
+          Alcotest.test_case "minlp solvers certified and agree" `Quick
+            test_unified_minlp_agree;
+        ] );
+    ]

@@ -218,7 +218,7 @@ let test_node_budget_respected () =
   let specs = e6_specs ~allowed:[ 1; 2; 4; 8; 16; 32 ] () in
   let budget = Engine.Budget.arm (Engine.Budget.make ~max_nodes:5 ()) in
   let tally = Engine.Telemetry.create () in
-  (match Hslb.Alloc_model.solve ~budget ~tally ~n_total:256 specs with
+  (match Hslb.Alloc_model.solve ~budget ~trace:tally ~n_total:256 specs with
   | Ok alloc -> (
     match alloc.Hslb.Alloc_model.status with
     | Minlp.Solution.Budget_exhausted Minlp.Solution.Node_limit
@@ -231,7 +231,7 @@ let test_node_budget_respected () =
 let test_telemetry_counters_nonzero_on_solve () =
   let specs = e6_specs () in
   let tally = Engine.Telemetry.create () in
-  (match Hslb.Alloc_model.solve ~tally ~n_total:256 specs with
+  (match Hslb.Alloc_model.solve ~trace:tally ~n_total:256 specs with
   | Ok _ -> ()
   | Error st -> Alcotest.failf "solve failed: %s" (Minlp.Solution.status_to_string st));
   Alcotest.(check bool) "lp solves counted" true (tally.Engine.Telemetry.lp_solves > 0);
@@ -251,7 +251,7 @@ let test_warm_start_cuts_bnb_nodes () =
     Hslb.Alloc_model.build_minlp ~objective:Hslb.Objective.Min_max ~n_total specs
   in
   let cold_tally = Engine.Telemetry.create () in
-  let cold = Minlp.Bnb.solve ~tally:cold_tally problem in
+  let cold = Minlp.Bnb.run ~tally:cold_tally problem in
   (* warm point: the greedy min-sum allocation, lifted into the full
      variable space of the MINLP *)
   let greedy =
@@ -261,7 +261,7 @@ let test_warm_start_cuts_bnb_nodes () =
   in
   let warm_point = lift greedy.Hslb.Alloc_model.nodes_per_task in
   let warm_tally = Engine.Telemetry.create () in
-  let warm = Minlp.Bnb.solve ~tally:warm_tally ~warm_start:warm_point problem in
+  let warm = Minlp.Bnb.run ~tally:warm_tally ~warm_start:warm_point problem in
   Alcotest.(check bool) "cold optimal" true
     (cold.Minlp.Solution.status = Minlp.Solution.Optimal);
   Alcotest.(check bool) "warm optimal" true
@@ -280,14 +280,14 @@ let test_warm_start_oa_matches_cold () =
   let problem, _, lift =
     Hslb.Alloc_model.build_minlp ~objective:Hslb.Objective.Min_max ~n_total specs
   in
-  let cold = Minlp.Oa.solve problem in
+  let cold = Minlp.Oa.run problem in
   let greedy =
     match Hslb.Alloc_model.solve ~objective:Hslb.Objective.Min_sum ~n_total specs with
     | Ok a -> a
     | Error st -> Alcotest.failf "greedy failed: %s" (Minlp.Solution.status_to_string st)
   in
   let warm =
-    Minlp.Oa.solve ~warm_start:(lift greedy.Hslb.Alloc_model.nodes_per_task) problem
+    Minlp.Oa.run ~warm_start:(lift greedy.Hslb.Alloc_model.nodes_per_task) problem
   in
   Alcotest.(check bool) "cold optimal" true
     (cold.Minlp.Solution.status = Minlp.Solution.Optimal);

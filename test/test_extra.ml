@@ -45,7 +45,7 @@ let test_simplex_iteration_limit () =
     Lp.Lp_problem.add_constraints p
       [ { Lp.Lp_problem.coeffs = [ (0, 1.); (1, 1.); (2, 1.) ]; sense = Lp.Lp_problem.Ge; rhs = 3. } ]
   in
-  let s = Lp.Simplex.solve ~max_iter:0 p in
+  let s = Lp.Simplex.run ~max_iter:0 p in
   Alcotest.(check bool) "limit reported" true (s.Lp.Simplex.status = Lp.Simplex.Iteration_limit)
 
 let test_simplex_equality_only_feasible_point () =
@@ -56,7 +56,7 @@ let test_simplex_equality_only_feasible_point () =
     Lp.Lp_problem.add_constraint p
       { Lp.Lp_problem.coeffs = [ (0, 1.) ]; sense = Lp.Lp_problem.Eq; rhs = 2. }
   in
-  let s = Lp.Simplex.solve p in
+  let s = Lp.Simplex.run p in
   check_float "pinned" 2. s.Lp.Simplex.x.(0)
 
 (* ---------- MILP limit status ---------- *)
@@ -70,7 +70,7 @@ let test_milp_node_limit () =
     (Minlp.Expr.linear (List.map (fun v -> (v, 1.)) vars))
     Lp.Lp_problem.Le 5.5;
   let p = Minlp.Problem.Builder.build b in
-  let s = Minlp.Milp.solve ~options:{ Minlp.Milp.default_options with max_nodes = 1 } p in
+  let s = Minlp.Milp.run ~options:{ Minlp.Milp.default_options with max_nodes = 1 } p in
   Alcotest.(check bool) "limit or optimal-at-root" true
     (match s.Minlp.Solution.status with
     | Minlp.Solution.Feasible _ | Minlp.Solution.Budget_exhausted _ | Minlp.Solution.Optimal ->
@@ -117,7 +117,7 @@ let test_min_sum_greedy_matches_minlp () =
   let problem, n_vars, _ =
     Hslb.Alloc_model.build_minlp ~objective:Hslb.Objective.Min_sum ~n_total specs
   in
-  let sol = Minlp.Oa.solve problem in
+  let sol = Minlp.Oa.run problem in
   Alcotest.(check bool) "minlp optimal" true (sol.Minlp.Solution.status = Minlp.Solution.Optimal);
   let minlp_nodes =
     Array.map (fun v -> int_of_float (Float.round sol.Minlp.Solution.x.(v))) n_vars
@@ -200,7 +200,12 @@ let test_layout_atm_sweet_spots () =
       Layouts.Layout_model.atm_allowed = Some allowed;
     }
   in
-  let a = Layouts.Layout_model.solve Layouts.Layout_model.Hybrid config inputs in
+  let a =
+    match Layouts.Layout_model.solve Layouts.Layout_model.Hybrid config inputs with
+    | Ok a -> a
+    | Error st ->
+      Alcotest.failf "layout solve failed: %s" (Minlp.Solution.status_to_string st)
+  in
   Alcotest.(check bool) "atm at sweet spot" true
     (List.mem (List.assoc "atm" a.Layouts.Layout_model.nodes) allowed)
 

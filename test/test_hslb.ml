@@ -169,7 +169,7 @@ let restrict_and_solve ?(minimize = true) ~lo ~hi values =
   let v = Minlp.Problem.Builder.add_var b ~name:"n" ~lo ~hi Minlp.Problem.Integer in
   Minlp.Problem.Builder.set_objective b (Minlp.Expr.var v);
   let pairs = Hslb.Alloc_model.restrict_to_values b ~var:v values in
-  let sol = Minlp.Oa.solve (Minlp.Problem.Builder.build b) in
+  let sol = Minlp.Oa.run (Minlp.Problem.Builder.build b) in
   (pairs, sol, v)
 
 let test_restrict_singleton () =

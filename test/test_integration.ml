@@ -79,7 +79,12 @@ let test_layout_pipeline_end_to_end () =
     { Layouts.Layout_model.ice = comp "ice"; lnd = comp "lnd"; atm = comp "atm"; ocn = comp "ocn" }
   in
   let config = Layouts.Layout_model.default_config ~n_total:256 in
-  let alloc = Layouts.Layout_model.solve Layouts.Layout_model.Hybrid config inputs in
+  let alloc =
+    match Layouts.Layout_model.solve Layouts.Layout_model.Hybrid config inputs with
+    | Ok a -> a
+    | Error st ->
+      Alcotest.failf "layout solve failed: %s" (Minlp.Solution.status_to_string st)
+  in
   (* simulate the allocation and compare with the prediction *)
   let sim_rng = Numerics.Rng.create 22 in
   let actual w =

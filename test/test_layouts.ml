@@ -18,6 +18,12 @@ let fitted_inputs ?(noise = 0.0) resolution =
   in
   { Layout_model.ice = comp "ice"; lnd = comp "lnd"; atm = comp "atm"; ocn = comp "ocn" }
 
+let solve_ok layout config inputs =
+  match Layout_model.solve layout config inputs with
+  | Ok a -> a
+  | Error st ->
+    Alcotest.failf "layout solve failed: %s" (Minlp.Solution.status_to_string st)
+
 let test_layout_total_formulas () =
   check_float "hybrid"
     (Float.max (Float.max 3. 2. +. 5.) 7.)
@@ -30,7 +36,7 @@ let test_layout_total_formulas () =
 let test_hybrid_respects_constraints () =
   let inputs = fitted_inputs Cesm_data.Deg1 in
   let config = Layout_model.default_config ~n_total:128 in
-  let a = Layout_model.solve Layout_model.Hybrid config inputs in
+  let a = solve_ok Layout_model.Hybrid config inputs in
   let nodes name = List.assoc name a.Layout_model.nodes in
   Alcotest.(check bool) "ice+lnd<=atm" true (nodes "ice" + nodes "lnd" <= nodes "atm");
   Alcotest.(check bool) "atm+ocn<=N" true (nodes "atm" + nodes "ocn" <= 128);
@@ -42,7 +48,7 @@ let test_ocean_sweet_spots_respected () =
   let config =
     { (Layout_model.default_config ~n_total:128) with Layout_model.ocn_allowed = Some spots }
   in
-  let a = Layout_model.solve Layout_model.Hybrid config inputs in
+  let a = solve_ok Layout_model.Hybrid config inputs in
   let ocn = List.assoc "ocn" a.Layout_model.nodes in
   Alcotest.(check bool) "ocn at sweet spot" true (List.mem ocn spots)
 
@@ -50,7 +56,7 @@ let test_layout_ranking () =
   (* the published comparison: layouts 1 and 2 similar, layout 3 worst *)
   let inputs = fitted_inputs Cesm_data.Deg1 in
   let config = Layout_model.default_config ~n_total:256 in
-  let total l = (Layout_model.solve l config inputs).Layout_model.total in
+  let total l = (solve_ok l config inputs).Layout_model.total in
   let t1 = total Layout_model.Hybrid in
   let t2 = total Layout_model.Sequential_group in
   let t3 = total Layout_model.Fully_sequential in
@@ -68,15 +74,15 @@ let test_unconstrained_ocean_helps () =
     }
   in
   let free = Layout_model.default_config ~n_total:512 in
-  let tr = (Layout_model.solve Layout_model.Hybrid restricted inputs).Layout_model.total in
-  let tf = (Layout_model.solve Layout_model.Hybrid free inputs).Layout_model.total in
+  let tr = (solve_ok Layout_model.Hybrid restricted inputs).Layout_model.total in
+  let tf = (solve_ok Layout_model.Hybrid free inputs).Layout_model.total in
   Alcotest.(check bool) "free <= restricted" true (tf <= tr +. 1e-6)
 
 let test_solution_beats_manual_baseline () =
   let inputs = fitted_inputs Cesm_data.Deg1 in
   let n_total = 128 in
   let config = Layout_model.default_config ~n_total in
-  let a = Layout_model.solve Layout_model.Hybrid config inputs in
+  let a = solve_ok Layout_model.Hybrid config inputs in
   (* manual expert allocation evaluated under the same fitted curves *)
   let mi, ml, ma, mo = Cesm_data.manual_allocation Cesm_data.Deg1 ~n_total in
   let t c n = Component.time c n in
@@ -102,12 +108,12 @@ let test_tsync_uses_bnb_and_tightens () =
   let inputs = fitted_inputs Cesm_data.Deg1 in
   let base = Layout_model.default_config ~n_total:128 in
   let with_sync = { base with Layout_model.tsync = Some 5. } in
-  let a = Layout_model.solve Layout_model.Hybrid with_sync inputs in
+  let a = solve_ok Layout_model.Hybrid with_sync inputs in
   let t name = List.assoc name a.Layout_model.times in
   (* the constraint |T_lnd - T_ice| <= tsync holds at the solution *)
   Alcotest.(check bool) "tsync satisfied" true (Float.abs (t "lnd" -. t "ice") <= 5. +. 0.5);
   (* and the optimum cannot be better than without it *)
-  let b = Layout_model.solve Layout_model.Hybrid base inputs in
+  let b = solve_ok Layout_model.Hybrid base inputs in
   Alcotest.(check bool) "no better than unconstrained" true
     (a.Layout_model.total >= b.Layout_model.total -. 1e-6)
 
@@ -156,7 +162,7 @@ let prop_solver_beats_random_feasible =
       let inputs = fitted_inputs Cesm_data.Deg1 in
       let n_total = 128 in
       let config = Layout_model.default_config ~n_total in
-      let a = Layout_model.solve Layout_model.Hybrid config inputs in
+      let a = solve_ok Layout_model.Hybrid config inputs in
       let rng = Numerics.Rng.create seed in
       (* random feasible point: pick ocn, atm = rest, split atm pool *)
       let ocn = 1 + Numerics.Rng.int rng (n_total - 2) in

@@ -27,7 +27,7 @@ let test_max_basic () =
   let p = Lp_problem.make ~minimize:false ~num_vars:2 () in
   let p = Lp_problem.set_objective p [| 3.; 2. |] in
   let p = Lp_problem.add_constraints p [ le [ (0, 1.); (1, 1.) ] 4.; le [ (0, 1.); (1, 3.) ] 6. ] in
-  let s = Simplex.solve p in
+  let s = Simplex.run p in
   check_status "status" Simplex.Optimal s.status;
   check_float "obj" 12. s.obj;
   check_float "x" 4. s.x.(0);
@@ -38,7 +38,7 @@ let test_min_ge () =
   let p = Lp_problem.make ~num_vars:2 () in
   let p = Lp_problem.set_objective p [| 1.; 1. |] in
   let p = Lp_problem.add_constraints p [ ge [ (0, 1.); (1, 2.) ] 4.; ge [ (0, 3.); (1, 1.) ] 6. ] in
-  let s = Simplex.solve p in
+  let s = Simplex.run p in
   check_status "status" Simplex.Optimal s.status;
   check_float "obj" 2.8 s.obj
 
@@ -48,7 +48,7 @@ let test_equality () =
   let p = Lp_problem.set_objective p [| 2.; 3. |] in
   let p = Lp_problem.set_bounds p 0 ~lo:0. ~hi:6. in
   let p = Lp_problem.add_constraint p (eq [ (0, 1.); (1, 1.) ] 10.) in
-  let s = Simplex.solve p in
+  let s = Simplex.run p in
   check_status "status" Simplex.Optimal s.status;
   check_float "obj" 24. s.obj;
   check_float "x" 6. s.x.(0);
@@ -57,7 +57,7 @@ let test_equality () =
 let test_infeasible () =
   let p = Lp_problem.make ~num_vars:1 () in
   let p = Lp_problem.add_constraints p [ ge [ (0, 1.) ] 5.; le [ (0, 1.) ] 3. ] in
-  let s = Simplex.solve p in
+  let s = Simplex.run p in
   check_status "status" Simplex.Infeasible s.status
 
 let test_infeasible_bounds () =
@@ -65,13 +65,13 @@ let test_infeasible_bounds () =
   let p = Lp_problem.make ~num_vars:1 () in
   let p = Lp_problem.set_bounds p 0 ~lo:2. ~hi:3. in
   let p = Lp_problem.add_constraint p (ge [ (0, 1.) ] 10.) in
-  let s = Simplex.solve p in
+  let s = Simplex.run p in
   check_status "status" Simplex.Infeasible s.status
 
 let test_unbounded () =
   let p = Lp_problem.make ~minimize:false ~num_vars:1 () in
   let p = Lp_problem.set_objective p [| 1. |] in
-  let s = Simplex.solve p in
+  let s = Simplex.run p in
   check_status "status" Simplex.Unbounded s.status
 
 let test_free_variable () =
@@ -80,7 +80,7 @@ let test_free_variable () =
   let p = Lp_problem.set_bounds p 0 ~lo:neg_infinity ~hi:infinity in
   let p = Lp_problem.set_objective p [| 1. |] in
   let p = Lp_problem.add_constraint p (ge [ (0, 1.) ] (-7.)) in
-  let s = Simplex.solve p in
+  let s = Simplex.run p in
   check_status "status" Simplex.Optimal s.status;
   check_float "x" (-7.) s.x.(0)
 
@@ -91,7 +91,7 @@ let test_negative_lower_bound () =
   let p = Lp_problem.set_bounds p 1 ~lo:(-2.) ~hi:2. in
   let p = Lp_problem.set_objective p [| 1.; 1. |] in
   let p = Lp_problem.add_constraint p (ge [ (0, 1.); (1, 1.) ] (-4.)) in
-  let s = Simplex.solve p in
+  let s = Simplex.run p in
   check_status "status" Simplex.Optimal s.status;
   check_float "obj" (-4.) s.obj
 
@@ -100,7 +100,7 @@ let test_upper_bounded_only () =
   let p = Lp_problem.make ~minimize:false ~num_vars:1 () in
   let p = Lp_problem.set_bounds p 0 ~lo:neg_infinity ~hi:3. in
   let p = Lp_problem.set_objective p [| 1. |] in
-  let s = Simplex.solve p in
+  let s = Simplex.run p in
   check_status "status" Simplex.Optimal s.status;
   check_float "x" 3. s.x.(0)
 
@@ -117,7 +117,7 @@ let test_degenerate () =
         le [ (0, 1.) ] 1.;
       ]
   in
-  let s = Simplex.solve p in
+  let s = Simplex.run p in
   check_status "status" Simplex.Optimal s.status;
   check_float "obj" 1. s.obj
 
@@ -128,7 +128,7 @@ let test_solution_feasibility () =
     Lp_problem.add_constraints p
       [ ge [ (0, 1.); (1, 1.); (2, 1.) ] 10.; le [ (0, 1.); (1, -1.) ] 4.; eq [ (2, 1.) ] 2. ]
   in
-  let s = Simplex.solve p in
+  let s = Simplex.run p in
   check_status "status" Simplex.Optimal s.status;
   Alcotest.(check bool) "feasible" true (Lp_problem.feasible p s.x)
 
@@ -166,7 +166,7 @@ let prop_solver_dominates_witness =
         List.fold_left (fun p j -> Lp_problem.set_bounds p j ~lo:0. ~hi:100.) p
           (List.init nv Fun.id)
       in
-      let s = Simplex.solve p in
+      let s = Simplex.run p in
       match s.status with
       | Simplex.Optimal ->
         Lp_problem.feasible ~tol:1e-5 p s.x && s.obj <= Lp_problem.objective_value p x0 +. 1e-6

@@ -233,7 +233,7 @@ let knapsack_problem () =
   Problem.Builder.build b
 
 let test_milp_knapsack () =
-  let s = Milp.solve (knapsack_problem ()) in
+  let s = Milp.run (knapsack_problem ()) in
   check_status "status" Solution.Optimal s.Solution.status;
   check_float "obj" 20. s.Solution.obj;
   check_float "b chosen" 1. s.Solution.x.(1);
@@ -246,7 +246,7 @@ let test_milp_integer_general () =
   let y = Problem.Builder.add_var b Problem.Integer in
   Problem.Builder.set_objective b (Expr.linear [ (x, 2.); (y, 3.) ]);
   Problem.Builder.add_constr b (Expr.linear [ (x, 1.); (y, 1.) ]) Lp.Lp_problem.Ge 5.5;
-  let s = Milp.solve (Problem.Builder.build b) in
+  let s = Milp.run (Problem.Builder.build b) in
   check_status "status" Solution.Optimal s.Solution.status;
   check_float "obj" 12. s.Solution.obj
 
@@ -255,7 +255,7 @@ let test_milp_infeasible () =
   let x = Problem.Builder.add_var b ~lo:0. ~hi:1. Problem.Integer in
   Problem.Builder.set_objective b (Expr.var x);
   Problem.Builder.add_constr b (Expr.linear [ (x, 2.) ]) Lp.Lp_problem.Eq 1.;
-  let s = Milp.solve (Problem.Builder.build b) in
+  let s = Milp.run (Problem.Builder.build b) in
   check_status "status" Solution.Infeasible s.Solution.status
 
 let test_milp_sos1_selection () =
@@ -276,7 +276,7 @@ let test_milp_sos1_selection () =
     Lp.Lp_problem.Eq 0.;
   Problem.Builder.add_constr b (Expr.var n) Lp.Lp_problem.Le 10.;
   Problem.Builder.add_sos1 b (Array.to_list (Array.mapi (fun i z -> (z, opts.(i))) zs));
-  let s = Milp.solve (Problem.Builder.build b) in
+  let s = Milp.run (Problem.Builder.build b) in
   check_status "status" Solution.Optimal s.Solution.status;
   check_float "obj" 12.5 s.Solution.obj;
   check_float "n" 8. s.Solution.x.(Array.length opts)
@@ -284,7 +284,7 @@ let test_milp_sos1_selection () =
 let test_milp_sos_branching_off_still_correct () =
   let p = knapsack_problem () in
   let options = { Milp.default_options with branch_sos_first = false } in
-  let s = Milp.solve ~options p in
+  let s = Milp.run ~options p in
   check_float "same optimum" 20. s.Solution.obj
 
 let test_milp_branching_rules_agree () =
@@ -299,7 +299,7 @@ let test_milp_branching_rules_agree () =
     (Expr.linear (List.mapi (fun i x -> (x, float_of_int ((i mod 3) + 1))) xs))
     Lp.Lp_problem.Ge 7.5;
   let p = Problem.Builder.build b in
-  let solve rule = Milp.solve ~options:{ Milp.default_options with branching = rule } p in
+  let solve rule = Milp.run ~options:{ Milp.default_options with branching = rule } p in
   let a = solve Milp.Most_fractional and c = solve Milp.Pseudocost in
   check_status "mf optimal" Solution.Optimal a.Solution.status;
   check_status "pc optimal" Solution.Optimal c.Solution.status;
@@ -307,7 +307,7 @@ let test_milp_branching_rules_agree () =
 
 let test_milp_depth_first () =
   let options = { Milp.default_options with depth_first = true } in
-  let s = Milp.solve ~options (knapsack_problem ()) in
+  let s = Milp.run ~options (knapsack_problem ()) in
   check_status "status" Solution.Optimal s.Solution.status;
   check_float "obj" 20. s.Solution.obj
 
@@ -334,7 +334,7 @@ let prop_milp_matches_enumeration =
         (fun (coeffs, rhs) -> Problem.Builder.add_constr b (Expr.linear coeffs) Lp.Lp_problem.Le rhs)
         rows;
       let p = Problem.Builder.build b in
-      let s = Milp.solve p in
+      let s = Milp.run p in
       (* brute force *)
       let best = ref neg_infinity in
       for mask = 0 to (1 lsl n) - 1 do
@@ -371,7 +371,7 @@ let allocation_model_text =
 let test_model_text_parse_and_solve () =
   let p = Model_text.parse allocation_model_text in
   Alcotest.(check int) "vars" 3 p.Problem.num_vars;
-  let s = Oa.solve p in
+  let s = Oa.run p in
   check_status "status" Solution.Optimal s.Solution.status;
   (* heavy component gets roughly 3x the light one's nodes *)
   Alcotest.(check bool) "proportional" true (s.Solution.x.(1) > 2. *. s.Solution.x.(2))
@@ -380,7 +380,7 @@ let test_model_text_roundtrip () =
   let p = Model_text.parse allocation_model_text in
   let text = Format.asprintf "%a" Model_text.print p in
   let p2 = Model_text.parse text in
-  let s1 = Oa.solve p and s2 = Oa.solve p2 in
+  let s1 = Oa.run p and s2 = Oa.run p2 in
   check_float ~eps:1e-9 "same optimum after roundtrip" s1.Solution.obj s2.Solution.obj
 
 let test_model_text_sos1 () =
@@ -398,7 +398,7 @@ let test_model_text_sos1 () =
   in
   let p = Model_text.parse text in
   Alcotest.(check int) "one sos set" 1 (List.length p.Problem.sos1);
-  let s = Oa.solve p in
+  let s = Oa.run p in
   check_status "status" Solution.Optimal s.Solution.status;
   check_float ~eps:1e-6 "n = 16" 16. s.Solution.x.(1)
 
@@ -411,7 +411,7 @@ let test_model_text_operators () =
   |}
   in
   let p = Model_text.parse text in
-  let s = Oa.solve p in
+  let s = Oa.run p in
   check_float ~eps:1e-4 "argmin" 3. s.Solution.x.(0);
   check_float ~eps:1e-4 "min value" 0. s.Solution.obj
 
@@ -445,7 +445,7 @@ let convex_mix_problem () =
   Problem.Builder.build b
 
 let test_bnb_convex_mix () =
-  let s = Bnb.solve (convex_mix_problem ()) in
+  let s = Bnb.run (convex_mix_problem ()) in
   check_status "status" Solution.Optimal s.Solution.status;
   check_float ~eps:1e-3 "obj" 6.25 s.Solution.obj;
   check_float ~eps:1e-3 "x" 2. s.Solution.x.(0);
@@ -491,22 +491,22 @@ let brute_force_hslb n_total specs =
 let test_oa_hslb_mini () =
   let specs = [ ("n1", 100., 1.); ("n2", 300., 0.5) ] in
   let p = hslb_mini_problem 20 specs in
-  let s = Oa.solve p in
+  let s = Oa.run p in
   check_status "status" Solution.Optimal s.Solution.status;
   check_float ~eps:1e-4 "matches brute force" (brute_force_hslb 20 specs) s.Solution.obj
 
 let test_bnb_hslb_mini () =
   let specs = [ ("n1", 100., 1.); ("n2", 300., 0.5) ] in
   let p = hslb_mini_problem 20 specs in
-  let s = Bnb.solve p in
+  let s = Bnb.run p in
   check_status "status" Solution.Optimal s.Solution.status;
   check_float ~eps:1e-3 "matches brute force" (brute_force_hslb 20 specs) s.Solution.obj
 
 let test_oa_multi_equals_oa () =
   let specs = [ ("n1", 180., 1.5); ("n2", 90., 0.7) ] in
   let p = hslb_mini_problem 24 specs in
-  let single = Oa.solve p in
-  let multi = Oa_multi.solve p in
+  let single = Oa.run p in
+  let multi = Oa_multi.run p in
   check_status "single" Solution.Optimal single.Solution.status;
   check_status "multi" Solution.Optimal multi.Oa_multi.solution.Solution.status;
   check_float ~eps:1e-4 "same optimum" single.Solution.obj
@@ -514,15 +514,15 @@ let test_oa_multi_equals_oa () =
   Alcotest.(check bool) "few alternations" true (multi.Oa_multi.iterations <= 30)
 
 let test_oa_multi_pure_milp () =
-  let m = Oa_multi.solve (knapsack_problem ()) in
+  let m = Oa_multi.run (knapsack_problem ()) in
   check_status "status" Solution.Optimal m.Oa_multi.solution.Solution.status;
   check_float "obj" 20. m.Oa_multi.solution.Solution.obj
 
 let test_oa_equals_bnb () =
   let specs = [ ("n1", 250., 2.); ("n2", 80., 1.); ("n3", 40., 0.2) ] in
   let p = hslb_mini_problem 30 specs in
-  let s1 = Oa.solve p in
-  let s2 = Bnb.solve p in
+  let s1 = Oa.run p in
+  let s2 = Bnb.run p in
   check_status "oa" Solution.Optimal s1.Solution.status;
   check_status "bnb" Solution.Optimal s2.Solution.status;
   check_float ~eps:1e-3 "same optimum" s2.Solution.obj s1.Solution.obj
@@ -533,7 +533,7 @@ let test_oa_nonlinear_objective () =
   let x = Problem.Builder.add_var b ~lo:0. ~hi:10. Problem.Integer in
   Problem.Builder.set_objective b Expr.(pow (var x - const 2.3) 2.);
   let p = Problem.Builder.build b in
-  let s = Oa.solve p in
+  let s = Oa.run p in
   check_status "status" Solution.Optimal s.Solution.status;
   check_float ~eps:1e-4 "x" 2. s.Solution.x.(0);
   Alcotest.(check int) "x in original space" 1 (Array.length s.Solution.x)
@@ -544,11 +544,11 @@ let test_oa_infeasible () =
   Problem.Builder.set_objective b (Expr.var x);
   (* x^2 <= -1 impossible *)
   Problem.Builder.add_constr b Expr.(pow (var x) 2.) Lp.Lp_problem.Le (-1.);
-  let s = Oa.solve (Problem.Builder.build b) in
+  let s = Oa.run (Problem.Builder.build b) in
   check_status "status" Solution.Infeasible s.Solution.status
 
 let test_oa_pure_milp_fallback () =
-  let s = Oa.solve (knapsack_problem ()) in
+  let s = Oa.run (knapsack_problem ()) in
   check_status "status" Solution.Optimal s.Solution.status;
   check_float "obj" 20. s.Solution.obj
 
@@ -572,7 +572,7 @@ let test_oa_with_sos1_allocation () =
        (Expr.var n2 :: Array.to_list (Array.mapi (fun i z -> Expr.scale (-.opts.(i)) (Expr.var z)) zs)))
     Lp.Lp_problem.Eq 0.;
   Problem.Builder.add_sos1 b (Array.to_list (Array.mapi (fun i z -> (z, opts.(i))) zs));
-  let s = Oa.solve (Problem.Builder.build b) in
+  let s = Oa.run (Problem.Builder.build b) in
   check_status "status" Solution.Optimal s.Solution.status;
   (* brute force over n2 ∈ {2,4,8,16}, n1 = 24 - n2 (integer best) *)
   let best = ref infinity in
@@ -600,7 +600,7 @@ let prop_oa_matches_brute_force =
         ]
       in
       let p = hslb_mini_problem n_total specs in
-      let s = Oa.solve p in
+      let s = Oa.run p in
       s.Solution.status = Solution.Optimal
       && Float.abs (s.Solution.obj -. brute_force_hslb n_total specs)
          <= 1e-3 *. (1. +. Float.abs s.Solution.obj))

@@ -57,7 +57,7 @@ let test_auglag_equality () =
       ~constraints:[ Nlp_problem.eq (fun x -> x.(0) +. x.(1) -. 2.) ]
       ()
   in
-  let r = Auglag.solve p [| 0.; 0. |] in
+  let r = Auglag.run p [| 0.; 0. |] in
   Alcotest.(check bool) "feasible" true (r.violation < 1e-5);
   check_float ~eps:1e-3 "x" 1. r.x.(0);
   check_float ~eps:1e-3 "y" 1. r.x.(1)
@@ -70,7 +70,7 @@ let test_auglag_inequality_active () =
       ~constraints:[ Nlp_problem.ineq (fun x -> x.(0) -. 1.) ]
       ()
   in
-  let r = Auglag.solve p [| 0. |] in
+  let r = Auglag.run p [| 0. |] in
   check_float ~eps:1e-3 "x at constraint" 1. r.x.(0)
 
 let test_auglag_inequality_inactive () =
@@ -81,7 +81,7 @@ let test_auglag_inequality_inactive () =
       ~constraints:[ Nlp_problem.ineq (fun x -> x.(0) -. 10.) ]
       ()
   in
-  let r = Auglag.solve p [| 5. |] in
+  let r = Auglag.run p [| 5. |] in
   check_float ~eps:1e-4 "interior optimum" 0.5 r.x.(0)
 
 (* min-max epigraph: the exact structure of the HSLB relaxation.
@@ -101,7 +101,7 @@ let test_auglag_minmax_relaxation () =
         ]
       ()
   in
-  let r = Auglag.solve p [| 50.; 50.; 50. |] in
+  let r = Auglag.run p [| 50.; 50.; 50. |] in
   (* optimum: n1/n2 = 100/300 -> n1 = 25, n2 = 75, T = 4 *)
   Alcotest.(check bool) "feasible" true (r.violation < 1e-4);
   check_float ~eps:1e-2 "T" 4. r.f;
@@ -117,7 +117,7 @@ let test_auglag_with_bounds_and_constraints () =
       ~constraints:[ Nlp_problem.ineq (fun x -> (x.(0) *. x.(0)) +. (x.(1) *. x.(1)) -. 1.) ]
       ()
   in
-  let r = Auglag.solve p [| 0.1; 0.1 |] in
+  let r = Auglag.run p [| 0.1; 0.1 |] in
   let s = sqrt 0.5 in
   check_float ~eps:1e-2 "x" s r.x.(0);
   check_float ~eps:1e-2 "y" s r.x.(1)

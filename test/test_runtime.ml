@@ -370,7 +370,7 @@ let test_portfolio_matches_best_single () =
   let race_report = ref None in
   let tally = Engine.Telemetry.create () in
   let portfolio =
-    match Hslb.Alloc_model.solve ~strategy:`Portfolio ~tally ~race_report ~n_total specs with
+    match Hslb.Alloc_model.solve ~strategy:`Portfolio ~trace:tally ~race_report ~n_total specs with
     | Ok a -> a
     | Error st ->
       Alcotest.failf "portfolio failed: %s" (Minlp.Solution.status_to_string st)
@@ -461,13 +461,24 @@ let layout_inputs =
 let test_layout_portfolio_matches_single () =
   let inputs = Lazy.force layout_inputs in
   let config = Layouts.Layout_model.default_config ~n_total:128 in
-  let single = Layouts.Layout_model.solve Layouts.Layout_model.Hybrid config inputs in
+  let layout_ok = function
+    | Ok (a : Layouts.Layout_model.alloc) -> a
+    | Error st ->
+      Alcotest.failf "layout solve failed: %s" (Minlp.Solution.status_to_string st)
+  in
+  let single =
+    layout_ok (Layouts.Layout_model.solve Layouts.Layout_model.Hybrid config inputs)
+  in
   let raced =
-    Layouts.Layout_model.solve ~strategy:`Portfolio Layouts.Layout_model.Hybrid config
-      inputs
+    layout_ok
+      (Layouts.Layout_model.solve ~strategy:`Portfolio Layouts.Layout_model.Hybrid config
+         inputs)
   in
   check_float ~eps:1e-4 "same predicted total" single.Layouts.Layout_model.total
-    raced.Layouts.Layout_model.total
+    raced.Layouts.Layout_model.total;
+  (* the racing path must hand back an auditable certificate *)
+  Alcotest.(check bool) "portfolio certificate present" true
+    (raced.Layouts.Layout_model.certificate <> None)
 
 (* ---------- model store diagnostics ---------- *)
 
