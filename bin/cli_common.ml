@@ -33,6 +33,15 @@ let strategy_conv =
   Arg.conv
     (parse, fun fmt s -> Format.pp_print_string fmt (Runtime.Portfolio.strategy_to_string s))
 
+(* the same validation the HSLB_JOBS environment path goes through
+   (Runtime.Config.parse), so "--jobs 8x" and "HSLB_JOBS=8x" report the
+   bad value with identical wording *)
+let jobs_conv =
+  let parse s =
+    match Runtime.Config.parse s with Ok n -> Ok n | Error msg -> Error (`Msg msg)
+  in
+  Arg.conv (parse, Format.pp_print_int)
+
 (* ---------- shared argument definitions ---------- *)
 
 let strategy_arg =

@@ -77,8 +77,9 @@ let fit_cmd =
       | [ path; name; count ] ->
         let law = fit.Hslb.Fitting.law in
         let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
-        Printf.fprintf oc "%s,%s,%.17g,%.17g,%.17g,%.17g\n" name count law.Scaling_law.a
-          law.Scaling_law.b law.Scaling_law.c law.Scaling_law.d;
+        Printf.fprintf oc "%s,%s,%.17g,%.17g,%.17g,%.17g\n"
+          (Hslb.Model_store.csv_name name)
+          count law.Scaling_law.a law.Scaling_law.b law.Scaling_law.c law.Scaling_law.d;
         close_out oc;
         Format.printf "appended class %s (count %s) to %s@." name count path
       | _ -> failwith "--save-class expects FILE:NAME:COUNT")
@@ -494,6 +495,98 @@ let minlp_cmd =
     Term.(
       const run $ file $ solver $ deadline_ms_arg $ max_nodes_arg $ report_arg $ audit_arg)
 
+(* ---------- serve: long-lived NDJSON solve service ---------- *)
+
+let serve_cmd =
+  let jobs =
+    Arg.(
+      value
+      & opt (some Cli_common.jobs_conv) None
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:
+            "Worker domains solving requests (default: $(b,HSLB_JOBS) from the \
+             environment, else 1). The transport runs on its own domain either way.")
+  in
+  let queue_limit =
+    Arg.(
+      value
+      & opt int 64
+      & info [ "queue-limit" ] ~docv:"N"
+          ~doc:
+            "Admission high-water mark: requests arriving while N are already queued are \
+             rejected immediately with outcome $(b,overloaded) instead of queueing \
+             unboundedly.")
+  in
+  let cache_capacity =
+    Arg.(
+      value
+      & opt int 128
+      & info [ "cache-capacity" ] ~docv:"N"
+          ~doc:"LRU solve-cache entries (proven-optimal allocations only).")
+  in
+  let drain_grace_ms =
+    Arg.(
+      value
+      & opt float 2000.
+      & info [ "drain-grace-ms" ] ~docv:"MS"
+          ~doc:
+            "On drain (SIGTERM, EOF, or the drain op), in-flight and queued solves get \
+             this long to finish before the shared cancel token budget-cancels them; \
+             they still answer with their best incumbent.")
+  in
+  let telemetry =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "telemetry" ] ~docv:"FILE"
+          ~doc:
+            "Append one JSON line per finished request (queue wait, solve wall, cache \
+             hit, dedup, lane winner) to FILE — a replayable request trace.")
+  in
+  let no_audit =
+    Arg.(
+      value
+      & flag
+      & info [ "no-audit" ]
+          ~doc:
+            "Skip the independent certificate re-verification that is otherwise run on \
+             every solve before its envelope is returned.")
+  in
+  let solver =
+    Arg.(
+      value
+      & opt solver_conv Engine.Solver_choice.Oa
+      & info [ "solver" ] ~doc:"Default solver for requests that don't name one.")
+  in
+  let strategy = Cli_common.strategy_arg in
+  let run jobs queue_limit cache_capacity drain_grace_ms telemetry no_audit solver strategy
+      report =
+    (match jobs with Some j -> Runtime.Config.set_jobs j | None -> ());
+    let cfg =
+      {
+        Serve.Server.jobs = Runtime.Config.jobs ();
+        queue_limit;
+        cache_capacity;
+        drain_grace_s = drain_grace_ms /. 1000.;
+        default_solver = solver;
+        default_strategy = strategy;
+        audit = not no_audit;
+      }
+    in
+    Serve.Server.run_stdio ?telemetry_path:telemetry ?report_path:report cfg
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Serve allocation solves as a long-lived service: newline-delimited JSON \
+          requests on stdin, one response line per request on stdout (see \
+          docs/SERVE.md). Per-request deadlines map onto the engine budget, the queue \
+          rejects past its high-water mark, identical in-flight solves are deduped, \
+          proven optima are cached, and SIGTERM drains gracefully.")
+    Term.(
+      const run $ jobs $ queue_limit $ cache_capacity $ drain_grace_ms $ telemetry
+      $ no_audit $ solver $ strategy $ report_arg)
+
 (* ---------- audit: fault-injection stress sweep ---------- *)
 
 let audit_cmd =
@@ -544,7 +637,7 @@ let experiment_cmd =
   let jobs =
     Arg.(
       value
-      & opt (some int) None
+      & opt (some Cli_common.jobs_conv) None
       & info [ "jobs"; "j" ] ~docv:"N"
           ~doc:
             "Worker domains for the experiment runner and for parallel cells inside \
@@ -585,6 +678,7 @@ let () =
           [
             fit_cmd;
             solve_cmd;
+            serve_cmd;
             minlp_cmd;
             fmo_cmd;
             layouts_cmd;

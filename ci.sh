@@ -7,8 +7,15 @@
 # build on any certificate rejection or soundness violation (see
 # docs/AUDIT.md).
 #
-# lib/runtime/ and lib/audit/ compile with -warn-error +a (see their
-# dune files), so any new compiler warning there fails this build.
+# After the test suites, the serving layer gets an end-to-end smoke:
+# `hslb serve` is driven with a ~50-request scripted trace (mixed
+# valid, malformed and over-deadline requests against a deliberately
+# tiny queue) to pin the overload and expiry paths, and then once more
+# through a fifo with SIGTERM to pin the graceful-drain path.
+#
+# lib/runtime/, lib/audit/ and lib/serve/ compile with -warn-error +a
+# (see their dune files), so any new compiler warning there fails
+# this build.
 set -eu
 
 cd "$(dirname "$0")"
@@ -31,5 +38,64 @@ HSLB_JOBS=4 dune runtest --force
 
 echo "== audit stress sweep (seed 42, 200 trials) =="
 dune exec bin/hslb_cli.exe -- audit --stress --seed 42 --trials 200 --quiet
+
+echo "== serve smoke: scripted trace (overload + expiry + drain) =="
+SERVE_BIN=./_build/default/bin/hslb_cli.exe
+SMOKE_DIR=$(mktemp -d)
+trap 'rm -rf "$SMOKE_DIR"' EXIT
+
+# a single worker and a tiny queue against a 50-request burst: the
+# trace must provoke every admission outcome, and every request line
+# must be answered exactly once before the final drained event
+"$SERVE_BIN" serve --jobs 1 --queue-limit 8 \
+  < test/fixtures/serve_trace.ndjson > "$SMOKE_DIR/trace.out"
+
+requests=$(wc -l < test/fixtures/serve_trace.ndjson)
+answers=$(grep -c '"outcome":' "$SMOKE_DIR/trace.out")
+if [ "$answers" -ne "$requests" ]; then
+  echo "serve smoke: expected $requests answers, got $answers" >&2
+  exit 1
+fi
+for outcome in ok error overloaded expired; do
+  if ! grep -q "\"outcome\":\"$outcome\"" "$SMOKE_DIR/trace.out"; then
+    echo "serve smoke: no \"$outcome\" outcome in trace output" >&2
+    exit 1
+  fi
+done
+grep -q '"event":"drained"' "$SMOKE_DIR/trace.out" || {
+  echo "serve smoke: missing drained event" >&2
+  exit 1
+}
+
+echo "== serve smoke: SIGTERM graceful drain =="
+mkfifo "$SMOKE_DIR/serve.fifo"
+"$SERVE_BIN" serve --jobs 2 \
+  < "$SMOKE_DIR/serve.fifo" > "$SMOKE_DIR/sigterm.out" &
+SERVE_PID=$!
+# hold the fifo open so EOF cannot end the server before the signal
+exec 9> "$SMOKE_DIR/serve.fifo"
+printf '%s\n' \
+  '{"id":901,"model_csv":"alpha,4,100,0.001,1,0.5\nbeta,2,50,0.001,1,0.2","nodes":32}' \
+  '{"id":902,"model_csv":"alpha,4,100,0.001,1,0.5\nbeta,2,50,0.001,1,0.2","nodes":48}' >&9
+sleep 1
+kill -TERM "$SERVE_PID"
+exec 9>&-
+if ! wait "$SERVE_PID"; then
+  echo "serve smoke: server exited non-zero after SIGTERM" >&2
+  exit 1
+fi
+# in-flight work must be answered, then the final report emitted
+grep -q '"id":901' "$SMOKE_DIR/sigterm.out" || {
+  echo "serve smoke: request 901 lost during drain" >&2
+  exit 1
+}
+grep -q '"id":902' "$SMOKE_DIR/sigterm.out" || {
+  echo "serve smoke: request 902 lost during drain" >&2
+  exit 1
+}
+grep -q '"event":"drained"' "$SMOKE_DIR/sigterm.out" || {
+  echo "serve smoke: missing drained event after SIGTERM" >&2
+  exit 1
+}
 
 echo "== ci OK =="

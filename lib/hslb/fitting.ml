@@ -8,7 +8,7 @@ type fit = {
 let fit_observations ?(starts = 12) ~rng obs =
   let distinct = List.sort_uniq compare (Array.to_list (Array.map fst obs)) in
   if List.length distinct < 2 then
-    invalid_arg "Fitting.fit_observations: need observations at at least 2 node counts";
+    invalid_arg "Fitting.fit_observations: need observations at 2 or more distinct node counts";
   Array.iter
     (fun (n, y) ->
       if n < 1. || y < 0. then invalid_arg "Fitting.fit_observations: invalid observation")

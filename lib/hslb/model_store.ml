@@ -1,3 +1,27 @@
+(* RFC-4180-style quoting for the name field: a name containing a comma
+   or double quote, carrying significant leading/trailing whitespace
+   (which the unquoted parse trims away), starting with the comment
+   character, or empty is wrapped in double quotes with embedded quotes
+   doubled. Anything else is written bare, keeping existing files
+   byte-identical. Newlines cannot survive a line-based format even
+   quoted, so they are rejected rather than silently corrupted. *)
+let needs_quoting name =
+  name = ""
+  || String.trim name <> name
+  || String.exists (fun c -> c = ',' || c = '"') name
+  || name.[0] = '#'
+
+let csv_name name =
+  if String.exists (fun c -> c = '\n' || c = '\r') name then
+    invalid_arg
+      (Printf.sprintf
+         "Model_store.to_csv: class name %S contains a newline and cannot round-trip \
+          through the line-based CSV format"
+         name);
+  if needs_quoting name then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' name) ^ "\""
+  else name
+
 let to_csv fits =
   let b = Buffer.create 256 in
   Buffer.add_string b "# name,count,a,b,c,d\n";
@@ -5,11 +29,60 @@ let to_csv fits =
     (fun (fc : Classes.fitted) ->
       let law = fc.Classes.fit.Fitting.law in
       Buffer.add_string b
-        (Printf.sprintf "%s,%d,%.17g,%.17g,%.17g,%.17g\n" fc.Classes.cls.Classes.name
+        (Printf.sprintf "%s,%d,%.17g,%.17g,%.17g,%.17g\n"
+           (csv_name fc.Classes.cls.Classes.name)
            fc.Classes.cls.Classes.count law.Scaling_law.a law.Scaling_law.b law.Scaling_law.c
            law.Scaling_law.d))
     fits;
   Buffer.contents b
+
+(* [split_fields line] — comma-split that understands [csv_name]'s
+   quoting: a field opening with a double quote runs to the matching
+   close quote (a doubled quote is a literal one, commas inside are
+   data, surrounding whitespace is significant); unquoted fields are
+   trimmed as before. *)
+let split_fields line =
+  let n = String.length line in
+  let rec skip_spaces j =
+    if j < n && (line.[j] = ' ' || line.[j] = '\t') then skip_spaces (j + 1) else j
+  in
+  let read_quoted start =
+    let b = Buffer.create 16 in
+    let rec go j =
+      if j >= n then Error "unterminated quoted field"
+      else if line.[j] = '"' then
+        if j + 1 < n && line.[j + 1] = '"' then (
+          Buffer.add_char b '"';
+          go (j + 2))
+        else Ok (Buffer.contents b, j + 1)
+      else (
+        Buffer.add_char b line.[j];
+        go (j + 1))
+    in
+    go start
+  in
+  let read_unquoted start =
+    let j = ref start in
+    while !j < n && line.[!j] <> ',' do
+      incr j
+    done;
+    (String.trim (String.sub line start (!j - start)), !j)
+  in
+  let rec fields acc i =
+    let j = skip_spaces i in
+    if j < n && line.[j] = '"' then
+      match read_quoted (j + 1) with
+      | Error _ as e -> e
+      | Ok (f, k) ->
+        let k = skip_spaces k in
+        if k >= n then Ok (List.rev (f :: acc))
+        else if line.[k] = ',' then fields (f :: acc) (k + 1)
+        else Error "unexpected characters after closing quote"
+    else
+      let f, k = read_unquoted i in
+      if k >= n then Ok (List.rev (f :: acc)) else fields (f :: acc) (k + 1)
+  in
+  fields [] 0
 
 let parse_line ~lineno line =
   let fail what =
@@ -21,7 +94,8 @@ let parse_line ~lineno line =
     | exception Failure _ -> fail (Printf.sprintf "%s is not a number: %S" what s)
   in
   let ( let* ) = Result.bind in
-  match List.map String.trim (String.split_on_char ',' line) with
+  let* split = match split_fields line with Ok f -> Ok f | Error what -> fail what in
+  match split with
   | [ name; count; a; b; c; d ] ->
     let* count =
       match int_of_string_opt count with

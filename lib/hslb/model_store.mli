@@ -7,10 +7,23 @@
     ([name,count,a,b,c,d] per line, [#] comments allowed) shared with
     the command-line tools. *)
 
-(** [to_csv fits] — serialize fitted classes. *)
+(** [csv_name name] — [name] as a CSV field that {!of_csv} parses back
+    verbatim: quoted (embedded double quotes doubled) when it contains a
+    comma or quote, carries leading/trailing whitespace, starts with
+    [#], or is empty; written bare otherwise. Shared with the CLI's
+    [--save-class] append path so hand-grown files escape identically.
+    @raise Invalid_argument on names containing a newline — they cannot
+    round-trip through the line-based format. *)
+val csv_name : string -> string
+
+(** [to_csv fits] — serialize fitted classes. Names are escaped with
+    {!csv_name}.
+    @raise Invalid_argument on names containing a newline. *)
 val to_csv : Classes.fitted list -> string
 
-(** [of_csv_result text] — parse back. The reconstructed classes sample
+(** [of_csv_result text] — parse back. Quoted name fields (see
+    {!csv_name}) are unescaped; unquoted fields are trimmed. The
+    reconstructed classes sample
     from their own law (they carry no benchmark source); R² is reported
     as 1. A malformed line is reported as
     ["Model_store.of_csv: line N: <what>: <line>"] with a 1-based line

@@ -2,12 +2,22 @@ let env_var = "HSLB_JOBS"
 
 let parse s =
   match int_of_string_opt (String.trim s) with
-  | Some n when n >= 1 -> Some n
-  | Some _ | None -> None
+  | Some n when n >= 1 -> Ok n
+  | Some _ | None ->
+    Error (Printf.sprintf "invalid jobs value %S (expected a positive integer)" s)
 
-let from_env () =
+(* An invalid HSLB_JOBS used to be silently coerced to 1; now the same
+   [parse] the CLI's --jobs flag uses reports it, so the two paths name
+   the bad value identically and a typo'd environment never passes
+   unnoticed. *)
+let from_env ?(warn = fun msg -> Printf.eprintf "warning: %s\n%!" msg) () =
   match Sys.getenv_opt env_var with
-  | Some s -> ( match parse s with Some n -> n | None -> 1)
+  | Some s -> (
+    match parse s with
+    | Ok n -> n
+    | Error msg ->
+      warn (Printf.sprintf "%s: %s; defaulting to 1 job" env_var msg);
+      1)
   | None -> 1
 
 (* atomic: the CLI sets it once at startup, but pool workers in other

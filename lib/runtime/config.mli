@@ -10,6 +10,17 @@
 (** ["HSLB_JOBS"]. Invalid or missing values mean 1. *)
 val env_var : string
 
+(** [parse s] — the one validation both the environment variable and the
+    CLI [--jobs] flags go through: a positive integer (surrounding
+    whitespace tolerated), or an error message naming the bad value.
+    Shared so "HSLB_JOBS=8x" and "--jobs 8x" report identically. *)
+val parse : string -> (int, string) result
+
+(** Read [env_var]. Missing means 1; an invalid value means 1 {e after}
+    reporting the {!parse} error through [warn] (default: a ["warning:"]
+    line on stderr) — it is never silently coerced. *)
+val from_env : ?warn:(string -> unit) -> unit -> int
+
 (** Current width, [>= 1]. *)
 val jobs : unit -> int
 

@@ -8,7 +8,7 @@
    back in task order regardless of completion order — the determinism
    guarantee the experiment runner builds on. *)
 
-type 'a outcome = Value of 'a | Raised of exn
+type 'a outcome = Value of 'a | Raised of exn * Printexc.raw_backtrace
 
 let run_parallel ~jobs tasks =
   let n = Array.length tasks in
@@ -17,7 +17,14 @@ let run_parallel ~jobs tasks =
   let rec worker () =
     let i = Atomic.fetch_and_add next 1 in
     if i < n then begin
-      (slots.(i) <- (match tasks.(i) () with v -> Some (Value v) | exception e -> Some (Raised e)));
+      (slots.(i) <-
+        (match tasks.(i) () with
+        | v -> Some (Value v)
+        | exception e ->
+          (* capture in the slot: a bare [raise] back on the calling
+             domain would replace the worker-side backtrace with the
+             re-raise site, losing where the task actually failed *)
+          Some (Raised (e, Printexc.get_raw_backtrace ()))));
       worker ()
     end
   in
@@ -26,7 +33,11 @@ let run_parallel ~jobs tasks =
   List.iter Domain.join spawned;
   (* fail deterministically: the lowest-index exception wins, whatever
      order the domains actually hit theirs in *)
-  Array.iter (function Some (Raised e) -> raise e | Some (Value _) | None -> ()) slots;
+  Array.iter
+    (function
+      | Some (Raised (e, bt)) -> Printexc.raise_with_backtrace e bt
+      | Some (Value _) | None -> ())
+    slots;
   Array.to_list
     (Array.map (function Some (Value v) -> v | Some (Raised _) | None -> assert false) slots)
 
@@ -39,3 +50,16 @@ let run ?jobs thunks =
   | thunks -> run_parallel ~jobs (Array.of_list thunks)
 
 let map ?jobs f xs = run ?jobs (List.map (fun x () -> f x) xs)
+
+(* Long-lived worker set: unlike [run], which drains a fixed task array
+   and returns, these domains run an open-ended loop (a serving queue's
+   consumers). The caller's domain is NOT enlisted — a server's main
+   domain keeps reading its transport while the workers solve. *)
+
+type worker_set = unit Domain.t list
+
+let spawn_workers ~jobs body =
+  if jobs < 1 then invalid_arg "Pool.spawn_workers: jobs must be >= 1";
+  List.init jobs (fun i -> Domain.spawn (fun () -> body i))
+
+let join_workers ws = List.iter Domain.join ws

@@ -11,7 +11,10 @@
     immediately (remaining tasks do not run). In parallel mode every
     task is attempted and the exception of the {e lowest-indexed}
     failing task is re-raised after the pool drains, so failure is
-    deterministic too.
+    deterministic too. The worker-side backtrace is captured in the
+    task's slot and re-raised with it
+    ({!Printexc.raise_with_backtrace}), so the trace points at where
+    the task failed, not at the pool's re-raise site.
 
     Nested use is permitted (an experiment running in the pool may
     itself map over a pool); each call spawns its own bounded set of
@@ -21,3 +24,20 @@ val run : ?jobs:int -> (unit -> 'a) list -> 'a list
 
 (** [map ?jobs f xs] = [run ?jobs (List.map (fun x () -> f x) xs)]. *)
 val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+
+(** {2 Long-lived workers}
+
+    [run] drains a fixed task list and returns; a serving queue instead
+    needs consumers that outlive any one batch. [spawn_workers ~jobs
+    body] starts [jobs] domains each running [body i] (an open-ended
+    loop — typically: block on a queue, process, repeat, exit when the
+    queue owner says drain). The {e calling} domain is not enlisted,
+    unlike [run]: a server's main domain keeps reading its transport
+    while the workers work. [join_workers] blocks until every body
+    returns — the drain barrier that guarantees no orphaned domains.
+    @raise Invalid_argument when [jobs < 1]. *)
+
+type worker_set
+
+val spawn_workers : jobs:int -> (int -> unit) -> worker_set
+val join_workers : worker_set -> unit

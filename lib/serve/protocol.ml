@@ -1,0 +1,124 @@
+type solve_params = {
+  model : [ `Inline of string | `Path of string ];
+  n_total : int;
+  objective : Hslb.Objective.t;
+  solver : Engine.Solver_choice.t option;
+  strategy : Runtime.Portfolio.strategy option;
+  deadline_ms : float option;
+  allowed : int list option;
+}
+
+type request =
+  | Solve of solve_params
+  | Sleep of float
+  | Ping
+  | Stats
+  | Drain
+
+type parsed = { id : Json.t; req : (request, string) result }
+
+let ( let* ) = Result.bind
+
+let objective_of_string = function
+  | "min-max" -> Ok Hslb.Objective.Min_max
+  | "max-min" -> Ok Hslb.Objective.Max_min
+  | "min-sum" -> Ok Hslb.Objective.Min_sum
+  | s -> Error (Printf.sprintf "unknown objective %S (expected min-max | max-min | min-sum)" s)
+
+(* an absent field is fine; a present field of the wrong type is a
+   protocol error, never silently ignored *)
+let opt_field v key decode what =
+  match Json.member key v with
+  | None | Some Json.Null -> Ok None
+  | Some f -> (
+    match decode f with
+    | Some x -> Ok (Some x)
+    | None -> Error (Printf.sprintf "field %S: expected %s" key what))
+
+let opt_str_field v key conv =
+  let* s = opt_field v key Json.str "a string" in
+  match s with
+  | None -> Ok None
+  | Some s -> (
+    match conv s with
+    | Ok x -> Ok (Some x)
+    | Error msg -> Error (Printf.sprintf "field %S: %s" key msg))
+
+let parse_solve v =
+  let* model =
+    match (Json.member "model_csv" v, Json.member "model_path" v) with
+    | Some (Json.Str csv), None -> Ok (`Inline csv)
+    | None, Some (Json.Str path) -> Ok (`Path path)
+    | Some _, Some _ -> Error "give model_csv or model_path, not both"
+    | Some _, None -> Error "field \"model_csv\": expected a string"
+    | None, Some _ -> Error "field \"model_path\": expected a string"
+    | None, None -> Error "missing model: give model_csv (inline) or model_path (file)"
+  in
+  let* n_total =
+    match Json.member "nodes" v with
+    | None -> Error "missing field \"nodes\" (total node budget)"
+    | Some f -> (
+      match Json.int_ f with
+      | Some n when n >= 1 -> Ok n
+      | Some n -> Error (Printf.sprintf "field \"nodes\": must be >= 1, got %d" n)
+      | None -> Error "field \"nodes\": expected a positive integer")
+  in
+  let* objective = opt_str_field v "objective" objective_of_string in
+  let objective = Option.value objective ~default:Hslb.Objective.Min_max in
+  let* solver = opt_str_field v "solver" Engine.Solver_choice.of_string in
+  let* strategy = opt_str_field v "strategy" Runtime.Portfolio.strategy_of_string in
+  let* deadline_ms =
+    let* d = opt_field v "deadline_ms" Json.num "a number" in
+    match d with
+    | Some d when d <= 0. -> Error "field \"deadline_ms\": must be > 0"
+    | (Some _ | None) as d -> Ok d
+  in
+  let* allowed =
+    match Json.member "allowed" v with
+    | None | Some Json.Null -> Ok None
+    | Some f -> (
+      match Json.arr f with
+      | None -> Error "field \"allowed\": expected an array of integers"
+      | Some vs -> (
+        let ints = List.filter_map Json.int_ vs in
+        if List.length ints = List.length vs then Ok (Some ints)
+        else Error "field \"allowed\": expected an array of integers"))
+  in
+  Ok (Solve { model; n_total; objective; solver; strategy; deadline_ms; allowed })
+
+let parse_request v =
+  let* op =
+    match Json.member "op" v with
+    | None -> Ok "solve"
+    | Some f -> (
+      match Json.str f with
+      | Some s -> Ok s
+      | None -> Error "field \"op\": expected a string")
+  in
+  match op with
+  | "solve" -> parse_solve v
+  | "sleep" -> (
+    match Json.member "ms" v with
+    | Some f -> (
+      match Json.num f with
+      | Some ms when ms >= 0. -> Ok (Sleep (ms /. 1000.))
+      | Some _ | None -> Error "field \"ms\": expected a non-negative number")
+    | None -> Error "op sleep: missing field \"ms\"")
+  | "ping" -> Ok Ping
+  | "stats" -> Ok Stats
+  | "drain" -> Ok Drain
+  | op ->
+    Error (Printf.sprintf "unknown op %S (expected solve | sleep | ping | stats | drain)" op)
+
+let parse_line line =
+  match Json.parse line with
+  | Error msg -> { id = Json.Null; req = Error ("bad JSON: " ^ msg) }
+  | Ok (Json.Obj _ as v) ->
+    let id = Option.value (Json.member "id" v) ~default:Json.Null in
+    { id; req = parse_request v }
+  | Ok _ -> { id = Json.Null; req = Error "request must be a JSON object" }
+
+let response ~id fields = Json.to_string (Json.Obj (("id", id) :: fields))
+
+let error_response ~id ~outcome msg =
+  response ~id [ ("outcome", Json.Str outcome); ("error", Json.Str msg) ]

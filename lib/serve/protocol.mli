@@ -1,0 +1,47 @@
+(** The serve wire protocol: newline-delimited JSON, one request per
+    line in, one response per line out (plus standalone event lines for
+    drain and telemetry). See docs/SERVE.md for the field-by-field
+    contract.
+
+    A request is an object with an optional ["id"] (echoed verbatim in
+    the response — any JSON scalar), an ["op"] (default ["solve"]), and
+    op-specific fields. Responses always carry ["id"] and an
+    ["outcome"]: ["ok"], ["error"] (malformed request or failed solve),
+    ["overloaded"] (queue high-water rejection), ["expired"] (the
+    deadline was consumed before the solve started) or ["draining"]
+    (rejected because shutdown began). *)
+
+type solve_params = {
+  model : [ `Inline of string | `Path of string ];
+      (** [model_csv] (inline [name,count,a,b,c,d] text, [\n]-separated)
+          or [model_path] (a {!Hslb.Model_store} file) *)
+  n_total : int;  (** ["nodes"] — total node budget, >= 1 *)
+  objective : Hslb.Objective.t;  (** ["objective"], default min-max *)
+  solver : Engine.Solver_choice.t option;  (** ["solver"], server default otherwise *)
+  strategy : Runtime.Portfolio.strategy option;  (** ["strategy"] *)
+  deadline_ms : float option;
+      (** ["deadline_ms"] — end-to-end (queue wait included), mapped to
+          an {!Engine.Budget} wall-clock deadline for the solve *)
+  allowed : int list option;  (** ["allowed"] — sweet-spot restriction *)
+}
+
+type request =
+  | Solve of solve_params
+  | Sleep of float  (** ["op":"sleep"], ["ms"]: occupy a worker — testing/ops aid *)
+  | Ping  (** liveness check, answered inline *)
+  | Stats  (** server counters, answered inline *)
+  | Drain  (** initiate graceful drain, as SIGTERM does *)
+
+(** A parsed request line: the echoed [id] (Null when the line was not
+    parseable JSON) and the request or a protocol error message. *)
+type parsed = { id : Json.t; req : (request, string) result }
+
+val parse_line : string -> parsed
+
+(** [response ~id fields] — one NDJSON response line: an object opening
+    with the echoed ["id"] followed by [fields]. *)
+val response : id:Json.t -> (string * Json.t) list -> string
+
+(** [error_response ~id ~outcome msg] — [response] with
+    [outcome] and an ["error"] message. *)
+val error_response : id:Json.t -> outcome:string -> string -> string

@@ -1,0 +1,637 @@
+(* The long-lived solve service. One mutex guards the queue, the
+   dedupe table and the counters; workers never hold it while solving
+   or emitting. Responses leave through [emit] under a separate lock so
+   lines from different domains cannot interleave. *)
+
+type config = {
+  jobs : int;
+  queue_limit : int;
+  cache_capacity : int;
+  drain_grace_s : float;
+  default_solver : Engine.Solver_choice.t;
+  default_strategy : Runtime.Portfolio.strategy;
+  audit : bool;
+}
+
+let default_config () =
+  {
+    jobs = Runtime.Config.jobs ();
+    queue_limit = 64;
+    cache_capacity = 128;
+    drain_grace_s = 2.0;
+    default_solver = Engine.Solver_choice.Oa;
+    default_strategy = `Auto;
+    audit = true;
+  }
+
+(* a solve admitted to the queue; [followers] are later identical
+   requests (same fingerprint) that attached instead of queueing their
+   own solve — they get the leader's result when it lands *)
+type solve_job = {
+  params : Protocol.solve_params;
+  specs : Hslb.Alloc_model.spec list;
+  key : string;
+  mutable followers : (Json.t * float) list;  (* (request id, arrival time) *)
+}
+
+type work = W_solve of solve_job | W_sleep of float
+
+type job = { jid : Json.t; arrival : float; work : work }
+
+type t = {
+  cfg : config;
+  emit : string -> unit;  (* line out; serialized by [emit_lock] *)
+  emit_lock : Mutex.t;
+  telemetry : (string -> unit) option;
+  lock : Mutex.t;
+  nonempty : Condition.t;
+  queue : job Queue.t;
+  pending : (string, solve_job) Hashtbl.t;
+  cache : Hslb.Alloc_model.allocation Runtime.Cache.t;
+  tally : Engine.Telemetry.t;  (* merged under [lock] *)
+  drain_tok : Engine.Cancel.t;
+  mutable is_draining : bool;
+  mutable workers : Runtime.Pool.worker_set option;
+  mutable watchdog : unit Domain.t option;
+  workers_done : bool Atomic.t;
+  started : float;
+  (* counters, all under [lock] *)
+  mutable n_accepted : int;
+  mutable n_served : int;
+  mutable n_overloaded : int;
+  mutable n_drain_rejected : int;
+  mutable n_deduped : int;
+  mutable n_expired : int;
+  mutable n_protocol_errors : int;
+}
+
+let now () = Unix.gettimeofday ()
+
+let emit_line t line =
+  Mutex.lock t.emit_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.emit_lock) (fun () -> t.emit line)
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+(* ---------- response + telemetry envelopes ---------- *)
+
+type request_tele = {
+  queue_wait_ms : float;
+  solve_wall_ms : float;
+  cache_hit : bool;
+  dedup : bool;
+  lane_winner : string option;
+}
+
+let tele_fields r =
+  [
+    ("queue_wait_ms", Json.Num (r.queue_wait_ms));
+    ("solve_wall_ms", Json.Num (r.solve_wall_ms));
+    ("cache_hit", Json.Bool r.cache_hit);
+    ("dedup", Json.Bool r.dedup);
+    ( "lane_winner",
+      match r.lane_winner with Some w -> Json.Str w | None -> Json.Null );
+  ]
+
+let telemetry_line t ~id ~op ~outcome ~status r =
+  match t.telemetry with
+  | None -> ()
+  | Some sink ->
+    sink
+      (Json.to_string
+         (Json.Obj
+            ([
+               ("event", Json.Str "request");
+               ("id", id);
+               ("op", Json.Str op);
+               ("outcome", Json.Str outcome);
+               ( "status",
+                 match status with Some s -> Json.Str s | None -> Json.Null );
+             ]
+            @ tele_fields r)))
+
+let zero_tele ~queue_wait_ms =
+  { queue_wait_ms; solve_wall_ms = 0.; cache_hit = false; dedup = false; lane_winner = None }
+
+(* ---------- the certified envelope ---------- *)
+
+(* same verdict the CLI's --audit prints: Min_max allocations carry a
+   MINLP certificate re-checkable against the rebuilt model; the exact
+   customized paths certify in the nodes-per-class space, so there is
+   no raw model to re-check *)
+let audit_verdict (p : Protocol.solve_params) specs
+    (alloc : Hslb.Alloc_model.allocation) =
+  match alloc.Hslb.Alloc_model.certificate with
+  | None -> "no certificate emitted"
+  | Some cert -> (
+    match p.Protocol.objective with
+    | Hslb.Objective.Min_max -> (
+      let problem, _, _ =
+        Hslb.Alloc_model.build_minlp ~objective:p.Protocol.objective
+          ~n_total:p.Protocol.n_total specs
+      in
+      match Audit.check_minlp problem cert with
+      | Ok () ->
+        Printf.sprintf "verified (%s)" cert.Engine.Certificate.producer
+      | Error _ as verdict ->
+        Printf.sprintf "REJECTED: %s" (Audit.summary verdict))
+    | Hslb.Objective.Max_min | Hslb.Objective.Min_sum ->
+      Printf.sprintf "exact-method (%s)" cert.Engine.Certificate.producer)
+
+let ok_response ~id (alloc : Hslb.Alloc_model.allocation) ~audit r =
+  Protocol.response ~id
+    [
+      ("outcome", Json.Str "ok");
+      ( "status",
+        Json.Str (Minlp.Solution.status_to_string alloc.Hslb.Alloc_model.status) );
+      ("makespan", Json.Num alloc.Hslb.Alloc_model.predicted_makespan);
+      ( "nodes_per_task",
+        Json.Arr
+          (Array.to_list
+             (Array.map (fun n -> Json.Num (float_of_int n))
+                alloc.Hslb.Alloc_model.nodes_per_task)) );
+      ( "predicted_times",
+        Json.Arr
+          (Array.to_list
+             (Array.map (fun v -> Json.Num v) alloc.Hslb.Alloc_model.predicted_times)) );
+      ("audit", match audit with Some s -> Json.Str s | None -> Json.Null);
+      ("telemetry", Json.Obj (tele_fields r));
+    ]
+
+let failed_response ~id status r =
+  Protocol.response ~id
+    [
+      ("outcome", Json.Str "error");
+      ( "error",
+        Json.Str ("no allocation: " ^ Minlp.Solution.status_to_string status) );
+      ("status", Json.Str (Minlp.Solution.status_to_string status));
+      ("telemetry", Json.Obj (tele_fields r));
+    ]
+
+(* ---------- workers ---------- *)
+
+let respond_solve t ~id ~op result ~audit r =
+  (match result with
+  | Ok alloc -> emit_line t (ok_response ~id alloc ~audit r)
+  | Error st -> emit_line t (failed_response ~id st r));
+  let outcome, status =
+    match result with
+    | Ok (alloc : Hslb.Alloc_model.allocation) ->
+      ("ok", Some (Minlp.Solution.status_to_string alloc.Hslb.Alloc_model.status))
+    | Error st -> ("error", Some (Minlp.Solution.status_to_string st))
+  in
+  telemetry_line t ~id ~op ~outcome ~status r
+
+let process_solve t (job : job) (sj : solve_job) =
+  let start = now () in
+  let queue_wait = start -. job.arrival in
+  let p = sj.params in
+  (* detach from the dedupe table first: once the solve begins, a new
+     identical request queues its own rather than waiting behind a
+     result that may already reflect an older deadline *)
+  let followers =
+    locked t (fun () ->
+        Hashtbl.remove t.pending sj.key;
+        let fs = sj.followers in
+        sj.followers <- [];
+        fs)
+  in
+  let follower_tele (arr : float) tele =
+    { tele with dedup = true; queue_wait_ms = Float.max 0. ((start -. arr) *. 1000.) }
+  in
+  let expired =
+    match p.Protocol.deadline_ms with
+    | Some ms -> queue_wait *. 1000. >= ms
+    | None -> false
+  in
+  if expired then begin
+    let answer id tele =
+      emit_line t
+        (Protocol.error_response ~id ~outcome:"expired"
+           (Printf.sprintf "deadline (%.0f ms) consumed by %.0f ms of queue wait"
+              (Option.get p.Protocol.deadline_ms)
+              tele.queue_wait_ms));
+      telemetry_line t ~id ~op:"solve" ~outcome:"expired" ~status:None tele
+    in
+    answer job.jid (zero_tele ~queue_wait_ms:(queue_wait *. 1000.));
+    List.iter
+      (fun (fid, arr) -> answer fid (follower_tele arr (zero_tele ~queue_wait_ms:0.)))
+      followers;
+    locked t (fun () ->
+        t.n_expired <- t.n_expired + 1 + List.length followers;
+        t.n_served <- t.n_served + 1 + List.length followers)
+  end
+  else begin
+    let deadline_s = Option.map (fun ms -> (ms /. 1000.) -. queue_wait) p.Protocol.deadline_ms in
+    let budget = Engine.Budget.arm (Engine.Budget.make ?deadline_s ~cancel:t.drain_tok ()) in
+    let solver = Option.value p.Protocol.solver ~default:t.cfg.default_solver in
+    let strategy = Option.value p.Protocol.strategy ~default:t.cfg.default_strategy in
+    let race_report = ref None in
+    let req_tally = Engine.Telemetry.create () in
+    (* the server owns the memoization (one find, one put) so its
+       hit/miss counters stay exact; the rule matches Alloc_model's
+       internal one — only proven optima are replayable *)
+    let outcome =
+      match Runtime.Cache.find t.cache sj.key with
+      | Some alloc -> `Solved (Ok alloc, true)
+      | None -> (
+        match
+          Hslb.Alloc_model.solve ~strategy ~solver ~objective:p.Protocol.objective
+            ~budget ~trace:req_tally ~race_report ~n_total:p.Protocol.n_total sj.specs
+        with
+        | r ->
+          (match r with
+          | Ok alloc when alloc.Hslb.Alloc_model.status = Minlp.Solution.Optimal ->
+            Runtime.Cache.put t.cache sj.key alloc
+          | Ok _ | Error _ -> ());
+          `Solved (r, false)
+        | exception e ->
+          (* a solver crash must still answer the leader AND every
+             attached follower, or admitted requests would be lost *)
+          `Crashed (Printexc.to_string e))
+    in
+    let solve_wall = Engine.Budget.elapsed_s budget in
+    let tele_of cache_hit =
+      {
+        queue_wait_ms = queue_wait *. 1000.;
+        solve_wall_ms = solve_wall *. 1000.;
+        cache_hit;
+        dedup = false;
+        lane_winner = Option.map (fun r -> r.Engine.Run_report.winner) !race_report;
+      }
+    in
+    (match outcome with
+    | `Solved (result, cache_hit) ->
+      let audit =
+        match result with
+        | Ok alloc when t.cfg.audit -> Some (audit_verdict p sj.specs alloc)
+        | Ok _ | Error _ -> None
+      in
+      let tele = tele_of cache_hit in
+      respond_solve t ~id:job.jid ~op:"solve" result ~audit tele;
+      List.iter
+        (fun (fid, arr) ->
+          respond_solve t ~id:fid ~op:"solve" result ~audit (follower_tele arr tele))
+        followers
+    | `Crashed msg ->
+      let answer id tele =
+        emit_line t
+          (Protocol.error_response ~id ~outcome:"error" ("internal error: " ^ msg));
+        telemetry_line t ~id ~op:"solve" ~outcome:"error" ~status:None tele
+      in
+      let tele = tele_of false in
+      answer job.jid tele;
+      List.iter (fun (fid, arr) -> answer fid (follower_tele arr tele)) followers);
+    locked t (fun () ->
+        Engine.Telemetry.merge_into t.tally req_tally;
+        t.n_served <- t.n_served + 1 + List.length followers)
+  end
+
+let process_sleep t (job : job) dur =
+  let start = now () in
+  let queue_wait = start -. job.arrival in
+  (* cooperative nap: polls the drain token so a graceful shutdown can
+     budget-cancel it like any solve *)
+  let rec nap () =
+    let left = dur -. (now () -. start) in
+    if left > 0. && not (Engine.Cancel.cancelled t.drain_tok) then begin
+      Unix.sleepf (Float.min 0.005 left);
+      nap ()
+    end
+  in
+  nap ();
+  let tele =
+    {
+      (zero_tele ~queue_wait_ms:(queue_wait *. 1000.)) with
+      solve_wall_ms = (now () -. start) *. 1000.;
+    }
+  in
+  emit_line t
+    (Protocol.response ~id:job.jid
+       [
+         ("outcome", Json.Str "ok");
+         ("slept_ms", Json.Num tele.solve_wall_ms);
+         ("cancelled", Json.Bool (Engine.Cancel.cancelled t.drain_tok));
+         ("telemetry", Json.Obj (tele_fields tele));
+       ]);
+  telemetry_line t ~id:job.jid ~op:"sleep" ~outcome:"ok" ~status:None tele;
+  locked t (fun () -> t.n_served <- t.n_served + 1)
+
+let process t job =
+  match job.work with
+  | W_solve sj -> process_solve t job sj
+  | W_sleep dur -> process_sleep t job dur
+
+let worker_body t _i =
+  let rec loop () =
+    Mutex.lock t.lock;
+    while Queue.is_empty t.queue && not t.is_draining do
+      Condition.wait t.nonempty t.lock
+    done;
+    if Queue.is_empty t.queue then Mutex.unlock t.lock (* draining + drained: exit *)
+    else begin
+      let job = Queue.pop t.queue in
+      Mutex.unlock t.lock;
+      (match process t job with
+      | () -> ()
+      | exception e ->
+        (* a worker must survive anything a request throws at it *)
+        emit_line t
+          (Protocol.error_response ~id:job.jid ~outcome:"error"
+             ("internal error: " ^ Printexc.to_string e)));
+      loop ()
+    end
+  in
+  loop ()
+
+(* ---------- construction ---------- *)
+
+let create ?telemetry cfg ~emit =
+  if cfg.jobs < 1 then invalid_arg "Server.create: jobs must be >= 1";
+  if cfg.queue_limit < 1 then invalid_arg "Server.create: queue_limit must be >= 1";
+  if cfg.drain_grace_s < 0. then invalid_arg "Server.create: drain_grace_s must be >= 0";
+  let t =
+    {
+      cfg;
+      emit;
+      emit_lock = Mutex.create ();
+      telemetry;
+      lock = Mutex.create ();
+      nonempty = Condition.create ();
+      queue = Queue.create ();
+      pending = Hashtbl.create 64;
+      cache = Runtime.Cache.create ~capacity:cfg.cache_capacity ();
+      tally = Engine.Telemetry.create ();
+      drain_tok = Engine.Cancel.create ();
+      is_draining = false;
+      workers = None;
+      watchdog = None;
+      workers_done = Atomic.make false;
+      started = now ();
+      n_accepted = 0;
+      n_served = 0;
+      n_overloaded = 0;
+      n_drain_rejected = 0;
+      n_deduped = 0;
+      n_expired = 0;
+      n_protocol_errors = 0;
+    }
+  in
+  t.workers <- Some (Runtime.Pool.spawn_workers ~jobs:cfg.jobs (worker_body t));
+  t
+
+let draining t = locked t (fun () -> t.is_draining)
+
+let stats_obj t =
+  locked t (fun () ->
+      (Json.Obj
+           [
+             ("uptime_s", Json.Num (now () -. t.started));
+             ("jobs", Json.Num (float_of_int t.cfg.jobs));
+             ("queue_depth", Json.Num (float_of_int (Queue.length t.queue)));
+             ("queue_limit", Json.Num (float_of_int t.cfg.queue_limit));
+             ("draining", Json.Bool t.is_draining);
+             ("accepted", Json.Num (float_of_int t.n_accepted));
+             ("served", Json.Num (float_of_int t.n_served));
+             ("overloaded", Json.Num (float_of_int t.n_overloaded));
+             ("drain_rejected", Json.Num (float_of_int t.n_drain_rejected));
+             ("deduped", Json.Num (float_of_int t.n_deduped));
+             ("expired", Json.Num (float_of_int t.n_expired));
+             ("protocol_errors", Json.Num (float_of_int t.n_protocol_errors));
+             ( "cache",
+               Json.Obj
+                 [
+                   ("hits", Json.Num (float_of_int (Runtime.Cache.hits t.cache)));
+                   ("misses", Json.Num (float_of_int (Runtime.Cache.misses t.cache)));
+                   ("length", Json.Num (float_of_int (Runtime.Cache.length t.cache)));
+                 ] );
+           ]))
+
+let stats_json t = Json.to_string (stats_obj t)
+
+(* ---------- drain ---------- *)
+
+let initiate_drain t =
+  let started_now =
+    locked t (fun () ->
+        if t.is_draining then false
+        else begin
+          t.is_draining <- true;
+          Condition.broadcast t.nonempty;
+          true
+        end)
+  in
+  if started_now then begin
+    (* grace watchdog: give in-flight and queued work [drain_grace_s] to
+       finish naturally, then budget-cancel the rest through the shared
+       token. Polls so a fast drain is not held up by a long grace. *)
+    let deadline = now () +. t.cfg.drain_grace_s in
+    let watchdog =
+      Domain.spawn (fun () ->
+          let rec watch () =
+            if Atomic.get t.workers_done then ()
+            else if now () >= deadline then Engine.Cancel.cancel t.drain_tok
+            else begin
+              Unix.sleepf 0.01;
+              watch ()
+            end
+          in
+          watch ())
+    in
+    locked t (fun () -> t.watchdog <- Some watchdog)
+  end
+
+let await_drain t =
+  initiate_drain t;
+  (match t.workers with
+  | Some ws ->
+    Runtime.Pool.join_workers ws;
+    t.workers <- None
+  | None -> ());
+  Atomic.set t.workers_done true;
+  (match locked t (fun () -> t.watchdog) with
+  | Some d ->
+    Domain.join d;
+    locked t (fun () -> t.watchdog <- None)
+  | None -> ());
+  locked t (fun () ->
+      Engine.Run_report.make ~solver:"serve" ~status:"drained"
+        ~wall_s:(now () -. t.started) t.tally)
+
+(* ---------- admission ---------- *)
+
+let resolve_specs (p : Protocol.solve_params) =
+  let ( let* ) = Result.bind in
+  let* text =
+    match p.Protocol.model with
+    | `Inline csv -> Ok csv
+    | `Path path -> (
+      match
+        let ic = open_in path in
+        let n = in_channel_length ic in
+        let text = really_input_string ic n in
+        close_in ic;
+        text
+      with
+      | text -> Ok text
+      | exception Sys_error msg -> Error ("model_path: " ^ msg))
+  in
+  let* fits = Hslb.Model_store.of_csv_result text in
+  if fits = [] then Error "model has no classes"
+  else
+    Ok
+      (List.map
+         (fun fc ->
+           match p.Protocol.allowed with
+           | Some values -> Hslb.Alloc_model.spec_of ~allowed:values fc
+           | None -> Hslb.Alloc_model.spec_of fc)
+         fits)
+
+let admit t ~id work =
+  let job = { jid = id; arrival = now (); work } in
+  let verdict =
+    locked t (fun () ->
+        if t.is_draining then begin
+          t.n_drain_rejected <- t.n_drain_rejected + 1;
+          `Draining
+        end
+        else if Queue.length t.queue >= t.cfg.queue_limit then begin
+          t.n_overloaded <- t.n_overloaded + 1;
+          `Overloaded
+        end
+        else begin
+          match work with
+          | W_solve sj -> (
+            match Hashtbl.find_opt t.pending sj.key with
+            | Some leader ->
+              (* identical instance already queued or solving: attach *)
+              leader.followers <- (id, job.arrival) :: leader.followers;
+              t.n_accepted <- t.n_accepted + 1;
+              t.n_deduped <- t.n_deduped + 1;
+              `Attached
+            | None ->
+              Hashtbl.replace t.pending sj.key sj;
+              Queue.push job t.queue;
+              t.n_accepted <- t.n_accepted + 1;
+              Condition.signal t.nonempty;
+              `Queued)
+          | W_sleep _ ->
+            Queue.push job t.queue;
+            t.n_accepted <- t.n_accepted + 1;
+            Condition.signal t.nonempty;
+            `Queued
+        end)
+  in
+  match verdict with
+  | `Queued | `Attached -> ()
+  | `Overloaded ->
+    emit_line t
+      (Protocol.error_response ~id ~outcome:"overloaded"
+         (Printf.sprintf "queue at high-water mark (%d); retry later" t.cfg.queue_limit));
+    telemetry_line t ~id ~op:"solve" ~outcome:"overloaded" ~status:None
+      (zero_tele ~queue_wait_ms:0.)
+  | `Draining ->
+    emit_line t
+      (Protocol.error_response ~id ~outcome:"draining" "server is draining; not accepting work")
+
+let submit t line =
+  let { Protocol.id; req } = Protocol.parse_line line in
+  match req with
+  | Error msg ->
+    locked t (fun () -> t.n_protocol_errors <- t.n_protocol_errors + 1);
+    emit_line t (Protocol.error_response ~id ~outcome:"error" msg)
+  | Ok Protocol.Ping ->
+    emit_line t (Protocol.response ~id [ ("outcome", Json.Str "ok"); ("pong", Json.Bool true) ])
+  | Ok Protocol.Stats ->
+    emit_line t
+      (Protocol.response ~id [ ("outcome", Json.Str "ok"); ("stats", stats_obj t) ])
+  | Ok Protocol.Drain ->
+    initiate_drain t;
+    emit_line t
+      (Protocol.response ~id [ ("outcome", Json.Str "ok"); ("draining", Json.Bool true) ])
+  | Ok (Protocol.Sleep dur) -> admit t ~id (W_sleep dur)
+  | Ok (Protocol.Solve p) -> (
+    match resolve_specs p with
+    | Error msg ->
+      locked t (fun () -> t.n_protocol_errors <- t.n_protocol_errors + 1);
+      emit_line t (Protocol.error_response ~id ~outcome:"error" msg)
+    | Ok specs ->
+      let key =
+        Hslb.Alloc_model.fingerprint ~objective:p.Protocol.objective
+          ~n_total:p.Protocol.n_total specs
+      in
+      admit t ~id (W_solve { params = p; specs; key; followers = [] }))
+
+(* ---------- stdio transport ---------- *)
+
+let run_stdio ?telemetry_path ?report_path cfg =
+  let telemetry_oc =
+    Option.map
+      (fun p -> open_out_gen [ Open_append; Open_creat ] 0o644 p)
+      telemetry_path
+  in
+  let emit line =
+    print_string line;
+    print_newline ();
+    flush stdout
+  in
+  let telemetry =
+    Option.map
+      (fun oc line ->
+        output_string oc line;
+        output_char oc '\n';
+        flush oc)
+      telemetry_oc
+  in
+  let t = create ?telemetry cfg ~emit in
+  let sigterm = Atomic.make false in
+  let previous =
+    Sys.signal Sys.sigterm (Sys.Signal_handle (fun _ -> Atomic.set sigterm true))
+  in
+  let buf = Buffer.create 4096 in
+  let chunk = Bytes.create 4096 in
+  let eof = ref false in
+  let feed_complete_lines () =
+    let s = Buffer.contents buf in
+    let rec go start =
+      match String.index_from_opt s start '\n' with
+      | Some j ->
+        let line = String.sub s start (j - start) in
+        if String.trim line <> "" then submit t line;
+        go (j + 1)
+      | None -> start
+    in
+    let consumed = go 0 in
+    if consumed > 0 then begin
+      Buffer.clear buf;
+      Buffer.add_substring buf s consumed (String.length s - consumed)
+    end
+  in
+  while (not !eof) && (not (Atomic.get sigterm)) && not (draining t) do
+    match Unix.select [ Unix.stdin ] [] [] 0.05 with
+    | [], _, _ -> ()
+    | _ :: _, _, _ -> (
+      match Unix.read Unix.stdin chunk 0 (Bytes.length chunk) with
+      | 0 -> eof := true
+      | k ->
+        Buffer.add_subbytes buf chunk 0 k;
+        feed_complete_lines ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ())
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done;
+  (* a final line without trailing newline still counts *)
+  (if not (draining t) then
+     let rest = String.trim (Buffer.contents buf) in
+     if rest <> "" then submit t rest);
+  initiate_drain t;
+  let report = await_drain t in
+  (match report_path with
+  | Some path -> Engine.Run_report.write_json path report
+  | None -> ());
+  emit
+    (Printf.sprintf "{\"event\":\"drained\",\"stats\":%s,\"report\":%s}" (stats_json t)
+       (Engine.Run_report.to_json report));
+  Option.iter close_out telemetry_oc;
+  Sys.set_signal Sys.sigterm previous

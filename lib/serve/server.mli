@@ -1,0 +1,109 @@
+(** The long-lived solve service behind [hslb serve].
+
+    One {!t} owns a bounded request queue, a {!Runtime.Pool} worker set
+    of solver domains, a {!Runtime.Cache} of proven-optimal allocations
+    keyed by {!Hslb.Alloc_model.fingerprint}, and an in-flight dedupe
+    table over the same key. The transport (stdin/stdout NDJSON — see
+    {!run_stdio}) feeds raw request lines to {!submit}; every response
+    goes out through the [emit] callback, one JSON line per admitted or
+    rejected request, in completion order (responses carry the request
+    [id], so ordering is not part of the contract).
+
+    {2 Admission control}
+
+    [submit] answers inline — without occupying a worker — for
+    malformed requests ([outcome "error"]), for requests arriving past
+    the queue high-water mark ([outcome "overloaded"]; the queue never
+    grows unboundedly), and for requests arriving after drain started
+    ([outcome "draining"]). Identical solves (equal fingerprints) still
+    waiting in the queue are deduped: followers attach to the queued
+    leader and receive its result when it completes, marked
+    [dedup true]. Once a solve has {e started} an identical request
+    queues its own — the running solve may be cut short by the original
+    request's deadline, so its answer is only shared with followers
+    attached before it began (proven optima reach later requests
+    through the cache instead).
+
+    {2 Deadlines}
+
+    A request's [deadline_ms] is end-to-end: queue wait counts against
+    it. At the moment a worker picks the request up, the remaining time
+    is mapped onto an {!Engine.Budget} wall-clock deadline (so the
+    existing cooperative-cancellation machinery enforces it); a request
+    whose deadline was fully consumed while queued is answered
+    [outcome "expired"] without solving.
+
+    {2 Drain}
+
+    {!initiate_drain} (what the SIGTERM handler calls) stops admission,
+    wakes idle workers, and starts a grace timer; when the grace
+    elapses, the server-wide drain {!Engine.Cancel} token — linked into
+    every in-flight budget — is cancelled, so long solves unwind with
+    their best incumbent instead of being lost. {!await_drain} blocks
+    until the queue is empty and every worker domain has been joined
+    (no orphaned domains), then returns the final {!Engine.Run_report}
+    with the server's merged telemetry counters. Every admitted
+    request is answered before [await_drain] returns. *)
+
+type config = {
+  jobs : int;  (** worker domains (the transport domain is extra) *)
+  queue_limit : int;  (** admission high-water mark, >= 1 *)
+  cache_capacity : int;
+  drain_grace_s : float;
+      (** how long after drain starts in-flight/queued solves may keep
+          running before the drain token budget-cancels them *)
+  default_solver : Engine.Solver_choice.t;
+  default_strategy : Runtime.Portfolio.strategy;
+  audit : bool;
+      (** re-verify each solve's certificate with the independent
+          auditor and include the verdict in the response envelope *)
+}
+
+(** jobs from {!Runtime.Config.jobs}, queue limit 64, cache capacity
+    128, grace 2 s, solver oa, strategy auto, audit on. *)
+val default_config : unit -> config
+
+type t
+
+(** [create ?telemetry config ~emit] — start the worker domains.
+    [emit] receives response and event lines (no trailing newline); it
+    is called from worker domains and from [submit]'s caller under an
+    internal lock, so it needs no locking of its own. [telemetry], when
+    given, receives one JSON line per finished request (queue wait,
+    solve wall, cache hit, dedup, lane winner) — the replayable trace.
+    @raise Invalid_argument on a non-positive [jobs]/[queue_limit]. *)
+val create : ?telemetry:(string -> unit) -> config -> emit:(string -> unit) -> t
+
+(** Feed one raw request line. Responses arrive through [emit] — inline
+    for rejections, ping, stats and drain acknowledgements; from a
+    worker domain for solves and sleeps. *)
+val submit : t -> string -> unit
+
+val draining : t -> bool
+
+(** Stop admission and start the drain-grace timer. Idempotent. This is
+    what the SIGTERM path ultimately calls ({!run_stdio}'s handler only
+    sets a flag; the transport loop notices it and calls this — it
+    takes the server mutex, so it must not run {e inside} a signal
+    handler). *)
+val initiate_drain : t -> unit
+
+(** [await_drain t] — {!initiate_drain} (idempotent), then block until
+    all queued work is answered and every worker domain is joined.
+    Returns the final run report (solver ["serve"], merged counters,
+    wall time = server uptime). *)
+val await_drain : t -> Engine.Run_report.t
+
+(** Server counters as a one-line JSON object (also what the [stats]
+    op answers). *)
+val stats_json : t -> string
+
+(** [run_stdio ?telemetry_path ?report_path config] — the [hslb serve]
+    transport: NDJSON requests on stdin, responses on stdout, warnings
+    on stderr. Installs a SIGTERM handler that initiates drain; EOF on
+    stdin and the [drain] op do the same. Returns once the drain has
+    completed, after emitting a final [{"event":"drained", ...}] line
+    carrying the run report and stats (and writing the report to
+    [report_path] when given). [telemetry_path] appends per-request
+    telemetry lines to a file. *)
+val run_stdio : ?telemetry_path:string -> ?report_path:string -> config -> unit

@@ -25,8 +25,11 @@ let test_fit_recovers_noiseless () =
     [ 3; 12; 48; 100 ]
 
 let test_fit_rejects_insufficient_data () =
+  (* the CLI surfaces this message verbatim, so the exact wording is a
+     contract (and a regression test for the "at at least" typo) *)
   Alcotest.check_raises "one node count"
-    (Invalid_argument "Fitting.fit_observations: need observations at at least 2 node counts")
+    (Invalid_argument
+       "Fitting.fit_observations: need observations at 2 or more distinct node counts")
     (fun () ->
       let rng = Numerics.Rng.create 1 in
       ignore (Hslb.Fitting.fit_observations ~rng [| (4., 10.); (4., 10.1) |]))

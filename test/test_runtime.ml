@@ -22,6 +22,38 @@ let test_config_clamps () =
   Runtime.Config.set_jobs before;
   Alcotest.(check bool) "recommended positive" true (Runtime.Config.recommended () >= 1)
 
+let test_config_parse () =
+  Alcotest.(check bool) "plain" true (Runtime.Config.parse "4" = Ok 4);
+  Alcotest.(check bool) "trimmed" true (Runtime.Config.parse " 8 " = Ok 8);
+  List.iter
+    (fun bad ->
+      match Runtime.Config.parse bad with
+      | Ok n -> Alcotest.failf "accepted %S as %d" bad n
+      | Error msg ->
+        Alcotest.(check bool) (bad ^ " names the expectation") true
+          (contains_substring msg "positive integer"))
+    [ "0"; "-2"; "banana"; ""; "2.5" ]
+
+let test_config_from_env_warns () =
+  let warned = ref [] in
+  let warn msg = warned := msg :: !warned in
+  (* an invalid value must fall back to 1 *loudly*, not silently *)
+  Unix.putenv Runtime.Config.env_var "banana";
+  Alcotest.(check int) "invalid falls back to 1" 1 (Runtime.Config.from_env ~warn ());
+  (match !warned with
+  | [ msg ] ->
+    Alcotest.(check bool) "names the variable" true
+      (contains_substring msg Runtime.Config.env_var);
+    Alcotest.(check bool) "quotes the offending value" true
+      (contains_substring msg "banana")
+  | l -> Alcotest.failf "expected exactly one warning, got %d" (List.length l));
+  warned := [];
+  Unix.putenv Runtime.Config.env_var "3";
+  Alcotest.(check int) "valid value honoured" 3 (Runtime.Config.from_env ~warn ());
+  Alcotest.(check int) "no warning on valid input" 0 (List.length !warned);
+  (* the environment persists for the rest of the test binary *)
+  Unix.putenv Runtime.Config.env_var "1"
+
 (* ---------- Pool ---------- *)
 
 let test_pool_preserves_order () =
@@ -53,6 +85,25 @@ let test_pool_reraises_first_exception () =
   match Runtime.Pool.run ~jobs:1 thunks with
   | _ -> Alcotest.fail "expected an exception (sequential)"
   | exception Failure msg -> Alcotest.(check string) "sequential too" "boom-second" msg
+
+(* kept non-tail so the frame survives into the recorded backtrace *)
+let raise_in_worker () =
+  ignore (failwith "bt-probe" : unit);
+  ()
+
+let test_pool_preserves_backtraces () =
+  (* set before spawning: worker domains inherit the flag *)
+  Printexc.record_backtrace true;
+  match Runtime.Pool.run ~jobs:2 [ (fun () -> Unix.sleepf 0.005); raise_in_worker ] with
+  | _ -> Alcotest.fail "expected an exception"
+  | exception Failure msg ->
+    Alcotest.(check string) "payload intact" "bt-probe" msg;
+    let bt = Printexc.get_backtrace () in
+    (* a bare [raise] at the re-raise site would reset the trace to
+       pool.ml; the raise_with_backtrace path must keep the
+       worker-domain frames that actually raised *)
+    Alcotest.(check bool) "worker frame survives the domain boundary" true
+      (contains_substring bt "test_runtime")
 
 (* ---------- Cache ---------- *)
 
@@ -514,15 +565,115 @@ let test_model_store_line_numbers () =
     | Ok _ | Error _ -> Alcotest.fail "roundtrip failed")
   | Ok l -> Alcotest.failf "expected one class, got %d" (List.length l)
 
+(* ---------- cache under contention ---------- *)
+
+let test_cache_torture () =
+  let capacity = 32 in
+  let c = Runtime.Cache.create ~capacity () in
+  let domains = 6 and iters = 400 in
+  let value_of k = Hashtbl.hash k in
+  (* 48 keys over 32 slots: constant eviction churn while every domain
+     mixes hits, misses and inserts *)
+  let body d () =
+    let ok = ref true in
+    for i = 0 to iters - 1 do
+      let k = Printf.sprintf "k%d" ((i * (d + 1)) mod 48) in
+      match Runtime.Cache.find c k with
+      | Some v -> if v <> value_of k then ok := false
+      | None -> Runtime.Cache.put c k (value_of k)
+    done;
+    !ok
+  in
+  let oks = Runtime.Pool.run ~jobs:domains (List.init domains body) in
+  Alcotest.(check (list bool)) "every hit returned its key's value"
+    (List.init domains (fun _ -> true))
+    oks;
+  Alcotest.(check int) "each find counted exactly once" (domains * iters)
+    (Runtime.Cache.hits c + Runtime.Cache.misses c);
+  Alcotest.(check bool) "hits occurred" true (Runtime.Cache.hits c > 0);
+  Alcotest.(check bool) "misses occurred" true (Runtime.Cache.misses c > 0);
+  (* LRU structural integrity after the stampede *)
+  let keys = Runtime.Cache.keys_by_recency c in
+  Alcotest.(check bool) "stayed bounded" true (Runtime.Cache.length c <= capacity);
+  Alcotest.(check int) "recency list matches length" (Runtime.Cache.length c)
+    (List.length keys);
+  Alcotest.(check int) "recency list has no duplicates" (List.length keys)
+    (List.length (List.sort_uniq compare keys));
+  List.iter
+    (fun k ->
+      match Runtime.Cache.find c k with
+      | Some v -> Alcotest.(check int) ("surviving entry " ^ k) (value_of k) v
+      | None -> Alcotest.failf "key %s listed but not findable" k)
+    keys
+
+(* ---------- model store CSV escaping ---------- *)
+
+let test_model_store_csv_escaping () =
+  let with_name name =
+    match Hslb.Model_store.of_csv_result "frag,3,200,1e-06,0.92,2.5\n" with
+    | Ok [ fc ] ->
+      { fc with Hslb.Classes.cls = { fc.Hslb.Classes.cls with Hslb.Classes.name } }
+    | Ok _ | Error _ -> Alcotest.fail "base csv broken"
+  in
+  List.iter
+    (fun name ->
+      let fc = with_name name in
+      match Hslb.Model_store.of_csv_result (Hslb.Model_store.to_csv [ fc ]) with
+      | Ok [ fc' ] ->
+        Alcotest.(check string)
+          (Printf.sprintf "name %S round-trips" name)
+          name fc'.Hslb.Classes.cls.Hslb.Classes.name
+      | Ok _ -> Alcotest.fail "wrong class count after round-trip"
+      | Error e -> Alcotest.failf "%S failed to re-parse: %s" name e)
+    [
+      "plain";
+      "has,comma";
+      " leading space";
+      "trailing space ";
+      {|embedded"quote|};
+      {|",everything", at "once" |};
+      "#looks-like-a-comment";
+      "";
+    ];
+  (* a line-based format cannot represent newlines: reject at write time
+     rather than silently corrupting the file *)
+  List.iter
+    (fun name ->
+      match Hslb.Model_store.csv_name name with
+      | _ -> Alcotest.failf "%S accepted despite newline" name
+      | exception Invalid_argument _ -> ())
+    [ "new\nline"; "carriage\rreturn" ]
+
+let prop_csv_name_roundtrip =
+  let char_gen =
+    QCheck.Gen.(
+      frequency
+        [ (4, char_range 'a' 'z'); (3, oneofl [ ','; '"'; ' '; '#'; '.'; '-' ]) ])
+  in
+  let name_gen = QCheck.Gen.(string_size ~gen:char_gen (int_range 0 12)) in
+  QCheck.Test.make ~name:"csv_name round-trips any newline-free name" ~count:300
+    (QCheck.make name_gen ~print:(Printf.sprintf "%S"))
+    (fun name ->
+      let line = Hslb.Model_store.csv_name name ^ ",3,200,1e-06,0.92,2.5" in
+      match Hslb.Model_store.of_csv_result line with
+      | Ok [ fc ] -> fc.Hslb.Classes.cls.Hslb.Classes.name = name
+      | Ok _ | Error _ -> false)
+
 let () =
   Alcotest.run "runtime"
     [
-      ("config", [ Alcotest.test_case "jobs clamp" `Quick test_config_clamps ]);
+      ( "config",
+        [
+          Alcotest.test_case "jobs clamp" `Quick test_config_clamps;
+          Alcotest.test_case "parse" `Quick test_config_parse;
+          Alcotest.test_case "from_env warns" `Quick test_config_from_env_warns;
+        ] );
       ( "pool",
         [
           Alcotest.test_case "preserves order" `Quick test_pool_preserves_order;
           Alcotest.test_case "re-raises first exception" `Quick
             test_pool_reraises_first_exception;
+          Alcotest.test_case "preserves backtraces" `Quick test_pool_preserves_backtraces;
         ] );
       ( "cache",
         [
@@ -531,6 +682,7 @@ let () =
           Alcotest.test_case "fingerprint injective" `Quick test_fingerprint_injective;
           Alcotest.test_case "cached solve identical" `Quick test_cached_solve_identical;
           Alcotest.test_case "unproven not stored" `Quick test_cache_skips_unproven;
+          Alcotest.test_case "concurrent torture" `Quick test_cache_torture;
         ] );
       ( "cancellation",
         [
@@ -550,5 +702,9 @@ let () =
           Alcotest.test_case "layout race parity" `Quick test_layout_portfolio_matches_single;
         ] );
       ( "model store",
-        [ Alcotest.test_case "line-numbered errors" `Quick test_model_store_line_numbers ] );
+        [
+          Alcotest.test_case "line-numbered errors" `Quick test_model_store_line_numbers;
+          Alcotest.test_case "csv name escaping" `Quick test_model_store_csv_escaping;
+          QCheck_alcotest.to_alcotest prop_csv_name_roundtrip;
+        ] );
     ]

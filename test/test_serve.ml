@@ -1,0 +1,391 @@
+(* Serving-layer tests: JSON codec, wire protocol parsing, and the
+   server itself — admission control under overload, end-to-end
+   deadlines, in-flight dedupe, caching, and graceful drain (every
+   admitted request answered, every domain joined). *)
+
+let contains_substring s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+(* ---------- Json ---------- *)
+
+let test_json_roundtrip () =
+  let open Serve.Json in
+  let cases =
+    [
+      ("null", Null);
+      ("true", Bool true);
+      ("-3.5", Num (-3.5));
+      ("42", Num 42.);
+      ({|"a b"|}, Str "a b");
+      ("[1,[],{}]", Arr [ Num 1.; Arr []; Obj [] ]);
+      ({|{"k":"v","n":null}|}, Obj [ ("k", Str "v"); ("n", Null) ]);
+    ]
+  in
+  List.iter
+    (fun (text, value) ->
+      (match parse text with
+      | Ok v -> Alcotest.(check bool) ("parse " ^ text) true (v = value)
+      | Error e -> Alcotest.failf "parse %s: %s" text e);
+      (* printing then re-parsing is the identity *)
+      match parse (to_string value) with
+      | Ok v -> Alcotest.(check bool) ("reparse " ^ text) true (v = value)
+      | Error e -> Alcotest.failf "reparse %s: %s" text e)
+    cases;
+  (* integral floats print as integers: NDJSON ids echo cleanly *)
+  Alcotest.(check string) "integral num" "7" (to_string (Num 7.));
+  Alcotest.(check string) "escapes" {|"a\"b\\c\nd"|} (to_string (Str "a\"b\\c\nd"));
+  Alcotest.(check string) "non-finite is null" "null" (to_string (Num Float.nan))
+
+let test_json_unicode_and_errors () =
+  let open Serve.Json in
+  (match parse {|"é😀"|} with
+  | Ok (Str s) -> Alcotest.(check string) "utf-8 decode" "\xc3\xa9\xf0\x9f\x98\x80" s
+  | Ok _ | Error _ -> Alcotest.fail "unicode escape rejected");
+  List.iter
+    (fun bad ->
+      match parse bad with
+      | Ok _ -> Alcotest.failf "accepted %S" bad
+      | Error msg ->
+        Alcotest.(check bool) (bad ^ " error has offset") true
+          (contains_substring msg "offset"))
+    [ "{"; "[1,]"; {|{"a":1,}|}; "tru"; {|"unterminated|}; "1 2"; "" ]
+
+let test_json_accessors () =
+  let open Serve.Json in
+  let v = Obj [ ("s", Str "x"); ("n", Num 3.); ("b", Bool false); ("a", Arr [ Null ]) ] in
+  Alcotest.(check (option string)) "str" (Some "x") (Option.bind (member "s" v) str);
+  Alcotest.(check (option int)) "int_" (Some 3) (Option.bind (member "n" v) int_);
+  Alcotest.(check (option bool)) "bool_" (Some false) (Option.bind (member "b" v) bool_);
+  Alcotest.(check bool) "arr" true (Option.bind (member "a" v) arr = Some [ Null ]);
+  Alcotest.(check bool) "missing member" true (member "zz" v = None);
+  Alcotest.(check bool) "member of non-object" true (member "s" Null = None);
+  Alcotest.(check bool) "non-integral int_" true (int_ (Num 3.5) = None)
+
+(* ---------- Protocol ---------- *)
+
+let model_csv = "alpha,4,100,0.001,1,0.5\nbeta,2,50,0.001,1,0.2"
+
+let solve_line ?(id = 1) ?(nodes = 32) ?deadline_ms ?(extra = "") () =
+  Printf.sprintf {|{"id":%d,"model_csv":%s,"nodes":%d%s%s}|} id
+    (Serve.Json.to_string (Serve.Json.Str model_csv))
+    nodes
+    (match deadline_ms with
+    | None -> ""
+    | Some ms -> Printf.sprintf {|,"deadline_ms":%g|} ms)
+    extra
+
+let test_protocol_parse () =
+  let open Serve.Protocol in
+  (match parse_line (solve_line ~id:9 ~nodes:16 ~deadline_ms:250. ()) with
+  | { id = Serve.Json.Num 9.; req = Ok (Solve p) } ->
+    Alcotest.(check int) "nodes" 16 p.n_total;
+    Alcotest.(check bool) "inline model" true (p.model = `Inline model_csv);
+    Alcotest.(check (option (float 1e-9))) "deadline" (Some 250.) p.deadline_ms;
+    Alcotest.(check bool) "solver defaulted" true (p.solver = None)
+  | { req = Error e; _ } -> Alcotest.failf "solve rejected: %s" e
+  | _ -> Alcotest.fail "unexpected parse");
+  (match parse_line {|{"id":"s1","op":"sleep","ms":40}|} with
+  | { id = Serve.Json.Str "s1"; req = Ok (Sleep s) } ->
+    Alcotest.(check (float 1e-9)) "sleep seconds" 0.04 s
+  | _ -> Alcotest.fail "sleep not parsed");
+  (match parse_line {|{"op":"ping"}|} with
+  | { req = Ok Ping; _ } -> ()
+  | _ -> Alcotest.fail "ping not parsed");
+  (match parse_line {|{"op":"drain"}|} with
+  | { req = Ok Drain; _ } -> ()
+  | _ -> Alcotest.fail "drain not parsed");
+  match parse_line {|{"op":"stats"}|} with
+  | { req = Ok Stats; _ } -> ()
+  | _ -> Alcotest.fail "stats not parsed"
+
+let test_protocol_errors () =
+  let open Serve.Protocol in
+  let expect_error ?expect line =
+    match parse_line line with
+    | { req = Error msg; _ } -> (
+      match expect with
+      | None -> ()
+      | Some sub ->
+        Alcotest.(check bool)
+          (Printf.sprintf "%s mentions %s" line sub)
+          true (contains_substring msg sub))
+    | { req = Ok _; _ } -> Alcotest.failf "accepted %s" line
+  in
+  expect_error "not json";
+  expect_error "[1,2]" ~expect:"object";
+  expect_error {|{"op":"warp"}|} ~expect:"warp";
+  expect_error {|{"op":"solve"}|} ~expect:"model";
+  expect_error (solve_line ~nodes:0 ()) ~expect:"nodes";
+  expect_error (solve_line ~deadline_ms:0. ()) ~expect:"deadline_ms";
+  expect_error (solve_line ~extra:{|,"solver":"quantum"|} ()) ~expect:"quantum";
+  expect_error
+    {|{"model_csv":"a,1,1,1,1,1","model_path":"/x","nodes":4}|}
+    ~expect:"both";
+  (* the id still echoes even when the body is garbage *)
+  match parse_line {|{"id":7,"op":"warp"}|} with
+  | { id = Serve.Json.Num 7.; req = Error _ } -> ()
+  | _ -> Alcotest.fail "id lost on protocol error"
+
+(* ---------- Server harness ---------- *)
+
+(* emit runs in worker domains; the mutex both serializes test-side
+   appends and gives the polling reader a happens-before edge *)
+type harness = {
+  server : Serve.Server.t;
+  mutex : Mutex.t;
+  lines : string list ref;
+}
+
+let make_harness ?(jobs = 1) ?(queue_limit = 4) ?(drain_grace_s = 5.0) () =
+  let mutex = Mutex.create () in
+  let lines = ref [] in
+  let cfg =
+    {
+      Serve.Server.jobs;
+      queue_limit;
+      cache_capacity = 8;
+      drain_grace_s;
+      default_solver = Engine.Solver_choice.Oa;
+      default_strategy = `Single Engine.Solver_choice.Oa;
+      audit = true;
+    }
+  in
+  let emit l = Mutex.protect mutex (fun () -> lines := l :: !lines) in
+  { server = Serve.Server.create cfg ~emit; mutex; lines }
+
+let responses h =
+  let raw = Mutex.protect h.mutex (fun () -> List.rev !(h.lines)) in
+  List.map
+    (fun l ->
+      match Serve.Json.parse l with
+      | Ok v -> v
+      | Error e -> Alcotest.failf "unparseable response %s: %s" l e)
+    raw
+
+let outcome_of v =
+  match Option.bind (Serve.Json.member "outcome" v) Serve.Json.str with
+  | Some o -> o
+  | None -> Alcotest.failf "response without outcome: %s" (Serve.Json.to_string v)
+
+let find_by_id h id =
+  List.find_opt (fun v -> Serve.Json.member "id" v = Some (Serve.Json.Num (float_of_int id)))
+    (responses h)
+
+let wait_until ?(timeout = 20.0) msg f =
+  let rec go left =
+    if f () then ()
+    else if left <= 0. then Alcotest.failf "timed out waiting for %s" msg
+    else (
+      Unix.sleepf 0.01;
+      go (left -. 0.01))
+  in
+  go timeout
+
+let count_outcome h o =
+  List.length (List.filter (fun v -> outcome_of v = o) (responses h))
+
+(* ---------- Server tests ---------- *)
+
+let test_serve_concurrent_solves () =
+  let h = make_harness ~jobs:4 ~queue_limit:16 () in
+  let ids = List.init 6 (fun i -> i + 1) in
+  List.iter
+    (fun i -> Serve.Server.submit h.server (solve_line ~id:i ~nodes:(16 + i) ()))
+    ids;
+  let report = Serve.Server.await_drain h.server in
+  Alcotest.(check string) "report status" "drained" report.Engine.Run_report.status;
+  List.iter
+    (fun i ->
+      match find_by_id h i with
+      | None -> Alcotest.failf "request %d never answered" i
+      | Some v ->
+        Alcotest.(check string) (Printf.sprintf "id %d ok" i) "ok" (outcome_of v);
+        Alcotest.(check bool)
+          (Printf.sprintf "id %d audited" i)
+          true
+          (match Option.bind (Serve.Json.member "audit" v) Serve.Json.str with
+          | Some a -> contains_substring a "verified"
+          | None -> false))
+    ids;
+  (* each response must answer its own budget: the optimal makespan is
+     monotone non-increasing in the node budget, so any cross-request
+     bleed between concurrently-solving workers shows up as a bump *)
+  let makespans =
+    List.filter_map
+      (fun i ->
+        Option.bind (find_by_id h i) (fun v ->
+            Option.bind (Serve.Json.member "makespan" v) Serve.Json.num))
+      ids
+  in
+  Alcotest.(check int) "all solved" 6 (List.length makespans);
+  ignore
+    (List.fold_left
+       (fun prev m ->
+         Alcotest.(check bool) "monotone in the node budget" true (m <= prev +. 1e-9);
+         m)
+       infinity makespans
+      : float)
+
+let test_serve_overload () =
+  let h = make_harness ~jobs:1 ~queue_limit:1 () in
+  (* one request on the (single) worker or queued, at most one more
+     queued — everything else must bounce inline with "overloaded" *)
+  Serve.Server.submit h.server {|{"id":1,"op":"sleep","ms":300}|};
+  List.iter
+    (fun i -> Serve.Server.submit h.server (solve_line ~id:i ~nodes:(20 + i) ()))
+    [ 2; 3; 4 ];
+  Alcotest.(check bool) "rejections are inline" true (count_outcome h "overloaded" >= 2);
+  ignore (Serve.Server.await_drain h.server : Engine.Run_report.t);
+  let answered = List.length (responses h) in
+  Alcotest.(check int) "every request answered exactly once" 4 answered;
+  let stats =
+    match Serve.Json.parse (Serve.Server.stats_json h.server) with
+    | Ok v -> v
+    | Error e -> Alcotest.fail e
+  in
+  match Option.bind (Serve.Json.member "overloaded" stats) Serve.Json.int_ with
+  | Some n -> Alcotest.(check bool) "overloaded counter" true (n >= 2)
+  | None -> Alcotest.fail "stats missing overloaded counter"
+
+let test_serve_deadline_expired () =
+  let h = make_harness ~jobs:1 () in
+  Serve.Server.submit h.server {|{"id":1,"op":"sleep","ms":250}|};
+  (* queued behind a 250 ms sleep with a 5 ms end-to-end deadline: the
+     deadline is consumed before any worker picks it up *)
+  Serve.Server.submit h.server (solve_line ~id:2 ~deadline_ms:5. ());
+  ignore (Serve.Server.await_drain h.server : Engine.Run_report.t);
+  match find_by_id h 2 with
+  | None -> Alcotest.fail "expired request never answered"
+  | Some v -> Alcotest.(check string) "expired outcome" "expired" (outcome_of v)
+
+let test_serve_dedupe () =
+  let h = make_harness ~jobs:1 ~queue_limit:8 () in
+  Serve.Server.submit h.server {|{"id":1,"op":"sleep","ms":150}|};
+  (* identical fingerprints while the first is still queued: the second
+     must attach to the first, not occupy a queue slot *)
+  Serve.Server.submit h.server (solve_line ~id:2 ~nodes:24 ());
+  Serve.Server.submit h.server (solve_line ~id:3 ~nodes:24 ());
+  ignore (Serve.Server.await_drain h.server : Engine.Run_report.t);
+  let v2 = Option.get (find_by_id h 2) and v3 = Option.get (find_by_id h 3) in
+  Alcotest.(check string) "leader ok" "ok" (outcome_of v2);
+  Alcotest.(check string) "follower ok" "ok" (outcome_of v3);
+  Alcotest.(check bool) "same answer" true
+    (Serve.Json.member "makespan" v2 = Serve.Json.member "makespan" v3);
+  let dedup v =
+    Option.bind (Serve.Json.member "telemetry" v) (fun t ->
+        Option.bind (Serve.Json.member "dedup" t) Serve.Json.bool_)
+  in
+  Alcotest.(check (option bool)) "leader not deduped" (Some false) (dedup v2);
+  Alcotest.(check (option bool)) "follower deduped" (Some true) (dedup v3)
+
+let test_serve_cache_hit () =
+  let h = make_harness ~jobs:1 () in
+  let cache_hit v =
+    Option.bind (Serve.Json.member "telemetry" v) (fun t ->
+        Option.bind (Serve.Json.member "cache_hit" t) Serve.Json.bool_)
+  in
+  Serve.Server.submit h.server (solve_line ~id:1 ~nodes:28 ());
+  (* wait for completion so the second identical request is a cache
+     hit, not an in-flight dedupe *)
+  wait_until "first solve" (fun () -> find_by_id h 1 <> None);
+  Serve.Server.submit h.server (solve_line ~id:2 ~nodes:28 ());
+  ignore (Serve.Server.await_drain h.server : Engine.Run_report.t);
+  let v1 = Option.get (find_by_id h 1) and v2 = Option.get (find_by_id h 2) in
+  Alcotest.(check (option bool)) "first is a miss" (Some false) (cache_hit v1);
+  Alcotest.(check (option bool)) "second is a hit" (Some true) (cache_hit v2);
+  Alcotest.(check bool) "identical allocation" true
+    (Serve.Json.member "nodes_per_task" v1 = Serve.Json.member "nodes_per_task" v2)
+
+let test_serve_drain_rejects_and_joins () =
+  let h = make_harness ~jobs:2 ~queue_limit:8 () in
+  List.iter
+    (fun i -> Serve.Server.submit h.server (solve_line ~id:i ~nodes:(40 + i) ()))
+    [ 1; 2; 3 ];
+  Serve.Server.initiate_drain h.server;
+  Alcotest.(check bool) "draining flag" true (Serve.Server.draining h.server);
+  Serve.Server.submit h.server (solve_line ~id:9 ~nodes:50 ());
+  (match find_by_id h 9 with
+  | Some v -> Alcotest.(check string) "late arrival bounced" "draining" (outcome_of v)
+  | None -> Alcotest.fail "draining rejection must be inline");
+  let report = Serve.Server.await_drain h.server in
+  (* await_drain returning means every worker domain was joined; now
+     check no admitted request was dropped on the floor *)
+  List.iter
+    (fun i ->
+      match find_by_id h i with
+      | Some v -> Alcotest.(check string) (Printf.sprintf "id %d ok" i) "ok" (outcome_of v)
+      | None -> Alcotest.failf "in-flight request %d lost during drain" i)
+    [ 1; 2; 3 ];
+  Alcotest.(check string) "status" "drained" report.Engine.Run_report.status;
+  (* idempotent: a second await_drain must not hang or double-join *)
+  ignore (Serve.Server.await_drain h.server : Engine.Run_report.t)
+
+let test_serve_drain_grace_cancels () =
+  let h = make_harness ~jobs:1 ~drain_grace_s:0.2 () in
+  (* the sleep op polls the drain token, standing in for a long solve *)
+  Serve.Server.submit h.server {|{"id":1,"op":"sleep","ms":30000}|};
+  wait_until "sleep picked up" (fun () ->
+      match Serve.Json.parse (Serve.Server.stats_json h.server) with
+      | Ok v -> Option.bind (Serve.Json.member "queue_depth" v) Serve.Json.int_ = Some 0
+      | Error _ -> false);
+  let t0 = Unix.gettimeofday () in
+  ignore (Serve.Server.await_drain h.server : Engine.Run_report.t);
+  let elapsed = Unix.gettimeofday () -. t0 in
+  Alcotest.(check bool) "grace cut the 30 s sleep short" true (elapsed < 5.0);
+  match find_by_id h 1 with
+  | Some _ -> ()
+  | None -> Alcotest.fail "cancelled sleep still owes a response"
+
+let test_serve_protocol_error_and_ping () =
+  let h = make_harness () in
+  Serve.Server.submit h.server "garbage";
+  Serve.Server.submit h.server {|{"id":5,"op":"ping"}|};
+  Serve.Server.submit h.server {|{"id":6,"model_path":"/no/such/file","nodes":4}|};
+  ignore (Serve.Server.await_drain h.server : Engine.Run_report.t);
+  (* both the unparseable line (id null) and the unreadable model are
+     "error" outcomes *)
+  Alcotest.(check int) "error outcomes" 2 (count_outcome h "error");
+  Alcotest.(check bool) "unparseable line echoes a null id" true
+    (List.exists
+       (fun v -> outcome_of v = "error" && Serve.Json.member "id" v = Some Serve.Json.Null)
+       (responses h));
+  (match find_by_id h 5 with
+  | Some v -> Alcotest.(check string) "pong" "ok" (outcome_of v)
+  | None -> Alcotest.fail "ping unanswered");
+  match find_by_id h 6 with
+  | Some v ->
+    Alcotest.(check string) "unreadable model errors" "error" (outcome_of v);
+    Alcotest.(check bool) "names the path" true
+      (match Option.bind (Serve.Json.member "error" v) Serve.Json.str with
+      | Some e -> contains_substring e "/no/such/file"
+      | None -> false)
+  | None -> Alcotest.fail "bad model_path unanswered"
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
+          Alcotest.test_case "unicode + errors" `Quick test_json_unicode_and_errors;
+          Alcotest.test_case "accessors" `Quick test_json_accessors;
+        ] );
+      ( "protocol",
+        [
+          Alcotest.test_case "parse" `Quick test_protocol_parse;
+          Alcotest.test_case "errors" `Quick test_protocol_errors;
+        ] );
+      ( "server",
+        [
+          Alcotest.test_case "concurrent solves" `Quick test_serve_concurrent_solves;
+          Alcotest.test_case "overload admission" `Quick test_serve_overload;
+          Alcotest.test_case "deadline expired in queue" `Quick test_serve_deadline_expired;
+          Alcotest.test_case "in-flight dedupe" `Quick test_serve_dedupe;
+          Alcotest.test_case "cache hit" `Quick test_serve_cache_hit;
+          Alcotest.test_case "drain rejects + joins" `Quick test_serve_drain_rejects_and_joins;
+          Alcotest.test_case "drain grace cancels" `Quick test_serve_drain_grace_cancels;
+          Alcotest.test_case "protocol error + ping" `Quick test_serve_protocol_error_and_ping;
+        ] );
+    ]
