@@ -361,6 +361,62 @@ let write_portfolio_bench path =
   close_out oc;
   Format.printf "portfolio benchmark written to %s@." path
 
+(* ---------- observability overhead benchmark (BENCH_obs.json) ---------- *)
+
+let median xs =
+  let a = Array.of_list (List.sort compare xs) in
+  a.(Array.length a / 2)
+
+(* The acceptance gate behind docs/OBSERVABILITY.md: the disabled path
+   is the pre-observability baseline (every instrumentation site hides
+   behind the single [Obs.Control] atomic flag), so enabled-vs-disabled
+   medians of the same deterministic solve measure exactly what the
+   subsystem costs — and what "disabled is effectively free" means. *)
+let write_obs_bench path =
+  let specs =
+    List.map
+      (fun s -> { s with Hslb.Alloc_model.allowed = Some [ 1; 2; 4; 8; 16; 32 ] })
+      (Lazy.force fitted_specs)
+  in
+  let solve () =
+    ignore
+      (Hslb.Alloc_model.solve
+         ~strategy:(`Single Engine.Solver_choice.Oa)
+         ~n_total:64 specs)
+  in
+  let reps = 9 in
+  let time_reps () =
+    List.init reps (fun _ ->
+        let w = snd (wall solve) in
+        Obs.Span.clear ();
+        w)
+  in
+  solve ();
+  (* measurement order: disabled first (the baseline), then enabled *)
+  Obs.Control.disable ();
+  let disabled = time_reps () in
+  Obs.Control.enable ();
+  let enabled = time_reps () in
+  Obs.Control.disable ();
+  Obs.Span.clear ();
+  let dm = median disabled and em = median enabled in
+  let floats xs = String.concat ", " (List.map (Printf.sprintf "%.6f") xs) in
+  let oc = open_out path in
+  Printf.fprintf oc
+    "{\n\
+    \  \"schema\": \"hslb-bench-obs-v1\",\n\
+    \  \"solver\": \"oa\", \"instance\": \"alloc4_sweet_n64\", \"reps\": %d,\n\
+    \  \"disabled_median_s\": %.6f,\n\
+    \  \"enabled_median_s\": %.6f,\n\
+    \  \"enabled_over_disabled\": %.4f,\n\
+    \  \"disabled_wall_s\": [%s],\n\
+    \  \"enabled_wall_s\": [%s],\n\
+    \  \"note\": \"disabled path = PR 4-equivalent baseline; every obs site is behind the Obs.Control atomic flag\"\n\
+     }\n"
+    reps dm em (em /. dm) (floats disabled) (floats enabled);
+  close_out oc;
+  Format.printf "observability overhead benchmark written to %s@." path
+
 let pretty_time ns =
   if ns < 1e3 then Printf.sprintf "%.1f ns" ns
   else if ns < 1e6 then Printf.sprintf "%.2f us" (ns /. 1e3)
@@ -402,6 +458,16 @@ let () =
     write_portfolio_bench path;
     exit 0
   | None -> ());
+  (match find_opt "obs-bench" with
+  | Some path ->
+    write_obs_bench path;
+    exit 0
+  | None -> ());
+  let trace = find_opt "trace" in
+  (* tracing covers the experiment run (and --report solves) below;
+     it is switched off again before the Bechamel microbenches, whose
+     thousands of repetitions would drown the timeline *)
+  if trace <> None then Obs.Control.enable ();
   if Cli_common.Argv.audit args then begin
     let seed = Option.value ~default:42 (Option.map int_of_string (find_opt "seed")) in
     let trials = Option.value ~default:50 (Option.map int_of_string (find_opt "trials")) in
@@ -418,15 +484,16 @@ let () =
   (match report with None -> () | Some path -> write_solver_reports path);
   (match only with
   | Some id -> (
-    match Experiments.Registry.find id with
-    | e -> e.Experiments.Registry.run ~quick fmt
-    | exception Not_found ->
-      Format.fprintf fmt "unknown experiment %s; available:@." id;
-      List.iter
-        (fun e ->
-          Format.fprintf fmt "  %s — %s@." e.Experiments.Registry.id
-            e.Experiments.Registry.describes)
-        Experiments.Registry.all;
+    match Experiments.Registry.find_result id with
+    | Ok e -> e.Experiments.Registry.run ~quick fmt
+    | Error msg ->
+      Format.eprintf "%s@." msg;
       exit 1)
   | None -> Experiments.Registry.run_all ~quick fmt);
+  (match trace with
+  | Some path ->
+    Obs.Control.disable ();
+    Obs.Export.write_chrome_trace path (Obs.Span.drain ());
+    Format.fprintf fmt "chrome trace written to %s@." path
+  | None -> ());
   if not no_bechamel then run_microbenches fmt

@@ -9,6 +9,8 @@
      layouts    solve a component-layout model (CESM-style extension)
      audit      fault-injection stress sweep over the MINLP solvers with
                 independent certificate checking (the CI soundness gate)
+     obs        validate observability artifacts (Chrome traces,
+                Prometheus expositions) — the CI artifact gate
      experiment regenerate one or all of the paper's tables/figures
      list       list available experiments
 
@@ -543,6 +545,24 @@ let serve_cmd =
             "Append one JSON line per finished request (queue wait, solve wall, cache \
              hit, dedup, lane winner) to FILE — a replayable request trace.")
   in
+  let metrics_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-out" ] ~docv:"FILE"
+          ~doc:
+            "Periodically rewrite FILE with a Prometheus text exposition of the \
+             server's metrics (queue-wait and solve-latency histograms plus the \
+             process-wide registry); written atomically via rename, with a final \
+             flush after drain.")
+  in
+  let metrics_interval_ms =
+    Arg.(
+      value
+      & opt float 1000.
+      & info [ "metrics-interval-ms" ] ~docv:"MS"
+          ~doc:"Flush period for $(b,--metrics-out) (must be positive).")
+  in
   let no_audit =
     Arg.(
       value
@@ -559,9 +579,13 @@ let serve_cmd =
       & info [ "solver" ] ~doc:"Default solver for requests that don't name one.")
   in
   let strategy = Cli_common.strategy_arg in
-  let run jobs queue_limit cache_capacity drain_grace_ms telemetry no_audit solver strategy
-      report =
+  let run jobs queue_limit cache_capacity drain_grace_ms telemetry metrics_out
+      metrics_interval_ms no_audit solver strategy report =
     (match jobs with Some j -> Runtime.Config.set_jobs j | None -> ());
+    if metrics_interval_ms <= 0. then begin
+      Format.eprintf "hslb serve: --metrics-interval-ms must be positive@.";
+      exit 2
+    end;
     let cfg =
       {
         Serve.Server.jobs = Runtime.Config.jobs ();
@@ -573,7 +597,8 @@ let serve_cmd =
         audit = not no_audit;
       }
     in
-    Serve.Server.run_stdio ?telemetry_path:telemetry ?report_path:report cfg
+    Serve.Server.run_stdio ?telemetry_path:telemetry ?report_path:report ?metrics_out
+      ~metrics_interval_s:(metrics_interval_ms /. 1000.) cfg
   in
   Cmd.v
     (Cmd.info "serve"
@@ -585,7 +610,73 @@ let serve_cmd =
           proven optima are cached, and SIGTERM drains gracefully.")
     Term.(
       const run $ jobs $ queue_limit $ cache_capacity $ drain_grace_ms $ telemetry
-      $ no_audit $ solver $ strategy $ report_arg)
+      $ metrics_out $ metrics_interval_ms $ no_audit $ solver $ strategy $ report_arg)
+
+(* ---------- obs: validate observability artifacts ---------- *)
+
+let obs_cmd =
+  let chrome_trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "chrome-trace" ] ~docv:"FILE"
+          ~doc:
+            "Validate FILE as a Chrome trace_event document (the artifact \
+             $(b,bench --trace) writes): parse it with the built-in JSON decoder and \
+             check every event's required fields.")
+  in
+  let prometheus =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "prometheus" ] ~docv:"FILE"
+          ~doc:
+            "Validate FILE as Prometheus text exposition (the artifact \
+             $(b,serve --metrics-out) writes): every sample line must carry a legal \
+             metric name and numeric value.")
+  in
+  let read_file path =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let run chrome_trace prometheus =
+    if chrome_trace = None && prometheus = None then begin
+      Format.eprintf "hslb obs: nothing to validate (pass --chrome-trace or --prometheus)@.";
+      exit 2
+    end;
+    let ok = ref true in
+    (match chrome_trace with
+    | None -> ()
+    | Some path -> (
+      match Obs.Json.parse (read_file path) with
+      | Error msg ->
+        Format.eprintf "%s: JSON parse error %s@." path msg;
+        ok := false
+      | Ok json -> (
+        match Obs.Export.check_chrome_trace json with
+        | Ok n -> Format.printf "%s: valid chrome trace, %d events@." path n
+        | Error msg ->
+          Format.eprintf "%s: invalid chrome trace: %s@." path msg;
+          ok := false)));
+    (match prometheus with
+    | None -> ()
+    | Some path -> (
+      match Obs.Export.check_prometheus (read_file path) with
+      | Ok n -> Format.printf "%s: valid prometheus exposition, %d samples@." path n
+      | Error msg ->
+        Format.eprintf "%s: invalid prometheus exposition: %s@." path msg;
+        ok := false));
+    if not !ok then exit 1
+  in
+  Cmd.v
+    (Cmd.info "obs"
+       ~doc:
+         "Validate observability artifacts: Chrome trace_event JSON from \
+          $(b,bench --trace) and Prometheus text exposition from \
+          $(b,serve --metrics-out). Exits non-zero if either fails to parse.")
+    Term.(const run $ chrome_trace $ prometheus)
 
 (* ---------- audit: fault-injection stress sweep ---------- *)
 
@@ -650,10 +741,10 @@ let experiment_cmd =
     match id with
     | None -> Experiments.Registry.run_all ~quick fmt
     | Some id -> (
-      match Experiments.Registry.find id with
-      | e -> e.Experiments.Registry.run ~quick fmt
-      | exception Not_found ->
-        Format.eprintf "unknown experiment %s@." id;
+      match Experiments.Registry.find_result id with
+      | Ok e -> e.Experiments.Registry.run ~quick fmt
+      | Error msg ->
+        Format.eprintf "%s@." msg;
         exit 1)
   in
   Cmd.v
@@ -682,6 +773,7 @@ let () =
             minlp_cmd;
             fmo_cmd;
             layouts_cmd;
+            obs_cmd;
             audit_cmd;
             experiment_cmd;
             list_cmd;

@@ -13,9 +13,14 @@
 # tiny queue) to pin the overload and expiry paths, and then once more
 # through a fifo with SIGTERM to pin the graceful-drain path.
 #
-# lib/runtime/, lib/audit/ and lib/serve/ compile with -warn-error +a
-# (see their dune files), so any new compiler warning there fails
-# this build.
+# The observability stage then produces both exporter artifacts for
+# real — a Prometheus exposition from a serve run under --metrics-out
+# and a Chrome trace from a bench run under --trace — and validates
+# each with `hslb_cli obs` (see docs/OBSERVABILITY.md).
+#
+# lib/obs/, lib/runtime/, lib/audit/ and lib/serve/ compile with
+# -warn-error +a (see their dune files), so any new compiler warning
+# there fails this build.
 set -eu
 
 cd "$(dirname "$0")"
@@ -97,5 +102,34 @@ grep -q '"event":"drained"' "$SMOKE_DIR/sigterm.out" || {
   echo "serve smoke: missing drained event after SIGTERM" >&2
   exit 1
 }
+
+echo "== observability: serve --metrics-out + bench --trace artifacts =="
+# a short serve run flushing metrics fast enough that the periodic
+# flusher (not just the final flush) writes the exposition
+"$SERVE_BIN" serve --jobs 1 \
+  --metrics-out "$SMOKE_DIR/metrics.prom" --metrics-interval-ms 50 \
+  < test/fixtures/serve_trace.ndjson > /dev/null
+[ -s "$SMOKE_DIR/metrics.prom" ] || {
+  echo "observability: --metrics-out wrote no exposition" >&2
+  exit 1
+}
+grep -q '^serve_solve_ms_count ' "$SMOKE_DIR/metrics.prom" || {
+  echo "observability: exposition missing serve_solve_ms samples" >&2
+  exit 1
+}
+
+# a traced bench run: one experiment, no microbenches — enough to
+# exercise the portfolio/pool span paths and produce a real trace
+dune exec bench/main.exe -- --quick --no-bechamel --only E4 \
+  --trace "$SMOKE_DIR/e4_trace.json" > /dev/null
+[ -s "$SMOKE_DIR/e4_trace.json" ] || {
+  echo "observability: --trace wrote no chrome trace" >&2
+  exit 1
+}
+
+# both artifacts must pass their format validators
+"$SERVE_BIN" obs \
+  --chrome-trace "$SMOKE_DIR/e4_trace.json" \
+  --prometheus "$SMOKE_DIR/metrics.prom"
 
 echo "== ci OK =="

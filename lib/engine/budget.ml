@@ -79,7 +79,12 @@ let verdict a ~polls:np =
           | Some n when Atomic.get a.counted_iters >= n -> Some Iter_limit
           | _ -> None)))
 
+(* registered at module init so the poll hot path never touches the
+   registry lock; bumped only while observability is enabled *)
+let polls_total = Obs.Metrics.counter "engine_budget_polls_total"
+
 let check a =
+  if Obs.Control.enabled () then Obs.Metrics.Counter.incr polls_total;
   let np = Atomic.fetch_and_add a.counted_polls 1 + 1 in
   verdict a ~polls:np
 

@@ -30,10 +30,11 @@ type t = {
   certificate : Certificate.t option;
   audit : string option;
   phases : (string * float) list;
+  hists : (string * Obs.Metrics.Histogram.summary) list;
 }
 
 let make ~solver ~status ?(objective = nan) ?(bound = nan) ?(cache_hit = false)
-    ?race ?certificate ?audit ~wall_s (tally : Telemetry.t) =
+    ?race ?certificate ?audit ?(hists = []) ~wall_s (tally : Telemetry.t) =
   {
     solver;
     status;
@@ -44,6 +45,7 @@ let make ~solver ~status ?(objective = nan) ?(bound = nan) ?(cache_hit = false)
     race;
     certificate;
     audit;
+    hists;
     nodes_expanded = tally.Telemetry.nodes_expanded;
     nodes_pruned = tally.Telemetry.nodes_pruned;
     lp_solves = tally.Telemetry.lp_solves;
@@ -151,7 +153,26 @@ let to_json r =
       Buffer.add_string b
         (Printf.sprintf "\"%s\":%s" (json_escape label) (json_float s)))
     r.phases;
-  Buffer.add_string b "}}";
+  Buffer.add_string b "}";
+  (* optional: absent entirely when no histogram summaries were
+     attached, so pre-observability consumers see an unchanged object *)
+  if r.hists <> [] then begin
+    sep ();
+    Buffer.add_string b "\"hists\":{";
+    List.iteri
+      (fun i (name, (s : Obs.Metrics.Histogram.summary)) ->
+        if i > 0 then sep ();
+        Buffer.add_string b
+          (Printf.sprintf
+             "\"%s\":{\"count\":%d,\"sum\":%s,\"min\":%s,\"max\":%s,\
+              \"p50\":%s,\"p90\":%s,\"p99\":%s}"
+             (json_escape name) s.count (json_float s.sum) (json_float s.min)
+             (json_float s.max) (json_float s.p50) (json_float s.p90)
+             (json_float s.p99)))
+      r.hists;
+    Buffer.add_string b "}"
+  end;
+  Buffer.add_char b '}';
   Buffer.contents b
 
 let to_json_list rs = "[" ^ String.concat "," (List.map to_json rs) ^ "]"

@@ -46,6 +46,12 @@ type t = {
       (** independent checker's verdict on [certificate] ("ok" or a
           violation summary), when an audit was requested *)
   phases : (string * float) list;  (** label, seconds *)
+  hists : (string * Obs.Metrics.Histogram.summary) list;
+      (** optional latency-histogram summaries (e.g. the serve layer's
+          queue-wait and solve-latency distributions); empty for plain
+          solver runs, and omitted from the JSON when empty so
+          pre-observability consumers see an unchanged object. CSV
+          output never includes them. *)
 }
 
 val make :
@@ -57,6 +63,7 @@ val make :
   ?race:race ->
   ?certificate:Certificate.t ->
   ?audit:string ->
+  ?hists:(string * Obs.Metrics.Histogram.summary) list ->
   wall_s:float ->
   Telemetry.t ->
   t

@@ -72,23 +72,36 @@ let set_warm_start_used = function
   | Some t -> t.warm_start_used <- true
   | None -> ()
 
+(* registered eagerly at module init (single-domain), so the hot path
+   never touches the registry lock *)
+let phase_hist = Obs.Metrics.histogram ~lo:1e-6 ~hi:1e5 "engine_phase_seconds"
+
 let time tally label f =
-  match tally with
-  | None -> f ()
-  | Some t ->
-    let t0 = Unix.gettimeofday () in
-    let finish () =
-      let dt = Unix.gettimeofday () -. t0 in
-      let prior = try Hashtbl.find t.phase_s label with Not_found -> 0. in
-      Hashtbl.replace t.phase_s label (prior +. dt)
+  let observing = Obs.Control.enabled () in
+  if tally = None && not observing then f ()
+  else begin
+    let body () =
+      let t0 = Unix.gettimeofday () in
+      let finish () =
+        let dt = Unix.gettimeofday () -. t0 in
+        (match tally with
+        | None -> ()
+        | Some t ->
+          let prior = try Hashtbl.find t.phase_s label with Not_found -> 0. in
+          Hashtbl.replace t.phase_s label (prior +. dt));
+        if observing then Obs.Metrics.Histogram.observe phase_hist dt
+      in
+      match f () with
+      | v ->
+        finish ();
+        v
+      | exception e ->
+        finish ();
+        raise e
     in
-    (match f () with
-    | v ->
-      finish ();
-      v
-    | exception e ->
-      finish ();
-      raise e)
+    if observing then Obs.Span.with_span ~cat:"engine.phase" label body
+    else body ()
+  end
 
 let phases t =
   Hashtbl.fold (fun label s acc -> (label, s) :: acc) t.phase_s []

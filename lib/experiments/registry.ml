@@ -31,16 +31,27 @@ let all =
     { id = E11_placement.name; describes = E11_placement.describes; run = E11_placement.run };
   ]
 
-let find id =
+let ids () = List.map (fun e -> e.id) all
+
+let find_result id =
   let prefix_matches e =
     String.length id <= String.length e.id && String.sub e.id 0 (String.length id) = id
   in
   match List.find_opt (fun e -> e.id = id) all with
-  | Some e -> e
+  | Some e -> Ok e
   | None -> (
     match List.filter prefix_matches all with
-    | [ e ] -> e
-    | [] | _ :: _ -> raise Not_found)
+    | [ e ] -> Ok e
+    | [] ->
+      Error
+        (Printf.sprintf "unknown experiment %S; valid ids: %s" id
+           (String.concat ", " (ids ())))
+    | ms ->
+      Error
+        (Printf.sprintf "ambiguous experiment %S: matches %s" id
+           (String.concat ", " (List.map (fun e -> e.id) ms))))
+
+let find id = match find_result id with Ok e -> e | Error _ -> raise Not_found
 
 let run_all ?quick ?jobs fmt =
   let jobs = match jobs with Some j -> j | None -> Runtime.Config.jobs () in

@@ -9,8 +9,15 @@ type t = {
 
 val all : t list
 
-(** [find id] — lookup by id (exact) or by its numeric prefix
-    ("E4"). @raise Not_found. *)
+(** All registry ids, in registry order. *)
+val ids : unit -> string list
+
+(** [find_result id] — lookup by id (exact) or by a unique prefix
+    ("E4"). The error message lists the valid ids (unknown id) or the
+    colliding ids (ambiguous prefix), ready to show to a user. *)
+val find_result : string -> (t, string) result
+
+(** [find id] — {!find_result}, raising. @raise Not_found. *)
 val find : string -> t
 
 (** [run_all ?quick ?jobs fmt] — regenerate everything. [jobs]

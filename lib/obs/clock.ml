@@ -1,0 +1,15 @@
+(* The unix binding shipped with the compiler exposes no
+   clock_gettime(CLOCK_MONOTONIC), so we monotonize the wall clock: a
+   process-wide atomic high-water mark clamps gettimeofday to be
+   non-decreasing across every domain. NTP steps can stall the clock
+   briefly but can never make a span duration negative. *)
+
+let high_water = Atomic.make 0.
+
+let rec clamp t =
+  let cur = Atomic.get high_water in
+  if t <= cur then cur
+  else if Atomic.compare_and_set high_water cur t then t
+  else clamp t
+
+let now_s () = clamp (Unix.gettimeofday ())

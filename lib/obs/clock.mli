@@ -1,0 +1,9 @@
+(** Monotonized timestamps for spans and telemetry.
+
+    [now_s ()] is [Unix.gettimeofday] clamped through a process-wide
+    atomic high-water mark: successive reads never decrease, across
+    all domains, even if the system wall clock steps backwards. Values
+    stay on the Unix epoch scale, so they remain meaningful next to
+    wall-clock timestamps in logs. *)
+
+val now_s : unit -> float

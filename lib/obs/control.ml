@@ -1,0 +1,8 @@
+let flag = Atomic.make false
+let enabled () = Atomic.get flag
+let enable () = Atomic.set flag true
+let disable () = Atomic.set flag false
+
+let with_enabled f =
+  enable ();
+  Fun.protect ~finally:disable f

@@ -1,0 +1,160 @@
+(* ---------- Chrome trace_event ---------- *)
+
+(* One complete event (ph:"X") per span. chrome://tracing and Perfetto
+   want ts/dur in microseconds; pid is the OS process, tid the OCaml
+   domain the span closed on. Span ids ride along in args so the
+   parent/child structure survives the round trip machine-readably. *)
+let span_event (sp : Span.t) : Json.t =
+  let args =
+    ("span_id", Json.Num (float_of_int sp.id))
+    :: (match sp.parent with
+       | Some p -> [ ("parent_id", Json.Num (float_of_int p)) ]
+       | None -> [])
+    @ List.map (fun (k, v) -> (k, Json.Str v)) sp.args
+  in
+  Json.Obj
+    [
+      ("name", Json.Str sp.name);
+      ("cat", Json.Str (if sp.cat = "" then "default" else sp.cat));
+      ("ph", Json.Str "X");
+      ("ts", Json.Num (sp.start_s *. 1e6));
+      ("dur", Json.Num (sp.dur_s *. 1e6));
+      ("pid", Json.Num (float_of_int (Unix.getpid ())));
+      ("tid", Json.Num (float_of_int sp.domain));
+      ("args", Json.Obj args);
+    ]
+
+let chrome_trace spans : Json.t =
+  Json.Obj
+    [
+      ("traceEvents", Json.Arr (List.map span_event spans));
+      ("displayTimeUnit", Json.Str "ms");
+    ]
+
+let write_chrome_trace path spans =
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc (Json.to_string (chrome_trace spans));
+      Out_channel.output_char oc '\n')
+
+(* NDJSON streaming: one complete event per line, same schema as the
+   trace_event entries, suitable for [Span.set_stream]. *)
+let span_ndjson_line sp = Json.to_string (span_event sp)
+
+(* ---------- Prometheus text exposition ---------- *)
+
+let prom_num f =
+  if Float.is_nan f then "NaN"
+  else if f = infinity then "+Inf"
+  else if f = neg_infinity then "-Inf"
+  else if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.9g" f
+
+let prometheus metrics =
+  let b = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b s; Buffer.add_char b '\n') fmt in
+  List.iter
+    (fun (name, m) ->
+      match m with
+      | Metrics.Counter c ->
+        line "# TYPE %s counter" name;
+        line "%s %d" name (Metrics.Counter.value c)
+      | Metrics.Gauge g ->
+        line "# TYPE %s gauge" name;
+        line "%s %s" name (prom_num (Metrics.Gauge.value g))
+      | Metrics.Histogram h ->
+        let s = Metrics.Histogram.summary h in
+        line "# TYPE %s summary" name;
+        line "%s{quantile=\"0.5\"} %s" name (prom_num s.p50);
+        line "%s{quantile=\"0.9\"} %s" name (prom_num s.p90);
+        line "%s{quantile=\"0.99\"} %s" name (prom_num s.p99);
+        line "%s_sum %s" name (prom_num s.sum);
+        line "%s_count %d" name s.count)
+    metrics;
+  Buffer.contents b
+
+let write_prometheus path metrics =
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc (prometheus metrics))
+
+(* ---------- artifact validators (CI) ---------- *)
+
+let check_chrome_trace json =
+  let ( let* ) = Result.bind in
+  let* events =
+    match Json.member "traceEvents" json with
+    | Some (Json.Arr evs) -> Ok evs
+    | Some _ -> Error "traceEvents is not an array"
+    | None -> Error "missing traceEvents"
+  in
+  let check_event i ev =
+    let field k f =
+      match Json.member k ev with
+      | Some v when f v -> Ok ()
+      | Some _ -> Error (Printf.sprintf "event %d: field %S has wrong type" i k)
+      | None -> Error (Printf.sprintf "event %d: missing field %S" i k)
+    in
+    let is_str v = Json.str v <> None and is_num v = Json.num v <> None in
+    let* () = field "name" is_str in
+    let* () = field "ph" is_str in
+    let* () = field "ts" is_num in
+    let* () = field "pid" is_num in
+    let* () = field "tid" is_num in
+    Ok ()
+  in
+  let rec all i = function
+    | [] -> Ok (List.length events)
+    | ev :: rest ->
+      let* () = check_event i ev in
+      all (i + 1) rest
+  in
+  all 0 events
+
+let metric_name_ok name =
+  name <> ""
+  && (match name.[0] with 'a' .. 'z' | 'A' .. 'Z' | '_' | ':' -> true | _ -> false)
+  && String.for_all
+       (function 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> true | _ -> false)
+       name
+
+let check_prometheus text =
+  let lines = String.split_on_char '\n' text in
+  let rec go lineno samples = function
+    | [] -> Ok samples
+    | line :: rest ->
+      let line = String.trim line in
+      if line = "" || (String.length line > 0 && line.[0] = '#') then
+        go (lineno + 1) samples rest
+      else begin
+        (* sample line: name[{labels}] value *)
+        let name_end =
+          match (String.index_opt line '{', String.index_opt line ' ') with
+          | Some i, Some j -> min i j
+          | Some i, None -> i
+          | None, Some j -> j
+          | None, None -> String.length line
+        in
+        let name = String.sub line 0 name_end in
+        let after_labels =
+          if name_end < String.length line && line.[name_end] = '{' then
+            match String.index_from_opt line name_end '}' with
+            | Some close -> Some (close + 1)
+            | None -> None
+          else Some name_end
+        in
+        match after_labels with
+        | None -> Error (Printf.sprintf "line %d: unterminated label set" lineno)
+        | Some rest_at ->
+          if not (metric_name_ok name) then
+            Error (Printf.sprintf "line %d: bad metric name %S" lineno name)
+          else
+            let value = String.trim (String.sub line rest_at (String.length line - rest_at)) in
+            let ok =
+              match value with
+              | "+Inf" | "-Inf" | "NaN" -> true
+              | v -> float_of_string_opt v <> None
+            in
+            if ok then go (lineno + 1) (samples + 1) rest
+            else Error (Printf.sprintf "line %d: bad sample value %S" lineno value)
+      end
+  in
+  go 1 0 lines

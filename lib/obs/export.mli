@@ -1,0 +1,38 @@
+(** Exporters: Chrome [trace_event] JSON, Prometheus text exposition,
+    NDJSON streaming — plus the validators CI uses to check that the
+    artifacts actually parse. *)
+
+(** One span as a Chrome complete event ([ph:"X"]; [ts]/[dur] in
+    microseconds, [tid] = OCaml domain, [pid] = OS process). The span
+    id and parent id ride in [args] as [span_id]/[parent_id] so the
+    hierarchy survives machine-readably. *)
+val span_event : Span.t -> Json.t
+
+(** A full [{"traceEvents":[...]}] document loadable in
+    [chrome://tracing] or Perfetto. *)
+val chrome_trace : Span.t list -> Json.t
+
+val write_chrome_trace : string -> Span.t list -> unit
+
+(** [span_event] rendered as one NDJSON line (no trailing newline);
+    compose with {!Span.set_stream} for live streaming. *)
+val span_ndjson_line : Span.t -> string
+
+(** Prometheus text exposition for a metric snapshot
+    ({!Metrics.snapshot} or any named list): counters and gauges as
+    single samples, histograms as summaries with
+    [quantile="0.5"/"0.9"/"0.99"] labels plus [_sum]/[_count]. *)
+val prometheus : (string * Metrics.metric) list -> string
+
+val write_prometheus : string -> (string * Metrics.metric) list -> unit
+
+(** Validate a parsed Chrome trace: [traceEvents] must be an array
+    whose every event carries [name]/[ph] strings and [ts]/[pid]/[tid]
+    numbers. Returns the event count. *)
+val check_chrome_trace : Json.t -> (int, string) result
+
+(** Validate Prometheus text exposition line-by-line: comments and
+    blanks skipped, every sample line must be
+    [name[{labels}] value] with a legal metric name and a float (or
+    [+Inf]/[-Inf]/[NaN]) value. Returns the sample-line count. *)
+val check_prometheus : string -> (int, string) result

@@ -1,0 +1,45 @@
+(** Minimal JSON shared by the observability exporters and the serving
+    layer's newline-delimited protocol (re-exported as [Serve.Json]).
+
+    The toolchain deliberately has no JSON dependency, and the engine's
+    {!Engine.Run_report} only {e emits} JSON — the serve protocol and
+    the trace-artifact validators also have to {e parse}, so this
+    module provides both directions
+    for the small value set the protocol needs. It is not a general
+    JSON library: numbers are [float]s (integral values print without a
+    decimal point), object member order is preserved, duplicate keys
+    keep the first occurrence. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+(** [parse s] — parse one complete JSON value ([s] may carry
+    surrounding whitespace; trailing garbage is an error). String
+    escapes including [\uXXXX] (and surrogate pairs) are decoded to
+    UTF-8. Errors carry a character offset. *)
+val parse : string -> (t, string) result
+
+(** Compact single-line rendering (never contains a raw newline, so a
+    value is always a valid NDJSON line). Control characters, quotes
+    and backslashes in strings are escaped; non-finite numbers render
+    as [null]; integral numbers print as integers. *)
+val to_string : t -> string
+
+(** {2 Accessors} — [None] on a type or shape mismatch. *)
+
+(** Object member lookup; [None] on non-objects and missing keys. *)
+val member : string -> t -> t option
+
+val str : t -> string option
+val num : t -> float option
+
+(** Integral {!Num} within [int] range. *)
+val int_ : t -> int option
+
+val bool_ : t -> bool option
+val arr : t -> t list option

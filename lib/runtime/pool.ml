@@ -10,15 +10,41 @@
 
 type 'a outcome = Value of 'a | Raised of exn * Printexc.raw_backtrace
 
+let task_hist = Obs.Metrics.histogram ~lo:1e-6 ~hi:1e5 "runtime_pool_task_seconds"
+
 let run_parallel ~jobs tasks =
   let n = Array.length tasks in
   let slots = Array.make n None in
   let next = Atomic.make 0 in
+  (* spans opened by tasks on worker domains parent to whatever span
+     the caller was in when it sharded the work *)
+  let ctx = Obs.Span.context () in
+  let run_task i =
+    if not (Obs.Control.enabled ()) then tasks.(i) ()
+    else
+      Obs.Span.in_context ctx @@ fun () ->
+      Obs.Span.with_span ~cat:"runtime"
+        ~args:[ ("index", string_of_int i) ]
+        "pool.task"
+      @@ fun () ->
+      let t0 = Unix.gettimeofday () in
+      let finish () =
+        Obs.Metrics.Histogram.observe task_hist (Unix.gettimeofday () -. t0)
+      in
+      (match tasks.(i) () with
+      | v ->
+        finish ();
+        v
+      | exception e ->
+        let bt = Printexc.get_raw_backtrace () in
+        finish ();
+        Printexc.raise_with_backtrace e bt)
+  in
   let rec worker () =
     let i = Atomic.fetch_and_add next 1 in
     if i < n then begin
       (slots.(i) <-
-        (match tasks.(i) () with
+        (match run_task i with
         | v -> Some (Value v)
         | exception e ->
           (* capture in the slot: a bare [raise] back on the calling

@@ -32,6 +32,8 @@ type 'a outcome = {
   lanes : 'a lane list;
 }
 
+let lane_hist = Obs.Metrics.histogram ~lo:1e-6 ~hi:1e5 "runtime_lane_seconds"
+
 let race ?budget ~final ~better entrants =
   if entrants = [] then invalid_arg "Portfolio.race: no entrants";
   let base =
@@ -41,9 +43,18 @@ let race ?budget ~final ~better entrants =
      pools, plus a race token the first final answer trips *)
   let tok = Engine.Cancel.create () in
   let shared = Engine.Budget.with_extra_cancel base tok in
+  Obs.Span.with_span ~cat:"runtime" "portfolio.race" @@ fun () ->
+  (* the race span is current here; capture it so lanes running on
+     spawned domains still parent to it (cross-domain stitching) *)
+  let ctx = Obs.Span.context () in
   let t0 = Unix.gettimeofday () in
   let run_lane (lane_name, f) =
+    Obs.Span.in_context ctx @@ fun () ->
+    Obs.Span.with_span ~cat:"runtime" ("lane:" ^ lane_name) @@ fun () ->
+    let lt0 = Unix.gettimeofday () in
     let outcome = try Ok (f shared) with e -> Error e in
+    if Obs.Control.enabled () then
+      Obs.Metrics.Histogram.observe lane_hist (Unix.gettimeofday () -. lt0);
     let is_final = match outcome with Ok v -> final v | Error _ -> false in
     if is_final then Engine.Cancel.cancel tok;
     { lane_name; outcome; is_final; lane_wall_s = Unix.gettimeofday () -. t0 }

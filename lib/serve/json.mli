@@ -1,14 +1,9 @@
-(** Minimal JSON for the serving layer's newline-delimited protocol.
+(** The protocol's JSON codec, re-exported from {!Obs.Json} (it moved
+    there so the observability exporters below [serve] in the
+    dependency graph can share it). [Serve.Json.t] remains equal to
+    [Obs.Json.t]; see {!Obs.Json} for the format contract. *)
 
-    The toolchain deliberately has no JSON dependency, and the engine's
-    {!Engine.Run_report} only {e emits} JSON — the serve protocol also
-    has to {e parse} requests, so this module provides both directions
-    for the small value set the protocol needs. It is not a general
-    JSON library: numbers are [float]s (integral values print without a
-    decimal point), object member order is preserved, duplicate keys
-    keep the first occurrence. *)
-
-type t =
+type t = Obs.Json.t =
   | Null
   | Bool of bool
   | Num of float
@@ -16,28 +11,11 @@ type t =
   | Arr of t list
   | Obj of (string * t) list
 
-(** [parse s] — parse one complete JSON value ([s] may carry
-    surrounding whitespace; trailing garbage is an error). String
-    escapes including [\uXXXX] (and surrogate pairs) are decoded to
-    UTF-8. Errors carry a character offset. *)
 val parse : string -> (t, string) result
-
-(** Compact single-line rendering (never contains a raw newline, so a
-    value is always a valid NDJSON line). Control characters, quotes
-    and backslashes in strings are escaped; non-finite numbers render
-    as [null]; integral numbers print as integers. *)
 val to_string : t -> string
-
-(** {2 Accessors} — [None] on a type or shape mismatch. *)
-
-(** Object member lookup; [None] on non-objects and missing keys. *)
 val member : string -> t -> t option
-
 val str : t -> string option
 val num : t -> float option
-
-(** Integral {!Num} within [int] range. *)
 val int_ : t -> int option
-
 val bool_ : t -> bool option
 val arr : t -> t list option

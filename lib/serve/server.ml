@@ -49,6 +49,12 @@ type t = {
   pending : (string, solve_job) Hashtbl.t;
   cache : Hslb.Alloc_model.allocation Runtime.Cache.t;
   tally : Engine.Telemetry.t;  (* merged under [lock] *)
+  (* per-server latency distributions (standalone, not in the global
+     registry, so concurrent servers in one process — e.g. tests —
+     do not share state). Lock-free updates; always on, because the
+     stats op reports quantiles whether or not tracing is enabled. *)
+  qwait_h : Obs.Metrics.Histogram.t;
+  solve_h : Obs.Metrics.Histogram.t;
   drain_tok : Engine.Cancel.t;
   mutable is_draining : bool;
   mutable workers : Runtime.Pool.worker_set option;
@@ -99,16 +105,22 @@ let telemetry_line t ~id ~op ~outcome ~status r =
   match t.telemetry with
   | None -> ()
   | Some sink ->
+    (* monotonized emit timestamp + instantaneous queue depth, so the
+       traffic can be replayed in order against the metrics; safe to
+       take [lock] here — no caller holds it while emitting *)
+    let depth = locked t (fun () -> Queue.length t.queue) in
     sink
       (Json.to_string
          (Json.Obj
             ([
                ("event", Json.Str "request");
+               ("ts_mono_s", Json.Num (Obs.Clock.now_s ()));
                ("id", id);
                ("op", Json.Str op);
                ("outcome", Json.Str outcome);
                ( "status",
                  match status with Some s -> Json.Str s | None -> Json.Null );
+               ("queue_depth", Json.Num (float_of_int depth));
              ]
             @ tele_fields r)))
 
@@ -208,6 +220,7 @@ let process_solve t (job : job) (sj : solve_job) =
   in
   if expired then begin
     let answer id tele =
+      Obs.Metrics.Histogram.observe t.qwait_h tele.queue_wait_ms;
       emit_line t
         (Protocol.error_response ~id ~outcome:"expired"
            (Printf.sprintf "deadline (%.0f ms) consumed by %.0f ms of queue wait"
@@ -253,6 +266,13 @@ let process_solve t (job : job) (sj : solve_job) =
           `Crashed (Printexc.to_string e))
     in
     let solve_wall = Engine.Budget.elapsed_s budget in
+    Obs.Metrics.Histogram.observe t.solve_h (solve_wall *. 1000.);
+    Obs.Metrics.Histogram.observe t.qwait_h (queue_wait *. 1000.);
+    List.iter
+      (fun (_, arr) ->
+        Obs.Metrics.Histogram.observe t.qwait_h
+          (Float.max 0. ((start -. arr) *. 1000.)))
+      followers;
     let tele_of cache_hit =
       {
         queue_wait_ms = queue_wait *. 1000.;
@@ -292,6 +312,7 @@ let process_solve t (job : job) (sj : solve_job) =
 let process_sleep t (job : job) dur =
   let start = now () in
   let queue_wait = start -. job.arrival in
+  Obs.Metrics.Histogram.observe t.qwait_h (queue_wait *. 1000.);
   (* cooperative nap: polls the drain token so a graceful shutdown can
      budget-cancel it like any solve *)
   let rec nap () =
@@ -320,9 +341,15 @@ let process_sleep t (job : job) dur =
   locked t (fun () -> t.n_served <- t.n_served + 1)
 
 let process t job =
-  match job.work with
-  | W_solve sj -> process_solve t job sj
-  | W_sleep dur -> process_sleep t job dur
+  let body () =
+    match job.work with
+    | W_solve sj -> process_solve t job sj
+    | W_sleep dur -> process_sleep t job dur
+  in
+  if not (Obs.Control.enabled ()) then body ()
+  else
+    let op = match job.work with W_solve _ -> "solve" | W_sleep _ -> "sleep" in
+    Obs.Span.with_span ~cat:"serve" ~args:[ ("op", op) ] "serve.request" body
 
 let worker_body t _i =
   let rec loop () =
@@ -364,6 +391,8 @@ let create ?telemetry cfg ~emit =
       pending = Hashtbl.create 64;
       cache = Runtime.Cache.create ~capacity:cfg.cache_capacity ();
       tally = Engine.Telemetry.create ();
+      qwait_h = Obs.Metrics.Histogram.create ~lo:1e-3 ~hi:1e7 "serve_queue_wait_ms";
+      solve_h = Obs.Metrics.Histogram.create ~lo:1e-3 ~hi:1e7 "serve_solve_ms";
       drain_tok = Engine.Cancel.create ();
       is_draining = false;
       workers = None;
@@ -384,6 +413,31 @@ let create ?telemetry cfg ~emit =
 
 let draining t = locked t (fun () -> t.is_draining)
 
+let summary_json (s : Obs.Metrics.Histogram.summary) =
+  (* NaN quantiles of an empty histogram render as JSON null *)
+  Json.Obj
+    [
+      ("count", Json.Num (float_of_int s.count));
+      ("p50", Json.Num s.p50);
+      ("p90", Json.Num s.p90);
+      ("p99", Json.Num s.p99);
+      ("max", Json.Num s.max);
+    ]
+
+let latency_obj t =
+  Json.Obj
+    [
+      ("queue_wait_ms", summary_json (Obs.Metrics.Histogram.summary t.qwait_h));
+      ("solve_ms", summary_json (Obs.Metrics.Histogram.summary t.solve_h));
+    ]
+
+let metrics t =
+  Obs.Metrics.snapshot ()
+  @ [
+      (Obs.Metrics.Histogram.name t.qwait_h, Obs.Metrics.Histogram t.qwait_h);
+      (Obs.Metrics.Histogram.name t.solve_h, Obs.Metrics.Histogram t.solve_h);
+    ]
+
 let stats_obj t =
   locked t (fun () ->
       (Json.Obj
@@ -400,6 +454,7 @@ let stats_obj t =
              ("deduped", Json.Num (float_of_int t.n_deduped));
              ("expired", Json.Num (float_of_int t.n_expired));
              ("protocol_errors", Json.Num (float_of_int t.n_protocol_errors));
+             ("latency", latency_obj t);
              ( "cache",
                Json.Obj
                  [
@@ -456,8 +511,16 @@ let await_drain t =
     Domain.join d;
     locked t (fun () -> t.watchdog <- None)
   | None -> ());
+  let hists =
+    List.filter
+      (fun (_, s) -> s.Obs.Metrics.Histogram.count > 0)
+      [
+        ("serve_queue_wait_ms", Obs.Metrics.Histogram.summary t.qwait_h);
+        ("serve_solve_ms", Obs.Metrics.Histogram.summary t.solve_h);
+      ]
+  in
   locked t (fun () ->
-      Engine.Run_report.make ~solver:"serve" ~status:"drained"
+      Engine.Run_report.make ~solver:"serve" ~status:"drained" ~hists
         ~wall_s:(now () -. t.started) t.tally)
 
 (* ---------- admission ---------- *)
@@ -566,7 +629,10 @@ let submit t line =
 
 (* ---------- stdio transport ---------- *)
 
-let run_stdio ?telemetry_path ?report_path cfg =
+let run_stdio ?telemetry_path ?report_path ?metrics_out
+    ?(metrics_interval_s = 1.0) cfg =
+  if metrics_interval_s <= 0. then
+    invalid_arg "Server.run_stdio: metrics_interval_s must be > 0";
   let telemetry_oc =
     Option.map
       (fun p -> open_out_gen [ Open_append; Open_creat ] 0o644 p)
@@ -586,6 +652,38 @@ let run_stdio ?telemetry_path ?report_path cfg =
       telemetry_oc
   in
   let t = create ?telemetry cfg ~emit in
+  (* periodic Prometheus flush: write-then-rename so scrapers never see
+     a half-written exposition *)
+  let flush_metrics path =
+    let tmp = path ^ ".tmp" in
+    try
+      Obs.Export.write_prometheus tmp (metrics t);
+      Sys.rename tmp path
+    with Sys_error _ -> ()
+  in
+  let metrics_stop = Atomic.make false in
+  let flusher =
+    Option.map
+      (fun path ->
+        Domain.spawn (fun () ->
+            let rec loop () =
+              if Atomic.get metrics_stop then ()
+              else begin
+                (* nap in small steps so shutdown is prompt even with a
+                   long flush interval *)
+                let slept = ref 0. in
+                while !slept < metrics_interval_s && not (Atomic.get metrics_stop) do
+                  let step = Float.min 0.02 (metrics_interval_s -. !slept) in
+                  Unix.sleepf step;
+                  slept := !slept +. step
+                done;
+                flush_metrics path;
+                loop ()
+              end
+            in
+            loop ()))
+      metrics_out
+  in
   let sigterm = Atomic.make false in
   let previous =
     Sys.signal Sys.sigterm (Sys.Signal_handle (fun _ -> Atomic.set sigterm true))
@@ -627,6 +725,11 @@ let run_stdio ?telemetry_path ?report_path cfg =
      if rest <> "" then submit t rest);
   initiate_drain t;
   let report = await_drain t in
+  Atomic.set metrics_stop true;
+  Option.iter Domain.join flusher;
+  (* final flush covers everything served, including the tail between
+     the last periodic write and the drain *)
+  Option.iter flush_metrics metrics_out;
   (match report_path with
   | Some path -> Engine.Run_report.write_json path report
   | None -> ());

@@ -95,15 +95,35 @@ val initiate_drain : t -> unit
 val await_drain : t -> Engine.Run_report.t
 
 (** Server counters as a one-line JSON object (also what the [stats]
-    op answers). *)
+    op answers). Includes a [latency] object with queue-wait and
+    solve-latency quantile summaries (p50/p90/p99, milliseconds) from
+    the server's always-on histograms. *)
 val stats_json : t -> string
 
-(** [run_stdio ?telemetry_path ?report_path config] — the [hslb serve]
-    transport: NDJSON requests on stdin, responses on stdout, warnings
-    on stderr. Installs a SIGTERM handler that initiates drain; EOF on
-    stdin and the [drain] op do the same. Returns once the drain has
-    completed, after emitting a final [{"event":"drained", ...}] line
-    carrying the run report and stats (and writing the report to
-    [report_path] when given). [telemetry_path] appends per-request
-    telemetry lines to a file. *)
-val run_stdio : ?telemetry_path:string -> ?report_path:string -> config -> unit
+(** The process-wide {!Obs.Metrics} registry snapshot plus this
+    server's own latency histograms ([serve_queue_wait_ms],
+    [serve_solve_ms]) — the exposition set behind [--metrics-out],
+    ready for {!Obs.Export.prometheus}. *)
+val metrics : t -> (string * Obs.Metrics.metric) list
+
+(** [run_stdio ?telemetry_path ?report_path ?metrics_out
+    ?metrics_interval_s config] — the [hslb serve] transport: NDJSON
+    requests on stdin, responses on stdout, warnings on stderr.
+    Installs a SIGTERM handler that initiates drain; EOF on stdin and
+    the [drain] op do the same. Returns once the drain has completed,
+    after emitting a final [{"event":"drained", ...}] line carrying
+    the run report and stats (and writing the report to [report_path]
+    when given). [telemetry_path] appends per-request telemetry lines
+    to a file; each line carries a monotonic [ts_mono_s] timestamp and
+    the instantaneous [queue_depth]. [metrics_out] periodically (every
+    [metrics_interval_s] seconds, default 1.0, must be positive)
+    rewrites a Prometheus text-exposition file with {!metrics}, using
+    write-then-rename so readers never see a torn file; a final flush
+    happens after drain. *)
+val run_stdio :
+  ?telemetry_path:string ->
+  ?report_path:string ->
+  ?metrics_out:string ->
+  ?metrics_interval_s:float ->
+  config ->
+  unit

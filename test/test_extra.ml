@@ -410,10 +410,46 @@ let prop_min_sum_greedy_never_beaten_by_random =
       done;
       !ok)
 
+(* ---------- experiment registry lookup ---------- *)
+
+let test_registry_find_exact_and_prefix () =
+  (match Experiments.Registry.find_result "E4_scaling" with
+  | Ok e -> Alcotest.(check string) "exact id" "E4_scaling" e.Experiments.Registry.id
+  | Error msg -> Alcotest.failf "exact lookup failed: %s" msg);
+  match Experiments.Registry.find_result "E4" with
+  | Ok e -> Alcotest.(check string) "unique prefix" "E4_scaling" e.Experiments.Registry.id
+  | Error msg -> Alcotest.failf "prefix lookup failed: %s" msg
+
+let test_registry_unknown_lists_valid_ids () =
+  (* the exact message is what bench --only prints, so pin it *)
+  let expected =
+    "unknown experiment \"E99\"; valid ids: E1_fit_quality, E2_objectives, "
+    ^ "E3_pred_vs_actual, E4_scaling, E5_protein, E6_solver, E7_samples, "
+    ^ "E8_cesm_table3, E9_cesm_layouts, E10_scheduler_ablation, E11_placement"
+  in
+  match Experiments.Registry.find_result "E99" with
+  | Ok _ -> Alcotest.fail "E99 should be unknown"
+  | Error msg -> Alcotest.(check string) "error message" expected msg
+
+let test_registry_ambiguous_prefix () =
+  let expected =
+    "ambiguous experiment \"E1\": matches E1_fit_quality, E10_scheduler_ablation, E11_placement"
+  in
+  match Experiments.Registry.find_result "E1" with
+  | Ok e -> Alcotest.failf "E1 should be ambiguous, resolved to %s" e.Experiments.Registry.id
+  | Error msg -> Alcotest.(check string) "error message" expected msg
+
 let () =
   let qsuite = List.map QCheck_alcotest.to_alcotest [ prop_min_sum_greedy_never_beaten_by_random ] in
   Alcotest.run "extra"
     [
+      ( "registry",
+        [
+          Alcotest.test_case "exact and prefix" `Quick test_registry_find_exact_and_prefix;
+          Alcotest.test_case "unknown lists valid ids" `Quick
+            test_registry_unknown_lists_valid_ids;
+          Alcotest.test_case "ambiguous prefix" `Quick test_registry_ambiguous_prefix;
+        ] );
       ( "expr",
         [
           Alcotest.test_case "pp and guards" `Quick test_expr_pp;

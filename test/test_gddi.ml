@@ -200,6 +200,67 @@ let prop_static_assignment_respected =
       let r = Sim.run_phase p ~num_tasks ~duration (Sim.Static a) in
       r.Sim.assignment = a)
 
+(* ---------- Trace ---------- *)
+
+let test_trace_csv_roundtrip () =
+  let p = Group.of_sizes [ 2; 2 ] in
+  let duration ~task ~group:_ = float_of_int (task + 1) /. 2. in
+  let r = Sim.run_phase p ~num_tasks:5 ~duration (Sim.Static [| 0; 1; 0; 1; 0 |]) in
+  let csv = Trace.to_csv r in
+  match String.split_on_char '\n' (String.trim csv) with
+  | [] -> Alcotest.fail "empty csv"
+  | header :: rows ->
+    Alcotest.(check string) "header" "task,group,start,finish,duration" header;
+    Alcotest.(check int) "one row per event" (List.length r.Sim.events) (List.length rows);
+    (* parse every row back and compare against the source events *)
+    List.iter2
+      (fun row (e : Sim.event) ->
+        match String.split_on_char ',' row with
+        | [ task; group; start; finish; dur ] ->
+          Alcotest.(check int) "task" e.Sim.task (int_of_string task);
+          Alcotest.(check int) "group" e.Sim.group (int_of_string group);
+          check_float ~eps:1e-6 "start" e.Sim.start (float_of_string start);
+          check_float ~eps:1e-6 "finish" e.Sim.finish (float_of_string finish);
+          check_float ~eps:1e-6 "duration" (e.Sim.finish -. e.Sim.start)
+            (float_of_string dur)
+        | cols -> Alcotest.failf "row %S has %d columns" row (List.length cols))
+      rows r.Sim.events
+
+let test_gantt_width_handling () =
+  let p = Group.of_sizes [ 2; 2 ] in
+  let duration ~task:_ ~group:_ = 1. in
+  let r = Sim.run_phase p ~num_tasks:2 ~duration (Sim.Static [| 0; 1 |]) in
+  (* widths below the minimum are rejected up front *)
+  Alcotest.check_raises "width too small"
+    (Invalid_argument "Trace.pp_gantt: width too small") (fun () ->
+      Format.asprintf "%a" (fun fmt -> Trace.pp_gantt fmt ~width:9 p) r |> ignore);
+  (* golden render: both tasks cover the whole makespan, with the
+     alternating fill characters making them distinguishable *)
+  let rendered = Format.asprintf "%a" (fun fmt -> Trace.pp_gantt fmt ~width:20 p) r in
+  let lines =
+    List.filter (fun l -> l <> "") (String.split_on_char '\n' rendered)
+  in
+  (match lines with
+  | [ head; g0; g1 ] ->
+    Alcotest.(check string) "header line" "makespan 1.0000 s over 2 groups" head;
+    Alcotest.(check string) "group 0 row" "g0  (   2 nodes) |####################|" g0;
+    Alcotest.(check string) "group 1 row" "g1  (   2 nodes) |====================|" g1
+  | ls -> Alcotest.failf "expected 3 lines, got %d" (List.length ls));
+  (* the bar between the pipes is exactly [width] chars at any width *)
+  List.iter
+    (fun width ->
+      let s = Format.asprintf "%a" (fun fmt -> Trace.pp_gantt fmt ~width p) r in
+      List.iter
+        (fun line ->
+          match (String.index_opt line '|', String.rindex_opt line '|') with
+          | Some i, Some j when j > i ->
+            Alcotest.(check int)
+              (Printf.sprintf "bar width at width:%d" width)
+              width (j - i - 1)
+          | _ -> ())
+        (String.split_on_char '\n' s))
+    [ 10; 17; 40 ]
+
 let () =
   let qsuite =
     List.map QCheck_alcotest.to_alcotest
@@ -233,6 +294,11 @@ let () =
         [
           Alcotest.test_case "round robin" `Quick test_round_robin;
           Alcotest.test_case "lpt vs greedy" `Quick test_lpt_beats_greedy_order;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "csv round-trip" `Quick test_trace_csv_roundtrip;
+          Alcotest.test_case "gantt width handling" `Quick test_gantt_width_handling;
         ] );
       ("properties", qsuite);
     ]

@@ -1,0 +1,448 @@
+(* Observability subsystem tests: span scoping and cross-domain
+   stitching (the portfolio-race acceptance criterion), the metrics
+   registry under concurrent update, the exporters, and the engine /
+   runtime / report integration points. *)
+
+let contains_substring s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+(* every test that enables tracing starts from an empty sink so suites
+   do not leak spans into each other *)
+let traced f =
+  Obs.Span.clear ();
+  Fun.protect ~finally:(fun () -> Obs.Span.clear ()) (fun () -> Obs.Control.with_enabled f)
+
+(* ---------- clock ---------- *)
+
+let test_clock_monotone () =
+  let prev = ref (Obs.Clock.now_s ()) in
+  for _ = 1 to 1000 do
+    let t = Obs.Clock.now_s () in
+    if t < !prev then Alcotest.failf "clock went backwards: %.9f < %.9f" t !prev;
+    prev := t
+  done
+
+(* ---------- control / no-op cost ---------- *)
+
+let test_disabled_is_noop () =
+  Obs.Span.clear ();
+  Alcotest.(check bool) "disabled by default" false (Obs.Control.enabled ());
+  let v = Obs.Span.with_span "ignored" (fun () -> 42) in
+  Alcotest.(check int) "body ran" 42 v;
+  Alcotest.(check int) "no span recorded" 0 (List.length (Obs.Span.drain ()))
+
+let test_with_enabled_restores () =
+  (try Obs.Control.with_enabled (fun () -> failwith "boom") with Failure _ -> ());
+  Alcotest.(check bool) "disabled again after exception" false (Obs.Control.enabled ())
+
+(* ---------- span scoping ---------- *)
+
+let test_span_nesting () =
+  traced @@ fun () ->
+  Obs.Span.with_span ~cat:"t" "outer" (fun () ->
+      Obs.Span.with_span ~cat:"t" "inner" (fun () -> ()));
+  match Obs.Span.drain () with
+  | [ inner; outer ] ->
+    (* inner closes first, so it drains first *)
+    Alcotest.(check string) "inner name" "inner" inner.Obs.Span.name;
+    Alcotest.(check string) "outer name" "outer" outer.Obs.Span.name;
+    Alcotest.(check bool) "outer is a root" true (outer.Obs.Span.parent = None);
+    Alcotest.(check bool) "inner parented to outer" true
+      (inner.Obs.Span.parent = Some outer.Obs.Span.id);
+    Alcotest.(check bool) "durations non-negative" true
+      (inner.Obs.Span.dur_s >= 0. && outer.Obs.Span.dur_s >= 0.)
+  | sps -> Alcotest.failf "expected 2 spans, got %d" (List.length sps)
+
+let test_span_exception_passthrough () =
+  traced @@ fun () ->
+  (try Obs.Span.with_span "failing" (fun () -> failwith "boom") with
+  | Failure _ -> ());
+  match Obs.Span.drain () with
+  | [ sp ] -> Alcotest.(check string) "span still recorded" "failing" sp.Obs.Span.name
+  | sps -> Alcotest.failf "expected 1 span, got %d" (List.length sps)
+
+let test_span_context_across_domains () =
+  traced @@ fun () ->
+  Obs.Span.with_span "root" (fun () ->
+      let ctx = Obs.Span.context () in
+      let d =
+        Domain.spawn (fun () ->
+            Obs.Span.in_context ctx (fun () ->
+                Obs.Span.with_span "child" (fun () -> ())))
+      in
+      Domain.join d);
+  let spans = Obs.Span.drain () in
+  let root = List.find (fun s -> s.Obs.Span.name = "root") spans in
+  let child = List.find (fun s -> s.Obs.Span.name = "child") spans in
+  Alcotest.(check bool) "child parented across domain boundary" true
+    (child.Obs.Span.parent = Some root.Obs.Span.id)
+
+(* ---------- the acceptance criterion: portfolio race stitching ---------- *)
+
+let fitted_of_law ~name ~count law =
+  let cls =
+    Hslb.Classes.make ~name ~count (fun ~nodes -> Scaling_law.eval_int law nodes)
+  in
+  List.hd
+    (Hslb.Classes.gather_and_fit ~rng:(Numerics.Rng.create 11)
+       ~sizes:[ 1; 2; 4; 8; 16; 64 ] ~reps:1 [ cls ])
+
+let race_specs () =
+  List.init 3 (fun i ->
+      let law =
+        Scaling_law.make
+          ~a:(120. +. (60. *. float_of_int i))
+          ~b:1e-6 ~c:0.9
+          ~d:(0.5 +. float_of_int i)
+      in
+      Hslb.Alloc_model.spec_of ~allowed:[ 1; 2; 4; 8; 16 ]
+        (fitted_of_law ~name:(Printf.sprintf "k%d" i) ~count:1 law))
+
+let test_portfolio_race_stitching () =
+  let spans =
+    traced @@ fun () ->
+    (match Hslb.Alloc_model.solve ~strategy:`Portfolio ~n_total:32 (race_specs ()) with
+    | Ok _ -> ()
+    | Error st ->
+      Alcotest.failf "portfolio solve failed: %s" (Minlp.Solution.status_to_string st));
+    Obs.Span.drain ()
+  in
+  let roots = List.filter (fun s -> s.Obs.Span.name = "portfolio.race") spans in
+  Alcotest.(check int) "exactly one race root span" 1 (List.length roots);
+  let root = List.hd roots in
+  Alcotest.(check bool) "race root has no parent" true (root.Obs.Span.parent = None);
+  let lanes =
+    List.filter
+      (fun s ->
+        String.length s.Obs.Span.name >= 5 && String.sub s.Obs.Span.name 0 5 = "lane:")
+      spans
+  in
+  let lane_names = List.sort compare (List.map (fun s -> s.Obs.Span.name) lanes) in
+  Alcotest.(check (list string))
+    "one child span per racing lane"
+    [ "lane:bnb"; "lane:oa"; "lane:oa-multi" ]
+    lane_names;
+  List.iter
+    (fun l ->
+      Alcotest.(check bool)
+        (l.Obs.Span.name ^ " parented to the race root")
+        true
+        (l.Obs.Span.parent = Some root.Obs.Span.id))
+    lanes;
+  (* the spawned lanes really ran on worker domains, i.e. the parent
+     link survived a domain boundary, not just lexical nesting *)
+  let domains =
+    List.sort_uniq compare (List.map (fun l -> l.Obs.Span.domain) lanes)
+  in
+  Alcotest.(check bool) "lanes span more than one domain" true (List.length domains > 1)
+
+let test_pool_task_spans () =
+  let spans =
+    traced @@ fun () ->
+    Obs.Span.with_span "shard" (fun () ->
+        ignore (Runtime.Pool.map ~jobs:2 (fun x -> x * x) [ 1; 2; 3; 4 ]));
+    Obs.Span.drain ()
+  in
+  let root = List.find (fun s -> s.Obs.Span.name = "shard") spans in
+  let tasks = List.filter (fun s -> s.Obs.Span.name = "pool.task") spans in
+  Alcotest.(check int) "one span per task" 4 (List.length tasks);
+  List.iter
+    (fun t ->
+      Alcotest.(check bool) "task parented to caller's span" true
+        (t.Obs.Span.parent = Some root.Obs.Span.id))
+    tasks;
+  let indices =
+    List.sort compare
+      (List.map (fun t -> List.assoc "index" t.Obs.Span.args) tasks)
+  in
+  Alcotest.(check (list string)) "indices annotated" [ "0"; "1"; "2"; "3" ] indices
+
+(* ---------- engine integration ---------- *)
+
+let test_telemetry_time_emits_span () =
+  let spans =
+    traced @@ fun () ->
+    ignore (Engine.Telemetry.time None "probe-phase" (fun () -> 7));
+    Obs.Span.drain ()
+  in
+  match List.filter (fun s -> s.Obs.Span.name = "probe-phase") spans with
+  | [ sp ] -> Alcotest.(check string) "categorized" "engine.phase" sp.Obs.Span.cat
+  | sps -> Alcotest.failf "expected 1 phase span, got %d" (List.length sps)
+
+let test_budget_poll_counter () =
+  let c = Obs.Metrics.counter "engine_budget_polls_total" in
+  let before = Obs.Metrics.Counter.value c in
+  let b = Engine.Budget.arm Engine.Budget.unlimited in
+  ignore (Engine.Budget.check b);
+  Alcotest.(check int) "disabled: no count" before (Obs.Metrics.Counter.value c);
+  Obs.Control.with_enabled (fun () ->
+      ignore (Engine.Budget.check b);
+      ignore (Engine.Budget.check b));
+  Alcotest.(check int) "enabled: polls counted" (before + 2) (Obs.Metrics.Counter.value c)
+
+(* ---------- metrics ---------- *)
+
+let test_counter_concurrent () =
+  let c = Obs.Metrics.Counter.create "t_concurrent" in
+  let per = 25_000 in
+  ignore
+    (Runtime.Pool.map ~jobs:4
+       (fun _ ->
+         for _ = 1 to per do
+           Obs.Metrics.Counter.incr c
+         done)
+       [ 0; 1; 2; 3 ]);
+  Alcotest.(check int) "no lost increments" (4 * per) (Obs.Metrics.Counter.value c)
+
+let test_gauge () =
+  let g = Obs.Metrics.Gauge.create "t_gauge" in
+  Obs.Metrics.Gauge.set g 3.5;
+  Obs.Metrics.Gauge.add g 1.5;
+  Alcotest.(check (float 1e-9)) "set+add" 5.0 (Obs.Metrics.Gauge.value g)
+
+let test_histogram_quantiles () =
+  let h = Obs.Metrics.Histogram.create ~lo:1. ~hi:1000. "t_hist" in
+  for i = 1 to 100 do
+    Obs.Metrics.Histogram.observe h (float_of_int i)
+  done;
+  let s = Obs.Metrics.Histogram.summary h in
+  Alcotest.(check int) "count" 100 s.Obs.Metrics.Histogram.count;
+  Alcotest.(check (float 1e-6)) "sum" 5050. s.Obs.Metrics.Histogram.sum;
+  Alcotest.(check (float 1e-9)) "min" 1. s.Obs.Metrics.Histogram.min;
+  Alcotest.(check (float 1e-9)) "max" 100. s.Obs.Metrics.Histogram.max;
+  (* log-linear buckets: a quantile reads as the upper bound of its
+     bucket, so it can overshoot by at most one bucket ratio (~26% at
+     10 buckets/decade) and never undershoots *)
+  let ratio = 10. ** 0.1 in
+  let between what lo hi v =
+    if v < lo || v > hi then Alcotest.failf "%s: %.3f outside [%.3f, %.3f]" what v lo hi
+  in
+  between "p50" 50. (50. *. ratio) s.Obs.Metrics.Histogram.p50;
+  between "p90" 90. (90. *. ratio) s.Obs.Metrics.Histogram.p90;
+  between "p99" 99. 100. s.Obs.Metrics.Histogram.p99
+
+let test_histogram_empty_and_overflow () =
+  let h = Obs.Metrics.Histogram.create ~lo:1. ~hi:10. "t_hist_edge" in
+  let s = Obs.Metrics.Histogram.summary h in
+  Alcotest.(check int) "empty count" 0 s.Obs.Metrics.Histogram.count;
+  Alcotest.(check bool) "empty quantiles are NaN" true
+    (Float.is_nan s.Obs.Metrics.Histogram.p50 && Float.is_nan s.Obs.Metrics.Histogram.min);
+  (* below-range and above-range observations clamp into the end
+     buckets; quantiles stay within observed min/max *)
+  Obs.Metrics.Histogram.observe h 0.001;
+  Obs.Metrics.Histogram.observe h 5000.;
+  let s = Obs.Metrics.Histogram.summary h in
+  Alcotest.(check int) "clamped count" 2 s.Obs.Metrics.Histogram.count;
+  Alcotest.(check (float 1e-9)) "min observed" 0.001 s.Obs.Metrics.Histogram.min;
+  Alcotest.(check (float 1e-9)) "max observed" 5000. s.Obs.Metrics.Histogram.max;
+  Alcotest.(check (float 1e-9)) "p99 clamps to max" 5000. s.Obs.Metrics.Histogram.p99
+
+let test_histogram_concurrent () =
+  let h = Obs.Metrics.Histogram.create ~lo:0.5 ~hi:200. "t_hist_conc" in
+  ignore
+    (Runtime.Pool.map ~jobs:4
+       (fun d ->
+         for i = 1 to 10_000 do
+           Obs.Metrics.Histogram.observe h (float_of_int (1 + ((d + i) mod 100)))
+         done)
+       [ 0; 1; 2; 3 ]);
+  Alcotest.(check int) "no lost observations" 40_000 (Obs.Metrics.Histogram.count h)
+
+let test_registry_type_clash () =
+  ignore (Obs.Metrics.counter "t_clash");
+  Alcotest.(check bool) "get-or-create returns same" true
+    (Obs.Metrics.counter "t_clash" == Obs.Metrics.counter "t_clash");
+  match Obs.Metrics.histogram "t_clash" with
+  | _ -> Alcotest.fail "type clash not detected"
+  | exception Invalid_argument _ -> ()
+
+(* ---------- exporters ---------- *)
+
+let test_chrome_trace_roundtrip () =
+  let spans =
+    traced @@ fun () ->
+    Obs.Span.with_span ~cat:"t" "parent" (fun () ->
+        Obs.Span.with_span ~cat:"t" ~args:[ ("k", "v") ] "child" (fun () -> ()));
+    Obs.Span.drain ()
+  in
+  let doc = Obs.Export.chrome_trace spans in
+  (* the serving layer's decoder is the CI validator for this artifact;
+     Serve.Json.t = Obs.Json.t so both sides interoperate *)
+  match Serve.Json.parse (Serve.Json.to_string doc) with
+  | Error msg -> Alcotest.failf "trace does not re-parse: %s" msg
+  | Ok parsed -> (
+    (match Obs.Export.check_chrome_trace parsed with
+    | Ok n -> Alcotest.(check int) "two events" 2 n
+    | Error msg -> Alcotest.failf "invalid trace: %s" msg);
+    let events =
+      match Serve.Json.member "traceEvents" parsed with
+      | Some (Serve.Json.Arr evs) -> evs
+      | _ -> Alcotest.fail "missing traceEvents"
+    in
+    let find name =
+      List.find
+        (fun ev -> Serve.Json.member "name" ev = Some (Serve.Json.Str name))
+        events
+    in
+    let id_of ev =
+      Option.get (Serve.Json.member "args" ev |> Option.get |> Serve.Json.member "span_id")
+    in
+    let parent = find "parent" and child = find "child" in
+    Alcotest.(check bool) "parent_id stitches in the export" true
+      (Serve.Json.member "args" child |> Option.get |> Serve.Json.member "parent_id"
+      = Some (id_of parent));
+    Alcotest.(check bool) "custom args survive" true
+      (Serve.Json.member "args" child |> Option.get |> Serve.Json.member "k"
+      = Some (Serve.Json.Str "v")))
+
+let test_check_chrome_trace_rejects () =
+  let bad =
+    Obs.Json.Obj
+      [
+        ( "traceEvents",
+          Obs.Json.Arr [ Obs.Json.Obj [ ("name", Obs.Json.Str "x") ] ] );
+      ]
+  in
+  (match Obs.Export.check_chrome_trace bad with
+  | Ok _ -> Alcotest.fail "accepted an event with no ph/ts"
+  | Error msg -> Alcotest.(check bool) "names the field" true (contains_substring msg "ph"));
+  match Obs.Export.check_chrome_trace (Obs.Json.Obj []) with
+  | Ok _ -> Alcotest.fail "accepted a document with no traceEvents"
+  | Error _ -> ()
+
+let test_ndjson_stream () =
+  let lines = ref [] in
+  Obs.Span.set_stream (Some (fun sp -> lines := Obs.Export.span_ndjson_line sp :: !lines));
+  Fun.protect
+    ~finally:(fun () -> Obs.Span.set_stream None)
+    (fun () ->
+      traced @@ fun () ->
+      Obs.Span.with_span "streamed" (fun () -> ()));
+  match !lines with
+  | [ line ] ->
+    Alcotest.(check bool) "single line" true (not (String.contains line '\n'));
+    (match Obs.Json.parse line with
+    | Ok (Obs.Json.Obj _ as ev) ->
+      Alcotest.(check bool) "carries the span name" true
+        (Obs.Json.member "name" ev = Some (Obs.Json.Str "streamed"))
+    | Ok _ -> Alcotest.fail "not an object"
+    | Error msg -> Alcotest.failf "line does not parse: %s" msg)
+  | l -> Alcotest.failf "expected 1 streamed line, got %d" (List.length l)
+
+let test_prometheus_exposition () =
+  let c = Obs.Metrics.Counter.create "t_prom_total" in
+  Obs.Metrics.Counter.incr ~by:3 c;
+  let g = Obs.Metrics.Gauge.create "t_prom_gauge" in
+  Obs.Metrics.Gauge.set g 1.25;
+  let h = Obs.Metrics.Histogram.create ~lo:1. ~hi:100. "t_prom_ms" in
+  List.iter (Obs.Metrics.Histogram.observe h) [ 2.; 4.; 8. ];
+  let text =
+    Obs.Export.prometheus
+      [
+        ("t_prom_total", Obs.Metrics.Counter c);
+        ("t_prom_gauge", Obs.Metrics.Gauge g);
+        ("t_prom_ms", Obs.Metrics.Histogram h);
+      ]
+  in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("exposition has " ^ needle) true
+        (contains_substring text needle))
+    [
+      "# TYPE t_prom_total counter";
+      "t_prom_total 3";
+      "# TYPE t_prom_gauge gauge";
+      "t_prom_gauge 1.25";
+      "# TYPE t_prom_ms summary";
+      "t_prom_ms{quantile=\"0.5\"}";
+      "t_prom_ms{quantile=\"0.99\"}";
+      "t_prom_ms_count 3";
+    ];
+  (* 1 counter + 1 gauge + (3 quantiles + _sum + _count) = 7 samples *)
+  match Obs.Export.check_prometheus text with
+  | Ok n -> Alcotest.(check int) "sample lines" 7 n
+  | Error msg -> Alcotest.failf "own exposition rejected: %s" msg
+
+let test_check_prometheus_rejects () =
+  (match Obs.Export.check_prometheus "bad metric! 1\n" with
+  | Ok _ -> Alcotest.fail "accepted a bad metric name"
+  | Error msg -> Alcotest.(check bool) "points at the line" true (contains_substring msg "line 1"));
+  (match Obs.Export.check_prometheus "ok_metric notanumber\n" with
+  | Ok _ -> Alcotest.fail "accepted a non-numeric value"
+  | Error _ -> ());
+  match Obs.Export.check_prometheus "# just a comment\n\n" with
+  | Ok 0 -> ()
+  | Ok n -> Alcotest.failf "comment-only exposition counted %d samples" n
+  | Error msg -> Alcotest.failf "comment-only exposition rejected: %s" msg
+
+(* ---------- run-report histogram section ---------- *)
+
+let test_run_report_hists () =
+  let tally = Engine.Telemetry.create () in
+  let plain = Engine.Run_report.make ~solver:"t" ~status:"ok" ~wall_s:0.1 tally in
+  Alcotest.(check bool) "no hists key when empty" false
+    (contains_substring (Engine.Run_report.to_json plain) "\"hists\"");
+  let h = Obs.Metrics.Histogram.create ~lo:1. ~hi:100. "t_report_ms" in
+  List.iter (Obs.Metrics.Histogram.observe h) [ 5.; 10.; 20. ];
+  let with_hists =
+    Engine.Run_report.make ~solver:"t" ~status:"ok"
+      ~hists:[ ("t_report_ms", Obs.Metrics.Histogram.summary h) ]
+      ~wall_s:0.1 tally
+  in
+  let js = Engine.Run_report.to_json with_hists in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("report has " ^ needle) true (contains_substring js needle))
+    [ "\"hists\""; "\"t_report_ms\""; "\"p50\""; "\"count\":3" ];
+  (match Serve.Json.parse js with
+  | Ok _ -> ()
+  | Error msg -> Alcotest.failf "report with hists is not valid JSON: %s" msg);
+  (* the CSV shape is frozen: histogram summaries never add columns *)
+  let cols s = List.length (String.split_on_char ',' s) in
+  Alcotest.(check int) "csv row arity unchanged"
+    (cols Engine.Run_report.csv_header)
+    (cols (Engine.Run_report.to_csv_row with_hists))
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "clock+control",
+        [
+          Alcotest.test_case "monotone" `Quick test_clock_monotone;
+          Alcotest.test_case "disabled is a no-op" `Quick test_disabled_is_noop;
+          Alcotest.test_case "with_enabled restores" `Quick test_with_enabled_restores;
+        ] );
+      ( "spans",
+        [
+          Alcotest.test_case "nesting" `Quick test_span_nesting;
+          Alcotest.test_case "exception passthrough" `Quick test_span_exception_passthrough;
+          Alcotest.test_case "context across domains" `Quick test_span_context_across_domains;
+          Alcotest.test_case "portfolio race stitching" `Quick test_portfolio_race_stitching;
+          Alcotest.test_case "pool task spans" `Quick test_pool_task_spans;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "telemetry.time emits span" `Quick test_telemetry_time_emits_span;
+          Alcotest.test_case "budget poll counter" `Quick test_budget_poll_counter;
+          Alcotest.test_case "run-report hists section" `Quick test_run_report_hists;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "counter concurrent" `Quick test_counter_concurrent;
+          Alcotest.test_case "gauge" `Quick test_gauge;
+          Alcotest.test_case "histogram quantiles" `Quick test_histogram_quantiles;
+          Alcotest.test_case "histogram empty+overflow" `Quick test_histogram_empty_and_overflow;
+          Alcotest.test_case "histogram concurrent" `Quick test_histogram_concurrent;
+          Alcotest.test_case "registry type clash" `Quick test_registry_type_clash;
+        ] );
+      ( "export",
+        [
+          Alcotest.test_case "chrome trace round-trip" `Quick test_chrome_trace_roundtrip;
+          Alcotest.test_case "chrome validator rejects" `Quick test_check_chrome_trace_rejects;
+          Alcotest.test_case "ndjson stream" `Quick test_ndjson_stream;
+          Alcotest.test_case "prometheus exposition" `Quick test_prometheus_exposition;
+          Alcotest.test_case "prometheus validator rejects" `Quick test_check_prometheus_rejects;
+        ] );
+    ]

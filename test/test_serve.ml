@@ -138,7 +138,7 @@ type harness = {
   lines : string list ref;
 }
 
-let make_harness ?(jobs = 1) ?(queue_limit = 4) ?(drain_grace_s = 5.0) () =
+let make_harness ?(jobs = 1) ?(queue_limit = 4) ?(drain_grace_s = 5.0) ?telemetry () =
   let mutex = Mutex.create () in
   let lines = ref [] in
   let cfg =
@@ -153,7 +153,7 @@ let make_harness ?(jobs = 1) ?(queue_limit = 4) ?(drain_grace_s = 5.0) () =
     }
   in
   let emit l = Mutex.protect mutex (fun () -> lines := l :: !lines) in
-  { server = Serve.Server.create cfg ~emit; mutex; lines }
+  { server = Serve.Server.create ?telemetry cfg ~emit; mutex; lines }
 
 let responses h =
   let raw = Mutex.protect h.mutex (fun () -> List.rev !(h.lines)) in
@@ -363,6 +363,87 @@ let test_serve_protocol_error_and_ping () =
       | None -> false)
   | None -> Alcotest.fail "bad model_path unanswered"
 
+let test_serve_stats_latency () =
+  let h = make_harness ~jobs:1 () in
+  Serve.Server.submit h.server (solve_line ~id:1 ~nodes:16 ());
+  ignore (Serve.Server.await_drain h.server : Engine.Run_report.t);
+  let stats =
+    match Serve.Json.parse (Serve.Server.stats_json h.server) with
+    | Ok v -> v
+    | Error e -> Alcotest.fail e
+  in
+  let lat =
+    match Serve.Json.member "latency" stats with
+    | Some l -> l
+    | None -> Alcotest.fail "stats missing latency object"
+  in
+  List.iter
+    (fun key ->
+      match Serve.Json.member key lat with
+      | None -> Alcotest.failf "latency missing %s" key
+      | Some s ->
+        (match Option.bind (Serve.Json.member "count" s) Serve.Json.int_ with
+        | Some n -> Alcotest.(check bool) (key ^ " observed") true (n >= 1)
+        | None -> Alcotest.failf "%s has no count" key);
+        (* quantiles are real numbers once anything was observed *)
+        List.iter
+          (fun q ->
+            match Serve.Json.member q s with
+            | Some (Serve.Json.Num v) ->
+              Alcotest.(check bool)
+                (Printf.sprintf "%s.%s is a finite quantile" key q)
+                true
+                (Float.is_finite v && v >= 0.)
+            | other ->
+              Alcotest.failf "%s.%s not a number: %s" key q
+                (match other with
+                | Some v -> Serve.Json.to_string v
+                | None -> "<missing>"))
+          [ "p50"; "p90"; "p99"; "max" ])
+    [ "queue_wait_ms"; "solve_ms" ]
+
+let test_serve_telemetry_fields () =
+  let tmutex = Mutex.create () in
+  let tlines = ref [] in
+  let telemetry l = Mutex.protect tmutex (fun () -> tlines := l :: !tlines) in
+  let h = make_harness ~jobs:1 ~telemetry () in
+  Serve.Server.submit h.server (solve_line ~id:1 ~nodes:16 ());
+  ignore (Serve.Server.await_drain h.server : Engine.Run_report.t);
+  let lines = Mutex.protect tmutex (fun () -> List.rev !tlines) in
+  Alcotest.(check bool) "at least one telemetry line" true (List.length lines >= 1);
+  List.iter
+    (fun l ->
+      match Serve.Json.parse l with
+      | Error e -> Alcotest.failf "unparseable telemetry %s: %s" l e
+      | Ok v ->
+        Alcotest.(check (option string)) "event tag" (Some "request")
+          (Option.bind (Serve.Json.member "event" v) Serve.Json.str);
+        (match Serve.Json.member "ts_mono_s" v with
+        | Some (Serve.Json.Num ts) ->
+          Alcotest.(check bool) "monotonic timestamp present" true (ts > 0.)
+        | _ -> Alcotest.fail "telemetry line missing ts_mono_s");
+        match Option.bind (Serve.Json.member "queue_depth" v) Serve.Json.int_ with
+        | Some d -> Alcotest.(check bool) "queue depth gauge" true (d >= 0)
+        | None -> Alcotest.fail "telemetry line missing queue_depth")
+    lines;
+  (* the emit timestamps themselves must be non-decreasing in emit order *)
+  let ts_of l =
+    match Serve.Json.parse l with
+    | Ok v -> (
+      match Serve.Json.member "ts_mono_s" v with
+      | Some (Serve.Json.Num ts) -> ts
+      | _ -> Alcotest.fail "missing ts")
+    | Error e -> Alcotest.fail e
+  in
+  ignore
+    (List.fold_left
+       (fun prev l ->
+         let ts = ts_of l in
+         Alcotest.(check bool) "telemetry timestamps ordered" true (ts >= prev);
+         ts)
+       0. lines
+      : float)
+
 let () =
   Alcotest.run "serve"
     [
@@ -387,5 +468,7 @@ let () =
           Alcotest.test_case "drain rejects + joins" `Quick test_serve_drain_rejects_and_joins;
           Alcotest.test_case "drain grace cancels" `Quick test_serve_drain_grace_cancels;
           Alcotest.test_case "protocol error + ping" `Quick test_serve_protocol_error_and_ping;
+          Alcotest.test_case "stats latency quantiles" `Quick test_serve_stats_latency;
+          Alcotest.test_case "telemetry fields" `Quick test_serve_telemetry_fields;
         ] );
     ]
