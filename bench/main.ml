@@ -19,9 +19,12 @@
    Pass [--audit] to audit every solver's certificate on the E6-style
    model and run a short seeded fault-injection stress sweep
    ([--seed N], [--trials N] to override); any certificate rejection
-   or soundness violation makes the executable exit non-zero. Flag
-   spellings and semantics are shared with the hslb CLI via
-   [Cli_common]. *)
+   or soundness violation makes the executable exit non-zero.
+
+   Pass [--fleet FILE] to run the 1-vs-2-backend serving locality
+   benchmark (spawned `hslb serve` processes behind an in-process
+   router) and write BENCH_fleet.json. Flag spellings and semantics
+   are shared with the hslb CLI via [Cli_common]. *)
 
 open Bechamel
 open Toolkit
@@ -417,6 +420,40 @@ let write_obs_bench path =
   close_out oc;
   Format.printf "observability overhead benchmark written to %s@." path
 
+(* ---------- fleet locality benchmark (--fleet FILE) ---------- *)
+
+(* the 1-vs-2-backend cache-locality benchmark behind BENCH_fleet.json,
+   identical to `hslb_cli loadgen --bench-out` (see docs/SERVE.md):
+   48 distinct instances against 32-entry backend LRUs, so the single
+   backend thrashes while each fleet shard stays resident *)
+let write_fleet_bench path =
+  let prog =
+    Filename.concat (Filename.dirname Sys.executable_name) "../bin/hslb_cli.exe"
+  in
+  if not (Sys.file_exists prog) then begin
+    Format.eprintf "fleet bench: %s not built (run dune build)@." prog;
+    exit 1
+  end;
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "hslb-bench-fleet-%d" (Unix.getpid ()))
+  in
+  (match Unix.mkdir dir 0o755 with
+  | () -> ()
+  | exception Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  let backend_args =
+    [ "serve"; "--jobs"; "1"; "--queue-limit"; "64"; "--cache-capacity"; "32";
+      "--no-audit" ]
+  in
+  let b = Serve.Loadgen.fleet_bench ~prog ~backend_args ~dir ~backends:2 () in
+  Serve.Loadgen.write_bench path b;
+  Format.printf
+    "fleet locality benchmark written to %s (single %.1f req/s, fleet(2) %.1f \
+     req/s, speedup %.2fx)@."
+    path b.Serve.Loadgen.single.Serve.Loadgen.throughput_rps
+    b.Serve.Loadgen.fleet.Serve.Loadgen.throughput_rps b.Serve.Loadgen.speedup
+
 let pretty_time ns =
   if ns < 1e3 then Printf.sprintf "%.1f ns" ns
   else if ns < 1e6 then Printf.sprintf "%.2f us" (ns /. 1e3)
@@ -461,6 +498,11 @@ let () =
   (match find_opt "obs-bench" with
   | Some path ->
     write_obs_bench path;
+    exit 0
+  | None -> ());
+  (match find_opt "fleet" with
+  | Some path ->
+    write_fleet_bench path;
     exit 0
   | None -> ());
   let trace = find_opt "trace" in

@@ -42,6 +42,16 @@ let jobs_conv =
   in
   Arg.conv (parse, Format.pp_print_int)
 
+let addr_conv =
+  let parse s =
+    match Serve.Transport_socket.addr_of_string s with
+    | Ok a -> Ok a
+    | Error msg -> Error (`Msg msg)
+  in
+  Arg.conv
+    ( parse,
+      fun fmt a -> Format.pp_print_string fmt (Serve.Transport_socket.addr_to_string a) )
+
 (* ---------- shared argument definitions ---------- *)
 
 let strategy_arg =
@@ -84,6 +94,47 @@ let audit_arg =
           "Re-verify the solver's certificate with the independent auditor (witness \
            feasibility, objective and bound consistency, gap evidence) and print the \
            verdict. A rejected certificate makes the command exit non-zero.")
+
+(* ---------- serving flags ----------
+   serve, route and loadgen all accept these; defining them once means
+   "--jobs", "--queue-limit" and friends parse — and reject bad values —
+   identically across the three commands *)
+
+let jobs_arg =
+  Arg.(
+    value
+    & opt (some jobs_conv) None
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Worker domains solving requests (default: $(b,HSLB_JOBS) from the \
+           environment, else 1). The transport runs on its own domain either way.")
+
+let queue_limit_arg =
+  Arg.(
+    value
+    & opt int 64
+    & info [ "queue-limit" ] ~docv:"N"
+        ~doc:
+          "Admission high-water mark: requests arriving while N are already queued are \
+           rejected immediately with outcome $(b,overloaded) instead of queueing \
+           unboundedly.")
+
+let cache_capacity_arg =
+  Arg.(
+    value
+    & opt int 128
+    & info [ "cache-capacity" ] ~docv:"N"
+        ~doc:"LRU solve-cache entries (proven-optimal allocations only).")
+
+let drain_grace_ms_arg =
+  Arg.(
+    value
+    & opt float 2000.
+    & info [ "drain-grace-ms" ] ~docv:"MS"
+        ~doc:
+          "On drain (SIGTERM, EOF, or the drain op), in-flight and queued solves get \
+           this long to finish before the shared cancel token budget-cancels them; \
+           they still answer with their best incumbent.")
 
 let arm_budget deadline_ms max_nodes =
   let deadline_s = Option.map (fun ms -> ms /. 1000.) deadline_ms in

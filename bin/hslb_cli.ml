@@ -499,43 +499,24 @@ let minlp_cmd =
 
 (* ---------- serve: long-lived NDJSON solve service ---------- *)
 
+(* shared with route/loadgen via Cli_common so the flags parse
+   identically across the three commands *)
+let listen_arg =
+  Arg.(
+    value
+    & opt (some Cli_common.addr_conv) None
+    & info [ "listen" ] ~docv:"ADDR"
+        ~doc:
+          "Serve over a socket instead of stdin/stdout: $(b,unix:PATH) or \
+           $(b,tcp:HOST:PORT) (port 0 picks a free port; the bound address is \
+           announced with a $(i,listening) event line on stdout). Many concurrent \
+           connections, same NDJSON framing per connection.")
+
 let serve_cmd =
-  let jobs =
-    Arg.(
-      value
-      & opt (some Cli_common.jobs_conv) None
-      & info [ "jobs"; "j" ] ~docv:"N"
-          ~doc:
-            "Worker domains solving requests (default: $(b,HSLB_JOBS) from the \
-             environment, else 1). The transport runs on its own domain either way.")
-  in
-  let queue_limit =
-    Arg.(
-      value
-      & opt int 64
-      & info [ "queue-limit" ] ~docv:"N"
-          ~doc:
-            "Admission high-water mark: requests arriving while N are already queued are \
-             rejected immediately with outcome $(b,overloaded) instead of queueing \
-             unboundedly.")
-  in
-  let cache_capacity =
-    Arg.(
-      value
-      & opt int 128
-      & info [ "cache-capacity" ] ~docv:"N"
-          ~doc:"LRU solve-cache entries (proven-optimal allocations only).")
-  in
-  let drain_grace_ms =
-    Arg.(
-      value
-      & opt float 2000.
-      & info [ "drain-grace-ms" ] ~docv:"MS"
-          ~doc:
-            "On drain (SIGTERM, EOF, or the drain op), in-flight and queued solves get \
-             this long to finish before the shared cancel token budget-cancels them; \
-             they still answer with their best incumbent.")
-  in
+  let jobs = Cli_common.jobs_arg in
+  let queue_limit = Cli_common.queue_limit_arg in
+  let cache_capacity = Cli_common.cache_capacity_arg in
+  let drain_grace_ms = Cli_common.drain_grace_ms_arg in
   let telemetry =
     Arg.(
       value
@@ -580,7 +561,7 @@ let serve_cmd =
   in
   let strategy = Cli_common.strategy_arg in
   let run jobs queue_limit cache_capacity drain_grace_ms telemetry metrics_out
-      metrics_interval_ms no_audit solver strategy report =
+      metrics_interval_ms no_audit solver strategy listen report =
     (match jobs with Some j -> Runtime.Config.set_jobs j | None -> ());
     if metrics_interval_ms <= 0. then begin
       Format.eprintf "hslb serve: --metrics-interval-ms must be positive@.";
@@ -597,20 +578,388 @@ let serve_cmd =
         audit = not no_audit;
       }
     in
-    Serve.Server.run_stdio ?telemetry_path:telemetry ?report_path:report ?metrics_out
-      ~metrics_interval_s:(metrics_interval_ms /. 1000.) cfg
+    match listen with
+    | None ->
+      Serve.Transport_stdio.run ?telemetry_path:telemetry ?report_path:report
+        ?metrics_out
+        ~metrics_interval_s:(metrics_interval_ms /. 1000.)
+        cfg
+    | Some addr ->
+      let telemetry_oc =
+        Option.map
+          (fun p -> open_out_gen [ Open_append; Open_creat ] 0o644 p)
+          telemetry
+      in
+      let telemetry =
+        Option.map
+          (fun oc line ->
+            output_string oc line;
+            output_char oc '\n';
+            flush oc)
+          telemetry_oc
+      in
+      let events line =
+        print_string line;
+        print_newline ();
+        flush stdout
+      in
+      let server = Serve.Server.create ?telemetry cfg ~emit:events in
+      (match
+         Serve.Service.run ?report_path:report ?metrics_out
+           ~metrics_interval_s:(metrics_interval_ms /. 1000.)
+           ~events
+           (Serve.Service.core_of_server server)
+           ~make_listener:(fun ~stop ->
+             let l = Serve.Transport_socket.listen ~stop addr in
+             events
+               (Serve.Json.to_string
+                  (Serve.Json.Obj
+                     [
+                       ("event", Serve.Json.Str "listening");
+                       ( "addr",
+                         Serve.Json.Str
+                           (Serve.Transport_socket.addr_to_string
+                              (Serve.Transport_socket.bound_addr l)) );
+                     ]));
+             Serve.Transport_socket.listener l)
+       with
+      | _report -> Option.iter close_out telemetry_oc
+      | exception Unix.Unix_error (e, _, arg) ->
+        Format.eprintf "hslb serve: cannot listen on %s: %s %s@."
+          (Serve.Transport_socket.addr_to_string addr)
+          (Unix.error_message e) arg;
+        exit 1)
   in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
          "Serve allocation solves as a long-lived service: newline-delimited JSON \
-          requests on stdin, one response line per request on stdout (see \
-          docs/SERVE.md). Per-request deadlines map onto the engine budget, the queue \
-          rejects past its high-water mark, identical in-flight solves are deduped, \
-          proven optima are cached, and SIGTERM drains gracefully.")
+          requests on stdin (or over $(b,--listen)), one response line per request \
+          (see docs/SERVE.md). Per-request deadlines map onto the engine budget, the \
+          queue rejects past its high-water mark, identical in-flight solves are \
+          deduped, proven optima are cached, and SIGTERM drains gracefully.")
     Term.(
       const run $ jobs $ queue_limit $ cache_capacity $ drain_grace_ms $ telemetry
-      $ metrics_out $ metrics_interval_ms $ no_audit $ solver $ strategy $ report_arg)
+      $ metrics_out $ metrics_interval_ms $ no_audit $ solver $ strategy $ listen_arg
+      $ report_arg)
+
+(* ---------- route: fingerprint-sharded solve fleet ---------- *)
+
+let route_cmd =
+  let backends =
+    Arg.(
+      value
+      & opt int 2
+      & info [ "backends" ] ~docv:"N"
+          ~doc:"Backend $(b,hslb serve) processes to spawn and shard across.")
+  in
+  let listen =
+    Arg.(
+      required
+      & opt (some Cli_common.addr_conv) None
+      & info [ "listen" ] ~docv:"ADDR"
+          ~doc:
+            "Front-end address clients connect to: $(b,unix:PATH) or \
+             $(b,tcp:HOST:PORT) (port 0 picks a free port; announced with a \
+             $(i,listening) event line).")
+  in
+  let sock_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "sock-dir" ] ~docv:"DIR"
+          ~doc:
+            "Directory for the backend Unix sockets (default: a fresh directory under \
+             the system temp dir).")
+  in
+  let vnodes =
+    Arg.(
+      value
+      & opt int 64
+      & info [ "vnodes" ] ~docv:"N"
+          ~doc:"Consistent-hash ring points per backend (balance vs ring size).")
+  in
+  let run backends listen sock_dir vnodes jobs queue_limit cache_capacity
+      drain_grace_ms metrics_out report =
+    if backends < 1 then begin
+      Format.eprintf "hslb route: --backends must be >= 1@.";
+      exit 2
+    end;
+    let dir =
+      match sock_dir with
+      | Some d -> d
+      | None ->
+        Filename.concat
+          (Filename.get_temp_dir_name ())
+          (Printf.sprintf "hslb-route-%d" (Unix.getpid ()))
+    in
+    (match Unix.mkdir dir 0o755 with
+    | () -> ()
+    | exception Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    let backend_args =
+      [
+        "serve";
+        "--jobs";
+        string_of_int (match jobs with Some j -> j | None -> Runtime.Config.jobs ());
+        "--queue-limit";
+        string_of_int queue_limit;
+        "--cache-capacity";
+        string_of_int cache_capacity;
+        "--drain-grace-ms";
+        Printf.sprintf "%g" drain_grace_ms;
+      ]
+    in
+    let cfg =
+      {
+        (Serve.Router.default_config ()) with
+        Serve.Router.vnodes;
+        (* the fleet grace outlives the backends' own, so their
+           budget-cancelled answers still come home *)
+        drain_grace_s = (drain_grace_ms /. 1000.) +. 3.;
+      }
+    in
+    let events line =
+      print_string line;
+      print_newline ();
+      flush stdout
+    in
+    let router =
+      try
+        Serve.Router.create ~cfg ~events
+          (Serve.Router.spawn_targets ~prog:Sys.executable_name ~args:backend_args
+             ~dir ~count:backends)
+      with Failure msg ->
+        Format.eprintf "hslb route: %s@." msg;
+        exit 1
+    in
+    match
+      Serve.Service.run ?report_path:report ?metrics_out ~events
+        (Serve.Router.core router)
+        ~make_listener:(fun ~stop ->
+          let l = Serve.Transport_socket.listen ~stop listen in
+          events
+            (Serve.Json.to_string
+               (Serve.Json.Obj
+                  [
+                    ("event", Serve.Json.Str "listening");
+                    ( "addr",
+                      Serve.Json.Str
+                        (Serve.Transport_socket.addr_to_string
+                           (Serve.Transport_socket.bound_addr l)) );
+                    ("backends", Serve.Json.Num (float_of_int backends));
+                  ]));
+          Serve.Transport_socket.listener l)
+    with
+    | _report -> ()
+    | exception Unix.Unix_error (e, _, arg) ->
+      Format.eprintf "hslb route: cannot listen on %s: %s %s@."
+        (Serve.Transport_socket.addr_to_string listen)
+        (Unix.error_message e) arg;
+      Serve.Router.initiate_drain router;
+      ignore (Serve.Router.await_drain router : Engine.Run_report.t);
+      exit 1
+  in
+  Cmd.v
+    (Cmd.info "route"
+       ~doc:
+         "Front a fleet of $(b,hslb serve) backends: spawn and supervise N solve \
+          processes over Unix sockets, consistent-hash each solve request's instance \
+          fingerprint to its shard (so per-backend dedupe and caches stay hot), fan \
+          ping/stats/drain out to every backend, respawn dead backends, and drain the \
+          whole fleet gracefully on SIGTERM or a drain op.")
+    Term.(
+      const run $ backends $ listen $ sock_dir $ vnodes $ Cli_common.jobs_arg
+      $ Cli_common.queue_limit_arg $ Cli_common.cache_capacity_arg
+      $ Cli_common.drain_grace_ms_arg
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "metrics-out" ] ~docv:"FILE"
+              ~doc:"Periodic Prometheus exposition of the router's metrics.")
+      $ Cli_common.report_arg)
+
+(* ---------- loadgen: trace replay + fleet benchmark ---------- *)
+
+let loadgen_cmd =
+  let connect =
+    Arg.(
+      value
+      & opt (some Cli_common.addr_conv) None
+      & info [ "connect" ] ~docv:"ADDR"
+          ~doc:"Replay against a running server/router at $(b,unix:PATH) or \
+                $(b,tcp:HOST:PORT).")
+  in
+  let bench_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "bench-out" ] ~docv:"FILE"
+          ~doc:
+            "Fleet benchmark mode: replay the trace against a 1-backend and an \
+             N-backend fleet (spawned internally over Unix sockets) and write the \
+             throughput/latency comparison to FILE (BENCH_fleet.json).")
+  in
+  let backends =
+    Arg.(
+      value
+      & opt int 2
+      & info [ "backends" ] ~docv:"N" ~doc:"Fleet size for $(b,--bench-out).")
+  in
+  let requests =
+    Arg.(value & opt int 200 & info [ "requests" ] ~docv:"N" ~doc:"Trace length.")
+  in
+  let distinct =
+    Arg.(
+      value
+      & opt int 48
+      & info [ "distinct" ] ~docv:"K"
+          ~doc:
+            "Distinct solve instances cycled through the trace. Pick K above a \
+             backend's $(b,--cache-capacity) to make a single backend thrash its LRU \
+             while the sharded fleet stays cache-resident.")
+  in
+  let classes =
+    Arg.(value & opt int 3 & info [ "classes" ] ~docv:"C" ~doc:"Fragment classes per instance.")
+  in
+  let nodes =
+    Arg.(value & opt int 16 & info [ "nodes" ] ~docv:"N" ~doc:"Node budget per instance.")
+  in
+  let sleep_every =
+    Arg.(
+      value
+      & opt int 0
+      & info [ "sleep-every" ] ~docv:"K"
+          ~doc:"Every K-th request is a sleep op (0: never).")
+  in
+  let sleep_ms =
+    Arg.(value & opt float 5. & info [ "sleep-ms" ] ~docv:"MS" ~doc:"Sleep op duration.")
+  in
+  let expire_every =
+    Arg.(
+      value
+      & opt int 0
+      & info [ "expire-every" ] ~docv:"K"
+          ~doc:
+            "Every K-th solve carries a near-zero deadline, provoking outcome \
+             $(b,expired) (0: never).")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Trace generator seed.") in
+  let rate =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "rate" ] ~docv:"RPS"
+          ~doc:"Target send rate (default: as fast as the window allows).")
+  in
+  let window =
+    Arg.(
+      value
+      & opt int 16
+      & info [ "window" ] ~docv:"N" ~doc:"Max requests in flight at once.")
+  in
+  let drain =
+    Arg.(
+      value
+      & flag
+      & info [ "drain" ]
+          ~doc:"Send a drain op after the trace and wait for the fleet-wide ack.")
+  in
+  let label =
+    Arg.(value & opt string "run" & info [ "label" ] ~doc:"Label in the emitted result.")
+  in
+  let run connect bench_out backends requests distinct classes nodes sleep_every
+      sleep_ms expire_every seed rate window drain label deadline_ms jobs queue_limit
+      cache_capacity =
+    let spec =
+      {
+        (Serve.Loadgen.default_spec ()) with
+        Serve.Loadgen.requests;
+        distinct;
+        classes;
+        nodes;
+        sleep_every;
+        sleep_ms;
+        expire_every;
+        deadline_ms;
+        seed;
+      }
+    in
+    match (connect, bench_out) with
+    | Some _, Some _ | None, None ->
+      Format.eprintf "hslb loadgen: pass exactly one of --connect or --bench-out@.";
+      exit 2
+    | Some addr, None ->
+      let trace = Serve.Loadgen.make_trace spec in
+      let r =
+        try
+          Serve.Loadgen.run ~label ?rate_rps:rate ~window ~drain_at_end:drain
+            (Serve.Loadgen.Net addr) trace
+        with Unix.Unix_error (e, _, _) ->
+          Format.eprintf "hslb loadgen: cannot connect to %s: %s@."
+            (Serve.Transport_socket.addr_to_string addr)
+            (Unix.error_message e);
+          exit 1
+      in
+      Format.printf "%s@." (Serve.Json.to_string (Serve.Loadgen.result_json r));
+      if r.Serve.Loadgen.answered < r.Serve.Loadgen.requests then begin
+        Format.eprintf "hslb loadgen: %d of %d requests unanswered@."
+          (r.Serve.Loadgen.requests - r.Serve.Loadgen.answered)
+          r.Serve.Loadgen.requests;
+        exit 1
+      end
+    | None, Some path ->
+      if backends < 2 then begin
+        Format.eprintf "hslb loadgen: --backends must be >= 2 for --bench-out@.";
+        exit 2
+      end;
+      let dir =
+        Filename.concat
+          (Filename.get_temp_dir_name ())
+          (Printf.sprintf "hslb-loadgen-%d" (Unix.getpid ()))
+      in
+      (match Unix.mkdir dir 0o755 with
+      | () -> ()
+      | exception Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+      let backend_args =
+        [
+          "serve";
+          "--jobs";
+          string_of_int (match jobs with Some j -> j | None -> 1);
+          "--queue-limit";
+          string_of_int queue_limit;
+          "--cache-capacity";
+          string_of_int cache_capacity;
+          (* the benchmark measures serving throughput, not the
+             auditor *)
+          "--no-audit";
+        ]
+      in
+      let b =
+        Serve.Loadgen.fleet_bench ~spec ?rate_rps:rate ~window
+          ~prog:Sys.executable_name ~backend_args ~dir ~backends ()
+      in
+      Serve.Loadgen.write_bench path b;
+      Format.printf
+        "single: %.1f req/s (p99 %.2f ms)  fleet(%d): %.1f req/s (p99 %.2f ms)  speedup %.2fx@."
+        b.Serve.Loadgen.single.Serve.Loadgen.throughput_rps
+        b.Serve.Loadgen.single.Serve.Loadgen.latency.Obs.Metrics.Histogram.p99
+        b.Serve.Loadgen.backends b.Serve.Loadgen.fleet.Serve.Loadgen.throughput_rps
+        b.Serve.Loadgen.fleet.Serve.Loadgen.latency.Obs.Metrics.Histogram.p99
+        b.Serve.Loadgen.speedup;
+      Format.printf "wrote %s@." path
+  in
+  Cmd.v
+    (Cmd.info "loadgen"
+       ~doc:
+         "Replay a deterministic mixed solve/sleep/expire trace against a server or \
+          fleet at a target rate, reporting throughput, outcome counts and \
+          p50/p90/p99 latency; or, with $(b,--bench-out), benchmark a 1-backend vs \
+          N-backend fleet on the same trace and write BENCH_fleet.json.")
+    Term.(
+      const run $ connect $ bench_out $ backends $ requests $ distinct $ classes
+      $ nodes $ sleep_every $ sleep_ms $ expire_every $ seed $ rate $ window $ drain
+      $ label $ Cli_common.deadline_ms_arg $ Cli_common.jobs_arg
+      $ Cli_common.queue_limit_arg $ Cli_common.cache_capacity_arg)
 
 (* ---------- obs: validate observability artifacts ---------- *)
 
@@ -635,15 +984,105 @@ let obs_cmd =
              $(b,serve --metrics-out) writes): every sample line must carry a legal \
              metric name and numeric value.")
   in
+  let fleet_bench =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "fleet-bench" ] ~docv:"FILE"
+          ~doc:
+            "Validate FILE as a fleet benchmark document (the artifact \
+             $(b,loadgen --bench-out) writes): single and fleet runs each with \
+             throughput, outcome counts and latency quantiles, plus the speedup \
+             ratio.")
+  in
   let read_file path =
     let ic = open_in_bin path in
     Fun.protect
       ~finally:(fun () -> close_in ic)
       (fun () -> really_input_string ic (in_channel_length ic))
   in
-  let run chrome_trace prometheus =
-    if chrome_trace = None && prometheus = None then begin
-      Format.eprintf "hslb obs: nothing to validate (pass --chrome-trace or --prometheus)@.";
+  (* field-by-field schema walk over the hand-rolled JSON codec, in the
+     spirit of check_chrome_trace/check_prometheus *)
+  let check_fleet_bench json =
+    let module J = Obs.Json in
+    let ( let* ) = Result.bind in
+    let num obj key =
+      match Option.bind (J.member key obj) J.num with
+      | Some v -> Ok v
+      | None -> Error (Printf.sprintf "missing numeric field %S" key)
+    in
+    let quantile obj key =
+      (* NaN quantiles of an empty histogram serialize as null *)
+      match J.member key obj with
+      | Some (J.Num _ | J.Null) -> Ok ()
+      | Some _ | None -> Error (Printf.sprintf "latency field %S must be a number or null" key)
+    in
+    let check_run name obj =
+      let tag e = Printf.sprintf "run %S: %s" name e in
+      let* requests = Result.map_error tag (num obj "requests") in
+      let* answered = Result.map_error tag (num obj "answered") in
+      let* _ = Result.map_error tag (num obj "wall_s") in
+      let* _ = Result.map_error tag (num obj "throughput_rps") in
+      let* () =
+        match J.member "outcomes" obj with
+        | Some (J.Obj fields) ->
+          if
+            List.for_all (fun (_, v) -> match v with J.Num _ -> true | _ -> false) fields
+          then Ok ()
+          else Error (tag "outcomes values must be numbers")
+        | Some _ | None -> Error (tag "missing object field \"outcomes\"")
+      in
+      let* lat =
+        match J.member "latency_ms" obj with
+        | Some (J.Obj _ as l) -> Ok l
+        | Some _ | None -> Error (tag "missing object field \"latency_ms\"")
+      in
+      let* _ = Result.map_error tag (num lat "count") in
+      let* () = Result.map_error tag (quantile lat "p50") in
+      let* () = Result.map_error tag (quantile lat "p90") in
+      let* () = Result.map_error tag (quantile lat "p99") in
+      if answered > requests then Error (tag "answered exceeds requests") else Ok ()
+    in
+    match json with
+    | J.Obj _ as root ->
+      let* () =
+        match J.member "bench" root with
+        | Some (J.Str "fleet") -> Ok ()
+        | Some _ | None -> Error "field \"bench\" must be the string \"fleet\""
+      in
+      let* backends = num root "backends" in
+      let* () =
+        if backends >= 2. then Ok () else Error "field \"backends\" must be >= 2"
+      in
+      let* () =
+        match J.member "trace" root with
+        | Some (J.Obj _) -> Ok ()
+        | Some _ | None -> Error "missing object field \"trace\""
+      in
+      let* () =
+        match J.member "single" root with
+        | Some (J.Obj _ as r) -> check_run "single" r
+        | Some _ | None -> Error "missing object field \"single\""
+      in
+      let* () =
+        match J.member "fleet" root with
+        | Some (J.Obj _ as r) -> check_run "fleet" r
+        | Some _ | None -> Error "missing object field \"fleet\""
+      in
+      let* speedup =
+        match J.member "speedup" root with
+        | Some (J.Num v) -> Ok v
+        | Some J.Null -> Error "field \"speedup\" is null (single run had no throughput)"
+        | Some _ | None -> Error "missing numeric field \"speedup\""
+      in
+      Ok speedup
+    | _ -> Error "root must be a JSON object"
+  in
+  let run chrome_trace prometheus fleet_bench =
+    if chrome_trace = None && prometheus = None && fleet_bench = None then begin
+      Format.eprintf
+        "hslb obs: nothing to validate (pass --chrome-trace, --prometheus or \
+         --fleet-bench)@.";
       exit 2
     end;
     let ok = ref true in
@@ -668,15 +1107,30 @@ let obs_cmd =
       | Error msg ->
         Format.eprintf "%s: invalid prometheus exposition: %s@." path msg;
         ok := false));
+    (match fleet_bench with
+    | None -> ()
+    | Some path -> (
+      match Obs.Json.parse (read_file path) with
+      | Error msg ->
+        Format.eprintf "%s: JSON parse error %s@." path msg;
+        ok := false
+      | Ok json -> (
+        match check_fleet_bench json with
+        | Ok speedup ->
+          Format.printf "%s: valid fleet bench, speedup %.2fx@." path speedup
+        | Error msg ->
+          Format.eprintf "%s: invalid fleet bench: %s@." path msg;
+          ok := false)));
     if not !ok then exit 1
   in
   Cmd.v
     (Cmd.info "obs"
        ~doc:
          "Validate observability artifacts: Chrome trace_event JSON from \
-          $(b,bench --trace) and Prometheus text exposition from \
-          $(b,serve --metrics-out). Exits non-zero if either fails to parse.")
-    Term.(const run $ chrome_trace $ prometheus)
+          $(b,bench --trace), Prometheus text exposition from \
+          $(b,serve --metrics-out), and fleet benchmark JSON from \
+          $(b,loadgen --bench-out). Exits non-zero if any fails to parse.")
+    Term.(const run $ chrome_trace $ prometheus $ fleet_bench)
 
 (* ---------- audit: fault-injection stress sweep ---------- *)
 
@@ -770,6 +1224,8 @@ let () =
             fit_cmd;
             solve_cmd;
             serve_cmd;
+            route_cmd;
+            loadgen_cmd;
             minlp_cmd;
             fmo_cmd;
             layouts_cmd;

@@ -18,6 +18,13 @@
 # and a Chrome trace from a bench run under --trace — and validates
 # each with `hslb_cli obs` (see docs/OBSERVABILITY.md).
 #
+# The fleet stage boots `hslb route` over two spawned backends on unix
+# sockets, replays a 200-request `hslb loadgen` trace through it
+# (asserting overload, expiry, shard-local cache hits and a clean
+# fleet drain), then runs the 1-vs-2-backend locality benchmark and
+# validates BENCH_fleet.json with `hslb_cli obs --fleet-bench`,
+# failing the build under a 1.5x speedup (see docs/SERVE.md).
+#
 # lib/obs/, lib/runtime/, lib/audit/ and lib/serve/ compile with
 # -warn-error +a (see their dune files), so any new compiler warning
 # there fails this build.
@@ -131,5 +138,104 @@ dune exec bench/main.exe -- --quick --no-bechamel --only E4 \
 "$SERVE_BIN" obs \
   --chrome-trace "$SMOKE_DIR/e4_trace.json" \
   --prometheus "$SMOKE_DIR/metrics.prom"
+
+echo "== fleet smoke: 2-backend route over unix sockets =="
+# a router over two spawned backends with a deliberately tiny backend
+# queue: a 200-request windowed replay must provoke every admission
+# outcome, land cache hits on both shards, and drain the whole fleet
+"$SERVE_BIN" route --backends 2 \
+  --listen "unix:$SMOKE_DIR/route.sock" --sock-dir "$SMOKE_DIR/fleet" \
+  --jobs 1 --queue-limit 4 --cache-capacity 64 \
+  > "$SMOKE_DIR/route.out" &
+ROUTE_PID=$!
+for _ in $(seq 1 100); do
+  [ -S "$SMOKE_DIR/route.sock" ] && break
+  sleep 0.1
+done
+[ -S "$SMOKE_DIR/route.sock" ] || {
+  echo "fleet smoke: router socket never appeared" >&2
+  exit 1
+}
+# phase 1 — blast: 24 requests in flight against 4-deep backend
+# queues must shed load (overloaded) while the duplicates that do get
+# in share a shard's dedupe table or cache
+"$SERVE_BIN" loadgen --connect "unix:$SMOKE_DIR/route.sock" \
+  --requests 160 --distinct 12 --sleep-every 50 --expire-every 8 \
+  --window 24 > "$SMOKE_DIR/loadgen_blast.json"
+# the backend stats embedded in the result also spell these counters,
+# so every outcome assertion scopes its grep to the outcomes object
+for outcome in ok overloaded; do
+  grep -o '"outcomes":{[^}]*}' "$SMOKE_DIR/loadgen_blast.json" \
+    | grep -q "\"$outcome\":" || {
+    echo "fleet smoke: no \"$outcome\" outcome in blast result" >&2
+    exit 1
+  }
+done
+hits=$(grep -o '"cache_hits":[0-9]*' "$SMOKE_DIR/loadgen_blast.json" | head -1 | cut -d: -f2)
+dedups=$(grep -o '"dedups":[0-9]*' "$SMOKE_DIR/loadgen_blast.json" | head -1 | cut -d: -f2)
+[ $((${hits:-0} + ${dedups:-0})) -gt 0 ] || {
+  echo "fleet smoke: blast produced neither cache hits nor dedups" >&2
+  exit 1
+}
+# phase 2 — near-serial (window 2): every request is admitted, every
+# repeated key is a shard-local cache hit, and a tiny-deadline solve
+# that lands behind the other in-flight request outlives its 10us
+# deadline in the queue (expired); ends with the fleet drain
+"$SERVE_BIN" loadgen --connect "unix:$SMOKE_DIR/route.sock" \
+  --requests 40 --distinct 8 --expire-every 2 \
+  --window 2 --drain > "$SMOKE_DIR/loadgen_serial.json"
+if ! wait "$ROUTE_PID"; then
+  echo "fleet smoke: router exited non-zero after drain" >&2
+  exit 1
+fi
+grep -o '"outcomes":{[^}]*}' "$SMOKE_DIR/loadgen_serial.json" \
+  | grep -q '"ok":' || {
+  echo "fleet smoke: no \"ok\" outcome in serial result" >&2
+  exit 1
+}
+# 40 tiny-deadline candidates across the two phases: at least one must
+# have expired in a queue (the rest may be shed as overloaded in the
+# blast or win the worker-wakeup race in the near-serial phase)
+grep -h -o '"outcomes":{[^}]*}' \
+  "$SMOKE_DIR/loadgen_blast.json" "$SMOKE_DIR/loadgen_serial.json" \
+  | grep -q '"expired":' || {
+  echo "fleet smoke: no \"expired\" outcome in either phase" >&2
+  exit 1
+}
+hits=$(grep -o '"cache_hits":[0-9]*' "$SMOKE_DIR/loadgen_serial.json" | head -1 | cut -d: -f2)
+[ "${hits:-0}" -gt 0 ] || {
+  echo "fleet smoke: no cache hits through the router" >&2
+  exit 1
+}
+# the post-run stats fan-out must carry both shards' counters
+for b in backend-0 backend-1; do
+  grep -q "\"$b\"" "$SMOKE_DIR/loadgen_serial.json" || {
+    echo "fleet smoke: stats fan-out missing $b" >&2
+    exit 1
+  }
+done
+grep -q '"event":"fleet_drain"' "$SMOKE_DIR/route.out" || {
+  echo "fleet smoke: router never logged fleet_drain" >&2
+  exit 1
+}
+grep -q '"event":"drained"' "$SMOKE_DIR/route.out" || {
+  echo "fleet smoke: missing router drained event" >&2
+  exit 1
+}
+
+echo "== fleet bench: 1 vs 2 backends (BENCH_fleet.json) =="
+# the locality benchmark: 48 distinct instances against 32-entry LRUs,
+# so the single backend thrashes while each fleet shard stays resident
+"$SERVE_BIN" loadgen --bench-out "$SMOKE_DIR/BENCH_fleet.json" \
+  --backends 2 --requests 200 --distinct 48 \
+  --jobs 1 --queue-limit 64 --cache-capacity 32 > "$SMOKE_DIR/bench.out"
+cat "$SMOKE_DIR/bench.out"
+"$SERVE_BIN" obs --fleet-bench "$SMOKE_DIR/BENCH_fleet.json"
+speedup=$("$SERVE_BIN" obs --fleet-bench "$SMOKE_DIR/BENCH_fleet.json" \
+  | grep -o 'speedup [0-9.]*' | cut -d' ' -f2)
+awk "BEGIN { exit !($speedup >= 1.5) }" || {
+  echo "fleet bench: speedup $speedup below the 1.5x locality bar" >&2
+  exit 1
+}
 
 echo "== ci OK =="

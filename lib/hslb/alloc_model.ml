@@ -598,14 +598,6 @@ let solve ?(strategy = `Auto) ?(solver = Engine.Solver_choice.Oa)
     | (Ok _ | Error _), _ -> ());
     result
 
-let solve_exn ?solver ?objective ~n_total specs =
-  match solve ?solver ?objective ~n_total specs with
-  | Ok a -> a
-  | Error st ->
-    failwith
-      (Printf.sprintf "Alloc_model.solve: %s (budget %d nodes for %d classes)"
-         (Minlp.Solution.status_to_string st) n_total (List.length specs))
-
 let assignment_milp ?(max_nodes = 20_000) ~group_sizes ~duration ~num_tasks () =
   let ngroups = Array.length group_sizes in
   if ngroups = 0 then invalid_arg "Alloc_model.assignment_milp: no groups";

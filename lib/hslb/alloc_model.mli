@@ -127,17 +127,6 @@ val solve :
   spec list ->
   (allocation, Minlp.Solution.status) result
 
-(** Raising wrapper kept for compatibility; migrate to {!solve}. *)
-val solve_exn :
-  ?solver:Engine.Solver_choice.t ->
-  ?objective:Objective.t ->
-  n_total:int ->
-  spec list ->
-  allocation
-[@@ocaml.deprecated
-  "use Alloc_model.solve (returns a result); solve_exn has no remaining callers and will \
-   be removed in the next release"]
-
 (** [assignment_milp ~group_sizes ~duration ~num_tasks] — the second
     model family: groups fixed, assign tasks to groups minimizing
     predicted makespan (a pure MILP). Falls back to LPT when the node

@@ -248,9 +248,6 @@ let fail_on_error layout config = function
          (Minlp.Solution.status_to_string status)
          (layout_name layout) config.n_total)
 
-let solve_legacy ?strategy ?budget ?tally layout config inputs =
-  fail_on_error layout config (solve ?strategy ?budget ?trace:tally layout config inputs)
-
 let predict_scaling layout config inputs ~node_counts =
   List.map
     (fun n_total ->

@@ -87,20 +87,6 @@ val solve :
   inputs ->
   (alloc, Minlp.Solution.status) result
 
-(** Raising wrapper with the pre-certificate signature; migrate to
-    {!solve}.
-    @raise Failure when infeasible or the budget ran out with no
-    incumbent. *)
-val solve_legacy :
-  ?strategy:Runtime.Portfolio.strategy ->
-  ?budget:Engine.Budget.armed ->
-  ?tally:Engine.Telemetry.t ->
-  layout ->
-  config ->
-  inputs ->
-  alloc
-[@@ocaml.deprecated "use Layout_model.solve (returns a result)"]
-
 (** [predict_scaling layout config inputs ~node_counts] — predicted
     total time at each node budget (the layout-comparison figure). *)
 val predict_scaling :

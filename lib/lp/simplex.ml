@@ -298,7 +298,6 @@ let run ?(max_iter = 200_000) ?budget ?tally (p : Lp_problem.t) =
         finish { status = Optimal; x; obj = Lp_problem.objective_value p x }
     end
 
-let solve_legacy = run
 
 let solve ?budget ?cancel ?warm_start:_ ?trace p =
   let budget = Engine.Solver_intf.join_budget ?budget ?cancel () in

@@ -49,10 +49,3 @@ val solve :
   Lp_problem.t ->
   (solution Engine.Solver_intf.certified, Engine.Status.t) result
 
-val solve_legacy :
-  ?max_iter:int ->
-  ?budget:Engine.Budget.armed ->
-  ?tally:Engine.Telemetry.t ->
-  Lp_problem.t ->
-  solution
-[@@ocaml.deprecated "use Simplex.run (same behaviour) or the unified Simplex.solve"]

@@ -201,7 +201,6 @@ let run ?(options = default_options) ?budget ?tally ?warm_start (p0 : Problem.t)
     { Solution.status; x = [||]; obj = nan; bound; stats }
   end
 
-let solve_legacy = run
 
 let solve ?budget ?cancel ?warm_start ?trace p =
   let budget = Engine.Solver_intf.join_budget ?budget ?cancel () in

@@ -48,11 +48,3 @@ val solve :
   Problem.t ->
   (Solution.t Engine.Solver_intf.certified, Engine.Status.t) result
 
-val solve_legacy :
-  ?options:options ->
-  ?budget:Engine.Budget.armed ->
-  ?tally:Engine.Telemetry.t ->
-  ?warm_start:float array ->
-  Problem.t ->
-  Solution.t
-[@@ocaml.deprecated "use Bnb.run (same behaviour) or the unified Bnb.solve"]

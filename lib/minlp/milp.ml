@@ -346,7 +346,6 @@ let run ?(options = default_options) ?(extra_rows = []) ?on_integral ?budget ?ta
       { Solution.status; x = [||]; obj = nan; bound; stats }
   end
 
-let solve_legacy = run
 
 let solve ?budget ?cancel ?warm_start ?trace p =
   let budget = Engine.Solver_intf.join_budget ?budget ?cancel () in

@@ -81,13 +81,3 @@ val solve :
   Problem.t ->
   (Solution.t Engine.Solver_intf.certified, Engine.Status.t) result
 
-val solve_legacy :
-  ?options:options ->
-  ?extra_rows:Lp.Lp_problem.constr list ->
-  ?on_integral:callback ->
-  ?budget:Engine.Budget.armed ->
-  ?tally:Engine.Telemetry.t ->
-  ?warm_start:float array ->
-  Problem.t ->
-  Solution.t
-[@@ocaml.deprecated "use Milp.run (same behaviour) or the unified Milp.solve"]

@@ -57,11 +57,3 @@ val solve :
   Problem.t ->
   (Solution.t Engine.Solver_intf.certified, Engine.Status.t) result
 
-val solve_legacy :
-  ?options:options ->
-  ?budget:Engine.Budget.armed ->
-  ?tally:Engine.Telemetry.t ->
-  ?warm_start:float array ->
-  Problem.t ->
-  Solution.t
-[@@ocaml.deprecated "use Oa.run (same behaviour) or the unified Oa.solve"]

@@ -205,7 +205,6 @@ let run ?(options = default_options) ?budget ?tally (p0 : Problem.t) =
     end
   end
 
-let solve_legacy = run
 
 let solve ?budget ?cancel ?warm_start:_ ?trace p =
   let budget = Engine.Solver_intf.join_budget ?budget ?cancel () in

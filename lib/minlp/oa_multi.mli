@@ -51,10 +51,3 @@ val solve :
   Problem.t ->
   (Solution.t Engine.Solver_intf.certified, Engine.Status.t) result
 
-val solve_legacy :
-  ?options:options ->
-  ?budget:Engine.Budget.armed ->
-  ?tally:Engine.Telemetry.t ->
-  Problem.t ->
-  info
-[@@ocaml.deprecated "use Oa_multi.run (same behaviour) or the unified Oa_multi.solve"]

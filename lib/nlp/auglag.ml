@@ -87,7 +87,6 @@ let run ?(max_outer = 50) ?(tol_feas = 1e-7) ?(tol_opt = 1e-7) ?budget ?tally
     converged = !converged && Nlp_problem.violation p !x <= tol_feas *. 10.;
   }
 
-let solve_legacy = run
 
 let solve ?budget ?cancel ?warm_start ?trace (p : Nlp_problem.t) =
   let budget = Engine.Solver_intf.join_budget ?budget ?cancel () in

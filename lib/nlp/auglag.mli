@@ -46,13 +46,3 @@ val solve :
   Nlp_problem.t ->
   (result Engine.Solver_intf.certified, Engine.Status.t) Stdlib.result
 
-val solve_legacy :
-  ?max_outer:int ->
-  ?tol_feas:float ->
-  ?tol_opt:float ->
-  ?budget:Engine.Budget.armed ->
-  ?tally:Engine.Telemetry.t ->
-  Nlp_problem.t ->
-  Numerics.Vec.t ->
-  result
-[@@ocaml.deprecated "use Auglag.run (same behaviour) or the unified Auglag.solve"]

@@ -245,3 +245,11 @@ let int_ = function
 
 let bool_ = function Bool b -> Some b | _ -> None
 let arr = function Arr vs -> Some vs | _ -> None
+
+let type_name = function
+  | Null -> "null"
+  | Bool _ -> "a boolean"
+  | Num _ -> "a number"
+  | Str _ -> "a string"
+  | Arr _ -> "an array"
+  | Obj _ -> "an object"

@@ -43,3 +43,7 @@ val int_ : t -> int option
 
 val bool_ : t -> bool option
 val arr : t -> t list option
+
+(** The value's JSON type with an article (["a string"], ["null"], …) —
+    for protocol error messages that name what was actually sent. *)
+val type_name : t -> string

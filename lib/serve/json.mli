@@ -19,3 +19,4 @@ val num : t -> float option
 val int_ : t -> int option
 val bool_ : t -> bool option
 val arr : t -> t list option
+val type_name : t -> string

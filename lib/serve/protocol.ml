@@ -93,7 +93,10 @@ let parse_request v =
     | Some f -> (
       match Json.str f with
       | Some s -> Ok s
-      | None -> Error "field \"op\": expected a string")
+      | None ->
+        (* a non-string op (e.g. a numeric 7) must be a type error, not
+           fall through to the unknown-op branch via some coercion *)
+        Error (Printf.sprintf "field \"op\": expected a string, got %s" (Json.type_name f)))
   in
   match op with
   | "solve" -> parse_solve v
@@ -117,6 +120,40 @@ let parse_line line =
     let id = Option.value (Json.member "id" v) ~default:Json.Null in
     { id; req = parse_request v }
   | Ok _ -> { id = Json.Null; req = Error "request must be a JSON object" }
+
+(* shared by the server (to solve) and the router (to shard): turn a
+   solve request's model reference into concrete specs. Kept here, next
+   to the wire format, so both sides resolve — and report errors on —
+   the model identically. *)
+let resolve_specs (p : solve_params) =
+  let* text =
+    match p.model with
+    | `Inline csv -> Ok csv
+    | `Path path -> (
+      match
+        let ic = open_in path in
+        let n = in_channel_length ic in
+        let text = really_input_string ic n in
+        close_in ic;
+        text
+      with
+      | text -> Ok text
+      | exception Sys_error msg -> Error ("model_path: " ^ msg))
+  in
+  let* fits = Hslb.Model_store.of_csv_result text in
+  if fits = [] then Error "model has no classes"
+  else
+    Ok
+      (List.map
+         (fun fc ->
+           match p.allowed with
+           | Some values -> Hslb.Alloc_model.spec_of ~allowed:values fc
+           | None -> Hslb.Alloc_model.spec_of fc)
+         fits)
+
+let fingerprint p =
+  let* specs = resolve_specs p in
+  Ok (Hslb.Alloc_model.fingerprint ~objective:p.objective ~n_total:p.n_total specs)
 
 let response ~id fields = Json.to_string (Json.Obj (("id", id) :: fields))
 

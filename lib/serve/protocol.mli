@@ -38,6 +38,19 @@ type parsed = { id : Json.t; req : (request, string) result }
 
 val parse_line : string -> parsed
 
+(** [resolve_specs p] — load the request's model ([`Inline] text or the
+    [`Path] file) and build the solver-ready spec list, applying the
+    [allowed] restriction. [Error] is a protocol-grade message (bad
+    path, malformed CSV, empty model). Used by the server before
+    queueing and by the router before sharding, so both report model
+    problems identically. *)
+val resolve_specs : solve_params -> (Hslb.Alloc_model.spec list, string) result
+
+(** [fingerprint p] — the canonical {!Hslb.Alloc_model.fingerprint} of
+    the request's solve instance: the dedupe/cache key, and the key the
+    router's hash ring shards on. *)
+val fingerprint : solve_params -> (string, string) result
+
 (** [response ~id fields] — one NDJSON response line: an object opening
     with the echoed ["id"] followed by [fields]. *)
 val response : id:Json.t -> (string * Json.t) list -> string

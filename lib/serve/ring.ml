@@ -1,0 +1,73 @@
+(* Consistent-hash ring over backend names, the router's sharding
+   structure. Each backend contributes [vnodes] points on an unsigned
+   64-bit circle (MD5 of "name#i"); a key routes to the owner of the
+   first point clockwise of its own hash. Immutable — add/remove build
+   a new ring — so [shard] is lock-free for concurrent readers, and
+   membership changes move only the ~1/N of keys whose nearest point
+   belonged to the changed backend. *)
+
+type t = {
+  vnodes : int;
+  backends : string list;  (* unique, insertion order preserved *)
+  points : (int64 * string) array;  (* sorted by unsigned point *)
+}
+
+let hash_key s =
+  (* MD5's first 8 bytes, read as an unsigned 64-bit position *)
+  String.get_int64_be (Digest.string s) 0
+
+let ucmp = Int64.unsigned_compare
+
+let build vnodes backends =
+  let points =
+    List.concat_map
+      (fun b -> List.init vnodes (fun i -> (hash_key (Printf.sprintf "%s#%d" b i), b)))
+      backends
+    |> Array.of_list
+  in
+  (* ties broken by name so equal points are deterministic across
+     insertion orders *)
+  Array.sort
+    (fun (h1, b1) (h2, b2) ->
+      match ucmp h1 h2 with 0 -> String.compare b1 b2 | c -> c)
+    points;
+  { vnodes; backends; points }
+
+let make ?(vnodes = 64) backends =
+  if vnodes < 1 then invalid_arg "Ring.make: vnodes must be >= 1";
+  let seen = Hashtbl.create 8 in
+  let backends =
+    List.filter
+      (fun b ->
+        if Hashtbl.mem seen b then false
+        else begin
+          Hashtbl.add seen b ();
+          true
+        end)
+      backends
+  in
+  build vnodes backends
+
+let backends t = t.backends
+let is_empty t = t.backends = []
+
+let shard t key =
+  match Array.length t.points with
+  | 0 -> invalid_arg "Ring.shard: empty ring"
+  | n ->
+    let h = hash_key key in
+    (* first point >= h, clockwise; wrap to the smallest point *)
+    let rec search lo hi =
+      if lo >= hi then lo
+      else
+        let mid = (lo + hi) / 2 in
+        if ucmp (fst t.points.(mid)) h < 0 then search (mid + 1) hi
+        else search lo mid
+    in
+    let i = search 0 n in
+    snd t.points.(if i = n then 0 else i)
+
+let add t b =
+  if List.mem b t.backends then t else build t.vnodes (t.backends @ [ b ])
+
+let remove t b = build t.vnodes (List.filter (fun x -> x <> b) t.backends)

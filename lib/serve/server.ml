@@ -1,7 +1,10 @@
-(* The long-lived solve service. One mutex guards the queue, the
+(* The long-lived solve service, transport-agnostic: every request
+   carries its own reply sink (the connection it arrived on), so one
+   server core can sit behind stdio, a socket listener, or an
+   in-process test harness unchanged. One mutex guards the queue, the
    dedupe table and the counters; workers never hold it while solving
-   or emitting. Responses leave through [emit] under a separate lock so
-   lines from different domains cannot interleave. *)
+   or emitting. All reply sinks share [emit_lock] so lines from
+   different domains cannot interleave even on the same fd. *)
 
 type config = {
   jobs : int;
@@ -31,16 +34,17 @@ type solve_job = {
   params : Protocol.solve_params;
   specs : Hslb.Alloc_model.spec list;
   key : string;
-  mutable followers : (Json.t * float) list;  (* (request id, arrival time) *)
+  (* (request id, arrival time, that request's reply sink) *)
+  mutable followers : (Json.t * float * (string -> unit)) list;
 }
 
 type work = W_solve of solve_job | W_sleep of float
 
-type job = { jid : Json.t; arrival : float; work : work }
+type job = { jid : Json.t; arrival : float; reply : string -> unit; work : work }
 
 type t = {
   cfg : config;
-  emit : string -> unit;  (* line out; serialized by [emit_lock] *)
+  emit : string -> unit;  (* event lines + default reply sink; see [reply_line] *)
   emit_lock : Mutex.t;
   telemetry : (string -> unit) option;
   lock : Mutex.t;
@@ -73,9 +77,12 @@ type t = {
 
 let now () = Unix.gettimeofday ()
 
-let emit_line t line =
+(* every line out — whatever connection it belongs to — goes through
+   the one emit lock, so responses from different worker domains never
+   interleave mid-line even when they share a fd *)
+let reply_line t sink line =
   Mutex.lock t.emit_lock;
-  Fun.protect ~finally:(fun () -> Mutex.unlock t.emit_lock) (fun () -> t.emit line)
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.emit_lock) (fun () -> sink line)
 
 let locked t f =
   Mutex.lock t.lock;
@@ -184,10 +191,10 @@ let failed_response ~id status r =
 
 (* ---------- workers ---------- *)
 
-let respond_solve t ~id ~op result ~audit r =
+let respond_solve t ~id ~reply ~op result ~audit r =
   (match result with
-  | Ok alloc -> emit_line t (ok_response ~id alloc ~audit r)
-  | Error st -> emit_line t (failed_response ~id st r));
+  | Ok alloc -> reply_line t reply (ok_response ~id alloc ~audit r)
+  | Error st -> reply_line t reply (failed_response ~id st r));
   let outcome, status =
     match result with
     | Ok (alloc : Hslb.Alloc_model.allocation) ->
@@ -219,18 +226,19 @@ let process_solve t (job : job) (sj : solve_job) =
     | None -> false
   in
   if expired then begin
-    let answer id tele =
+    let answer id reply tele =
       Obs.Metrics.Histogram.observe t.qwait_h tele.queue_wait_ms;
-      emit_line t
+      reply_line t reply
         (Protocol.error_response ~id ~outcome:"expired"
            (Printf.sprintf "deadline (%.0f ms) consumed by %.0f ms of queue wait"
               (Option.get p.Protocol.deadline_ms)
               tele.queue_wait_ms));
       telemetry_line t ~id ~op:"solve" ~outcome:"expired" ~status:None tele
     in
-    answer job.jid (zero_tele ~queue_wait_ms:(queue_wait *. 1000.));
+    answer job.jid job.reply (zero_tele ~queue_wait_ms:(queue_wait *. 1000.));
     List.iter
-      (fun (fid, arr) -> answer fid (follower_tele arr (zero_tele ~queue_wait_ms:0.)))
+      (fun (fid, arr, freply) ->
+        answer fid freply (follower_tele arr (zero_tele ~queue_wait_ms:0.)))
       followers;
     locked t (fun () ->
         t.n_expired <- t.n_expired + 1 + List.length followers;
@@ -269,7 +277,7 @@ let process_solve t (job : job) (sj : solve_job) =
     Obs.Metrics.Histogram.observe t.solve_h (solve_wall *. 1000.);
     Obs.Metrics.Histogram.observe t.qwait_h (queue_wait *. 1000.);
     List.iter
-      (fun (_, arr) ->
+      (fun (_, arr, _) ->
         Obs.Metrics.Histogram.observe t.qwait_h
           (Float.max 0. ((start -. arr) *. 1000.)))
       followers;
@@ -290,20 +298,23 @@ let process_solve t (job : job) (sj : solve_job) =
         | Ok _ | Error _ -> None
       in
       let tele = tele_of cache_hit in
-      respond_solve t ~id:job.jid ~op:"solve" result ~audit tele;
+      respond_solve t ~id:job.jid ~reply:job.reply ~op:"solve" result ~audit tele;
       List.iter
-        (fun (fid, arr) ->
-          respond_solve t ~id:fid ~op:"solve" result ~audit (follower_tele arr tele))
+        (fun (fid, arr, freply) ->
+          respond_solve t ~id:fid ~reply:freply ~op:"solve" result ~audit
+            (follower_tele arr tele))
         followers
     | `Crashed msg ->
-      let answer id tele =
-        emit_line t
+      let answer id reply tele =
+        reply_line t reply
           (Protocol.error_response ~id ~outcome:"error" ("internal error: " ^ msg));
         telemetry_line t ~id ~op:"solve" ~outcome:"error" ~status:None tele
       in
       let tele = tele_of false in
-      answer job.jid tele;
-      List.iter (fun (fid, arr) -> answer fid (follower_tele arr tele)) followers);
+      answer job.jid job.reply tele;
+      List.iter
+        (fun (fid, arr, freply) -> answer fid freply (follower_tele arr tele))
+        followers);
     locked t (fun () ->
         Engine.Telemetry.merge_into t.tally req_tally;
         t.n_served <- t.n_served + 1 + List.length followers)
@@ -329,7 +340,7 @@ let process_sleep t (job : job) dur =
       solve_wall_ms = (now () -. start) *. 1000.;
     }
   in
-  emit_line t
+  reply_line t job.reply
     (Protocol.response ~id:job.jid
        [
          ("outcome", Json.Str "ok");
@@ -365,7 +376,7 @@ let worker_body t _i =
       | () -> ()
       | exception e ->
         (* a worker must survive anything a request throws at it *)
-        emit_line t
+        reply_line t job.reply
           (Protocol.error_response ~id:job.jid ~outcome:"error"
              ("internal error: " ^ Printexc.to_string e)));
       loop ()
@@ -525,35 +536,8 @@ let await_drain t =
 
 (* ---------- admission ---------- *)
 
-let resolve_specs (p : Protocol.solve_params) =
-  let ( let* ) = Result.bind in
-  let* text =
-    match p.Protocol.model with
-    | `Inline csv -> Ok csv
-    | `Path path -> (
-      match
-        let ic = open_in path in
-        let n = in_channel_length ic in
-        let text = really_input_string ic n in
-        close_in ic;
-        text
-      with
-      | text -> Ok text
-      | exception Sys_error msg -> Error ("model_path: " ^ msg))
-  in
-  let* fits = Hslb.Model_store.of_csv_result text in
-  if fits = [] then Error "model has no classes"
-  else
-    Ok
-      (List.map
-         (fun fc ->
-           match p.Protocol.allowed with
-           | Some values -> Hslb.Alloc_model.spec_of ~allowed:values fc
-           | None -> Hslb.Alloc_model.spec_of fc)
-         fits)
-
-let admit t ~id work =
-  let job = { jid = id; arrival = now (); work } in
+let admit t ~id ~reply work =
+  let job = { jid = id; arrival = now (); reply; work } in
   let verdict =
     locked t (fun () ->
         if t.is_draining then begin
@@ -570,7 +554,7 @@ let admit t ~id work =
             match Hashtbl.find_opt t.pending sj.key with
             | Some leader ->
               (* identical instance already queued or solving: attach *)
-              leader.followers <- (id, job.arrival) :: leader.followers;
+              leader.followers <- (id, job.arrival, reply) :: leader.followers;
               t.n_accepted <- t.n_accepted + 1;
               t.n_deduped <- t.n_deduped + 1;
               `Attached
@@ -590,151 +574,41 @@ let admit t ~id work =
   match verdict with
   | `Queued | `Attached -> ()
   | `Overloaded ->
-    emit_line t
+    reply_line t reply
       (Protocol.error_response ~id ~outcome:"overloaded"
          (Printf.sprintf "queue at high-water mark (%d); retry later" t.cfg.queue_limit));
     telemetry_line t ~id ~op:"solve" ~outcome:"overloaded" ~status:None
       (zero_tele ~queue_wait_ms:0.)
   | `Draining ->
-    emit_line t
+    reply_line t reply
       (Protocol.error_response ~id ~outcome:"draining" "server is draining; not accepting work")
 
-let submit t line =
+let submit ?reply t line =
+  let reply = Option.value reply ~default:t.emit in
   let { Protocol.id; req } = Protocol.parse_line line in
   match req with
   | Error msg ->
     locked t (fun () -> t.n_protocol_errors <- t.n_protocol_errors + 1);
-    emit_line t (Protocol.error_response ~id ~outcome:"error" msg)
+    reply_line t reply (Protocol.error_response ~id ~outcome:"error" msg)
   | Ok Protocol.Ping ->
-    emit_line t (Protocol.response ~id [ ("outcome", Json.Str "ok"); ("pong", Json.Bool true) ])
+    reply_line t reply
+      (Protocol.response ~id [ ("outcome", Json.Str "ok"); ("pong", Json.Bool true) ])
   | Ok Protocol.Stats ->
-    emit_line t
+    reply_line t reply
       (Protocol.response ~id [ ("outcome", Json.Str "ok"); ("stats", stats_obj t) ])
   | Ok Protocol.Drain ->
     initiate_drain t;
-    emit_line t
+    reply_line t reply
       (Protocol.response ~id [ ("outcome", Json.Str "ok"); ("draining", Json.Bool true) ])
-  | Ok (Protocol.Sleep dur) -> admit t ~id (W_sleep dur)
+  | Ok (Protocol.Sleep dur) -> admit t ~id ~reply (W_sleep dur)
   | Ok (Protocol.Solve p) -> (
-    match resolve_specs p with
+    match Protocol.resolve_specs p with
     | Error msg ->
       locked t (fun () -> t.n_protocol_errors <- t.n_protocol_errors + 1);
-      emit_line t (Protocol.error_response ~id ~outcome:"error" msg)
+      reply_line t reply (Protocol.error_response ~id ~outcome:"error" msg)
     | Ok specs ->
       let key =
         Hslb.Alloc_model.fingerprint ~objective:p.Protocol.objective
           ~n_total:p.Protocol.n_total specs
       in
-      admit t ~id (W_solve { params = p; specs; key; followers = [] }))
-
-(* ---------- stdio transport ---------- *)
-
-let run_stdio ?telemetry_path ?report_path ?metrics_out
-    ?(metrics_interval_s = 1.0) cfg =
-  if metrics_interval_s <= 0. then
-    invalid_arg "Server.run_stdio: metrics_interval_s must be > 0";
-  let telemetry_oc =
-    Option.map
-      (fun p -> open_out_gen [ Open_append; Open_creat ] 0o644 p)
-      telemetry_path
-  in
-  let emit line =
-    print_string line;
-    print_newline ();
-    flush stdout
-  in
-  let telemetry =
-    Option.map
-      (fun oc line ->
-        output_string oc line;
-        output_char oc '\n';
-        flush oc)
-      telemetry_oc
-  in
-  let t = create ?telemetry cfg ~emit in
-  (* periodic Prometheus flush: write-then-rename so scrapers never see
-     a half-written exposition *)
-  let flush_metrics path =
-    let tmp = path ^ ".tmp" in
-    try
-      Obs.Export.write_prometheus tmp (metrics t);
-      Sys.rename tmp path
-    with Sys_error _ -> ()
-  in
-  let metrics_stop = Atomic.make false in
-  let flusher =
-    Option.map
-      (fun path ->
-        Domain.spawn (fun () ->
-            let rec loop () =
-              if Atomic.get metrics_stop then ()
-              else begin
-                (* nap in small steps so shutdown is prompt even with a
-                   long flush interval *)
-                let slept = ref 0. in
-                while !slept < metrics_interval_s && not (Atomic.get metrics_stop) do
-                  let step = Float.min 0.02 (metrics_interval_s -. !slept) in
-                  Unix.sleepf step;
-                  slept := !slept +. step
-                done;
-                flush_metrics path;
-                loop ()
-              end
-            in
-            loop ()))
-      metrics_out
-  in
-  let sigterm = Atomic.make false in
-  let previous =
-    Sys.signal Sys.sigterm (Sys.Signal_handle (fun _ -> Atomic.set sigterm true))
-  in
-  let buf = Buffer.create 4096 in
-  let chunk = Bytes.create 4096 in
-  let eof = ref false in
-  let feed_complete_lines () =
-    let s = Buffer.contents buf in
-    let rec go start =
-      match String.index_from_opt s start '\n' with
-      | Some j ->
-        let line = String.sub s start (j - start) in
-        if String.trim line <> "" then submit t line;
-        go (j + 1)
-      | None -> start
-    in
-    let consumed = go 0 in
-    if consumed > 0 then begin
-      Buffer.clear buf;
-      Buffer.add_substring buf s consumed (String.length s - consumed)
-    end
-  in
-  while (not !eof) && (not (Atomic.get sigterm)) && not (draining t) do
-    match Unix.select [ Unix.stdin ] [] [] 0.05 with
-    | [], _, _ -> ()
-    | _ :: _, _, _ -> (
-      match Unix.read Unix.stdin chunk 0 (Bytes.length chunk) with
-      | 0 -> eof := true
-      | k ->
-        Buffer.add_subbytes buf chunk 0 k;
-        feed_complete_lines ()
-      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ())
-    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
-  done;
-  (* a final line without trailing newline still counts *)
-  (if not (draining t) then
-     let rest = String.trim (Buffer.contents buf) in
-     if rest <> "" then submit t rest);
-  initiate_drain t;
-  let report = await_drain t in
-  Atomic.set metrics_stop true;
-  Option.iter Domain.join flusher;
-  (* final flush covers everything served, including the tail between
-     the last periodic write and the drain *)
-  Option.iter flush_metrics metrics_out;
-  (match report_path with
-  | Some path -> Engine.Run_report.write_json path report
-  | None -> ());
-  emit
-    (Printf.sprintf "{\"event\":\"drained\",\"stats\":%s,\"report\":%s}" (stats_json t)
-       (Engine.Run_report.to_json report));
-  Option.iter close_out telemetry_oc;
-  Sys.set_signal Sys.sigterm previous
+      admit t ~id ~reply (W_solve { params = p; specs; key; followers = [] }))

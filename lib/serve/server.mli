@@ -3,11 +3,16 @@
     One {!t} owns a bounded request queue, a {!Runtime.Pool} worker set
     of solver domains, a {!Runtime.Cache} of proven-optimal allocations
     keyed by {!Hslb.Alloc_model.fingerprint}, and an in-flight dedupe
-    table over the same key. The transport (stdin/stdout NDJSON — see
-    {!run_stdio}) feeds raw request lines to {!submit}; every response
-    goes out through the [emit] callback, one JSON line per admitted or
-    rejected request, in completion order (responses carry the request
-    [id], so ordering is not part of the contract).
+    table over the same key. The core is transport-agnostic: a
+    transport ({!Transport_stdio}, {!Transport_socket}, or a test
+    harness) feeds raw request lines to {!submit} together with the
+    reply sink of the connection each line arrived on; every response
+    goes out through that sink, one JSON line per admitted or rejected
+    request, in completion order (responses carry the request [id], so
+    ordering is not part of the contract). Sinks from different
+    connections may be called concurrently from worker domains but
+    never interleave mid-line — all of them are serialized under one
+    internal emit lock.
 
     {2 Admission control}
 
@@ -66,24 +71,31 @@ val default_config : unit -> config
 type t
 
 (** [create ?telemetry config ~emit] — start the worker domains.
-    [emit] receives response and event lines (no trailing newline); it
-    is called from worker domains and from [submit]'s caller under an
-    internal lock, so it needs no locking of its own. [telemetry], when
-    given, receives one JSON line per finished request (queue wait,
-    solve wall, cache hit, dedup, lane winner) — the replayable trace.
+    [emit] is the {e default} reply sink (used when {!submit} is called
+    without [?reply] — the single-connection transports) and the sink
+    for server-level event lines; it receives lines without a trailing
+    newline and is called from worker domains and from [submit]'s
+    caller under an internal lock, so it needs no locking of its own.
+    [telemetry], when given, receives one JSON line per finished
+    request (queue wait, solve wall, cache hit, dedup, lane winner) —
+    the replayable trace.
     @raise Invalid_argument on a non-positive [jobs]/[queue_limit]. *)
 val create : ?telemetry:(string -> unit) -> config -> emit:(string -> unit) -> t
 
-(** Feed one raw request line. Responses arrive through [emit] — inline
-    for rejections, ping, stats and drain acknowledgements; from a
-    worker domain for solves and sleeps. *)
-val submit : t -> string -> unit
+(** [submit ?reply t line] — feed one raw request line. Responses for
+    this request arrive through [reply] (default: the server-wide
+    [emit]) — inline for rejections, ping, stats and drain
+    acknowledgements; from a worker domain for solves and sleeps. A
+    multi-connection transport passes each connection's writer here;
+    the sink must stay callable after the connection dies (write to a
+    dead peer should be a no-op, not an exception). *)
+val submit : ?reply:(string -> unit) -> t -> string -> unit
 
 val draining : t -> bool
 
 (** Stop admission and start the drain-grace timer. Idempotent. This is
-    what the SIGTERM path ultimately calls ({!run_stdio}'s handler only
-    sets a flag; the transport loop notices it and calls this — it
+    what the SIGTERM path ultimately calls ({!Service.run}'s handler
+    only sets a flag; the transport loop notices it and calls this — it
     takes the server mutex, so it must not run {e inside} a signal
     handler). *)
 val initiate_drain : t -> unit
@@ -105,25 +117,3 @@ val stats_json : t -> string
     [serve_solve_ms]) — the exposition set behind [--metrics-out],
     ready for {!Obs.Export.prometheus}. *)
 val metrics : t -> (string * Obs.Metrics.metric) list
-
-(** [run_stdio ?telemetry_path ?report_path ?metrics_out
-    ?metrics_interval_s config] — the [hslb serve] transport: NDJSON
-    requests on stdin, responses on stdout, warnings on stderr.
-    Installs a SIGTERM handler that initiates drain; EOF on stdin and
-    the [drain] op do the same. Returns once the drain has completed,
-    after emitting a final [{"event":"drained", ...}] line carrying
-    the run report and stats (and writing the report to [report_path]
-    when given). [telemetry_path] appends per-request telemetry lines
-    to a file; each line carries a monotonic [ts_mono_s] timestamp and
-    the instantaneous [queue_depth]. [metrics_out] periodically (every
-    [metrics_interval_s] seconds, default 1.0, must be positive)
-    rewrites a Prometheus text-exposition file with {!metrics}, using
-    write-then-rename so readers never see a torn file; a final flush
-    happens after drain. *)
-val run_stdio :
-  ?telemetry_path:string ->
-  ?report_path:string ->
-  ?metrics_out:string ->
-  ?metrics_interval_s:float ->
-  config ->
-  unit

@@ -1,0 +1,104 @@
+(* The lifecycle runner shared by every serving process. [Server.t]
+   (one solve backend) and [Router.t] (a fleet front-end) both reduce
+   to a [core]; [run] wraps one core with the machinery every
+   deployment shape needs — SIGTERM → drain, the periodic Prometheus
+   flusher, the final run report and the terminal drained event — and
+   pumps requests through whatever transport [make_listener] builds. *)
+
+type core = {
+  handler : Transport.handler;
+  initiate_drain : unit -> unit;
+  draining : unit -> bool;
+  await_drain : unit -> Engine.Run_report.t;
+  stats_json : unit -> string;
+  metrics : unit -> (string * Obs.Metrics.metric) list;
+}
+
+let core_of_server s =
+  {
+    handler =
+      {
+        Transport.submit = (fun ~reply line -> Server.submit ~reply s line);
+        draining = (fun () -> Server.draining s);
+      };
+    initiate_drain = (fun () -> Server.initiate_drain s);
+    draining = (fun () -> Server.draining s);
+    await_drain = (fun () -> Server.await_drain s);
+    stats_json = (fun () -> Server.stats_json s);
+    metrics = (fun () -> Server.metrics s);
+  }
+
+let stdout_events line =
+  print_string line;
+  print_newline ();
+  flush stdout
+
+let run ?report_path ?metrics_out ?(metrics_interval_s = 1.0) ?events
+    ?(eof_drains = false) core ~make_listener =
+  if metrics_interval_s <= 0. then
+    invalid_arg "Service.run: metrics_interval_s must be > 0";
+  let events = Option.value events ~default:stdout_events in
+  (* periodic Prometheus flush: write-then-rename so scrapers never see
+     a half-written exposition *)
+  let flush_metrics path =
+    let tmp = path ^ ".tmp" in
+    try
+      Obs.Export.write_prometheus tmp (core.metrics ());
+      Sys.rename tmp path
+    with Sys_error _ -> ()
+  in
+  let metrics_stop = Atomic.make false in
+  let flusher =
+    Option.map
+      (fun path ->
+        Domain.spawn (fun () ->
+            let rec loop () =
+              if Atomic.get metrics_stop then ()
+              else begin
+                (* nap in small steps so shutdown is prompt even with a
+                   long flush interval *)
+                let slept = ref 0. in
+                while !slept < metrics_interval_s && not (Atomic.get metrics_stop) do
+                  let step = Float.min 0.02 (metrics_interval_s -. !slept) in
+                  Unix.sleepf step;
+                  slept := !slept +. step
+                done;
+                flush_metrics path;
+                loop ()
+              end
+            in
+            loop ()))
+      metrics_out
+  in
+  let sigterm = Atomic.make false in
+  let previous =
+    Sys.signal Sys.sigterm (Sys.Signal_handle (fun _ -> Atomic.set sigterm true))
+  in
+  (* the handler only sets a flag: [initiate_drain] takes mutexes, so
+     it must never run inside a signal handler. Transports poll [stop],
+     notice the flag, unwind, and the drain proper happens below. *)
+  let stop () = Atomic.get sigterm || core.draining () in
+  let listener = make_listener ~stop in
+  let hooks =
+    if eof_drains then
+      { Transport.no_hooks with on_disconnect = (fun _ -> core.initiate_drain ()) }
+    else Transport.no_hooks
+  in
+  Transport.drive ~hooks listener core.handler;
+  Transport.shutdown listener;
+  core.initiate_drain ();
+  let report = core.await_drain () in
+  Atomic.set metrics_stop true;
+  Option.iter Domain.join flusher;
+  (* final flush covers everything served, including the tail between
+     the last periodic write and the drain *)
+  Option.iter flush_metrics metrics_out;
+  (match report_path with
+  | Some path -> Engine.Run_report.write_json path report
+  | None -> ());
+  events
+    (Printf.sprintf "{\"event\":\"drained\",\"stats\":%s,\"report\":%s}"
+       (core.stats_json ())
+       (Engine.Run_report.to_json report));
+  Sys.set_signal Sys.sigterm previous;
+  report

@@ -1,0 +1,91 @@
+(* The transport interface the serve core is written against. A
+   transport owns connections; the core owns request semantics. The
+   two meet at exactly two points: [handler.submit] (a raw line plus
+   the reply sink of the connection it arrived on) and [conn]
+   (read-line/write-line/close). Everything else — admission, dedupe,
+   deadlines, drain — lives behind the handler and never learns what
+   fd, pipe or buffer the bytes crossed. *)
+
+type conn = {
+  peer : string;  (* human-readable endpoint, for logs and hooks *)
+  read_line : unit -> string option;
+      (* Blocking. [Some line] is the next complete frame (no
+         terminator). [None] is final: the peer closed, or the
+         transport's stop condition fired. Implementations must poll
+         their stop condition while blocked so a drain unwedges every
+         reader. *)
+  write_line : string -> unit;
+      (* One frame out (terminator added by the transport). Must be a
+         no-op — never an exception — once the peer is gone: replies
+         can race a disconnecting client. *)
+  close : unit -> unit;  (* idempotent *)
+}
+
+module type S = sig
+  type t
+
+  val name : t -> string
+
+  (* Block until the next connection, or [None] once the listener is
+     shut down or its stop condition fired. [None] is final. *)
+  val accept : t -> conn option
+
+  (* Stop producing connections and unblock a blocked [accept].
+     Idempotent. Existing connections are not touched — the drain
+     machinery finishes them. *)
+  val shutdown : t -> unit
+end
+
+type listener = Listener : (module S with type t = 'a) * 'a -> listener
+
+let listener_name (Listener ((module T), l)) = T.name l
+let accept (Listener ((module T), l)) = T.accept l
+let shutdown (Listener ((module T), l)) = T.shutdown l
+
+(* ---------- the service side ---------- *)
+
+(* what a transport pumps lines into: the server core ({!Server}) and
+   the fleet router ({!Router}) both provide one *)
+type handler = {
+  submit : reply:(string -> unit) -> string -> unit;
+  draining : unit -> bool;
+}
+
+(* lifecycle hooks, fired from the accept loop ([on_connect]) and the
+   connection's own domain ([on_disconnect]) *)
+type hooks = { on_connect : conn -> unit; on_disconnect : conn -> unit }
+
+let no_hooks = { on_connect = (fun _ -> ()); on_disconnect = (fun _ -> ()) }
+
+(* serve one connection to completion on the calling domain *)
+let serve_conn handler conn =
+  let rec loop () =
+    match conn.read_line () with
+    | None -> ()
+    | Some line ->
+      if String.trim line <> "" then handler.submit ~reply:conn.write_line line;
+      loop ()
+  in
+  Fun.protect ~finally:conn.close loop
+
+(* Accept loop: one domain per connection, joined before returning so
+   a completed drive leaves no orphaned readers. Returns when [accept]
+   answers [None] — the transport was shut down (the runner does that
+   once the handler starts draining) or ran out of connections. *)
+let drive ?(hooks = no_hooks) listener handler =
+  let readers = ref [] in
+  let rec accept_loop () =
+    match accept listener with
+    | None -> ()
+    | Some conn ->
+      hooks.on_connect conn;
+      let d =
+        Domain.spawn (fun () ->
+            serve_conn handler conn;
+            hooks.on_disconnect conn)
+      in
+      readers := d :: !readers;
+      accept_loop ()
+  in
+  accept_loop ();
+  List.iter Domain.join !readers

@@ -1,0 +1,128 @@
+(* The original transport, now a thin adapter: stdin is a single
+   pre-accepted connection, stdout is its reply sink. Byte-compatible
+   with the pre-split server — same select cadence, same buffered line
+   splitting, same final-partial-line handling, same flush-per-line
+   writes — so the PR 4/5 fixtures drive the refactored core
+   unchanged. *)
+
+type t = {
+  stop : unit -> bool;
+  mutable handed_out : bool;
+  shut : bool Atomic.t;
+}
+
+let name _ = "stdio"
+
+let make_conn t =
+  let buf = Buffer.create 4096 in
+  let chunk = Bytes.create 4096 in
+  let lines = Queue.create () in
+  let eof = ref false in
+  let split_complete_lines () =
+    let s = Buffer.contents buf in
+    let rec go start =
+      match String.index_from_opt s start '\n' with
+      | Some j ->
+        Queue.push (String.sub s start (j - start)) lines;
+        go (j + 1)
+      | None -> start
+    in
+    let consumed = go 0 in
+    if consumed > 0 then begin
+      Buffer.clear buf;
+      Buffer.add_substring buf s consumed (String.length s - consumed)
+    end
+  in
+  let rec read_line () =
+    if not (Queue.is_empty lines) then Some (Queue.pop lines)
+    else if !eof then None
+    else if t.stop () then
+      (* drain/SIGTERM: stop reading; an unterminated partial stays
+         unprocessed, exactly as before the split *)
+      None
+    else
+      match Unix.select [ Unix.stdin ] [] [] 0.05 with
+      | [], _, _ -> read_line ()
+      | _ :: _, _, _ -> (
+        match Unix.read Unix.stdin chunk 0 (Bytes.length chunk) with
+        | 0 ->
+          eof := true;
+          (* a final line without trailing newline still counts *)
+          let rest = String.trim (Buffer.contents buf) in
+          Buffer.clear buf;
+          if rest <> "" then Some rest else None
+        | k ->
+          Buffer.add_subbytes buf chunk 0 k;
+          split_complete_lines ();
+          read_line ()
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> read_line ())
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> read_line ()
+  in
+  let write_line line =
+    print_string line;
+    print_newline ();
+    flush stdout
+  in
+  { Transport.peer = "stdio"; read_line; write_line; close = (fun () -> ()) }
+
+let accept t =
+  if t.shut |> Atomic.get then None
+  else if not t.handed_out then begin
+    t.handed_out <- true;
+    Some (make_conn t)
+  end
+  else begin
+    (* the one connection is out: block until drain/shutdown *)
+    let rec wait () =
+      if Atomic.get t.shut || t.stop () then None
+      else begin
+        Unix.sleepf 0.05;
+        wait ()
+      end
+    in
+    wait ()
+  end
+
+let shutdown t = Atomic.set t.shut true
+
+let listener ~stop () =
+  Transport.Listener
+    ( (module struct
+        type nonrec t = t
+
+        let name = name
+        let accept = accept
+        let shutdown = shutdown
+      end),
+      { stop; handed_out = false; shut = Atomic.make false } )
+
+(* the [hslb serve] stdio entry point: NDJSON requests on stdin,
+   responses and the final drained event on stdout *)
+let run ?telemetry_path ?report_path ?metrics_out ?metrics_interval_s cfg =
+  let telemetry_oc =
+    Option.map
+      (fun p -> open_out_gen [ Open_append; Open_creat ] 0o644 p)
+      telemetry_path
+  in
+  let telemetry =
+    Option.map
+      (fun oc line ->
+        output_string oc line;
+        output_char oc '\n';
+        flush oc)
+      telemetry_oc
+  in
+  let events line =
+    print_string line;
+    print_newline ();
+    flush stdout
+  in
+  let server = Server.create ?telemetry cfg ~emit:events in
+  let report =
+    Service.run ?report_path ?metrics_out ?metrics_interval_s ~events
+      ~eof_drains:true
+      (Service.core_of_server server)
+      ~make_listener:(fun ~stop -> listener ~stop ())
+  in
+  Option.iter close_out telemetry_oc;
+  ignore (report : Engine.Run_report.t)

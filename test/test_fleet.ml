@@ -1,0 +1,500 @@
+(* Fleet-layer tests: the consistent-hash ring (determinism, balance,
+   ~1/N movement under membership change), the socket transport's wire
+   behaviour (framing, the exact numeric-"op" diagnostic, drain), and
+   the router end-to-end over two attached backends — sharding by
+   fingerprint, dedupe/cache locality, fan-out aggregation, fleet
+   drain, and ring shrink when an attached backend dies. *)
+
+let wait_until ?(timeout = 20.0) msg f =
+  let rec go left =
+    if f () then ()
+    else if left <= 0. then Alcotest.failf "timed out waiting for %s" msg
+    else (
+      Unix.sleepf 0.01;
+      go (left -. 0.01))
+  in
+  go timeout
+
+(* ---------- Ring ---------- *)
+
+let keys n = List.init n (Printf.sprintf "key-%d")
+
+let test_ring_deterministic () =
+  let open Serve.Ring in
+  let a = make ~vnodes:64 [ "b0"; "b1"; "b2" ] in
+  (* insertion order must not matter: the ring is a pure function of
+     the member set *)
+  let b = make ~vnodes:64 [ "b2"; "b0"; "b1" ] in
+  List.iter
+    (fun k ->
+      let owner = shard a k in
+      Alcotest.(check string) ("stable " ^ k) owner (shard a k);
+      Alcotest.(check string) ("order-independent " ^ k) owner (shard b k))
+    (keys 500);
+  (* equal fingerprints shard equally — the property the router's
+     cache locality rests on *)
+  let csv = "alpha,4,100,0.001,1,0.5\nbeta,2,50,0.001,1,0.2" in
+  let spec model =
+    Serve.Protocol.
+      {
+        model;
+        n_total = 32;
+        objective = Hslb.Objective.Min_max;
+        deadline_ms = None;
+        solver = None;
+        strategy = None;
+        allowed = None;
+      }
+  in
+  let fp m =
+    match Serve.Protocol.fingerprint (spec m) with
+    | Ok f -> f
+    | Error e -> Alcotest.failf "fingerprint: %s" e
+  in
+  let f1 = fp (`Inline csv) and f2 = fp (`Inline csv) in
+  Alcotest.(check string) "equal instances, equal fingerprints" f1 f2;
+  Alcotest.(check string) "equal fingerprints, equal shard" (shard a f1) (shard a f2)
+
+let test_ring_dedup_and_errors () =
+  let open Serve.Ring in
+  let t = make [ "x"; "y"; "x"; "y"; "x" ] in
+  Alcotest.(check (list string)) "duplicates dropped" [ "x"; "y" ] (backends t);
+  Alcotest.(check bool) "not empty" false (is_empty t);
+  let e = make [] in
+  Alcotest.(check bool) "empty" true (is_empty e);
+  (match shard e "k" with
+  | exception Invalid_argument _ -> ()
+  | (_ : string) -> Alcotest.fail "shard on empty ring accepted");
+  match make ~vnodes:0 [ "x" ] with
+  | exception Invalid_argument _ -> ()
+  | (_ : t) -> Alcotest.fail "vnodes 0 accepted"
+
+let shard_counts ring ks =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun k ->
+      let b = Serve.Ring.shard ring k in
+      Hashtbl.replace tbl b (1 + Option.value ~default:0 (Hashtbl.find_opt tbl b)))
+    ks;
+  tbl
+
+let test_ring_balance () =
+  (* with enough points per backend no shard may hog the space: this
+     is the property the fleet benchmark's cache-capacity margin rests
+     on (a 512-vnode 2-ring split 48 keys ~24/24, not 11/37) *)
+  let ks = keys 20_000 in
+  let check_balance ~vnodes names lo hi =
+    let ring = Serve.Ring.make ~vnodes names in
+    let counts = shard_counts ring ks in
+    List.iter
+      (fun name ->
+        let share =
+          float_of_int (Option.value ~default:0 (Hashtbl.find_opt counts name))
+          /. float_of_int (List.length ks)
+        in
+        Alcotest.(check bool)
+          (Printf.sprintf "%d-ring share of %s in [%g,%g] (got %g)" (List.length names)
+             name lo hi share)
+          true
+          (share >= lo && share <= hi))
+      names
+  in
+  check_balance ~vnodes:512 [ "backend-0"; "backend-1" ] 0.40 0.60;
+  check_balance ~vnodes:256 [ "a"; "b"; "c"; "d" ] 0.15 0.35
+
+let test_ring_stability () =
+  let open Serve.Ring in
+  let ks = keys 10_000 in
+  let before = make ~vnodes:128 [ "b0"; "b1"; "b2"; "b3" ] in
+  let after = add before "b4" in
+  let moved, stolen =
+    List.fold_left
+      (fun (moved, stolen) k ->
+        let was = shard before k and is_now = shard after k in
+        if was = is_now then (moved, stolen)
+        else (moved + 1, stolen + if is_now = "b4" then 1 else 0))
+      (0, 0) ks
+  in
+  (* adding the 5th backend remaps ~1/5 of the space... *)
+  let frac = float_of_int moved /. float_of_int (List.length ks) in
+  Alcotest.(check bool)
+    (Printf.sprintf "add moves ~1/5 of keys (got %g)" frac)
+    true
+    (frac > 0.05 && frac < 0.40);
+  (* ...and every moved key moves TO the newcomer — existing shards
+     never trade keys among themselves, so their caches stay hot *)
+  Alcotest.(check int) "moved keys all go to the new backend" moved stolen;
+  (* removal is the exact inverse *)
+  let shrunk = remove after "b4" in
+  List.iter
+    (fun k ->
+      Alcotest.(check string) ("remove restores " ^ k) (shard before k) (shard shrunk k))
+    ks;
+  Alcotest.(check (list string)) "remove unknown is id" (backends before)
+    (backends (remove before "nope"))
+
+(* ---------- Protocol regression ---------- *)
+
+let test_numeric_op_message () =
+  (* the exact diagnostic is part of the wire contract now — clients
+     match on it (see docs/SERVE.md) *)
+  match Serve.Protocol.parse_line {|{"id":1,"op":7}|} with
+  | { req = Error msg; _ } ->
+    Alcotest.(check string) "numeric op diagnostic"
+      {|field "op": expected a string, got a number|} msg
+  | { req = Ok _; _ } -> Alcotest.fail "numeric op accepted"
+
+(* ---------- Socket transport harness ---------- *)
+
+let sock_counter = Atomic.make 0
+
+let fresh_sock () =
+  Filename.concat (Filename.get_temp_dir_name ())
+    (Printf.sprintf "hslb-fleet-%d-%d.sock" (Unix.getpid ())
+       (Atomic.fetch_and_add sock_counter 1))
+
+(* one in-process serve backend behind a unix socket: Server core +
+   Transport_socket listener + Transport.drive on its own domain —
+   the same wiring `hslb serve --listen` uses, minus Service.run's
+   process-level trimmings *)
+type backend = {
+  core : Serve.Service.core;
+  sock : string;
+  driver : unit Domain.t;
+}
+
+let start_backend ?(jobs = 1) ?(cache_capacity = 8) () =
+  let cfg =
+    {
+      Serve.Server.jobs;
+      queue_limit = 16;
+      cache_capacity;
+      drain_grace_s = 5.0;
+      default_solver = Engine.Solver_choice.Oa;
+      default_strategy = `Single Engine.Solver_choice.Oa;
+      audit = false;
+    }
+  in
+  let server = Serve.Server.create cfg ~emit:(fun _ -> ()) in
+  let core = Serve.Service.core_of_server server in
+  let sock = fresh_sock () in
+  let listener =
+    Serve.Transport_socket.listen
+      ~stop:(fun () -> core.Serve.Service.draining ())
+      (Serve.Transport_socket.Unix_path sock)
+  in
+  let driver =
+    Domain.spawn (fun () ->
+        Serve.Transport.drive
+          (Serve.Transport_socket.listener listener)
+          core.Serve.Service.handler;
+        Serve.Transport_socket.shutdown listener)
+  in
+  { core; sock; driver }
+
+let stop_backend b =
+  b.core.Serve.Service.initiate_drain ();
+  let report = b.core.Serve.Service.await_drain () in
+  Domain.join b.driver;
+  report
+
+let parse_json line =
+  match Serve.Json.parse line with
+  | Ok v -> v
+  | Error e -> Alcotest.failf "unparseable response %s: %s" line e
+
+let outcome_of v =
+  match Option.bind (Serve.Json.member "outcome" v) Serve.Json.str with
+  | Some o -> o
+  | None -> Alcotest.failf "response without outcome: %s" (Serve.Json.to_string v)
+
+let recv_lines ?(timeout_s = 20.) client n =
+  let deadline = Unix.gettimeofday () +. timeout_s in
+  let rec go acc k =
+    if k = 0 then List.rev_map parse_json acc
+    else if Unix.gettimeofday () > deadline then
+      Alcotest.failf "timed out with %d/%d responses" (n - k) n
+    else
+      match Serve.Transport_socket.Client.recv client with
+      | `Line l -> go (l :: acc) (k - 1)
+      | `Timeout -> go acc k
+      | `Eof -> Alcotest.failf "eof with %d/%d responses" (n - k) n
+  in
+  go [] n
+
+let model_csv = "alpha,4,100,0.001,1,0.5\nbeta,2,50,0.001,1,0.2"
+
+let solve_line ?(id = 1) ?(nodes = 32) () =
+  Printf.sprintf {|{"id":%d,"model_csv":%s,"nodes":%d}|} id
+    (Serve.Json.to_string (Serve.Json.Str model_csv))
+    nodes
+
+let find_by_id vs id =
+  match
+    List.find_opt
+      (fun v -> Serve.Json.member "id" v = Some (Serve.Json.Num (float_of_int id)))
+      vs
+  with
+  | Some v -> v
+  | None -> Alcotest.failf "no response with id %d" id
+
+let test_socket_addr_parse () =
+  let open Serve.Transport_socket in
+  (match addr_of_string "unix:/tmp/x.sock" with
+  | Ok (Unix_path "/tmp/x.sock") -> ()
+  | _ -> Alcotest.fail "unix addr");
+  (match addr_of_string "tcp::9000" with
+  | Ok (Tcp ("127.0.0.1", 9000)) -> ()
+  | _ -> Alcotest.fail "tcp empty-host addr");
+  (match addr_of_string "tcp:10.0.0.1:80" with
+  | Ok (Tcp ("10.0.0.1", 80)) -> ()
+  | _ -> Alcotest.fail "tcp addr");
+  List.iter
+    (fun bad ->
+      match addr_of_string bad with
+      | Error _ -> ()
+      | Ok a -> Alcotest.failf "accepted %s as %s" bad (addr_to_string a))
+    [ "nope"; "tcp:h"; "tcp:h:notaport"; "tcp:h:70000"; "unix:"; "" ]
+
+let test_socket_e2e () =
+  let b = start_backend () in
+  Fun.protect
+    ~finally:(fun () -> ignore (stop_backend b))
+    (fun () ->
+      let client =
+        Serve.Transport_socket.Client.connect (Serve.Transport_socket.Unix_path b.sock)
+      in
+      let send l =
+        Alcotest.(check bool) ("send " ^ l) true
+          (Serve.Transport_socket.Client.send client l)
+      in
+      send {|{"id":1,"op":"ping"}|};
+      send {|{"id":2,"op":7}|};
+      send (solve_line ~id:3 ());
+      let vs = recv_lines client 3 in
+      Alcotest.(check string) "ping ok" "ok" (outcome_of (find_by_id vs 1));
+      let err = find_by_id vs 2 in
+      Alcotest.(check string) "numeric op rejected" "error" (outcome_of err);
+      Alcotest.(check (option string))
+        "numeric op wire diagnostic"
+        (Some {|field "op": expected a string, got a number|})
+        (Option.bind (Serve.Json.member "error" err) Serve.Json.str);
+      Alcotest.(check string) "solve ok" "ok" (outcome_of (find_by_id vs 3));
+      (* drain over the wire: ack arrives, then the server closes *)
+      send {|{"id":4,"op":"drain"}|};
+      let ack = find_by_id (recv_lines client 1) 4 in
+      Alcotest.(check string) "drain acked" "ok" (outcome_of ack);
+      wait_until "drain-initiated eof" (fun () ->
+          match Serve.Transport_socket.Client.recv client with
+          | `Eof -> true
+          | `Line _ | `Timeout -> false);
+      Serve.Transport_socket.Client.close client)
+
+(* ---------- Router over attached backends ---------- *)
+
+type sink = { mutex : Mutex.t; lines : string list ref }
+
+let make_sink () = { mutex = Mutex.create (); lines = ref [] }
+
+let sink_reply s l = Mutex.protect s.mutex (fun () -> s.lines := l :: !(s.lines))
+
+let sink_values s =
+  List.rev_map parse_json (Mutex.protect s.mutex (fun () -> !(s.lines)))
+
+let with_two_backend_router f =
+  let b0 = start_backend () and b1 = start_backend () in
+  let attach name (b : backend) =
+    Serve.Router.Attach { name; addr = Serve.Transport_socket.Unix_path b.sock }
+  in
+  let router =
+    Serve.Router.create
+      ~cfg:{ (Serve.Router.default_config ()) with Serve.Router.vnodes = 512 }
+      ~events:(fun _ -> ())
+      [ attach "backend-0" b0; attach "backend-1" b1 ]
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      ignore (Serve.Router.await_drain router);
+      (* the fleet drain fanned a drain op to both backends; their
+         cores wind down on their own *)
+      ignore (stop_backend b0);
+      ignore (stop_backend b1))
+    (fun () -> f router (b0, b1))
+
+let backend_field v =
+  match Option.bind (Serve.Json.member "backend" v) Serve.Json.str with
+  | Some b -> b
+  | None -> Alcotest.failf "response without backend field: %s" (Serve.Json.to_string v)
+
+let test_router_shards_and_dedupes () =
+  with_two_backend_router (fun router _ ->
+      let s = make_sink () in
+      let submit l = Serve.Router.submit router ~reply:(sink_reply s) l in
+      (* two requests for the same instance plus one distinct: the
+         twins must land on one backend and share its dedupe table or
+         cache; nothing reaches the other shard for that key *)
+      submit (solve_line ~id:1 ());
+      submit (solve_line ~id:2 ());
+      submit (solve_line ~id:3 ~nodes:16 ());
+      wait_until "3 solve answers" (fun () -> List.length (sink_values s) >= 3);
+      let vs = sink_values s in
+      List.iter
+        (fun id ->
+          Alcotest.(check string)
+            (Printf.sprintf "id %d ok" id)
+            "ok"
+            (outcome_of (find_by_id vs id)))
+        [ 1; 2; 3 ];
+      let b1 = backend_field (find_by_id vs 1) in
+      Alcotest.(check string) "equal instances, one shard" b1
+        (backend_field (find_by_id vs 2));
+      let shared =
+        List.exists
+          (fun id ->
+            match Serve.Json.member "telemetry" (find_by_id vs id) with
+            | Some tele ->
+              Serve.Json.member "dedup" tele = Some (Serve.Json.Bool true)
+              || Serve.Json.member "cache_hit" tele = Some (Serve.Json.Bool true)
+            | None -> false)
+          [ 1; 2 ]
+      in
+      Alcotest.(check bool) "twin deduped or cache-hit" true shared;
+      (* fan-outs aggregate over both backends *)
+      submit {|{"id":10,"op":"ping"}|};
+      wait_until "ping answer" (fun () -> List.length (sink_values s) >= 4);
+      let pong = find_by_id (sink_values s) 10 in
+      Alcotest.(check string) "ping ok" "ok" (outcome_of pong);
+      (match Serve.Json.member "backends" pong with
+      | Some bs ->
+        Alcotest.(check (option int)) "ping total" (Some 2)
+          (Option.bind (Serve.Json.member "total" bs) Serve.Json.int_);
+        Alcotest.(check (option int)) "ping ok count" (Some 2)
+          (Option.bind (Serve.Json.member "ok" bs) Serve.Json.int_)
+      | None -> Alcotest.fail "ping without backends aggregate");
+      submit {|{"id":11,"op":"stats"}|};
+      wait_until "stats answer" (fun () -> List.length (sink_values s) >= 5);
+      let stats = find_by_id (sink_values s) 11 in
+      match
+        Option.bind (Serve.Json.member "stats" stats) (Serve.Json.member "backends")
+      with
+      | Some (Serve.Json.Obj fields) ->
+        Alcotest.(check (list string))
+          "stats carry both backends" [ "backend-0"; "backend-1" ]
+          (List.sort compare (List.map fst fields))
+      | _ -> Alcotest.failf "stats missing backends: %s" (Serve.Json.to_string stats))
+
+let test_router_drain_rejects () =
+  with_two_backend_router (fun router _ ->
+      let s = make_sink () in
+      Serve.Router.initiate_drain router;
+      Alcotest.(check bool) "draining" true (Serve.Router.draining router);
+      Serve.Router.submit router ~reply:(sink_reply s) (solve_line ~id:21 ());
+      wait_until "draining rejection" (fun () -> sink_values s <> []);
+      Alcotest.(check string) "solve refused while draining" "draining"
+        (outcome_of (find_by_id (sink_values s) 21)))
+
+let test_router_attached_death_shrinks_ring () =
+  let b0 = start_backend () and b1 = start_backend () in
+  let attach name (b : backend) =
+    Serve.Router.Attach { name; addr = Serve.Transport_socket.Unix_path b.sock }
+  in
+  let router =
+    Serve.Router.create
+      ~events:(fun _ -> ())
+      [ attach "backend-0" b0; attach "backend-1" b1 ]
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      ignore (Serve.Router.await_drain router);
+      ignore (stop_backend b0);
+      ignore (stop_backend b1))
+    (fun () ->
+      let s = make_sink () in
+      let submit l = Serve.Router.submit router ~reply:(sink_reply s) l in
+      (* kill backend-1 out from under the router: an attached death
+         shrinks the ring instead of respawning *)
+      ignore (stop_backend b1);
+      let next_id = ref 100 in
+      wait_until "router notices the death" (fun () ->
+          incr next_id;
+          submit (Printf.sprintf {|{"id":%d,"op":"ping"}|} !next_id);
+          List.exists
+            (fun v ->
+              Serve.Json.member "id" v = Some (Serve.Json.Num (float_of_int !next_id))
+              &&
+              match Serve.Json.member "backends" v with
+              | Some bs ->
+                Option.bind (Serve.Json.member "ok" bs) Serve.Json.int_ = Some 1
+              | None -> false)
+            (sink_values s));
+      (* every distinct key now shards to the survivor and still solves *)
+      let ids = [ 201; 202; 203; 204 ] in
+      List.iteri (fun i id -> submit (solve_line ~id ~nodes:(16 + i) ())) ids;
+      wait_until "solves answered by the survivor" (fun () ->
+          List.for_all
+            (fun id ->
+              List.exists
+                (fun v ->
+                  Serve.Json.member "id" v
+                  = Some (Serve.Json.Num (float_of_int id)))
+                (sink_values s))
+            ids);
+      let vs = sink_values s in
+      List.iter
+        (fun id ->
+          let v = find_by_id vs id in
+          Alcotest.(check string) (Printf.sprintf "id %d ok" id) "ok" (outcome_of v);
+          Alcotest.(check string)
+            (Printf.sprintf "id %d on the survivor" id)
+            "backend-0" (backend_field v))
+        ids)
+
+let test_router_drain_report () =
+  let b0 = start_backend () and b1 = start_backend () in
+  let router =
+    Serve.Router.create
+      ~events:(fun _ -> ())
+      [
+        Attach { name = "backend-0"; addr = Serve.Transport_socket.Unix_path b0.sock };
+        Attach { name = "backend-1"; addr = Serve.Transport_socket.Unix_path b1.sock };
+      ]
+  in
+  let s = make_sink () in
+  Serve.Router.submit router ~reply:(sink_reply s) (solve_line ~id:1 ());
+  wait_until "answer before drain" (fun () -> sink_values s <> []);
+  let report = Serve.Router.await_drain router in
+  Alcotest.(check string) "router report solver" "route"
+    report.Engine.Run_report.solver;
+  Alcotest.(check string) "router report status" "drained"
+    report.Engine.Run_report.status;
+  ignore (stop_backend b0);
+  ignore (stop_backend b1);
+  Alcotest.(check bool) "draining after await" true (Serve.Router.draining router)
+
+let () =
+  Alcotest.run "fleet"
+    [
+      ( "ring",
+        [
+          Alcotest.test_case "deterministic" `Quick test_ring_deterministic;
+          Alcotest.test_case "dedup + errors" `Quick test_ring_dedup_and_errors;
+          Alcotest.test_case "balance" `Quick test_ring_balance;
+          Alcotest.test_case "membership stability" `Quick test_ring_stability;
+        ] );
+      ( "protocol",
+        [ Alcotest.test_case "numeric op diagnostic" `Quick test_numeric_op_message ] );
+      ( "socket",
+        [
+          Alcotest.test_case "addr parse" `Quick test_socket_addr_parse;
+          Alcotest.test_case "e2e + drain" `Quick test_socket_e2e;
+        ] );
+      ( "router",
+        [
+          Alcotest.test_case "shards + dedupes + fan-out" `Quick
+            test_router_shards_and_dedupes;
+          Alcotest.test_case "drain rejects" `Quick test_router_drain_rejects;
+          Alcotest.test_case "attached death shrinks ring" `Quick
+            test_router_attached_death_shrinks_ring;
+          Alcotest.test_case "drain report" `Quick test_router_drain_report;
+        ] );
+    ]
