@@ -24,7 +24,11 @@
    Pass [--fleet FILE] to run the 1-vs-2-backend serving locality
    benchmark (spawned `hslb serve` processes behind an in-process
    router) and write BENCH_fleet.json. Flag spellings and semantics
-   are shared with the hslb CLI via [Cli_common]. *)
+   are shared with the hslb CLI via [Cli_common].
+
+   Pass [--arena FILE] to race every scheduler family over the
+   workload-scenario zoo and write the BENCH_arena.json regret matrix
+   (experiment E13; validated by `hslb obs --arena-bench`). *)
 
 open Bechamel
 open Toolkit
@@ -454,6 +458,17 @@ let write_fleet_bench path =
     path b.Serve.Loadgen.single.Serve.Loadgen.throughput_rps
     b.Serve.Loadgen.fleet.Serve.Loadgen.throughput_rps b.Serve.Loadgen.speedup
 
+(* ---------- scheduler arena benchmark (--arena FILE) ---------- *)
+
+(* the E13 regret matrix as a machine-readable artifact, identical to
+   `hslb_cli arena --out` (see docs/ARENA.md): every scheduler family
+   raced over the full scenario zoo at the canonical seed *)
+let write_arena_bench path =
+  let t = Arena.Race.run ~seed:42 Arena.Scenario.all_classes in
+  Arena.Race.write_bench path t;
+  Format.printf "%a@." Arena.Race.pp t;
+  Format.printf "arena benchmark written to %s@." path
+
 let pretty_time ns =
   if ns < 1e3 then Printf.sprintf "%.1f ns" ns
   else if ns < 1e6 then Printf.sprintf "%.2f us" (ns /. 1e3)
@@ -503,6 +518,11 @@ let () =
   (match find_opt "fleet" with
   | Some path ->
     write_fleet_bench path;
+    exit 0
+  | None -> ());
+  (match find_opt "arena" with
+  | Some path ->
+    write_arena_bench path;
     exit 0
   | None -> ());
   let trace = find_opt "trace" in

@@ -11,6 +11,8 @@
                 independent certificate checking (the CI soundness gate)
      obs        validate observability artifacts (Chrome traces,
                 Prometheus expositions) — the CI artifact gate
+     arena      race the scheduler families over the workload-scenario
+                zoo and print the regret-vs-dynamic matrix (E13)
      experiment regenerate one or all of the paper's tables/figures
      list       list available experiments
 
@@ -560,13 +562,33 @@ let serve_cmd =
       & info [ "solver" ] ~doc:"Default solver for requests that don't name one.")
   in
   let strategy = Cli_common.strategy_arg in
+  let policy_from =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "policy-from" ] ~docv:"FILE"
+          ~doc:
+            "Load the scenario-class → scheduler table answered for $(i,policy) hints \
+             from a BENCH_arena.json artifact (as written by $(b,hslb arena --out) or \
+             $(b,bench --arena)) instead of the built-in table.")
+  in
   let run jobs queue_limit cache_capacity drain_grace_ms telemetry metrics_out
-      metrics_interval_ms no_audit solver strategy listen report =
+      metrics_interval_ms no_audit solver strategy policy_from listen report =
     (match jobs with Some j -> Runtime.Config.set_jobs j | None -> ());
     if metrics_interval_ms <= 0. then begin
       Format.eprintf "hslb serve: --metrics-interval-ms must be positive@.";
       exit 2
     end;
+    let policy =
+      match policy_from with
+      | None -> Arena.Policy.builtin
+      | Some path -> (
+        match Arena.Policy.of_bench_file path with
+        | Ok p -> p
+        | Error msg ->
+          Format.eprintf "hslb serve: --policy-from: %s@." msg;
+          exit 2)
+    in
     let cfg =
       {
         Serve.Server.jobs = Runtime.Config.jobs ();
@@ -576,6 +598,7 @@ let serve_cmd =
         default_solver = solver;
         default_strategy = strategy;
         audit = not no_audit;
+        policy;
       }
     in
     match listen with
@@ -640,8 +663,92 @@ let serve_cmd =
           deduped, proven optima are cached, and SIGTERM drains gracefully.")
     Term.(
       const run $ jobs $ queue_limit $ cache_capacity $ drain_grace_ms $ telemetry
-      $ metrics_out $ metrics_interval_ms $ no_audit $ solver $ strategy $ listen_arg
-      $ report_arg)
+      $ metrics_out $ metrics_interval_ms $ no_audit $ solver $ strategy $ policy_from
+      $ listen_arg $ report_arg)
+
+(* ---------- arena: scheduler race over the workload-scenario zoo ---------- *)
+
+let arena_cmd =
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Scenario generator seed.") in
+  let quick =
+    Arg.(
+      value
+      & flag
+      & info [ "quick" ] ~doc:"Reduced sizes: 4 phases of 24 tasks instead of 8 of 48.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:
+            "Write the regret matrix as a BENCH_arena.json artifact (schema \
+             $(i,hslb-bench-arena-v1)) — the file $(b,hslb obs --arena-bench) \
+             validates and $(b,hslb serve --policy-from) consumes.")
+  in
+  let classes_arg =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "class" ] ~docv:"CLASS"
+          ~doc:
+            "Race only this scenario class (repeatable): steady | bursty | \
+             multi-tenant | heavy-tailed | drifting | failure. Default: all six.")
+  in
+  let scenario_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "scenario-out" ] ~docv:"PREFIX"
+          ~doc:
+            "Also write each raced scenario as PREFIX-CLASS.ndjson, the replayable \
+             trace format $(b,hslb loadgen --scenario) consumes.")
+  in
+  let run seed quick out classes scenario_out =
+    let classes =
+      match classes with
+      | [] -> Arena.Scenario.all_classes
+      | specs ->
+        List.map
+          (fun s ->
+            match Arena.Scenario.class_of_string s with
+            | Ok c -> c
+            | Error msg ->
+              Format.eprintf "hslb arena: %s@." msg;
+              exit 2)
+          specs
+    in
+    let phases = if quick then 4 else 8 in
+    let tasks_per_phase = if quick then 24 else 48 in
+    let t = Arena.Race.run ~phases ~tasks_per_phase ~seed classes in
+    Format.printf "%a@." Arena.Race.pp t;
+    (match scenario_out with
+    | None -> ()
+    | Some prefix ->
+      List.iter
+        (fun cls ->
+          let sc = Arena.Scenario.generate ~phases ~tasks_per_phase cls ~seed in
+          let path =
+            Printf.sprintf "%s-%s.ndjson" prefix (Arena.Scenario.class_to_string cls)
+          in
+          Out_channel.with_open_text path (fun oc ->
+              Out_channel.output_string oc (Arena.Scenario.to_ndjson sc));
+          Format.printf "scenario written to %s@." path)
+        classes);
+    match out with
+    | None -> ()
+    | Some path ->
+      Arena.Race.write_bench path t;
+      Format.printf "arena benchmark written to %s@." path
+  in
+  Cmd.v
+    (Cmd.info "arena"
+       ~doc:
+         "Race every scheduler family (dynamic, static LPT, work stealing, hybrid \
+          rebalancing, diffusive exchange) over the seeded workload-scenario zoo and \
+          print the regret-vs-dynamic matrix (experiment E13). The per-class winners \
+          become the policy table $(b,hslb serve) answers for $(i,policy) hints.")
+    Term.(const run $ seed $ quick $ out $ classes_arg $ scenario_out)
 
 (* ---------- route: fingerprint-sharded solve fleet ---------- *)
 
@@ -844,6 +951,18 @@ let loadgen_cmd =
              $(b,expired) (0: never).")
   in
   let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Trace generator seed.") in
+  let scenario =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "scenario" ] ~docv:"FILE"
+          ~doc:
+            "Replay an arena scenario trace (the NDJSON $(b,hslb arena --scenario-out) \
+             writes) instead of the synthetic mix: each task becomes a solve carrying \
+             the scenario class as its $(i,policy) hint, each phase gap a sleep. \
+             Malformed traces are rejected with a line-numbered diagnostic. Only with \
+             $(b,--connect).")
+  in
   let rate =
     Arg.(
       value
@@ -868,8 +987,8 @@ let loadgen_cmd =
     Arg.(value & opt string "run" & info [ "label" ] ~doc:"Label in the emitted result.")
   in
   let run connect bench_out backends requests distinct classes nodes sleep_every
-      sleep_ms expire_every seed rate window drain label deadline_ms jobs queue_limit
-      cache_capacity =
+      sleep_ms expire_every seed scenario rate window drain label deadline_ms jobs
+      queue_limit cache_capacity =
     let spec =
       {
         (Serve.Loadgen.default_spec ()) with
@@ -889,7 +1008,22 @@ let loadgen_cmd =
       Format.eprintf "hslb loadgen: pass exactly one of --connect or --bench-out@.";
       exit 2
     | Some addr, None ->
-      let trace = Serve.Loadgen.make_trace spec in
+      let trace =
+        match scenario with
+        | None -> Serve.Loadgen.make_trace spec
+        | Some path -> (
+          match Arena.Scenario.read_file path with
+          | Ok sc ->
+            Format.printf "scenario %s: class %s, %d phases, %d tasks@."
+              sc.Arena.Scenario.name
+              (Arena.Scenario.class_to_string sc.Arena.Scenario.cls)
+              (Array.length sc.Arena.Scenario.phases)
+              (Arena.Scenario.num_tasks sc);
+            Serve.Loadgen.trace_of_scenario sc
+          | Error msg ->
+            Format.eprintf "hslb loadgen: %s@." msg;
+            exit 2)
+      in
       let r =
         try
           Serve.Loadgen.run ~label ?rate_rps:rate ~window ~drain_at_end:drain
@@ -908,6 +1042,10 @@ let loadgen_cmd =
         exit 1
       end
     | None, Some path ->
+      if scenario <> None then begin
+        Format.eprintf "hslb loadgen: --scenario requires --connect@.";
+        exit 2
+      end;
       if backends < 2 then begin
         Format.eprintf "hslb loadgen: --backends must be >= 2 for --bench-out@.";
         exit 2
@@ -957,8 +1095,8 @@ let loadgen_cmd =
           N-backend fleet on the same trace and write BENCH_fleet.json.")
     Term.(
       const run $ connect $ bench_out $ backends $ requests $ distinct $ classes
-      $ nodes $ sleep_every $ sleep_ms $ expire_every $ seed $ rate $ window $ drain
-      $ label $ Cli_common.deadline_ms_arg $ Cli_common.jobs_arg
+      $ nodes $ sleep_every $ sleep_ms $ expire_every $ seed $ scenario $ rate
+      $ window $ drain $ label $ Cli_common.deadline_ms_arg $ Cli_common.jobs_arg
       $ Cli_common.queue_limit_arg $ Cli_common.cache_capacity_arg)
 
 (* ---------- obs: validate observability artifacts ---------- *)
@@ -994,6 +1132,19 @@ let obs_cmd =
              $(b,loadgen --bench-out) writes): single and fleet runs each with \
              throughput, outcome counts and latency quantiles, plus the speedup \
              ratio.")
+  in
+  let arena_bench =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "arena-bench" ] ~docv:"FILE"
+          ~doc:
+            "Validate FILE as an arena regret matrix (the artifact $(b,hslb arena \
+             --out) or $(b,bench --arena) writes): schema hslb-bench-arena-v1, at \
+             least 3 scenario classes raced over all five scheduler families, every \
+             row complete with its winner the regret argmin and the dynamic baseline \
+             at zero regret. Prints one greppable $(i,arena regret ...) line per \
+             cell.")
   in
   let read_file path =
     let ic = open_in_bin path in
@@ -1078,11 +1229,95 @@ let obs_cmd =
       Ok speedup
     | _ -> Error "root must be a JSON object"
   in
-  let run chrome_trace prometheus fleet_bench =
-    if chrome_trace = None && prometheus = None && fleet_bench = None then begin
+  (* same spirit as check_fleet_bench: re-derive every claim the
+     artifact makes instead of trusting it. The arena matrix is a
+     CI gate (ci.sh greps the per-cell lines), so the checks are the
+     acceptance criteria: full scheduler roster, enough classes,
+     complete rows, winner = argmin, dynamic pinned at zero regret. *)
+  let check_arena_bench json =
+    let ( let* ) = Result.bind in
+    let* t = Arena.Race.of_json json in
+    let required = [ "dynamic"; "static"; "stealing"; "hybrid"; "diffusive" ] in
+    let* () =
+      match
+        List.filter (fun s -> not (List.mem s t.Arena.Race.schedulers)) required
+      with
+      | [] -> Ok ()
+      | missing ->
+        Error
+          (Printf.sprintf "missing scheduler families: %s" (String.concat ", " missing))
+    in
+    let* () =
+      let n = List.length t.Arena.Race.rows in
+      if n >= 3 then Ok ()
+      else Error (Printf.sprintf "only %d scenario classes raced (need >= 3)" n)
+    in
+    let check_row (r : Arena.Race.row) =
+      let tag e = Printf.sprintf "row %S: %s" r.Arena.Race.scenario e in
+      let names = List.map (fun c -> c.Arena.Race.scheduler) r.Arena.Race.cells in
+      let* () =
+        if names = t.Arena.Race.schedulers then Ok ()
+        else
+          Error
+            (tag
+               (Printf.sprintf "cells [%s] do not match the scheduler roster [%s]"
+                  (String.concat "; " names)
+                  (String.concat "; " t.Arena.Race.schedulers)))
+      in
+      let* () =
+        match
+          List.find_opt
+            (fun c ->
+              c.Arena.Race.scheduler = "dynamic"
+              && Float.abs c.Arena.Race.regret_vs_dynamic > 1e-9)
+            r.Arena.Race.cells
+        with
+        | Some c ->
+          Error
+            (tag
+               (Printf.sprintf "dynamic baseline has nonzero regret %g"
+                  c.Arena.Race.regret_vs_dynamic))
+        | None -> Ok ()
+      in
+      let* best =
+        match
+          List.fold_left
+            (fun best (c : Arena.Race.cell) ->
+              match best with
+              | Some (b : Arena.Race.cell)
+                when b.Arena.Race.regret_vs_dynamic <= c.Arena.Race.regret_vs_dynamic
+                -> best
+              | _ -> Some c)
+            None r.Arena.Race.cells
+        with
+        | Some b -> Ok b
+        | None -> Error (tag "no cells")
+      in
+      if best.Arena.Race.scheduler = r.Arena.Race.winner then Ok ()
+      else
+        Error
+          (tag
+             (Printf.sprintf "winner %S is not the regret argmin (%S at %+.3f)"
+                r.Arena.Race.winner best.Arena.Race.scheduler
+                best.Arena.Race.regret_vs_dynamic))
+    in
+    let* () =
+      List.fold_left
+        (fun acc r ->
+          let* () = acc in
+          check_row r)
+        (Ok ()) t.Arena.Race.rows
+    in
+    Ok t
+  in
+  let run chrome_trace prometheus fleet_bench arena_bench =
+    if
+      chrome_trace = None && prometheus = None && fleet_bench = None
+      && arena_bench = None
+    then begin
       Format.eprintf
-        "hslb obs: nothing to validate (pass --chrome-trace, --prometheus or \
-         --fleet-bench)@.";
+        "hslb obs: nothing to validate (pass --chrome-trace, --prometheus, \
+         --fleet-bench or --arena-bench)@.";
       exit 2
     end;
     let ok = ref true in
@@ -1121,6 +1356,31 @@ let obs_cmd =
         | Error msg ->
           Format.eprintf "%s: invalid fleet bench: %s@." path msg;
           ok := false)));
+    (match arena_bench with
+    | None -> ()
+    | Some path -> (
+      match Obs.Json.parse (read_file path) with
+      | Error msg ->
+        Format.eprintf "%s: JSON parse error %s@." path msg;
+        ok := false
+      | Ok json -> (
+        match check_arena_bench json with
+        | Ok t ->
+          List.iter
+            (fun (r : Arena.Race.row) ->
+              List.iter
+                (fun (c : Arena.Race.cell) ->
+                  Format.printf "arena regret class=%s sched=%s value=%.6f@."
+                    (Arena.Scenario.class_to_string r.Arena.Race.cls)
+                    c.Arena.Race.scheduler c.Arena.Race.regret_vs_dynamic)
+                r.Arena.Race.cells)
+            t.Arena.Race.rows;
+          Format.printf "%s: valid arena bench, %d classes x %d schedulers@." path
+            (List.length t.Arena.Race.rows)
+            (List.length t.Arena.Race.schedulers)
+        | Error msg ->
+          Format.eprintf "%s: invalid arena bench: %s@." path msg;
+          ok := false)));
     if not !ok then exit 1
   in
   Cmd.v
@@ -1128,9 +1388,10 @@ let obs_cmd =
        ~doc:
          "Validate observability artifacts: Chrome trace_event JSON from \
           $(b,bench --trace), Prometheus text exposition from \
-          $(b,serve --metrics-out), and fleet benchmark JSON from \
-          $(b,loadgen --bench-out). Exits non-zero if any fails to parse.")
-    Term.(const run $ chrome_trace $ prometheus $ fleet_bench)
+          $(b,serve --metrics-out), fleet benchmark JSON from \
+          $(b,loadgen --bench-out), and arena regret matrices from \
+          $(b,hslb arena --out). Exits non-zero if any fails to parse.")
+    Term.(const run $ chrome_trace $ prometheus $ fleet_bench $ arena_bench)
 
 (* ---------- audit: fault-injection stress sweep ---------- *)
 
@@ -1226,6 +1487,7 @@ let () =
             serve_cmd;
             route_cmd;
             loadgen_cmd;
+            arena_cmd;
             minlp_cmd;
             fmo_cmd;
             layouts_cmd;

@@ -25,6 +25,14 @@
 # validates BENCH_fleet.json with `hslb_cli obs --fleet-bench`,
 # failing the build under a 1.5x speedup (see docs/SERVE.md).
 #
+# The arena stage races all five scheduler families over a quick
+# four-class scenario zoo, validates BENCH_arena.json with
+# `hslb_cli obs --arena-bench`, gates on the hybrid rebalancer beating
+# the stale static map on the drifting class, checks that
+# `hslb serve --policy-from` answers policy hints with the matrix's
+# own winners, and replays a zoo trace end-to-end through
+# `hslb loadgen --scenario` (see docs/ARENA.md).
+#
 # lib/obs/, lib/runtime/, lib/audit/ and lib/serve/ compile with
 # -warn-error +a (see their dune files), so any new compiler warning
 # there fails this build.
@@ -235,6 +243,75 @@ speedup=$("$SERVE_BIN" obs --fleet-bench "$SMOKE_DIR/BENCH_fleet.json" \
   | grep -o 'speedup [0-9.]*' | cut -d' ' -f2)
 awk "BEGIN { exit !($speedup >= 1.5) }" || {
   echo "fleet bench: speedup $speedup below the 1.5x locality bar" >&2
+  exit 1
+}
+
+echo "== arena: scheduler race + regret matrix (BENCH_arena.json) =="
+# a quick seeded zoo — four classes is comfortably over the >= 3 bar,
+# raced across all five scheduler families — plus replayable traces
+"$SERVE_BIN" arena --quick \
+  --class steady --class heavy-tailed --class drifting --class failure \
+  --out "$SMOKE_DIR/BENCH_arena.json" --scenario-out "$SMOKE_DIR/zoo" \
+  > "$SMOKE_DIR/arena.out"
+cat "$SMOKE_DIR/arena.out"
+# the matrix artifact must pass the schema/completeness validator
+"$SERVE_BIN" obs --arena-bench "$SMOKE_DIR/BENCH_arena.json" \
+  > "$SMOKE_DIR/arena_check.out"
+# the tentpole claim: on the drifting class, where group speeds decay
+# mid-run, the hybrid rebalancer must beat the stale static map
+hybrid=$(grep 'class=drifting sched=hybrid' "$SMOKE_DIR/arena_check.out" \
+  | grep -o 'value=.*' | cut -d= -f2)
+static=$(grep 'class=drifting sched=static' "$SMOKE_DIR/arena_check.out" \
+  | grep -o 'value=.*' | cut -d= -f2)
+awk "BEGIN { exit !($hybrid < $static) }" || {
+  echo "arena: hybrid regret $hybrid not below static regret $static on drifting" >&2
+  exit 1
+}
+# serve answers policy hints from the matrix just produced: the
+# drifting recommendation on the wire must be the matrix's own winner
+winner=$(grep -o '"drifting":"[a-z]*"' "$SMOKE_DIR/BENCH_arena.json" \
+  | cut -d: -f2 | tr -d '"')
+printf '%s\n' \
+  '{"id":1,"model_csv":"alpha,4,100,0.001,1,0.5","nodes":16,"policy":"drifting"}' \
+  | "$SERVE_BIN" serve --jobs 1 --policy-from "$SMOKE_DIR/BENCH_arena.json" \
+  > "$SMOKE_DIR/arena_serve.out"
+grep -q "\"policy\":{\"scenario\":\"drifting\",\"scheduler\":\"$winner\"}" \
+  "$SMOKE_DIR/arena_serve.out" || {
+  echo "arena: serve did not answer the drifting policy hint with \"$winner\"" >&2
+  exit 1
+}
+
+echo "== arena: scenario trace replay through a live server =="
+# the steady zoo trace back through loadgen --scenario: every task is
+# a policy-hinted solve, and all of them must come home
+"$SERVE_BIN" serve --jobs 2 --no-audit \
+  --listen "unix:$SMOKE_DIR/arena.sock" > "$SMOKE_DIR/arena_listen.out" &
+ARENA_PID=$!
+for _ in $(seq 1 100); do
+  [ -S "$SMOKE_DIR/arena.sock" ] && break
+  sleep 0.1
+done
+[ -S "$SMOKE_DIR/arena.sock" ] || {
+  echo "arena replay: serve socket never appeared" >&2
+  exit 1
+}
+"$SERVE_BIN" loadgen --connect "unix:$SMOKE_DIR/arena.sock" \
+  --scenario "$SMOKE_DIR/zoo-steady.ndjson" --drain \
+  > "$SMOKE_DIR/arena_replay.json"
+if ! wait "$ARENA_PID"; then
+  echo "arena replay: server exited non-zero after drain" >&2
+  exit 1
+fi
+# the server must have counted a policy hint on every solve
+hints=$(grep -o '"policy_hints":[0-9]*' "$SMOKE_DIR/arena_replay.json" \
+  | head -1 | cut -d: -f2)
+[ "${hints:-0}" -gt 0 ] || {
+  echo "arena replay: server counted no policy hints" >&2
+  exit 1
+}
+grep -o '"outcomes":{[^}]*}' "$SMOKE_DIR/arena_replay.json" \
+  | grep -q '"ok":' || {
+  echo "arena replay: no \"ok\" outcome in replay result" >&2
   exit 1
 }
 

@@ -1,0 +1,200 @@
+module Sim = Gddi.Sim
+module Schedulers = Gddi.Schedulers
+(* lib/machine is unwrapped: Topology is a top-level module *)
+
+type t =
+  | Dynamic
+  | Static_lpt
+  | Stealing
+  | Hybrid of { interval : int; start : int }
+  | Diffusive of { rounds : int }
+
+let all =
+  [ Dynamic; Static_lpt; Stealing; Hybrid { interval = 2; start = 1 }; Diffusive { rounds = 3 } ]
+
+let name = function
+  | Dynamic -> "dynamic"
+  | Static_lpt -> "static"
+  | Stealing -> "stealing"
+  | Hybrid _ -> "hybrid"
+  | Diffusive _ -> "diffusive"
+
+let of_name s =
+  match List.find_opt (fun b -> name b = s) all with
+  | Some b -> Ok b
+  | None ->
+      Error
+        (Printf.sprintf "unknown balancer %S (expected %s)" s
+           (String.concat " | " (List.map name all)))
+
+type outcome = {
+  total_makespan : float;
+  phase_makespans : float array;
+  mean_utilization : float;
+}
+
+(* Serialization cost of the centralized dynamic dispatcher — grows
+   with group count, the effect the SC 2012 paper measures. *)
+let dispatch_latency ~groups = 0.001 *. float_of_int groups
+
+(* Cost charged to the hybrid balancer each time it adopts fresh speed
+   observations: gathering loads and recomputing the map is a
+   collective, so it scales with group count. *)
+let rebalance_cost ~groups = 0.005 *. float_of_int groups
+
+(* Recover per-group speed from a finished phase: each group's nominal
+   work (at speed 1) over its busy time. Exact for our duration model
+   [cost / (speed · nodes)]; groups that ran nothing keep their old
+   estimate. *)
+let observe_speeds ~partition ~costs (r : Sim.result) est =
+  let groups = Array.length partition in
+  let work = Array.make groups 0.0 in
+  Array.iteri
+    (fun task g -> work.(g) <- work.(g) +. costs.(task)) r.Sim.assignment;
+  for g = 0 to groups - 1 do
+    let busy = r.Sim.group_busy.(g) in
+    if busy > 1e-12 then
+      est.(g) <- work.(g) /. float_of_int partition.(g).Gddi.Group.nodes /. busy
+  done
+
+(* Neighborhood graph for diffusive exchange: place the groups
+   compactly on a near-cubic torus, take min-hop distance between
+   group node sets, and connect each group to its nearest other
+   group(s), symmetrized. *)
+let neighbor_graph ~groups ~nodes_per_group =
+  let topo = Topology.for_nodes (groups * nodes_per_group) in
+  let sizes = List.init groups (fun _ -> nodes_per_group) in
+  let ids = Array.of_list (Topology.place topo ~placement:Compact ~sizes) in
+  let dist g h =
+    let best = ref max_int in
+    Array.iter
+      (fun a ->
+        Array.iter
+          (fun b ->
+            let d = Topology.distance topo a b in
+            if d < !best then best := d)
+          ids.(h))
+      ids.(g);
+    !best
+  in
+  let neighbors = Array.make groups [] in
+  let add g h = if not (List.mem h neighbors.(g)) then neighbors.(g) <- h :: neighbors.(g) in
+  for g = 0 to groups - 1 do
+    let best = ref max_int in
+    for h = 0 to groups - 1 do
+      if h <> g then best := min !best (dist g h)
+    done;
+    for h = 0 to groups - 1 do
+      if h <> g && dist g h = !best then begin
+        add g h;
+        add h g
+      end
+    done
+  done;
+  Array.map (fun l -> List.sort compare l) neighbors
+
+(* One diffusion sweep: for every edge (g, h) with g more loaded,
+   move the largest task on g whose move strictly lowers the pair's
+   max predicted finish. Deterministic: groups ascending, candidate
+   tasks scanned by descending cost then ascending id. *)
+let diffuse ~partition ~costs ~est ~neighbors ~rounds map =
+  let groups = Array.length partition in
+  let num_tasks = Array.length map in
+  let rate g = est.(g) *. float_of_int partition.(g).Gddi.Group.nodes in
+  let load = Array.make groups 0.0 in
+  for t = 0 to num_tasks - 1 do
+    load.(map.(t)) <- load.(map.(t)) +. (costs.(t) /. rate map.(t))
+  done;
+  for _ = 1 to rounds do
+    for g = 0 to groups - 1 do
+      List.iter
+        (fun h ->
+          if load.(g) > load.(h) then begin
+            let before = load.(g) in
+            let best = ref (-1) in
+            for t = 0 to num_tasks - 1 do
+              if map.(t) = g then begin
+                let dg = costs.(t) /. rate g and dh = costs.(t) /. rate h in
+                let after = Float.max (load.(g) -. dg) (load.(h) +. dh) in
+                if after < before -. 1e-12
+                   && (!best = -1 || costs.(t) > costs.(!best)) then best := t
+              end
+            done;
+            if !best >= 0 then begin
+              let t = !best in
+              load.(g) <- load.(g) -. (costs.(t) /. rate g);
+              load.(h) <- load.(h) +. (costs.(t) /. rate h);
+              map.(t) <- h
+            end
+          end)
+        neighbors.(g)
+    done
+  done;
+  map
+
+let run ?(on_phase = fun _ _ -> ()) (sc : Scenario.t) b =
+  let partition = Scenario.partition sc in
+  let groups = sc.Scenario.groups in
+  let phases = sc.Scenario.phases in
+  let n_phases = Array.length phases in
+  let phase_makespans = Array.make n_phases 0.0 in
+  let util_sum = ref 0.0 in
+  (* adaptive state (hybrid and diffusive): planner-side speed
+     estimates, refreshed from the previous phase's observations *)
+  let est = Array.make groups 1.0 in
+  let observed = Array.make groups 1.0 in
+  let neighbors =
+    match b with
+    | Diffusive _ -> neighbor_graph ~groups ~nodes_per_group:sc.Scenario.nodes_per_group
+    | _ -> [||]
+  in
+  Array.iteri
+    (fun i (p : Scenario.phase) ->
+      let costs = p.Scenario.costs in
+      let num_tasks = Array.length costs in
+      let duration ~task ~group =
+        costs.(task)
+        /. (p.Scenario.speed.(group.Gddi.Group.id)
+            *. float_of_int group.Gddi.Group.nodes)
+      in
+      (* planner's estimate: nominal or observed speeds, never the
+         oracle truth *)
+      let predicted speeds ~task ~group =
+        costs.(task)
+        /. (speeds.(group.Gddi.Group.id) *. float_of_int group.Gddi.Group.nodes)
+      in
+      let extra = ref 0.0 in
+      let schedule =
+        match b with
+        | Dynamic -> Sim.Dynamic
+        | Static_lpt ->
+            Sim.Static
+              (Schedulers.lpt partition
+                 ~predicted:(predicted (Array.make groups 1.0))
+                 ~num_tasks)
+        | Stealing -> Sim.Stealing (Schedulers.round_robin ~num_tasks ~num_groups:groups)
+        | Hybrid { interval; start } ->
+            if i >= start && (i - start) mod max 1 interval = 0 then begin
+              Array.blit observed 0 est 0 groups;
+              extra := rebalance_cost ~groups
+            end;
+            Sim.Static (Schedulers.lpt partition ~predicted:(predicted est) ~num_tasks)
+        | Diffusive { rounds } ->
+            Array.blit observed 0 est 0 groups;
+            let map = Schedulers.round_robin ~num_tasks ~num_groups:groups in
+            Sim.Static (diffuse ~partition ~costs ~est ~neighbors ~rounds map)
+      in
+      let dispatch_latency =
+        match b with Dynamic -> dispatch_latency ~groups | _ -> 0.0
+      in
+      let r = Sim.run_phase ~dispatch_latency partition ~num_tasks ~duration schedule in
+      observe_speeds ~partition ~costs r observed;
+      on_phase i r;
+      phase_makespans.(i) <- r.Sim.makespan +. !extra;
+      util_sum := !util_sum +. Sim.utilization partition r)
+    phases;
+  {
+    total_makespan = Array.fold_left ( +. ) 0.0 phase_makespans;
+    phase_makespans;
+    mean_utilization = !util_sum /. float_of_int (max 1 n_phases);
+  }

@@ -1,0 +1,47 @@
+(** Scheduler families raced in the arena.
+
+    Three are the repo's existing modes ({!Gddi.Sim.schedule} plus the
+    LPT planner); two are new:
+
+    - {e hybrid} — static LPT whose per-group speed estimates are
+      refreshed from observed loads only every [interval] phases
+      starting at phase [start] (the SLB/ALB [interval]/[start] design
+      from tristan-v2's [m_loadbalancing]); a small rebalance cost is
+      charged at each refresh, so rebalancing has to earn its keep
+      (Boulmier et al.).
+    - {e diffusive} — neighbor-only exchange of indivisible tasks on a
+      {!Machine.Topology} neighborhood graph (Demirel & Sbalzarini):
+      each phase starts round-robin and runs a few diffusion sweeps
+      that move the largest improving task between topology-adjacent
+      groups, using speed estimates refreshed every phase. *)
+
+type t =
+  | Dynamic  (** centralized pull, pays dispatch latency per task *)
+  | Static_lpt  (** LPT with nominal speeds; never adapts *)
+  | Stealing  (** round-robin seed + deterministic work stealing *)
+  | Hybrid of { interval : int; start : int }
+  | Diffusive of { rounds : int }
+
+(** The five raced families with default parameters — the matrix
+    columns required by E13 and the ci.sh arena gate. *)
+val all : t list
+
+(** Short matrix/policy name: ["dynamic"], ["static"], ["stealing"],
+    ["hybrid"], ["diffusive"]. Parameters are not encoded. *)
+val name : t -> string
+
+(** [of_name s] — inverse of {!name}, default parameters for the
+    parameterized families. *)
+val of_name : string -> (t, string) result
+
+type outcome = {
+  total_makespan : float;  (** sum of phase makespans (gaps excluded) *)
+  phase_makespans : float array;
+  mean_utilization : float;  (** mean node-weighted busy fraction *)
+}
+
+(** [run scenario b] — simulate every phase of [scenario] under [b].
+    Deterministic: costs are the scenario's, durations are
+    [cost / (speed · nodes)]. [on_phase] observes each phase's
+    simulation result (for histograms/spans). *)
+val run : ?on_phase:(int -> Gddi.Sim.result -> unit) -> Scenario.t -> t -> outcome

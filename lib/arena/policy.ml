@@ -1,0 +1,38 @@
+type t = (Scenario.cls * string) list
+
+(* Pinned from the default zoo (Race.run ~seed:42, Balancer.all,
+   default dimensions); test_arena checks this table against a fresh
+   run so it cannot drift silently. *)
+let builtin =
+  [
+    (Scenario.Steady, "static");
+    (Scenario.Bursty, "static");
+    (Scenario.Multi_tenant, "static");
+    (Scenario.Heavy_tailed, "static");
+    (Scenario.Drifting, "hybrid");
+    (Scenario.Failure, "stealing");
+  ]
+
+let of_race (race : Race.t) =
+  List.map (fun (r : Race.row) -> (r.Race.cls, r.Race.winner)) race.Race.rows
+
+let of_bench_file path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | exception Sys_error e -> Error e
+  | text -> (
+      match Obs.Json.parse text with
+      | Error e -> Error (Printf.sprintf "%s: %s" path e)
+      | Ok j -> (
+          match Race.of_json j with
+          | Error e -> Error (Printf.sprintf "%s: %s" path e)
+          | Ok race -> Ok (of_race race)))
+
+let recommend t cls =
+  match List.assoc_opt cls t with
+  | Some s -> s
+  | None -> (
+      match List.assoc_opt cls builtin with
+      | Some s -> s
+      | None -> "dynamic" (* unreachable: builtin covers every class *))
+
+let to_assoc t = t

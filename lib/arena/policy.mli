@@ -1,0 +1,25 @@
+(** Scenario class → recommended scheduler, derived from the arena's
+    regret matrix. This is what the serve layer consults when a
+    request carries a [policy] hint: the client names the workload
+    class it believes it is, the server answers with the scheduler the
+    arena crowned for that class. *)
+
+type t
+
+(** Winner table baked in from the default zoo
+    ([Race.run ~seed:42] over every class with {!Balancer.all}) — used
+    when [hslb serve] is not given [--policy-from]. *)
+val builtin : t
+
+(** Winner-per-class table of a completed race. *)
+val of_race : Race.t -> t
+
+(** Load a table from a BENCH_arena.json artifact (as written by
+    [bench --arena] / [hslb arena --out]). *)
+val of_bench_file : string -> (t, string) result
+
+(** [recommend t cls] — the scheduler name for [cls]; falls back to
+    the {!builtin} entry for classes the loaded matrix did not race. *)
+val recommend : t -> Scenario.cls -> string
+
+val to_assoc : t -> (Scenario.cls * string) list

@@ -1,0 +1,215 @@
+module Json = Obs.Json
+
+type cell = {
+  scheduler : string;
+  total_makespan_s : float;
+  mean_utilization : float;
+  regret_vs_dynamic : float;
+}
+
+type row = {
+  scenario : string;
+  cls : Scenario.cls;
+  cells : cell list;
+  winner : string;
+}
+
+type t = {
+  seed : int;
+  phases : int;
+  tasks_per_phase : int;
+  groups : int;
+  nodes_per_group : int;
+  schedulers : string list;
+  rows : row list;
+}
+
+let schema_version = "hslb-bench-arena-v1"
+
+let phase_hist =
+  lazy (Obs.Metrics.histogram ~lo:1e-4 ~hi:1e4 "arena_phase_makespan_s")
+
+let run ?(phases = 8) ?(tasks_per_phase = 48) ?(groups = 8) ?(nodes_per_group = 4)
+    ?(balancers = Balancer.all) ~seed classes =
+  if not (List.mem Balancer.Dynamic balancers) then
+    invalid_arg "Race.run: balancers must include Dynamic (the regret baseline)";
+  let race_row cls =
+    let sc =
+      Scenario.generate ~phases ~tasks_per_phase ~groups ~nodes_per_group cls ~seed
+    in
+    let outcomes =
+      List.map
+        (fun b ->
+          let bname = Balancer.name b in
+          let on_phase _ (r : Gddi.Sim.result) =
+            Obs.Metrics.Histogram.observe (Lazy.force phase_hist) r.Gddi.Sim.makespan
+          in
+          let o =
+            Obs.Span.with_span ~cat:"arena"
+              ~args:[ ("scenario", sc.Scenario.name); ("scheduler", bname) ]
+              ("arena." ^ bname)
+              (fun () -> Balancer.run ~on_phase sc b)
+          in
+          (bname, o))
+        balancers
+    in
+    let dyn =
+      (List.assoc (Balancer.name Balancer.Dynamic) outcomes).Balancer.total_makespan
+    in
+    let cells =
+      List.map
+        (fun (bname, (o : Balancer.outcome)) ->
+          {
+            scheduler = bname;
+            total_makespan_s = o.Balancer.total_makespan;
+            mean_utilization = o.Balancer.mean_utilization;
+            regret_vs_dynamic =
+              (if dyn > 0.0 then (o.Balancer.total_makespan -. dyn) /. dyn else 0.0);
+          })
+        outcomes
+    in
+    let winner =
+      List.fold_left
+        (fun best c ->
+          match best with
+          | Some b when b.regret_vs_dynamic <= c.regret_vs_dynamic -> best
+          | _ -> Some c)
+        None cells
+      |> Option.get
+    in
+    { scenario = sc.Scenario.name; cls; cells; winner = winner.scheduler }
+  in
+  {
+    seed;
+    phases;
+    tasks_per_phase;
+    groups;
+    nodes_per_group;
+    schedulers = List.map Balancer.name balancers;
+    rows = List.map race_row classes;
+  }
+
+(* --- JSON ----------------------------------------------------------- *)
+
+let to_json t =
+  let cell_json c =
+    Json.Obj
+      [
+        ("scheduler", Json.Str c.scheduler);
+        ("total_makespan_s", Json.Num c.total_makespan_s);
+        ("mean_utilization", Json.Num c.mean_utilization);
+        ("regret_vs_dynamic", Json.Num c.regret_vs_dynamic);
+      ]
+  in
+  let row_json r =
+    Json.Obj
+      [
+        ("scenario", Json.Str r.scenario);
+        ("class", Json.Str (Scenario.class_to_string r.cls));
+        ("winner", Json.Str r.winner);
+        ("cells", Json.Arr (List.map cell_json r.cells));
+      ]
+  in
+  Json.Obj
+    [
+      ("schema", Json.Str schema_version);
+      ("seed", Json.Num (float_of_int t.seed));
+      ("phases", Json.Num (float_of_int t.phases));
+      ("tasks_per_phase", Json.Num (float_of_int t.tasks_per_phase));
+      ("groups", Json.Num (float_of_int t.groups));
+      ("nodes_per_group", Json.Num (float_of_int t.nodes_per_group));
+      ("schedulers", Json.Arr (List.map (fun s -> Json.Str s) t.schedulers));
+      ("rows", Json.Arr (List.map row_json t.rows));
+      ( "policy",
+        Json.Obj
+          (List.map
+             (fun r -> (Scenario.class_to_string r.cls, Json.Str r.winner))
+             t.rows) );
+    ]
+
+let of_json j =
+  let ( let* ) = Result.bind in
+  let get what f key obj =
+    match Option.bind (Json.member key obj) f with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "field %S: expected %s" key what)
+  in
+  let int_f = get "an integer" Json.int_ in
+  let num_f = get "a number" Json.num in
+  let str_f = get "a string" Json.str in
+  let arr_f = get "an array" Json.arr in
+  let* schema = str_f "schema" j in
+  if schema <> schema_version then
+    Error (Printf.sprintf "unsupported schema %S (expected %S)" schema schema_version)
+  else
+    let* seed = int_f "seed" j in
+    let* phases = int_f "phases" j in
+    let* tasks_per_phase = int_f "tasks_per_phase" j in
+    let* groups = int_f "groups" j in
+    let* nodes_per_group = int_f "nodes_per_group" j in
+    let* scheds = arr_f "schedulers" j in
+    let* schedulers =
+      List.fold_right
+        (fun v acc ->
+          let* acc = acc in
+          match Json.str v with
+          | Some s -> Ok (s :: acc)
+          | None -> Error "field \"schedulers\": expected an array of strings")
+        scheds (Ok [])
+    in
+    let parse_cell c =
+      let* scheduler = str_f "scheduler" c in
+      let* total_makespan_s = num_f "total_makespan_s" c in
+      let* mean_utilization = num_f "mean_utilization" c in
+      let* regret_vs_dynamic = num_f "regret_vs_dynamic" c in
+      Ok { scheduler; total_makespan_s; mean_utilization; regret_vs_dynamic }
+    in
+    let parse_row r =
+      let* scenario = str_f "scenario" r in
+      let* cls_s = str_f "class" r in
+      let* cls = Scenario.class_of_string cls_s in
+      let* winner = str_f "winner" r in
+      let* cells_j = arr_f "cells" r in
+      let* cells =
+        List.fold_right
+          (fun c acc ->
+            let* acc = acc in
+            let* cell = parse_cell c in
+            Ok (cell :: acc))
+          cells_j (Ok [])
+      in
+      Ok { scenario; cls; cells; winner }
+    in
+    let* rows_j = arr_f "rows" j in
+    let* rows =
+      List.fold_right
+        (fun r acc ->
+          let* acc = acc in
+          let* row = parse_row r in
+          Ok (row :: acc))
+        rows_j (Ok [])
+    in
+    Ok { seed; phases; tasks_per_phase; groups; nodes_per_group; schedulers; rows }
+
+let write_bench path t =
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc (Json.to_string (to_json t));
+      Out_channel.output_char oc '\n')
+
+let pp fmt t =
+  let open Format in
+  fprintf fmt "@[<v>regret vs dynamic (negative = beats dynamic; * = winner)@,";
+  fprintf fmt "%-14s" "class";
+  List.iter (fun s -> fprintf fmt " %12s" s) t.schedulers;
+  fprintf fmt "@,";
+  List.iter
+    (fun r ->
+      fprintf fmt "%-14s" (Scenario.class_to_string r.cls);
+      List.iter
+        (fun c ->
+          let star = if c.scheduler = r.winner then "*" else "" in
+          fprintf fmt " %12s" (sprintf "%+.3f%s" c.regret_vs_dynamic star))
+        r.cells;
+      fprintf fmt "@,")
+    t.rows;
+  fprintf fmt "@]"

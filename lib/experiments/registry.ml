@@ -29,6 +29,7 @@ let all =
       run = E10_scheduler_ablation.run;
     };
     { id = E11_placement.name; describes = E11_placement.describes; run = E11_placement.run };
+    { id = E13_arena.name; describes = E13_arena.describes; run = E13_arena.run };
   ]
 
 let ids () = List.map (fun e -> e.id) all

@@ -14,6 +14,8 @@ let run_phase ?(dispatch_latency = 0.) partition ~num_tasks ~duration schedule =
   let ngroups = Array.length partition in
   if ngroups = 0 then invalid_arg "Sim.run_phase: empty partition";
   if num_tasks < 0 then invalid_arg "Sim.run_phase: negative task count";
+  if dispatch_latency < 0. || not (Float.is_finite dispatch_latency) then
+    invalid_arg "Sim.run_phase: negative or non-finite dispatch latency";
   let busy = Array.make ngroups 0. in
   let finish = Array.make ngroups 0. in
   let assignment = Array.make num_tasks (-1) in
@@ -21,7 +23,10 @@ let run_phase ?(dispatch_latency = 0.) partition ~num_tasks ~duration schedule =
   let execute ?(overhead = 0.) task g_id =
     let g = partition.(g_id) in
     let d = overhead +. duration ~task ~group:g in
-    if d < 0. || Float.is_nan d then invalid_arg "Sim.run_phase: negative or NaN duration";
+    (* non-finite durations (not just NaN) would silently poison every
+       downstream makespan/busy aggregate — reject them at the source *)
+    if d < 0. || not (Float.is_finite d) then
+      invalid_arg "Sim.run_phase: negative or non-finite duration";
     let start = finish.(g_id) in
     finish.(g_id) <- start +. d;
     busy.(g_id) <- busy.(g_id) +. d;

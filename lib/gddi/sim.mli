@@ -38,13 +38,16 @@ type schedule =
           family the paper's introduction surveys. *)
 
 (** [run_phase partition ~num_tasks ~duration schedule] — simulate.
-    [duration ~task ~group] must be non-negative; it is called exactly
-    once per task (so stochastic costs are sampled once, like a real
-    execution). [dispatch_latency] (default 0) is added to every task
-    under [Dynamic] — the serialization cost of the centralized
-    dynamic dispatcher, which grows with group count on real machines
-    and is one reason the paper prefers static balancing at scale.
-    @raise Invalid_argument on malformed static maps. *)
+    [duration ~task ~group] must be non-negative and finite; it is
+    called exactly once per task (so stochastic costs are sampled
+    once, like a real execution). [dispatch_latency] (default 0, must
+    be non-negative and finite) is added to every task under
+    [Dynamic] — the serialization cost of the centralized dynamic
+    dispatcher, which grows with group count on real machines and is
+    one reason the paper prefers static balancing at scale. A
+    zero-task phase is valid under every schedule and yields a zero
+    makespan. @raise Invalid_argument on malformed static maps,
+    non-finite/negative durations or dispatch latency. *)
 val run_phase :
   ?dispatch_latency:float ->
   Group.partition ->

@@ -6,6 +6,7 @@ type solve_params = {
   strategy : Runtime.Portfolio.strategy option;
   deadline_ms : float option;
   allowed : int list option;
+  policy : Arena.Scenario.cls option;
 }
 
 type request =
@@ -84,7 +85,8 @@ let parse_solve v =
         if List.length ints = List.length vs then Ok (Some ints)
         else Error "field \"allowed\": expected an array of integers"))
   in
-  Ok (Solve { model; n_total; objective; solver; strategy; deadline_ms; allowed })
+  let* policy = opt_str_field v "policy" Arena.Scenario.class_of_string in
+  Ok (Solve { model; n_total; objective; solver; strategy; deadline_ms; allowed; policy })
 
 let parse_request v =
   let* op =

@@ -14,6 +14,7 @@ type config = {
   default_solver : Engine.Solver_choice.t;
   default_strategy : Runtime.Portfolio.strategy;
   audit : bool;
+  policy : Arena.Policy.t;
 }
 
 let default_config () =
@@ -25,6 +26,7 @@ let default_config () =
     default_solver = Engine.Solver_choice.Oa;
     default_strategy = `Auto;
     audit = true;
+    policy = Arena.Policy.builtin;
   }
 
 (* a solve admitted to the queue; [followers] are later identical
@@ -34,8 +36,12 @@ type solve_job = {
   params : Protocol.solve_params;
   specs : Hslb.Alloc_model.spec list;
   key : string;
-  (* (request id, arrival time, that request's reply sink) *)
-  mutable followers : (Json.t * float * (string -> unit)) list;
+  (* (request id, arrival time, that request's reply sink, that
+     request's own policy hint). The dedupe key is the pure solve
+     fingerprint — the policy hint is advisory and must not fragment
+     the cache — so each follower keeps its own hint and gets its own
+     recommendation back, not the leader's. *)
+  mutable followers : (Json.t * float * (string -> unit) * Arena.Scenario.cls option) list;
 }
 
 type work = W_solve of solve_job | W_sleep of float
@@ -73,6 +79,7 @@ type t = {
   mutable n_deduped : int;
   mutable n_expired : int;
   mutable n_protocol_errors : int;
+  mutable n_policy_hints : int;
 }
 
 let now () = Unix.gettimeofday ()
@@ -159,9 +166,24 @@ let audit_verdict (p : Protocol.solve_params) specs
     | Hslb.Objective.Max_min | Hslb.Objective.Min_sum ->
       Printf.sprintf "exact-method (%s)" cert.Engine.Certificate.producer)
 
-let ok_response ~id (alloc : Hslb.Alloc_model.allocation) ~audit r =
-  Protocol.response ~id
+(* the policy annotation on an ok response: the scenario class the
+   client declared, and the scheduler the arena's regret matrix crowned
+   for it. Absent when the request carried no hint. *)
+let policy_fields t = function
+  | None -> []
+  | Some cls ->
     [
+      ( "policy",
+        Json.Obj
+          [
+            ("scenario", Json.Str (Arena.Scenario.class_to_string cls));
+            ("scheduler", Json.Str (Arena.Policy.recommend t.cfg.policy cls));
+          ] );
+    ]
+
+let ok_response ~id (alloc : Hslb.Alloc_model.allocation) ~audit ~policy r =
+  Protocol.response ~id
+    ([
       ("outcome", Json.Str "ok");
       ( "status",
         Json.Str (Minlp.Solution.status_to_string alloc.Hslb.Alloc_model.status) );
@@ -176,8 +198,9 @@ let ok_response ~id (alloc : Hslb.Alloc_model.allocation) ~audit r =
           (Array.to_list
              (Array.map (fun v -> Json.Num v) alloc.Hslb.Alloc_model.predicted_times)) );
       ("audit", match audit with Some s -> Json.Str s | None -> Json.Null);
-      ("telemetry", Json.Obj (tele_fields r));
     ]
+    @ policy
+    @ [ ("telemetry", Json.Obj (tele_fields r)) ])
 
 let failed_response ~id status r =
   Protocol.response ~id
@@ -191,9 +214,9 @@ let failed_response ~id status r =
 
 (* ---------- workers ---------- *)
 
-let respond_solve t ~id ~reply ~op result ~audit r =
+let respond_solve t ~id ~reply ~op result ~audit ~policy r =
   (match result with
-  | Ok alloc -> reply_line t reply (ok_response ~id alloc ~audit r)
+  | Ok alloc -> reply_line t reply (ok_response ~id alloc ~audit ~policy r)
   | Error st -> reply_line t reply (failed_response ~id st r));
   let outcome, status =
     match result with
@@ -237,7 +260,7 @@ let process_solve t (job : job) (sj : solve_job) =
     in
     answer job.jid job.reply (zero_tele ~queue_wait_ms:(queue_wait *. 1000.));
     List.iter
-      (fun (fid, arr, freply) ->
+      (fun (fid, arr, freply, _) ->
         answer fid freply (follower_tele arr (zero_tele ~queue_wait_ms:0.)))
       followers;
     locked t (fun () ->
@@ -277,7 +300,7 @@ let process_solve t (job : job) (sj : solve_job) =
     Obs.Metrics.Histogram.observe t.solve_h (solve_wall *. 1000.);
     Obs.Metrics.Histogram.observe t.qwait_h (queue_wait *. 1000.);
     List.iter
-      (fun (_, arr, _) ->
+      (fun (_, arr, _, _) ->
         Obs.Metrics.Histogram.observe t.qwait_h
           (Float.max 0. ((start -. arr) *. 1000.)))
       followers;
@@ -298,11 +321,12 @@ let process_solve t (job : job) (sj : solve_job) =
         | Ok _ | Error _ -> None
       in
       let tele = tele_of cache_hit in
-      respond_solve t ~id:job.jid ~reply:job.reply ~op:"solve" result ~audit tele;
+      respond_solve t ~id:job.jid ~reply:job.reply ~op:"solve" result ~audit
+        ~policy:(policy_fields t p.Protocol.policy) tele;
       List.iter
-        (fun (fid, arr, freply) ->
+        (fun (fid, arr, freply, fpolicy) ->
           respond_solve t ~id:fid ~reply:freply ~op:"solve" result ~audit
-            (follower_tele arr tele))
+            ~policy:(policy_fields t fpolicy) (follower_tele arr tele))
         followers
     | `Crashed msg ->
       let answer id reply tele =
@@ -313,7 +337,7 @@ let process_solve t (job : job) (sj : solve_job) =
       let tele = tele_of false in
       answer job.jid job.reply tele;
       List.iter
-        (fun (fid, arr, freply) -> answer fid freply (follower_tele arr tele))
+        (fun (fid, arr, freply, _) -> answer fid freply (follower_tele arr tele))
         followers);
     locked t (fun () ->
         Engine.Telemetry.merge_into t.tally req_tally;
@@ -417,6 +441,7 @@ let create ?telemetry cfg ~emit =
       n_deduped = 0;
       n_expired = 0;
       n_protocol_errors = 0;
+      n_policy_hints = 0;
     }
   in
   t.workers <- Some (Runtime.Pool.spawn_workers ~jobs:cfg.jobs (worker_body t));
@@ -465,6 +490,7 @@ let stats_obj t =
              ("deduped", Json.Num (float_of_int t.n_deduped));
              ("expired", Json.Num (float_of_int t.n_expired));
              ("protocol_errors", Json.Num (float_of_int t.n_protocol_errors));
+             ("policy_hints", Json.Num (float_of_int t.n_policy_hints));
              ("latency", latency_obj t);
              ( "cache",
                Json.Obj
@@ -551,10 +577,14 @@ let admit t ~id ~reply work =
         else begin
           match work with
           | W_solve sj -> (
+            if sj.params.Protocol.policy <> None then
+              t.n_policy_hints <- t.n_policy_hints + 1;
             match Hashtbl.find_opt t.pending sj.key with
             | Some leader ->
-              (* identical instance already queued or solving: attach *)
-              leader.followers <- (id, job.arrival, reply) :: leader.followers;
+              (* identical instance already queued or solving: attach,
+                 carrying this request's own policy hint *)
+              leader.followers <-
+                (id, job.arrival, reply, sj.params.Protocol.policy) :: leader.followers;
               t.n_accepted <- t.n_accepted + 1;
               t.n_deduped <- t.n_deduped + 1;
               `Attached

@@ -62,10 +62,18 @@ type config = {
   audit : bool;
       (** re-verify each solve's certificate with the independent
           auditor and include the verdict in the response envelope *)
+  policy : Arena.Policy.t;
+      (** scenario-class → scheduler table consulted when a solve
+          carries a ["policy"] hint: the ok response then includes a
+          [policy] object naming the declared scenario class and the
+          recommended scheduler. Advisory only — it never changes the
+          solve or the dedupe/cache key, and every deduped follower
+          gets the recommendation for {e its own} hint. *)
 }
 
 (** jobs from {!Runtime.Config.jobs}, queue limit 64, cache capacity
-    128, grace 2 s, solver oa, strategy auto, audit on. *)
+    128, grace 2 s, solver oa, strategy auto, audit on, policy
+    {!Arena.Policy.builtin}. *)
 val default_config : unit -> config
 
 type t

@@ -1,0 +1,281 @@
+(* Arena tests: scenario-generator determinism (same seed →
+   byte-identical NDJSON; phase content independent of phase count, the
+   two-pass split property), trace round-trip and line-numbered
+   diagnostics, balancer determinism and adaptivity, the regret
+   matrix's shape and winner rule, and the policy table. *)
+
+open Arena
+
+let gen ?phases ?tasks_per_phase cls seed =
+  Scenario.generate ?phases ?tasks_per_phase ~groups:4 ~nodes_per_group:2 cls ~seed
+
+(* ---------- scenario generator ---------- *)
+
+let test_class_strings () =
+  List.iter
+    (fun c ->
+      match Scenario.class_of_string (Scenario.class_to_string c) with
+      | Ok c' when c' = c -> ()
+      | Ok _ -> Alcotest.failf "round-trip mismatch for %s" (Scenario.class_to_string c)
+      | Error e -> Alcotest.fail e)
+    Scenario.all_classes;
+  match Scenario.class_of_string "warp" with
+  | Ok _ -> Alcotest.fail "bogus class accepted"
+  | Error e ->
+    Alcotest.(check string)
+      "diagnostic lists valid names"
+      "unknown scenario class \"warp\" (expected steady | bursty | multi-tenant | \
+       heavy-tailed | drifting | failure)"
+      e
+
+let test_same_seed_identical () =
+  List.iter
+    (fun cls ->
+      let a = Scenario.to_ndjson (gen cls 7) in
+      let b = Scenario.to_ndjson (gen cls 7) in
+      Alcotest.(check string)
+        (Scenario.class_to_string cls ^ " byte-identical") a b)
+    Scenario.all_classes
+
+let test_different_seed_differs () =
+  let a = Scenario.to_ndjson (gen Scenario.Steady 7) in
+  let b = Scenario.to_ndjson (gen Scenario.Steady 8) in
+  if a = b then Alcotest.fail "distinct seeds produced identical traces"
+
+let test_ndjson_roundtrip () =
+  List.iter
+    (fun cls ->
+      let sc = gen cls 11 in
+      match Scenario.of_ndjson (Scenario.to_ndjson sc) with
+      | Error e -> Alcotest.fail e
+      | Ok sc' ->
+        Alcotest.(check string)
+          (Scenario.class_to_string cls ^ " survives round-trip")
+          (Scenario.to_ndjson sc) (Scenario.to_ndjson sc');
+        Alcotest.(check int) "same task count" (Scenario.num_tasks sc)
+          (Scenario.num_tasks sc'))
+    Scenario.all_classes
+
+let test_ndjson_diagnostics () =
+  let expect_error text expected =
+    match Scenario.of_ndjson ~file:"zoo.ndjson" text with
+    | Ok _ -> Alcotest.failf "accepted malformed trace (wanted %S)" expected
+    | Error e -> Alcotest.(check string) expected expected e
+  in
+  expect_error "" "zoo.ndjson:1: empty scenario file";
+  expect_error {|{"scenario":"arena-v9"}|}
+    "zoo.ndjson:1: unsupported scenario format \"arena-v9\" (expected \"arena-v1\")";
+  let ok = Scenario.to_ndjson (gen ~phases:1 Scenario.Steady 3) in
+  (* corrupt the second line (phase 0): drop its costs field *)
+  (match String.split_on_char '\n' ok with
+  | header :: _phase :: _ ->
+    expect_error
+      (header ^ "\n" ^ {|{"phase":0,"gap_s":0,"speed":[1,1,1,1]}|} ^ "\n")
+      "zoo.ndjson:2: missing field \"costs\"";
+    expect_error
+      (header ^ "\n" ^ {|{"phase":5,"gap_s":0,"costs":[1],"speed":[1,1,1,1]}|} ^ "\n")
+      "zoo.ndjson:2: expected phase 0, got phase 5";
+    expect_error
+      (header ^ "\n" ^ {|{"phase":0,"gap_s":0,"costs":[1],"speed":[1,1]}|} ^ "\n")
+      "zoo.ndjson:2: field \"speed\": expected 4 entries (one per group), got 2"
+  | _ -> Alcotest.fail "generated trace too short");
+  (* header declares more phases than the file carries *)
+  match String.split_on_char '\n' ok with
+  | header :: _ -> expect_error (header ^ "\n") "zoo.ndjson:1: header declares 1 phases but the file has 0 phase lines"
+  | [] -> Alcotest.fail "empty generated trace"
+
+(* the E9 two-pass split convention: phase i's stream is split from the
+   root before any phase is filled, so its content depends only on
+   (seed, i) for phase-independent classes — a 4-phase trace is a
+   prefix of an 8-phase one *)
+let prop_prefix_stable =
+  QCheck.Test.make ~name:"phase streams are prefix-stable across phase counts"
+    ~count:50
+    QCheck.(pair (int_bound 1000) (int_range 1 6))
+    (fun (seed, p) ->
+      List.for_all
+        (fun cls ->
+          let short = gen ~phases:p cls seed in
+          let long = gen ~phases:(p + 3) cls seed in
+          Array.for_all2
+            (fun (a : Scenario.phase) (b : Scenario.phase) ->
+              a.Scenario.costs = b.Scenario.costs)
+            short.Scenario.phases
+            (Array.sub long.Scenario.phases 0 p))
+        [ Scenario.Steady; Scenario.Bursty; Scenario.Heavy_tailed ])
+
+let prop_split_independent =
+  QCheck.Test.make ~name:"adjacent seeds give uncorrelated phase draws" ~count:20
+    QCheck.(int_bound 1000)
+    (fun seed ->
+      let a = gen Scenario.Steady seed and b = gen Scenario.Steady (seed + 1) in
+      a.Scenario.phases.(0).Scenario.costs <> b.Scenario.phases.(0).Scenario.costs)
+
+(* ---------- balancers ---------- *)
+
+let test_balancer_determinism () =
+  List.iter
+    (fun b ->
+      let sc = gen Scenario.Drifting 13 in
+      let a = Balancer.run sc b and c = Balancer.run sc b in
+      Alcotest.(check (float 0.))
+        (Balancer.name b ^ " deterministic") a.Balancer.total_makespan
+        c.Balancer.total_makespan)
+    Balancer.all
+
+let test_balancer_names () =
+  List.iter
+    (fun b ->
+      match Balancer.of_name (Balancer.name b) with
+      | Ok b' when b' = b -> ()
+      | Ok _ | Error _ -> Alcotest.failf "of_name failed for %s" (Balancer.name b))
+    Balancer.all;
+  match Balancer.of_name "quantum" with
+  | Ok _ -> Alcotest.fail "bogus balancer accepted"
+  | Error e ->
+    Alcotest.(check string) "diagnostic"
+      "unknown balancer \"quantum\" (expected dynamic | static | stealing | hybrid | \
+       diffusive)"
+      e
+
+let test_hybrid_adapts_on_drift () =
+  (* the tentpole claim, in miniature: on drifting group speeds the
+     stale static map loses to hybrid periodic rebalance *)
+  let sc = Scenario.generate ~groups:8 ~nodes_per_group:4 Scenario.Drifting ~seed:42 in
+  let static = Balancer.run sc Balancer.Static_lpt in
+  let hybrid = Balancer.run sc (Balancer.Hybrid { interval = 2; start = 1 }) in
+  if hybrid.Balancer.total_makespan >= static.Balancer.total_makespan then
+    Alcotest.failf "hybrid (%.3f) did not beat static (%.3f) on drifting load"
+      hybrid.Balancer.total_makespan static.Balancer.total_makespan
+
+let test_zero_task_phase_handled () =
+  (* hand-build a trace with an empty phase: every balancer must cope *)
+  let sc = gen Scenario.Steady 5 in
+  let phases = Array.copy sc.Scenario.phases in
+  phases.(1) <-
+    { Scenario.costs = [||]; speed = Array.make 4 1.0; gap_s = 0.5 };
+  let sc = { sc with Scenario.phases = phases } in
+  List.iter
+    (fun b ->
+      let o = Balancer.run sc b in
+      Alcotest.(check (float 0.))
+        (Balancer.name b ^ " empty phase costs nothing") 0.
+        o.Balancer.phase_makespans.(1))
+    (List.filter (fun b -> b <> Balancer.Hybrid { interval = 2; start = 1 }) Balancer.all);
+  (* hybrid still charges its rebalance fee on the empty phase *)
+  let o = Balancer.run sc (Balancer.Hybrid { interval = 2; start = 1 }) in
+  Alcotest.(check bool) "hybrid empty phase only pays rebalance" true
+    (o.Balancer.phase_makespans.(1) < 0.1)
+
+(* ---------- race matrix + policy ---------- *)
+
+let quick_race () =
+  Race.run ~phases:4 ~tasks_per_phase:16 ~groups:4 ~nodes_per_group:2 ~seed:42
+    [ Scenario.Steady; Scenario.Drifting; Scenario.Failure ]
+
+let test_race_matrix_shape () =
+  let race = quick_race () in
+  Alcotest.(check int) "one row per class" 3 (List.length race.Race.rows);
+  Alcotest.(check (list string))
+    "five schedulers"
+    [ "dynamic"; "static"; "stealing"; "hybrid"; "diffusive" ]
+    race.Race.schedulers;
+  List.iter
+    (fun (r : Race.row) ->
+      Alcotest.(check int)
+        (r.Race.scenario ^ " complete row")
+        (List.length race.Race.schedulers)
+        (List.length r.Race.cells);
+      (* dynamic is the regret baseline: exactly zero by construction *)
+      let dyn = List.find (fun (c : Race.cell) -> c.Race.scheduler = "dynamic") r.Race.cells in
+      Alcotest.(check (float 1e-12)) "dynamic regret 0" 0. dyn.Race.regret_vs_dynamic;
+      (* the winner is the argmin of the row *)
+      List.iter
+        (fun (c : Race.cell) ->
+          let w =
+            List.find (fun (c : Race.cell) -> c.Race.scheduler = r.Race.winner) r.Race.cells
+          in
+          if c.Race.regret_vs_dynamic < w.Race.regret_vs_dynamic -. 1e-12 then
+            Alcotest.failf "%s: %s (%.4f) beats declared winner %s (%.4f)" r.Race.scenario
+              c.Race.scheduler c.Race.regret_vs_dynamic r.Race.winner
+              w.Race.regret_vs_dynamic)
+        r.Race.cells)
+    race.Race.rows
+
+let test_race_json_roundtrip () =
+  let race = quick_race () in
+  let j = Race.to_json race in
+  match Race.of_json j with
+  | Error e -> Alcotest.fail e
+  | Ok race' ->
+    Alcotest.(check string) "round-trip identical" (Serve.Json.to_string j)
+      (Serve.Json.to_string (Race.to_json race'))
+
+let test_builtin_policy_matches_default_zoo () =
+  (* Policy.builtin is pinned from the default-seed zoo; re-derive it so
+     it cannot drift silently when the balancers change *)
+  let race = Race.run ~seed:42 Scenario.all_classes in
+  let fresh = Policy.to_assoc (Policy.of_race race) in
+  List.iter
+    (fun (cls, sched) ->
+      match List.assoc_opt cls fresh with
+      | Some s ->
+        Alcotest.(check string)
+          ("builtin matches zoo for " ^ Scenario.class_to_string cls)
+          s sched
+      | None -> Alcotest.failf "class %s missing from zoo" (Scenario.class_to_string cls))
+    (Policy.to_assoc Policy.builtin)
+
+let test_policy_from_bench_file () =
+  let race = quick_race () in
+  let path = Filename.temp_file "arena_bench" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Race.write_bench path race;
+      match Policy.of_bench_file path with
+      | Error e -> Alcotest.fail e
+      | Ok p ->
+        List.iter
+          (fun (r : Race.row) ->
+            Alcotest.(check string)
+              (r.Race.scenario ^ " recommendation")
+              r.Race.winner
+              (Policy.recommend p r.Race.cls))
+          race.Race.rows;
+        (* classes the loaded matrix did not race fall back to builtin *)
+        Alcotest.(check string) "fallback to builtin"
+          (Policy.recommend Policy.builtin Scenario.Bursty)
+          (Policy.recommend p Scenario.Bursty))
+
+let () =
+  let qsuite =
+    List.map QCheck_alcotest.to_alcotest [ prop_prefix_stable; prop_split_independent ]
+  in
+  Alcotest.run "arena"
+    [
+      ( "scenario",
+        [
+          Alcotest.test_case "class strings" `Quick test_class_strings;
+          Alcotest.test_case "same seed identical" `Quick test_same_seed_identical;
+          Alcotest.test_case "different seed differs" `Quick test_different_seed_differs;
+          Alcotest.test_case "ndjson round-trip" `Quick test_ndjson_roundtrip;
+          Alcotest.test_case "ndjson diagnostics" `Quick test_ndjson_diagnostics;
+        ] );
+      ( "balancer",
+        [
+          Alcotest.test_case "deterministic" `Quick test_balancer_determinism;
+          Alcotest.test_case "names" `Quick test_balancer_names;
+          Alcotest.test_case "hybrid adapts on drift" `Quick test_hybrid_adapts_on_drift;
+          Alcotest.test_case "zero-task phase" `Quick test_zero_task_phase_handled;
+        ] );
+      ( "race",
+        [
+          Alcotest.test_case "matrix shape" `Quick test_race_matrix_shape;
+          Alcotest.test_case "json round-trip" `Quick test_race_json_roundtrip;
+          Alcotest.test_case "builtin policy pinned" `Slow
+            test_builtin_policy_matches_default_zoo;
+          Alcotest.test_case "policy from bench file" `Quick test_policy_from_bench_file;
+        ] );
+      ("properties", qsuite);
+    ]

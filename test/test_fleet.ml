@@ -44,6 +44,7 @@ let test_ring_deterministic () =
         solver = None;
         strategy = None;
         allowed = None;
+        policy = None;
       }
   in
   let fp m =
@@ -173,6 +174,7 @@ let start_backend ?(jobs = 1) ?(cache_capacity = 8) () =
       default_solver = Engine.Solver_choice.Oa;
       default_strategy = `Single Engine.Solver_choice.Oa;
       audit = false;
+      policy = Arena.Policy.builtin;
     }
   in
   let server = Serve.Server.create cfg ~emit:(fun _ -> ()) in
@@ -383,6 +385,26 @@ let test_router_shards_and_dedupes () =
           (List.sort compare (List.map fst fields))
       | _ -> Alcotest.failf "stats missing backends: %s" (Serve.Json.to_string stats))
 
+let test_router_policy_passthrough () =
+  with_two_backend_router (fun router _ ->
+      let s = make_sink () in
+      (* a hinted solve crosses the router unchanged and the backend's
+         wire-exact policy annotation survives the trip back *)
+      Serve.Router.submit router ~reply:(sink_reply s)
+        (Printf.sprintf {|{"id":31,"model_csv":%s,"nodes":32,"policy":"failure"}|}
+           (Serve.Json.to_string (Serve.Json.Str model_csv)));
+      wait_until "hinted solve answer" (fun () -> sink_values s <> []);
+      let v = find_by_id (sink_values s) 31 in
+      Alcotest.(check string) "hinted solve ok" "ok" (outcome_of v);
+      Alcotest.(check bool) "policy annotation passes the router" true
+        (Serve.Json.member "policy" v
+        = Some
+            (Serve.Json.Obj
+               [
+                 ("scenario", Serve.Json.Str "failure");
+                 ("scheduler", Serve.Json.Str "stealing");
+               ])))
+
 let test_router_drain_rejects () =
   with_two_backend_router (fun router _ ->
       let s = make_sink () in
@@ -492,6 +514,7 @@ let () =
         [
           Alcotest.test_case "shards + dedupes + fan-out" `Quick
             test_router_shards_and_dedupes;
+          Alcotest.test_case "policy passthrough" `Quick test_router_policy_passthrough;
           Alcotest.test_case "drain rejects" `Quick test_router_drain_rejects;
           Alcotest.test_case "attached death shrinks ring" `Quick
             test_router_attached_death_shrinks_ring;

@@ -93,15 +93,72 @@ let test_sim_validation () =
   Alcotest.check_raises "group range" (Invalid_argument "Sim.run_phase: group id out of range")
     (fun () ->
       ignore (Sim.run_phase p ~num_tasks:1 ~duration:(const_duration 1.) (Sim.Static [| 3 |])));
-  Alcotest.check_raises "negative duration"
-    (Invalid_argument "Sim.run_phase: negative or NaN duration") (fun () ->
-      ignore (Sim.run_phase p ~num_tasks:1 ~duration:(const_duration (-1.)) (Sim.Static [| 0 |])))
+  let bad_duration = Invalid_argument "Sim.run_phase: negative or non-finite duration" in
+  Alcotest.check_raises "negative duration" bad_duration (fun () ->
+      ignore (Sim.run_phase p ~num_tasks:1 ~duration:(const_duration (-1.)) (Sim.Static [| 0 |])));
+  Alcotest.check_raises "NaN duration" bad_duration (fun () ->
+      ignore (Sim.run_phase p ~num_tasks:1 ~duration:(const_duration Float.nan) (Sim.Static [| 0 |])));
+  Alcotest.check_raises "infinite duration" bad_duration (fun () ->
+      ignore
+        (Sim.run_phase p ~num_tasks:1 ~duration:(const_duration Float.infinity)
+           (Sim.Static [| 0 |])));
+  let bad_latency = Invalid_argument "Sim.run_phase: negative or non-finite dispatch latency" in
+  Alcotest.check_raises "negative latency" bad_latency (fun () ->
+      ignore
+        (Sim.run_phase ~dispatch_latency:(-0.1) p ~num_tasks:1 ~duration:(const_duration 1.)
+           Sim.Dynamic));
+  Alcotest.check_raises "NaN latency" bad_latency (fun () ->
+      ignore
+        (Sim.run_phase ~dispatch_latency:Float.nan p ~num_tasks:1 ~duration:(const_duration 1.)
+           Sim.Dynamic))
 
 let test_empty_phase () =
+  (* zero tasks with non-empty groups is a valid phase under every
+     schedule (the arena's bursty scenarios produce them) *)
   let p = Group.of_sizes [ 1; 1 ] in
-  let r = Sim.run_phase p ~num_tasks:0 ~duration:(const_duration 1.) Sim.Dynamic in
-  check_float "empty makespan" 0. r.Sim.makespan;
-  check_float "utilization 1" 1. (Sim.utilization p r)
+  List.iter
+    (fun (label, schedule) ->
+      let r = Sim.run_phase p ~num_tasks:0 ~duration:(const_duration 1.) schedule in
+      check_float (label ^ " empty makespan") 0. r.Sim.makespan;
+      check_float (label ^ " utilization 1") 1. (Sim.utilization p r);
+      check_float (label ^ " idle 0") 0. (Sim.idle_time p r);
+      Alcotest.(check int) (label ^ " no events") 0 (List.length r.Sim.events))
+    [ ("dynamic", Sim.Dynamic); ("static", Sim.Static [||]); ("stealing", Sim.Stealing [||]) ]
+
+let test_stealing_victim_selection () =
+  (* all four 1s tasks seeded on group 0: groups 1 and 2 start idle and
+     steal from the tail of the longest remaining queue — t3 then t2.
+     Pinned so victim selection stays deterministic. *)
+  let p = Group.of_sizes [ 1; 1; 1 ] in
+  let r =
+    Sim.run_phase p ~num_tasks:4 ~duration:(const_duration 1.)
+      (Sim.Stealing [| 0; 0; 0; 0 |])
+  in
+  Alcotest.(check (array int)) "steal from tail" [| 0; 0; 2; 1 |] r.Sim.assignment;
+  check_float "balanced makespan" 2. r.Sim.makespan;
+  (* tie on remaining queue length: the lowest-id victim is robbed
+     first (g1 and g2 both hold one spare; g3 takes g1's tail) *)
+  let durations = [| 5.; 1.; 1.; 1.; 1. |] in
+  let duration ~task ~group:_ = durations.(task) in
+  let p4 = Group.of_sizes [ 1; 1; 1; 1 ] in
+  let r2 = Sim.run_phase p4 ~num_tasks:5 ~duration (Sim.Stealing [| 0; 1; 1; 2; 2 |]) in
+  Alcotest.(check (array int)) "lowest-id victim on tie" [| 0; 1; 3; 2; 1 |] r2.Sim.assignment
+
+let test_stealing_donor_drained () =
+  (* donor queue empties mid-run: g0 drains its own queue, comes back
+     and steals from g1's tail paying the dispatch round-trip; once
+     every queue is dry the idle group retires without spinning *)
+  let durations = [| 1.; 5.; 5.; 5. |] in
+  let duration ~task ~group:_ = durations.(task) in
+  let p = Group.of_sizes [ 1; 1 ] in
+  let r =
+    Sim.run_phase ~dispatch_latency:0.25 p ~num_tasks:4 ~duration
+      (Sim.Stealing [| 0; 1; 1; 1 |])
+  in
+  Alcotest.(check (array int)) "owner steals when drained" [| 0; 1; 1; 0 |] r.Sim.assignment;
+  check_float "steal pays latency" 6.25 r.Sim.group_finish.(0);
+  check_float "donor unaffected" 10. r.Sim.group_finish.(1);
+  check_float "makespan" 10. r.Sim.makespan
 
 let test_utilization () =
   let p = Group.of_sizes [ 1; 3 ] in
@@ -286,6 +343,8 @@ let () =
           Alcotest.test_case "static has no latency" `Quick test_static_no_dispatch_latency;
           Alcotest.test_case "validation" `Quick test_sim_validation;
           Alcotest.test_case "empty phase" `Quick test_empty_phase;
+          Alcotest.test_case "stealing victim selection" `Quick test_stealing_victim_selection;
+          Alcotest.test_case "stealing donor drained" `Quick test_stealing_donor_drained;
           Alcotest.test_case "utilization" `Quick test_utilization;
           Alcotest.test_case "event chronology" `Quick test_events_chronology;
           Alcotest.test_case "duration called once" `Quick test_duration_called_once_per_task;

@@ -150,6 +150,7 @@ let make_harness ?(jobs = 1) ?(queue_limit = 4) ?(drain_grace_s = 5.0) ?telemetr
       default_solver = Engine.Solver_choice.Oa;
       default_strategy = `Single Engine.Solver_choice.Oa;
       audit = true;
+      policy = Arena.Policy.builtin;
     }
   in
   let emit l = Mutex.protect mutex (fun () -> lines := l :: !lines) in
@@ -297,6 +298,81 @@ let test_serve_cache_hit () =
   Alcotest.(check (option bool)) "second is a hit" (Some true) (cache_hit v2);
   Alcotest.(check bool) "identical allocation" true
     (Serve.Json.member "nodes_per_task" v1 = Serve.Json.member "nodes_per_task" v2)
+
+let test_protocol_policy () =
+  let open Serve.Protocol in
+  (match parse_line (solve_line ~id:4 ~extra:{|,"policy":"drifting"|} ()) with
+  | { req = Ok (Solve p); _ } ->
+    Alcotest.(check bool) "policy parsed" true (p.policy = Some Arena.Scenario.Drifting)
+  | { req = Error e; _ } -> Alcotest.failf "policy hint rejected: %s" e
+  | _ -> Alcotest.fail "unexpected parse");
+  (match parse_line (solve_line ~extra:{|,"policy":null|} ()) with
+  | { req = Ok (Solve p); _ } -> Alcotest.(check bool) "null policy" true (p.policy = None)
+  | _ -> Alcotest.fail "null policy rejected");
+  (* the diagnostic is wire-exact: it names the field and every valid class *)
+  match parse_line (solve_line ~extra:{|,"policy":"warp"|} ()) with
+  | { req = Error msg; _ } ->
+    Alcotest.(check string) "exact diagnostic"
+      "field \"policy\": unknown scenario class \"warp\" (expected steady | bursty | \
+       multi-tenant | heavy-tailed | drifting | failure)"
+      msg
+  | { req = Ok _; _ } -> Alcotest.fail "bogus policy accepted"
+
+let policy_of v = Serve.Json.member "policy" v
+
+let test_serve_policy_hint () =
+  let h = make_harness ~jobs:1 ~queue_limit:8 () in
+  Serve.Server.submit h.server (solve_line ~id:1 ~extra:{|,"policy":"drifting"|} ());
+  Serve.Server.submit h.server (solve_line ~id:2 ());
+  Serve.Server.submit h.server {|{"id":3,"op":"stats"}|};
+  ignore (Serve.Server.await_drain h.server : Engine.Run_report.t);
+  let v1 = Option.get (find_by_id h 1) in
+  Alcotest.(check string) "hinted solve ok" "ok" (outcome_of v1);
+  (* wire-exact: the annotation names the declared class and the
+     arena's winning scheduler for it, nothing else *)
+  Alcotest.(check bool) "policy object exact" true
+    (policy_of v1
+    = Some
+        (Serve.Json.Obj
+           [
+             ("scenario", Serve.Json.Str "drifting");
+             ("scheduler", Serve.Json.Str "hybrid");
+           ]));
+  (* no hint, no annotation *)
+  let v2 = Option.get (find_by_id h 2) in
+  Alcotest.(check string) "unhinted solve ok" "ok" (outcome_of v2);
+  Alcotest.(check bool) "no policy member" true (policy_of v2 = None);
+  (* the stats counter saw exactly one hint *)
+  let v3 = Option.get (find_by_id h 3) in
+  let hints =
+    Option.bind (Serve.Json.member "stats" v3) (fun s ->
+        Option.bind (Serve.Json.member "policy_hints" s) Serve.Json.int_)
+  in
+  Alcotest.(check (option int)) "policy_hints counter" (Some 1) hints
+
+let test_serve_policy_per_follower () =
+  (* the dedupe key is the pure fingerprint: a hinted follower attaches
+     to an unhinted (or differently hinted) leader and still gets the
+     recommendation for its own declared class *)
+  let h = make_harness ~jobs:1 ~queue_limit:8 () in
+  Serve.Server.submit h.server {|{"id":1,"op":"sleep","ms":150}|};
+  Serve.Server.submit h.server (solve_line ~id:2 ~nodes:24 ~extra:{|,"policy":"drifting"|} ());
+  Serve.Server.submit h.server (solve_line ~id:3 ~nodes:24 ~extra:{|,"policy":"failure"|} ());
+  Serve.Server.submit h.server (solve_line ~id:4 ~nodes:24 ());
+  ignore (Serve.Server.await_drain h.server : Engine.Run_report.t);
+  let v2 = Option.get (find_by_id h 2)
+  and v3 = Option.get (find_by_id h 3)
+  and v4 = Option.get (find_by_id h 4) in
+  List.iter (fun v -> Alcotest.(check string) "ok" "ok" (outcome_of v)) [ v2; v3; v4 ];
+  Alcotest.(check bool) "deduped into one solve" true
+    (Serve.Json.member "makespan" v2 = Serve.Json.member "makespan" v3);
+  let scheduler v =
+    Option.bind (policy_of v) (fun p ->
+        Option.bind (Serve.Json.member "scheduler" p) Serve.Json.str)
+  in
+  Alcotest.(check (option string)) "leader's own class" (Some "hybrid") (scheduler v2);
+  Alcotest.(check (option string)) "follower's own class" (Some "stealing") (scheduler v3);
+  Alcotest.(check bool) "unhinted follower unannotated" true (policy_of v4 = None)
 
 let test_serve_drain_rejects_and_joins () =
   let h = make_harness ~jobs:2 ~queue_limit:8 () in
@@ -457,6 +533,7 @@ let () =
         [
           Alcotest.test_case "parse" `Quick test_protocol_parse;
           Alcotest.test_case "errors" `Quick test_protocol_errors;
+          Alcotest.test_case "policy hint" `Quick test_protocol_policy;
         ] );
       ( "server",
         [
@@ -465,6 +542,8 @@ let () =
           Alcotest.test_case "deadline expired in queue" `Quick test_serve_deadline_expired;
           Alcotest.test_case "in-flight dedupe" `Quick test_serve_dedupe;
           Alcotest.test_case "cache hit" `Quick test_serve_cache_hit;
+          Alcotest.test_case "policy hint answered" `Quick test_serve_policy_hint;
+          Alcotest.test_case "policy per follower" `Quick test_serve_policy_per_follower;
           Alcotest.test_case "drain rejects + joins" `Quick test_serve_drain_rejects_and_joins;
           Alcotest.test_case "drain grace cancels" `Quick test_serve_drain_grace_cancels;
           Alcotest.test_case "protocol error + ping" `Quick test_serve_protocol_error_and_ping;
