@@ -469,6 +469,16 @@ let write_arena_bench path =
   Format.printf "%a@." Arena.Race.pp t;
   Format.printf "arena benchmark written to %s@." path
 
+(* ---------- re-solve policy benchmark (--resolve FILE) ---------- *)
+
+(* the E12 drift-rate × re-solve-policy frontier as a machine-readable
+   artifact (validated by `hslb obs --resolve-bench`) *)
+let write_resolve_bench ~quick path =
+  let t = Experiments.Resolve_frontier.run ~quick ~seed:42 () in
+  Experiments.Resolve_frontier.write_bench path t;
+  Format.printf "%a@." Experiments.Resolve_frontier.pp t;
+  Format.printf "resolve benchmark written to %s@." path
+
 let pretty_time ns =
   if ns < 1e3 then Printf.sprintf "%.1f ns" ns
   else if ns < 1e6 then Printf.sprintf "%.2f us" (ns /. 1e3)
@@ -523,6 +533,11 @@ let () =
   (match find_opt "arena" with
   | Some path ->
     write_arena_bench path;
+    exit 0
+  | None -> ());
+  (match find_opt "resolve" with
+  | Some path ->
+    write_resolve_bench ~quick path;
     exit 0
   | None -> ());
   let trace = find_opt "trace" in

@@ -1146,6 +1146,19 @@ let obs_cmd =
              at zero regret. Prints one greppable $(i,arena regret ...) line per \
              cell.")
   in
+  let resolve_bench =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "resolve-bench" ] ~docv:"FILE"
+          ~doc:
+            "Validate FILE as a re-solve policy frontier (the artifact \
+             $(b,bench --resolve) writes): schema hslb-bench-resolve-v1, every \
+             drift rate carrying the always/never/certified policies, never \
+             pinned at one solve, and the certified policy within 5% of \
+             always-resolve makespan on strictly fewer MINLP solves. Prints one \
+             greppable $(i,resolve frontier ...) line per cell.")
+  in
   let read_file path =
     let ic = open_in_bin path in
     Fun.protect
@@ -1310,14 +1323,86 @@ let obs_cmd =
     in
     Ok t
   in
-  let run chrome_trace prometheus fleet_bench arena_bench =
+  (* the E12 artifact is the PR's acceptance gate, so the validator
+     re-checks the claims rather than the shape alone: the certified
+     policy must track always-resolve makespan within 5% while doing
+     strictly fewer MINLP solves, and never-resolve must really have
+     solved exactly once *)
+  let check_resolve_bench json =
+    let module RF = Experiments.Resolve_frontier in
+    let ( let* ) = Result.bind in
+    let* t = RF.of_json json in
+    let* () =
+      if t.RF.rows <> [] then Ok () else Error "no drift-rate rows"
+    in
+    let cell_named (r : RF.row) name =
+      match List.find_opt (fun (c : RF.cell) -> c.RF.policy = name) r.RF.cells with
+      | Some c -> Ok c
+      | None ->
+        Error (Printf.sprintf "drift %.3f: missing policy %S" r.RF.drift_rate name)
+    in
+    let check_row (r : RF.row) =
+      let tag e = Printf.sprintf "drift %.3f: %s" r.RF.drift_rate e in
+      let* always = cell_named r "always" in
+      let* never = cell_named r "never" in
+      let* certified = cell_named r "certified" in
+      let* () =
+        if
+          List.for_all
+            (fun (c : RF.cell) ->
+              Float.is_finite c.RF.makespan_avg && c.RF.makespan_avg > 0.)
+            r.RF.cells
+        then Ok ()
+        else Error (tag "makespans must be finite and positive")
+      in
+      let* () =
+        if never.RF.solves = 1 then Ok ()
+        else Error (tag (Printf.sprintf "never-resolve solved %d times" never.RF.solves))
+      in
+      let* () =
+        if certified.RF.makespan_avg <= 1.05 *. always.RF.makespan_avg then Ok ()
+        else
+          Error
+            (tag
+               (Printf.sprintf "certified makespan %.3f exceeds 1.05x always (%.3f)"
+                  certified.RF.makespan_avg always.RF.makespan_avg))
+      in
+      Ok (always, certified)
+    in
+    let* totals =
+      List.fold_left
+        (fun acc r ->
+          let* a_solves, c_solves, c_skipped = acc in
+          let* always, certified = check_row r in
+          Ok
+            ( a_solves + always.RF.solves,
+              c_solves + certified.RF.solves,
+              c_skipped + certified.RF.skipped ))
+        (Ok (0, 0, 0))
+        t.RF.rows
+    in
+    let a_solves, c_solves, c_skipped = totals in
+    let* () =
+      if c_solves < a_solves then Ok ()
+      else
+        Error
+          (Printf.sprintf "certified used %d solves, not strictly fewer than always (%d)"
+             c_solves a_solves)
+    in
+    let* () =
+      if c_skipped >= 1 then Ok ()
+      else Error "certified never skipped a solve (certificate never fired)"
+    in
+    Ok t
+  in
+  let run chrome_trace prometheus fleet_bench arena_bench resolve_bench =
     if
       chrome_trace = None && prometheus = None && fleet_bench = None
-      && arena_bench = None
+      && arena_bench = None && resolve_bench = None
     then begin
       Format.eprintf
         "hslb obs: nothing to validate (pass --chrome-trace, --prometheus, \
-         --fleet-bench or --arena-bench)@.";
+         --fleet-bench, --arena-bench or --resolve-bench)@.";
       exit 2
     end;
     let ok = ref true in
@@ -1381,6 +1466,32 @@ let obs_cmd =
         | Error msg ->
           Format.eprintf "%s: invalid arena bench: %s@." path msg;
           ok := false)));
+    (match resolve_bench with
+    | None -> ()
+    | Some path -> (
+      match Obs.Json.parse (read_file path) with
+      | Error msg ->
+        Format.eprintf "%s: JSON parse error %s@." path msg;
+        ok := false
+      | Ok json -> (
+        match check_resolve_bench json with
+        | Ok t ->
+          let module RF = Experiments.Resolve_frontier in
+          List.iter
+            (fun (r : RF.row) ->
+              List.iter
+                (fun (c : RF.cell) ->
+                  Format.printf
+                    "resolve frontier drift=%.3f policy=%s makespan=%.6f solves=%d \
+                     skipped=%d@."
+                    r.RF.drift_rate c.RF.policy c.RF.makespan_avg c.RF.solves c.RF.skipped)
+                r.RF.cells)
+            t.RF.rows;
+          Format.printf "%s: valid resolve bench, %d drift rates, eps %.2f@." path
+            (List.length t.RF.rows) t.RF.epsilon
+        | Error msg ->
+          Format.eprintf "%s: invalid resolve bench: %s@." path msg;
+          ok := false)));
     if not !ok then exit 1
   in
   Cmd.v
@@ -1389,9 +1500,11 @@ let obs_cmd =
          "Validate observability artifacts: Chrome trace_event JSON from \
           $(b,bench --trace), Prometheus text exposition from \
           $(b,serve --metrics-out), fleet benchmark JSON from \
-          $(b,loadgen --bench-out), and arena regret matrices from \
-          $(b,hslb arena --out). Exits non-zero if any fails to parse.")
-    Term.(const run $ chrome_trace $ prometheus $ fleet_bench $ arena_bench)
+          $(b,loadgen --bench-out), arena regret matrices from \
+          $(b,hslb arena --out), and re-solve policy frontiers from \
+          $(b,bench --resolve). Exits non-zero if any fails to parse.")
+    Term.(
+      const run $ chrome_trace $ prometheus $ fleet_bench $ arena_bench $ resolve_bench)
 
 (* ---------- audit: fault-injection stress sweep ---------- *)
 

@@ -33,6 +33,15 @@
 # own winners, and replays a zoo trace end-to-end through
 # `hslb loadgen --scenario` (see docs/ARENA.md).
 #
+# The resolve stage drives a live server through a drift fixture — a
+# v1 solve, a certified v2 `resolve` (answered "unchanged" without
+# entering the solver), a drifted v2 `resolve` (genuine re-solve), a
+# v3 probe (exact unsupported-version diagnostic) — asserting the
+# resolved/resolve_skipped counters on the terminal drained event,
+# then produces BENCH_resolve.json with `bench --resolve` and gates
+# the frontier claims via `hslb_cli obs --resolve-bench` (see
+# docs/SERVE.md and docs/ALGORITHM.md).
+#
 # lib/obs/, lib/runtime/, lib/audit/ and lib/serve/ compile with
 # -warn-error +a (see their dune files), so any new compiler warning
 # there fails this build.
@@ -312,6 +321,73 @@ hints=$(grep -o '"policy_hints":[0-9]*' "$SMOKE_DIR/arena_replay.json" \
 grep -o '"outcomes":{[^}]*}' "$SMOKE_DIR/arena_replay.json" \
   | grep -q '"ok":' || {
   echo "arena replay: no \"ok\" outcome in replay result" >&2
+  exit 1
+}
+
+echo "== resolve smoke: drift fixture through a live server (v1/v2 mix) =="
+# the fixture walks the whole version surface: id 1 is a v1 solve
+# (its response must stay byte-free of any "v" field), id 2 re-solves
+# with the incumbent already optimal (the ε-certificate must answer
+# "unchanged" without entering the solver), id 3 feeds drifted
+# observations of a 2x-slower law (the certificate must fail and a
+# genuine re-solve run), id 4 probes v3 (exact diagnostic), id 5 asks
+# a v2 stats (which must advertise the protocol range). Counters are
+# asserted on the terminal drained event — emitted only after the
+# queue empties, so they cannot race the in-flight resolves.
+printf '%s\n' \
+  '{"id":1,"model_csv":"alpha,4,100,0.001,1,0.5","nodes":32}' \
+  '{"id":2,"v":2,"op":"resolve","model_csv":"alpha,4,100,0.001,1,0.5","nodes":32,"prev":[8]}' \
+  '{"id":3,"v":2,"op":"resolve","model_csv":"alpha,4,100,0.001,1,0.5","nodes":32,"prev":[4],"observe":[{"class":"alpha","samples":[[2,100.5],[4,50.5],[8,25.5],[16,13.0]]}]}' \
+  '{"id":4,"v":3,"op":"ping"}' \
+  '{"id":5,"v":2,"op":"stats"}' \
+  | "$SERVE_BIN" serve --jobs 1 > "$SMOKE_DIR/resolve.out"
+if grep '"id":1' "$SMOKE_DIR/resolve.out" | grep -q '"v":'; then
+  echo "resolve smoke: v1 response leaked a \"v\" field" >&2
+  exit 1
+fi
+grep '"id":2' "$SMOKE_DIR/resolve.out" | grep -q '"resolve":"unchanged"' || {
+  echo "resolve smoke: certified resolve did not answer \"unchanged\"" >&2
+  exit 1
+}
+grep '"id":3' "$SMOKE_DIR/resolve.out" | grep -q '"resolve":"resolved"' || {
+  echo "resolve smoke: drifted resolve did not re-solve" >&2
+  exit 1
+}
+grep '"id":4' "$SMOKE_DIR/resolve.out" \
+  | grep -q 'unsupported protocol version 3 (server speaks 1..2)' || {
+  echo "resolve smoke: v3 probe missing the exact version diagnostic" >&2
+  exit 1
+}
+grep '"id":5' "$SMOKE_DIR/resolve.out" | grep -q '"protocol":' || {
+  echo "resolve smoke: v2 stats did not advertise the protocol range" >&2
+  exit 1
+}
+drained=$(grep '"event":"drained"' "$SMOKE_DIR/resolve.out")
+case "$drained" in
+*'"resolve_skipped":1'*) ;;
+*)
+  echo "resolve smoke: expected exactly one certificate-skipped resolve" >&2
+  exit 1
+  ;;
+esac
+case "$drained" in
+*'"resolved":1'*) ;;
+*)
+  echo "resolve smoke: expected exactly one genuine re-solve" >&2
+  exit 1
+  ;;
+esac
+
+echo "== resolve bench: re-solve policy frontier (BENCH_resolve.json) =="
+# the quick frontier (4 rounds, drift 0 and 0.15); the validator gates
+# the PR's claims — certified within 5% of always-resolve makespan on
+# strictly fewer MINLP solves, with at least one certificate skip
+dune exec bench/main.exe -- --quick --resolve "$SMOKE_DIR/BENCH_resolve.json" > /dev/null
+"$SERVE_BIN" obs --resolve-bench "$SMOKE_DIR/BENCH_resolve.json" \
+  > "$SMOKE_DIR/resolve_check.out"
+cat "$SMOKE_DIR/resolve_check.out"
+grep -q 'policy=certified' "$SMOKE_DIR/resolve_check.out" || {
+  echo "resolve bench: validator printed no certified cells" >&2
   exit 1
 }
 

@@ -6,3 +6,4 @@
 include Checker
 module Instances = Instances
 module Stress = Stress
+module Sensitivity = Sensitivity

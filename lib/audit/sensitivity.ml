@@ -1,0 +1,153 @@
+type cls = {
+  law : Scaling_law.t;
+  count : int;
+  n_min : int;
+  n_max : int;
+  allowed : int list option;
+}
+
+type certificate = {
+  incumbent_obj : float;
+  relaxation_bound : float;
+  gap_rel : float;
+  eps : float;
+}
+
+type verdict =
+  | Certified of certificate
+  | Rejected of { certificate : certificate option; reason : string }
+
+let validate_classes clss =
+  if clss = [] then invalid_arg "Audit.Sensitivity: empty class list";
+  List.iteri
+    (fun i c ->
+      if c.count < 1 then
+        invalid_arg (Printf.sprintf "Audit.Sensitivity: class %d has count %d < 1" i c.count);
+      if c.n_min < 1 then
+        invalid_arg (Printf.sprintf "Audit.Sensitivity: class %d has n_min %d < 1" i c.n_min);
+      if c.n_min > c.n_max then
+        invalid_arg
+          (Printf.sprintf "Audit.Sensitivity: class %d has n_min %d > n_max %d" i c.n_min
+             c.n_max))
+    clss
+
+(* the real-valued minimizer of T_c on [n_min, n_max]; T_c is convex,
+   so everything left of it is the decreasing branch *)
+let argmin_of c =
+  let lo = float_of_int c.n_min and hi = float_of_int c.n_max in
+  Float.max lo (Float.min hi (Scaling_law.optimal_nodes c.law ~max_nodes:hi))
+
+(* smallest x in [n_min, xstar] with T_c(x) <= target, or None when
+   even the minimum misses the target; bisection on the decreasing
+   branch of the convex curve *)
+let xmin_for c xstar target =
+  let lo = float_of_int c.n_min in
+  if Scaling_law.eval c.law lo <= target then Some lo
+  else if Scaling_law.eval c.law xstar > target then None
+  else begin
+    let a = ref lo and b = ref xstar in
+    for _ = 1 to 60 do
+      let mid = 0.5 *. (!a +. !b) in
+      if Scaling_law.eval c.law mid <= target then b := mid else a := mid
+    done;
+    Some !b
+  end
+
+let relaxation_bound ~n_total clss =
+  validate_classes clss;
+  let with_star = List.map (fun c -> (c, argmin_of c)) clss in
+  (* below t_lo some class cannot reach the target at any size *)
+  let t_lo =
+    List.fold_left
+      (fun acc (c, xstar) -> Float.max acc (Scaling_law.eval c.law xstar))
+      neg_infinity with_star
+  in
+  (* at t_hi every class is satisfied at its smallest size *)
+  let t_hi =
+    List.fold_left
+      (fun acc (c, _) -> Float.max acc (Scaling_law.eval c.law (float_of_int c.n_min)))
+      neg_infinity with_star
+  in
+  let feasible target =
+    let need =
+      List.fold_left
+        (fun acc (c, xstar) ->
+          match xmin_for c xstar target with
+          | None -> infinity
+          | Some x -> acc +. (float_of_int c.count *. x))
+        0. with_star
+    in
+    need <= float_of_int n_total +. 1e-9
+  in
+  if not (feasible t_hi) then infinity
+  else if feasible t_lo then t_lo
+  else begin
+    let a = ref t_lo and b = ref t_hi in
+    for _ = 1 to 60 do
+      let mid = 0.5 *. (!a +. !b) in
+      if feasible mid then b := mid else a := mid
+    done;
+    (* the infeasible end: no integer-feasible allocation beats it *)
+    !a
+  end
+
+let check ?(eps = 0.05) ~n_total ~incumbent clss =
+  if eps < 0. then invalid_arg "Audit.Sensitivity.check: eps must be >= 0";
+  validate_classes clss;
+  let k = List.length clss in
+  if Array.length incumbent <> k then
+    invalid_arg
+      (Printf.sprintf "Audit.Sensitivity.check: incumbent has %d entries for %d classes"
+         (Array.length incumbent) k);
+  let violation = ref None in
+  List.iteri
+    (fun i c ->
+      if !violation = None then begin
+        let x = incumbent.(i) in
+        if x < c.n_min || x > c.n_max then
+          violation :=
+            Some
+              (Printf.sprintf "incumbent class %d uses %d nodes outside [%d, %d]" i x c.n_min
+                 c.n_max)
+        else
+          match c.allowed with
+          | Some l when not (List.mem x l) ->
+            violation :=
+              Some (Printf.sprintf "incumbent class %d uses %d nodes not in allowed list" i x)
+          | _ -> ()
+      end)
+    clss;
+  let used =
+    List.fold_left (fun (acc, i) c -> (acc + (c.count * incumbent.(i)), i + 1)) (0, 0) clss
+    |> fst
+  in
+  if !violation = None && used > n_total then
+    violation := Some (Printf.sprintf "incumbent uses %d nodes, budget is %d" used n_total);
+  match !violation with
+  | Some reason -> Rejected { certificate = None; reason }
+  | None ->
+    let incumbent_obj =
+      List.fold_left
+        (fun (acc, i) c ->
+          (Float.max acc (Scaling_law.eval c.law (float_of_int incumbent.(i))), i + 1))
+        (neg_infinity, 0) clss
+      |> fst
+    in
+    let bound = relaxation_bound ~n_total clss in
+    let gap_rel = (incumbent_obj -. bound) /. Float.max bound 1e-12 in
+    let certificate = { incumbent_obj; relaxation_bound = bound; gap_rel; eps } in
+    if gap_rel <= eps then Certified certificate
+    else
+      Rejected
+        {
+          certificate = Some certificate;
+          reason =
+            Printf.sprintf "gap %.4f exceeds eps %.4f (incumbent %.6f vs bound %.6f)" gap_rel
+              eps incumbent_obj bound;
+        }
+
+let pp_verdict fmt = function
+  | Certified c ->
+    Format.fprintf fmt "certified: incumbent %.6f within %.2f%% of bound %.6f (gap %.4f)"
+      c.incumbent_obj (100. *. c.eps) c.relaxation_bound c.gap_rel
+  | Rejected { reason; _ } -> Format.fprintf fmt "rejected: %s" reason

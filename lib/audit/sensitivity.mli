@@ -1,0 +1,61 @@
+(** ε-reoptimality certificates for incremental re-solve.
+
+    After the fitted coefficients drift, the serve layer must decide
+    whether the incumbent allocation is still worth keeping or the
+    MINLP must run again. This module answers that with a cheap,
+    solver-free bound: the continuous min-max relaxation of the
+    allocation problem — drop integrality and any [allowed]-list
+    restriction, keep the box [\[n_min, n_max\]] and the node budget —
+    whose optimum [L] is a valid lower bound on every integer-feasible
+    makespan under the {e new} laws. If the incumbent's makespan [U]
+    under the new laws satisfies [(U − L)/L <= ε], re-solving cannot
+    improve by more than a factor [1 + ε] and the MINLP is skipped.
+
+    [L] is found by bisection on the makespan target [T]: a target is
+    feasible iff the per-class minimum node counts achieving it fit the
+    budget, [Σ_c count_c · xmin_c(T) <= n_total], where [xmin_c(T)] is
+    the smallest [x] in the class box with [T_c(x) <= T] (each [T_c] is
+    convex, so its sublevel sets are intervals). *)
+
+type cls = {
+  law : Scaling_law.t;  (** per-task time under the {e new} fit *)
+  count : int;  (** simultaneous tasks of this class *)
+  n_min : int;
+  n_max : int;
+  allowed : int list option;
+      (** restriction the incumbent must respect; the relaxation
+          ignores it (still a valid lower bound) *)
+}
+
+type certificate = {
+  incumbent_obj : float;  (** incumbent makespan under the new laws *)
+  relaxation_bound : float;  (** continuous min-max lower bound [L] *)
+  gap_rel : float;  (** [(U − L) / max L 1e-12] *)
+  eps : float;  (** threshold the gap was tested against *)
+}
+
+type verdict =
+  | Certified of certificate
+      (** incumbent within [ε] of the relaxation bound: skip the MINLP *)
+  | Rejected of { certificate : certificate option; reason : string }
+      (** must re-solve (gap too large), or the incumbent is no longer
+          feasible / well-formed — [certificate] is [None] in the
+          latter cases *)
+
+(** [relaxation_bound ~n_total clss] — the continuous min-max lower
+    bound [L] over the box relaxation, [infinity] when even the
+    per-class minima overflow the budget.
+    @raise Invalid_argument on an empty class list, non-positive
+    [count]/[n_min], or [n_min > n_max]. *)
+val relaxation_bound : n_total:int -> cls list -> float
+
+(** [check ?eps ~n_total ~incumbent clss] — certify or reject the
+    incumbent allocation (one node count per class, same order as
+    [clss]; default [eps] 0.05). Rejects without a certificate when the
+    incumbent violates a class box, an [allowed] list, or the node
+    budget.
+    @raise Invalid_argument when lengths differ or the class list is
+    invalid per {!relaxation_bound}. *)
+val check : ?eps:float -> n_total:int -> incumbent:int array -> cls list -> verdict
+
+val pp_verdict : Format.formatter -> verdict -> unit

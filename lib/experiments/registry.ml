@@ -29,6 +29,7 @@ let all =
       run = E10_scheduler_ablation.run;
     };
     { id = E11_placement.name; describes = E11_placement.describes; run = E11_placement.run };
+    { id = E12_resolve.name; describes = E12_resolve.describes; run = E12_resolve.run };
     { id = E13_arena.name; describes = E13_arena.describes; run = E13_arena.run };
   ]
 

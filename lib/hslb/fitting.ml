@@ -5,20 +5,39 @@ type fit = {
   observations : (float * float) array;
 }
 
-let fit_observations ?(starts = 12) ~rng obs =
+(* shared by the batch wrapper and Online.refit: the exact messages are
+   part of the public contract (pinned by tests), whichever path raises *)
+let validate_distinct obs =
   let distinct = List.sort_uniq compare (Array.to_list (Array.map fst obs)) in
   if List.length distinct < 2 then
-    invalid_arg "Fitting.fit_observations: need observations at 2 or more distinct node counts";
+    invalid_arg "Fitting.fit_observations: need observations at 2 or more distinct node counts"
+
+let validate_values obs =
   Array.iter
     (fun (n, y) ->
       if n < 1. || y < 0. then invalid_arg "Fitting.fit_observations: invalid observation")
-    obs;
-  let eval p n = (p.(0) /. (n ** p.(2))) +. (p.(1) *. n) +. p.(3) in
-  (* relative residuals: scaling curves span orders of magnitude between
-     n=1 and the machine, and the allocation lands in the fast tail —
-     absolute least squares would let the huge small-n times dominate
-     and leave the tail poorly fitted *)
-  let residual p = Array.map (fun (n, y) -> (eval p n -. y) /. Float.max y 1e-12) obs in
+    obs
+
+let eval_params p n = (p.(0) /. (n ** p.(2))) +. (p.(1) *. n) +. p.(3)
+
+(* relative residuals: scaling curves span orders of magnitude between
+   n=1 and the machine, and the allocation lands in the fast tail —
+   absolute least squares would let the huge small-n times dominate
+   and leave the tail poorly fitted *)
+let residual_of obs p = Array.map (fun (n, y) -> (eval_params p n -. y) /. Float.max y 1e-12) obs
+
+(* gradient of one relative residual w.r.t. (a, b, c, d) at p *)
+let residual_gradient p n y =
+  let scale = Float.max y 1e-12 in
+  let nc = n ** p.(2) in
+  [|
+    1. /. nc /. scale;
+    n /. scale;
+    -.p.(0) *. Float.log n /. nc /. scale;
+    1. /. scale;
+  |]
+
+let box_of obs =
   let y_max = Array.fold_left (fun acc (_, y) -> Float.max acc y) 0. obs in
   let n_max = Array.fold_left (fun acc (n, _) -> Float.max acc n) 1. obs in
   (* box: c in [0, 2] — scaling exponents beyond 2 are not physical for
@@ -28,8 +47,9 @@ let fit_observations ?(starts = 12) ~rng obs =
   let lo = [| 0.; 0.; 0.; 0. |] in
   let hi = [| 1e3 *. y_max *. n_max; y_max; 2.; y_max *. 2. |] in
   let x0 = [| y_max; 1e-6; 1.; 0.01 *. y_max |] in
-  let r = Numerics.Least_squares.fit_multi_start ~rng ~starts ~residual ~lo ~hi x0 in
-  let law = Scaling_law.of_array r.Numerics.Least_squares.params in
+  (lo, hi, x0)
+
+let scored_fit law obs =
   let observed = Array.map snd obs in
   let predicted = Array.map (fun (n, _) -> Scaling_law.eval law n) obs in
   {
@@ -39,11 +59,160 @@ let fit_observations ?(starts = 12) ~rng obs =
     observations = Array.copy obs;
   }
 
+let batch_fit ~starts ~rng obs =
+  validate_distinct obs;
+  validate_values obs;
+  let residual = residual_of obs in
+  let lo, hi, x0 = box_of obs in
+  let r = Numerics.Least_squares.fit_multi_start ~rng ~starts ~residual ~lo ~hi x0 in
+  scored_fit (Scaling_law.of_array r.Numerics.Least_squares.params) obs
+
+module Online = struct
+  type t = {
+    rng : Numerics.Rng.t;
+    starts : int;
+    refit_threshold : float;
+    mutable obs_rev : (float * float) list;  (* newest first; all retained *)
+    mutable n_obs : int;
+    mutable rls : Numerics.Rls.t option;  (* None until seeded or refitted *)
+    mutable current_fit : fit option;
+    mutable n_rank_one : int;
+    mutable n_refits : int;
+  }
+
+  let make ?(starts = 12) ?(refit_threshold = 0.25) ~rng () =
+    if refit_threshold <= 0. then
+      invalid_arg "Fitting.Online: refit_threshold must be > 0";
+    {
+      rng;
+      starts;
+      refit_threshold;
+      obs_rev = [];
+      n_obs = 0;
+      rls = None;
+      current_fit = None;
+      n_rank_one = 0;
+      n_refits = 0;
+    }
+
+  let create ?starts ?refit_threshold ~rng obs =
+    let t = make ?starts ?refit_threshold ~rng () in
+    t.obs_rev <- List.rev (Array.to_list obs);
+    t.n_obs <- Array.length obs;
+    t
+
+  let of_law ?starts ?refit_threshold ?prior ~rng law =
+    let t = make ?starts ?refit_threshold ~rng () in
+    t.rls <- Some (Numerics.Rls.create ?prior (Scaling_law.to_array law));
+    t.current_fit <- Some { law; r2 = 1.0; rmse = 0.0; observations = [||] };
+    t
+
+  let observations t = Array.of_list (List.rev t.obs_rev)
+  let current t = t.current_fit
+  let rank_one_updates t = t.n_rank_one
+  let full_refits t = t.n_refits
+
+  let law t =
+    match t.current_fit with
+    | Some f -> f.law
+    | None -> invalid_arg "Fitting.Online.law: no fit yet (call refit, or seed with of_law)"
+
+  (* the non-negativity box the batch path enforces; Scaling_law.make
+     rejects negative coefficients, so an unclamped rank-one step could
+     leave the state unable to produce a law at all *)
+  let clamp_theta theta =
+    Array.mapi (fun i v -> if i = 2 then Float.min 2. (Float.max 0. v) else Float.max 0. v) theta
+
+  let distinct_counts t =
+    List.length (List.sort_uniq compare (List.map fst t.obs_rev))
+
+  let refit t =
+    let obs = observations t in
+    let f = batch_fit ~starts:t.starts ~rng:t.rng obs in
+    (* re-linearize at the batch solution so subsequent rank-one
+       updates start from the true curvature, not a stale prior *)
+    let p = Scaling_law.to_array f.law in
+    let k = 4 in
+    let jtj = Array.make_matrix k k 0. in
+    Array.iter
+      (fun (n, y) ->
+        let g = residual_gradient p n y in
+        for i = 0 to k - 1 do
+          for j = 0 to k - 1 do
+            jtj.(i).(j) <- jtj.(i).(j) +. (g.(i) *. g.(j))
+          done
+        done)
+      obs;
+    t.rls <- Some (Numerics.Rls.of_normal_equations ~jtj p);
+    t.current_fit <- Some f;
+    t.n_refits <- t.n_refits + 1;
+    f
+
+  (* relative RMSE of the current law over the most recent observations:
+     the linearization-error monitor deciding when rank-one updates have
+     wandered too far from the true least-squares surface *)
+  let recent_error t law =
+    let rec take k = function
+      | [] -> []
+      | _ when k = 0 -> []
+      | x :: tl -> x :: take (k - 1) tl
+    in
+    let recent = take 8 t.obs_rev in
+    match recent with
+    | [] -> 0.
+    | _ ->
+      let sq =
+        List.fold_left
+          (fun acc (n, y) ->
+            let r = (Scaling_law.eval law n -. y) /. Float.max y 1e-12 in
+            acc +. (r *. r))
+          0. recent
+      in
+      sqrt (sq /. float_of_int (List.length recent))
+
+  let observe t (n, y) =
+    if n < 1. || y < 0. then invalid_arg "Fitting.Online.observe: invalid observation";
+    t.obs_rev <- (n, y) :: t.obs_rev;
+    t.n_obs <- t.n_obs + 1;
+    match t.rls with
+    | None -> ()  (* warming: no linearization point yet, just buffer *)
+    | Some rls ->
+      let p = Numerics.Rls.theta rls in
+      let scale = Float.max y 1e-12 in
+      let predicted = eval_params p n in
+      let gradient = residual_gradient p n y in
+      Numerics.Rls.update rls ~gradient ~error:((y -. predicted) /. scale);
+      Numerics.Rls.set_theta rls (clamp_theta (Numerics.Rls.theta rls));
+      t.n_rank_one <- t.n_rank_one + 1;
+      let law = Scaling_law.of_array (Numerics.Rls.theta rls) in
+      (match t.current_fit with
+      | Some f -> t.current_fit <- Some { f with law }
+      | None -> t.current_fit <- Some { law; r2 = Float.nan; rmse = Float.nan; observations = [||] });
+      (* fallback: when the linearized updates no longer track the data,
+         pay for one full multi-start fit and re-linearize there *)
+      if recent_error t law > t.refit_threshold && distinct_counts t >= 2 then
+        ignore (refit t : fit)
+
+  let observe_all t obs = Array.iter (observe t) obs
+end
+
+(* the batch entry point is now a thin wrapper over the online state:
+   buffer everything, then one full fit — byte-identical to the
+   historical direct path (create draws nothing from [rng]; the single
+   [refit] consumes it exactly as fit_multi_start always did) *)
+let fit_observations ?(starts = 12) ~rng obs = Online.refit (Online.create ~starts ~rng obs)
+
 let predict fit n = Scaling_law.eval_int fit.law n
 
 let recommended_sizes ~n_min ~n_max ~points =
-  if n_min < 1 || n_max < n_min then invalid_arg "Fitting.recommended_sizes: bad range";
-  if points < 2 then invalid_arg "Fitting.recommended_sizes: need at least 2 points";
+  if points < 2 then
+    invalid_arg
+      (Printf.sprintf "Fitting.recommended_sizes: points must be >= 2, got %d" points);
+  if n_min < 1 then
+    invalid_arg (Printf.sprintf "Fitting.recommended_sizes: n_min must be >= 1, got %d" n_min);
+  if n_min > n_max then
+    invalid_arg
+      (Printf.sprintf "Fitting.recommended_sizes: n_min (%d) exceeds n_max (%d)" n_min n_max);
   if n_min = n_max then [ n_min ]
   else begin
     let ratio = float_of_int n_max /. float_of_int n_min in

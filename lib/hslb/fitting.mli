@@ -6,7 +6,12 @@
     non-convex; the paper notes different starts give different
     parameters but similar-quality allocations). Residuals are relative
     so the fast large-[n] tail — where allocations land — carries the
-    same weight as the slow small-[n] region. *)
+    same weight as the slow small-[n] region.
+
+    Batch and online fitting share one surface: {!fit_observations} is a
+    thin wrapper over {!Online.create} followed by one {!Online.refit},
+    while long-lived callers keep an {!Online.t} and fold fresh
+    observations in with rank-one updates instead of refitting. *)
 
 type fit = {
   law : Scaling_law.t;
@@ -15,9 +20,89 @@ type fit = {
   observations : (float * float) array;  (** (nodes, seconds) pairs used *)
 }
 
+(** Incremental fit state over the normal-equations sufficient
+    statistics of the linearized problem.
+
+    [observe] performs a Sherman–Morrison rank-one update (see
+    {!Numerics.Rls}) of the coefficient estimate at the current
+    linearization point, projected back into the batch fitter's box
+    ([a,b,d >= 0], [c ∈ \[0,2\]]). When the relative RMSE of the current
+    law over the most recent observations exceeds [refit_threshold],
+    the state falls back to a full multi-start {!refit} automatically
+    and re-linearizes there. All observations are retained, so [refit]
+    always reproduces the batch answer on the full history. *)
+module Online : sig
+  type t
+
+  (** [create ?starts ?refit_threshold ~rng obs] — a state buffering
+      [obs], not yet fitted. Draws nothing from [rng] and performs no
+      validation until the first {!refit} (so the {!fit_observations}
+      wrapper is byte-compatible with the historical batch path).
+      [starts] (default 12) is the multi-start count used by [refit];
+      [refit_threshold] (default 0.25) the relative-RMSE trigger for
+      automatic refits during [observe].
+      @raise Invalid_argument when [refit_threshold <= 0]. *)
+  val create :
+    ?starts:int ->
+    ?refit_threshold:float ->
+    rng:Numerics.Rng.t ->
+    (float * float) array ->
+    t
+
+  (** [of_law ?starts ?refit_threshold ?prior ~rng law] — seed the
+      estimate from an already-fitted law with no observation history
+      (the serve-layer case: the model store holds coefficients, not
+      raw benchmarks). [prior] is the ridge weight holding the seed
+      (see {!Numerics.Rls.create}); subsequent [observe] calls update
+      immediately via rank-one steps. *)
+  val of_law :
+    ?starts:int ->
+    ?refit_threshold:float ->
+    ?prior:float ->
+    rng:Numerics.Rng.t ->
+    Scaling_law.t ->
+    t
+
+  (** [observe t (n, y)] — fold in one benchmark point: buffered
+      always; when an estimate exists (after [of_law] or a [refit]),
+      also applies a rank-one update, then auto-refits if the
+      linearization error exceeds the threshold.
+      @raise Invalid_argument when [n < 1] or [y < 0]. *)
+  val observe : t -> float * float -> unit
+
+  (** [observe_all t obs] — [observe] each in order. *)
+  val observe_all : t -> (float * float) array -> unit
+
+  (** [refit t] — full multi-start batch fit over all retained
+      observations (identical to the historical [fit_observations]
+      on that data), then re-linearize the rank-one state at the
+      solution. Raises the same [Invalid_argument]s as
+      {!fit_observations} on insufficient or invalid data. *)
+  val refit : t -> fit
+
+  (** Current law.
+      @raise Invalid_argument before any fit or seed exists. *)
+  val law : t -> Scaling_law.t
+
+  (** Current fit, if any. After rank-one updates the [law] field is
+      live but [r2]/[rmse]/[observations] reflect the last full refit
+      ([nan]/empty when seeded by [of_law]). *)
+  val current : t -> fit option
+
+  (** All retained observations, in insertion order. *)
+  val observations : t -> (float * float) array
+
+  (** Count of rank-one updates applied. *)
+  val rank_one_updates : t -> int
+
+  (** Count of full refits performed (explicit and automatic). *)
+  val full_refits : t -> int
+end
+
 (** [fit_observations ~rng obs] — fit one task class.
     [obs] must contain at least 2 distinct node counts; the paper
     recommends >= 4 ("at least greater than four for each component").
+    Equivalent to [Online.refit (Online.create ~rng obs)].
     @raise Invalid_argument otherwise (fewer than 2). *)
 val fit_observations : ?starts:int -> rng:Numerics.Rng.t -> (float * float) array -> fit
 
@@ -27,5 +112,7 @@ val predict : fit -> int -> float
 (** [recommended_sizes ~n_min ~n_max ~points] — geometric spacing of
     benchmark node counts between the extremes, as section III-C
     recommends (smallest allowed, largest possible, a few in between to
-    capture curvature). *)
+    capture curvature).
+    @raise Invalid_argument when [points < 2], [n_min < 1], or
+    [n_min > n_max] — each with a message naming the offending value. *)
 val recommended_sizes : n_min:int -> n_max:int -> points:int -> int list

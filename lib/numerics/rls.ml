@@ -1,0 +1,84 @@
+(* Recursive least squares in information-filter form: keep
+   P = (J^T J + ridge I)^-1 and theta, fold each new linearized row in
+   with the Sherman-Morrison identity. Dimensions here are tiny (4 for
+   the scaling-law fit), so plain float arrays beat anything clever. *)
+
+type t = {
+  k : int;
+  theta : float array;
+  p : float array array;  (* symmetric; kept symmetric by construction *)
+  mutable n_updates : int;
+}
+
+let create ?(prior = 1e-4) theta0 =
+  if prior <= 0. then invalid_arg "Rls.create: prior must be > 0";
+  let k = Array.length theta0 in
+  if k = 0 then invalid_arg "Rls.create: empty parameter vector";
+  {
+    k;
+    theta = Array.copy theta0;
+    p = Array.init k (fun i -> Array.init k (fun j -> if i = j then 1. /. prior else 0.));
+    n_updates = 0;
+  }
+
+let of_normal_equations ?(ridge = 1e-8) ~jtj theta0 =
+  let k = Array.length theta0 in
+  if k = 0 then invalid_arg "Rls.of_normal_equations: empty parameter vector";
+  if Array.length jtj <> k || Array.exists (fun row -> Array.length row <> k) jtj then
+    invalid_arg "Rls.of_normal_equations: jtj must be k x k";
+  let m = Mat.init k k (fun i j -> jtj.(i).(j) +. if i = j then ridge else 0.) in
+  let inv = Mat.inverse m in
+  {
+    k;
+    theta = Array.copy theta0;
+    p = Array.init k (fun i -> Array.init k (fun j -> Mat.get inv i j));
+    n_updates = 0;
+  }
+
+let check_len t what v =
+  if Array.length v <> t.k then
+    invalid_arg (Printf.sprintf "Rls.%s: expected length %d, got %d" what t.k (Array.length v))
+
+(* P g and 1 + g^T P g, shared by [gain] and [update] *)
+let project t g =
+  let pg = Array.make t.k 0. in
+  for i = 0 to t.k - 1 do
+    let s = ref 0. in
+    for j = 0 to t.k - 1 do
+      s := !s +. (t.p.(i).(j) *. g.(j))
+    done;
+    pg.(i) <- !s
+  done;
+  let denom = ref 1. in
+  for i = 0 to t.k - 1 do
+    denom := !denom +. (g.(i) *. pg.(i))
+  done;
+  (pg, !denom)
+
+let gain t ~gradient =
+  check_len t "gain" gradient;
+  let pg, denom = project t gradient in
+  Array.map (fun v -> v /. denom) pg
+
+let update t ~gradient ~error =
+  check_len t "update" gradient;
+  let pg, denom = project t gradient in
+  (* theta += (P g / denom) * error *)
+  for i = 0 to t.k - 1 do
+    t.theta.(i) <- t.theta.(i) +. (pg.(i) /. denom *. error)
+  done;
+  (* P -= (P g)(P g)^T / denom — symmetric rank-one downdate *)
+  for i = 0 to t.k - 1 do
+    for j = 0 to t.k - 1 do
+      t.p.(i).(j) <- t.p.(i).(j) -. (pg.(i) *. pg.(j) /. denom)
+    done
+  done;
+  t.n_updates <- t.n_updates + 1
+
+let theta t = Array.copy t.theta
+
+let set_theta t v =
+  check_len t "set_theta" v;
+  Array.blit v 0 t.theta 0 t.k
+
+let updates t = t.n_updates

@@ -1,0 +1,52 @@
+(** Recursive least squares with Sherman–Morrison rank-one updates.
+
+    The online half of the fitting layer: a state holds the current
+    parameter estimate [theta] and the inverse normal-equations matrix
+    [P = (JᵀJ + ridge·I)⁻¹] of the linearized system. Each [update]
+    folds one new (gradient, prediction-error) pair into both in O(k²)
+    — no refactorization, no stored observation matrix — via the
+    Sherman–Morrison identity
+
+    [P ← P − (P g gᵀ P) / (1 + gᵀ P g)],  [theta ← theta + (P g)·e].
+
+    Numerically this is the information-filter form of recursive least
+    squares; it is exact for linear models and a Gauss–Newton
+    approximation for linearized nonlinear ones (the caller decides
+    when linearization error warrants a full refit — see
+    {!Hslb.Fitting.Online}). *)
+
+type t
+
+(** [create ?prior theta0] — a state whose estimate is [theta0] held by
+    a ridge prior of weight [prior] (default [1e-4]): [P = I/prior], so
+    small priors yield large first steps (weakly held seed), large
+    priors keep early updates conservative. [theta0] is copied. *)
+val create : ?prior:float -> float array -> t
+
+(** [of_normal_equations ?ridge ~jtj theta] — seed from an explicit
+    normal-equations matrix [JᵀJ] (e.g. the Jacobian of a batch fit at
+    its solution): [P = (JᵀJ + ridge·I)⁻¹] (default ridge [1e-8]).
+    @raise Invalid_argument on a non-square or mismatched [jtj].
+    @raise Mat.Singular when [JᵀJ + ridge·I] is singular. *)
+val of_normal_equations : ?ridge:float -> jtj:float array array -> float array -> t
+
+(** [update t ~gradient ~error] — one rank-one step: fold in an
+    observation whose linearized model row is [gradient] and whose
+    prediction error (observed minus predicted, in the residual's
+    scaling) is [error].
+    @raise Invalid_argument on a gradient of the wrong length. *)
+val update : t -> gradient:float array -> error:float -> unit
+
+(** Current estimate (a copy). *)
+val theta : t -> float array
+
+(** [set_theta t v] — overwrite the estimate in place (used to project
+    back into a feasible box after an update). Length-checked. *)
+val set_theta : t -> float array -> unit
+
+(** [gain t ~gradient] — the Kalman gain [P g / (1 + gᵀ P g)] the next
+    [update] with this gradient would apply, without applying it. *)
+val gain : t -> gradient:float array -> float array
+
+(** Number of [update] calls folded in so far. *)
+val updates : t -> int

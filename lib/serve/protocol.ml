@@ -1,3 +1,6 @@
+let min_version = 1
+let current_version = 2
+
 type solve_params = {
   model : [ `Inline of string | `Path of string ];
   n_total : int;
@@ -9,14 +12,22 @@ type solve_params = {
   policy : Arena.Scenario.cls option;
 }
 
+type resolve_params = {
+  base : solve_params;
+  prev : int array;
+  observe : (string * (float * float) array) list;
+  epsilon : float option;
+}
+
 type request =
   | Solve of solve_params
+  | Resolve of resolve_params
   | Sleep of float
   | Ping
   | Stats
   | Drain
 
-type parsed = { id : Json.t; req : (request, string) result }
+type parsed = { id : Json.t; v : int; req : (request, string) result }
 
 let ( let* ) = Result.bind
 
@@ -45,7 +56,22 @@ let opt_str_field v key conv =
     | Ok x -> Ok (Some x)
     | Error msg -> Error (Printf.sprintf "field %S: %s" key msg))
 
-let parse_solve v =
+(* the "v" field: absent means v1 (every pre-versioning client), an
+   integer in [min_version, current_version] selects that dialect,
+   anything else is a protocol error with an exact diagnostic *)
+let parse_version v =
+  match Json.member "v" v with
+  | None | Some Json.Null -> Ok min_version
+  | Some f -> (
+    match Json.int_ f with
+    | Some n when n >= min_version && n <= current_version -> Ok n
+    | Some n ->
+      Error
+        (Printf.sprintf "field \"v\": unsupported protocol version %d (server speaks %d..%d)" n
+           min_version current_version)
+    | None -> Error "field \"v\": expected an integer")
+
+let parse_solve_params v =
   let* model =
     match (Json.member "model_csv" v, Json.member "model_path" v) with
     | Some (Json.Str csv), None -> Ok (`Inline csv)
@@ -86,9 +112,80 @@ let parse_solve v =
         else Error "field \"allowed\": expected an array of integers"))
   in
   let* policy = opt_str_field v "policy" Arena.Scenario.class_of_string in
-  Ok (Solve { model; n_total; objective; solver; strategy; deadline_ms; allowed; policy })
+  Ok { model; n_total; objective; solver; strategy; deadline_ms; allowed; policy }
 
-let parse_request v =
+let parse_solve v =
+  let* p = parse_solve_params v in
+  Ok (Solve p)
+
+let parse_prev v =
+  match Json.member "prev" v with
+  | None | Some Json.Null -> Error "op resolve: missing field \"prev\" (previous allocation)"
+  | Some f -> (
+    match Json.arr f with
+    | None -> Error "field \"prev\": expected an array of positive integers"
+    | Some vs -> (
+      let ints = List.filter_map Json.int_ vs in
+      if List.length ints <> List.length vs || List.exists (fun n -> n < 1) ints then
+        Error "field \"prev\": expected an array of positive integers"
+      else
+        match ints with
+        | [] -> Error "field \"prev\": must not be empty"
+        | _ -> Ok (Array.of_list ints)))
+
+let parse_sample = function
+  | Json.Arr [ n; t ] -> (
+    match (Json.num n, Json.num t) with
+    | Some n, Some t when n >= 1. && t >= 0. -> Some (n, t)
+    | _ -> None)
+  | _ -> None
+
+let parse_observe v =
+  let bad = "field \"observe\": expected an array of {class, samples} objects" in
+  match Json.member "observe" v with
+  | None | Some Json.Null -> Ok []
+  | Some f -> (
+    match Json.arr f with
+    | None -> Error bad
+    | Some entries ->
+      let rec walk acc = function
+        | [] -> Ok (List.rev acc)
+        | e :: tl -> (
+          match (Json.member "class" e, Json.member "samples" e) with
+          | Some (Json.Str name), Some samples -> (
+            match Json.arr samples with
+            | None ->
+              Error
+                (Printf.sprintf
+                   "field \"observe\": class %S: samples must be an array of [nodes, seconds] \
+                    pairs (nodes >= 1, seconds >= 0)"
+                   name)
+            | Some pairs ->
+              let parsed = List.filter_map parse_sample pairs in
+              if List.length parsed <> List.length pairs then
+                Error
+                  (Printf.sprintf
+                     "field \"observe\": class %S: samples must be an array of [nodes, \
+                      seconds] pairs (nodes >= 1, seconds >= 0)"
+                     name)
+              else walk ((name, Array.of_list parsed) :: acc) tl)
+          | _ -> Error bad)
+      in
+      walk [] entries)
+
+let parse_resolve v =
+  let* base = parse_solve_params v in
+  let* prev = parse_prev v in
+  let* observe = parse_observe v in
+  let* epsilon =
+    let* e = opt_field v "epsilon" Json.num "a number" in
+    match e with
+    | Some e when e <= 0. -> Error "field \"epsilon\": must be > 0"
+    | (Some _ | None) as e -> Ok e
+  in
+  Ok (Resolve { base; prev; observe; epsilon })
+
+let parse_request ~v:version v =
   let* op =
     match Json.member "op" v with
     | None -> Ok "solve"
@@ -102,6 +199,9 @@ let parse_request v =
   in
   match op with
   | "solve" -> parse_solve v
+  | "resolve" ->
+    if version < 2 then Error "op \"resolve\" requires protocol v2 (send \"v\": 2)"
+    else parse_resolve v
   | "sleep" -> (
     match Json.member "ms" v with
     | Some f -> (
@@ -113,15 +213,19 @@ let parse_request v =
   | "stats" -> Ok Stats
   | "drain" -> Ok Drain
   | op ->
-    Error (Printf.sprintf "unknown op %S (expected solve | sleep | ping | stats | drain)" op)
+    Error
+      (Printf.sprintf "unknown op %S (expected solve | resolve | sleep | ping | stats | drain)"
+         op)
 
 let parse_line line =
   match Json.parse line with
-  | Error msg -> { id = Json.Null; req = Error ("bad JSON: " ^ msg) }
-  | Ok (Json.Obj _ as v) ->
-    let id = Option.value (Json.member "id" v) ~default:Json.Null in
-    { id; req = parse_request v }
-  | Ok _ -> { id = Json.Null; req = Error "request must be a JSON object" }
+  | Error msg -> { id = Json.Null; v = min_version; req = Error ("bad JSON: " ^ msg) }
+  | Ok (Json.Obj _ as obj) -> (
+    let id = Option.value (Json.member "id" obj) ~default:Json.Null in
+    match parse_version obj with
+    | Error msg -> { id; v = min_version; req = Error msg }
+    | Ok v -> { id; v; req = parse_request ~v obj })
+  | Ok _ -> { id = Json.Null; v = min_version; req = Error "request must be a JSON object" }
 
 (* shared by the server (to solve) and the router (to shard): turn a
    solve request's model reference into concrete specs. Kept here, next
@@ -157,7 +261,11 @@ let fingerprint p =
   let* specs = resolve_specs p in
   Ok (Hslb.Alloc_model.fingerprint ~objective:p.objective ~n_total:p.n_total specs)
 
-let response ~id fields = Json.to_string (Json.Obj (("id", id) :: fields))
+(* v1 responses must stay byte-identical to the pre-versioning wire, so
+   the "v" echo appears only in v2+ dialects *)
+let response ?(v = min_version) ~id fields =
+  let fields = if v >= 2 then ("v", Json.Num (float_of_int v)) :: fields else fields in
+  Json.to_string (Json.Obj (("id", id) :: fields))
 
-let error_response ~id ~outcome msg =
-  response ~id [ ("outcome", Json.Str outcome); ("error", Json.Str msg) ]
+let error_response ?v ~id ~outcome msg =
+  response ?v ~id [ ("outcome", Json.Str outcome); ("error", Json.Str msg) ]

@@ -4,12 +4,24 @@
     contract.
 
     A request is an object with an optional ["id"] (echoed verbatim in
-    the response — any JSON scalar), an ["op"] (default ["solve"]), and
-    op-specific fields. Responses always carry ["id"] and an
-    ["outcome"]: ["ok"], ["error"] (malformed request or failed solve),
-    ["overloaded"] (queue high-water rejection), ["expired"] (the
-    deadline was consumed before the solve started) or ["draining"]
-    (rejected because shutdown began). *)
+    the response — any JSON scalar), an optional protocol version ["v"]
+    (absent means v1, the pre-versioning dialect; current is
+    {!current_version}), an ["op"] (default ["solve"]), and op-specific
+    fields. Responses always carry ["id"] and an ["outcome"]: ["ok"],
+    ["error"] (malformed request or failed solve), ["overloaded"]
+    (queue high-water rejection), ["expired"] (the deadline was
+    consumed before the solve started) or ["draining"] (rejected
+    because shutdown began). Responses to v2+ requests additionally
+    echo ["v"]; v1 responses are byte-identical to the pre-versioning
+    wire. *)
+
+(** Oldest dialect the server speaks (the implicit version of requests
+    with no ["v"] field). *)
+val min_version : int
+
+(** Newest dialect the server speaks. The ["resolve"] op requires
+    [>= 2]. *)
+val current_version : int
 
 type solve_params = {
   model : [ `Inline of string | `Path of string ];
@@ -30,16 +42,37 @@ type solve_params = {
           docs/ARENA.md). Advisory: it never changes the solve. *)
 }
 
+(** The ["resolve"] op (v2+): re-solve an instance the client solved
+    before, folding fresh benchmark observations into the model online
+    and skipping the MINLP when an ε-reoptimality certificate
+    ({!Audit.Sensitivity}) proves the previous allocation still
+    near-optimal. *)
+type resolve_params = {
+  base : solve_params;  (** same model/budget fields as ["solve"] *)
+  prev : int array;
+      (** ["prev"] — the incumbent allocation (nodes per task, one entry
+          per model class, in model order); mandatory warm start *)
+  observe : (string * (float * float) array) list;
+      (** ["observe"] — fresh benchmark points per class:
+          [\[{"class": name, "samples": \[\[nodes, seconds\], ...\]}\]] *)
+  epsilon : float option;
+      (** ["epsilon"] — certificate threshold, server default otherwise *)
+}
+
 type request =
   | Solve of solve_params
+  | Resolve of resolve_params  (** v2+ only *)
   | Sleep of float  (** ["op":"sleep"], ["ms"]: occupy a worker — testing/ops aid *)
   | Ping  (** liveness check, answered inline *)
   | Stats  (** server counters, answered inline *)
   | Drain  (** initiate graceful drain, as SIGTERM does *)
 
 (** A parsed request line: the echoed [id] (Null when the line was not
-    parseable JSON) and the request or a protocol error message. *)
-type parsed = { id : Json.t; req : (request, string) result }
+    parseable JSON), the negotiated protocol version [v] ([min_version]
+    when absent or invalid — an invalid ["v"] also puts its exact
+    diagnostic in [req]), and the request or a protocol error
+    message. *)
+type parsed = { id : Json.t; v : int; req : (request, string) result }
 
 val parse_line : string -> parsed
 
@@ -56,10 +89,12 @@ val resolve_specs : solve_params -> (Hslb.Alloc_model.spec list, string) result
     router's hash ring shards on. *)
 val fingerprint : solve_params -> (string, string) result
 
-(** [response ~id fields] — one NDJSON response line: an object opening
-    with the echoed ["id"] followed by [fields]. *)
-val response : id:Json.t -> (string * Json.t) list -> string
+(** [response ?v ~id fields] — one NDJSON response line: an object
+    opening with the echoed ["id"], then (for [v >= 2]) the ["v"] echo,
+    then [fields]. Default [v] is {!min_version}, which emits no ["v"]
+    — the pre-versioning byte layout. *)
+val response : ?v:int -> id:Json.t -> (string * Json.t) list -> string
 
-(** [error_response ~id ~outcome msg] — [response] with
+(** [error_response ?v ~id ~outcome msg] — [response] with
     [outcome] and an ["error"] message. *)
-val error_response : id:Json.t -> outcome:string -> string -> string
+val error_response : ?v:int -> id:Json.t -> outcome:string -> string -> string

@@ -220,9 +220,9 @@ let stats_json t = Json.to_string (stats_obj t)
 
 (* ---------- answering ---------- *)
 
-let answer_error t ~id ~reply msg =
+let answer_error ?v t ~id ~reply msg =
   locked t (fun () -> t.n_errors <- t.n_errors + 1);
-  reply_line t reply (Protocol.error_response ~id ~outcome:"error" msg)
+  reply_line t reply (Protocol.error_response ?v ~id ~outcome:"error" msg)
 
 let finish_agg t (a : agg) =
   match a.areply with
@@ -518,8 +518,10 @@ let backend_named t name = List.find_opt (fun b -> b.bname = name) t.backends
 
 let submit t ~reply line =
   locked t (fun () -> t.n_requests <- t.n_requests + 1);
-  let { Protocol.id; req } = Protocol.parse_line line in
-  (* the raw object, for forwarding with only the id rewritten *)
+  let { Protocol.id; v; req } = Protocol.parse_line line in
+  (* the raw object, for forwarding with only the id rewritten — the
+     "v" field rides along untouched, so each backend answers in the
+     client's own dialect *)
   let fields =
     match Json.parse line with Ok (Json.Obj fs) -> fs | Ok _ | Error _ -> []
   in
@@ -527,7 +529,7 @@ let submit t ~reply line =
   match req with
   | Error msg ->
     locked t (fun () -> t.n_protocol_errors <- t.n_protocol_errors + 1);
-    reply_line t reply (Protocol.error_response ~id ~outcome:"error" msg)
+    reply_line t reply (Protocol.error_response ~v ~id ~outcome:"error" msg)
   | Ok Protocol.Drain ->
     let first =
       locked t (fun () ->
@@ -549,26 +551,35 @@ let submit t ~reply line =
   | Ok Protocol.Ping -> fan_out t ~orig:id ~reply:(Some reply) `Ping [ ("op", Json.Str "ping") ]
   | Ok Protocol.Stats ->
     fan_out t ~orig:id ~reply:(Some reply) `Stats [ ("op", Json.Str "stats") ]
-  | Ok (Protocol.Sleep _ | Protocol.Solve _) when refusing ->
+  | Ok (Protocol.Sleep _ | Protocol.Solve _ | Protocol.Resolve _) when refusing ->
     reply_line t reply
-      (Protocol.error_response ~id ~outcome:"draining"
+      (Protocol.error_response ~v ~id ~outcome:"draining"
          "router is draining; not accepting work")
   | Ok (Protocol.Sleep _) -> (
     match pick_round_robin t with
-    | None -> answer_error t ~id ~reply "no live backends"
+    | None -> answer_error ~v t ~id ~reply "no live backends"
     | Some b -> forward_single t b ~orig:id ~reply fields)
-  | Ok (Protocol.Solve p) -> (
+  | Ok (Protocol.Solve _ | Protocol.Resolve _) -> (
+    (* solve and resolve shard identically: a resolve must land on the
+       backend whose cache holds that instance's history, so both hash
+       the same solve fingerprint onto the ring *)
+    let p =
+      match req with
+      | Ok (Protocol.Solve p) -> p
+      | Ok (Protocol.Resolve rp) -> rp.Protocol.base
+      | Ok _ | Error _ -> assert false
+    in
     match Protocol.fingerprint p with
     | Error msg ->
       locked t (fun () -> t.n_protocol_errors <- t.n_protocol_errors + 1);
-      reply_line t reply (Protocol.error_response ~id ~outcome:"error" msg)
+      reply_line t reply (Protocol.error_response ~v ~id ~outcome:"error" msg)
     | Ok key -> (
       let shard = locked t (fun () -> if Ring.is_empty t.ring then None else Some (Ring.shard t.ring key)) in
       match shard with
-      | None -> answer_error t ~id ~reply "no live backends"
+      | None -> answer_error ~v t ~id ~reply "no live backends"
       | Some name -> (
         match backend_named t name with
-        | None -> answer_error t ~id ~reply (Printf.sprintf "backend %s unavailable" name)
+        | None -> answer_error ~v t ~id ~reply (Printf.sprintf "backend %s unavailable" name)
         | Some b -> forward_single t b ~orig:id ~reply fields)))
 
 (* ---------- lifecycle ---------- *)

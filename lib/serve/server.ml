@@ -37,16 +37,26 @@ type solve_job = {
   specs : Hslb.Alloc_model.spec list;
   key : string;
   (* (request id, arrival time, that request's reply sink, that
-     request's own policy hint). The dedupe key is the pure solve
-     fingerprint — the policy hint is advisory and must not fragment
-     the cache — so each follower keeps its own hint and gets its own
-     recommendation back, not the leader's. *)
-  mutable followers : (Json.t * float * (string -> unit) * Arena.Scenario.cls option) list;
+     request's own policy hint, that request's protocol version). The
+     dedupe key is the pure solve fingerprint — the policy hint is
+     advisory and must not fragment the cache — so each follower keeps
+     its own hint and gets its own recommendation back, not the
+     leader's; likewise each follower is answered in its own protocol
+     dialect. *)
+  mutable followers : (Json.t * float * (string -> unit) * Arena.Scenario.cls option * int) list;
 }
 
-type work = W_solve of solve_job | W_sleep of float
+(* a resolve admitted to the queue: the incumbent allocation plus
+   fresh observations, against the specs as the model file/text gave
+   them (the online update is applied by the worker). Resolve requests
+   are never deduped: two resolves with identical models may carry
+   different observations, and the whole point is that their effect on
+   the answer is decided per-request by the certificate. *)
+type resolve_job = { rparams : Protocol.resolve_params; rspecs : Hslb.Alloc_model.spec list }
 
-type job = { jid : Json.t; arrival : float; reply : string -> unit; work : work }
+type work = W_solve of solve_job | W_resolve of resolve_job | W_sleep of float
+
+type job = { jid : Json.t; v : int; arrival : float; reply : string -> unit; work : work }
 
 type t = {
   cfg : config;
@@ -80,7 +90,12 @@ type t = {
   mutable n_expired : int;
   mutable n_protocol_errors : int;
   mutable n_policy_hints : int;
+  mutable n_resolved : int;
+  mutable n_resolve_skipped : int;
 }
+
+(* resolve: certificate threshold when the request names none *)
+let default_epsilon = 0.05
 
 let now () = Unix.gettimeofday ()
 
@@ -181,8 +196,8 @@ let policy_fields t = function
           ] );
     ]
 
-let ok_response ~id (alloc : Hslb.Alloc_model.allocation) ~audit ~policy r =
-  Protocol.response ~id
+let ok_response ~v ~id ?(extra = []) (alloc : Hslb.Alloc_model.allocation) ~audit ~policy r =
+  Protocol.response ~v ~id
     ([
       ("outcome", Json.Str "ok");
       ( "status",
@@ -199,11 +214,11 @@ let ok_response ~id (alloc : Hslb.Alloc_model.allocation) ~audit ~policy r =
              (Array.map (fun v -> Json.Num v) alloc.Hslb.Alloc_model.predicted_times)) );
       ("audit", match audit with Some s -> Json.Str s | None -> Json.Null);
     ]
-    @ policy
+    @ extra @ policy
     @ [ ("telemetry", Json.Obj (tele_fields r)) ])
 
-let failed_response ~id status r =
-  Protocol.response ~id
+let failed_response ~v ~id status r =
+  Protocol.response ~v ~id
     [
       ("outcome", Json.Str "error");
       ( "error",
@@ -214,10 +229,10 @@ let failed_response ~id status r =
 
 (* ---------- workers ---------- *)
 
-let respond_solve t ~id ~reply ~op result ~audit ~policy r =
+let respond_solve t ~v ~id ~reply ~op ?extra result ~audit ~policy r =
   (match result with
-  | Ok alloc -> reply_line t reply (ok_response ~id alloc ~audit ~policy r)
-  | Error st -> reply_line t reply (failed_response ~id st r));
+  | Ok alloc -> reply_line t reply (ok_response ~v ~id ?extra alloc ~audit ~policy r)
+  | Error st -> reply_line t reply (failed_response ~v ~id st r));
   let outcome, status =
     match result with
     | Ok (alloc : Hslb.Alloc_model.allocation) ->
@@ -249,19 +264,19 @@ let process_solve t (job : job) (sj : solve_job) =
     | None -> false
   in
   if expired then begin
-    let answer id reply tele =
+    let answer ~v id reply tele =
       Obs.Metrics.Histogram.observe t.qwait_h tele.queue_wait_ms;
       reply_line t reply
-        (Protocol.error_response ~id ~outcome:"expired"
+        (Protocol.error_response ~v ~id ~outcome:"expired"
            (Printf.sprintf "deadline (%.0f ms) consumed by %.0f ms of queue wait"
               (Option.get p.Protocol.deadline_ms)
               tele.queue_wait_ms));
       telemetry_line t ~id ~op:"solve" ~outcome:"expired" ~status:None tele
     in
-    answer job.jid job.reply (zero_tele ~queue_wait_ms:(queue_wait *. 1000.));
+    answer ~v:job.v job.jid job.reply (zero_tele ~queue_wait_ms:(queue_wait *. 1000.));
     List.iter
-      (fun (fid, arr, freply, _) ->
-        answer fid freply (follower_tele arr (zero_tele ~queue_wait_ms:0.)))
+      (fun (fid, arr, freply, _, fv) ->
+        answer ~v:fv fid freply (follower_tele arr (zero_tele ~queue_wait_ms:0.)))
       followers;
     locked t (fun () ->
         t.n_expired <- t.n_expired + 1 + List.length followers;
@@ -300,7 +315,7 @@ let process_solve t (job : job) (sj : solve_job) =
     Obs.Metrics.Histogram.observe t.solve_h (solve_wall *. 1000.);
     Obs.Metrics.Histogram.observe t.qwait_h (queue_wait *. 1000.);
     List.iter
-      (fun (_, arr, _, _) ->
+      (fun (_, arr, _, _, _) ->
         Obs.Metrics.Histogram.observe t.qwait_h
           (Float.max 0. ((start -. arr) *. 1000.)))
       followers;
@@ -321,27 +336,240 @@ let process_solve t (job : job) (sj : solve_job) =
         | Ok _ | Error _ -> None
       in
       let tele = tele_of cache_hit in
-      respond_solve t ~id:job.jid ~reply:job.reply ~op:"solve" result ~audit
+      respond_solve t ~v:job.v ~id:job.jid ~reply:job.reply ~op:"solve" result ~audit
         ~policy:(policy_fields t p.Protocol.policy) tele;
       List.iter
-        (fun (fid, arr, freply, fpolicy) ->
-          respond_solve t ~id:fid ~reply:freply ~op:"solve" result ~audit
+        (fun (fid, arr, freply, fpolicy, fv) ->
+          respond_solve t ~v:fv ~id:fid ~reply:freply ~op:"solve" result ~audit
             ~policy:(policy_fields t fpolicy) (follower_tele arr tele))
         followers
     | `Crashed msg ->
-      let answer id reply tele =
+      let answer ~v id reply tele =
         reply_line t reply
-          (Protocol.error_response ~id ~outcome:"error" ("internal error: " ^ msg));
+          (Protocol.error_response ~v ~id ~outcome:"error" ("internal error: " ^ msg));
         telemetry_line t ~id ~op:"solve" ~outcome:"error" ~status:None tele
       in
       let tele = tele_of false in
-      answer job.jid job.reply tele;
+      answer ~v:job.v job.jid job.reply tele;
       List.iter
-        (fun (fid, arr, freply, _) -> answer fid freply (follower_tele arr tele))
+        (fun (fid, arr, freply, _, fv) -> answer ~v:fv fid freply (follower_tele arr tele))
         followers);
     locked t (fun () ->
         Engine.Telemetry.merge_into t.tally req_tally;
         t.n_served <- t.n_served + 1 + List.length followers)
+  end
+
+(* ---------- resolve: online update, certificate, warm re-solve ---------- *)
+
+(* fold the request's fresh observations into each class's law with
+   rank-one online updates; classes the request says nothing about keep
+   their coefficients. Deterministically seeded: the rng only matters
+   if the online state decides a full multi-start refit is needed. *)
+let updated_specs (rj : resolve_job) =
+  List.map
+    (fun (spec : Hslb.Alloc_model.spec) ->
+      let fc = spec.Hslb.Alloc_model.fc in
+      let name = fc.Hslb.Classes.cls.Hslb.Classes.name in
+      match List.assoc_opt name rj.rparams.Protocol.observe with
+      | None | Some [||] -> spec
+      | Some samples ->
+        let fit0 = fc.Hslb.Classes.fit in
+        let ol =
+          Hslb.Fitting.Online.of_law ~rng:(Numerics.Rng.create 42) fit0.Hslb.Fitting.law
+        in
+        Hslb.Fitting.Online.observe_all ol samples;
+        let fit = { fit0 with Hslb.Fitting.law = Hslb.Fitting.Online.law ol } in
+        { spec with Hslb.Alloc_model.fc = { fc with Hslb.Classes.fit } })
+    rj.rspecs
+
+let sensitivity_classes ~n_total specs =
+  List.map
+    (fun (s : Hslb.Alloc_model.spec) ->
+      {
+        Audit.Sensitivity.law = s.Hslb.Alloc_model.fc.Hslb.Classes.fit.Hslb.Fitting.law;
+        count = s.Hslb.Alloc_model.fc.Hslb.Classes.cls.Hslb.Classes.count;
+        n_min = s.Hslb.Alloc_model.n_min;
+        (* clamp the open-ended default box to the budget: no class can
+           be allocated more than n_total, so this stays a relaxation *)
+        n_max = min s.Hslb.Alloc_model.n_max n_total;
+        allowed = s.Hslb.Alloc_model.allowed;
+      })
+    specs
+
+let certificate_fields = function
+  | None -> []
+  | Some (c : Audit.Sensitivity.certificate) ->
+    [
+      ( "certificate",
+        Json.Obj
+          [
+            ("incumbent", Json.Num c.Audit.Sensitivity.incumbent_obj);
+            ("bound", Json.Num c.Audit.Sensitivity.relaxation_bound);
+            ("gap_rel", Json.Num c.Audit.Sensitivity.gap_rel);
+            ("eps", Json.Num c.Audit.Sensitivity.eps);
+          ] );
+    ]
+
+let process_resolve t (job : job) (rj : resolve_job) =
+  let start = now () in
+  let queue_wait = start -. job.arrival in
+  let rp = rj.rparams in
+  let p = rp.Protocol.base in
+  let v = job.v in
+  let expired =
+    match p.Protocol.deadline_ms with
+    | Some ms -> queue_wait *. 1000. >= ms
+    | None -> false
+  in
+  let finish_tele tele = Obs.Metrics.Histogram.observe t.qwait_h tele.queue_wait_ms in
+  if expired then begin
+    let tele = zero_tele ~queue_wait_ms:(queue_wait *. 1000.) in
+    finish_tele tele;
+    reply_line t job.reply
+      (Protocol.error_response ~v ~id:job.jid ~outcome:"expired"
+         (Printf.sprintf "deadline (%.0f ms) consumed by %.0f ms of queue wait"
+            (Option.get p.Protocol.deadline_ms)
+            tele.queue_wait_ms));
+    telemetry_line t ~id:job.jid ~op:"resolve" ~outcome:"expired" ~status:None tele;
+    locked t (fun () ->
+        t.n_expired <- t.n_expired + 1;
+        t.n_served <- t.n_served + 1)
+  end
+  else begin
+    let specs = updated_specs rj in
+    let k = List.length specs in
+    if Array.length rp.Protocol.prev <> k then begin
+      let tele = zero_tele ~queue_wait_ms:(queue_wait *. 1000.) in
+      finish_tele tele;
+      reply_line t job.reply
+        (Protocol.error_response ~v ~id:job.jid ~outcome:"error"
+           (Printf.sprintf
+              "field \"prev\": expected %d entries (one per model class), got %d" k
+              (Array.length rp.Protocol.prev)));
+      telemetry_line t ~id:job.jid ~op:"resolve" ~outcome:"error" ~status:None tele;
+      locked t (fun () -> t.n_served <- t.n_served + 1)
+    end
+    else begin
+      let eps = Option.value rp.Protocol.epsilon ~default:default_epsilon in
+      let verdict =
+        match p.Protocol.objective with
+        | Hslb.Objective.Min_max ->
+          Audit.Sensitivity.check ~eps ~n_total:p.Protocol.n_total
+            ~incumbent:rp.Protocol.prev
+            (sensitivity_classes ~n_total:p.Protocol.n_total specs)
+        | Hslb.Objective.Max_min | Hslb.Objective.Min_sum ->
+          (* the relaxation bound is a min-max construction; other
+             objectives always pay for the re-solve *)
+          Audit.Sensitivity.Rejected
+            { certificate = None; reason = "certificate requires the min-max objective" }
+      in
+      match verdict with
+      | Audit.Sensitivity.Certified cert ->
+        (* the incumbent is provably within eps of the best any
+           allocation can do under the updated coefficients: answer
+           from it without entering the solver *)
+        let predicted_times =
+          List.map2
+            (fun (s : Hslb.Alloc_model.spec) n ->
+              Json.Num (Hslb.Fitting.predict s.Hslb.Alloc_model.fc.Hslb.Classes.fit n))
+            specs
+            (Array.to_list rp.Protocol.prev)
+        in
+        let tele =
+          {
+            (zero_tele ~queue_wait_ms:(queue_wait *. 1000.)) with
+            solve_wall_ms = (now () -. start) *. 1000.;
+          }
+        in
+        finish_tele tele;
+        reply_line t job.reply
+          (Protocol.response ~v ~id:job.jid
+             ([
+                ("outcome", Json.Str "ok");
+                ("resolve", Json.Str "unchanged");
+                ("makespan", Json.Num cert.Audit.Sensitivity.incumbent_obj);
+                ( "nodes_per_task",
+                  Json.Arr
+                    (Array.to_list
+                       (Array.map (fun n -> Json.Num (float_of_int n)) rp.Protocol.prev)) );
+                ("predicted_times", Json.Arr predicted_times);
+              ]
+             @ certificate_fields (Some cert)
+             @ policy_fields t p.Protocol.policy
+             @ [ ("telemetry", Json.Obj (tele_fields tele)) ]));
+        telemetry_line t ~id:job.jid ~op:"resolve" ~outcome:"ok" ~status:(Some "unchanged") tele;
+        locked t (fun () ->
+            t.n_resolve_skipped <- t.n_resolve_skipped + 1;
+            t.n_served <- t.n_served + 1)
+      | Audit.Sensitivity.Rejected { certificate; reason = _ } ->
+        let deadline_s =
+          Option.map (fun ms -> (ms /. 1000.) -. queue_wait) p.Protocol.deadline_ms
+        in
+        let budget = Engine.Budget.arm (Engine.Budget.make ?deadline_s ~cancel:t.drain_tok ()) in
+        let solver = Option.value p.Protocol.solver ~default:t.cfg.default_solver in
+        let strategy = Option.value p.Protocol.strategy ~default:t.cfg.default_strategy in
+        let race_report = ref None in
+        let req_tally = Engine.Telemetry.create () in
+        (* memoized under the UPDATED model's fingerprint — a later
+           solve (or resolve) of the drifted model replays it *)
+        let key =
+          Hslb.Alloc_model.fingerprint ~objective:p.Protocol.objective
+            ~n_total:p.Protocol.n_total specs
+        in
+        (* warm-start from the incumbent only when it is feasible under
+           the new model (a certificate record was computed at all) *)
+        let warm_start = if certificate <> None then Some rp.Protocol.prev else None in
+        let outcome =
+          match Runtime.Cache.find t.cache key with
+          | Some alloc -> `Solved (Ok alloc, true)
+          | None -> (
+            match
+              Hslb.Alloc_model.solve ~strategy ~solver ~objective:p.Protocol.objective
+                ?warm_start ~budget ~trace:req_tally ~race_report
+                ~n_total:p.Protocol.n_total specs
+            with
+            | r ->
+              (match r with
+              | Ok alloc when alloc.Hslb.Alloc_model.status = Minlp.Solution.Optimal ->
+                Runtime.Cache.put t.cache key alloc
+              | Ok _ | Error _ -> ());
+              `Solved (r, false)
+            | exception e -> `Crashed (Printexc.to_string e))
+        in
+        let solve_wall = Engine.Budget.elapsed_s budget in
+        Obs.Metrics.Histogram.observe t.solve_h (solve_wall *. 1000.);
+        finish_tele (zero_tele ~queue_wait_ms:(queue_wait *. 1000.));
+        let tele =
+          {
+            queue_wait_ms = queue_wait *. 1000.;
+            solve_wall_ms = solve_wall *. 1000.;
+            cache_hit = (match outcome with `Solved (_, hit) -> hit | `Crashed _ -> false);
+            dedup = false;
+            lane_winner = Option.map (fun r -> r.Engine.Run_report.winner) !race_report;
+          }
+        in
+        (match outcome with
+        | `Solved (result, _) ->
+          let audit =
+            match result with
+            | Ok alloc when t.cfg.audit -> Some (audit_verdict p specs alloc)
+            | Ok _ | Error _ -> None
+          in
+          respond_solve t ~v ~id:job.jid ~reply:job.reply ~op:"resolve"
+            ~extra:(("resolve", Json.Str "resolved") :: certificate_fields certificate)
+            result ~audit
+            ~policy:(policy_fields t p.Protocol.policy)
+            tele
+        | `Crashed msg ->
+          reply_line t job.reply
+            (Protocol.error_response ~v ~id:job.jid ~outcome:"error"
+               ("internal error: " ^ msg));
+          telemetry_line t ~id:job.jid ~op:"resolve" ~outcome:"error" ~status:None tele);
+        locked t (fun () ->
+            Engine.Telemetry.merge_into t.tally req_tally;
+            t.n_resolved <- t.n_resolved + 1;
+            t.n_served <- t.n_served + 1)
+    end
   end
 
 let process_sleep t (job : job) dur =
@@ -379,11 +607,14 @@ let process t job =
   let body () =
     match job.work with
     | W_solve sj -> process_solve t job sj
+    | W_resolve rj -> process_resolve t job rj
     | W_sleep dur -> process_sleep t job dur
   in
   if not (Obs.Control.enabled ()) then body ()
   else
-    let op = match job.work with W_solve _ -> "solve" | W_sleep _ -> "sleep" in
+    let op =
+      match job.work with W_solve _ -> "solve" | W_resolve _ -> "resolve" | W_sleep _ -> "sleep"
+    in
     Obs.Span.with_span ~cat:"serve" ~args:[ ("op", op) ] "serve.request" body
 
 let worker_body t _i =
@@ -442,6 +673,8 @@ let create ?telemetry cfg ~emit =
       n_expired = 0;
       n_protocol_errors = 0;
       n_policy_hints = 0;
+      n_resolved = 0;
+      n_resolve_skipped = 0;
     }
   in
   t.workers <- Some (Runtime.Pool.spawn_workers ~jobs:cfg.jobs (worker_body t));
@@ -491,6 +724,14 @@ let stats_obj t =
              ("expired", Json.Num (float_of_int t.n_expired));
              ("protocol_errors", Json.Num (float_of_int t.n_protocol_errors));
              ("policy_hints", Json.Num (float_of_int t.n_policy_hints));
+             ("resolved", Json.Num (float_of_int t.n_resolved));
+             ("resolve_skipped", Json.Num (float_of_int t.n_resolve_skipped));
+             ( "protocol",
+               Json.Obj
+                 [
+                   ("min", Json.Num (float_of_int Protocol.min_version));
+                   ("max", Json.Num (float_of_int Protocol.current_version));
+                 ] );
              ("latency", latency_obj t);
              ( "cache",
                Json.Obj
@@ -562,8 +803,11 @@ let await_drain t =
 
 (* ---------- admission ---------- *)
 
-let admit t ~id ~reply work =
-  let job = { jid = id; arrival = now (); reply; work } in
+let admit t ~id ~v ~reply work =
+  let job = { jid = id; v; arrival = now (); reply; work } in
+  let op =
+    match work with W_solve _ -> "solve" | W_resolve _ -> "resolve" | W_sleep _ -> "sleep"
+  in
   let verdict =
     locked t (fun () ->
         if t.is_draining then begin
@@ -584,7 +828,7 @@ let admit t ~id ~reply work =
               (* identical instance already queued or solving: attach,
                  carrying this request's own policy hint *)
               leader.followers <-
-                (id, job.arrival, reply, sj.params.Protocol.policy) :: leader.followers;
+                (id, job.arrival, reply, sj.params.Protocol.policy, v) :: leader.followers;
               t.n_accepted <- t.n_accepted + 1;
               t.n_deduped <- t.n_deduped + 1;
               `Attached
@@ -594,6 +838,15 @@ let admit t ~id ~reply work =
               t.n_accepted <- t.n_accepted + 1;
               Condition.signal t.nonempty;
               `Queued)
+          | W_resolve rj ->
+            (* never deduped: the observations ride with the request,
+               and the certificate decides per-request what they mean *)
+            if rj.rparams.Protocol.base.Protocol.policy <> None then
+              t.n_policy_hints <- t.n_policy_hints + 1;
+            Queue.push job t.queue;
+            t.n_accepted <- t.n_accepted + 1;
+            Condition.signal t.nonempty;
+            `Queued
           | W_sleep _ ->
             Queue.push job t.queue;
             t.n_accepted <- t.n_accepted + 1;
@@ -605,40 +858,59 @@ let admit t ~id ~reply work =
   | `Queued | `Attached -> ()
   | `Overloaded ->
     reply_line t reply
-      (Protocol.error_response ~id ~outcome:"overloaded"
+      (Protocol.error_response ~v ~id ~outcome:"overloaded"
          (Printf.sprintf "queue at high-water mark (%d); retry later" t.cfg.queue_limit));
-    telemetry_line t ~id ~op:"solve" ~outcome:"overloaded" ~status:None
-      (zero_tele ~queue_wait_ms:0.)
+    telemetry_line t ~id ~op ~outcome:"overloaded" ~status:None (zero_tele ~queue_wait_ms:0.)
   | `Draining ->
     reply_line t reply
-      (Protocol.error_response ~id ~outcome:"draining" "server is draining; not accepting work")
+      (Protocol.error_response ~v ~id ~outcome:"draining"
+         "server is draining; not accepting work")
+
+let protocol_obj =
+  Json.Obj
+    [
+      ("min", Json.Num (float_of_int Protocol.min_version));
+      ("max", Json.Num (float_of_int Protocol.current_version));
+    ]
 
 let submit ?reply t line =
   let reply = Option.value reply ~default:t.emit in
-  let { Protocol.id; req } = Protocol.parse_line line in
+  let { Protocol.id; v; req } = Protocol.parse_line line in
   match req with
   | Error msg ->
     locked t (fun () -> t.n_protocol_errors <- t.n_protocol_errors + 1);
-    reply_line t reply (Protocol.error_response ~id ~outcome:"error" msg)
+    reply_line t reply (Protocol.error_response ~v ~id ~outcome:"error" msg)
   | Ok Protocol.Ping ->
+    (* the v1 ping reply is pinned byte-for-byte by tests; the v2
+       dialect adds the protocol advertisement *)
+    let extra = if v >= 2 then [ ("protocol", protocol_obj) ] else [] in
     reply_line t reply
-      (Protocol.response ~id [ ("outcome", Json.Str "ok"); ("pong", Json.Bool true) ])
+      (Protocol.response ~v ~id
+         ([ ("outcome", Json.Str "ok"); ("pong", Json.Bool true) ] @ extra))
   | Ok Protocol.Stats ->
+    let extra = if v >= 2 then [ ("protocol", protocol_obj) ] else [] in
     reply_line t reply
-      (Protocol.response ~id [ ("outcome", Json.Str "ok"); ("stats", stats_obj t) ])
+      (Protocol.response ~v ~id
+         ([ ("outcome", Json.Str "ok"); ("stats", stats_obj t) ] @ extra))
   | Ok Protocol.Drain ->
     initiate_drain t;
     reply_line t reply
-      (Protocol.response ~id [ ("outcome", Json.Str "ok"); ("draining", Json.Bool true) ])
-  | Ok (Protocol.Sleep dur) -> admit t ~id ~reply (W_sleep dur)
+      (Protocol.response ~v ~id [ ("outcome", Json.Str "ok"); ("draining", Json.Bool true) ])
+  | Ok (Protocol.Sleep dur) -> admit t ~id ~v ~reply (W_sleep dur)
   | Ok (Protocol.Solve p) -> (
     match Protocol.resolve_specs p with
     | Error msg ->
       locked t (fun () -> t.n_protocol_errors <- t.n_protocol_errors + 1);
-      reply_line t reply (Protocol.error_response ~id ~outcome:"error" msg)
+      reply_line t reply (Protocol.error_response ~v ~id ~outcome:"error" msg)
     | Ok specs ->
       let key =
         Hslb.Alloc_model.fingerprint ~objective:p.Protocol.objective
           ~n_total:p.Protocol.n_total specs
       in
-      admit t ~id ~reply (W_solve { params = p; specs; key; followers = [] }))
+      admit t ~id ~v ~reply (W_solve { params = p; specs; key; followers = [] }))
+  | Ok (Protocol.Resolve rp) -> (
+    match Protocol.resolve_specs rp.Protocol.base with
+    | Error msg ->
+      locked t (fun () -> t.n_protocol_errors <- t.n_protocol_errors + 1);
+      reply_line t reply (Protocol.error_response ~v ~id ~outcome:"error" msg)
+    | Ok specs -> admit t ~id ~v ~reply (W_resolve { rparams = rp; rspecs = specs }))

@@ -405,6 +405,29 @@ let test_router_policy_passthrough () =
                  ("scheduler", Serve.Json.Str "stealing");
                ])))
 
+let test_router_resolve_passthrough () =
+  with_two_backend_router (fun router _ ->
+      let s = make_sink () in
+      let single = Serve.Json.to_string (Serve.Json.Str "alpha,4,100,0.001,1,0.5") in
+      (* a solve and a resolve of the same base must shard by the same
+         fingerprint, so the resolve lands where the history lives *)
+      Serve.Router.submit router ~reply:(sink_reply s)
+        (Printf.sprintf {|{"id":41,"model_csv":%s,"nodes":32}|} single);
+      Serve.Router.submit router ~reply:(sink_reply s)
+        (Printf.sprintf {|{"id":42,"v":2,"op":"resolve","model_csv":%s,"nodes":32,"prev":[8]}|}
+           single);
+      wait_until "solve + resolve answers" (fun () -> List.length (sink_values s) >= 2);
+      let vs = sink_values s in
+      let solve = find_by_id vs 41 and resolve = find_by_id vs 42 in
+      Alcotest.(check string) "solve ok" "ok" (outcome_of solve);
+      Alcotest.(check string) "resolve ok" "ok" (outcome_of resolve);
+      Alcotest.(check (option string)) "certified unchanged" (Some "unchanged")
+        (Option.bind (Serve.Json.member "resolve" resolve) Serve.Json.str);
+      Alcotest.(check bool) "version survives the router" true
+        (Serve.Json.member "v" resolve = Some (Serve.Json.Num 2.));
+      Alcotest.(check string) "same shard as the solve" (backend_field solve)
+        (backend_field resolve))
+
 let test_router_drain_rejects () =
   with_two_backend_router (fun router _ ->
       let s = make_sink () in
@@ -515,6 +538,7 @@ let () =
           Alcotest.test_case "shards + dedupes + fan-out" `Quick
             test_router_shards_and_dedupes;
           Alcotest.test_case "policy passthrough" `Quick test_router_policy_passthrough;
+          Alcotest.test_case "resolve passthrough" `Quick test_router_resolve_passthrough;
           Alcotest.test_case "drain rejects" `Quick test_router_drain_rejects;
           Alcotest.test_case "attached death shrinks ring" `Quick
             test_router_attached_death_shrinks_ring;

@@ -51,6 +51,62 @@ let test_recommended_sizes () =
   Alcotest.(check (list int)) "single point range" [ 7 ]
     (Hslb.Fitting.recommended_sizes ~n_min:7 ~n_max:7 ~points:4)
 
+let test_recommended_sizes_messages () =
+  (* per-case diagnostics, surfaced verbatim by the CLI: each invalid
+     argument names itself and the offending value *)
+  Alcotest.check_raises "points < 2"
+    (Invalid_argument "Fitting.recommended_sizes: points must be >= 2, got 1")
+    (fun () -> ignore (Hslb.Fitting.recommended_sizes ~n_min:1 ~n_max:8 ~points:1));
+  Alcotest.check_raises "n_min < 1"
+    (Invalid_argument "Fitting.recommended_sizes: n_min must be >= 1, got 0")
+    (fun () -> ignore (Hslb.Fitting.recommended_sizes ~n_min:0 ~n_max:8 ~points:3));
+  Alcotest.check_raises "n_min > n_max"
+    (Invalid_argument "Fitting.recommended_sizes: n_min (9) exceeds n_max (4)")
+    (fun () -> ignore (Hslb.Fitting.recommended_sizes ~n_min:9 ~n_max:4 ~points:3))
+
+let test_online_buffered_equals_batch () =
+  (* the buffered online path (create, observe everything, one refit)
+     is the same code path as fit_observations: with equal rng seeds
+     the laws must agree bit-for-bit, not just approximately *)
+  let truth = Scaling_law.make ~a:200. ~b:0.004 ~c:0.95 ~d:1.5 in
+  let obs = observations_of truth [ 1; 2; 4; 8; 16; 32 ] in
+  let batch = Hslb.Fitting.fit_observations ~rng:(Numerics.Rng.create 11) obs in
+  let st = Hslb.Fitting.Online.create ~rng:(Numerics.Rng.create 11) [||] in
+  Hslb.Fitting.Online.observe_all st obs;
+  Alcotest.(check int) "no rank-one before seeding" 0
+    (Hslb.Fitting.Online.rank_one_updates st);
+  let online = Hslb.Fitting.Online.refit st in
+  Alcotest.(check (array (float 0.))) "identical laws"
+    (Scaling_law.to_array batch.Hslb.Fitting.law)
+    (Scaling_law.to_array online.Hslb.Fitting.law)
+
+let test_online_tracks_drift () =
+  (* seed the state with a stale law, stream observations of a 2x
+     slower truth: rank-one updates plus the automatic refit fallback
+     must pull predictions onto the new curve *)
+  let stale = Scaling_law.make ~a:100. ~b:0.001 ~c:1. ~d:0.5 in
+  let truth = Scaling_law.make ~a:200. ~b:0.001 ~c:1. ~d:0.5 in
+  let err law =
+    List.fold_left
+      (fun acc n ->
+        let y = Scaling_law.eval_int truth n in
+        Float.max acc (Float.abs (Scaling_law.eval_int law n -. y) /. y))
+      0. [ 2; 4; 8; 16; 32 ]
+  in
+  let st = Hslb.Fitting.Online.of_law ~rng:(Numerics.Rng.create 7) stale in
+  let before = err (Hslb.Fitting.Online.law st) in
+  Hslb.Fitting.Online.observe_all st (observations_of truth [ 2; 4; 8; 16; 32 ]);
+  let after = err (Hslb.Fitting.Online.law st) in
+  Alcotest.(check bool) "stale law starts far off" true (before > 0.3);
+  Alcotest.(check bool)
+    (Printf.sprintf "tracked the drifted law (%.4f -> %.4f)" before after)
+    true
+    (after < 0.02);
+  Alcotest.(check bool) "rank-one updates happened" true
+    (Hslb.Fitting.Online.rank_one_updates st > 0);
+  Alcotest.(check bool) "the divergence monitor forced a refit" true
+    (Hslb.Fitting.Online.full_refits st >= 1)
+
 (* ---------- Classes ---------- *)
 
 let test_gather_shape () =
@@ -374,6 +430,33 @@ let test_solvated_peptide_pipeline () =
   in
   Alcotest.(check bool) "runs" true (run.Fmo.Fmo_run.total_time > 0.)
 
+let prop_online_matches_batch =
+  QCheck.Test.make ~name:"online buffered refit equals batch fit" ~count:25
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let rng = Numerics.Rng.create seed in
+      let law =
+        Scaling_law.make
+          ~a:(Numerics.Rng.uniform rng ~lo:20. ~hi:500.)
+          ~b:(Numerics.Rng.uniform rng ~lo:0. ~hi:0.01)
+          ~c:(Numerics.Rng.uniform rng ~lo:0.7 ~hi:1.)
+          ~d:(Numerics.Rng.uniform rng ~lo:0. ~hi:2.)
+      in
+      let obs =
+        Array.of_list
+          (List.map
+             (fun n ->
+               let y = Scaling_law.eval_int law n in
+               (float_of_int n, y *. (1. +. Numerics.Rng.normal rng ~mu:0. ~sigma:0.02)))
+             [ 1; 2; 4; 8; 16; 32 ])
+      in
+      let batch = Hslb.Fitting.fit_observations ~rng:(Numerics.Rng.create (seed + 1)) obs in
+      let st = Hslb.Fitting.Online.create ~rng:(Numerics.Rng.create (seed + 1)) [||] in
+      Hslb.Fitting.Online.observe_all st obs;
+      let online = Hslb.Fitting.Online.refit st in
+      Scaling_law.to_array batch.Hslb.Fitting.law
+      = Scaling_law.to_array online.Hslb.Fitting.law)
+
 let prop_allocation_within_budget =
   QCheck.Test.make ~name:"allocation always within node budget" ~count:25
     QCheck.(int_range 0 100_000)
@@ -414,7 +497,10 @@ let prop_allocation_within_budget =
       && Array.for_all (fun n -> n >= 1) alloc.Hslb.Alloc_model.nodes_per_task)
 
 let () =
-  let qsuite = List.map QCheck_alcotest.to_alcotest [ prop_allocation_within_budget ] in
+  let qsuite =
+    List.map QCheck_alcotest.to_alcotest
+      [ prop_allocation_within_budget; prop_online_matches_batch ]
+  in
   Alcotest.run "hslb"
     [
       ( "fitting",
@@ -423,6 +509,10 @@ let () =
           Alcotest.test_case "insufficient data" `Quick test_fit_rejects_insufficient_data;
           Alcotest.test_case "nonneg params" `Quick test_fit_nonneg_params;
           Alcotest.test_case "recommended sizes" `Quick test_recommended_sizes;
+          Alcotest.test_case "recommended sizes messages" `Quick
+            test_recommended_sizes_messages;
+          Alcotest.test_case "online = batch" `Quick test_online_buffered_equals_batch;
+          Alcotest.test_case "online tracks drift" `Quick test_online_tracks_drift;
         ] );
       ( "classes",
         [

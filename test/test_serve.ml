@@ -79,7 +79,7 @@ let solve_line ?(id = 1) ?(nodes = 32) ?deadline_ms ?(extra = "") () =
 let test_protocol_parse () =
   let open Serve.Protocol in
   (match parse_line (solve_line ~id:9 ~nodes:16 ~deadline_ms:250. ()) with
-  | { id = Serve.Json.Num 9.; req = Ok (Solve p) } ->
+  | { id = Serve.Json.Num 9.; req = Ok (Solve p); _ } ->
     Alcotest.(check int) "nodes" 16 p.n_total;
     Alcotest.(check bool) "inline model" true (p.model = `Inline model_csv);
     Alcotest.(check (option (float 1e-9))) "deadline" (Some 250.) p.deadline_ms;
@@ -87,7 +87,7 @@ let test_protocol_parse () =
   | { req = Error e; _ } -> Alcotest.failf "solve rejected: %s" e
   | _ -> Alcotest.fail "unexpected parse");
   (match parse_line {|{"id":"s1","op":"sleep","ms":40}|} with
-  | { id = Serve.Json.Str "s1"; req = Ok (Sleep s) } ->
+  | { id = Serve.Json.Str "s1"; req = Ok (Sleep s); _ } ->
     Alcotest.(check (float 1e-9)) "sleep seconds" 0.04 s
   | _ -> Alcotest.fail "sleep not parsed");
   (match parse_line {|{"op":"ping"}|} with
@@ -125,8 +125,80 @@ let test_protocol_errors () =
     ~expect:"both";
   (* the id still echoes even when the body is garbage *)
   match parse_line {|{"id":7,"op":"warp"}|} with
-  | { id = Serve.Json.Num 7.; req = Error _ } -> ()
+  | { id = Serve.Json.Num 7.; req = Error _; _ } -> ()
   | _ -> Alcotest.fail "id lost on protocol error"
+
+let resolve_line ?(id = 1) ?(v = 2) ?(model = model_csv) ?(prev = "[8,8]") ?(extra = "") () =
+  Printf.sprintf {|{"id":%d,"v":%d,"op":"resolve","model_csv":%s,"nodes":32,"prev":%s%s}|} id
+    v
+    (Serve.Json.to_string (Serve.Json.Str model))
+    prev extra
+
+let test_protocol_version () =
+  let open Serve.Protocol in
+  (* an absent "v" is the v1 dialect every pre-versioning client speaks *)
+  (match parse_line (solve_line ()) with
+  | { v = 1; req = Ok (Solve _); _ } -> ()
+  | _ -> Alcotest.fail "bare solve did not parse as v1");
+  (match parse_line {|{"id":2,"v":2,"op":"ping"}|} with
+  | { v = 2; req = Ok Ping; _ } -> ()
+  | _ -> Alcotest.fail "v2 ping not parsed");
+  (* clients key on the exact future-version diagnostic *)
+  (match parse_line {|{"id":3,"v":3,"op":"ping"}|} with
+  | { id = Serve.Json.Num 3.; req = Error msg; _ } ->
+    Alcotest.(check string) "exact version diagnostic"
+      {|field "v": unsupported protocol version 3 (server speaks 1..2)|} msg
+  | _ -> Alcotest.fail "v3 request accepted");
+  (match parse_line {|{"id":4,"v":"two","op":"ping"}|} with
+  | { req = Error msg; _ } ->
+    Alcotest.(check string) "non-integer v" {|field "v": expected an integer|} msg
+  | _ -> Alcotest.fail "string v accepted");
+  (* the new verb is fenced behind v2 *)
+  match parse_line (resolve_line ~v:1 ()) with
+  | { req = Error msg; _ } ->
+    Alcotest.(check string) "resolve needs v2"
+      {|op "resolve" requires protocol v2 (send "v": 2)|} msg
+  | _ -> Alcotest.fail "v1 resolve accepted"
+
+let test_protocol_resolve () =
+  let open Serve.Protocol in
+  (match
+     parse_line
+       (resolve_line ~id:11
+          ~extra:
+            {|,"observe":[{"class":"alpha","samples":[[2,50.0],[4,25.5]]}],"epsilon":0.1|}
+          ())
+   with
+  | { id = Serve.Json.Num 11.; v = 2; req = Ok (Resolve rp); _ } ->
+    Alcotest.(check bool) "prev" true (rp.prev = [| 8; 8 |]);
+    Alcotest.(check int) "base nodes" 32 rp.base.n_total;
+    (match rp.observe with
+    | [ ("alpha", samples) ] ->
+      Alcotest.(check bool) "samples" true (samples = [| (2., 50.0); (4., 25.5) |])
+    | _ -> Alcotest.fail "observe not parsed");
+    Alcotest.(check (option (float 1e-9))) "epsilon" (Some 0.1) rp.epsilon
+  | { req = Error e; _ } -> Alcotest.failf "resolve rejected: %s" e
+  | _ -> Alcotest.fail "unexpected resolve parse");
+  let expect_exact line msg =
+    match parse_line line with
+    | { req = Error got; _ } -> Alcotest.(check string) msg msg got
+    | { req = Ok _; _ } -> Alcotest.failf "accepted %s" line
+  in
+  expect_exact
+    (Printf.sprintf {|{"id":1,"v":2,"op":"resolve","model_csv":%s,"nodes":32}|}
+       (Serve.Json.to_string (Serve.Json.Str model_csv)))
+    {|op resolve: missing field "prev" (previous allocation)|};
+  expect_exact
+    (resolve_line ~prev:{|[8,0]|} ())
+    {|field "prev": expected an array of positive integers|};
+  expect_exact (resolve_line ~prev:"[]" ()) {|field "prev": must not be empty|};
+  expect_exact
+    (resolve_line ~extra:{|,"observe":[7]|} ())
+    {|field "observe": expected an array of {class, samples} objects|};
+  expect_exact
+    (resolve_line ~extra:{|,"observe":[{"class":"alpha","samples":[[0,5.0]]}]|} ())
+    {|field "observe": class "alpha": samples must be an array of [nodes, seconds] pairs (nodes >= 1, seconds >= 0)|};
+  expect_exact (resolve_line ~extra:{|,"epsilon":0|} ()) {|field "epsilon": must be > 0|}
 
 (* ---------- Server harness ---------- *)
 
@@ -520,6 +592,135 @@ let test_serve_telemetry_fields () =
        0. lines
       : float)
 
+(* ---------- versioned resolve ---------- *)
+
+let single_model = "alpha,4,100,0.001,1,0.5"
+
+let raw_responses h = Mutex.protect h.mutex (fun () -> List.rev !(h.lines))
+
+let stat_counter h key =
+  match Serve.Json.parse (Serve.Server.stats_json h.server) with
+  | Error e -> Alcotest.fail e
+  | Ok stats -> (
+    match Option.bind (Serve.Json.member key stats) Serve.Json.int_ with
+    | Some n -> n
+    | None -> Alcotest.failf "stats missing %s" key)
+
+let test_serve_resolve_unchanged () =
+  (* 4 tasks of 8 nodes on 32 is already optimal: the ε-certificate
+     must answer without entering the solver *)
+  let h = make_harness ~jobs:1 () in
+  Serve.Server.submit h.server (resolve_line ~id:1 ~model:single_model ~prev:"[8]" ());
+  ignore (Serve.Server.await_drain h.server : Engine.Run_report.t);
+  (match find_by_id h 1 with
+  | None -> Alcotest.fail "resolve unanswered"
+  | Some r ->
+    Alcotest.(check string) "ok" "ok" (outcome_of r);
+    Alcotest.(check (option string)) "unchanged" (Some "unchanged")
+      (Option.bind (Serve.Json.member "resolve" r) Serve.Json.str);
+    Alcotest.(check bool) "response is v2" true
+      (Serve.Json.member "v" r = Some (Serve.Json.Num 2.));
+    Alcotest.(check bool) "incumbent allocation echoed" true
+      (Serve.Json.member "nodes_per_task" r
+      = Some (Serve.Json.Arr [ Serve.Json.Num 8. ]));
+    (match Serve.Json.member "certificate" r with
+    | Some cert -> (
+      match
+        ( Option.bind (Serve.Json.member "gap_rel" cert) Serve.Json.num,
+          Option.bind (Serve.Json.member "eps" cert) Serve.Json.num )
+      with
+      | Some gap, Some eps -> Alcotest.(check bool) "gap within eps" true (gap <= eps)
+      | _ -> Alcotest.fail "certificate missing gap_rel/eps")
+    | None -> Alcotest.fail "unchanged reply carries no certificate"));
+  Alcotest.(check int) "resolve_skipped counted" 1 (stat_counter h "resolve_skipped");
+  Alcotest.(check int) "no genuine re-solve" 0 (stat_counter h "resolved")
+
+let test_serve_resolve_resolved () =
+  (* observations of a 2x slower law: the certificate must fail and a
+     genuine (warm-started) re-solve run under the updated fit *)
+  let h = make_harness ~jobs:1 () in
+  Serve.Server.submit h.server
+    (resolve_line ~id:1 ~model:single_model ~prev:"[4]"
+       ~extra:
+         {|,"observe":[{"class":"alpha","samples":[[2,100.5],[4,50.5],[8,25.5],[16,13.0]]}]|}
+       ());
+  ignore (Serve.Server.await_drain h.server : Engine.Run_report.t);
+  (match find_by_id h 1 with
+  | None -> Alcotest.fail "resolve unanswered"
+  | Some r ->
+    Alcotest.(check string) "ok" "ok" (outcome_of r);
+    Alcotest.(check (option string)) "resolved" (Some "resolved")
+      (Option.bind (Serve.Json.member "resolve" r) Serve.Json.str);
+    (* the re-solve prices the allocation under the updated law
+       (~200/n + 0.5), not the stale inline model *)
+    (match Option.bind (Serve.Json.member "makespan" r) Serve.Json.num with
+    | Some m -> Alcotest.(check bool) "updated-model makespan" true (m > 20. && m < 30.)
+    | None -> Alcotest.fail "no makespan");
+    match Serve.Json.member "certificate" r with
+    | Some cert -> (
+      match
+        ( Option.bind (Serve.Json.member "gap_rel" cert) Serve.Json.num,
+          Option.bind (Serve.Json.member "eps" cert) Serve.Json.num )
+      with
+      | Some gap, Some eps -> Alcotest.(check bool) "gap above eps" true (gap > eps)
+      | _ -> Alcotest.fail "certificate missing gap_rel/eps")
+    | None -> Alcotest.fail "rejection reply carries no certificate");
+  Alcotest.(check int) "resolved counted" 1 (stat_counter h "resolved");
+  Alcotest.(check int) "nothing skipped" 0 (stat_counter h "resolve_skipped")
+
+let test_serve_resolve_prev_mismatch () =
+  (* two model classes, one prev entry: a protocol-level error, not a
+     crash inside the solver *)
+  let h = make_harness ~jobs:1 () in
+  Serve.Server.submit h.server (resolve_line ~id:1 ~prev:"[8]" ());
+  ignore (Serve.Server.await_drain h.server : Engine.Run_report.t);
+  match find_by_id h 1 with
+  | None -> Alcotest.fail "resolve unanswered"
+  | Some r ->
+    Alcotest.(check string) "error" "error" (outcome_of r);
+    Alcotest.(check (option string)) "exact mismatch diagnostic"
+      (Some {|field "prev": expected 2 entries (one per model class), got 1|})
+      (Option.bind (Serve.Json.member "error" r) Serve.Json.str)
+
+let test_serve_version_compat () =
+  let h = make_harness ~jobs:1 () in
+  Serve.Server.submit h.server {|{"id":5,"op":"ping"}|};
+  Serve.Server.submit h.server {|{"id":6,"v":2,"op":"ping"}|};
+  Serve.Server.submit h.server {|{"id":7,"v":3,"op":"ping"}|};
+  Serve.Server.submit h.server (solve_line ~id:8 ~nodes:16 ());
+  ignore (Serve.Server.await_drain h.server : Engine.Run_report.t);
+  (* the v1 ping reply is pinned byte-for-byte: pre-versioning clients
+     must replay identically against a v2 server *)
+  Alcotest.(check bool) "v1 ping bytes" true
+    (List.mem {|{"id":5,"outcome":"ok","pong":true}|} (raw_responses h));
+  (match find_by_id h 6 with
+  | None -> Alcotest.fail "v2 ping unanswered"
+  | Some r ->
+    Alcotest.(check bool) "v echoed" true (Serve.Json.member "v" r = Some (Serve.Json.Num 2.));
+    match Serve.Json.member "protocol" r with
+    | Some p ->
+      Alcotest.(check (option int)) "min" (Some 1)
+        (Option.bind (Serve.Json.member "min" p) Serve.Json.int_);
+      Alcotest.(check (option int)) "max" (Some 2)
+        (Option.bind (Serve.Json.member "max" p) Serve.Json.int_)
+    | None -> Alcotest.fail "v2 ping does not advertise the protocol range");
+  (match find_by_id h 7 with
+  | None -> Alcotest.fail "v3 probe unanswered"
+  | Some r ->
+    Alcotest.(check string) "error" "error" (outcome_of r);
+    Alcotest.(check (option string)) "exact version diagnostic"
+      (Some {|field "v": unsupported protocol version 3 (server speaks 1..2)|})
+      (Option.bind (Serve.Json.member "error" r) Serve.Json.str));
+  (* v1 responses never grow a "v" field *)
+  List.iter
+    (fun line ->
+      if contains_substring line {|"id":5|} || contains_substring line {|"id":8|} then
+        Alcotest.(check bool)
+          (Printf.sprintf "no version field in v1 reply %s" line)
+          false
+          (contains_substring line {|"v":|}))
+    (raw_responses h)
+
 let () =
   Alcotest.run "serve"
     [
@@ -533,6 +734,8 @@ let () =
         [
           Alcotest.test_case "parse" `Quick test_protocol_parse;
           Alcotest.test_case "errors" `Quick test_protocol_errors;
+          Alcotest.test_case "version negotiation" `Quick test_protocol_version;
+          Alcotest.test_case "resolve op" `Quick test_protocol_resolve;
           Alcotest.test_case "policy hint" `Quick test_protocol_policy;
         ] );
       ( "server",
@@ -549,5 +752,9 @@ let () =
           Alcotest.test_case "protocol error + ping" `Quick test_serve_protocol_error_and_ping;
           Alcotest.test_case "stats latency quantiles" `Quick test_serve_stats_latency;
           Alcotest.test_case "telemetry fields" `Quick test_serve_telemetry_fields;
+          Alcotest.test_case "resolve unchanged" `Quick test_serve_resolve_unchanged;
+          Alcotest.test_case "resolve re-solves on drift" `Quick test_serve_resolve_resolved;
+          Alcotest.test_case "resolve prev mismatch" `Quick test_serve_resolve_prev_mismatch;
+          Alcotest.test_case "version compat" `Quick test_serve_version_compat;
         ] );
     ]
