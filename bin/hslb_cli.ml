@@ -1159,11 +1159,216 @@ let obs_cmd =
              always-resolve makespan on strictly fewer MINLP solves. Prints one \
              greppable $(i,resolve frontier ...) line per cell.")
   in
+  let kernels_bench =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "kernels-bench" ] ~docv:"FILE"
+          ~doc:
+            "Validate FILE as a hot-path kernel benchmark (the artifact \
+             $(b,bench --kernels) writes): schema hslb-bench-kernels-v1, every \
+             kernel timed against its pre-optimization baseline with finite \
+             positive walls, a consistent speedup ratio and the bit-identity \
+             check passed. Prints one greppable $(i,kernel ...) line per entry.")
+  in
+  let portfolio_bench =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "portfolio-bench" ] ~docv:"FILE"
+          ~doc:
+            "Validate FILE as a portfolio/runtime benchmark (the artifact \
+             $(b,bench --portfolio) writes): schema hslb-bench-portfolio-v2, every \
+             instance's portfolio objective matching the best single solver with \
+             race wall at most 1.2x the best single wall, and the quick-registry \
+             pool neither core-starved nor slower than 0.95x sequential. Prints one \
+             greppable $(i,portfolio ...) line per instance.")
+  in
   let read_file path =
     let ic = open_in_bin path in
     Fun.protect
       ~finally:(fun () -> close_in ic)
       (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  (* gate of the kernel-unboxing work: re-check the artifact's internal
+     consistency and the bit-identity claims, not the machine-dependent
+     speedup magnitudes *)
+  let check_kernels_bench json =
+    let module J = Obs.Json in
+    let ( let* ) = Result.bind in
+    let* () =
+      match J.member "schema" json with
+      | Some (J.Str "hslb-bench-kernels-v1") -> Ok ()
+      | Some _ | None -> Error "field \"schema\" must be \"hslb-bench-kernels-v1\""
+    in
+    let* () =
+      match Option.bind (J.member "cores" json) J.int_ with
+      | Some c when c >= 1 -> Ok ()
+      | Some _ | None -> Error "field \"cores\" must be a positive integer"
+    in
+    let* kernels =
+      match Option.bind (J.member "kernels" json) J.arr with
+      | Some (_ :: _ as l) -> Ok l
+      | Some [] -> Error "\"kernels\" is empty"
+      | None -> Error "missing array field \"kernels\""
+    in
+    let check_kernel k =
+      let str key =
+        match Option.bind (J.member key k) J.str with
+        | Some s -> Ok s
+        | None -> Error (Printf.sprintf "missing string field %S" key)
+      in
+      let num key =
+        match Option.bind (J.member key k) J.num with
+        | Some v -> Ok v
+        | None -> Error (Printf.sprintf "missing numeric field %S" key)
+      in
+      let* name = str "name" in
+      let tag e = Printf.sprintf "kernel %S: %s" name e in
+      let err e = Error (tag e) in
+      let* baseline = Result.map_error tag (str "baseline") in
+      let* candidate = Result.map_error tag (str "candidate") in
+      let* reps = Result.map_error tag (num "reps") in
+      let* base_s = Result.map_error tag (num "baseline_wall_s") in
+      let* cand_s = Result.map_error tag (num "candidate_wall_s") in
+      let* speedup = Result.map_error tag (num "speedup") in
+      let* () = if reps >= 1. then Ok () else err "reps must be >= 1" in
+      let* () =
+        if Float.is_finite base_s && base_s > 0. && Float.is_finite cand_s && cand_s > 0.
+        then Ok ()
+        else err "wall clocks must be finite and positive"
+      in
+      let* () =
+        if Float.abs (speedup -. (base_s /. cand_s)) <= 0.01 *. speedup then Ok ()
+        else err "speedup does not equal baseline_wall_s / candidate_wall_s"
+      in
+      let* () =
+        match Option.bind (J.member "identical" k) J.bool_ with
+        | Some true -> Ok ()
+        | Some false -> err "bit-identity check failed"
+        | None -> err "missing boolean field \"identical\""
+      in
+      Ok (name, baseline, candidate, speedup)
+    in
+    List.fold_left
+      (fun acc k ->
+        let* rows = acc in
+        let* row = check_kernel k in
+        Ok (row :: rows))
+      (Ok []) kernels
+    |> Result.map List.rev
+  in
+  (* gate of the portfolio-tax and core-starvation fixes: the race may
+     cost at most 20% over the best single solver on every instance,
+     and the clamped pool must never run slower than sequential *)
+  let check_portfolio_bench json =
+    let module J = Obs.Json in
+    let ( let* ) = Result.bind in
+    let* () =
+      match J.member "schema" json with
+      | Some (J.Str "hslb-bench-portfolio-v2") -> Ok ()
+      | Some _ | None -> Error "field \"schema\" must be \"hslb-bench-portfolio-v2\""
+    in
+    let num obj key =
+      match Option.bind (J.member key obj) J.num with
+      | Some v -> Ok v
+      | None -> Error (Printf.sprintf "missing numeric field %S" key)
+    in
+    let* instances =
+      match Option.bind (J.member "instances" json) J.arr with
+      | Some (_ :: _ as l) -> Ok l
+      | Some [] -> Error "\"instances\" is empty"
+      | None -> Error "missing array field \"instances\""
+    in
+    let check_instance inst =
+      let* name =
+        match Option.bind (J.member "name" inst) J.str with
+        | Some s -> Ok s
+        | None -> Error "instance missing string field \"name\""
+      in
+      let tag e = Printf.sprintf "instance %S: %s" name e in
+      let err e = Error (tag e) in
+      let* singles =
+        match Option.bind (J.member "singles" inst) J.arr with
+        | Some (_ :: _ as l) -> Ok l
+        | Some [] | None -> err "missing non-empty array \"singles\""
+      in
+      let* () =
+        if
+          List.for_all
+            (fun s ->
+              Option.is_some (Option.bind (J.member "solver" s) J.str)
+              && Option.is_some (Option.bind (J.member "wall_s" s) J.num))
+            singles
+        then Ok ()
+        else err "every single needs \"solver\" and \"wall_s\""
+      in
+      let* portfolio =
+        match J.member "portfolio" inst with
+        | Some (J.Obj _ as p) -> Ok p
+        | Some _ | None -> err "missing object field \"portfolio\""
+      in
+      let* p_wall = Result.map_error tag (num portfolio "wall_s") in
+      let* best_single = Result.map_error tag (num inst "best_single_wall_s") in
+      let* () =
+        match Option.bind (J.member "objective_match" inst) J.bool_ with
+        | Some true -> Ok ()
+        | Some false -> err "portfolio objective does not match the best single"
+        | None -> err "missing boolean field \"objective_match\""
+      in
+      (* 20% relative plus a small absolute allowance so micro-instances
+         are not gated on timer noise *)
+      let* () =
+        if p_wall <= (1.2 *. best_single) +. 0.05 then Ok ()
+        else
+          err
+            (Printf.sprintf "portfolio wall %.3fs exceeds 1.2x best single (%.3fs)"
+               p_wall best_single)
+      in
+      Ok (name, p_wall, best_single)
+    in
+    let* rows =
+      List.fold_left
+        (fun acc inst ->
+          let* rows = acc in
+          let* row = check_instance inst in
+          Ok (row :: rows))
+        (Ok []) instances
+      |> Result.map List.rev
+    in
+    let* registry =
+      match J.member "registry_quick" json with
+      | Some (J.Obj _ as r) -> Ok r
+      | Some _ | None -> Error "missing object field \"registry_quick\""
+    in
+    let* speedup = num registry "speedup" in
+    let* () =
+      match Option.bind (J.member "core_starved" registry) J.bool_ with
+      | Some false -> Ok ()
+      | Some true -> Error "registry_quick is core-starved (effective width exceeds cores)"
+      | None -> Error "registry_quick missing boolean field \"core_starved\""
+    in
+    let* () =
+      let int_field key =
+        match Option.bind (J.member key registry) J.int_ with
+        | Some v -> Ok v
+        | None -> Error (Printf.sprintf "registry_quick missing integer field %S" key)
+      in
+      let* cores = int_field "cores" in
+      let* requested = int_field "requested_jobs" in
+      let* effective = int_field "effective_jobs" in
+      if effective <= Stdlib.min requested cores then Ok ()
+      else Error "registry_quick effective_jobs exceeds min(requested_jobs, cores)"
+    in
+    let* () =
+      if speedup >= 0.95 then Ok ()
+      else
+        Error
+          (Printf.sprintf
+             "registry_quick speedup %.3f below 0.95 (pool slower than sequential)"
+             speedup)
+    in
+    Ok (rows, speedup)
   in
   (* field-by-field schema walk over the hand-rolled JSON codec, in the
      spirit of check_chrome_trace/check_prometheus *)
@@ -1395,14 +1600,17 @@ let obs_cmd =
     in
     Ok t
   in
-  let run chrome_trace prometheus fleet_bench arena_bench resolve_bench =
+  let run chrome_trace prometheus fleet_bench arena_bench resolve_bench kernels_bench
+      portfolio_bench =
     if
       chrome_trace = None && prometheus = None && fleet_bench = None
-      && arena_bench = None && resolve_bench = None
+      && arena_bench = None && resolve_bench = None && kernels_bench = None
+      && portfolio_bench = None
     then begin
       Format.eprintf
         "hslb obs: nothing to validate (pass --chrome-trace, --prometheus, \
-         --fleet-bench, --arena-bench or --resolve-bench)@.";
+         --fleet-bench, --arena-bench, --resolve-bench, --kernels-bench or \
+         --portfolio-bench)@.";
       exit 2
     end;
     let ok = ref true in
@@ -1492,6 +1700,51 @@ let obs_cmd =
         | Error msg ->
           Format.eprintf "%s: invalid resolve bench: %s@." path msg;
           ok := false)));
+    (match kernels_bench with
+    | None -> ()
+    | Some path -> (
+      match Obs.Json.parse (read_file path) with
+      | Error msg ->
+        Format.eprintf "%s: JSON parse error %s@." path msg;
+        ok := false
+      | Ok json -> (
+        match check_kernels_bench json with
+        | Ok rows ->
+          List.iter
+            (fun (name, baseline, candidate, speedup) ->
+              Format.printf "kernel name=%s baseline=%s candidate=%s speedup=%.2f \
+                             identical=true@."
+                name baseline candidate speedup)
+            rows;
+          Format.printf "%s: valid kernels bench, %d kernels, all bit-identical@." path
+            (List.length rows)
+        | Error msg ->
+          Format.eprintf "%s: invalid kernels bench: %s@." path msg;
+          ok := false)));
+    (match portfolio_bench with
+    | None -> ()
+    | Some path -> (
+      match Obs.Json.parse (read_file path) with
+      | Error msg ->
+        Format.eprintf "%s: JSON parse error %s@." path msg;
+        ok := false
+      | Ok json -> (
+        match check_portfolio_bench json with
+        | Ok (rows, registry_speedup) ->
+          List.iter
+            (fun (name, p_wall, best_single) ->
+              Format.printf
+                "portfolio instance=%s wall_s=%.3f best_single_s=%.3f ratio=%.2f@." name
+                p_wall best_single
+                (p_wall /. Float.max best_single 1e-9))
+            rows;
+          Format.printf
+            "%s: valid portfolio bench, %d instances within 1.2x, registry speedup \
+             %.2f@."
+            path (List.length rows) registry_speedup
+        | Error msg ->
+          Format.eprintf "%s: invalid portfolio bench: %s@." path msg;
+          ok := false)));
     if not !ok then exit 1
   in
   Cmd.v
@@ -1501,10 +1754,13 @@ let obs_cmd =
           $(b,bench --trace), Prometheus text exposition from \
           $(b,serve --metrics-out), fleet benchmark JSON from \
           $(b,loadgen --bench-out), arena regret matrices from \
-          $(b,hslb arena --out), and re-solve policy frontiers from \
-          $(b,bench --resolve). Exits non-zero if any fails to parse.")
+          $(b,hslb arena --out), re-solve policy frontiers from \
+          $(b,bench --resolve), kernel benchmarks from $(b,bench --kernels), and \
+          portfolio benchmarks from $(b,bench --portfolio). Exits non-zero if any \
+          fails to parse.")
     Term.(
-      const run $ chrome_trace $ prometheus $ fleet_bench $ arena_bench $ resolve_bench)
+      const run $ chrome_trace $ prometheus $ fleet_bench $ arena_bench $ resolve_bench
+      $ kernels_bench $ portfolio_bench)
 
 (* ---------- audit: fault-injection stress sweep ---------- *)
 

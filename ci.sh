@@ -42,6 +42,16 @@
 # the frontier claims via `hslb_cli obs --resolve-bench` (see
 # docs/SERVE.md and docs/ALGORITHM.md).
 #
+# The perf stage regenerates both hot-path artifacts and gates them
+# with `hslb_cli obs`: BENCH_kernels.json (flat simplex tableau,
+# closure-compiled expressions, allocation-free gradients vs their
+# reference implementations — every kernel must reproduce the
+# reference bit-for-bit) and BENCH_portfolio.json (portfolio wall
+# within 1.2x of the best single solver on every instance, registry
+# speedup >= 0.95, and core_starved false — the regression gates of
+# the portfolio-tax and core-starvation fixes; see docs/ENGINE.md
+# and docs/RUNTIME.md).
+#
 # lib/obs/, lib/runtime/, lib/audit/ and lib/serve/ compile with
 # -warn-error +a (see their dune files), so any new compiler warning
 # there fails this build.
@@ -390,5 +400,25 @@ grep -q 'policy=certified' "$SMOKE_DIR/resolve_check.out" || {
   echo "resolve bench: validator printed no certified cells" >&2
   exit 1
 }
+
+echo "== kernel bench: unboxed hot paths vs reference (BENCH_kernels.json) =="
+# the flat-tableau / closure-compiled / grad_into kernels against the
+# reference implementations they replaced: the validator hard-fails
+# on any identical=false, so a speedup bought with a bit of drift
+# cannot land
+dune exec bench/main.exe -- --kernels "$SMOKE_DIR/BENCH_kernels.json" \
+  > "$SMOKE_DIR/kernels.out"
+cat "$SMOKE_DIR/kernels.out"
+"$SERVE_BIN" obs --kernels-bench "$SMOKE_DIR/BENCH_kernels.json"
+
+echo "== portfolio bench: staggered race + core-adaptive pool (BENCH_portfolio.json) =="
+# the regression gates of the portfolio-tax / core-starvation fixes:
+# portfolio wall within 1.2x of the best single solver on every
+# instance, registry speedup >= 0.95 at any core count, and
+# core_starved false (the pool clamps its width to the host)
+dune exec bench/main.exe -- --portfolio "$SMOKE_DIR/BENCH_portfolio.json" \
+  > "$SMOKE_DIR/portfolio.out"
+cat "$SMOKE_DIR/portfolio.out"
+"$SERVE_BIN" obs --portfolio-bench "$SMOKE_DIR/BENCH_portfolio.json"
 
 echo "== ci OK =="

@@ -32,6 +32,8 @@ type armed = {
   counted_iters : int Atomic.t;
   counted_polls : int Atomic.t;
   cancel : Cancel.t option;  (** effective token; see [with_extra_cancel] *)
+  poll_hook : (unit -> unit) option;
+      (** fired at the top of every [check]; see [with_poll_hook] *)
 }
 
 let arm spec =
@@ -42,6 +44,7 @@ let arm spec =
     counted_iters = Atomic.make 0;
     counted_polls = Atomic.make 0;
     cancel = spec.cancel;
+    poll_hook = None;
   }
 
 let with_extra_cancel a tok =
@@ -49,6 +52,8 @@ let with_extra_cancel a tok =
     a with
     cancel = Some (match a.cancel with None -> tok | Some c -> Cancel.link [ tok; c ]);
   }
+
+let with_poll_hook a hook = { a with poll_hook = Some hook }
 
 let add_nodes a n = ignore (Atomic.fetch_and_add a.counted_nodes n)
 let add_iters a n = ignore (Atomic.fetch_and_add a.counted_iters n)
@@ -84,6 +89,7 @@ let verdict a ~polls:np =
 let polls_total = Obs.Metrics.counter "engine_budget_polls_total"
 
 let check a =
+  (match a.poll_hook with Some h -> h () | None -> ());
   if Obs.Control.enabled () then Obs.Metrics.Counter.incr polls_total;
   let np = Atomic.fetch_and_add a.counted_polls 1 + 1 in
   verdict a ~polls:np

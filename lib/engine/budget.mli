@@ -59,6 +59,14 @@ val arm : t -> armed
     race-wide. *)
 val with_extra_cancel : armed -> Cancel.t -> armed
 
+(** [with_poll_hook a hook] — the same run, with [hook] fired at the top
+    of every [check] made through {e this} view (views derived earlier,
+    or with [with_extra_cancel] from [a], keep their own hook, if any).
+    The hook runs on the polling domain and must be cheap and
+    non-raising; the portfolio uses one to start laggard lanes once the
+    leader has run for the stagger window. *)
+val with_poll_hook : armed -> (unit -> unit) -> armed
+
 val add_nodes : armed -> int -> unit
 val add_iters : armed -> int -> unit
 val nodes : armed -> int

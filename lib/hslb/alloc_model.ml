@@ -505,6 +505,7 @@ let portfolio_minlp ?budget ?tally ?race_report problem n_vars specs warm =
                 (if Minlp.Solution.has_incumbent sol then sol.Minlp.Solution.obj else nan),
                 lt.Engine.Telemetry.nodes_expanded,
                 lt.Engine.Telemetry.lp_solves )
+            | Error Runtime.Portfolio.Skipped -> ("skipped", nan, 0, 0)
             | Error e -> (Printf.sprintf "raised: %s" (Printexc.to_string e), nan, 0, 0)
           in
           {

@@ -42,6 +42,14 @@ let set_bounds p j ~lo ~hi =
   upper.(j) <- hi;
   { p with lower; upper }
 
+let with_bounds p ~lo ~hi =
+  if Array.length lo <> p.num_vars || Array.length hi <> p.num_vars then
+    invalid_arg "Lp_problem.with_bounds: bound length mismatch";
+  for j = 0 to p.num_vars - 1 do
+    if lo.(j) > hi.(j) then invalid_arg "Lp_problem.with_bounds: lo > hi"
+  done;
+  { p with lower = Array.copy lo; upper = Array.copy hi }
+
 let check_row p row =
   List.iter
     (fun (j, _) ->

@@ -38,6 +38,13 @@ val set_objective : t -> float array -> t
 (** [set_bounds p j ~lo ~hi] — bound variable [j]. Raises if [lo > hi]. *)
 val set_bounds : t -> int -> lo:float -> hi:float -> t
 
+(** [with_bounds p ~lo ~hi] — replace both bound vectors in one copy.
+    The node loops of {!Minlp} re-bound an otherwise identical problem
+    thousands of times; this avoids the O(n²) per-node cost of calling
+    {!set_bounds} per variable. Raises if lengths mismatch or any
+    [lo.(j) > hi.(j)]. *)
+val with_bounds : t -> lo:float array -> hi:float array -> t
+
 (** [add_constraint p row] — append a row; indices are range-checked. *)
 val add_constraint : t -> constr -> t
 

@@ -23,6 +23,13 @@ type solution = {
     solver record. The result's [x] is in the original variable space
     (bound offsets undone).
 
+    The tableau is a flat row-major [float array] (stride = columns +
+    rhs); pivoting and the ratio test are allocation-free.  The kernel
+    is bit-for-bit equivalent to the retained {!Simplex_reference}
+    implementation: identical pivot sequence (observable through
+    [pivot_log], which receives [(row, entering column)] pairs, most
+    recent first), statuses, solutions and objectives.
+
     [budget] is an armed {!Engine.Budget}: each pivot bumps its
     iteration counter and the deadline/cancel token is polled every 64
     pivots; on exhaustion the status is [Iteration_limit] (interpret the
@@ -32,6 +39,7 @@ val run :
   ?max_iter:int ->
   ?budget:Engine.Budget.armed ->
   ?tally:Engine.Telemetry.t ->
+  ?pivot_log:(int * int) list ref ->
   Lp_problem.t ->
   solution
 

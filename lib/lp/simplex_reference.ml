@@ -1,5 +1,8 @@
-type status = Optimal | Infeasible | Unbounded | Iteration_limit
-type solution = { status : status; x : float array; obj : float }
+(* The pre-flat-tableau simplex, kept verbatim as a differential-testing
+   oracle: test/test_lp.ml qchecks that the flat kernel in Simplex
+   reproduces this implementation's pivot sequence, status, solution and
+   objective bit-for-bit on seeded random LPs.  Keep the arithmetic in
+   this file byte-stable; it is the semantic definition of the solver. *)
 
 let eps = 1e-9
 
@@ -11,15 +14,6 @@ type var_map =
 
 type std_row = { coeffs : float array; rhs : float; sense : Lp_problem.sense }
 
-(* The tableau is a single flat row-major [float array] with stride
-   [ncols + 1] (the extra column is the rhs).  Versus the previous
-   [Array.make_matrix] representation this removes a pointer
-   indirection per element access and keeps each pivot's row
-   elimination on contiguous memory; pivoting and the ratio test
-   allocate nothing.  The arithmetic — operations and their order — is
-   identical to {!Simplex_reference}, so pivot sequences, statuses,
-   solutions and objectives are bit-for-bit unchanged (pinned by
-   test/test_lp.ml). *)
 let run ?(max_iter = 200_000) ?budget ?tally ?pivot_log (p : Lp_problem.t) =
   Engine.Telemetry.bump tally Engine.Telemetry.add_lp_solves 1;
   let n = p.num_vars in
@@ -101,64 +95,60 @@ let run ?(max_iter = 200_000) ?budget ?tally ?pivot_log (p : Lp_problem.t) =
       0 rows
   in
   let ncols = n_struct + n_slack + n_art in
-  let stride = ncols + 1 in
-  let tab = Array.make (m * stride) 0. in
+  let tab = Array.make_matrix m (ncols + 1) 0. in
   let basis = Array.make m (-1) in
   let art_cols = Array.make n_art (-1) in
   let slack_idx = ref 0 and art_idx = ref 0 in
   Array.iteri
     (fun i r ->
-      let base = i * stride in
-      Array.blit r.coeffs 0 tab base n_struct;
-      tab.(base + ncols) <- r.rhs;
+      Array.blit r.coeffs 0 tab.(i) 0 n_struct;
+      tab.(i).(ncols) <- r.rhs;
       (match r.sense with
       | Lp_problem.Le ->
         let c = n_struct + !slack_idx in
         incr slack_idx;
-        tab.(base + c) <- 1.;
+        tab.(i).(c) <- 1.;
         basis.(i) <- c
       | Lp_problem.Ge ->
         let c = n_struct + !slack_idx in
         incr slack_idx;
-        tab.(base + c) <- -1.;
+        tab.(i).(c) <- -1.;
         let a = n_struct + n_slack + !art_idx in
         art_cols.(!art_idx) <- a;
         incr art_idx;
-        tab.(base + a) <- 1.;
+        tab.(i).(a) <- 1.;
         basis.(i) <- a
       | Lp_problem.Eq ->
         let a = n_struct + n_slack + !art_idx in
         art_cols.(!art_idx) <- a;
         incr art_idx;
-        tab.(base + a) <- 1.;
+        tab.(i).(a) <- 1.;
         basis.(i) <- a))
     rows;
   let is_artificial c = c >= n_struct + n_slack in
-  (* --- 3. simplex core on (cost row z, flat tableau) --- *)
+  (* --- 3. simplex core on (cost row z, tableau) --- *)
   let z = Array.make (ncols + 1) 0. in
   let iterations = ref 0 in
   let pivot r c =
     (match pivot_log with Some log -> log := (r, c) :: !log | None -> ());
-    let rbase = r * stride in
-    let piv = Array.unsafe_get tab (rbase + c) in
+    let pr = tab.(r) in
+    let piv = pr.(c) in
     for j = 0 to ncols do
-      Array.unsafe_set tab (rbase + j) (Array.unsafe_get tab (rbase + j) /. piv)
+      pr.(j) <- pr.(j) /. piv
     done;
     for i = 0 to m - 1 do
       if i <> r then begin
-        let ibase = i * stride in
-        let f = Array.unsafe_get tab (ibase + c) in
+        let f = tab.(i).(c) in
         if f <> 0. then
           for j = 0 to ncols do
-            Array.unsafe_set tab (ibase + j)
-              (Array.unsafe_get tab (ibase + j) -. (f *. Array.unsafe_get tab (rbase + j)))
+            tab.(i).(j) <- tab.(i).(j) -. (f *. pr.(j))
           done
       end
     done;
     let f = z.(c) in
     if f <> 0. then
       for j = 0 to ncols do
-        Array.unsafe_set z j (Array.unsafe_get z j -. (f *. Array.unsafe_get tab (rbase + j)))
+        z.(j) <- z.(j) -. (f *. pr.(j))
       done;
     basis.(r) <- c
   in
@@ -206,10 +196,8 @@ let run ?(max_iter = 200_000) ?budget ?tally ?pivot_log (p : Lp_problem.t) =
           let leave = ref (-1) in
           let best_ratio = ref infinity in
           for i = 0 to m - 1 do
-            let ibase = i * stride in
-            let aic = Array.unsafe_get tab (ibase + c) in
-            if aic > eps then begin
-              let ratio = Array.unsafe_get tab (ibase + ncols) /. aic in
+            if tab.(i).(c) > eps then begin
+              let ratio = tab.(i).(ncols) /. tab.(i).(c) in
               if
                 ratio < !best_ratio -. eps
                 || (Float.abs (ratio -. !best_ratio) <= eps
@@ -227,11 +215,13 @@ let run ?(max_iter = 200_000) ?budget ?tally ?pivot_log (p : Lp_problem.t) =
     done;
     match !result with Some r -> r | None -> assert false
   in
-  let finish (s : solution) =
+  let finish (s : Simplex.solution) =
     Engine.Telemetry.bump tally Engine.Telemetry.add_simplex_pivots !iterations;
     s
   in
-  let infeasible_result () = finish { status = Infeasible; x = Array.make n 0.; obj = nan } in
+  let infeasible_result () =
+    finish { Simplex.status = Simplex.Infeasible; x = Array.make n 0.; obj = nan }
+  in
   (* --- 4. phase 1 --- *)
   let need_phase1 = n_art > 0 in
   let phase1_ok =
@@ -241,18 +231,17 @@ let run ?(max_iter = 200_000) ?budget ?tally ?pivot_log (p : Lp_problem.t) =
       Array.iter (fun a -> z.(a) <- 1.) art_cols;
       (* price out basic artificials *)
       for i = 0 to m - 1 do
-        if is_artificial basis.(i) then begin
-          let ibase = i * stride in
+        if is_artificial basis.(i) then
           for j = 0 to ncols do
-            z.(j) <- z.(j) -. tab.(ibase + j)
+            z.(j) <- z.(j) -. tab.(i).(j)
           done
-        end
       done;
       run_phase (fun _ -> true)
     end
   in
   match phase1_ok with
-  | `Limit -> finish { status = Iteration_limit; x = Array.make n 0.; obj = nan }
+  | `Limit ->
+    finish { Simplex.status = Simplex.Iteration_limit; x = Array.make n 0.; obj = nan }
   | `Unbounded -> infeasible_result () (* phase 1 cannot be unbounded; defensive *)
   | `Optimal ->
     let phase1_obj = if need_phase1 then -.z.(ncols) else 0. in
@@ -262,11 +251,10 @@ let run ?(max_iter = 200_000) ?budget ?tally ?pivot_log (p : Lp_problem.t) =
       if need_phase1 then
         for i = 0 to m - 1 do
           if is_artificial basis.(i) then begin
-            let ibase = i * stride in
             let found = ref (-1) in
             (try
                for c = 0 to n_struct + n_slack - 1 do
-                 if Float.abs tab.(ibase + c) > 1e-7 then begin
+                 if Float.abs tab.(i).(c) > 1e-7 then begin
                    found := c;
                    raise Exit
                  end
@@ -292,22 +280,22 @@ let run ?(max_iter = 200_000) ?budget ?tally ?pivot_log (p : Lp_problem.t) =
       for i = 0 to m - 1 do
         let b = basis.(i) in
         let f = z.(b) in
-        if f <> 0. then begin
-          let ibase = i * stride in
+        if f <> 0. then
           for j = 0 to ncols do
-            z.(j) <- z.(j) -. (f *. tab.(ibase + j))
+            z.(j) <- z.(j) -. (f *. tab.(i).(j))
           done
-        end
       done;
       let allow c = not (is_artificial c) in
       match run_phase allow with
-      | `Limit -> finish { status = Iteration_limit; x = Array.make n 0.; obj = nan }
-      | `Unbounded -> finish { status = Unbounded; x = Array.make n 0.; obj = nan }
+      | `Limit ->
+        finish { Simplex.status = Simplex.Iteration_limit; x = Array.make n 0.; obj = nan }
+      | `Unbounded ->
+        finish { Simplex.status = Simplex.Unbounded; x = Array.make n 0.; obj = nan }
       | `Optimal ->
         (* recover structural values *)
         let xs = Array.make n_struct 0. in
         for i = 0 to m - 1 do
-          if basis.(i) < n_struct then xs.(basis.(i)) <- tab.((i * stride) + ncols)
+          if basis.(i) < n_struct then xs.(basis.(i)) <- tab.(i).(ncols)
         done;
         let x =
           Array.init n (fun j ->
@@ -316,37 +304,5 @@ let run ?(max_iter = 200_000) ?budget ?tally ?pivot_log (p : Lp_problem.t) =
               | Flipped (c, off) -> off -. xs.(c)
               | Split (cp, cm) -> xs.(cp) -. xs.(cm))
         in
-        finish { status = Optimal; x; obj = Lp_problem.objective_value p x }
+        finish { Simplex.status = Simplex.Optimal; x; obj = Lp_problem.objective_value p x }
     end
-
-
-let solve ?budget ?cancel ?warm_start:_ ?trace p =
-  let budget = Engine.Solver_intf.join_budget ?budget ?cancel () in
-  let s = run ?budget ?tally:trace p in
-  let budget_stop =
-    match Engine.Budget.inspected budget with
-    | Some r -> Some (Engine.Budget.reason_to_string r)
-    | None -> None
-  in
-  match s.status with
-  | Optimal ->
-    (* the simplex is an exact method: at a proven-optimal basis the
-       objective value is its own bound *)
-    let key = if p.Lp_problem.minimize then s.obj else -.s.obj in
-    let cert =
-      Engine.Certificate.make ~producer:"lp.simplex"
-        ~claimed_status:Engine.Status.Optimal ~witness:s.x ~claimed_obj:s.obj
-        ~claimed_bound:key ~minimize:p.Lp_problem.minimize ~tol:1e-6
-        ~evidence:(Engine.Certificate.Exact_method "two-phase primal simplex")
-        ?budget_stop ()
-    in
-    Ok { Engine.Solver_intf.value = s; cert }
-  | Infeasible -> Error Engine.Status.Infeasible
-  | Unbounded -> Error Engine.Status.Unbounded
-  | Iteration_limit ->
-    let reason =
-      match Engine.Budget.inspected budget with
-      | Some r -> Engine.Status.reason_of_budget r
-      | None -> Engine.Status.Iter_limit
-    in
-    Error (Engine.Status.Budget_exhausted reason)

@@ -1,0 +1,18 @@
+(** The pre-flat-tableau two-phase simplex, kept verbatim as a
+    differential-testing oracle for {!Simplex}.
+
+    The flat-array kernel in {!Simplex} must reproduce this
+    implementation bit-for-bit: same pivot sequence (observable via
+    [pivot_log]), same status, same solution vector and objective.
+    test/test_lp.ml pins that property with qcheck over seeded random
+    LPs. Not used on any production path. *)
+
+(** Same contract as {!Simplex.run}. [pivot_log] (when given) receives
+    each pivot as [(row, entering column)], most recent first. *)
+val run :
+  ?max_iter:int ->
+  ?budget:Engine.Budget.armed ->
+  ?tally:Engine.Telemetry.t ->
+  ?pivot_log:(int * int) list ref ->
+  Lp_problem.t ->
+  Simplex.solution

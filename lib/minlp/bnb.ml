@@ -43,6 +43,9 @@ let run ?(options = default_options) ?budget ?tally ?warm_start (p0 : Problem.t)
       Engine.Telemetry.set_warm_start_used tally
     | Some _ | None -> ())
   | None -> ());
+  (* one compiled relaxation context for the whole tree: the node loop
+     only swaps boxes, never re-lowers expressions *)
+  let rctx = Relax.context p in
   let leq a b = a.bound <= b.bound in
   let open_nodes = Ds.Heap.create ~leq in
   let root_start =
@@ -95,7 +98,7 @@ let run ?(options = default_options) ?budget ?tally ?warm_start (p0 : Problem.t)
         (match budget with Some b -> Engine.Budget.add_nodes b 1 | None -> ());
         Engine.Telemetry.bump tally Engine.Telemetry.add_nodes_expanded 1;
         let start = Numerics.Vec.clamp ~lo:node.nlo ~hi:node.nhi node.start in
-        let r = Relax.solve_nlp ?budget ?tally p ~lo:node.nlo ~hi:node.nhi ~start in
+        let r = Relax.solve_nlp_ctx ?budget ?tally rctx ~lo:node.nlo ~hi:node.nhi ~start in
         if not r.Relax.feasible then
           Engine.Telemetry.bump tally Engine.Telemetry.add_nodes_pruned 1
         else begin
@@ -142,7 +145,7 @@ let run ?(options = default_options) ?budget ?tally ?warm_start (p0 : Problem.t)
                       | Problem.Continuous -> ())
                     p.kinds;
                   incr nlp_solves;
-                  let polished = Relax.solve_nlp ?budget ?tally p ~lo:plo ~hi:phi ~start:xr in
+                  let polished = Relax.solve_nlp_ctx ?budget ?tally rctx ~lo:plo ~hi:phi ~start:xr in
                   let cand_x, cand_obj =
                     if polished.Relax.feasible && key polished.Relax.obj < k then
                       (Problem.round_integral p polished.Relax.x, polished.Relax.obj)

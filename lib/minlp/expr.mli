@@ -58,6 +58,55 @@ val gradient : t -> float array -> float array
     of thousands of times per relaxation. *)
 val compile_gradient : t -> float array -> float array
 
+(** Closure-compiled form of an expression.
+
+    [compile] lowers the tree once into nested OCaml closures — all AST
+    dispatch happens at compile time, and linear sums and scaling-law
+    leaves ([c·x_j^p]) collapse into fused fast paths.  The resulting
+    function performs exactly the floating-point operations of the
+    interpreted {!eval}, in the same order ([Add] evaluates as a left
+    fold from 0.), so results are bit-for-bit identical — solver
+    trajectories do not change when a hot path switches to the compiled
+    form.
+
+    Compiled programs are immutable closures with no scratch state, so
+    they are domain-safe: one program may be shared by every portfolio
+    lane. *)
+module Compiled : sig
+  type program
+
+  val compile : t -> program
+
+  (** Minimum evaluation-point length: max variable index + 1. *)
+  val arity : program -> int
+
+  (** Bit-for-bit equal to [Expr.eval] on the source expression.
+      @raise Invalid_argument when the point is shorter than [arity]. *)
+  val eval : program -> float array -> float
+
+  (** The raw compiled closure, without the arity guard of [eval].
+      Callers must guarantee every evaluation point has length at least
+      [arity program]; shorter points read out of bounds.  Intended for
+      inner loops (the AL/SPG kernels) where the dimension is fixed at
+      construction time. *)
+  val unsafe_fn : program -> float array -> float
+
+  (** Compiled symbolic gradient: one program per occurring variable. *)
+  type gradient
+
+  val compile_gradient : t -> gradient
+
+  (** [grad_into g x out] writes the dense gradient at [x] into [out]
+      (zero-filling entries for absent variables), matching
+      [Expr.compile_gradient] output bit-for-bit. *)
+  val grad_into : gradient -> float array -> float array -> unit
+
+  (** [grad_acc g x w acc] accumulates [acc += w · ∇e(x)] in place,
+      touching only entries for variables occurring in the expression;
+      rounding per entry matches [Vec.axpy w grad acc]. *)
+  val grad_acc : gradient -> float array -> float -> float array -> unit
+end
+
 (** [vars e] — sorted list of distinct variable indices in [e]. *)
 val vars : t -> int list
 

@@ -82,15 +82,29 @@ let run ?(options = default_options) ?(extra_rows = []) ?on_integral ?budget ?ta
     incumbent_key := key obj0;
     Engine.Telemetry.set_warm_start_used tally
   | Some _ | None -> ());
+  (* LP template cache: rows only change when the cut pool grows, so
+     rebuild the row skeleton per cut version and give each node a
+     single-copy bound swap instead of the old
+     make/set_objective/add_constraints/set_bounds-per-variable churn *)
+  let lp_template = ref None in
+  let lp_template_cuts = ref (-1) in
   let solve_lp node =
     incr lp_solves;
-    let lp = Lp.Lp_problem.make ~minimize:p.minimize ~names:p.names ~num_vars:p.num_vars () in
-    let lp = Lp.Lp_problem.set_objective lp obj in
-    let lp = ref (Lp.Lp_problem.add_constraints lp (base_rows @ !cut_pool)) in
-    for j = 0 to p.num_vars - 1 do
-      lp := Lp.Lp_problem.set_bounds !lp j ~lo:node.nlo.(j) ~hi:node.nhi.(j)
-    done;
-    Lp.Simplex.run ?budget ?tally !lp
+    let base =
+      match !lp_template with
+      | Some t when !lp_template_cuts = !num_cuts -> t
+      | Some _ | None ->
+        let lp =
+          Lp.Lp_problem.make ~minimize:p.minimize ~names:p.names ~num_vars:p.num_vars ()
+        in
+        let lp = Lp.Lp_problem.set_objective lp obj in
+        let lp = Lp.Lp_problem.add_constraints lp (base_rows @ !cut_pool) in
+        lp_template := Some lp;
+        lp_template_cuts := !num_cuts;
+        lp
+    in
+    let lp = Lp.Lp_problem.with_bounds base ~lo:node.nlo ~hi:node.nhi in
+    Lp.Simplex.run ?budget ?tally lp
   in
   let leq =
     if options.depth_first then fun a b -> a.depth >= b.depth

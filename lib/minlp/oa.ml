@@ -91,11 +91,15 @@ let run ?(options = default_options) ?budget ?tally ?warm_start (p0 : Problem.t)
     truncate (Milp.run ~options:milp_options ?budget ?tally ?warm_start:warm p)
   else begin
     let nlp_solves = ref 0 in
+    (* one compiled relaxation context for the root solve and every
+       fixed-integer completion the master requests *)
+    let rctx = Relax.context p in
     (* root relaxation seeds the initial linearization *)
     incr nlp_solves;
     let root =
       Engine.Telemetry.time tally "root-nlp" (fun () ->
-          Relax.solve_nlp ?budget ?tally p ~lo:p.lo ~hi:p.hi ~start:(Relax.midpoint p.lo p.hi))
+          Relax.solve_nlp_ctx ?budget ?tally rctx ~lo:p.lo ~hi:p.hi
+            ~start:(Relax.midpoint p.lo p.hi))
     in
     (* a failed root NLP is not proof of infeasibility (the augmented
        Lagrangian is a local method): linearize at the best point it
@@ -143,7 +147,7 @@ let run ?(options = default_options) ?budget ?tally ?warm_start (p0 : Problem.t)
             (* fixed-integer NLP: best continuous completion of x *)
             incr nlp_solves;
             let lo, hi = fix_integers x in
-            let r = Relax.solve_nlp ?budget ?tally p ~lo ~hi ~start:x in
+            let r = Relax.solve_nlp_ctx ?budget ?tally rctx ~lo ~hi ~start:x in
             if r.Relax.feasible then
               let cuts = List.map (fun c -> Relax.oa_cut c r.Relax.x) nl in
               `Reject_with_incumbent (cuts, r.Relax.x, r.Relax.obj)

@@ -12,12 +12,36 @@ type nlp_result = {
   converged : bool;
 }
 
+(** Compiled relaxation context: objective and constraint expressions
+    lowered to closure programs, plus the linear-row LP skeleton, built
+    once per solver run instead of once per node. The context is
+    immutable (compiled programs hold no scratch state) and may be
+    shared across domains, though each solver run / portfolio lane
+    already builds its own. *)
+type ctx
+
+(** [context p] — compile [p]'s hot-path evaluators once. *)
+val context : Problem.t -> ctx
+
+(** [solve_nlp_ctx ctx ~lo ~hi ~start] — like {!solve_nlp} but reusing
+    the compiled context; this is what the node loops call. *)
+val solve_nlp_ctx :
+  ?tol_feas:float ->
+  ?budget:Engine.Budget.armed ->
+  ?tally:Engine.Telemetry.t ->
+  ctx ->
+  lo:float array ->
+  hi:float array ->
+  start:float array ->
+  nlp_result
+
 (** [solve_nlp p ~lo ~hi ~start] — solve the continuous relaxation of
     [p] restricted to the box [lo, hi]. [start] (clamped) seeds the
     solver; pass the parent node's solution for warm starts. [budget]
     and [tally] are threaded into the LP seeding and the
     augmented-Lagrangian inner loops; each AugLag attempt counts one
-    [nlp_solves]. *)
+    [nlp_solves]. One-shot convenience equal to
+    [solve_nlp_ctx (context p)]. *)
 val solve_nlp :
   ?tol_feas:float ->
   ?budget:Engine.Budget.armed ->

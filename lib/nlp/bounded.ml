@@ -4,21 +4,73 @@ type result = { x : Vec.t; f : float; iterations : int; converged : bool }
 
 let history_len = 10 (* non-monotone window (GLL) *)
 
-let minimize ?(max_iter = 1000) ?(tol = 1e-8) ?budget ?tally ?grad ~f ~lo ~hi x0 =
+(* The SPG loop below is the innermost kernel of every relaxation solve:
+   hundreds of thousands of iterations with a line search of up to 40
+   function evaluations each.  It therefore runs over preallocated
+   buffers with zero allocation per iteration.  Every fused loop
+   replays the exact floating-point operations (and order) of the
+   original Vec.sub/axpy/clamp/dot/norm_inf composition, so solver
+   trajectories — and hence final objectives — are bit-for-bit
+   unchanged. *)
+let minimize ?(max_iter = 1000) ?(tol = 1e-8) ?stall_iters ?budget ?tally ?grad
+    ?grad_into ~f ~lo ~hi x0 =
   let n = Vec.dim x0 in
   if Vec.dim lo <> n || Vec.dim hi <> n then invalid_arg "Bounded.minimize: dimension mismatch";
-  let gradient = match grad with Some g -> g | None -> Num_diff.gradient f in
-  let project v = Vec.clamp ~lo ~hi v in
-  let x = ref (project (Vec.copy x0)) in
-  let fx = ref (f !x) in
-  let g = ref (gradient !x) in
+  let grad_into =
+    match grad_into with
+    | Some gi -> gi
+    | None ->
+      let gradient = match grad with Some g -> g | None -> Num_diff.gradient f in
+      fun v out -> Array.blit (gradient v) 0 out 0 n
+  in
+  let x = Array.make n 0. in
+  Array.blit x0 0 x 0 n;
+  for i = 0 to n - 1 do
+    x.(i) <- Float.min hi.(i) (Float.max lo.(i) x.(i))
+  done;
+  let fx = ref (f x) in
+  let g = ref (Array.make n 0.) and g_new = ref (Array.make n 0.) in
+  grad_into x !g;
+  let d = Array.make n 0. and cand = Array.make n 0. in
   let history = Array.make history_len !fx in
   let hist_idx = ref 0 in
   let alpha = ref 1. in
   let iterations = ref 0 in
   let converged = ref false in
+  (* optional stagnation cutoff: an ill-conditioned augmented
+     Lagrangian (mu up to 1e10) can leave the projected gradient
+     plateaued above [tol] for thousands of iterations; once the best
+     value seen has not improved by a relative 1e-12 for [stall_iters]
+     accepted steps, further inner iterations are pure waste — the
+     caller's outer loop (multiplier update) is what makes progress.
+     Disabled when [stall_iters] is [None], keeping the historical
+     trajectory for standalone uses. *)
+  let stalled = ref false in
+  let f_best = ref !fx in
+  let since_best = ref 0 in
+  let note_accept fc =
+    match stall_iters with
+    | None -> ()
+    | Some k ->
+      if fc < !f_best -. (1e-12 *. (1. +. Float.abs !f_best)) then begin
+        f_best := fc;
+        since_best := 0
+      end
+      else begin
+        incr since_best;
+        if !since_best >= k then stalled := true
+      end
+  in
   (* stationarity measure: || P(x - g) - x ||_inf *)
-  let pg_norm () = Vec.norm_inf (Vec.sub (project (Vec.sub !x !g)) !x) in
+  let pg_norm () =
+    let gv = !g in
+    let acc = ref 0. in
+    for i = 0 to n - 1 do
+      let step = Float.min hi.(i) (Float.max lo.(i) (x.(i) -. gv.(i))) -. x.(i) in
+      acc := Float.max !acc (Float.abs step)
+    done;
+    !acc
+  in
   if pg_norm () <= tol then converged := true;
   (* Each SPG iteration runs a line search with up to 40 function
      evaluations, so polling the budget once per iteration is cheap. *)
@@ -29,26 +81,40 @@ let minimize ?(max_iter = 1000) ?(tol = 1e-8) ?budget ?tally ?grad ~f ~lo ~hi x0
       Engine.Budget.add_iters b 1;
       Engine.Budget.check b <> None
   in
-  while (not !converged) && !iterations < max_iter && not (out_of_budget ()) do
+  while
+    (not !converged) && (not !stalled) && !iterations < max_iter
+    && not (out_of_budget ())
+  do
     incr iterations;
     Engine.Telemetry.bump tally Engine.Telemetry.add_nlp_iterations 1;
-    let d = Vec.sub (project (Vec.axpy (-. !alpha) !g !x)) !x in
-    let gd = Vec.dot !g d in
-    if Float.abs gd < 1e-300 || Vec.norm_inf d <= tol *. 1e-3 then converged := true
+    (* d = P(x - alpha·g) - x with g·d and ||d||_inf in the same pass *)
+    let gv = !g in
+    let a = -. !alpha in
+    let gd = ref 0. and d_inf = ref 0. in
+    for i = 0 to n - 1 do
+      let di = Float.min hi.(i) (Float.max lo.(i) ((a *. gv.(i)) +. x.(i))) -. x.(i) in
+      d.(i) <- di;
+      gd := !gd +. (gv.(i) *. di);
+      d_inf := Float.max !d_inf (Float.abs di)
+    done;
+    let gd = !gd in
+    if Float.abs gd < 1e-300 || !d_inf <= tol *. 1e-3 then converged := true
     else begin
       (* non-monotone Armijo on the reference value f_max *)
       let f_max = Array.fold_left Float.max neg_infinity history in
       let lambda = ref 1. in
       let accepted = ref false in
-      let x_new = ref !x and f_new = ref !fx in
+      let f_new = ref !fx in
       let tries = ref 0 in
       while (not !accepted) && !tries < 40 do
         incr tries;
-        let cand = Vec.axpy !lambda d !x in
+        let l = !lambda in
+        for i = 0 to n - 1 do
+          cand.(i) <- (l *. d.(i)) +. x.(i)
+        done;
         let fc = f cand in
-        if (not (Float.is_nan fc)) && fc <= f_max +. (1e-4 *. !lambda *. gd) then begin
+        if (not (Float.is_nan fc)) && fc <= f_max +. (1e-4 *. l *. gd) then begin
           accepted := true;
-          x_new := cand;
           f_new := fc
         end
         else lambda := !lambda /. 2.
@@ -56,27 +122,43 @@ let minimize ?(max_iter = 1000) ?(tol = 1e-8) ?budget ?tally ?grad ~f ~lo ~hi x0
       Engine.Telemetry.bump tally Engine.Telemetry.add_line_search_steps !tries;
       if not !accepted then converged := true (* line search failed: accept stall *)
       else begin
-        let g_new = gradient !x_new in
-        (* Barzilai–Borwein step: alpha = s·s / s·y *)
-        let s = Vec.sub !x_new !x in
-        let y = Vec.sub g_new !g in
-        let sy = Vec.dot s y in
+        grad_into cand !g_new;
+        let gn = !g_new in
+        (* Barzilai–Borwein step: alpha = s·s / s·y, s and y never
+           materialized *)
+        let sy = ref 0. and ss = ref 0. in
+        for i = 0 to n - 1 do
+          let si = cand.(i) -. x.(i) in
+          let yi = gn.(i) -. gv.(i) in
+          sy := !sy +. (si *. yi);
+          ss := !ss +. (si *. si)
+        done;
         (* degenerate curvature (linear stretches): grow the step
            multiplicatively with the iterate scale so huge boxes
            (epigraph variables) are traversed in a few iterations
            without overshooting unbounded directions *)
         alpha :=
-          (if sy <= 1e-300 then
-             Float.min 1e12
-               (100. *. Float.max 1. (Vec.norm_inf !x_new) /. Float.max 1e-12 (Vec.norm_inf g_new))
-           else Float.min 1e12 (Float.max 1e-12 (Vec.dot s s /. sy)));
-        x := !x_new;
+          (if !sy <= 1e-300 then begin
+             let x_inf = ref 0. and g_inf = ref 0. in
+             for i = 0 to n - 1 do
+               x_inf := Float.max !x_inf (Float.abs cand.(i))
+             done;
+             for i = 0 to n - 1 do
+               g_inf := Float.max !g_inf (Float.abs gn.(i))
+             done;
+             Float.min 1e12 (100. *. Float.max 1. !x_inf /. Float.max 1e-12 !g_inf)
+           end
+           else Float.min 1e12 (Float.max 1e-12 (!ss /. !sy)));
+        Array.blit cand 0 x 0 n;
         fx := !f_new;
-        g := g_new;
+        let tmp = !g in
+        g := !g_new;
+        g_new := tmp;
         history.(!hist_idx mod history_len) <- !fx;
         incr hist_idx;
+        note_accept !fx;
         if pg_norm () <= tol then converged := true
       end
     end
   done;
-  { x = !x; f = !fx; iterations = !iterations; converged = !converged }
+  { x; f = !fx; iterations = !iterations; converged = !converged }

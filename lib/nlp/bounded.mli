@@ -13,10 +13,27 @@ type result = {
   converged : bool;  (** projected-gradient norm below tolerance *)
 }
 
-(** [minimize ?max_iter ?tol ?budget ?tally ?grad ~f ~lo ~hi x0]
-    minimizes [f] over the box. [x0] is clamped into the box first.
-    [tol] bounds the infinity norm of the projected gradient step
-    [P(x - g) - x].
+(** [minimize ?max_iter ?tol ?stall_iters ?budget ?tally ?grad ?grad_into
+    ~f ~lo ~hi x0] minimizes [f] over the box. [x0] is clamped into the
+    box first. [tol] bounds the infinity norm of the projected gradient
+    step [P(x - g) - x].
+
+    [stall_iters], when given, stops the loop early (with
+    [converged = false]) once the best value seen has not improved by a
+    relative 1e-12 for that many accepted steps: on ill-conditioned
+    objectives (augmented Lagrangians with large penalties) the
+    projected gradient can plateau above [tol] and burn the full
+    iteration budget without moving. Leave it unset to keep the
+    historical trajectory.
+
+    The loop is allocation-free: iterates live in preallocated buffers
+    and [f] is handed a scratch vector that is overwritten between
+    calls, so [f] (and [grad_into]) must not retain or mutate their
+    arguments. When [grad_into] is given it is used in place of [grad]
+    (writing the gradient into its second argument); both paths must
+    produce bit-identical values — the fused update loops reproduce the
+    exact FP operation order of the textbook Vec compositions, so the
+    trajectory does not depend on which gradient interface is wired.
 
     The armed [budget] is polled once per SPG iteration; on exhaustion
     the best iterate so far is returned with [converged = false].
@@ -24,9 +41,11 @@ type result = {
 val minimize :
   ?max_iter:int ->
   ?tol:float ->
+  ?stall_iters:int ->
   ?budget:Engine.Budget.armed ->
   ?tally:Engine.Telemetry.t ->
   ?grad:(Numerics.Vec.t -> Numerics.Vec.t) ->
+  ?grad_into:(Numerics.Vec.t -> Numerics.Vec.t -> unit) ->
   f:(Numerics.Vec.t -> float) ->
   lo:Numerics.Vec.t ->
   hi:Numerics.Vec.t ->

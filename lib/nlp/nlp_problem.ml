@@ -5,6 +5,7 @@ type kind = Ineq | Eq
 type constr = {
   g : Vec.t -> float;
   g_grad : (Vec.t -> Vec.t) option;
+  g_grad_acc : (Vec.t -> float -> Vec.t -> unit) option;
   kind : kind;
   label : string;
 }
@@ -13,22 +14,26 @@ type t = {
   dim : int;
   f : Vec.t -> float;
   f_grad : (Vec.t -> Vec.t) option;
+  f_grad_into : (Vec.t -> Vec.t -> unit) option;
   lo : Vec.t;
   hi : Vec.t;
   constraints : constr list;
 }
 
-let make ?f_grad ?lo ?hi ?(constraints = []) ~dim ~f () =
+let make ?f_grad ?f_grad_into ?lo ?hi ?(constraints = []) ~dim ~f () =
   if dim <= 0 then invalid_arg "Nlp_problem.make: dim must be positive";
   let lo = match lo with Some v -> v | None -> Vec.create dim neg_infinity in
   let hi = match hi with Some v -> v | None -> Vec.create dim infinity in
   if Vec.dim lo <> dim || Vec.dim hi <> dim then
     invalid_arg "Nlp_problem.make: bound dimension mismatch";
   Array.iteri (fun i l -> if l > hi.(i) then invalid_arg "Nlp_problem.make: lo > hi") lo;
-  { dim; f; f_grad; lo; hi; constraints }
+  { dim; f; f_grad; f_grad_into; lo; hi; constraints }
 
-let ineq ?grad ?(label = "ineq") g = { g; g_grad = grad; kind = Ineq; label }
-let eq ?grad ?(label = "eq") g = { g; g_grad = grad; kind = Eq; label }
+let ineq ?grad ?grad_acc ?(label = "ineq") g =
+  { g; g_grad = grad; g_grad_acc = grad_acc; kind = Ineq; label }
+
+let eq ?grad ?grad_acc ?(label = "eq") g =
+  { g; g_grad = grad; g_grad_acc = grad_acc; kind = Eq; label }
 
 let violation p x =
   let v = ref 0. in
@@ -45,3 +50,10 @@ let violation p x =
 
 let gradient_of p x =
   match p.f_grad with Some g -> g x | None -> Num_diff.gradient p.f x
+
+let gradient_into p x out =
+  match p.f_grad_into with
+  | Some gi -> gi x out
+  | None ->
+    let g = gradient_of p x in
+    Array.blit g 0 out 0 (Array.length out)

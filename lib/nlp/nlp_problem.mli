@@ -4,13 +4,21 @@
     Gradients are optional; central differences are used when absent.
     The MINLP layer only ever emits convex [g_i] (the fitted performance
     functions have non-negative coefficients), which is what makes the
-    branch-and-bound bounds valid. *)
+    branch-and-bound bounds valid.
+
+    The [*_into] / [*_acc] variants are allocation-free fast paths used
+    by the AL/SPG inner loops: when present they must compute exactly
+    the same values as their allocating counterparts (the relaxation
+    layer derives both from the same compiled expression programs). *)
 
 type kind = Ineq  (** [g x <= 0] *) | Eq  (** [g x = 0] *)
 
 type constr = {
   g : Numerics.Vec.t -> float;
   g_grad : (Numerics.Vec.t -> Numerics.Vec.t) option;
+  g_grad_acc : (Numerics.Vec.t -> float -> Numerics.Vec.t -> unit) option;
+      (** [acc x w out] accumulates [out += w · ∇g(x)] in place, with
+          per-entry rounding matching [Vec.axpy w (∇g x) out]. *)
   kind : kind;
   label : string;  (** for diagnostics *)
 }
@@ -19,6 +27,9 @@ type t = {
   dim : int;
   f : Numerics.Vec.t -> float;
   f_grad : (Numerics.Vec.t -> Numerics.Vec.t) option;
+  f_grad_into : (Numerics.Vec.t -> Numerics.Vec.t -> unit) option;
+      (** writes the full dense objective gradient into its second
+          argument; must equal [f_grad] output bit-for-bit. *)
   lo : Numerics.Vec.t;
   hi : Numerics.Vec.t;
   constraints : constr list;
@@ -27,6 +38,7 @@ type t = {
 (** [make ~dim ~f ()] — unconstrained problem over [(-inf, inf)^dim]. *)
 val make :
   ?f_grad:(Numerics.Vec.t -> Numerics.Vec.t) ->
+  ?f_grad_into:(Numerics.Vec.t -> Numerics.Vec.t -> unit) ->
   ?lo:Numerics.Vec.t ->
   ?hi:Numerics.Vec.t ->
   ?constraints:constr list ->
@@ -35,13 +47,21 @@ val make :
   unit ->
   t
 
-(** [ineq ?grad ?label g] — an inequality constraint [g x <= 0]. *)
+(** [ineq ?grad ?grad_acc ?label g] — an inequality constraint [g x <= 0]. *)
 val ineq :
-  ?grad:(Numerics.Vec.t -> Numerics.Vec.t) -> ?label:string -> (Numerics.Vec.t -> float) -> constr
+  ?grad:(Numerics.Vec.t -> Numerics.Vec.t) ->
+  ?grad_acc:(Numerics.Vec.t -> float -> Numerics.Vec.t -> unit) ->
+  ?label:string ->
+  (Numerics.Vec.t -> float) ->
+  constr
 
-(** [eq ?grad ?label g] — an equality constraint [g x = 0]. *)
+(** [eq ?grad ?grad_acc ?label g] — an equality constraint [g x = 0]. *)
 val eq :
-  ?grad:(Numerics.Vec.t -> Numerics.Vec.t) -> ?label:string -> (Numerics.Vec.t -> float) -> constr
+  ?grad:(Numerics.Vec.t -> Numerics.Vec.t) ->
+  ?grad_acc:(Numerics.Vec.t -> float -> Numerics.Vec.t -> unit) ->
+  ?label:string ->
+  (Numerics.Vec.t -> float) ->
+  constr
 
 (** [violation p x] — max over constraints of their violation
     ([max 0 (g x)] for inequalities, [|h x|] for equalities);
@@ -51,3 +71,7 @@ val violation : t -> Numerics.Vec.t -> float
 (** [gradient_of p x] — analytic gradient when present, else central
     differences. *)
 val gradient_of : t -> Numerics.Vec.t -> Numerics.Vec.t
+
+(** [gradient_into p x out] — like {!gradient_of} but writing into
+    [out]; uses the allocation-free [f_grad_into] when present. *)
+val gradient_into : t -> Numerics.Vec.t -> Numerics.Vec.t -> unit

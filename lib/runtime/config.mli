@@ -30,3 +30,31 @@ val set_jobs : int -> unit
 (** A sensible width for this machine: the domain count the OCaml
     runtime recommends, minus one for the caller's domain. *)
 val recommended : unit -> int
+
+(** Cores the runtime can actually use ({!Domain.recommended_domain_count},
+    at least 1). {!Pool} clamps its effective width here. *)
+val cores : unit -> int
+
+(** {2 Portfolio stagger}
+
+    How long the predicted-fastest portfolio lane runs alone before the
+    laggard lanes are spawned; see {!Portfolio.race}. Initialised from
+    [HSLB_STAGGER_S] (seconds, default 0.2). *)
+
+(** ["HSLB_STAGGER_S"]. *)
+val stagger_env_var : string
+
+val default_stagger_s : float
+
+(** Non-negative finite seconds, or an error naming the bad value. *)
+val parse_stagger : string -> (float, string) result
+
+(** Read [stagger_env_var]; invalid values mean the default {e after}
+    reporting through [warn]. *)
+val stagger_from_env : ?warn:(string -> unit) -> unit -> float
+
+(** Current stagger window, [>= 0]. *)
+val stagger_s : unit -> float
+
+(** Override the window; negative values clamp to 0. *)
+val set_stagger_s : float -> unit

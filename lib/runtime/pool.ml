@@ -12,14 +12,13 @@ type 'a outcome = Value of 'a | Raised of exn * Printexc.raw_backtrace
 
 let task_hist = Obs.Metrics.histogram ~lo:1e-6 ~hi:1e5 "runtime_pool_task_seconds"
 
-let run_parallel ~jobs tasks =
-  let n = Array.length tasks in
-  let slots = Array.make n None in
-  let next = Atomic.make 0 in
-  (* spans opened by tasks on worker domains parent to whatever span
-     the caller was in when it sharded the work *)
+(* per-task instrumentation shared by both execution paths: spans
+   opened by tasks parent to whatever span the caller was in when it
+   sharded the work, whether the task runs on a worker domain or (when
+   the width clamps to one) on the calling domain itself *)
+let instrumented_runner tasks =
   let ctx = Obs.Span.context () in
-  let run_task i =
+  fun i ->
     if not (Obs.Control.enabled ()) then tasks.(i) ()
     else
       Obs.Span.in_context ctx @@ fun () ->
@@ -39,7 +38,12 @@ let run_parallel ~jobs tasks =
         let bt = Printexc.get_raw_backtrace () in
         finish ();
         Printexc.raise_with_backtrace e bt)
-  in
+
+let run_parallel ~jobs tasks =
+  let n = Array.length tasks in
+  let slots = Array.make n None in
+  let next = Atomic.make 0 in
+  let run_task = instrumented_runner tasks in
   let rec worker () =
     let i = Atomic.fetch_and_add next 1 in
     if i < n then begin
@@ -67,13 +71,53 @@ let run_parallel ~jobs tasks =
   Array.to_list
     (Array.map (function Some (Value v) -> v | Some (Raised _) | None -> assert false) slots)
 
+(* Width policy, separated from execution so it is testable as plain
+   data.  A requested width above the tasks at hand or the cores on the
+   box buys nothing — extra domains would only time-slice — so the
+   effective width is the min of the three, and a width of one means
+   the byte-identical sequential path on the calling domain. *)
+type plan = Sequential | Parallel of int
+
+let decide ~cores ~jobs ~tasks =
+  let eff = Stdlib.min jobs (Stdlib.min (Stdlib.max 0 tasks) (Stdlib.max 1 cores)) in
+  if eff <= 1 then Sequential else Parallel eff
+
+(* warn once per process: benches call [run] in a loop and a clamped
+   --jobs should not flood stderr *)
+let clamp_warned = Atomic.make false
+
+let warn_clamp ~requested ~cores =
+  if not (Atomic.exchange clamp_warned true) then
+    Printf.eprintf
+      "warning: requested %d jobs but only %d core(s) are available; running %s\n%!"
+      requested cores
+      (if cores <= 1 then "sequentially" else Printf.sprintf "%d-wide" cores)
+
 let run ?jobs thunks =
-  let jobs = match jobs with Some j -> Stdlib.max 1 j | None -> Config.jobs () in
+  let requested = match jobs with Some j -> Stdlib.max 1 j | None -> Config.jobs () in
+  let cores = Config.cores () in
+  let tasks = List.length thunks in
+  if requested > cores && tasks > 1 then warn_clamp ~requested ~cores;
   match thunks with
   | [] -> []
   | [ f ] -> [ f () ]
-  | thunks when jobs <= 1 -> List.map (fun f -> f ()) thunks
-  | thunks -> run_parallel ~jobs (Array.of_list thunks)
+  | thunks -> (
+    match decide ~cores ~jobs:requested ~tasks with
+    | Sequential ->
+      (* calling domain only, failing fast — byte-identical results to
+         a plain [List.map], with the same task spans as the parallel
+         path so traces do not change shape when the width clamps *)
+      let arr = Array.of_list thunks in
+      let run_task = instrumented_runner arr in
+      let n = Array.length arr in
+      let rec go i =
+        if i >= n then []
+        else
+          let v = run_task i in
+          v :: go (i + 1)
+      in
+      go 0
+    | Parallel jobs -> run_parallel ~jobs (Array.of_list thunks))
 
 let map ?jobs f xs = run ?jobs (List.map (fun x () -> f x) xs)
 

@@ -1,11 +1,17 @@
 (** Bounded work pool on OCaml 5 domains.
 
     [run tasks] executes every thunk and returns their results {e in
-    task order}, whatever order they finished in. At [jobs = 1] (the
-    default unless [HSLB_JOBS] / [--jobs] say otherwise) everything runs
-    sequentially on the calling domain — byte-identical behavior to a
-    plain [List.map]. At [jobs > 1] the calling domain plus [jobs - 1]
-    spawned domains drain the task list through a shared counter.
+    task order}, whatever order they finished in. The requested width
+    ([?jobs], else [HSLB_JOBS] / [--jobs]) is a {e ceiling}: the
+    effective width is clamped to the task count and to the cores the
+    machine actually has ({!Config.cores}), with a once-per-process
+    stderr warning when the request exceeds the cores — oversubscribed
+    domains only time-slice. At an effective width of 1 (including a
+    starved single-core box, whatever was requested) everything runs
+    sequentially on the calling domain — byte-identical results to a
+    plain [List.map]. Above 1 the calling domain plus [width - 1]
+    spawned domains drain the task list through a shared counter. Task
+    spans ([pool.task]) are emitted identically on both paths.
 
     Exceptions: in sequential mode the first raise propagates
     immediately (remaining tasks do not run). In parallel mode every
@@ -19,6 +25,15 @@
     Nested use is permitted (an experiment running in the pool may
     itself map over a pool); each call spawns its own bounded set of
     domains. Keep [jobs] near the core count. *)
+
+(** The width policy behind {!run}, exposed as pure data for tests and
+    telemetry: the effective width is
+    [min jobs (min tasks (Config.cores ()))], and a width of one means
+    the sequential path. A request clamped below what was asked for is
+    reported once per process on stderr. *)
+type plan = Sequential | Parallel of int
+
+val decide : cores:int -> jobs:int -> tasks:int -> plan
 
 val run : ?jobs:int -> (unit -> 'a) list -> 'a list
 

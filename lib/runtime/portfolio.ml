@@ -17,6 +17,8 @@ let strategy_of_string s =
         (Printf.sprintf
            "unknown strategy %S (expected auto, portfolio, or a solver name)" s))
 
+exception Skipped
+
 type 'a lane = {
   lane_name : string;
   outcome : ('a, exn) result;
@@ -34,8 +36,9 @@ type 'a outcome = {
 
 let lane_hist = Obs.Metrics.histogram ~lo:1e-6 ~hi:1e5 "runtime_lane_seconds"
 
-let race ?budget ~final ~better entrants =
+let race ?budget ?stagger_s ~final ~better entrants =
   if entrants = [] then invalid_arg "Portfolio.race: no entrants";
+  let stagger_s = match stagger_s with Some s -> Float.max 0. s | None -> Config.stagger_s () in
   let base =
     match budget with Some b -> b | None -> Engine.Budget.arm Engine.Budget.unlimited
   in
@@ -48,26 +51,65 @@ let race ?budget ~final ~better entrants =
      spawned domains still parent to it (cross-domain stitching) *)
   let ctx = Obs.Span.context () in
   let t0 = Unix.gettimeofday () in
-  let run_lane (lane_name, f) =
+  let run_lane lane_budget (lane_name, f) =
     Obs.Span.in_context ctx @@ fun () ->
     Obs.Span.with_span ~cat:"runtime" ("lane:" ^ lane_name) @@ fun () ->
     let lt0 = Unix.gettimeofday () in
-    let outcome = try Ok (f shared) with e -> Error e in
+    let outcome = try Ok (f lane_budget) with e -> Error e in
     if Obs.Control.enabled () then
       Obs.Metrics.Histogram.observe lane_hist (Unix.gettimeofday () -. lt0);
     let is_final = match outcome with Ok v -> final v | Error _ -> false in
     if is_final then Engine.Cancel.cancel tok;
     { lane_name; outcome; is_final; lane_wall_s = Unix.gettimeofday () -. t0 }
   in
+  (* a lane the leader made redundant before it ever started: recorded
+     with a zero-wall span so trace shapes (one span per entrant) and
+     lane lists stay stable whether or not the laggards ran *)
+  let skipped_lane (lane_name, _) =
+    Obs.Span.in_context ctx @@ fun () ->
+    Obs.Span.with_span ~cat:"runtime"
+      ~args:[ ("skipped", "true") ]
+      ("lane:" ^ lane_name)
+    @@ fun () -> { lane_name; outcome = Error Skipped; is_final = false; lane_wall_s = 0. }
+  in
   let lanes =
     match entrants with
-    | [ only ] -> [ run_lane only ]
+    | [ only ] -> [ run_lane shared only ]
     | first :: rest ->
-      (* the calling domain takes the first lane; losers unwind through
-         their budget polls once the token fires, so joins are prompt *)
-      let spawned = List.map (fun e -> Domain.spawn (fun () -> run_lane e)) rest in
-      let l0 = run_lane first in
-      l0 :: List.map Domain.join spawned
+      (* Staggered-lazy start: the calling domain runs the first
+         (predicted-fastest) lane immediately and alone — a 1-lane-ish
+         race pays zero spawn tax on the caller.  The laggards spawn
+         from the leader's budget poll hook once the leader has run for
+         [stagger_s] seconds without finishing, or after the leader
+         returns non-final; a leader that proves its answer inside the
+         window wins outright and the laggards never start.  Losers
+         unwind through their budget polls once the token fires, so
+         joins are prompt. *)
+      let started = Atomic.make false in
+      let handles = ref [] in
+      let spawn_laggards () =
+        (* leader-domain only: the hook and the post-leader fallback
+           both run on the calling domain, [started] just makes the
+           spawn idempotent *)
+        if not (Atomic.exchange started true) then
+          handles := List.map (fun e -> Domain.spawn (fun () -> run_lane shared e)) rest
+      in
+      let polls = ref 0 in
+      let hook () =
+        incr polls;
+        if
+          !polls land 31 = 0
+          && (not (Atomic.get started))
+          && Unix.gettimeofday () -. t0 >= stagger_s
+        then spawn_laggards ()
+      in
+      let l0 = run_lane (Engine.Budget.with_poll_hook shared hook) first in
+      if l0.is_final && not (Atomic.get started) then
+        l0 :: List.map skipped_lane rest
+      else begin
+        spawn_laggards ();
+        l0 :: List.map Domain.join !handles
+      end
     | [] -> assert false
   in
   let race_wall_s = Unix.gettimeofday () -. t0 in

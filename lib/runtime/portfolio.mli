@@ -26,6 +26,12 @@ val strategy_to_string : strategy -> string
     {!Engine.Solver_choice.of_string} name for [`Single]. *)
 val strategy_of_string : string -> (strategy, string) result
 
+(** A lane the leader made redundant before it ever started: the
+    predicted-fastest lane proved its answer inside the stagger window,
+    so this entrant was never spawned. Its lane record carries
+    [outcome = Error Skipped] and [lane_wall_s = 0.]. *)
+exception Skipped
+
 type 'a lane = {
   lane_name : string;
   outcome : ('a, exn) result;
@@ -41,21 +47,36 @@ type 'a outcome = {
   lanes : 'a lane list;  (** in entrant order, losers included *)
 }
 
-(** [race ?budget ~final ~better entrants] — run every [(name, run)]
-    entrant in its own domain (the caller's domain takes the first
-    lane). Each [run] receives the shared budget view and must treat it
-    as its only stopping authority. [final v] marks a proven answer —
-    the first one cancels the race. [better a b] means "[a] is a
-    strictly better incumbent than [b]" and picks the winner when no
-    lane finished final (budget exhaustion): best incumbent wins, ties
-    keep the earlier lane.
+(** [race ?budget ?stagger_s ~final ~better entrants] — race the
+    [(name, run)] entrants with a {e staggered-lazy} start: the first
+    entrant (order them predicted-fastest first) runs immediately on
+    the {e calling} domain, paying no [Domain.spawn] on the hot path,
+    and the remaining lanes are spawned onto their own domains only
+    when the leader has run for [stagger_s] seconds (default
+    {!Config.stagger_s}, env [HSLB_STAGGER_S]) without finishing — the
+    leader's budget polls drive the timer — or immediately after the
+    leader returns without a final answer. A leader that proves its
+    answer inside the window wins outright; the never-started lanes are
+    reported with [outcome = Error Skipped], [lane_wall_s = 0.] and a
+    zero-wall span, so the lane list always matches the entrant list.
+
+    Each [run] receives the shared budget view and must treat it as its
+    only stopping authority — and must actually poll it, since the
+    leader's polls are also what start the laggards. [final v] marks a
+    proven answer — the first one cancels the race. [better a b] means
+    "[a] is a strictly better incumbent than [b]" and picks the winner
+    when no lane finished final (budget exhaustion): best incumbent
+    wins, ties keep the earlier lane.
 
     When [budget] is omitted an unlimited budget is armed, so the race
-    ends when the first lane proves its answer. If every lane raises,
-    the first lane's exception is re-raised.
+    ends when the first lane proves its answer. If every lane that ran
+    raised, the first lane's exception is re-raised (lanes are only
+    skipped when the leader won, so a skipped lane never masks a
+    failure).
     @raise Invalid_argument on an empty entrant list. *)
 val race :
   ?budget:Engine.Budget.armed ->
+  ?stagger_s:float ->
   final:('a -> bool) ->
   better:('a -> 'a -> bool) ->
   (string * (Engine.Budget.armed -> 'a)) list ->

@@ -139,6 +139,178 @@ let test_bad_inputs () =
     (Invalid_argument "Lp_problem.add_constraint: index out of range") (fun () ->
       ignore (Lp_problem.add_constraint (Lp_problem.make ~num_vars:1 ()) (le [ (3, 1.) ] 0.)))
 
+(* ---------- flat kernel vs reference implementation ---------- *)
+
+(* a random LP around a known feasible point, shared by the witness
+   property and the differential property below *)
+let random_lp rng nv nc =
+  let x0 = Array.init nv (fun _ -> Numerics.Rng.uniform rng ~lo:0. ~hi:10.) in
+  let p = Lp_problem.make ~num_vars:nv () in
+  let c = Array.init nv (fun _ -> Numerics.Rng.uniform rng ~lo:(-5.) ~hi:5.) in
+  let p = Lp_problem.set_objective p c in
+  let rows =
+    List.init nc (fun _ ->
+        let coeffs =
+          List.init nv (fun j -> (j, Numerics.Rng.uniform rng ~lo:(-3.) ~hi:3.))
+        in
+        let lhs = List.fold_left (fun acc (j, a) -> acc +. (a *. x0.(j))) 0. coeffs in
+        match Numerics.Rng.int rng 3 with
+        | 0 -> le coeffs (lhs +. Numerics.Rng.float rng 5.)
+        | 1 -> ge coeffs (lhs -. Numerics.Rng.float rng 5.)
+        | _ -> eq coeffs lhs)
+  in
+  let p = Lp_problem.add_constraints p rows in
+  let p =
+    List.fold_left (fun p j -> Lp_problem.set_bounds p j ~lo:0. ~hi:100.) p
+      (List.init nv Fun.id)
+  in
+  (p, x0)
+
+let bits = Int64.bits_of_float
+
+(* the flat-tableau kernel must replay the reference implementation
+   exactly: same pivot sequence, same status, and bit-for-bit the same
+   solution vector and objective *)
+let prop_flat_matches_reference =
+  QCheck.Test.make ~name:"flat simplex replays the reference bit-for-bit" ~count:150
+    QCheck.(pair (pair (int_range 1 6) (int_range 1 8)) (int_range 0 100_000))
+    (fun ((nv, nc), seed) ->
+      let p, _ = random_lp (Numerics.Rng.create seed) nv nc in
+      let log_flat = ref [] and log_ref = ref [] in
+      let s_flat = Simplex.run ~pivot_log:log_flat p in
+      let s_ref = Simplex_reference.run ~pivot_log:log_ref p in
+      if s_flat.status <> s_ref.status then
+        QCheck.Test.fail_reportf "status: flat %s, reference %s" (status_name s_flat.status)
+          (status_name s_ref.status);
+      if !log_flat <> !log_ref then
+        QCheck.Test.fail_reportf "pivot sequences diverge (%d vs %d pivots)"
+          (List.length !log_flat) (List.length !log_ref);
+      if bits s_flat.obj <> bits s_ref.obj then
+        QCheck.Test.fail_reportf "objective bits: flat %.17g, reference %.17g" s_flat.obj
+          s_ref.obj;
+      Array.iteri
+        (fun j v ->
+          if bits v <> bits s_ref.x.(j) then
+            QCheck.Test.fail_reportf "x.(%d) bits: flat %.17g, reference %.17g" j v
+              s_ref.x.(j))
+        s_flat.x;
+      true)
+
+(* ---------- presolve ---------- *)
+
+let reduced_of msg p =
+  match Presolve.reduce p with
+  | `Reduced r -> r
+  | `Infeasible -> Alcotest.failf "%s: unexpected `Infeasible" msg
+  | `Solved _ -> Alcotest.failf "%s: unexpected `Solved" msg
+
+let test_presolve_empty_rows () =
+  (* a constant row within tolerance is dropped; a violated one is
+     proof of infeasibility *)
+  let p = Lp_problem.make ~num_vars:2 () in
+  let p = Lp_problem.set_objective p [| 1.; 1. |] in
+  let p = Lp_problem.add_constraints p [ le [] 5.; le [ (0, 1.); (1, 1.) ] 4. ] in
+  let r = reduced_of "feasible empty row" p in
+  Alcotest.(check int) "empty row dropped" 1 (Presolve.rows_dropped r);
+  let bad = Lp_problem.add_constraint p (le [] (-3.)) in
+  match Presolve.reduce bad with
+  | `Infeasible -> ()
+  | `Solved _ | `Reduced _ -> Alcotest.fail "violated constant row must be infeasible"
+
+let test_presolve_singleton_tightens () =
+  (* 2x <= 4 folds into the box (x <= 2) and the row disappears *)
+  let p = Lp_problem.make ~minimize:false ~num_vars:2 () in
+  let p = Lp_problem.set_objective p [| 1.; 1. |] in
+  let p = Lp_problem.set_bounds p 1 ~lo:0. ~hi:1. in
+  let p = Lp_problem.add_constraints p [ le [ (0, 2.) ] 4.; le [ (0, 1.); (1, 1.) ] 50. ] in
+  let r = reduced_of "singleton" p in
+  Alcotest.(check int) "singleton row dropped" 1 (Presolve.rows_dropped r);
+  let s = Simplex.run (Presolve.reduced r) in
+  check_status "reduced solves" Simplex.Optimal s.status;
+  let x = Presolve.recover r s.x in
+  check_float "x bounded by tightened box" 2. x.(0);
+  check_float "recover keeps free vars" 1. x.(1)
+
+let test_presolve_fixed_substitution () =
+  (* lo = hi pins x1; its contribution moves into the rhs and the
+     reduced problem has one fewer column *)
+  let p = Lp_problem.make ~num_vars:3 () in
+  let p = Lp_problem.set_objective p [| 1.; 5.; 1. |] in
+  let p = Lp_problem.set_bounds p 1 ~lo:2. ~hi:2. in
+  let p =
+    Lp_problem.add_constraints p
+      [ ge [ (0, 1.); (1, 1.); (2, 1.) ] 7.; le [ (0, 1.); (2, 1.) ] 100. ]
+  in
+  let r = reduced_of "fixed" p in
+  Alcotest.(check int) "one var fixed" 1 (Presolve.vars_fixed r);
+  Alcotest.(check int) "reduced dimension" 2 (Presolve.reduced r).Lp_problem.num_vars;
+  let s = Simplex.run (Presolve.reduced r) in
+  check_status "reduced solves" Simplex.Optimal s.status;
+  let x = Presolve.recover r s.x in
+  check_float "fixed var restored" 2. x.(1);
+  (* x0 + x2 >= 5 after substitution, objective x0 + x2 minimal at 5 *)
+  check_float "recovered point satisfies original rows" 5. (x.(0) +. x.(2));
+  Alcotest.(check bool) "feasible in original space" true (Lp_problem.feasible p x)
+
+let test_presolve_all_fixed_solved () =
+  let p = Lp_problem.make ~num_vars:2 () in
+  let p = Lp_problem.set_bounds p 0 ~lo:1. ~hi:1. in
+  let p = Lp_problem.set_bounds p 1 ~lo:3. ~hi:3. in
+  let p = Lp_problem.add_constraint p (le [ (0, 1.); (1, 1.) ] 4.) in
+  (match Presolve.reduce p with
+  | `Solved x ->
+    check_float "x0" 1. x.(0);
+    check_float "x1" 3. x.(1)
+  | `Infeasible | `Reduced _ -> Alcotest.fail "fully pinned feasible LP must be `Solved");
+  let p_bad = Lp_problem.set_bounds p 1 ~lo:3.5 ~hi:3.5 in
+  match Presolve.reduce p_bad with
+  | `Infeasible -> ()
+  | `Solved _ | `Reduced _ -> Alcotest.fail "pinned point violating a row must be infeasible"
+
+let test_presolve_scaling_exact () =
+  (* power-of-two equilibration touches exponents only: scaled
+     coefficients are exactly representable rescalings and the solved
+     objective matches the unscaled solve to the last bit *)
+  let p = Lp_problem.make ~num_vars:2 () in
+  let p = Lp_problem.set_objective p [| 1.; 1. |] in
+  let p =
+    Lp_problem.add_constraints p
+      [ ge [ (0, 1024.); (1, 512.) ] 2048.; ge [ (0, 0.125); (1, 0.25) ] 0.5 ]
+  in
+  let r = reduced_of "scaling" p in
+  let pr = Presolve.reduced r in
+  Array.iter
+    (fun (row : Lp_problem.constr) ->
+      let maxabs =
+        List.fold_left (fun acc (_, a) -> Float.max acc (Float.abs a)) 0. row.coeffs
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "row equilibrated (maxabs %g)" maxabs)
+        true
+        (maxabs >= 0.5 && maxabs < 1.))
+    pr.Lp_problem.constraints;
+  let s_scaled = Simplex.run pr in
+  let s_plain = Simplex.run p in
+  check_status "scaled status" s_plain.status s_scaled.status;
+  Alcotest.(check bool) "objective bits unchanged by scaling" true
+    (bits s_scaled.obj = bits s_plain.obj)
+
+let test_with_bounds () =
+  let p = Lp_problem.make ~num_vars:2 () in
+  let p = Lp_problem.set_objective p [| 1.; 1. |] in
+  let p = Lp_problem.add_constraint p (ge [ (0, 1.); (1, 1.) ] 1.) in
+  let q = Lp_problem.with_bounds p ~lo:[| 0.5; 0. |] ~hi:[| 10.; 10. |] in
+  let s = Simplex.run q in
+  check_status "status" Simplex.Optimal s.status;
+  check_float "obj respects swapped box" 1. s.obj;
+  Alcotest.(check bool) "x0 honors replaced lower bound" true (s.x.(0) >= 0.5);
+  Alcotest.check_raises "length mismatch"
+    (Invalid_argument "Lp_problem.with_bounds: bound length mismatch") (fun () ->
+      ignore (Lp_problem.with_bounds p ~lo:[| 0. |] ~hi:[| 1.; 2. |]));
+  Alcotest.check_raises "crossed bounds"
+    (Invalid_argument "Lp_problem.with_bounds: lo > hi") (fun () ->
+      ignore (Lp_problem.with_bounds p ~lo:[| 0.; 3. |] ~hi:[| 1.; 2. |]))
+
 (* property: for random LPs constructed around a known feasible point x0,
    the solver returns a feasible solution at least as good as x0 *)
 let prop_solver_dominates_witness =
@@ -173,7 +345,10 @@ let prop_solver_dominates_witness =
       | Simplex.Infeasible | Simplex.Unbounded | Simplex.Iteration_limit -> false)
 
 let () =
-  let qsuite = List.map QCheck_alcotest.to_alcotest [ prop_solver_dominates_witness ] in
+  let qsuite =
+    List.map QCheck_alcotest.to_alcotest
+      [ prop_solver_dominates_witness; prop_flat_matches_reference ]
+  in
   Alcotest.run "lp"
     [
       ( "simplex",
@@ -190,6 +365,17 @@ let () =
           Alcotest.test_case "degenerate" `Quick test_degenerate;
           Alcotest.test_case "solution feasibility" `Quick test_solution_feasibility;
           Alcotest.test_case "bad inputs" `Quick test_bad_inputs;
+        ] );
+      ( "presolve",
+        [
+          Alcotest.test_case "empty rows" `Quick test_presolve_empty_rows;
+          Alcotest.test_case "singleton tightening" `Quick test_presolve_singleton_tightens;
+          Alcotest.test_case "fixed-variable substitution" `Quick
+            test_presolve_fixed_substitution;
+          Alcotest.test_case "all vars fixed" `Quick test_presolve_all_fixed_solved;
+          Alcotest.test_case "power-of-two scaling is exact" `Quick
+            test_presolve_scaling_exact;
+          Alcotest.test_case "with_bounds" `Quick test_with_bounds;
         ] );
       ("properties", qsuite);
     ]

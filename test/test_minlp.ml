@@ -106,6 +106,105 @@ let prop_diff_matches_numeric =
         g;
       !ok)
 
+(* ---------- closure-compiled kernels ---------- *)
+
+(* random expression over [nv] variables, mixing every constructor the
+   compiler specializes (linear sums, scaling-law leaves c·x^p, nested
+   arithmetic, exp/log over safe arguments) *)
+let gen_expr rng nv depth0 =
+  let rec gen depth =
+    if depth = 0 then
+      match Numerics.Rng.int rng 3 with
+      | 0 -> Expr.var (Numerics.Rng.int rng nv)
+      | 1 -> Expr.const (Numerics.Rng.uniform rng ~lo:(-3.) ~hi:3.)
+      | _ ->
+        (* a scaling-law leaf, the fused fast path of the compiler *)
+        Expr.mul
+          (Expr.const (Numerics.Rng.uniform rng ~lo:0.5 ~hi:5.))
+          (Expr.pow (Expr.var (Numerics.Rng.int rng nv)) (Numerics.Rng.uniform rng ~lo:0.5 ~hi:2.))
+    else
+      match Numerics.Rng.int rng 8 with
+      | 0 ->
+        Expr.add (List.init (1 + Numerics.Rng.int rng 4) (fun _ -> gen (depth - 1)))
+      | 1 ->
+        (* a plain linear combination, the other fast path *)
+        Expr.linear
+          (List.init (1 + Numerics.Rng.int rng nv) (fun _ ->
+               (Numerics.Rng.int rng nv, Numerics.Rng.uniform rng ~lo:(-4.) ~hi:4.)))
+      | 2 -> Expr.mul (gen (depth - 1)) (gen (depth - 1))
+      | 3 -> Expr.neg (gen (depth - 1))
+      | 4 -> Expr.div (gen (depth - 1)) (Expr.const (Numerics.Rng.uniform rng ~lo:0.5 ~hi:2.))
+      | 5 -> Expr.pow (Expr.add [ gen (depth - 1); Expr.const 4. ]) (Numerics.Rng.uniform rng ~lo:0.5 ~hi:2.)
+      | 6 -> Expr.exp_ (Expr.div (gen (depth - 1)) (Expr.const 10.))
+      | _ -> Expr.log_ (Expr.add [ Expr.pow (gen (depth - 1)) 2.; Expr.const 2. ])
+  in
+  gen depth0
+
+let bits = Int64.bits_of_float
+
+(* bit-equality that also identifies NaN with NaN regardless of payload:
+   both sides must compute the *same* operations, but a NaN produced by
+   e.g. (-inf + inf) compares unequal to itself *)
+let same_float a b = bits a = bits b || (Float.is_nan a && Float.is_nan b)
+
+let prop_compiled_matches_interp =
+  QCheck.Test.make ~name:"closure-compiled eval/grad match the interpreter bit-for-bit"
+    ~count:300
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let rng = Numerics.Rng.create seed in
+      let nv = 1 + Numerics.Rng.int rng 5 in
+      let e = gen_expr rng nv (1 + Numerics.Rng.int rng 3) in
+      let x = Array.init nv (fun _ -> Numerics.Rng.uniform rng ~lo:(-2.) ~hi:2.) in
+      let p = Expr.Compiled.compile e in
+      if Expr.Compiled.arity p > nv then
+        QCheck.Test.fail_reportf "arity %d exceeds variable count %d" (Expr.Compiled.arity p) nv;
+      let v_interp = Expr.eval e x in
+      let v_comp = Expr.Compiled.eval p x in
+      let v_unsafe = Expr.Compiled.unsafe_fn p x in
+      if not (same_float v_interp v_comp) then
+        QCheck.Test.fail_reportf "eval: interp %.17g, compiled %.17g on %s" v_interp v_comp
+          (Expr.to_string e);
+      if not (same_float v_comp v_unsafe) then
+        QCheck.Test.fail_reportf "unsafe_fn diverges from eval: %.17g vs %.17g" v_comp v_unsafe;
+      (* gradients: compiled grad_into vs the symbolic compile_gradient *)
+      let g_ref = Expr.compile_gradient e x in
+      let g = Expr.Compiled.compile_gradient e in
+      let out = Array.make nv nan in
+      Expr.Compiled.grad_into g x out;
+      Array.iteri
+        (fun j r ->
+          if not (same_float r out.(j)) then
+            QCheck.Test.fail_reportf "grad_into.(%d): ref %.17g, compiled %.17g on %s" j r
+              out.(j) (Expr.to_string e))
+        g_ref;
+      (* grad_acc: acc.(j) <- (w ·. g_j) +. acc.(j), untouched elsewhere *)
+      let w = Numerics.Rng.uniform rng ~lo:(-2.) ~hi:2. in
+      let acc0 = Array.init nv (fun _ -> Numerics.Rng.uniform rng ~lo:(-1.) ~hi:1.) in
+      let acc = Array.copy acc0 in
+      Expr.Compiled.grad_acc g x w acc;
+      let occurring = Expr.vars e in
+      Array.iteri
+        (fun j a ->
+          let expect =
+            if List.mem j occurring then (w *. g_ref.(j)) +. acc0.(j) else acc0.(j)
+          in
+          if not (same_float expect a) then
+            QCheck.Test.fail_reportf "grad_acc.(%d): expected %.17g, got %.17g" j expect a)
+        acc;
+      true)
+
+let test_compiled_arity_guard () =
+  let e = Expr.(add [ var 0; var 3 ]) in
+  let p = Expr.Compiled.compile e in
+  Alcotest.(check int) "arity" 4 (Expr.Compiled.arity p);
+  check_float "eval at exact arity" 7. (Expr.Compiled.eval p [| 3.; 0.; 0.; 4. |]);
+  Alcotest.(check bool) "short point rejected" true
+    (try
+       ignore (Expr.Compiled.eval p [| 1.; 2. |]);
+       false
+     with Invalid_argument _ -> true)
+
 (* ---------- Problem ---------- *)
 
 let test_builder_basic () =
@@ -608,7 +707,12 @@ let prop_oa_matches_brute_force =
 let () =
   let qsuite =
     List.map QCheck_alcotest.to_alcotest
-      [ prop_diff_matches_numeric; prop_milp_matches_enumeration; prop_oa_matches_brute_force ]
+      [
+        prop_diff_matches_numeric;
+        prop_compiled_matches_interp;
+        prop_milp_matches_enumeration;
+        prop_oa_matches_brute_force;
+      ]
   in
   Alcotest.run "minlp"
     [
@@ -622,6 +726,7 @@ let () =
           Alcotest.test_case "vars" `Quick test_expr_vars;
           Alcotest.test_case "gradient vs numeric" `Quick test_expr_gradient_matches_numeric;
           Alcotest.test_case "linearize" `Quick test_expr_linearize;
+          Alcotest.test_case "compiled arity guard" `Quick test_compiled_arity_guard;
         ] );
       ( "problem",
         [

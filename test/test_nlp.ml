@@ -47,6 +47,49 @@ let test_start_outside_box () =
   let r = Bounded.minimize ~f ~lo:[| 2. |] ~hi:[| 7. |] [| -50. |] in
   check_float "clamped start, optimum at lower bound" 2. r.x.(0)
 
+let test_grad_into_bit_identical () =
+  (* the fused grad_into path must replay the grad path's trajectory
+     exactly: same iterate bits, same objective bits, same step count *)
+  let f x =
+    let a = 1. -. x.(0) and b = x.(1) -. (x.(0) *. x.(0)) in
+    (a *. a) +. (100. *. b *. b)
+  in
+  let gx x =
+    [|
+      (-2. *. (1. -. x.(0))) -. (400. *. x.(0) *. (x.(1) -. (x.(0) *. x.(0))));
+      200. *. (x.(1) -. (x.(0) *. x.(0)));
+    |]
+  in
+  let lo = [| -5.; -5. |] and hi = [| 5.; 5. |] in
+  let ra = Bounded.minimize ~max_iter:20_000 ~grad:gx ~f ~lo ~hi [| -1.2; 1. |] in
+  let g_into x out =
+    let g = gx x in
+    out.(0) <- g.(0);
+    out.(1) <- g.(1)
+  in
+  let rb = Bounded.minimize ~max_iter:20_000 ~grad_into:g_into ~f ~lo ~hi [| -1.2; 1. |] in
+  Alcotest.(check int) "same iteration count" ra.iterations rb.iterations;
+  Alcotest.(check bool) "same objective bits" true
+    (Int64.bits_of_float ra.f = Int64.bits_of_float rb.f);
+  Array.iteri
+    (fun i v ->
+      Alcotest.(check bool)
+        (Printf.sprintf "x.(%d) bits" i)
+        true
+        (Int64.bits_of_float v = Int64.bits_of_float rb.x.(i)))
+    ra.x
+
+let test_stall_cutoff () =
+  (* a flat valley the projected gradient cannot converge on within
+     tol 0: without the cutoff this would burn all of max_iter *)
+  let f x = Float.abs x.(0) in
+  let lo = [| -1. |] and hi = [| 1. |] in
+  let full = Bounded.minimize ~max_iter:5_000 ~tol:0. ~f ~lo ~hi [| 0.7 |] in
+  Alcotest.(check int) "no cutoff burns the whole budget" 5_000 full.iterations;
+  let r = Bounded.minimize ~max_iter:5_000 ~tol:0. ~stall_iters:25 ~f ~lo ~hi [| 0.7 |] in
+  Alcotest.(check bool) "stopped early" true (r.iterations < full.iterations);
+  Alcotest.(check bool) "reported unconverged" true (not r.converged)
+
 (* ---------- Auglag ---------- *)
 
 let test_auglag_equality () =
@@ -169,6 +212,8 @@ let () =
           Alcotest.test_case "rosenbrock" `Quick test_rosenbrock;
           Alcotest.test_case "scaling objective" `Quick test_convex_scaling_objective;
           Alcotest.test_case "start outside box" `Quick test_start_outside_box;
+          Alcotest.test_case "grad_into bit-identical" `Quick test_grad_into_bit_identical;
+          Alcotest.test_case "stall cutoff" `Quick test_stall_cutoff;
         ] );
       ( "auglag",
         [

@@ -130,9 +130,56 @@ let test_portfolio_race_stitching () =
         (l.Obs.Span.name ^ " parented to the race root")
         true
         (l.Obs.Span.parent = Some root.Obs.Span.id))
+    lanes
+
+(* the staggered-lazy race skips the laggards when the leader wins
+   inside the window, so forcing cross-domain stitching needs a slow,
+   non-final leader: with a zero stagger the laggards spawn at the
+   leader's first budget-poll window and their spans must still parent
+   to the race root across the domain boundary *)
+let test_race_cross_domain_stitching () =
+  let spans =
+    traced @@ fun () ->
+    let lane name finish_s =
+      ( name,
+        fun b ->
+          let t0 = Unix.gettimeofday () in
+          let rec loop () =
+            if Engine.Budget.check b <> None then `Cancelled
+            else if Unix.gettimeofday () -. t0 >= finish_s then `Done
+            else begin
+              Unix.sleepf 0.002;
+              loop ()
+            end
+          in
+          loop () )
+    in
+    let outcome =
+      Runtime.Portfolio.race ~stagger_s:0.
+        ~final:(fun v -> v = `Done)
+        ~better:(fun _ _ -> false)
+        [ lane "slow-leader" 10.; lane "quick" 0.05 ]
+    in
+    Alcotest.(check string) "laggard wins" "quick" outcome.Runtime.Portfolio.winner;
+    Obs.Span.drain ()
+  in
+  let root = List.find (fun s -> s.Obs.Span.name = "portfolio.race") spans in
+  let lanes =
+    List.filter
+      (fun s ->
+        String.length s.Obs.Span.name >= 5 && String.sub s.Obs.Span.name 0 5 = "lane:")
+      spans
+  in
+  Alcotest.(check int) "both lanes emitted spans" 2 (List.length lanes);
+  List.iter
+    (fun l ->
+      Alcotest.(check bool)
+        (l.Obs.Span.name ^ " parented to the race root")
+        true
+        (l.Obs.Span.parent = Some root.Obs.Span.id))
     lanes;
-  (* the spawned lanes really ran on worker domains, i.e. the parent
-     link survived a domain boundary, not just lexical nesting *)
+  (* the laggard really ran on a worker domain, i.e. the parent link
+     survived a domain boundary, not just lexical nesting *)
   let domains =
     List.sort_uniq compare (List.map (fun l -> l.Obs.Span.domain) lanes)
   in
@@ -420,6 +467,8 @@ let () =
           Alcotest.test_case "exception passthrough" `Quick test_span_exception_passthrough;
           Alcotest.test_case "context across domains" `Quick test_span_context_across_domains;
           Alcotest.test_case "portfolio race stitching" `Quick test_portfolio_race_stitching;
+          Alcotest.test_case "race cross-domain stitching" `Quick
+            test_race_cross_domain_stitching;
           Alcotest.test_case "pool task spans" `Quick test_pool_task_spans;
         ] );
       ( "engine",

@@ -105,6 +105,24 @@ let test_pool_preserves_backtraces () =
     Alcotest.(check bool) "worker frame survives the domain boundary" true
       (contains_substring bt "test_runtime")
 
+(* the width policy is pure data: pin the decisions that guard against
+   core starvation (domains beyond the physical cores thrash a shared
+   machine rather than speed it up) *)
+let test_pool_decide () =
+  let open Runtime.Pool in
+  Alcotest.(check bool) "one core is sequential, whatever jobs says" true
+    (decide ~cores:1 ~jobs:64 ~tasks:100 = Sequential);
+  Alcotest.(check bool) "requested width clamps to cores" true
+    (decide ~cores:4 ~jobs:64 ~tasks:100 = Parallel 4);
+  Alcotest.(check bool) "width never exceeds the task count" true
+    (decide ~cores:8 ~jobs:8 ~tasks:3 = Parallel 3);
+  Alcotest.(check bool) "a single task never spawns" true
+    (decide ~cores:8 ~jobs:8 ~tasks:1 = Sequential);
+  Alcotest.(check bool) "no tasks, no domains" true
+    (decide ~cores:8 ~jobs:8 ~tasks:0 = Sequential);
+  Alcotest.(check bool) "jobs=1 forces sequential" true
+    (decide ~cores:8 ~jobs:1 ~tasks:10 = Sequential)
+
 (* ---------- Cache ---------- *)
 
 let test_cache_lru_eviction () =
@@ -404,6 +422,123 @@ let test_race_best_incumbent_on_exhaustion () =
   | (_ : int Runtime.Portfolio.outcome) -> Alcotest.fail "expected a re-raise"
   | exception Failure m -> Alcotest.(check string) "first lane's exception" "first" m
 
+let test_race_leader_runs_on_caller () =
+  (* the spawn-tax fix: the predicted-fastest lane must run inline on
+     the calling domain, and a leader that proves its answer inside the
+     stagger window must keep the other lanes from ever starting *)
+  let caller = Domain.self () in
+  let leader_domain = ref None in
+  let laggard_ran = Atomic.make false in
+  let outcome =
+    Runtime.Portfolio.race ~stagger_s:3600.
+      ~final:(fun _ -> true)
+      ~better:(fun _ _ -> false)
+      [
+        ( "lead",
+          fun _ ->
+            leader_domain := Some (Domain.self ());
+            42 );
+        ( "laggard",
+          fun _ ->
+            Atomic.set laggard_ran true;
+            0 );
+      ]
+  in
+  Alcotest.(check int) "leader's value" 42 outcome.Runtime.Portfolio.value;
+  Alcotest.(check string) "leader wins" "lead" outcome.Runtime.Portfolio.winner;
+  Alcotest.(check bool) "leader ran on the calling domain" true
+    (!leader_domain = Some caller);
+  Alcotest.(check bool) "laggard never started" false (Atomic.get laggard_ran);
+  (match outcome.Runtime.Portfolio.lanes with
+  | [ _; l ] ->
+    Alcotest.(check bool) "skipped outcome" true
+      (l.Runtime.Portfolio.outcome = Error Runtime.Portfolio.Skipped);
+    Alcotest.(check bool) "skipped lane has zero wall" true
+      (l.Runtime.Portfolio.lane_wall_s = 0.)
+  | _ -> Alcotest.fail "lane list shape");
+  (* a 1-entrant race is just a call on the caller's domain *)
+  let solo_domain = ref None in
+  let solo =
+    Runtime.Portfolio.race
+      ~final:(fun _ -> false)
+      ~better:(fun _ _ -> false)
+      [
+        ( "solo",
+          fun _ ->
+            solo_domain := Some (Domain.self ());
+            7 );
+      ]
+  in
+  Alcotest.(check int) "solo value" 7 solo.Runtime.Portfolio.value;
+  Alcotest.(check bool) "solo lane on the calling domain" true (!solo_domain = Some caller)
+
+let test_race_nonfinal_leader_spawns_laggards () =
+  (* a leader that returns without a proven answer must hand over to
+     the remaining lanes even when the stagger window never elapsed *)
+  let outcome =
+    Runtime.Portfolio.race ~stagger_s:3600.
+      ~final:(fun v -> v = 9)
+      ~better:(fun a b -> a > b)
+      [ ("lead", fun _ -> 1); ("closer", fun _ -> 9) ]
+  in
+  Alcotest.(check string) "laggard finishes the job" "closer"
+    outcome.Runtime.Portfolio.winner;
+  Alcotest.(check int) "laggard's value" 9 outcome.Runtime.Portfolio.value;
+  List.iter
+    (fun (l : int Runtime.Portfolio.lane) ->
+      Alcotest.(check bool)
+        (l.Runtime.Portfolio.lane_name ^ " actually ran")
+        true
+        (match l.Runtime.Portfolio.outcome with Ok _ -> true | Error _ -> false))
+    outcome.Runtime.Portfolio.lanes
+
+let test_portfolio_leader_byte_identical_to_single () =
+  (* with the laggards held back by a huge stagger window, a portfolio
+     whose leader proves optimality is the leader: same allocation and
+     objective down to the last bit as the `Single run of that solver *)
+  let specs = e6_specs ~allowed:[ 1; 2; 4; 8; 16; 32 ] () in
+  let n_total = 256 in
+  let leader =
+    match Engine.Solver_choice.all with
+    | s :: _ -> s
+    | [] -> Alcotest.fail "no solvers"
+  in
+  let single =
+    match Hslb.Alloc_model.solve ~strategy:(`Single leader) ~n_total specs with
+    | Ok a -> a
+    | Error st -> Alcotest.failf "single failed: %s" (Minlp.Solution.status_to_string st)
+  in
+  let before = Runtime.Config.stagger_s () in
+  Runtime.Config.set_stagger_s 3600.;
+  Fun.protect ~finally:(fun () -> Runtime.Config.set_stagger_s before) @@ fun () ->
+  let report = ref None in
+  let portfolio =
+    match Hslb.Alloc_model.solve ~strategy:`Portfolio ~race_report:report ~n_total specs with
+    | Ok a -> a
+    | Error st -> Alcotest.failf "portfolio failed: %s" (Minlp.Solution.status_to_string st)
+  in
+  Alcotest.(check bool) "same allocation" true
+    (single.Hslb.Alloc_model.nodes_per_task = portfolio.Hslb.Alloc_model.nodes_per_task);
+  Alcotest.(check bool) "same makespan bits" true
+    (Int64.bits_of_float single.Hslb.Alloc_model.predicted_makespan
+    = Int64.bits_of_float portfolio.Hslb.Alloc_model.predicted_makespan);
+  match !report with
+  | None -> Alcotest.fail "race report missing"
+  | Some race ->
+    Alcotest.(check string) "leader won" (Engine.Solver_choice.to_string leader)
+      race.Engine.Run_report.winner;
+    (match race.Engine.Run_report.lanes with
+    | winner :: rest ->
+      Alcotest.(check bool) "winner not skipped" true
+        (winner.Engine.Run_report.lane_status <> "skipped");
+      List.iter
+        (fun (l : Engine.Run_report.lane) ->
+          Alcotest.(check string)
+            (l.Engine.Run_report.lane_solver ^ " skipped")
+            "skipped" l.Engine.Run_report.lane_status)
+        rest
+    | [] -> Alcotest.fail "no lanes")
+
 let test_portfolio_matches_best_single () =
   (* acceptance criterion: on an E6-style workload the racing portfolio
      returns the same objective as the best single-solver run *)
@@ -674,6 +809,7 @@ let () =
           Alcotest.test_case "re-raises first exception" `Quick
             test_pool_reraises_first_exception;
           Alcotest.test_case "preserves backtraces" `Quick test_pool_preserves_backtraces;
+          Alcotest.test_case "width policy" `Quick test_pool_decide;
         ] );
       ( "cache",
         [
@@ -694,6 +830,12 @@ let () =
         [
           Alcotest.test_case "strategy strings" `Quick test_strategy_strings;
           Alcotest.test_case "first final cancels" `Quick test_race_first_final_wins;
+          Alcotest.test_case "leader on caller, laggards skipped" `Quick
+            test_race_leader_runs_on_caller;
+          Alcotest.test_case "non-final leader spawns laggards" `Quick
+            test_race_nonfinal_leader_spawns_laggards;
+          Alcotest.test_case "leader-won portfolio = single" `Quick
+            test_portfolio_leader_byte_identical_to_single;
           Alcotest.test_case "best incumbent on exhaustion" `Quick
             test_race_best_incumbent_on_exhaustion;
           Alcotest.test_case "matches best single solver" `Quick
