@@ -691,6 +691,16 @@ let write_resolve_bench ~quick path =
   Format.printf "%a@." Experiments.Resolve_frontier.pp t;
   Format.printf "resolve benchmark written to %s@." path
 
+(* ---------- placement benchmark (--place FILE) ---------- *)
+
+(* the E14 comm-blind × comm-aware placement frontier as a
+   machine-readable artifact (validated by `hslb obs --place-bench`) *)
+let write_place_bench ~quick path =
+  let t = Experiments.Place_bench.run ~quick ~seed:42 () in
+  Experiments.Place_bench.write_bench path t;
+  Format.printf "%a@." Experiments.Place_bench.pp t;
+  Format.printf "place benchmark written to %s@." path
+
 let pretty_time ns =
   if ns < 1e3 then Printf.sprintf "%.1f ns" ns
   else if ns < 1e6 then Printf.sprintf "%.2f us" (ns /. 1e3)
@@ -755,6 +765,11 @@ let () =
   (match find_opt "resolve" with
   | Some path ->
     write_resolve_bench ~quick path;
+    exit 0
+  | None -> ());
+  (match find_opt "place" with
+  | Some path ->
+    write_place_bench ~quick path;
     exit 0
   | None -> ());
   let trace = find_opt "trace" in

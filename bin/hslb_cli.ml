@@ -1184,6 +1184,19 @@ let obs_cmd =
              pool neither core-starved nor slower than 0.95x sequential. Prints one \
              greppable $(i,portfolio ...) line per instance.")
   in
+  let place_bench =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "place-bench" ] ~docv:"FILE"
+          ~doc:
+            "Validate FILE as a placement benchmark (the artifact \
+             $(b,bench --place) writes): schema hslb-bench-place-v1, every torus \
+             scenario carrying blind and aware strategies with the comm-aware \
+             placement strictly cheaper on modeled communication and makespan \
+             within 5% of comm-blind, and every exact row solved to audited \
+             optimality. Prints one greppable $(i,place ...) line per cell.")
+  in
   let read_file path =
     let ic = open_in_bin path in
     Fun.protect
@@ -1600,17 +1613,90 @@ let obs_cmd =
     in
     Ok t
   in
+  (* gate of the topology-aware placement work: comm-aware must strictly
+     beat comm-blind on the modeled comm cost in every scenario while
+     staying within the 5% makespan leash, and the exact MINLP rows must
+     be audited-optimal *)
+  let check_place_bench json =
+    let module PB = Experiments.Place_bench in
+    let ( let* ) = Result.bind in
+    let* t = PB.of_json json in
+    let* () = if t.PB.rows <> [] then Ok () else Error "no torus scenarios" in
+    let* () = if t.PB.exact <> [] then Ok () else Error "no exact MINLP rows" in
+    let cell_named (r : PB.row) name =
+      match List.find_opt (fun (c : PB.cell) -> c.PB.strategy = name) r.PB.cells with
+      | Some c -> Ok c
+      | None ->
+        let x, y, z = r.PB.dims in
+        Error (Printf.sprintf "torus %dx%dx%d: missing strategy %S" x y z name)
+    in
+    let check_row (r : PB.row) =
+      let x, y, z = r.PB.dims in
+      let tag e = Printf.sprintf "torus %dx%dx%d: %s" x y z e in
+      let* blind = cell_named r "blind" in
+      let* aware = cell_named r "aware" in
+      let* () =
+        if
+          List.for_all
+            (fun (c : PB.cell) ->
+              Float.is_finite c.PB.makespan_s
+              && c.PB.makespan_s > 0.
+              && Float.is_finite c.PB.comm_cost_s
+              && c.PB.comm_cost_s >= 0.)
+            r.PB.cells
+        then Ok ()
+        else Error (tag "makespans must be finite positive, comm costs non-negative")
+      in
+      let* () =
+        if aware.PB.comm_cost_s < blind.PB.comm_cost_s then Ok ()
+        else
+          Error
+            (tag
+               (Printf.sprintf "aware comm %.6f not strictly below blind (%.6f)"
+                  aware.PB.comm_cost_s blind.PB.comm_cost_s))
+      in
+      if aware.PB.makespan_s <= 1.05 *. blind.PB.makespan_s then Ok ()
+      else
+        Error
+          (tag
+             (Printf.sprintf "aware makespan %.6f exceeds 1.05x blind (%.6f)"
+                aware.PB.makespan_s blind.PB.makespan_s))
+    in
+    let* () =
+      List.fold_left
+        (fun acc r ->
+          let* () = acc in
+          check_row r)
+        (Ok ()) t.PB.rows
+    in
+    let* () =
+      List.fold_left
+        (fun acc (e : PB.exact) ->
+          let* () = acc in
+          if e.PB.status <> "optimal" then
+            Error (Printf.sprintf "exact %s: status %S, not optimal" e.PB.solver e.PB.status)
+          else if not e.PB.audited then
+            Error (Printf.sprintf "exact %s: certificate not audited" e.PB.solver)
+          else if e.PB.minlp_total_s > e.PB.heuristic_total_s +. 1e-6 then
+            Error
+              (Printf.sprintf "exact %s: MINLP total %.6f above heuristic %.6f"
+                 e.PB.solver e.PB.minlp_total_s e.PB.heuristic_total_s)
+          else Ok ())
+        (Ok ()) t.PB.exact
+    in
+    Ok t
+  in
   let run chrome_trace prometheus fleet_bench arena_bench resolve_bench kernels_bench
-      portfolio_bench =
+      portfolio_bench place_bench =
     if
       chrome_trace = None && prometheus = None && fleet_bench = None
       && arena_bench = None && resolve_bench = None && kernels_bench = None
-      && portfolio_bench = None
+      && portfolio_bench = None && place_bench = None
     then begin
       Format.eprintf
         "hslb obs: nothing to validate (pass --chrome-trace, --prometheus, \
-         --fleet-bench, --arena-bench, --resolve-bench, --kernels-bench or \
-         --portfolio-bench)@.";
+         --fleet-bench, --arena-bench, --resolve-bench, --kernels-bench, \
+         --portfolio-bench or --place-bench)@.";
       exit 2
     end;
     let ok = ref true in
@@ -1745,6 +1831,44 @@ let obs_cmd =
         | Error msg ->
           Format.eprintf "%s: invalid portfolio bench: %s@." path msg;
           ok := false)));
+    (match place_bench with
+    | None -> ()
+    | Some path -> (
+      match Obs.Json.parse (read_file path) with
+      | Error msg ->
+        Format.eprintf "%s: JSON parse error %s@." path msg;
+        ok := false
+      | Ok json -> (
+        match check_place_bench json with
+        | Ok t ->
+          let module PB = Experiments.Place_bench in
+          List.iter
+            (fun (r : PB.row) ->
+              let x, y, z = r.PB.dims in
+              List.iter
+                (fun (c : PB.cell) ->
+                  Format.printf
+                    "place torus=%dx%dx%d tasks=%d groups=%d strategy=%s \
+                     makespan=%.6f comm=%.6f total=%.6f@."
+                    x y z r.PB.tasks r.PB.groups c.PB.strategy c.PB.makespan_s
+                    c.PB.comm_cost_s c.PB.total_s)
+                r.PB.cells)
+            t.PB.rows;
+          List.iter
+            (fun (e : PB.exact) ->
+              Format.printf
+                "place exact solver=%s tasks=%d groups=%d status=%s audited=%b \
+                 minlp=%.6f heuristic=%.6f@."
+                e.PB.solver e.PB.xtasks e.PB.xgroups e.PB.status e.PB.audited
+                e.PB.minlp_total_s e.PB.heuristic_total_s)
+            t.PB.exact;
+          Format.printf
+            "%s: valid place bench, %d torus scenarios, %d exact rows, all \
+             comm-aware wins@."
+            path (List.length t.PB.rows) (List.length t.PB.exact)
+        | Error msg ->
+          Format.eprintf "%s: invalid place bench: %s@." path msg;
+          ok := false)));
     if not !ok then exit 1
   in
   Cmd.v
@@ -1755,12 +1879,146 @@ let obs_cmd =
           $(b,serve --metrics-out), fleet benchmark JSON from \
           $(b,loadgen --bench-out), arena regret matrices from \
           $(b,hslb arena --out), re-solve policy frontiers from \
-          $(b,bench --resolve), kernel benchmarks from $(b,bench --kernels), and \
-          portfolio benchmarks from $(b,bench --portfolio). Exits non-zero if any \
-          fails to parse.")
+          $(b,bench --resolve), kernel benchmarks from $(b,bench --kernels), \
+          portfolio benchmarks from $(b,bench --portfolio), and placement \
+          benchmarks from $(b,bench --place). Exits non-zero if any fails to \
+          parse.")
     Term.(
       const run $ chrome_trace $ prometheus $ fleet_bench $ arena_bench $ resolve_bench
-      $ kernels_bench $ portfolio_bench)
+      $ kernels_bench $ portfolio_bench $ place_bench)
+
+(* ---------- place: topology-aware placement ---------- *)
+
+let place_cmd =
+  let torus =
+    Arg.(
+      value
+      & opt string "4x4x4"
+      & info [ "torus" ] ~docv:"XxYxZ"
+          ~doc:"3-D torus shape, e.g. $(b,4x4x4); carved into --groups even compact groups.")
+  in
+  let tasks =
+    Arg.(
+      value
+      & opt int 24
+      & info [ "tasks" ] ~docv:"N"
+          ~doc:"Number of placement tasks (seeded water-cluster fragments).")
+  in
+  let groups =
+    Arg.(
+      value
+      & opt int 8
+      & info [ "groups" ] ~docv:"G" ~doc:"Node groups; must divide the torus evenly.")
+  in
+  let seed =
+    Arg.(
+      value
+      & opt int 42
+      & info [ "seed" ] ~doc:"Seed for the fragment set and the comm-matrix jitter.")
+  in
+  let hop_cost =
+    Arg.(
+      value
+      & opt float 2.0
+      & info [ "hop-cost" ] ~docv:"S"
+          ~doc:"Seconds of modeled latency per MB per torus hop.")
+  in
+  let minlp =
+    Arg.(
+      value
+      & flag
+      & info [ "minlp" ]
+          ~doc:
+            "Also push the instance through the exact placement MILP (warm-started \
+             by the heuristic) and audit its optimality certificate.")
+  in
+  let solver =
+    Arg.(
+      value
+      & opt solver_conv Engine.Solver_choice.Oa
+      & info [ "solver" ] ~doc:"MINLP solver for $(b,--minlp): oa (default) | bnb | oa-multi.")
+  in
+  let export =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "export" ] ~docv:"FILE"
+          ~doc:"Write the generated fragment-pair communication matrix as NDJSON to FILE.")
+  in
+  let run torus tasks groups seed hop_cost minlp solver export deadline_ms max_nodes =
+    let dims =
+      try Scanf.sscanf torus "%dx%dx%d%!" (fun x y z -> (x, y, z))
+      with Scanf.Scan_failure _ | Failure _ | End_of_file ->
+        Format.eprintf "hslb place: --torus expects XxYxZ (e.g. 4x4x4), got %S@." torus;
+        exit 1
+    in
+    let inst =
+      try
+        Experiments.Place_bench.instance ~seed ~hop_cost_s_per_mb:hop_cost ~torus:dims
+          ~tasks ~groups ()
+      with Invalid_argument msg ->
+        Format.eprintf "hslb place: %s@." msg;
+        exit 1
+    in
+    (match export with
+    | None -> ()
+    | Some path ->
+      Fmo.Comm.write_file path (Fmo.Comm.of_matrix inst.Place.Model.comm_mb);
+      Format.printf "wrote comm matrix (%d tasks) to %s@." tasks path);
+    let x, y, z = dims in
+    let show name assignment =
+      let e = Place.Model.eval inst assignment in
+      Format.printf "%-6s makespan %9.4f s  comm %9.4f s  total %9.4f s  [%s]@." name
+        e.Place.Model.makespan_s e.Place.Model.comm_cost_s e.Place.Model.total_s
+        (String.concat " " (Array.to_list (Array.map string_of_int assignment)));
+      e
+    in
+    (try
+       Format.printf "place: %d tasks on a %dx%dx%d torus, %d groups, seed %d@." tasks x
+         y z groups seed;
+       let blind = Place.Optimizer.comm_blind inst in
+       let aware = Place.Optimizer.optimize inst in
+       let eb = show "blind" blind in
+       let ea = show "aware" aware in
+       Format.printf "comm saved: %.4f s (%.1f%%), makespan ratio %.3fx@."
+         (eb.Place.Model.comm_cost_s -. ea.Place.Model.comm_cost_s)
+         (100.
+         *. (eb.Place.Model.comm_cost_s -. ea.Place.Model.comm_cost_s)
+         /. Float.max eb.Place.Model.comm_cost_s 1e-12)
+         (ea.Place.Model.makespan_s /. Float.max eb.Place.Model.makespan_s 1e-12);
+       if minlp then begin
+         let budget = arm_budget deadline_ms max_nodes in
+         match Place.Model.solve_minlp ~solver ~budget ~warm_start:aware inst with
+         | Error st ->
+           Format.eprintf "place minlp: no usable incumbent (%s)@."
+             (Minlp.Solution.status_to_string st);
+           exit 1
+         | Ok solved ->
+           ignore (show "minlp" solved.Place.Model.assignment : Place.Model.eval);
+           Format.printf "minlp status: %s@."
+             (Minlp.Solution.status_to_string solved.Place.Model.status);
+           (match solved.Place.Model.certificate with
+           | None -> Format.printf "minlp certificate: none@."
+           | Some cert ->
+             let problem, _ = Place.Model.build_milp inst in
+             let verdict = Audit.check_minlp problem cert in
+             Format.printf "minlp certificate: %s@." (Audit.summary verdict);
+             if Result.is_error verdict then exit 1)
+       end
+     with Place.Optimizer.No_feasible msg ->
+       Format.eprintf "hslb place: %s@." msg;
+       exit 1)
+  in
+  Cmd.v
+    (Cmd.info "place"
+       ~doc:
+         "Topology-aware placement of a seeded fragment set: carve a 3-D torus into \
+          even compact groups, generate the fragment-pair communication matrix, and \
+          compare the comm-blind LPT baseline against the comm-aware heuristic \
+          (optionally against the exact, certificate-audited MILP).")
+    Term.(
+      const run $ torus $ tasks $ groups $ seed $ hop_cost $ minlp $ solver $ export
+      $ Cli_common.deadline_ms_arg $ Cli_common.max_nodes_arg)
 
 (* ---------- audit: fault-injection stress sweep ---------- *)
 
@@ -1860,6 +2118,7 @@ let () =
             minlp_cmd;
             fmo_cmd;
             layouts_cmd;
+            place_cmd;
             obs_cmd;
             audit_cmd;
             experiment_cmd;

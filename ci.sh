@@ -421,4 +421,61 @@ dune exec bench/main.exe -- --portfolio "$SMOKE_DIR/BENCH_portfolio.json" \
 cat "$SMOKE_DIR/portfolio.out"
 "$SERVE_BIN" obs --portfolio-bench "$SMOKE_DIR/BENCH_portfolio.json"
 
+echo "== place bench: comm-aware vs comm-blind placement (BENCH_place.json) =="
+# the gate of the topology-aware placement subsystem: on the 4x4x4
+# torus the comm-aware heuristic must strictly beat the comm-blind LPT
+# baseline on modeled communication cost while keeping makespan within
+# 5%, and the exact MINLP rows must be audited-optimal (the validator
+# hard-fails on any of these)
+dune exec bench/main.exe -- --quick --place "$SMOKE_DIR/BENCH_place.json" > /dev/null
+"$SERVE_BIN" obs --place-bench "$SMOKE_DIR/BENCH_place.json" \
+  > "$SMOKE_DIR/place_check.out"
+cat "$SMOKE_DIR/place_check.out"
+grep -q 'place exact .* status=optimal audited=true' "$SMOKE_DIR/place_check.out" || {
+  echo "place bench: no audited-optimal exact row" >&2
+  exit 1
+}
+awk '
+  /^place torus=4x4x4 .* strategy=blind/ {
+    for (i = 1; i <= NF; i++) {
+      if ($i ~ /^comm=/) { sub(/^comm=/, "", $i); bc = $i }
+      if ($i ~ /^makespan=/) { sub(/^makespan=/, "", $i); bm = $i }
+    }
+  }
+  /^place torus=4x4x4 .* strategy=aware/ {
+    for (i = 1; i <= NF; i++) {
+      if ($i ~ /^comm=/) { sub(/^comm=/, "", $i); ac = $i }
+      if ($i ~ /^makespan=/) { sub(/^makespan=/, "", $i); am = $i }
+    }
+  }
+  END {
+    if (bc == "" || ac == "") { print "place bench: 4x4x4 rows missing" > "/dev/stderr"; exit 1 }
+    if (ac + 0 >= bc + 0) {
+      printf "place bench: aware comm %s not strictly below blind %s\n", ac, bc > "/dev/stderr"
+      exit 1
+    }
+    if (am + 0 > 1.05 * (bm + 0)) {
+      printf "place bench: aware makespan %s above 1.05x blind %s\n", am, bm > "/dev/stderr"
+      exit 1
+    }
+    printf "place bench: 4x4x4 aware comm %s < blind %s, makespan within 5%%\n", ac, bc
+  }
+' "$SMOKE_DIR/place_check.out"
+
+echo "== place smoke: v2 solve with a place section through a live server =="
+# one placed solve over the wire: the ok response must carry the
+# place annotation (assignment + costs) and the drained counters one
+# placed request
+printf '%s\n' \
+  '{"id":1,"v":2,"model_csv":"alpha,4,100,0.001,1,0.5\nbeta,2,50,0.001,1,0.2","nodes":32,"place":{"topology":[2,2,2],"groups":4,"mem_per_node_gb":1.0,"mem_gb":[0.6,0.5],"comm_mb":[[0,3.5],[3.5,0]],"hop_cost_s_per_mb":2.0}}' \
+  | "$SERVE_BIN" serve --jobs 1 > "$SMOKE_DIR/place.out"
+grep '"id":1' "$SMOKE_DIR/place.out" | grep -q '"place":{"assignment":' || {
+  echo "place smoke: response carries no place annotation" >&2
+  exit 1
+}
+grep '"event":"drained"' "$SMOKE_DIR/place.out" | grep -q '"placed":1' || {
+  echo "place smoke: drained counters did not report one placed solve" >&2
+  exit 1
+}
+
 echo "== ci OK =="

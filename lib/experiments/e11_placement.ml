@@ -3,50 +3,62 @@
    Blue Gene/P is a 3-D torus, and the paper's observation that the
    overhead coefficients "b, c [are] almost equal to zero" implicitly
    relies on groups being placed compactly. This experiment quantifies
-   that assumption: the same even partition placed compactly vs
-   scattered round-robin across the torus, with the b·n overhead term
-   scaled by each group's communication factor
-   (1 + alpha * diameter/machine-diameter). Compact placement keeps the
-   paper's premise; scattered placement erodes it as the machine
-   grows. *)
+   that assumption with a real traffic matrix: a pinned-seed water
+   cluster is fragmented, Fmo.Comm generates the fragment-pair
+   communication volumes, and one fragment is pinned per group. The
+   same even partition is placed compactly vs scattered round-robin
+   across the torus, and the inter-group traffic is priced by the hop
+   distance between group leads. Compact placement keeps the paper's
+   premise; scattered placement erodes it as the machine grows. *)
 
 let name = "E11_placement"
 let describes = "Ablation: compact vs scattered group placement on the torus"
 
-let alpha = 40. (* congestion sensitivity of the collectives *)
+let comm_seed = 11 (* pinned: E11 output is golden-tested byte-for-byte *)
+let hop_cost_s_per_mb = 2.0
 
 let run ?(quick = false) fmt =
   let node_counts = if quick then [ 512 ] else [ 512; 4096; 32768 ] in
   let machine = Workloads.machine ~num_nodes:(List.fold_left Stdlib.max 1 node_counts) () in
+  let groups = 64 in
+  (* one representative fragment per group; the matrix is machine-size
+     independent, so it is generated once for the whole sweep *)
+  let frags =
+    Fmo.Fragment.fragment
+      (Fmo.Molecule.water_cluster ~rng:(Numerics.Rng.create comm_seed) groups)
+      Fmo.Basis.B6_31gd
+  in
+  let comm = Fmo.Comm.generate ~seed:comm_seed frags in
   let rows =
     List.concat_map
       (fun n_total ->
         let torus = Topology.for_nodes n_total in
-        let groups = 64 in
         let size = n_total / groups in
         let sizes = List.init groups (fun _ -> size) in
         (* representative monomer task law at this machine *)
         let law = Fmo.Cost_model.law machine ~work_gflops:150. ~nbf:19 in
         let eval_placement placement =
           let ids = Topology.place torus ~placement ~sizes in
-          let dia =
-            List.fold_left (fun acc g -> Stdlib.max acc (Topology.group_diameter torus g)) 0 ids
-          in
-          let worst =
-            List.fold_left
-              (fun acc g -> Float.max acc (Topology.comm_factor torus g ~alpha))
-              1. ids
-          in
-          (* the placement scales only the communication term b·n *)
-          let overhead = law.Scaling_law.b *. worst *. float_of_int size in
-          let total =
-            Scaling_law.eval
-              (Scaling_law.make ~a:law.Scaling_law.a
-                 ~b:(law.Scaling_law.b *. worst)
-                 ~c:law.Scaling_law.c ~d:law.Scaling_law.d)
-              (float_of_int size)
-          in
-          (dia, overhead, total)
+          let dias = Array.of_list (List.map (Topology.group_diameter torus) ids) in
+          let dia = Array.fold_left Stdlib.max 0 dias in
+          let leads = Array.of_list (List.map (fun g -> g.(0)) ids) in
+          (* a pair's traffic travels between the group anchors and then
+             fans out within each group, so the per-MB price is the
+             anchor hop distance plus half of each group's diameter —
+             scattering a group does not move its anchor much, but it
+             stretches the fan-out to the whole machine *)
+          let comm_s = ref 0. in
+          for i = 0 to groups - 1 do
+            for j = i + 1 to groups - 1 do
+              let hops =
+                float_of_int (Topology.distance torus leads.(i) leads.(j))
+                +. (0.5 *. float_of_int (dias.(i) + dias.(j)))
+              in
+              comm_s := !comm_s +. (Fmo.Comm.volume comm i j *. hops *. hop_cost_s_per_mb)
+            done
+          done;
+          let total = Scaling_law.eval law (float_of_int size) +. !comm_s in
+          (dia, !comm_s, total)
         in
         let dia_c, ov_c, t_compact = eval_placement Topology.Compact in
         let dia_s, ov_s, t_scattered = eval_placement Topology.Scattered in

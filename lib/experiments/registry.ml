@@ -31,6 +31,7 @@ let all =
     { id = E11_placement.name; describes = E11_placement.describes; run = E11_placement.run };
     { id = E12_resolve.name; describes = E12_resolve.describes; run = E12_resolve.run };
     { id = E13_arena.name; describes = E13_arena.describes; run = E13_arena.run };
+    { id = E14_place.name; describes = E14_place.describes; run = E14_place.run };
   ]
 
 let ids () = List.map (fun e -> e.id) all

@@ -1,0 +1,61 @@
+(** Fragment-pair communication volumes.
+
+    The FMO2 electrostatic embedding makes every fragment pair talk:
+    SCF dimers (centroids within the cutoff) exchange pair-block
+    densities every SCC sweep, far pairs exchange the much smaller
+    multipole expansions of the ES approximation. This module turns a
+    fragment set into the symmetric, zero-diagonal volume matrix that
+    the placement layer ({!Place} and experiment E11/E14) prices
+    against torus hop distances.
+
+    Volumes are deterministic for a given [seed]: the run-to-run
+    variation of real traffic (retransmits, convergence differences) is
+    modeled as a small multiplicative jitter drawn per {e unordered
+    fragment-id pair}, so permuting the input array permutes the matrix
+    consistently and equal seeds give equal matrices. *)
+
+type t
+
+(** Number of fragments (matrix dimension). *)
+val size : t -> int
+
+(** [volume t i j] — MB exchanged between fragments [i] and [j] per SCC
+    sweep. Symmetric; [volume t i i = 0]. Raises [Invalid_argument] out
+    of range. *)
+val volume : t -> int -> int -> float
+
+(** Sum over unordered pairs, MB. *)
+val total_mb : t -> float
+
+(** [generate ?scf_cutoff ?seed frags] — the volume matrix of the
+    fragment set: near pairs (centroid distance within [scf_cutoff],
+    default 7.0 Å, matching {!Task.fmo2_plan}) exchange their pair
+    density block (~8 bytes per basis-function product), far pairs the
+    multipole remainder decaying with the cube of separation. Raises
+    [Invalid_argument] on an empty array. *)
+val generate : ?scf_cutoff:float -> ?seed:int -> Fragment.t array -> t
+
+(** [of_matrix m] — wrap an externally supplied matrix (the serve wire
+    path). Raises [Invalid_argument] naming the offending entry when
+    [m] is ragged, asymmetric, has a nonzero diagonal, or holds a
+    negative or non-finite volume. *)
+val of_matrix : float array array -> t
+
+(** The raw matrix (a defensive copy). *)
+val to_matrix : t -> float array array
+
+(** NDJSON export: a header line [{"comm":"hslb-comm-v1","n":N}]
+    followed by one ["row"] line per fragment. Ends with a newline. *)
+val to_ndjson : t -> string
+
+(** [of_ndjson ?file text] — parse {!to_ndjson} output (or a
+    hand-edited trace). Errors are ["FILE:LINE: message"], pointing at
+    the offending line. *)
+val of_ndjson : ?file:string -> string -> (t, string) result
+
+(** [read_file path] — {!of_ndjson} with [~file:path]; [Error] also on
+    I/O failure. *)
+val read_file : string -> (t, string) result
+
+(** Write {!to_ndjson} to [path]. *)
+val write_file : string -> t -> unit

@@ -1,0 +1,210 @@
+exception No_feasible of string
+
+(* lexicographic search objective: wire cost strictly first, makespan
+   as the tie-breaker, with a whisker of tolerance so float noise never
+   counts as an improvement *)
+let better (c1, m1) (c2, m2) = c1 < c2 -. 1e-12 || (c1 <= c2 +. 1e-12 && m1 < m2 -. 1e-12)
+
+let mem_used inst assignment =
+  let used = Array.make (Model.num_groups inst) 0. in
+  Array.iteri (fun t g -> used.(g) <- used.(g) +. inst.Model.mem_gb.(t)) assignment;
+  used
+
+let fits inst used g extra = used.(g) +. extra <= Model.capacity_gb inst g +. 1e-9
+
+(* LPT with memory awareness: the assignment a compute-only balancer
+   would produce. Durations drive the order and the greedy choice; the
+   comm matrix is never consulted. *)
+let comm_blind inst =
+  let nt = Model.num_tasks inst and ng = Model.num_groups inst in
+  let order = Array.init nt Fun.id in
+  let weight t = Array.fold_left Float.max 0. inst.Model.duration_s.(t) in
+  Array.sort (fun a b -> compare (weight b) (weight a)) order;
+  let attempt order_key =
+    let order = Array.copy order in
+    Array.sort (fun a b -> compare (order_key b) (order_key a)) order;
+    let load = Array.make ng 0. and used = Array.make ng 0. in
+    let assignment = Array.make nt (-1) in
+    let ok = ref true in
+    Array.iter
+      (fun t ->
+        let best = ref (-1) and best_f = ref infinity in
+        for g = 0 to ng - 1 do
+          let f = load.(g) +. inst.Model.duration_s.(t).(g) in
+          if fits inst used g inst.Model.mem_gb.(t) && f < !best_f then begin
+            best_f := f;
+            best := g
+          end
+        done;
+        match !best with
+        | -1 -> ok := false
+        | g ->
+          load.(g) <- !best_f;
+          used.(g) <- used.(g) +. inst.Model.mem_gb.(t);
+          assignment.(t) <- g)
+      order;
+    if !ok then Some assignment else None
+  in
+  match attempt weight with
+  | Some a -> a
+  | None -> (
+    (* the load-greedy order wedged on memory: repack first-fit
+       decreasing by working set, the classic bin-packing order *)
+    match attempt (fun t -> inst.Model.mem_gb.(t)) with
+    | Some a -> a
+    | None ->
+      raise
+        (No_feasible
+           (Printf.sprintf "Place.Optimizer: no memory-feasible assignment found for %d tasks on %d groups"
+              nt ng)))
+
+(* greedy compact seed: tasks in decreasing total-comm order, each
+   landing where its hop-priced cost against the already-placed tasks
+   is lowest, under the memory and makespan caps *)
+let greedy_seed ~hop ~cap inst =
+  let nt = Model.num_tasks inst and ng = Model.num_groups inst in
+  let order = Array.init nt Fun.id in
+  let total_comm t = Array.fold_left ( +. ) 0. inst.Model.comm_mb.(t) in
+  Array.sort (fun a b -> compare (total_comm b) (total_comm a)) order;
+  let load = Array.make ng 0. and used = Array.make ng 0. in
+  let assignment = Array.make nt (-1) in
+  let ok = ref true in
+  Array.iter
+    (fun t ->
+      let best = ref (-1) and best_cost = ref infinity in
+      for g = 0 to ng - 1 do
+        if
+          fits inst used g inst.Model.mem_gb.(t)
+          && load.(g) +. inst.Model.duration_s.(t).(g) <= cap
+        then begin
+          let comm = ref 0. in
+          Array.iteri
+            (fun u gu ->
+              if gu >= 0 && u <> t then
+                comm :=
+                  !comm
+                  +. (inst.Model.comm_mb.(t).(u)
+                     *. float_of_int hop.(g).(gu)
+                     *. inst.Model.hop_cost_s_per_mb))
+            assignment;
+          (* the load term only tie-breaks: wire cost dominates *)
+          let cost = !comm +. (1e-9 *. (load.(g) +. inst.Model.duration_s.(t).(g))) in
+          if cost < !best_cost then begin
+            best_cost := cost;
+            best := g
+          end
+        end
+      done;
+      match !best with
+      | -1 -> ok := false
+      | g ->
+        load.(g) <- load.(g) +. inst.Model.duration_s.(t).(g);
+        used.(g) <- used.(g) +. inst.Model.mem_gb.(t);
+        assignment.(t) <- g)
+    order;
+  if !ok then Some assignment else None
+
+(* first-improvement local search over single-task moves and pairwise
+   swaps, under the memory knapsacks and the makespan cap *)
+let local_search ~trace ~hop ~cap ~max_rounds inst assignment =
+  let nt = Model.num_tasks inst and ng = Model.num_groups inst in
+  let a = Array.copy assignment in
+  let used = mem_used inst a in
+  let score x =
+    let e = Model.eval_with ~hop inst x in
+    (e.Model.comm_cost_s, e.Model.makespan_s)
+  in
+  let current = ref (score a) in
+  let mem_ok () =
+    let ok = ref true in
+    Array.iteri (fun g u -> if u > Model.capacity_gb inst g +. 1e-9 then ok := false) used;
+    !ok
+  in
+  let try_candidate mutate restore =
+    mutate ();
+    let sc = score a in
+    let _, mk = sc in
+    let feasible = mk <= cap && mem_ok () in
+    if feasible && better sc !current then begin
+      current := sc;
+      Engine.Telemetry.bump trace Engine.Telemetry.add_incumbent_updates 1;
+      true
+    end
+    else begin
+      restore ();
+      false
+    end
+  in
+  let improved = ref true and rounds = ref 0 in
+  while !improved && !rounds < max_rounds do
+    improved := false;
+    incr rounds;
+    (* single-task moves *)
+    for t = 0 to nt - 1 do
+      for g = 0 to ng - 1 do
+        if g <> a.(t) then begin
+          let from = a.(t) in
+          let moved =
+            try_candidate
+              (fun () ->
+                a.(t) <- g;
+                used.(from) <- used.(from) -. inst.Model.mem_gb.(t);
+                used.(g) <- used.(g) +. inst.Model.mem_gb.(t))
+              (fun () ->
+                a.(t) <- from;
+                used.(from) <- used.(from) +. inst.Model.mem_gb.(t);
+                used.(g) <- used.(g) -. inst.Model.mem_gb.(t))
+          in
+          if moved then improved := true
+        end
+      done
+    done;
+    (* pairwise swaps *)
+    for t = 0 to nt - 1 do
+      for u = t + 1 to nt - 1 do
+        if a.(t) <> a.(u) then begin
+          let gt = a.(t) and gu = a.(u) in
+          let dm = inst.Model.mem_gb.(t) -. inst.Model.mem_gb.(u) in
+          let swapped =
+            try_candidate
+              (fun () ->
+                a.(t) <- gu;
+                a.(u) <- gt;
+                used.(gt) <- used.(gt) -. dm;
+                used.(gu) <- used.(gu) +. dm)
+              (fun () ->
+                a.(t) <- gt;
+                a.(u) <- gu;
+                used.(gt) <- used.(gt) +. dm;
+                used.(gu) <- used.(gu) -. dm)
+          in
+          if swapped then improved := true
+        end
+      done
+    done
+  done;
+  a
+
+let optimize ?trace ?(makespan_slack = 0.05) ?(max_rounds = 64) inst =
+  if makespan_slack < 0. then
+    invalid_arg
+      (Printf.sprintf "Place.Optimizer.optimize: makespan_slack must be non-negative, got %g"
+         makespan_slack);
+  Engine.Telemetry.time trace "place.local_search" (fun () ->
+      let hop = Model.hop_matrix inst in
+      let blind = comm_blind inst in
+      let blind_eval = Model.eval_with ~hop inst blind in
+      let cap = (1. +. makespan_slack) *. blind_eval.Model.makespan_s in
+      let refined_blind = local_search ~trace ~hop ~cap ~max_rounds inst blind in
+      let candidates =
+        match greedy_seed ~hop ~cap inst with
+        | Some seed -> [ local_search ~trace ~hop ~cap ~max_rounds inst seed; refined_blind ]
+        | None -> [ refined_blind ]
+      in
+      let key x =
+        let e = Model.eval_with ~hop inst x in
+        (e.Model.comm_cost_s, e.Model.makespan_s)
+      in
+      List.fold_left
+        (fun best c -> if better (key c) (key best) then c else best)
+        (List.hd candidates) (List.tl candidates))

@@ -1,0 +1,36 @@
+(** The fast placement heuristics.
+
+    {!comm_blind} is the baseline a compute-only balancer produces:
+    longest-processing-time list scheduling with memory-aware fitting,
+    never looking at the comm matrix. {!optimize} is the comm-aware
+    path: a greedy compact seed (tasks in decreasing total-comm order,
+    each landing where its marginal hop-priced cost is lowest) plus
+    pairwise-swap/move local search. The search minimizes communication
+    cost lexicographically before makespan under two hard constraints —
+    every group's memory knapsack, and makespan within [makespan_slack]
+    (default 5%) of the comm-blind baseline — so the result never
+    trades more than the allowed makespan for wire locality. Starting
+    points include the comm-blind assignment itself, so the returned
+    communication cost is never worse than the baseline's. *)
+
+(** Raised when no memory-feasible assignment is found (the heuristic's
+    first-fit-decreasing packing is incomplete; {!Model.make} has
+    already guaranteed the necessary conditions hold). *)
+exception No_feasible of string
+
+(** [comm_blind inst] — LPT by duration onto the least-loaded group
+    that still has the memory headroom; falls back to
+    first-fit-decreasing by memory when the load-greedy order wedges.
+    @raise No_feasible when even FFD cannot pack the tasks. *)
+val comm_blind : Model.instance -> int array
+
+(** [optimize ?trace ?makespan_slack ?max_rounds inst] — the comm-aware
+    heuristic described above. [trace] accumulates the search time
+    under the ["place.local_search"] phase and incumbent-update
+    counters. @raise No_feasible when no memory-feasible start exists. *)
+val optimize :
+  ?trace:Engine.Telemetry.t ->
+  ?makespan_slack:float ->
+  ?max_rounds:int ->
+  Model.instance ->
+  int array

@@ -1,6 +1,15 @@
 let min_version = 1
 let current_version = 2
 
+type place_params = {
+  torus : int * int * int;
+  place_groups : int;
+  mem_per_node_gb : float;
+  mem_gb : float array;
+  comm_mb : float array array;
+  hop_cost_s_per_mb : float;
+}
+
 type solve_params = {
   model : [ `Inline of string | `Path of string ];
   n_total : int;
@@ -10,6 +19,7 @@ type solve_params = {
   deadline_ms : float option;
   allowed : int list option;
   policy : Arena.Scenario.cls option;
+  place : place_params option;
 }
 
 type resolve_params = {
@@ -71,7 +81,93 @@ let parse_version v =
            min_version current_version)
     | None -> Error "field \"v\": expected an integer")
 
-let parse_solve_params v =
+(* the optional v2 "place" section: a torus, an even group carve, and
+   the class-level memory/communication data the placement model needs.
+   Shape errors are protocol errors with exact field paths; the deeper
+   semantic checks (symmetry, zero diagonal, memory feasibility) belong
+   to Place.Model and are surfaced by [place_instance]. *)
+let parse_place ~v:version v =
+  match Json.member "place" v with
+  | None | Some Json.Null -> Ok None
+  | Some _ when version < 2 -> Error "field \"place\" requires protocol v2 (send \"v\": 2)"
+  | Some (Json.Obj _ as pv) ->
+    let bad_topology = "field \"place.topology\": expected an array of 3 positive integers" in
+    let* torus =
+      match Json.member "topology" pv with
+      | None | Some Json.Null -> Error "missing field \"place.topology\" (the [x, y, z] torus)"
+      | Some f -> (
+        match Json.arr f with
+        | Some [ a; b; c ] -> (
+          match (Json.int_ a, Json.int_ b, Json.int_ c) with
+          | Some x, Some y, Some z when x >= 1 && y >= 1 && z >= 1 -> Ok (x, y, z)
+          | _ -> Error bad_topology)
+        | Some _ | None -> Error bad_topology)
+    in
+    let* place_groups =
+      match Json.member "groups" pv with
+      | None | Some Json.Null -> Error "missing field \"place.groups\" (how many node groups)"
+      | Some f -> (
+        match Json.int_ f with
+        | Some g when g >= 1 -> Ok g
+        | Some _ | None -> Error "field \"place.groups\": expected a positive integer")
+    in
+    let* mem_per_node_gb =
+      match Json.member "mem_per_node_gb" pv with
+      | None | Some Json.Null -> Error "missing field \"place.mem_per_node_gb\""
+      | Some f -> (
+        match Json.num f with
+        | Some m when m > 0. -> Ok m
+        | Some _ | None -> Error "field \"place.mem_per_node_gb\": expected a positive number")
+    in
+    let* mem_gb =
+      let bad = "field \"place.mem_gb\": expected an array of non-negative numbers" in
+      match Json.member "mem_gb" pv with
+      | None | Some Json.Null -> Error "missing field \"place.mem_gb\" (one entry per class)"
+      | Some f -> (
+        match Json.arr f with
+        | None -> Error bad
+        | Some vs ->
+          let nums = List.filter_map Json.num vs in
+          if List.length nums <> List.length vs || List.exists (fun m -> m < 0.) nums then
+            Error bad
+          else Ok (Array.of_list nums))
+    in
+    let* comm_mb =
+      let bad = "field \"place.comm_mb\": expected a square matrix of numbers" in
+      match Json.member "comm_mb" pv with
+      | None | Some Json.Null ->
+        Error "missing field \"place.comm_mb\" (the class-pair communication matrix)"
+      | Some f -> (
+        match Json.arr f with
+        | None -> Error bad
+        | Some rows ->
+          let parsed =
+            List.filter_map
+              (fun r ->
+                match Json.arr r with
+                | None -> None
+                | Some cells ->
+                  let nums = List.filter_map Json.num cells in
+                  if List.length nums = List.length cells then Some (Array.of_list nums)
+                  else None)
+              rows
+          in
+          if List.length parsed <> List.length rows then Error bad
+          else Ok (Array.of_list parsed))
+    in
+    let* hop_cost_s_per_mb =
+      let* h = opt_field pv "hop_cost_s_per_mb" Json.num "a number" in
+      match h with
+      | Some h when h < 0. || not (Float.is_finite h) ->
+        Error "field \"place.hop_cost_s_per_mb\": must be finite and non-negative"
+      | Some h -> Ok h
+      | None -> Ok 1.0
+    in
+    Ok (Some { torus; place_groups; mem_per_node_gb; mem_gb; comm_mb; hop_cost_s_per_mb })
+  | Some f ->
+    Error (Printf.sprintf "field \"place\": expected an object, got %s" (Json.type_name f))
+
+let parse_solve_params ~v:version v =
   let* model =
     match (Json.member "model_csv" v, Json.member "model_path" v) with
     | Some (Json.Str csv), None -> Ok (`Inline csv)
@@ -112,10 +208,11 @@ let parse_solve_params v =
         else Error "field \"allowed\": expected an array of integers"))
   in
   let* policy = opt_str_field v "policy" Arena.Scenario.class_of_string in
-  Ok { model; n_total; objective; solver; strategy; deadline_ms; allowed; policy }
+  let* place = parse_place ~v:version v in
+  Ok { model; n_total; objective; solver; strategy; deadline_ms; allowed; policy; place }
 
-let parse_solve v =
-  let* p = parse_solve_params v in
+let parse_solve ~v obj =
+  let* p = parse_solve_params ~v obj in
   Ok (Solve p)
 
 let parse_prev v =
@@ -173,8 +270,8 @@ let parse_observe v =
       in
       walk [] entries)
 
-let parse_resolve v =
-  let* base = parse_solve_params v in
+let parse_resolve ~v:version v =
+  let* base = parse_solve_params ~v:version v in
   let* prev = parse_prev v in
   let* observe = parse_observe v in
   let* epsilon =
@@ -198,10 +295,10 @@ let parse_request ~v:version v =
         Error (Printf.sprintf "field \"op\": expected a string, got %s" (Json.type_name f)))
   in
   match op with
-  | "solve" -> parse_solve v
+  | "solve" -> parse_solve ~v:version v
   | "resolve" ->
     if version < 2 then Error "op \"resolve\" requires protocol v2 (send \"v\": 2)"
-    else parse_resolve v
+    else parse_resolve ~v:version v
   | "sleep" -> (
     match Json.member "ms" v with
     | Some f -> (
@@ -257,9 +354,71 @@ let resolve_specs (p : solve_params) =
            | None -> Hslb.Alloc_model.spec_of fc)
          fits)
 
+(* lower a solve's place section into a Place.Model instance for its
+   classes: the torus carved into even compact groups, one placement
+   task per class. [duration_s] defaults to all-zero — the
+   request-level shape used for fingerprints; the server substitutes
+   the solved predicted times before optimizing. Semantic rejections
+   (ragged matrices, asymmetry, memory infeasibility) surface here
+   with Place.Model's exact messages. *)
+let place_instance ?duration_s ~names (pl : place_params) =
+  let x, y, z = pl.torus in
+  let k = Array.length names in
+  let nodes = x * y * z in
+  if nodes mod pl.place_groups <> 0 then
+    Error
+      (Printf.sprintf "field \"place.groups\": %d groups do not divide the %dx%dx%d torus evenly"
+         pl.place_groups x y z)
+  else if Array.length pl.mem_gb <> k then
+    Error
+      (Printf.sprintf "field \"place.mem_gb\": expected %d entries (one per model class), got %d"
+         k (Array.length pl.mem_gb))
+  else if Array.length pl.comm_mb <> k then
+    Error
+      (Printf.sprintf
+         "field \"place.comm_mb\": expected a %dx%d matrix (one row per model class), got %d rows"
+         k k (Array.length pl.comm_mb))
+  else
+    let topology = Topology.make ~x ~y ~z in
+    let size = nodes / pl.place_groups in
+    let groups =
+      Array.of_list
+        (Topology.place topology ~placement:Topology.Compact
+           ~sizes:(List.init pl.place_groups (fun _ -> size)))
+    in
+    let duration_s =
+      match duration_s with Some d -> d | None -> Array.make_matrix k pl.place_groups 0.
+    in
+    match
+      Place.Model.make ~topology ~groups ~names ~duration_s ~mem_gb:pl.mem_gb
+        ~mem_per_node_gb:pl.mem_per_node_gb ~comm_mb:pl.comm_mb
+        ~hop_cost_s_per_mb:pl.hop_cost_s_per_mb ()
+    with
+    | inst -> Ok inst
+    | exception Invalid_argument msg -> Error msg
+
+let spec_names specs =
+  Array.of_list
+    (List.map
+       (fun (s : Hslb.Alloc_model.spec) -> s.Hslb.Alloc_model.fc.Hslb.Classes.cls.Hslb.Classes.name)
+       specs)
+
+(* the dedupe/cache key for a solve whose specs are already resolved:
+   the pure allocation fingerprint, wrapped by the placement
+   fingerprint when a place section rides along — two requests
+   differing only in topology (or memory, or traffic) must never share
+   a cached allocation *)
+let solve_key (p : solve_params) specs =
+  let base = Hslb.Alloc_model.fingerprint ~objective:p.objective ~n_total:p.n_total specs in
+  match p.place with
+  | None -> Ok base
+  | Some pl ->
+    let* inst = place_instance ~names:(spec_names specs) pl in
+    Ok (Place.Model.fingerprint ~base inst)
+
 let fingerprint p =
   let* specs = resolve_specs p in
-  Ok (Hslb.Alloc_model.fingerprint ~objective:p.objective ~n_total:p.n_total specs)
+  solve_key p specs
 
 (* v1 responses must stay byte-identical to the pre-versioning wire, so
    the "v" echo appears only in v2+ dialects *)

@@ -23,6 +23,24 @@ val min_version : int
     [>= 2]. *)
 val current_version : int
 
+(** The optional ["place"] section of a solve (v2+): where the classes
+    should land once the allocator has sized them. The torus is carved
+    into [place_groups] even compact node groups and each model class
+    becomes one placement task; the server answers with a
+    topology-aware task→group assignment minimizing hop-priced
+    communication under per-group memory knapsacks (see
+    docs/PLACEMENT.md). *)
+type place_params = {
+  torus : int * int * int;  (** ["place.topology"] — [\[x, y, z\]], all >= 1 *)
+  place_groups : int;  (** ["place.groups"] — must divide the torus evenly *)
+  mem_per_node_gb : float;  (** ["place.mem_per_node_gb"] — > 0 *)
+  mem_gb : float array;  (** ["place.mem_gb"] — one entry per model class *)
+  comm_mb : float array array;
+      (** ["place.comm_mb"] — class-pair traffic, symmetric, zero
+          diagonal (checked by {!place_instance}) *)
+  hop_cost_s_per_mb : float;  (** ["place.hop_cost_s_per_mb"], default 1.0 *)
+}
+
 type solve_params = {
   model : [ `Inline of string | `Path of string ];
       (** [model_csv] (inline [name,count,a,b,c,d] text, [\n]-separated)
@@ -40,6 +58,9 @@ type solve_params = {
           traffic belongs to; the server answers with the scheduler the
           arena's regret matrix crowned for that class (see
           docs/ARENA.md). Advisory: it never changes the solve. *)
+  place : place_params option;
+      (** ["place"] (v2+) — ask for a topology-aware placement of the
+          classes alongside the allocation *)
 }
 
 (** The ["resolve"] op (v2+): re-solve an instance the client solved
@@ -84,9 +105,32 @@ val parse_line : string -> parsed
     problems identically. *)
 val resolve_specs : solve_params -> (Hslb.Alloc_model.spec list, string) result
 
-(** [fingerprint p] — the canonical {!Hslb.Alloc_model.fingerprint} of
-    the request's solve instance: the dedupe/cache key, and the key the
-    router's hash ring shards on. *)
+(** [place_instance ?duration_s ~names pl] — lower a place section into
+    a {!Place.Model} instance for the named classes: the torus carved
+    into even compact groups, one placement task per class.
+    [duration_s] defaults to all-zero (the request-level shape used for
+    fingerprints; the server substitutes solved predicted times before
+    optimizing). [Error] is protocol-grade: exact field paths for shape
+    mismatches, {!Place.Model.make}'s own messages for semantic
+    rejections (asymmetry, memory infeasibility). *)
+val place_instance :
+  ?duration_s:float array array ->
+  names:string array ->
+  place_params ->
+  (Place.Model.instance, string) result
+
+(** Class names of already-resolved specs, in model order. *)
+val spec_names : Hslb.Alloc_model.spec list -> string array
+
+(** [solve_key p specs] — the dedupe/cache key for a solve whose specs
+    are already resolved: the pure {!Hslb.Alloc_model.fingerprint},
+    wrapped by {!Place.Model.fingerprint} when a place section rides
+    along, so requests differing only in topology, memory or traffic
+    never share a cached allocation. *)
+val solve_key : solve_params -> Hslb.Alloc_model.spec list -> (string, string) result
+
+(** [fingerprint p] — {!solve_key} after {!resolve_specs}: the
+    dedupe/cache key, and the key the router's hash ring shards on. *)
 val fingerprint : solve_params -> (string, string) result
 
 (** [response ?v ~id fields] — one NDJSON response line: an object

@@ -92,6 +92,7 @@ type t = {
   mutable n_policy_hints : int;
   mutable n_resolved : int;
   mutable n_resolve_skipped : int;
+  mutable n_placed : int;
 }
 
 (* resolve: certificate threshold when the request names none *)
@@ -335,13 +336,51 @@ let process_solve t (job : job) (sj : solve_job) =
         | Ok alloc when t.cfg.audit -> Some (audit_verdict p sj.specs alloc)
         | Ok _ | Error _ -> None
       in
+      (* the placement annotation: rebuild the instance with the solved
+         predicted times as durations (the request-level zero-duration
+         shape was already validated at submit) and run the comm-aware
+         search. Computed once; followers carry the same section. *)
+      let place_extra =
+        match (result, p.Protocol.place) with
+        | Ok alloc, Some pl -> (
+          let names = Protocol.spec_names sj.specs in
+          let duration_s =
+            Array.init (Array.length names) (fun c ->
+                Array.make pl.Protocol.place_groups
+                  alloc.Hslb.Alloc_model.predicted_times.(c))
+          in
+          match Protocol.place_instance ~duration_s ~names pl with
+          | Error msg -> [ ("place", Json.Obj [ ("error", Json.Str msg) ]) ]
+          | Ok inst -> (
+            match Place.Optimizer.optimize inst with
+            | assignment ->
+              let e = Place.Model.eval inst assignment in
+              locked t (fun () -> t.n_placed <- t.n_placed + 1);
+              [
+                ( "place",
+                  Json.Obj
+                    [
+                      ( "assignment",
+                        Json.Arr
+                          (Array.to_list
+                             (Array.map (fun g -> Json.Num (float_of_int g)) assignment)) );
+                      ("groups", Json.Num (float_of_int (Place.Model.num_groups inst)));
+                      ("makespan_s", Json.Num e.Place.Model.makespan_s);
+                      ("comm_cost_s", Json.Num e.Place.Model.comm_cost_s);
+                      ("total_s", Json.Num e.Place.Model.total_s);
+                    ] );
+              ]
+            | exception Place.Optimizer.No_feasible msg ->
+              [ ("place", Json.Obj [ ("error", Json.Str msg) ]) ]))
+        | (Ok _ | Error _), _ -> []
+      in
       let tele = tele_of cache_hit in
-      respond_solve t ~v:job.v ~id:job.jid ~reply:job.reply ~op:"solve" result ~audit
-        ~policy:(policy_fields t p.Protocol.policy) tele;
+      respond_solve t ~v:job.v ~id:job.jid ~reply:job.reply ~op:"solve" ~extra:place_extra
+        result ~audit ~policy:(policy_fields t p.Protocol.policy) tele;
       List.iter
         (fun (fid, arr, freply, fpolicy, fv) ->
-          respond_solve t ~v:fv ~id:fid ~reply:freply ~op:"solve" result ~audit
-            ~policy:(policy_fields t fpolicy) (follower_tele arr tele))
+          respond_solve t ~v:fv ~id:fid ~reply:freply ~op:"solve" ~extra:place_extra result
+            ~audit ~policy:(policy_fields t fpolicy) (follower_tele arr tele))
         followers
     | `Crashed msg ->
       let answer ~v id reply tele =
@@ -675,6 +714,7 @@ let create ?telemetry cfg ~emit =
       n_policy_hints = 0;
       n_resolved = 0;
       n_resolve_skipped = 0;
+      n_placed = 0;
     }
   in
   t.workers <- Some (Runtime.Pool.spawn_workers ~jobs:cfg.jobs (worker_body t));
@@ -726,6 +766,7 @@ let stats_obj t =
              ("policy_hints", Json.Num (float_of_int t.n_policy_hints));
              ("resolved", Json.Num (float_of_int t.n_resolved));
              ("resolve_skipped", Json.Num (float_of_int t.n_resolve_skipped));
+             ("placed", Json.Num (float_of_int t.n_placed));
              ( "protocol",
                Json.Obj
                  [
@@ -902,12 +943,16 @@ let submit ?reply t line =
     | Error msg ->
       locked t (fun () -> t.n_protocol_errors <- t.n_protocol_errors + 1);
       reply_line t reply (Protocol.error_response ~v ~id ~outcome:"error" msg)
-    | Ok specs ->
-      let key =
-        Hslb.Alloc_model.fingerprint ~objective:p.Protocol.objective
-          ~n_total:p.Protocol.n_total specs
-      in
-      admit t ~id ~v ~reply (W_solve { params = p; specs; key; followers = [] }))
+    | Ok specs -> (
+      (* the key wraps the allocation fingerprint with the placement
+         fingerprint when a place section rides along; a malformed
+         place section (wrong arity, asymmetric traffic, memory
+         infeasibility) is rejected here, before any solver work *)
+      match Protocol.solve_key p specs with
+      | Error msg ->
+        locked t (fun () -> t.n_protocol_errors <- t.n_protocol_errors + 1);
+        reply_line t reply (Protocol.error_response ~v ~id ~outcome:"error" msg)
+      | Ok key -> admit t ~id ~v ~reply (W_solve { params = p; specs; key; followers = [] })))
   | Ok (Protocol.Resolve rp) -> (
     match Protocol.resolve_specs rp.Protocol.base with
     | Error msg ->

@@ -426,7 +426,7 @@ let test_registry_unknown_lists_valid_ids () =
     "unknown experiment \"E99\"; valid ids: E1_fit_quality, E2_objectives, "
     ^ "E3_pred_vs_actual, E4_scaling, E5_protein, E6_solver, E7_samples, "
     ^ "E8_cesm_table3, E9_cesm_layouts, E10_scheduler_ablation, E11_placement, "
-    ^ "E12_resolve, E13_arena"
+    ^ "E12_resolve, E13_arena, E14_place"
   in
   match Experiments.Registry.find_result "E99" with
   | Ok _ -> Alcotest.fail "E99 should be unknown"
@@ -435,7 +435,7 @@ let test_registry_unknown_lists_valid_ids () =
 let test_registry_ambiguous_prefix () =
   let expected =
     "ambiguous experiment \"E1\": matches E1_fit_quality, E10_scheduler_ablation, \
-     E11_placement, E12_resolve, E13_arena"
+     E11_placement, E12_resolve, E13_arena, E14_place"
   in
   match Experiments.Registry.find_result "E1" with
   | Ok e -> Alcotest.failf "E1 should be ambiguous, resolved to %s" e.Experiments.Registry.id

@@ -45,6 +45,7 @@ let test_ring_deterministic () =
         strategy = None;
         allowed = None;
         policy = None;
+        place = None;
       }
   in
   let fp m =

@@ -721,6 +721,155 @@ let test_serve_version_compat () =
           (contains_substring line {|"v":|}))
     (raw_responses h)
 
+(* ---------- the v2 place section ---------- *)
+
+let place_extra =
+  {|,"place":{"topology":[2,2,2],"groups":4,"mem_per_node_gb":1.0,"mem_gb":[0.6,0.5],"comm_mb":[[0,3.5],[3.5,0]],"hop_cost_s_per_mb":2.0}|}
+
+let test_protocol_place () =
+  let open Serve.Protocol in
+  (* v2 parses into the typed section *)
+  (match parse_line (solve_line ~id:1 ~extra:({|,"v":2|} ^ place_extra) ()) with
+  | { req = Ok (Solve { place = Some pl; _ }); v = 2; _ } ->
+    Alcotest.(check bool) "torus" true (pl.torus = (2, 2, 2));
+    Alcotest.(check int) "groups" 4 pl.place_groups;
+    Alcotest.(check (float 1e-12)) "hop cost" 2.0 pl.hop_cost_s_per_mb;
+    Alcotest.(check (float 1e-12)) "comm entry" 3.5 pl.comm_mb.(0).(1)
+  | { req = Error e; _ } -> Alcotest.failf "place solve rejected: %s" e
+  | _ -> Alcotest.fail "place section not parsed");
+  let expect_exact line want =
+    match parse_line line with
+    | { req = Error got; _ } -> Alcotest.(check string) ("reject " ^ want) want got
+    | _ -> Alcotest.failf "expected rejection: %s" want
+  in
+  (* v1 must not grow the field silently *)
+  expect_exact
+    (solve_line ~extra:place_extra ())
+    {|field "place" requires protocol v2 (send "v": 2)|};
+  expect_exact
+    (solve_line ~extra:{|,"v":2,"place":{"groups":4}|} ())
+    {|missing field "place.topology" (the [x, y, z] torus)|};
+  expect_exact
+    (solve_line ~extra:{|,"v":2,"place":{"topology":[2,2],"groups":4}|} ())
+    {|field "place.topology": expected an array of 3 positive integers|};
+  expect_exact
+    (solve_line ~extra:{|,"v":2,"place":7|} ())
+    {|field "place": expected an object, got a number|};
+  (* semantic rejections carry Place.Model's own messages, surfaced at
+     submit time through the fingerprint path *)
+  let parse_place_params line =
+    match parse_line line with
+    | { req = Ok (Solve p); _ } -> p
+    | { req = Error e; _ } -> Alcotest.failf "unexpected rejection: %s" e
+    | _ -> Alcotest.fail "not a solve"
+  in
+  let asym =
+    parse_place_params
+      (solve_line
+         ~extra:
+           {|,"v":2,"place":{"topology":[2,2,2],"groups":4,"mem_per_node_gb":1.0,"mem_gb":[0.5,0.5],"comm_mb":[[0,1],[2,0]]}|}
+         ())
+  in
+  (match fingerprint asym with
+  | Error e ->
+    Alcotest.(check string) "asymmetry detected"
+      "Place.Model.make: comm_mb is not symmetric at (0,1)" e
+  | Ok _ -> Alcotest.fail "asymmetric comm accepted");
+  let infeasible =
+    parse_place_params
+      (solve_line
+         ~extra:
+           {|,"v":2,"place":{"topology":[2,2,2],"groups":4,"mem_per_node_gb":1.0,"mem_gb":[5.0,0.5],"comm_mb":[[0,1],[1,0]]}|}
+         ())
+  in
+  match fingerprint infeasible with
+  | Error e ->
+    Alcotest.(check string) "memory infeasibility named"
+      "Place.Model.make: class \"alpha\" needs 5.000 GB but group 0 (2 nodes at 1.000 GB/node) \
+       holds only 2.000 GB"
+      e
+  | Ok _ -> Alcotest.fail "memory-infeasible place accepted"
+
+let test_protocol_place_fingerprint () =
+  let open Serve.Protocol in
+  let params extra =
+    match parse_line (solve_line ~extra ()) with
+    | { req = Ok (Solve p); _ } -> p
+    | { req = Error e; _ } -> Alcotest.failf "parse: %s" e
+    | _ -> Alcotest.fail "not a solve"
+  in
+  let fp p =
+    match fingerprint p with Ok f -> f | Error e -> Alcotest.failf "fingerprint: %s" e
+  in
+  let bare = fp (params "") in
+  let placed = fp (params ({|,"v":2|} ^ place_extra)) in
+  let other_torus =
+    fp
+      (params
+         {|,"v":2,"place":{"topology":[4,2,1],"groups":4,"mem_per_node_gb":1.0,"mem_gb":[0.6,0.5],"comm_mb":[[0,3.5],[3.5,0]],"hop_cost_s_per_mb":2.0}|})
+  in
+  Alcotest.(check bool) "placed never collides with unplaced" true (bare <> placed);
+  Alcotest.(check bool) "same shape, different torus, different key" true
+    (placed <> other_torus);
+  Alcotest.(check bool) "placement key extends the alloc key" true
+    (String.length placed > String.length bare);
+  Alcotest.(check string) "deterministic" placed (fp (params ({|,"v":2|} ^ place_extra)))
+
+let test_serve_place_annotation () =
+  let h = make_harness ~jobs:1 ~queue_limit:8 () in
+  Serve.Server.submit h.server (solve_line ~id:1 ~extra:({|,"v":2|} ^ place_extra) ());
+  (* same model, no place: must not share the placed request's cache row *)
+  Serve.Server.submit h.server (solve_line ~id:2 ());
+  ignore (Serve.Server.await_drain h.server : Engine.Run_report.t);
+  (match find_by_id h 1 with
+  | None -> Alcotest.fail "placed solve unanswered"
+  | Some r -> (
+    Alcotest.(check string) "ok" "ok" (outcome_of r);
+    match Serve.Json.member "place" r with
+    | None -> Alcotest.fail "response carries no place section"
+    | Some pl ->
+      let num k = Option.bind (Serve.Json.member k pl) Serve.Json.num in
+      (match Option.bind (Serve.Json.member "assignment" pl) Serve.Json.arr with
+      | Some cells ->
+        Alcotest.(check int) "one slot per class" 2 (List.length cells);
+        List.iter
+          (fun c ->
+            match Serve.Json.int_ c with
+            | Some g -> Alcotest.(check bool) "group in range" true (g >= 0 && g < 4)
+            | None -> Alcotest.fail "non-integer group")
+          cells
+      | None -> Alcotest.fail "place section has no assignment");
+      Alcotest.(check (option int)) "groups echoed" (Some 4)
+        (Option.bind (Serve.Json.member "groups" pl) Serve.Json.int_);
+      (match num "makespan_s" with
+      | Some m -> Alcotest.(check bool) "positive makespan" true (m > 0.)
+      | None -> Alcotest.fail "no makespan_s");
+      match (num "comm_cost_s", num "total_s", num "makespan_s") with
+      | Some c, Some tot, Some m ->
+        Alcotest.(check bool) "comm cost non-negative" true (c >= 0.);
+        Alcotest.(check (float 1e-9)) "total = makespan + comm" tot (m +. c)
+      | _ -> Alcotest.fail "place section incomplete"));
+  (match find_by_id h 2 with
+  | None -> Alcotest.fail "unplaced solve unanswered"
+  | Some r ->
+    Alcotest.(check string) "ok" "ok" (outcome_of r);
+    Alcotest.(check bool) "no place section without the request" true
+      (Serve.Json.member "place" r = None);
+    (* distinct dedupe keys: the unplaced twin must have missed *)
+    Alcotest.(check bool) "cache not shared across place boundary" true
+      (match
+         Option.bind (Serve.Json.member "telemetry" r) (fun t ->
+             Option.bind (Serve.Json.member "cache_hit" t) Serve.Json.bool_)
+       with
+      | Some hit -> not hit
+      | None -> false));
+  match Serve.Json.parse (Serve.Server.stats_json h.server) with
+  | Error e -> Alcotest.fail e
+  | Ok stats -> (
+    match Option.bind (Serve.Json.member "placed" stats) Serve.Json.int_ with
+    | Some n -> Alcotest.(check int) "placed counter" 1 n
+    | None -> Alcotest.fail "stats missing placed counter")
+
 let () =
   Alcotest.run "serve"
     [
@@ -737,6 +886,8 @@ let () =
           Alcotest.test_case "version negotiation" `Quick test_protocol_version;
           Alcotest.test_case "resolve op" `Quick test_protocol_resolve;
           Alcotest.test_case "policy hint" `Quick test_protocol_policy;
+          Alcotest.test_case "place section" `Quick test_protocol_place;
+          Alcotest.test_case "place fingerprint" `Quick test_protocol_place_fingerprint;
         ] );
       ( "server",
         [
@@ -756,5 +907,6 @@ let () =
           Alcotest.test_case "resolve re-solves on drift" `Quick test_serve_resolve_resolved;
           Alcotest.test_case "resolve prev mismatch" `Quick test_serve_resolve_prev_mismatch;
           Alcotest.test_case "version compat" `Quick test_serve_version_compat;
+          Alcotest.test_case "place annotation" `Quick test_serve_place_annotation;
         ] );
     ]
